@@ -1,0 +1,74 @@
+// Ablation: sensitivity of the Figure 7 conclusions to the cost-model
+// ratio t_s/r : t_c and to the Step 8 variant.
+//
+// The paper reports absolute NCUBE/7 milliseconds without stating its
+// constants; this bench shows for which communication/computation ratios
+// its headline orderings hold. Entries are time ratios  proposed / best
+// fault-free subcube the baseline could use  (< 1 means the proposed
+// algorithm wins, as the paper claims).
+#include <iostream>
+
+#include "baseline/mfs_sorter.hpp"
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftsort;
+
+  std::cout << "=== Ablation: cost-ratio sensitivity of the Fig. 7 "
+               "orderings (Q_6, 320,000 keys) ===\n"
+            << "cells: time(ours, r) / time(bitonic on fault-free Q_t); "
+               "< 1 reproduces the paper's claim.\n\n";
+
+  util::Rng rng(42);
+  const auto keys = sort::gen_uniform(320'000, rng);
+  const auto faults2 = fault::random_faults(6, 2, rng);
+  const auto faults5 = fault::random_faults(6, 5, rng);
+
+  util::Table table({"t_s/r : t_c", "step 8", "r=2 vs Q_5", "r=5 vs Q_4"},
+                    {util::Align::Left, util::Align::Left,
+                     util::Align::Right, util::Align::Right});
+
+  for (const double ratio : {0.5, 1.0, 4.0, 16.0}) {
+    const sim::CostModel cost{2.0, 2.0 * ratio, 0.0};
+    const double q5 =
+        baseline::mfs_bitonic_sort(5, fault::FaultSet(5), keys,
+                                   fault::FaultModel::Partial, cost)
+            .report.makespan;
+    const double q4 =
+        baseline::mfs_bitonic_sort(4, fault::FaultSet(4), keys,
+                                   fault::FaultModel::Partial, cost)
+            .report.makespan;
+    for (const auto step8 :
+         {core::Step8Mode::BitonicMerge, core::Step8Mode::FullSort}) {
+      core::SortConfig config;
+      config.cost = cost;
+      config.step8 = step8;
+      const double ours2 =
+          core::FaultTolerantSorter(6, faults2, config)
+              .sort(keys)
+              .report.makespan;
+      const double ours5 =
+          core::FaultTolerantSorter(6, faults5, config)
+              .sort(keys)
+              .report.makespan;
+      table.add_row({util::Table::fixed(ratio, 1) + " : 1",
+                     step8 == core::Step8Mode::BitonicMerge
+                         ? "merge"
+                         : "full sort (paper formula)",
+                     util::Table::fixed(ours2 / q5, 3),
+                     util::Table::fixed(ours5 / q4, 3)});
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\nreading: with the merge variant the proposed algorithm "
+               "wins through communication/computation ratios of at least "
+               "4:1 (NCUBE territory) and only loses the hardest case "
+               "(r=5 vs Q_4) when links are 16x slower than compares; the "
+               "literal full re-sort already loses at 4:1, which is why "
+               "the paper's own formula cannot explain its Figure 7.\n";
+  return 0;
+}

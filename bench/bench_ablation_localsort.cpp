@@ -1,0 +1,76 @@
+// Ablation: Step 3's local sorting algorithm.
+//
+// The paper prescribes heapsort and charges its worst case. Mergesort and
+// quicksort do measurably fewer comparisons, which translates directly
+// into simulated time because local comparisons are on the critical path
+// for large M. Also reports the raw comparison counts per kernel.
+#include <algorithm>
+#include <iostream>
+
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftsort;
+
+  std::cout << "=== Ablation: local sort kernel (Q_6, r = 2, 320,000 "
+               "keys) ===\n\n";
+
+  util::Rng rng(9);
+  const auto faults = fault::random_faults(6, 2, rng);
+  const auto keys = sort::gen_uniform(320'000, rng);
+
+  // Raw kernel comparison counts at the per-node block size.
+  const std::size_t block = 320'000 / 62 + 1;
+  util::Table kernels({"kernel", "comparisons on one block",
+                       "per key"},
+                      {util::Align::Left, util::Align::Right,
+                       util::Align::Right});
+  for (const auto algorithm :
+       {sort::LocalSort::Heapsort, sort::LocalSort::Mergesort,
+        sort::LocalSort::Quicksort}) {
+    auto data = sort::gen_uniform(block, rng);
+    std::uint64_t comparisons = 0;
+    sort::local_sort(algorithm, data, comparisons);
+    const char* name = algorithm == sort::LocalSort::Heapsort
+                           ? "heapsort (paper)"
+                           : algorithm == sort::LocalSort::Mergesort
+                                 ? "mergesort"
+                                 : "quicksort";
+    kernels.add_row({name, std::to_string(comparisons),
+                     util::Table::fixed(
+                         static_cast<double>(comparisons) /
+                             static_cast<double>(block),
+                         2)});
+  }
+  std::cout << kernels.to_string() << "\n";
+
+  util::Table table({"local sort", "time (ms)", "total comparisons"},
+                    {util::Align::Left, util::Align::Right,
+                     util::Align::Right});
+  for (const auto algorithm :
+       {sort::LocalSort::Heapsort, sort::LocalSort::Mergesort,
+        sort::LocalSort::Quicksort}) {
+    core::SortConfig config;
+    config.local_sort = algorithm;
+    core::FaultTolerantSorter sorter(6, faults, config);
+    const auto outcome = sorter.sort(keys);
+    const char* name = algorithm == sort::LocalSort::Heapsort
+                           ? "heapsort (paper)"
+                           : algorithm == sort::LocalSort::Mergesort
+                                 ? "mergesort"
+                                 : "quicksort";
+    table.add_row({name,
+                   util::Table::fixed(outcome.report.makespan / 1000.0, 2),
+                   std::to_string(outcome.report.comparisons)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nthe comparison gap between heapsort and mergesort moves "
+               "end-to-end time by only a few percent here: at the NCUBE "
+               "ratio the wire, not Step 3, dominates — the paper's "
+               "heapsort choice costs little.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: the paper's half-exchange protocol vs naive full-block
+// exchange, with and without a per-message start-up cost.
+//
+// Both protocols move the same total key volume; the half-exchange does the
+// split with half the comparison-bandwidth per phase but twice the message
+// count, so it only loses ground once messages carry a fixed software
+// start-up (the situation §4 attributes to VERTEX).
+#include <iostream>
+
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftsort;
+
+  std::cout << "=== Ablation: exchange protocol x message start-up cost "
+               "(Q_6, r = 3, 64,000 keys) ===\n\n";
+
+  util::Rng rng(5);
+  const auto faults = fault::random_faults(6, 3, rng);
+  const auto keys = sort::gen_uniform(64'000, rng);
+
+  util::Table table({"protocol", "t_startup (us)", "time (ms)", "messages",
+                     "comparisons"},
+                    {util::Align::Left, util::Align::Right,
+                     util::Align::Right, util::Align::Right,
+                     util::Align::Right});
+
+  for (const double startup : {0.0, 350.0}) {
+    for (const auto protocol : {sort::ExchangeProtocol::HalfExchange,
+                                sort::ExchangeProtocol::FullExchange}) {
+      core::SortConfig config;
+      config.protocol = protocol;
+      config.cost = sim::CostModel{2.0, 8.0, startup};
+      core::FaultTolerantSorter sorter(6, faults, config);
+      const auto outcome = sorter.sort(keys);
+      table.add_row(
+          {protocol == sort::ExchangeProtocol::HalfExchange
+               ? "half-exchange (paper)"
+               : "full-exchange",
+           util::Table::fixed(startup, 0),
+           util::Table::fixed(outcome.report.makespan / 1000.0, 2),
+           std::to_string(outcome.report.messages),
+           std::to_string(outcome.report.comparisons)});
+    }
+  }
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension bench: three algorithmic answers to a faulty hypercube.
+//
+//   1. the paper's partitioned bitonic sort (log^2-step, ~full utilization)
+//   2. max fault-free subcube + plain bitonic (log^2-step, poor utilization)
+//   3. odd-even transposition on the Gray-code ring of all healthy nodes
+//      (perfect utilization, linear phases)
+//
+// The table shows where each wins as the machine size grows — the ring's
+// linear phase count kills it beyond tiny cubes even though it wastes no
+// processors, which is why the paper had to keep the bitonic structure.
+#include <iostream>
+
+#include "baseline/mfs_sorter.hpp"
+#include "baseline/ring_sorter.hpp"
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftsort;
+
+  std::cout << "=== Alternatives on a faulty cube (r = 2, 32,000 keys, "
+               "times in ms) ===\n\n";
+
+  util::Rng rng(77);
+  const auto keys = sort::gen_uniform(32'000, rng);
+
+  util::Table table({"n", "proposed", "MFS bitonic", "ring odd-even",
+                     "ring/proposed"},
+                    std::vector<util::Align>(5, util::Align::Right));
+  for (cube::Dim n = 3; n <= 6; ++n) {
+    const auto faults = fault::random_faults(n, 2, rng);
+    core::FaultTolerantSorter sorter(n, faults);
+    const double ours = sorter.sort(keys).report.makespan / 1000.0;
+    const double mfs =
+        baseline::mfs_bitonic_sort(n, faults, keys).report.makespan /
+        1000.0;
+    const double ring =
+        baseline::ring_odd_even_sort(n, faults, keys).report.makespan /
+        1000.0;
+    table.add_row({std::to_string(n), util::Table::fixed(ours, 1),
+                   util::Table::fixed(mfs, 1),
+                   util::Table::fixed(ring, 1),
+                   util::Table::fixed(ring / ours, 2)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nreading: the ring wastes nothing but pays 2^n phases; "
+               "its gap to the proposed algorithm widens with n, which is "
+               "the reason a bitonic-structured fault-tolerant sort is "
+               "worth the partition machinery.\n";
+  return 0;
+}

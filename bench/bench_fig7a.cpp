@@ -1,0 +1,8 @@
+// Figure 7(a): execution time vs number of keys on Q_6 (64 processors),
+// r = 0..5 faults, against fault-free subcube baselines.
+#include "fig7_common.hpp"
+
+int main() {
+  ftsort::bench::run_figure7(6, "a");
+  return 0;
+}

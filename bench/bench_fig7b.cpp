@@ -1,0 +1,7 @@
+// Figure 7(b): execution time vs number of keys on Q_5 (32 processors).
+#include "fig7_common.hpp"
+
+int main() {
+  ftsort::bench::run_figure7(5, "b");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 7(c): execution time vs number of keys on Q_3 (8 processors).
+#include "fig7_common.hpp"
+
+int main() {
+  ftsort::bench::run_figure7(3, "c");
+  return 0;
+}

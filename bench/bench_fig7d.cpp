@@ -1,0 +1,7 @@
+// Figure 7(d): execution time vs number of keys on Q_4 (16 processors).
+#include "fig7_common.hpp"
+
+int main() {
+  ftsort::bench::run_figure7(4, "d");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The paper's closed-form worst-case T (§3) against the simulator, term
+// structure included — how tight is the analysis it publishes?
+//
+// The formula assumes the literal Step 8 full re-sort, so the comparison
+// runs in Step8Mode::FullSort. "predicted" is T; "simulated" is the
+// critical-path makespan; ratio < 1 always (T is a worst-case bound).
+#include <iostream>
+
+#include "core/analytic.hpp"
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftsort;
+
+  std::cout << "=== Paper formula T vs simulation (FullSort Step 8, "
+               "64,000 keys) ===\n\n";
+
+  util::Rng rng(3);
+  const auto keys = sort::gen_uniform(64'000, rng);
+
+  util::Table table({"n", "r", "m", "s", "predicted T (ms)",
+                     "simulated (ms)", "sim/T"},
+                    std::vector<util::Align>(7, util::Align::Right));
+  for (cube::Dim n = 4; n <= 6; ++n) {
+    for (std::size_t r = 1; r + 1 <= static_cast<std::size_t>(n); ++r) {
+      const auto faults = fault::random_faults(n, r, rng);
+      core::SortConfig config;
+      config.step8 = core::Step8Mode::FullSort;
+      core::FaultTolerantSorter sorter(n, faults, config);
+      const auto outcome = sorter.sort(keys);
+      const auto predicted = core::predicted_sort_time(
+          sorter.plan(), keys.size(), config.cost);
+      table.add_row(
+          {std::to_string(n), std::to_string(r),
+           std::to_string(sorter.plan().m()),
+           std::to_string(sorter.plan().s()),
+           util::Table::fixed(predicted.total / 1000.0, 2),
+           util::Table::fixed(outcome.report.makespan / 1000.0, 2),
+           util::Table::fixed(outcome.report.makespan / predicted.total,
+                              3)});
+    }
+  }
+  std::cout << table.to_string();
+
+  // Term breakdown for one configuration.
+  const auto faults = fault::random_faults(6, 5, rng);
+  core::SortConfig config;
+  config.step8 = core::Step8Mode::FullSort;
+  core::FaultTolerantSorter sorter(6, faults, config);
+  const auto breakdown =
+      core::predicted_sort_time(sorter.plan(), keys.size(), config.cost);
+  std::cout << "\nterm breakdown (n=6, r=5, ms): heapsort "
+            << util::Table::fixed(breakdown.heapsort / 1000.0, 2)
+            << ", Step 3 subcube sort "
+            << util::Table::fixed(breakdown.intra_sort / 1000.0, 2)
+            << ", Step 7 exchanges "
+            << util::Table::fixed(breakdown.inter_exchange / 1000.0, 2)
+            << ", Step 8 re-sorts "
+            << util::Table::fixed(breakdown.inter_resort / 1000.0, 2)
+            << "\n(the dominant Step 8 term is what the merge variant "
+               "removes; see bench_ablation_cost)\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Google-benchmark micro: the partition algorithm's O(rN) claim and its
+// component kernels, measured in real wall time.
+#include <benchmark/benchmark.h>
+
+#include "baseline/max_subcube.hpp"
+#include "fault/scenario.hpp"
+#include "partition/partition.hpp"
+#include "partition/plan.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ftsort;
+
+void BM_FindCuttingSet(benchmark::State& state) {
+  const auto n = static_cast<cube::Dim>(state.range(0));
+  const auto r = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(static_cast<std::uint64_t>(n * 31 + state.range(1)));
+  const auto faults = fault::random_faults(n, r, rng);
+  std::uint64_t checks = 0;
+  for (auto _ : state) {
+    auto result = partition::find_cutting_set(faults);
+    checks = result.fault_checks;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["fault_checks"] = static_cast<double>(checks);
+  state.counters["rN"] =
+      static_cast<double>(r) * cube::num_nodes(n);
+}
+
+void BM_PlanBuild(benchmark::State& state) {
+  const auto n = static_cast<cube::Dim>(state.range(0));
+  util::Rng rng(7);
+  const auto faults = fault::random_faults(
+      n, static_cast<std::size_t>(n - 1), rng);
+  for (auto _ : state) {
+    auto plan = partition::Plan::build(faults);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+
+void BM_CheckingTree(benchmark::State& state) {
+  const auto n = static_cast<cube::Dim>(state.range(0));
+  util::Rng rng(9);
+  const auto faults = fault::random_faults(
+      n, static_cast<std::size_t>(n - 1), rng);
+  const std::vector<cube::Dim> cuts{0, 1, 2};
+  for (auto _ : state) {
+    bool ok = partition::is_single_fault_structure(faults, cuts);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+
+void BM_MaxFaultFreeSubcube(benchmark::State& state) {
+  const auto n = static_cast<cube::Dim>(state.range(0));
+  util::Rng rng(11);
+  const auto faults = fault::random_faults(
+      n, static_cast<std::size_t>(n - 1), rng);
+  for (auto _ : state) {
+    auto result = baseline::find_max_fault_free_subcube(faults);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_FindCuttingSet)
+    ->Args({4, 3})
+    ->Args({6, 5})
+    ->Args({8, 7})
+    ->Args({10, 9})
+    ->Args({12, 11});
+BENCHMARK(BM_PlanBuild)->Arg(6)->Arg(8)->Arg(10);
+BENCHMARK(BM_CheckingTree)->Arg(6)->Arg(10)->Arg(14);
+BENCHMARK(BM_MaxFaultFreeSubcube)->Arg(4)->Arg(6)->Arg(8);
+
+BENCHMARK_MAIN();

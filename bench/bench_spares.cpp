@@ -1,0 +1,69 @@
+// Extension bench: algorithmic fault tolerance (this paper) vs the
+// hardware spare-allocation family its introduction argues against.
+//
+// Hardware spares restore a *full* fault-free cube — until a module takes
+// a second hit; the algorithmic approach never fails for r <= n-1 but
+// pays a utilization tax. This bench quantifies the intro's qualitative
+// trade-off on Q_6.
+#include <iostream>
+
+#include "baseline/spare_allocation.hpp"
+#include "fault/scenario.hpp"
+#include "partition/plan.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftsort;
+  constexpr int kTrials = 10'000;
+  const cube::Dim n = 6;
+
+  std::cout << "=== Algorithmic FT vs hardware spare allocation (Q_6, "
+            << kTrials << " random fault sets per r) ===\n\n";
+
+  const auto schemes = {baseline::fine_spares(n),
+                        baseline::medium_spares(n),
+                        baseline::coarse_spares(n)};
+
+  util::Table hw({"scheme", "spares", "switches", "idle silicon"},
+                 {util::Align::Left, util::Align::Right,
+                  util::Align::Right, util::Align::Right});
+  for (const auto& scheme : schemes)
+    hw.add_row({scheme.name, std::to_string(scheme.spares()),
+                std::to_string(scheme.switches()),
+                util::Table::percent(
+                    100.0 * (1.0 - scheme.silicon_utilization()), 1)});
+  std::cout << "hardware overhead (always paid, faults or not):\n"
+            << hw.to_string() << "\n";
+
+  util::Table table({"r", "algorithmic utilization",
+                     "survive fine g=4", "survive medium g=8",
+                     "survive coarse g=16"},
+                    std::vector<util::Align>(5, util::Align::Right));
+  util::Rng rng(1992);
+  for (std::size_t r = 1; r <= 5; ++r) {
+    util::OnlineStats utilization;
+    for (int t = 0; t < 200; ++t) {
+      const auto faults = fault::random_faults(n, r, rng);
+      utilization.add(
+          partition::Plan::build(faults).utilization_percent());
+    }
+    std::vector<std::string> row{std::to_string(r),
+                                 util::Table::percent(utilization.mean(),
+                                                      1)};
+    for (const auto& scheme : schemes)
+      row.push_back(util::Table::percent(
+          100.0 * baseline::survival_probability(scheme, r, kTrials, rng),
+          1));
+    table.add_row(std::move(row));
+  }
+  std::cout << table.to_string();
+  std::cout
+      << "\nreading: spares give 100% capability while they survive, but "
+         "survival decays fast with r and the spare/switch hardware idles "
+         "permanently; the algorithmic approach never fails within the "
+         "paper's envelope and needs no extra silicon — the intro's "
+         "argument, quantified.\n";
+  return 0;
+}

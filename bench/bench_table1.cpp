@@ -1,0 +1,48 @@
+// Table 1 of the paper: distribution of mincut values.
+//
+// For each (n, r) with 3 <= n <= 6, 0 <= r <= n-1, draw the addresses of r
+// faulty processors uniformly at random 10,000 times and report what
+// fraction of the draws partitions into F_n^m for each mincut value m.
+// The paper's headline cell: n = 6, r = 5 gives m = 3 in 93.85% of cases
+// and m = 4 in 0.15%.
+#include <iostream>
+
+#include "fault/scenario.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ftsort;
+  constexpr int kTrials = 10'000;
+
+  std::cout << "=== Table 1: percentages of mincut values m ("
+            << kTrials << " random fault placements per cell) ===\n\n";
+
+  util::Table table({"n", "r", "m=0", "m=1", "m=2", "m=3", "m=4"},
+                    std::vector<util::Align>(7, util::Align::Right));
+
+  util::Rng rng(19920401);  // ICPP 1992
+  for (cube::Dim n = 3; n <= 6; ++n) {
+    for (std::size_t r = 0; r + 1 <= static_cast<std::size_t>(n); ++r) {
+      util::Histogram mincuts;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        const auto faults = fault::random_faults(n, r, rng);
+        mincuts.add(partition::find_cutting_set(faults).mincut);
+      }
+      std::vector<std::string> row{std::to_string(n), std::to_string(r)};
+      for (int m = 0; m <= 4; ++m) {
+        const double pct = mincuts.percent(m);
+        row.push_back(pct == 0.0 ? "-" : util::Table::percent(pct));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\npaper reference (n=6, r=5): m=3 at 93.85%, m=4 at "
+               "0.15%; the overwhelming mass on the smallest feasible m "
+               "is the property the partition algorithm is biased "
+               "toward.\n";
+  return 0;
+}

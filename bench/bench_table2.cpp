@@ -1,0 +1,97 @@
+// Table 2 of the paper: processor utilization of the proposed partition vs
+// the maximum-dimensional fault-free subcube (MFS) reconfiguration.
+//
+// Utilization = (processors actually sorting) / (healthy processors).
+// Best and worst cases are taken over fault placements: exhaustively where
+// feasible (r <= 2), otherwise over 10,000 random placements. The paper's
+// running example: n = 6, r = 4 gives 100% (best) / 93.3% (worst) for the
+// proposed scheme vs 53.3% / 26.6% for MFS.
+#include <iostream>
+#include <vector>
+
+#include "baseline/max_subcube.hpp"
+#include "fault/scenario.hpp"
+#include "partition/plan.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftsort;
+
+struct Extremes {
+  util::OnlineStats ours;
+  util::OnlineStats mfs;
+
+  void observe(const fault::FaultSet& faults) {
+    const auto plan = partition::Plan::build(faults);
+    ours.add(plan.utilization_percent());
+    const auto max_sub = baseline::find_max_fault_free_subcube(faults);
+    mfs.add(max_sub->utilization_percent);
+  }
+};
+
+/// Enumerate all C(N, r) fault placements when tractable.
+void exhaustive(cube::Dim n, std::size_t r, Extremes& extremes) {
+  const cube::NodeId size = cube::num_nodes(n);
+  std::vector<cube::NodeId> faults(r);
+  const auto recurse = [&](auto&& self, std::size_t depth,
+                           cube::NodeId start) -> void {
+    if (depth == r) {
+      extremes.observe(fault::FaultSet(
+          n, std::vector<cube::NodeId>(faults.begin(), faults.end())));
+      return;
+    }
+    for (cube::NodeId u = start; u < size; ++u) {
+      faults[depth] = u;
+      self(self, depth + 1, u + 1);
+    }
+  };
+  recurse(recurse, 0, 0);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kTrials = 10'000;
+  std::cout << "=== Table 2: processor utilization, proposed vs maximum "
+               "fault-free subcube ===\n\n";
+
+  util::Table table({"n", "r", "ours best", "ours worst", "MFS best",
+                     "MFS worst", "placements"},
+                    std::vector<util::Align>(7, util::Align::Right));
+
+  util::Rng rng(64);
+  for (cube::Dim n = 3; n <= 6; ++n) {
+    for (std::size_t r = 1; r + 1 <= static_cast<std::size_t>(n); ++r) {
+      Extremes extremes;
+      const double combinations =
+          r <= 2 ? (r == 1 ? cube::num_nodes(n)
+                           : cube::num_nodes(n) *
+                                 (cube::num_nodes(n) - 1) / 2.0)
+                 : -1.0;
+      std::string placements;
+      if (combinations > 0 && combinations <= 4096) {
+        exhaustive(n, r, extremes);
+        placements = "all " + std::to_string(
+                                  static_cast<long long>(combinations));
+      } else {
+        for (int trial = 0; trial < kTrials; ++trial)
+          extremes.observe(fault::random_faults(n, r, rng));
+        placements = std::to_string(kTrials) + " random";
+      }
+      table.add_row({std::to_string(n), std::to_string(r),
+                     util::Table::percent(extremes.ours.max(), 1),
+                     util::Table::percent(extremes.ours.min(), 1),
+                     util::Table::percent(extremes.mfs.max(), 1),
+                     util::Table::percent(extremes.mfs.min(), 1),
+                     placements});
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\npaper reference (n=6, r=4): proposed 100%/93.3%, MFS "
+               "53.3%/26.6%. The proposed partition must dominate MFS in "
+               "every cell.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Shared runner for the Figure 7 reproductions: execution time of the
+// proposed fault-tolerant sort on Q_n with r = 1..n-1 faults (thin lines in
+// the paper) against plain bitonic sort on fault-free subcubes Q_t (thick
+// lines — the outcomes the MFS reconfiguration can offer).
+//
+// Times are the simulator's logical makespans under the NCUBE-calibrated
+// cost model; the paper's absolute milliseconds are not reproducible
+// (different constants), but the orderings and crossovers are.
+#pragma once
+
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baseline/mfs_sorter.hpp"
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ftsort::bench {
+
+inline void run_figure7(cube::Dim n, const std::string& figure_label,
+                        int trials_per_r = 3) {
+  const std::vector<std::size_t> key_counts{3'200, 10'000, 32'000, 100'000,
+                                            320'000};
+
+  std::cout << "=== Figure 7(" << figure_label
+            << "): execution time vs M on Q_" << n << " ("
+            << cube::num_nodes(n) << " processors) ===\n"
+            << "thin lines: proposed algorithm with r faults (mean of "
+            << trials_per_r << " random placements); thick lines: plain "
+            << "bitonic sort on a fault-free Q_t, the best the "
+            << "max-fault-free-subcube method can use.\ntimes in "
+            << "simulated milliseconds.\n\n";
+
+  std::vector<std::string> headers{"M"};
+  for (int r = 1; r < n; ++r)
+    headers.push_back("ours r=" + std::to_string(r));
+  const cube::Dim t_low = std::max(n - 3, 1);
+  for (cube::Dim t = n; t >= t_low; --t)
+    headers.push_back("Q_" + std::to_string(t));
+  util::Table table(headers,
+                    std::vector<util::Align>(headers.size(),
+                                             util::Align::Right));
+
+  // Fault placements are fixed across M so each thin line is one system.
+  std::vector<std::vector<core::FaultTolerantSorter>> sorters;
+  util::Rng rng(1700 + static_cast<std::uint64_t>(n));
+  for (int r = 1; r < n; ++r) {
+    std::vector<core::FaultTolerantSorter> per_r;
+    for (int trial = 0; trial < trials_per_r; ++trial)
+      per_r.emplace_back(
+          n, fault::random_faults(n, static_cast<std::size_t>(r), rng));
+    sorters.push_back(std::move(per_r));
+  }
+
+  std::vector<double> ours_at_max(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> subcube_at_max(static_cast<std::size_t>(n + 1), 0.0);
+
+  for (std::size_t m : key_counts) {
+    const auto keys = sort::gen_uniform(m, rng);
+    std::vector<std::string> row{std::to_string(m)};
+    for (int r = 1; r < n; ++r) {
+      util::OnlineStats stats;
+      for (auto& sorter : sorters[static_cast<std::size_t>(r - 1)])
+        stats.add(sorter.sort(keys).report.makespan);
+      row.push_back(util::Table::fixed(stats.mean() / 1000.0, 1));
+      ours_at_max[static_cast<std::size_t>(r)] = stats.mean();
+    }
+    for (cube::Dim t = n; t >= t_low; --t) {
+      const auto result =
+          baseline::mfs_bitonic_sort(t, fault::FaultSet(t), keys);
+      row.push_back(util::Table::fixed(result.report.makespan / 1000.0, 1));
+      subcube_at_max[static_cast<std::size_t>(t)] = result.report.makespan;
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.to_string();
+
+  // Shape checks at the largest M — the paper's qualitative claims.
+  std::cout << "\nshape checks at M = " << key_counts.back() << ":\n";
+  if (n >= 2) {
+    for (int r = 1; r <= std::min(2, n - 1); ++r) {
+      const bool wins = ours_at_max[static_cast<std::size_t>(r)] <
+                        subcube_at_max[static_cast<std::size_t>(n - 1)];
+      std::cout << "  ours(r=" << r << ") < fault-free Q_" << n - 1
+                << ": " << (wins ? "yes" : "NO") << "\n";
+    }
+  }
+  if (n >= 3) {
+    for (int r = 3; r < n; ++r) {
+      const bool wins = ours_at_max[static_cast<std::size_t>(r)] <
+                        subcube_at_max[static_cast<std::size_t>(n - 2)];
+      std::cout << "  ours(r=" << r << ") < fault-free Q_" << n - 2
+                << ": " << (wins ? "yes" : "NO") << "\n";
+    }
+  }
+}
+
+}  // namespace ftsort::bench

@@ -1,0 +1,76 @@
+// Fault sweep: how mincut, dangling processors, utilization, and sort time
+// evolve as faults accumulate on one machine — the operator's view of
+// graceful degradation.
+//
+//   $ ./fault_sweep [--n 6] [--keys 16000] [--trials 200] [--seed 7]
+#include <iostream>
+
+#include "baseline/max_subcube.hpp"
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftsort;
+
+  util::CliParser cli("fault_sweep",
+                      "degradation study: metrics vs fault count");
+  cli.add_int("n", 6, "hypercube dimension");
+  cli.add_int("keys", 16'000, "keys per sort");
+  cli.add_int("trials", 200, "random fault placements per r");
+  cli.add_int("seed", 7, "random seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<cube::Dim>(cli.integer("n"));
+  const auto num_keys = static_cast<std::size_t>(cli.integer("keys"));
+  const int trials = static_cast<int>(cli.integer("trials"));
+  util::Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+
+  std::cout << "graceful degradation on Q_" << n << " ("
+            << cube::num_nodes(n) << " processors), " << num_keys
+            << " keys, " << trials << " trials per r\n\n";
+
+  util::Table table({"r", "mean mincut", "mean dangling",
+                     "utilization (ours)", "utilization (MFS)",
+                     "sort time ms (ours)", "MFS dim (mean)"},
+                    std::vector<util::Align>(7, util::Align::Right));
+
+  const auto keys = sort::gen_uniform(num_keys, rng);
+  for (std::size_t r = 0; r + 1 <= static_cast<std::size_t>(n); ++r) {
+    util::OnlineStats mincut_stats;
+    util::OnlineStats dangling_stats;
+    util::OnlineStats util_ours;
+    util::OnlineStats util_mfs;
+    util::OnlineStats mfs_dim;
+    for (int t = 0; t < trials; ++t) {
+      const auto faults = fault::random_faults(n, r, rng);
+      const auto plan = partition::Plan::build(faults);
+      mincut_stats.add(plan.search().mincut);
+      dangling_stats.add(plan.dangling_count());
+      util_ours.add(plan.utilization_percent());
+      const auto mfs = baseline::find_max_fault_free_subcube(faults);
+      util_mfs.add(mfs->utilization_percent);
+      mfs_dim.add(mfs->subcube.dim());
+    }
+    // One representative timed sort (timing is deterministic per plan).
+    const auto faults = fault::random_faults(n, r, rng);
+    core::FaultTolerantSorter sorter(n, faults);
+    const auto outcome = sorter.sort(keys);
+
+    table.add_row({std::to_string(r),
+                   util::Table::fixed(mincut_stats.mean(), 2),
+                   util::Table::fixed(dangling_stats.mean(), 2),
+                   util::Table::percent(util_ours.mean(), 1),
+                   util::Table::percent(util_mfs.mean(), 1),
+                   util::Table::fixed(outcome.report.makespan / 1000.0, 2),
+                   util::Table::fixed(mfs_dim.mean(), 2)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nreading: the proposed partition keeps utilization near "
+               "100% while the maximum fault-free subcube collapses to "
+               "50% with the very first fault.\n";
+  return 0;
+}

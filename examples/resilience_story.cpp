@@ -1,0 +1,86 @@
+// Resilience story: a hypercube machine that keeps sorting as processors
+// die underneath it — the operational scenario motivating the paper
+// ("continuing operations of the hypercube multicomputers after failure of
+// one or more processors").
+//
+// One batch of keys is sorted per epoch; between epochs one more random
+// processor fails. Each epoch re-runs off-line diagnosis, rebuilds the
+// partition plan, and reports how the machine degrades — against what the
+// maximum fault-free subcube reconfiguration would have salvaged.
+//
+//   $ ./resilience_story [--n 6] [--keys 32000] [--epochs 6] [--seed 3]
+#include <algorithm>
+#include <iostream>
+
+#include "baseline/max_subcube.hpp"
+#include "core/ft_sorter.hpp"
+#include "fault/diagnosis.hpp"
+#include "sort/distribution.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftsort;
+
+  util::CliParser cli("resilience_story",
+                      "keep sorting while processors die");
+  cli.add_int("n", 6, "hypercube dimension");
+  cli.add_int("keys", 32'000, "keys per batch");
+  cli.add_int("epochs", 6, "number of batches (faults grow by one each)");
+  cli.add_int("seed", 3, "random seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<cube::Dim>(cli.integer("n"));
+  const auto epochs = cli.integer("epochs");
+  util::Rng rng(static_cast<std::uint64_t>(cli.integer("seed")));
+  const auto keys =
+      sort::gen_uniform(static_cast<std::size_t>(cli.integer("keys")), rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  std::vector<cube::NodeId> failed;
+  util::Table table({"epoch", "faults", "mincut", "live", "utilization",
+                     "batch time (ms)", "MFS would use", "sorted?"},
+                    std::vector<util::Align>(8, util::Align::Right));
+
+  for (std::int64_t epoch = 0; epoch < epochs; ++epoch) {
+    // Diagnose the current machine state (the operator does not get to
+    // peek at ground truth).
+    const fault::FaultSet truth(n, failed);
+    const auto diagnosis = fault::diagnose_fail_stop(truth);
+    if (!(diagnosis.complete && diagnosis.identified == truth)) {
+      std::cout << "diagnosis failed at epoch " << epoch << "\n";
+      return 1;
+    }
+
+    core::FaultTolerantSorter sorter(n, diagnosis.identified);
+    const auto outcome = sorter.sort(keys);
+    const auto mfs =
+        baseline::find_max_fault_free_subcube(diagnosis.identified);
+
+    table.add_row(
+        {std::to_string(epoch), std::to_string(failed.size()),
+         std::to_string(sorter.plan().search().mincut),
+         std::to_string(sorter.plan().live_count()),
+         util::Table::percent(sorter.plan().utilization_percent(), 1),
+         util::Table::fixed(outcome.report.makespan / 1000.0, 2),
+         "Q_" + std::to_string(mfs->subcube.dim()),
+         outcome.sorted == expected ? "yes" : "NO"});
+
+    // One more processor dies before the next batch.
+    std::vector<cube::NodeId> healthy;
+    for (cube::NodeId u = 0; u < cube::num_nodes(n); ++u)
+      if (!truth.is_faulty(u)) healthy.push_back(u);
+    failed.push_back(
+        healthy[static_cast<std::size_t>(rng.below(healthy.size()))]);
+  }
+
+  std::cout << "machine: Q_" << n << " (" << cube::num_nodes(n)
+            << " processors), one new processor failure per epoch\n\n"
+            << table.to_string()
+            << "\nthe machine never stops sorting; time degrades "
+               "gracefully while the MFS alternative would have thrown "
+               "away half the healthy processors at the first fault.\n";
+  return 0;
+}

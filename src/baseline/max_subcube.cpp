@@ -1,0 +1,28 @@
+#include "baseline/max_subcube.hpp"
+
+namespace ftsort::baseline {
+
+std::optional<MaxSubcubeResult> find_max_fault_free_subcube(
+    const fault::FaultSet& faults) {
+  const cube::Dim n = faults.dim();
+  MaxSubcubeResult result;
+  for (cube::Dim k = n; k >= 0; --k) {
+    for (const cube::Subcube& candidate : cube::all_subcubes(n, k)) {
+      ++result.subcubes_examined;
+      if (faults.count_in(candidate.mask, candidate.value) == 0) {
+        result.subcube = candidate;
+        const auto healthy =
+            static_cast<std::uint32_t>(faults.healthy_count());
+        result.dangling_count = healthy - candidate.size();
+        result.utilization_percent =
+            healthy == 0 ? 0.0
+                         : 100.0 * static_cast<double>(candidate.size()) /
+                               static_cast<double>(healthy);
+        return result;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftsort::baseline

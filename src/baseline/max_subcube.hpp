@@ -1,0 +1,28 @@
+// Özgüner & Aykanat's reconfiguration baseline: find the maximum-dimensional
+// fault-free subcube of Q_n and run everything there, leaving the other
+// healthy processors idle ("dangling" in the paper's terminology).
+#pragma once
+
+#include <optional>
+
+#include "fault/fault_set.hpp"
+#include "hypercube/subcube.hpp"
+
+namespace ftsort::baseline {
+
+struct MaxSubcubeResult {
+  cube::Subcube subcube;                  ///< a largest fault-free subcube
+  std::uint64_t subcubes_examined = 0;    ///< search effort
+  /// Healthy processors left idle by this reconfiguration.
+  std::uint32_t dangling_count = 0;
+  double utilization_percent = 0.0;       ///< used / healthy, in percent
+};
+
+/// Exhaustive search from dimension n downward; among equal-dimension
+/// candidates the one with the smallest (mask, value) is returned, making
+/// the result deterministic. Returns nullopt only when every node is
+/// faulty.
+std::optional<MaxSubcubeResult> find_max_fault_free_subcube(
+    const fault::FaultSet& faults);
+
+}  // namespace ftsort::baseline

@@ -1,0 +1,58 @@
+#include "baseline/mfs_sorter.hpp"
+
+#include "sort/distribution.hpp"
+#include "sort/sequential.hpp"
+#include "util/contracts.hpp"
+
+namespace ftsort::baseline {
+
+MfsSortResult mfs_bitonic_sort(cube::Dim n, const fault::FaultSet& faults,
+                               std::span<const sort::Key> keys,
+                               fault::FaultModel model, sim::CostModel cost,
+                               sort::ExchangeProtocol protocol) {
+  auto reconf = find_max_fault_free_subcube(faults);
+  FTSORT_REQUIRE(reconf.has_value());
+  const cube::Subcube& sub = reconf->subcube;
+
+  // Logical cube over the subcube's free dimensions, no dead node.
+  sort::LogicalCube lc;
+  lc.s = sub.dim();
+  lc.phys = sub.members();  // increasing global order == logical order
+
+  sort::Distribution dist =
+      sort::distribute_evenly(keys, lc.live_count());
+  std::vector<std::vector<sort::Key>> block_of(cube::num_nodes(n));
+  std::vector<cube::NodeId> logical_of(cube::num_nodes(n),
+                                       cube::num_nodes(n));
+  for (cube::NodeId logical = 0; logical < lc.size(); ++logical) {
+    block_of[lc.phys[logical]] = std::move(dist.blocks[logical]);
+    logical_of[lc.phys[logical]] = logical;
+  }
+
+  sim::Machine machine(n, faults, model, cost);
+  const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    const cube::NodeId logical = logical_of[ctx.id()];
+    if (logical == cube::num_nodes(n)) co_return;  // outside the subcube
+    std::vector<sort::Key>& block = block_of[ctx.id()];
+    std::uint64_t comparisons = 0;
+    sort::heapsort(block, comparisons);
+    ctx.charge_compares(comparisons);
+    co_await sort::block_bitonic_sort(ctx, lc, logical, block,
+                                      /*ascending=*/true, protocol,
+                                      /*tag_base=*/0);
+  };
+
+  MfsSortResult result;
+  result.report = machine.run(program);
+  result.reconfiguration = *reconf;
+  result.block_size = dist.block_size;
+
+  std::vector<std::vector<sort::Key>> in_order;
+  in_order.reserve(lc.size());
+  for (cube::NodeId logical = 0; logical < lc.size(); ++logical)
+    in_order.push_back(std::move(block_of[lc.phys[logical]]));
+  result.sorted = sort::gather_and_strip(in_order);
+  return result;
+}
+
+}  // namespace ftsort::baseline

@@ -1,0 +1,30 @@
+// The baseline sorter the paper compares against: plain block bitonic sort
+// on the maximum-dimensional fault-free subcube, with every key crammed onto
+// its 2^(n-t) processors.
+#pragma once
+
+#include <span>
+
+#include "baseline/max_subcube.hpp"
+#include "sim/machine.hpp"
+#include "sort/spmd_bitonic.hpp"
+
+namespace ftsort::baseline {
+
+struct MfsSortResult {
+  std::vector<sort::Key> sorted;
+  sim::RunReport report;
+  MaxSubcubeResult reconfiguration;
+  std::size_t block_size = 0;
+};
+
+/// Sort `keys` on the largest fault-free subcube of Q_n. Throws when no
+/// fault-free subcube exists (every node faulty).
+MfsSortResult mfs_bitonic_sort(
+    cube::Dim n, const fault::FaultSet& faults,
+    std::span<const sort::Key> keys,
+    fault::FaultModel model = fault::FaultModel::Partial,
+    sim::CostModel cost = sim::CostModel::ncube7(),
+    sort::ExchangeProtocol protocol = sort::ExchangeProtocol::HalfExchange);
+
+}  // namespace ftsort::baseline

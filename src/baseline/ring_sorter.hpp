@@ -1,0 +1,41 @@
+// A second algorithmic baseline: odd-even transposition block sort on a
+// logical ring embedded over *all* healthy processors.
+//
+// Where the MFS baseline sacrifices up to three quarters of the healthy
+// machine and the paper's algorithm needs the single-fault subcube
+// structure, a ring needs nothing: order the healthy nodes along the
+// cube's Gray-code Hamiltonian cycle (skipping faulty nodes; successive
+// live nodes are then a few hops apart) and run the classic odd-even
+// transposition sort — P phases of neighbour merge-splits for P live
+// nodes. Utilization is perfect, but the phase count is linear in P
+// instead of log^2, which is exactly the trade-off the bench quantifies.
+#pragma once
+
+#include <span>
+
+#include "fault/fault_set.hpp"
+#include "sim/machine.hpp"
+#include "sort/spmd_bitonic.hpp"
+
+namespace ftsort::baseline {
+
+struct RingSortResult {
+  std::vector<sort::Key> sorted;
+  sim::RunReport report;
+  std::size_t block_size = 0;
+  /// Ring order: position -> machine address (Gray-code order, faulty
+  /// nodes skipped).
+  std::vector<cube::NodeId> ring;
+};
+
+/// The Gray-code ring over healthy nodes.
+std::vector<cube::NodeId> healthy_ring(const fault::FaultSet& faults);
+
+/// Sort `keys` over every healthy processor of the faulty cube.
+RingSortResult ring_odd_even_sort(
+    cube::Dim n, const fault::FaultSet& faults,
+    std::span<const sort::Key> keys,
+    fault::FaultModel model = fault::FaultModel::Partial,
+    sim::CostModel cost = sim::CostModel::ncube7());
+
+}  // namespace ftsort::baseline

@@ -1,0 +1,44 @@
+#include "baseline/spare_allocation.hpp"
+
+#include <vector>
+
+#include "fault/scenario.hpp"
+
+namespace ftsort::baseline {
+
+bool SpareScheme::survives(const fault::FaultSet& faults) const {
+  FTSORT_REQUIRE(faults.dim() == cube_dim);
+  std::vector<int> per_module(modules(), 0);
+  for (cube::NodeId f : faults.addresses()) {
+    if (++per_module[module_of(f)] > 1) return false;
+  }
+  return true;
+}
+
+double survival_probability(const SpareScheme& scheme, std::size_t r,
+                            int trials, util::Rng& rng) {
+  FTSORT_REQUIRE(trials > 0);
+  int survived = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto faults = fault::random_faults(scheme.cube_dim, r, rng);
+    if (scheme.survives(faults)) ++survived;
+  }
+  return static_cast<double>(survived) / static_cast<double>(trials);
+}
+
+SpareScheme coarse_spares(cube::Dim n) {
+  FTSORT_REQUIRE(cube::num_nodes(n) >= 16);
+  return SpareScheme{"coarse (g=16)", n, 16, 18};
+}
+
+SpareScheme medium_spares(cube::Dim n) {
+  FTSORT_REQUIRE(cube::num_nodes(n) >= 8);
+  return SpareScheme{"medium (g=8)", n, 8, 10};
+}
+
+SpareScheme fine_spares(cube::Dim n) {
+  FTSORT_REQUIRE(cube::num_nodes(n) >= 4);
+  return SpareScheme{"fine (g=4)", n, 4, 5};
+}
+
+}  // namespace ftsort::baseline

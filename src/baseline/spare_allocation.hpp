@@ -1,0 +1,61 @@
+// Hardware fault tolerance via spare processors — the reconfiguration
+// family the paper's introduction contrasts against (Rennels; Chau &
+// Liestman; Alam & Melhem).
+//
+// Abstracted model: the 2^n processors are grouped into modules of g
+// nodes sharing one spare processor behind decoupling switches. A faulty
+// processor is replaced by its module's spare; the machine then still
+// *looks like* a fault-free Q_n (100 % computational capability) — but
+// only while no module collects a second fault. The model is parametric
+// (module size, switches per module) because the three papers differ in
+// wiring, not in this failure law; the comparison against algorithmic
+// fault tolerance depends only on the scaling.
+#pragma once
+
+#include <string>
+
+#include "fault/fault_set.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::baseline {
+
+struct SpareScheme {
+  std::string name;
+  cube::Dim cube_dim = 0;     ///< n of the protected Q_n
+  std::uint32_t module_size = 4;  ///< g: processors sharing one spare
+  /// Decoupling switches needed per module (parametric; the published
+  /// designs range between ~g and ~2g).
+  std::uint32_t switches_per_module = 5;
+
+  std::uint32_t modules() const {
+    return cube::num_nodes(cube_dim) / module_size;
+  }
+  std::uint32_t spares() const { return modules(); }
+  std::uint32_t switches() const {
+    return modules() * switches_per_module;
+  }
+  /// Fraction of all processors (normal + spare) doing useful work when
+  /// the machine is healthy: spares idle until a fault arrives.
+  double silicon_utilization() const {
+    const double normal = cube::num_nodes(cube_dim);
+    return normal / (normal + spares());
+  }
+
+  /// Modules are aligned address blocks [k*g, (k+1)*g).
+  std::uint32_t module_of(cube::NodeId u) const { return u / module_size; }
+
+  /// Does the spare allocation absorb this fault set (<= 1 fault per
+  /// module)?
+  bool survives(const fault::FaultSet& faults) const;
+};
+
+/// Monte-Carlo survival probability under r uniformly random faults.
+double survival_probability(const SpareScheme& scheme, std::size_t r,
+                            int trials, util::Rng& rng);
+
+/// Presets spanning the design space of the cited schemes.
+SpareScheme coarse_spares(cube::Dim n);   ///< few big modules (g = 16)
+SpareScheme medium_spares(cube::Dim n);   ///< g = 8
+SpareScheme fine_spares(cube::Dim n);     ///< many small modules (g = 4)
+
+}  // namespace ftsort::baseline

@@ -1,0 +1,63 @@
+#include "core/analytic.hpp"
+
+#include <cmath>
+
+namespace ftsort::core {
+
+namespace {
+
+double ceil_div(std::uint64_t a, std::uint64_t b) {
+  return static_cast<double>((a + b - 1) / b);
+}
+
+/// Heapsort worst case, the paper's [(b-1) log b + 1] t_c.
+double heapsort_term(double b, const sim::CostModel& cost) {
+  if (b < 2.0) return cost.t_compare;
+  return ((b - 1.0) * std::log2(b) + 1.0) * cost.t_compare;
+}
+
+/// One "bitonic sorting algorithm" pass over a k-cube with blocks of b:
+/// the paper's k(k+3)/2 [ b t_sr + (ceil(3b/2) - 1) t_c ] term.
+double bitonic_pass_term(int k, double b, const sim::CostModel& cost) {
+  const double loops = static_cast<double>(k) *
+                       (static_cast<double>(k) + 3.0) / 2.0;
+  return loops * (b * cost.t_transfer +
+                  (std::ceil(1.5 * b) - 1.0) * cost.t_compare);
+}
+
+}  // namespace
+
+CostBreakdown predicted_sort_time(const partition::Plan& plan,
+                                  std::uint64_t keys,
+                                  const sim::CostModel& cost) {
+  const int m = plan.m();
+  const int s = plan.s();
+  const double b = ceil_div(keys, plan.live_count());
+
+  CostBreakdown out;
+  out.heapsort = heapsort_term(b, cost);
+  out.intra_sort = bitonic_pass_term(s, b, cost);
+
+  // Steps 4-8: m(m+3)/2 iterations of { step 7 + step 8 }.
+  const double inter_loops =
+      static_cast<double>(m) * (static_cast<double>(m) + 3.0) / 2.0;
+  const double step7 =
+      (static_cast<double>(s) + 1.0) * b * cost.t_transfer +   // 7(a)+(b) wire
+      (std::ceil(b / 2.0) - 1.0) * cost.t_compare +            // 7(b) compares
+      (b - 1.0) * cost.t_compare;                              // 7(c) merge
+  const double step8 = bitonic_pass_term(s, b, cost);
+  out.inter_exchange = inter_loops * step7;
+  out.inter_resort = inter_loops * step8;
+
+  out.total =
+      out.heapsort + out.intra_sort + out.inter_exchange + out.inter_resort;
+  return out;
+}
+
+double predicted_baseline_time(cube::Dim t, std::uint64_t keys,
+                               const sim::CostModel& cost) {
+  const double b = ceil_div(keys, cube::num_nodes(t));
+  return heapsort_term(b, cost) + bitonic_pass_term(t, b, cost);
+}
+
+}  // namespace ftsort::core

@@ -1,0 +1,38 @@
+// The paper's closed-form cost model (§3): the worst-case total time T of
+// the fault-tolerant sorting algorithm, term by term, plus the matching
+// expression for plain block bitonic sort (the baseline's cost).
+//
+// These are the formulas the paper derives, not measurements; the
+// `AnalyticVsSimulated` tests and the bench_formula binary quantify how
+// closely the simulator tracks them (they agree on every term's scaling;
+// the formula is a *worst-case* bound, so simulation <= formula with the
+// FullSort Step 8 the formula assumes).
+#pragma once
+
+#include <cstdint>
+
+#include "partition/plan.hpp"
+#include "sim/cost_model.hpp"
+
+namespace ftsort::core {
+
+struct CostBreakdown {
+  double heapsort = 0.0;       ///< Step 3 local sort, t_c term
+  double intra_sort = 0.0;     ///< Step 3 subcube bitonic sort
+  double inter_exchange = 0.0; ///< Steps 7(a)-(c) over all (i, j)
+  double inter_resort = 0.0;   ///< Step 8 over all (i, j)
+  double total = 0.0;
+};
+
+/// The paper's T for sorting `keys` on the plan's F_n^m, literal reading
+/// (Step 8 = full sort). `keys` is M; block size is ceil(M / N').
+CostBreakdown predicted_sort_time(const partition::Plan& plan,
+                                  std::uint64_t keys,
+                                  const sim::CostModel& cost);
+
+/// Plain block bitonic sort of `keys` on a fault-free Q_t (the paper's
+/// thick-line baseline): heapsort + t(t+3)/2-style loop cost.
+double predicted_baseline_time(cube::Dim t, std::uint64_t keys,
+                               const sim::CostModel& cost);
+
+}  // namespace ftsort::core

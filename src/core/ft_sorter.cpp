@@ -1,0 +1,214 @@
+#include "core/ft_sorter.hpp"
+
+#include <algorithm>
+
+#include "sort/distribution.hpp"
+#include "sort/sequential.hpp"
+#include "util/contracts.hpp"
+
+namespace ftsort::core {
+
+FaultTolerantSorter::FaultTolerantSorter(cube::Dim n,
+                                         fault::FaultSet faults,
+                                         SortConfig config)
+    : config_(config), plan_(partition::Plan::build(faults)),
+      machine_faults_(plan_.faults()) {
+  FTSORT_REQUIRE(faults.dim() == n);
+  FTSORT_REQUIRE(plan_.live_count() > 0);
+}
+
+FaultTolerantSorter::FaultTolerantSorter(cube::Dim n,
+                                         fault::FaultSet faults,
+                                         cube::LinkSet dead_links,
+                                         SortConfig config)
+    : config_(config),
+      plan_(partition::Plan::build(
+          fault::effective_node_faults(faults, dead_links))),
+      machine_faults_(std::move(faults)), dead_links_(std::move(dead_links)) {
+  FTSORT_REQUIRE(machine_faults_.dim() == n);
+  FTSORT_REQUIRE(plan_.live_count() > 0);
+  FTSORT_REQUIRE(
+      fault::healthy_subgraph_connected(machine_faults_, dead_links_));
+}
+
+FaultTolerantSorter::FaultTolerantSorter(partition::Plan plan,
+                                         SortConfig config)
+    : config_(config), plan_(std::move(plan)),
+      machine_faults_(plan_.faults()) {
+  FTSORT_REQUIRE(plan_.live_count() > 0);
+}
+
+SortOutcome FaultTolerantSorter::sort(
+    std::span<const sort::Key> keys) const {
+  const partition::Plan& plan = plan_;
+  const cube::Dim n = plan.n();
+  const cube::Dim m = plan.m();
+  const cube::Dim s = plan.s();
+
+  // One logical cube per subcube (Step 1: re-indexing is baked into the
+  // plan's physical() map; dead node is logical 0).
+  std::vector<sort::LogicalCube> subcube_lc(plan.num_subcubes());
+  for (cube::NodeId v = 0; v < plan.num_subcubes(); ++v) {
+    sort::LogicalCube& lc = subcube_lc[v];
+    lc.s = s;
+    lc.dead0 = plan.has_dead();
+    lc.phys.resize(cube::num_nodes(s));
+    for (cube::NodeId lw = 0; lw < lc.size(); ++lw)
+      lc.phys[lw] = plan.physical(v, lw);
+  }
+
+  // Step 2: scatter in (v, logical_w) order.
+  sort::Distribution dist =
+      sort::distribute_evenly(keys, plan.live_count());
+  std::vector<std::vector<sort::Key>> block_of(cube::num_nodes(n));
+  {
+    std::size_t slot = 0;
+    for (cube::NodeId v = 0; v < plan.num_subcubes(); ++v)
+      for (cube::NodeId lw = 0; lw < cube::num_nodes(s); ++lw) {
+        if (subcube_lc[v].is_dead(lw)) continue;
+        block_of[plan.physical(v, lw)] = std::move(dist.blocks[slot++]);
+      }
+  }
+
+  // Host entry node: lowest live machine address (only meaningful when
+  // host I/O is charged).
+  cube::NodeId entry = cube::num_nodes(n);
+  for (cube::NodeId u = 0; u < cube::num_nodes(n) && config_.charge_host_io;
+       ++u) {
+    if (plan.role_of(u).live) {
+      entry = u;
+      break;
+    }
+  }
+
+  // Tag layout: [0, T_s) intra-subcube Step 3 sort; then 2 tags per
+  // inter-subcube exchange; then T_s per Step 8 re-sort.
+  const std::uint32_t ts = sort::bitonic_tag_span(s);
+  const std::uint32_t msteps =
+      static_cast<std::uint32_t>(m) * (static_cast<std::uint32_t>(m) + 1) /
+      2;
+  const auto tag_exchange = [ts](std::uint32_t step) {
+    return ts + step * 2;
+  };
+  const std::uint32_t resort_span =
+      std::max(ts, sort::bitonic_merge_tag_span(s));
+  const auto tag_resort = [ts, msteps, resort_span](std::uint32_t step) {
+    return ts + msteps * 2 + step * resort_span;
+  };
+
+  // Host I/O tags sit past everything the sort itself uses.
+  const std::uint32_t tag_host = tag_resort(msteps) + resort_span + 1;
+
+  const auto protocol = config_.protocol;
+  const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    const partition::Plan::Role role = plan.role_of(ctx.id());
+    if (!role.live) co_return;  // dangling processor: idles
+    const cube::NodeId v = role.v;
+    const cube::NodeId lw = role.logical_w;
+    const sort::LogicalCube& lc = subcube_lc[v];
+    std::vector<sort::Key>& block = block_of[ctx.id()];
+
+    // Step 2 (optional): the host pushes every key through the entry
+    // node's host link; the entry fans the blocks out.
+    if (config_.charge_host_io) {
+      if (ctx.id() == entry) {
+        ctx.charge_time(config_.cost.injection_time(keys.size()));
+        for (cube::NodeId u = 0; u < cube::num_nodes(plan.n()); ++u) {
+          if (u == entry || !plan.role_of(u).live) continue;
+          ctx.send(u, tag_host, block_of[u]);
+        }
+      } else {
+        sim::Message msg = co_await ctx.recv(entry, tag_host);
+        block = std::move(msg.payload);
+      }
+    }
+
+    // Step 3: local sort (heapsort per the paper, configurable), then the
+    // single-fault bitonic sort of this subcube; ascending iff the subcube
+    // address is even.
+    std::uint64_t comparisons = 0;
+    sort::local_sort(config_.local_sort, block, comparisons);
+    ctx.charge_compares(comparisons);
+    const bool v_even = cube::bit(v, 0) == 0;
+    co_await sort::block_bitonic_sort(ctx, lc, lw, block,
+                                      /*ascending=*/m == 0 || v_even,
+                                      protocol, /*tag_base=*/0);
+
+    // Steps 4-8: bitonic-like sort across subcubes.
+    std::uint32_t step = 0;
+    for (cube::Dim i = 0; i < m; ++i) {
+      // Step 5: mask = v_{i+1} (v_m = 0).
+      const int mask = (i + 1 == m) ? 0 : cube::bit(v, i + 1);
+      for (cube::Dim j = i; j >= 0; --j, ++step) {
+        // Step 7: merge-split with the corresponding processor of the
+        // neighbouring subcube along dimension j.
+        const cube::NodeId v2 = cube::neighbor(v, j);
+        const cube::NodeId partner = plan.physical(v2, lw);
+        const sort::SplitHalf keep = (cube::bit(v, j) == mask)
+                                         ? sort::SplitHalf::Lower
+                                         : sort::SplitHalf::Upper;
+        block = co_await sort::exchange_merge_split(
+            ctx, partner, tag_exchange(step), std::move(block), keep,
+            protocol);
+        // Step 8: re-sort this subcube; ascending iff v_{j-1} == mask
+        // (v_{-1} = 0). The content is blockwise bitonic after the split,
+        // so the merge variant needs only s substeps.
+        const int v_jm1 = (j == 0) ? 0 : cube::bit(v, j - 1);
+        if (config_.step8 == Step8Mode::BitonicMerge) {
+          co_await sort::block_bitonic_merge(ctx, lc, lw, block,
+                                             /*ascending=*/v_jm1 == mask,
+                                             keep, protocol,
+                                             tag_resort(step));
+        } else {
+          co_await sort::block_bitonic_sort(ctx, lc, lw, block,
+                                            /*ascending=*/v_jm1 == mask,
+                                            protocol, tag_resort(step));
+        }
+      }
+    }
+
+    // Final gather (optional): blocks stream back to the host through the
+    // entry node in output order.
+    if (config_.charge_host_io) {
+      if (ctx.id() == entry) {
+        for (cube::NodeId gv = 0; gv < plan.num_subcubes(); ++gv)
+          for (cube::NodeId glw = 0; glw < cube::num_nodes(plan.s());
+               ++glw) {
+            if (subcube_lc[gv].is_dead(glw)) continue;
+            const cube::NodeId u = plan.physical(gv, glw);
+            if (u == entry) continue;
+            sim::Message msg = co_await ctx.recv(u, tag_host + 1);
+            block_of[u] = std::move(msg.payload);
+          }
+        ctx.charge_time(config_.cost.injection_time(keys.size()));
+      } else {
+        ctx.send(entry, tag_host + 1, block);
+      }
+    }
+    co_return;
+  };
+
+  sim::Machine machine(n, machine_faults_, config_.model, config_.cost,
+                       dead_links_);
+  machine.trace().enable(config_.record_trace);
+
+  SortOutcome outcome;
+  outcome.report = config_.executor == Executor::Threaded
+                       ? machine.run_threaded(program)
+                       : machine.run(program);
+  outcome.block_size = dist.block_size;
+  if (config_.record_trace) outcome.trace = machine.trace().to_string();
+
+  // Gather in subcube-address order (the algorithm's output placement).
+  std::vector<std::vector<sort::Key>> in_order;
+  in_order.reserve(plan.live_count());
+  for (cube::NodeId v = 0; v < plan.num_subcubes(); ++v)
+    for (cube::NodeId lw = 0; lw < cube::num_nodes(s); ++lw) {
+      if (subcube_lc[v].is_dead(lw)) continue;
+      in_order.push_back(std::move(block_of[plan.physical(v, lw)]));
+    }
+  outcome.sorted = sort::gather_and_strip(in_order);
+  return outcome;
+}
+
+}  // namespace ftsort::core

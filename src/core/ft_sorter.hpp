@@ -1,0 +1,106 @@
+// The paper's headline contribution: the Fault-Tolerant Sorting Algorithm
+// (§3, Steps 1-8) for Q_n with r <= n-1 faulty processors.
+//
+// Pipeline per sort:
+//   Step 1   re-index every subcube of the partition plan so its dead
+//            (faulty or dangling) processor is logical 0;
+//   Step 2   scatter the M keys in equal dummy-padded blocks over the
+//            N' = 2^n - 2^m live processors, in (subcube, logical) order;
+//   Step 3   per-node heapsort, then single-fault bitonic sort inside every
+//            subcube (ascending iff the subcube index v is even);
+//   Steps 4-8 the bitonic-like merge of subcubes: for i = 0..m-1, for
+//            j = i..0, corresponding live processors of subcubes adjacent
+//            along dimension j run a merge-split exchange (direction from
+//            mask = v_{i+1} vs v_j), then each subcube re-sorts itself
+//            (ascending iff v_{j-1} == mask, with v_{-1} = 0).
+// The result, gathered in subcube-address order, is globally ascending.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/link_fault.hpp"
+#include "partition/plan.hpp"
+#include "sim/machine.hpp"
+#include "sort/spmd_bitonic.hpp"
+
+namespace ftsort::core {
+
+/// How Step 8 restores intra-subcube order after each Step 7 exchange.
+enum class Step8Mode {
+  /// Full block bitonic sort, s(s+1)/2 exchange substeps — the literal
+  /// reading of the paper's Step 8 and of its cost formula (the
+  /// s(s+3)/2 term in T).
+  FullSort,
+  /// Block bitonic merge, s substeps — exploits that a subcube's content
+  /// is blockwise bitonic right after a Step 7 split. Required to
+  /// reproduce the paper's Figure 7 crossovers (its measured times are
+  /// consistent with this variant, not with the formula's full sort).
+  BitonicMerge,
+};
+
+/// Which executor drives the node programs. Both produce identical
+/// results and logical times; Threaded runs one OS thread per processor
+/// (true MIMD concurrency), Sequential a deterministic single-threaded
+/// scheduler.
+enum class Executor { Sequential, Threaded };
+
+struct SortConfig {
+  fault::FaultModel model = fault::FaultModel::Partial;
+  sim::CostModel cost = sim::CostModel::ncube7();
+  sort::ExchangeProtocol protocol = sort::ExchangeProtocol::HalfExchange;
+  Step8Mode step8 = Step8Mode::BitonicMerge;
+  Executor executor = Executor::Sequential;
+  /// Step 3's local sort; the paper prescribes heapsort.
+  sort::LocalSort local_sort = sort::LocalSort::Heapsort;
+  /// Model the host's Step 2 scatter and the final gather: the host board
+  /// is wired to one live *entry* node (the lowest live address, as on the
+  /// NCUBE/7); all keys cross that link and fan out/in from there. The
+  /// paper's T excludes this phase, so it defaults off; switching it on
+  /// shows how far host I/O dominates once the cube itself is fast.
+  bool charge_host_io = false;
+  bool record_trace = false;
+};
+
+struct SortOutcome {
+  std::vector<sort::Key> sorted;  ///< all input keys, ascending
+  sim::RunReport report;          ///< logical time & traffic of the run
+  std::size_t block_size = 0;     ///< ⌈M / N'⌉
+  std::string trace;              ///< event dump when record_trace was set
+};
+
+/// Reusable sorter: the partition plan is computed once per fault
+/// configuration and amortised over any number of sorts.
+class FaultTolerantSorter {
+ public:
+  FaultTolerantSorter(cube::Dim n, fault::FaultSet faults,
+                      SortConfig config = {});
+
+  /// Processor *and link* faults. Dead links are always routed around; for
+  /// the algorithm they are reduced to logical processor faults via a
+  /// greedy vertex cover (fault/link_fault.hpp), so the partition plan
+  /// never schedules an exchange across a dead wire's endpoints. The
+  /// covered processors stay healthy in the machine (they still forward
+  /// messages) but hold no keys.
+  FaultTolerantSorter(cube::Dim n, fault::FaultSet faults,
+                      cube::LinkSet dead_links, SortConfig config = {});
+
+  /// Sort with an explicit, pre-built partition plan — used by ablation
+  /// studies to pin a cutting sequence other than the heuristic's choice.
+  explicit FaultTolerantSorter(partition::Plan plan, SortConfig config = {});
+
+  const partition::Plan& plan() const { return plan_; }
+  const SortConfig& config() const { return config_; }
+
+  SortOutcome sort(std::span<const sort::Key> keys) const;
+
+ private:
+  SortConfig config_;
+  partition::Plan plan_;
+  /// Faults of the physical machine (excludes the link-cover processors,
+  /// which are healthy and keep forwarding).
+  fault::FaultSet machine_faults_;
+  cube::LinkSet dead_links_;
+};
+
+}  // namespace ftsort::core

@@ -1,0 +1,103 @@
+#include "fault/diagnosis.hpp"
+
+#include <vector>
+
+namespace ftsort::fault {
+
+DiagnosisResult diagnose_fail_stop(const FaultSet& ground_truth) {
+  const cube::Dim n = ground_truth.dim();
+  const cube::NodeId size = ground_truth.cube_size();
+
+  DiagnosisResult result{FaultSet(n), 0, 0, false};
+
+  // Phase 1: every healthy node pings each neighbour (one message out, one
+  // reply from healthy neighbours). A missing reply marks the neighbour
+  // faulty in the tester's local view.
+  //
+  // knowledge[u] = set of nodes u has a verdict for (bit per node), with
+  // verdict[u] = the believed fault bits. Faulty nodes participate in
+  // nothing.
+  std::vector<std::vector<bool>> known(size,
+                                       std::vector<bool>(size, false));
+  std::vector<std::vector<bool>> verdict(size,
+                                         std::vector<bool>(size, false));
+  for (cube::NodeId u = 0; u < size; ++u) {
+    if (ground_truth.is_faulty(u)) continue;
+    known[u][u] = true;
+    for (cube::Dim d = 0; d < n; ++d) {
+      const cube::NodeId v = cube::neighbor(u, d);
+      result.messages += 1;  // ping
+      const bool v_faulty = ground_truth.is_faulty(v);
+      if (!v_faulty) result.messages += 1;  // reply
+      known[u][v] = true;
+      verdict[u][v] = v_faulty;
+    }
+  }
+
+  // Phase 2: synchronous flooding. Each round, every healthy node sends its
+  // current map to each healthy neighbour; a round that changes nothing
+  // terminates the protocol. r <= n-1 keeps the healthy subgraph connected,
+  // so the union converges to the global map at every healthy node.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.rounds;
+    std::vector<std::vector<bool>> next_known = known;
+    std::vector<std::vector<bool>> next_verdict = verdict;
+    for (cube::NodeId u = 0; u < size; ++u) {
+      if (ground_truth.is_faulty(u)) continue;
+      for (cube::Dim d = 0; d < n; ++d) {
+        const cube::NodeId v = cube::neighbor(u, d);
+        if (ground_truth.is_faulty(v)) continue;
+        result.messages += 1;  // u's map sent to v
+        for (cube::NodeId w = 0; w < size; ++w) {
+          if (known[u][w] && !next_known[v][w]) {
+            next_known[v][w] = true;
+            next_verdict[v][w] = verdict[u][w];
+            changed = true;
+          }
+        }
+      }
+    }
+    known = std::move(next_known);
+    verdict = std::move(next_verdict);
+  }
+
+  // Collect the map from an arbitrary healthy witness and check that every
+  // healthy node agrees and is complete.
+  cube::NodeId witness = size;  // sentinel
+  for (cube::NodeId u = 0; u < size; ++u) {
+    if (!ground_truth.is_faulty(u)) {
+      witness = u;
+      break;
+    }
+  }
+  if (witness == size) return result;  // every node faulty: nothing to say
+
+  std::vector<cube::NodeId> identified;
+  result.complete = true;
+  for (cube::NodeId w = 0; w < size; ++w) {
+    if (!known[witness][w]) {
+      result.complete = false;
+      continue;
+    }
+    if (verdict[witness][w]) identified.push_back(w);
+  }
+  for (cube::NodeId u = 0; u < size && result.complete; ++u) {
+    if (ground_truth.is_faulty(u)) continue;
+    for (cube::NodeId w = 0; w < size; ++w) {
+      if (!known[u][w] ||
+          (w != u && known[u][w] != known[witness][w]) ||
+          verdict[u][w] != verdict[witness][w]) {
+        // A node may lack a verdict only for itself (it knows it is fine).
+        if (w == u) continue;
+        result.complete = false;
+        break;
+      }
+    }
+  }
+  result.identified = FaultSet(n, std::move(identified));
+  return result;
+}
+
+}  // namespace ftsort::fault

@@ -1,0 +1,35 @@
+// Off-line fault diagnosis.
+//
+// The paper assumes fault locations are known before sorting, citing
+// distributed diagnosis work (Armstrong & Gray; Bhat). This module provides
+// the fail-stop instantiation of that assumption: every healthy processor
+// pings its n neighbours (a permanently faulty node never answers), then the
+// local verdicts are flooded across the healthy subgraph — connected for
+// r <= n-1 because Q_n is n-connected — until every healthy node holds the
+// complete fault map.
+//
+// The functions here model the protocol as a synchronous round-based
+// computation and report both the recovered fault map and the number of
+// rounds/messages it took (matching what the SPMD version on the simulator
+// measures; see examples/diagnosis_demo).
+#pragma once
+
+#include <cstddef>
+
+#include "fault/fault_set.hpp"
+
+namespace ftsort::fault {
+
+struct DiagnosisResult {
+  FaultSet identified;      ///< fault map as recovered by the protocol
+  int rounds = 0;           ///< synchronous flooding rounds until quiescence
+  std::size_t messages = 0; ///< total node-to-node messages (pings + floods)
+  bool complete = false;    ///< every healthy node learned the full map
+};
+
+/// Run the fail-stop neighbour-test + flooding protocol against a ground
+/// truth. Deterministic. For r <= n-1 the result is always complete and
+/// equals the ground truth.
+DiagnosisResult diagnose_fail_stop(const FaultSet& ground_truth);
+
+}  // namespace ftsort::fault

@@ -1,0 +1,67 @@
+#include "fault/fault_set.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ftsort::fault {
+
+std::string to_string(FaultModel m) {
+  return m == FaultModel::Partial ? "partial" : "total";
+}
+
+FaultSet::FaultSet(cube::Dim n) : n_(n), bitmap_(cube::num_nodes(n), false) {
+  FTSORT_REQUIRE(cube::valid_dim(n));
+}
+
+FaultSet::FaultSet(cube::Dim n, std::vector<cube::NodeId> faults)
+    : n_(n), faults_(std::move(faults)),
+      bitmap_(cube::num_nodes(n), false) {
+  FTSORT_REQUIRE(cube::valid_dim(n));
+  std::sort(faults_.begin(), faults_.end());
+  FTSORT_REQUIRE(std::adjacent_find(faults_.begin(), faults_.end()) ==
+                 faults_.end());
+  for (cube::NodeId f : faults_) {
+    FTSORT_REQUIRE(cube::valid_node(f, n_));
+    bitmap_[f] = true;
+  }
+}
+
+bool FaultSet::is_faulty(cube::NodeId u) const {
+  FTSORT_REQUIRE(cube::valid_node(u, n_));
+  return bitmap_[u];
+}
+
+bool FaultSet::isolates_healthy_node() const {
+  for (cube::NodeId u = 0; u < cube_size(); ++u) {
+    if (bitmap_[u]) continue;
+    bool all_neighbors_faulty = n_ > 0;
+    for (cube::Dim d = 0; d < n_; ++d) {
+      if (!bitmap_[cube::neighbor(u, d)]) {
+        all_neighbors_faulty = false;
+        break;
+      }
+    }
+    if (all_neighbors_faulty) return true;
+  }
+  return false;
+}
+
+std::size_t FaultSet::count_in(cube::NodeId mask, cube::NodeId value) const {
+  std::size_t c = 0;
+  for (cube::NodeId f : faults_)
+    if ((f & mask) == value) ++c;
+  return c;
+}
+
+std::string FaultSet::to_string() const {
+  std::ostringstream os;
+  os << "FaultSet(Q_" << n_ << ", {";
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << faults_[i];
+  }
+  os << "})";
+  return os.str();
+}
+
+}  // namespace ftsort::fault

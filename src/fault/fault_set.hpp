@@ -1,0 +1,63 @@
+// Fault sets: which processors of a Q_n are permanently faulty.
+//
+// The paper's model (§1): permanent processor faults, locations known before
+// the sort runs (via off-line diagnosis), and r <= n-1 so that no healthy
+// node can be walled off from the rest of the cube.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypercube/address.hpp"
+
+namespace ftsort::fault {
+
+/// How a faulty processor interacts with the network (Hastad et al., §4 of
+/// the paper): a *partial* fault kills only the computation but the node
+/// still forwards messages (the VERTEX behaviour the authors simulate); a
+/// *total* fault also removes the node from the network, forcing
+/// fault-avoiding routes.
+enum class FaultModel { Partial, Total };
+
+std::string to_string(FaultModel m);
+
+/// An immutable-after-construction set of faulty node addresses in Q_n.
+class FaultSet {
+ public:
+  /// Empty (fault-free) set.
+  explicit FaultSet(cube::Dim n);
+  /// From explicit addresses; duplicates are rejected.
+  FaultSet(cube::Dim n, std::vector<cube::NodeId> faults);
+
+  cube::Dim dim() const { return n_; }
+  std::uint32_t cube_size() const { return cube::num_nodes(n_); }
+  /// Number of faulty processors, r.
+  std::size_t count() const { return faults_.size(); }
+  bool empty() const { return faults_.empty(); }
+
+  bool is_faulty(cube::NodeId u) const;
+  /// Sorted faulty addresses.
+  const std::vector<cube::NodeId>& addresses() const { return faults_; }
+  /// Per-node boolean map (index = address), as routers expect.
+  const std::vector<bool>& bitmap() const { return bitmap_; }
+
+  std::size_t healthy_count() const { return cube_size() - count(); }
+
+  /// True when some *healthy* node has every neighbour faulty — the
+  /// configuration the paper excludes (it can occur only for r >= n).
+  bool isolates_healthy_node() const;
+
+  /// Number of faulty nodes inside a (mask, value) subcube.
+  std::size_t count_in(cube::NodeId mask, cube::NodeId value) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const FaultSet&, const FaultSet&) = default;
+
+ private:
+  cube::Dim n_;
+  std::vector<cube::NodeId> faults_;  // sorted
+  std::vector<bool> bitmap_;
+};
+
+}  // namespace ftsort::fault

@@ -1,0 +1,117 @@
+#include "fault/link_fault.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace ftsort::fault {
+
+cube::LinkSet random_link_faults(cube::Dim n, std::size_t k,
+                                 util::Rng& rng) {
+  const std::uint64_t total_links =
+      static_cast<std::uint64_t>(n) * (cube::num_nodes(n) / 2);
+  FTSORT_REQUIRE(k <= total_links);
+  // Enumerate links as (lo with bit d == 0, d): index them densely.
+  std::vector<cube::Link> all;
+  all.reserve(static_cast<std::size_t>(total_links));
+  for (cube::NodeId u = 0; u < cube::num_nodes(n); ++u)
+    for (cube::Dim d = 0; d < n; ++d)
+      if (cube::bit(u, d) == 0) all.push_back(cube::Link{u, d});
+  const auto picks = rng.sample_distinct(all.size(), k);
+  std::vector<cube::Link> chosen;
+  chosen.reserve(k);
+  for (auto idx : picks) chosen.push_back(all[static_cast<std::size_t>(idx)]);
+  return cube::LinkSet(n, chosen);
+}
+
+bool healthy_subgraph_connected(const FaultSet& node_faults,
+                                const cube::LinkSet& dead_links) {
+  const cube::Dim n = node_faults.dim();
+  const cube::NodeId size = node_faults.cube_size();
+  cube::NodeId start = size;
+  for (cube::NodeId u = 0; u < size; ++u) {
+    if (!node_faults.is_faulty(u)) {
+      start = u;
+      break;
+    }
+  }
+  if (start == size) return true;  // vacuously: no healthy nodes
+
+  std::vector<bool> seen(size, false);
+  std::queue<cube::NodeId> frontier;
+  seen[start] = true;
+  frontier.push(start);
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const cube::NodeId u = frontier.front();
+    frontier.pop();
+    for (cube::Dim d = 0; d < n; ++d) {
+      const cube::NodeId v = cube::neighbor(u, d);
+      if (seen[v] || node_faults.is_faulty(v)) continue;
+      if (!dead_links.empty() && dead_links.contains(u, d)) continue;
+      seen[v] = true;
+      ++reached;
+      frontier.push(v);
+    }
+  }
+  return reached == node_faults.healthy_count();
+}
+
+cube::LinkSet random_link_faults_connected(cube::Dim n, std::size_t k,
+                                           const FaultSet& node_faults,
+                                           util::Rng& rng) {
+  for (int attempt = 0; attempt < 10'000; ++attempt) {
+    cube::LinkSet candidate = random_link_faults(n, k, rng);
+    if (healthy_subgraph_connected(node_faults, candidate))
+      return candidate;
+  }
+  throw ContractViolation("precondition",
+                          "a connectivity-preserving link fault set exists",
+                          std::source_location::current());
+}
+
+std::vector<cube::NodeId> link_cover(const cube::LinkSet& dead_links,
+                                     const FaultSet& node_faults) {
+  // Remaining = links with neither endpoint chosen yet; already-faulty
+  // endpoints cover for free.
+  std::vector<cube::Link> remaining;
+  for (const cube::Link& link : dead_links.links())
+    if (!node_faults.is_faulty(link.lo) &&
+        !node_faults.is_faulty(link.hi()))
+      remaining.push_back(link);
+
+  std::vector<cube::NodeId> cover;
+  while (!remaining.empty()) {
+    std::map<cube::NodeId, int> degree;
+    for (const cube::Link& link : remaining) {
+      ++degree[link.lo];
+      ++degree[link.hi()];
+    }
+    cube::NodeId best = remaining.front().lo;
+    int best_degree = -1;
+    for (const auto& [node, deg] : degree) {
+      if (deg > best_degree) {  // map order breaks ties toward smaller id
+        best_degree = deg;
+        best = node;
+      }
+    }
+    cover.push_back(best);
+    std::erase_if(remaining, [&](const cube::Link& link) {
+      return link.lo == best || link.hi() == best;
+    });
+  }
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+FaultSet effective_node_faults(const FaultSet& node_faults,
+                               const cube::LinkSet& dead_links) {
+  if (dead_links.empty()) return node_faults;
+  FTSORT_REQUIRE(dead_links.dim() == node_faults.dim());
+  std::vector<cube::NodeId> all = node_faults.addresses();
+  const auto extra = link_cover(dead_links, node_faults);
+  all.insert(all.end(), extra.begin(), extra.end());
+  return FaultSet(node_faults.dim(), std::move(all));
+}
+
+}  // namespace ftsort::fault

@@ -1,0 +1,48 @@
+// Faulty links (§1 of the paper covers "failure of one or more
+// processors/links").
+//
+// A dead wire carries nothing under either processor fault model, so the
+// router always detours around it. For the *algorithm*, the classical
+// reduction applies: pick a set of endpoint processors covering every
+// faulty link, treat those processors as (logically) faulty in the
+// partition plan, and no comparison-exchange ever needs a dead wire's two
+// endpoints to talk as a pair. The cover is chosen greedily by degree —
+// the minimum vertex cover of the faulty-link graph — so few healthy
+// processors are sacrificed.
+#pragma once
+
+#include "fault/fault_set.hpp"
+#include "hypercube/link_set.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::fault {
+
+/// k distinct faulty links drawn uniformly from the n*2^(n-1) links.
+cube::LinkSet random_link_faults(cube::Dim n, std::size_t k,
+                                 util::Rng& rng);
+
+/// Like random_link_faults but rejects sets that disconnect the healthy
+/// cube (checked together with `node_faults`), so routing always succeeds.
+cube::LinkSet random_link_faults_connected(cube::Dim n, std::size_t k,
+                                           const FaultSet& node_faults,
+                                           util::Rng& rng);
+
+/// True iff every pair of healthy nodes can still reach each other without
+/// using a dead link or a faulty intermediate node.
+bool healthy_subgraph_connected(const FaultSet& node_faults,
+                                const cube::LinkSet& dead_links);
+
+/// Greedy minimum vertex cover of the faulty links (max-degree first,
+/// ties toward already-faulty endpoints, then smaller address): the
+/// processors to treat as logically faulty so the sorting algorithm never
+/// schedules an exchange across a dead wire. Endpoints already in
+/// `node_faults` cover their links for free.
+std::vector<cube::NodeId> link_cover(const cube::LinkSet& dead_links,
+                                     const FaultSet& node_faults);
+
+/// node_faults ∪ link_cover: the fault set the partition algorithm plans
+/// for when links are faulty too.
+FaultSet effective_node_faults(const FaultSet& node_faults,
+                               const cube::LinkSet& dead_links);
+
+}  // namespace ftsort::fault

@@ -1,0 +1,117 @@
+#include "fault/scenario.hpp"
+
+#include <algorithm>
+
+namespace ftsort::fault {
+
+namespace {
+
+std::vector<cube::NodeId> draw_distinct(std::uint64_t population,
+                                        std::size_t r, util::Rng& rng) {
+  const auto sample = rng.sample_distinct(population, r);
+  std::vector<cube::NodeId> out;
+  out.reserve(sample.size());
+  for (std::uint64_t v : sample)
+    out.push_back(static_cast<cube::NodeId>(v));
+  return out;
+}
+
+}  // namespace
+
+FaultSet random_faults(cube::Dim n, std::size_t r, util::Rng& rng) {
+  FTSORT_REQUIRE(r <= cube::num_nodes(n));
+  return FaultSet(n, draw_distinct(cube::num_nodes(n), r, rng));
+}
+
+FaultSet random_faults_no_isolation(cube::Dim n, std::size_t r,
+                                    util::Rng& rng) {
+  for (int attempt = 0; attempt < 10'000; ++attempt) {
+    FaultSet candidate = random_faults(n, r, rng);
+    if (!candidate.isolates_healthy_node()) return candidate;
+  }
+  throw ContractViolation("precondition",
+                          "non-isolating fault set exists for (n, r)",
+                          std::source_location::current());
+}
+
+FaultSet clustered_faults(cube::Dim n, std::size_t r, cube::Dim cluster_dim,
+                          util::Rng& rng) {
+  FTSORT_REQUIRE(cluster_dim <= n);
+  FTSORT_REQUIRE(r <= cube::num_nodes(cluster_dim));
+  // Pick a random subcube: random set of `cluster_dim` free dimensions and a
+  // random value on the rest; then sample faults inside it.
+  std::vector<cube::Dim> dims(static_cast<std::size_t>(n));
+  for (cube::Dim d = 0; d < n; ++d) dims[static_cast<std::size_t>(d)] = d;
+  rng.shuffle(dims);
+  dims.resize(static_cast<std::size_t>(cluster_dim));
+  std::sort(dims.begin(), dims.end());
+
+  cube::NodeId base = static_cast<cube::NodeId>(rng.below(cube::num_nodes(n)));
+  for (cube::Dim d : dims) base = cube::with_bit(base, d, 0);
+
+  const auto local = draw_distinct(cube::num_nodes(cluster_dim), r, rng);
+  std::vector<cube::NodeId> faults;
+  faults.reserve(r);
+  for (cube::NodeId w : local) {
+    cube::NodeId u = base;
+    for (cube::Dim i = 0; i < cluster_dim; ++i)
+      u = cube::with_bit(u, dims[static_cast<std::size_t>(i)],
+                         cube::bit(w, i));
+    faults.push_back(u);
+  }
+  return FaultSet(n, std::move(faults));
+}
+
+FaultSet spread_faults(cube::Dim n, std::size_t r, util::Rng& rng) {
+  FTSORT_REQUIRE(r <= cube::num_nodes(n));
+  std::vector<cube::NodeId> faults;
+  if (r == 0) return FaultSet(n);
+  faults.push_back(static_cast<cube::NodeId>(rng.below(cube::num_nodes(n))));
+  while (faults.size() < r) {
+    // Greedy farthest-point: pick the node maximising its minimum Hamming
+    // distance to the chosen set (ties broken by address for determinism).
+    cube::NodeId best = 0;
+    int best_dist = -1;
+    for (cube::NodeId u = 0; u < cube::num_nodes(n); ++u) {
+      if (std::find(faults.begin(), faults.end(), u) != faults.end())
+        continue;
+      int dist = n + 1;
+      for (cube::NodeId f : faults)
+        dist = std::min(dist, cube::hamming(u, f));
+      if (dist > best_dist) {
+        best_dist = dist;
+        best = u;
+      }
+    }
+    faults.push_back(best);
+  }
+  return FaultSet(n, std::move(faults));
+}
+
+FaultSet chain_faults(cube::Dim n, std::size_t r, util::Rng& rng) {
+  FTSORT_REQUIRE(r <= cube::num_nodes(n));
+  std::vector<cube::NodeId> faults;
+  if (r == 0) return FaultSet(n);
+  cube::NodeId cur =
+      static_cast<cube::NodeId>(rng.below(cube::num_nodes(n)));
+  faults.push_back(cur);
+  while (faults.size() < r) {
+    // Random unvisited neighbour of the chain head; if the head is boxed in,
+    // restart the head from any already-chosen fault.
+    std::vector<cube::NodeId> candidates;
+    for (cube::Dim d = 0; d < n; ++d) {
+      const cube::NodeId v = cube::neighbor(cur, d);
+      if (std::find(faults.begin(), faults.end(), v) == faults.end())
+        candidates.push_back(v);
+    }
+    if (candidates.empty()) {
+      cur = faults[static_cast<std::size_t>(rng.below(faults.size()))];
+      continue;
+    }
+    cur = candidates[static_cast<std::size_t>(rng.below(candidates.size()))];
+    faults.push_back(cur);
+  }
+  return FaultSet(n, std::move(faults));
+}
+
+}  // namespace ftsort::fault

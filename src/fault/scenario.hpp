@@ -1,0 +1,36 @@
+// Fault-scenario generators for the evaluation harness.
+//
+// The paper's experiments draw r distinct faulty addresses uniformly at
+// random, 10 000 times per (n, r) cell. The extra generators here
+// (clustered, spread, adjacent-chain) stress the partition algorithm in ways
+// uniform sampling rarely does and drive the ablation benches.
+#pragma once
+
+#include "fault/fault_set.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::fault {
+
+/// r distinct faulty processors uniformly at random in Q_n.
+FaultSet random_faults(cube::Dim n, std::size_t r, util::Rng& rng);
+
+/// Like random_faults but rejects configurations that isolate a healthy
+/// node (only relevant when r >= n; always succeeds for r <= n-1).
+FaultSet random_faults_no_isolation(cube::Dim n, std::size_t r,
+                                    util::Rng& rng);
+
+/// All r faults inside one subcube of dimension `cluster_dim` — the
+/// adversarial case for mincut (many cuts needed to separate them).
+FaultSet clustered_faults(cube::Dim n, std::size_t r, cube::Dim cluster_dim,
+                          util::Rng& rng);
+
+/// Faults chosen pairwise far apart (greedy max-min Hamming distance) — the
+/// friendly case, usually separable with few cuts.
+FaultSet spread_faults(cube::Dim n, std::size_t r, util::Rng& rng);
+
+/// A chain of r mutually adjacent faults (fault i+1 neighbours fault i),
+/// modelling a failing board/row. Falls back to the nearest healthy
+/// neighbour when the chain self-intersects.
+FaultSet chain_faults(cube::Dim n, std::size_t r, util::Rng& rng);
+
+}  // namespace ftsort::fault

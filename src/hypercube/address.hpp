@@ -1,0 +1,72 @@
+// Binary hypercube address algebra.
+//
+// An n-dimensional hypercube Q_n has N = 2^n nodes addressed 0 .. N-1; two
+// nodes are adjacent iff their addresses differ in exactly one bit. All the
+// partition / re-indexing machinery in the paper is plain bit manipulation on
+// these addresses, collected here.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::cube {
+
+/// A node address within a hypercube. Only the low `dimension` bits are
+/// meaningful; helpers below never set higher bits.
+using NodeId = std::uint32_t;
+
+/// A dimension index (bit position), 0-based.
+using Dim = int;
+
+/// Largest supported cube dimension. 2^20 nodes is far beyond anything the
+/// 1992 evaluation touches but keeps every mask in 32 bits.
+inline constexpr Dim kMaxDim = 20;
+
+constexpr std::uint32_t num_nodes(Dim n) {
+  return std::uint32_t{1} << n;
+}
+
+constexpr bool valid_dim(Dim n) { return n >= 0 && n <= kMaxDim; }
+
+constexpr bool valid_node(NodeId u, Dim n) { return u < num_nodes(n); }
+
+/// Value of bit `d` of address `u`.
+constexpr int bit(NodeId u, Dim d) { return static_cast<int>((u >> d) & 1u); }
+
+/// Address with bit `d` flipped: the neighbour of `u` across dimension `d`.
+constexpr NodeId neighbor(NodeId u, Dim d) {
+  return u ^ (NodeId{1} << d);
+}
+
+/// Address with bit `d` forced to `value`.
+constexpr NodeId with_bit(NodeId u, Dim d, int value) {
+  const NodeId mask = NodeId{1} << d;
+  return value ? (u | mask) : (u & ~mask);
+}
+
+/// Hamming distance — the routing distance between two nodes in Q_n.
+constexpr int hamming(NodeId a, NodeId b) {
+  return std::popcount(a ^ b);
+}
+
+/// Number of set bits.
+constexpr int weight(NodeId u) { return std::popcount(u); }
+
+/// Lowest set bit position; precondition: u != 0.
+constexpr Dim lowest_set_dim(NodeId u) {
+  return std::countr_zero(u);
+}
+
+/// Reflected binary Gray code and its inverse (used by the ring-embedding
+/// example and by tests as an independent adjacency oracle).
+constexpr NodeId gray(NodeId i) { return i ^ (i >> 1); }
+
+constexpr NodeId gray_inverse(NodeId g) {
+  NodeId i = g;
+  for (NodeId shift = 1; shift < 32; shift <<= 1) i ^= i >> shift;
+  return i;
+}
+
+}  // namespace ftsort::cube

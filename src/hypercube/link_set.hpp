@@ -1,0 +1,89 @@
+// Sets of hypercube links, used to model faulty links.
+//
+// A link is identified by its canonical (lower endpoint, dimension) pair:
+// the edge between u and u ^ 2^d is stored under the endpoint whose bit d
+// is 0. Queries accept either endpoint.
+#pragma once
+
+#include <vector>
+
+#include "hypercube/address.hpp"
+
+namespace ftsort::cube {
+
+/// One undirected hypercube edge in canonical form.
+struct Link {
+  NodeId lo = 0;  ///< endpoint with bit `dim` == 0
+  Dim dim = 0;
+
+  static Link between(NodeId a, NodeId b) {
+    FTSORT_REQUIRE(hamming(a, b) == 1);
+    const Dim d = lowest_set_dim(a ^ b);
+    return Link{with_bit(a, d, 0), d};
+  }
+  NodeId hi() const { return neighbor(lo, dim); }
+
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+/// A set of links of Q_n with O(1) membership tests.
+class LinkSet {
+ public:
+  LinkSet() = default;
+  explicit LinkSet(Dim n) : n_(n), blocked_(num_nodes(n) * static_cast<std::size_t>(n > 0 ? n : 1), false) {
+    FTSORT_REQUIRE(valid_dim(n));
+  }
+  LinkSet(Dim n, const std::vector<Link>& links) : LinkSet(n) {
+    for (const Link& link : links) add(link);
+  }
+
+  Dim dim() const { return n_; }
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  void add(Link link) {
+    FTSORT_REQUIRE(link.dim >= 0 && link.dim < n_);
+    FTSORT_REQUIRE(valid_node(link.lo, n_));
+    FTSORT_REQUIRE(bit(link.lo, link.dim) == 0);
+    auto ref = blocked_[index(link.lo, link.dim)];
+    if (!ref) {
+      ref = true;
+      ++count_;
+    }
+  }
+
+  /// Is the edge between u and its dimension-d neighbour in the set?
+  bool contains(NodeId u, Dim d) const {
+    if (empty()) return false;
+    FTSORT_REQUIRE(d >= 0 && d < n_);
+    FTSORT_REQUIRE(valid_node(u, n_));
+    return blocked_[index(with_bit(u, d, 0), d)];
+  }
+
+  bool contains(const Link& link) const {
+    return contains(link.lo, link.dim);
+  }
+
+  /// All member links, canonical, ascending by (lo, dim).
+  std::vector<Link> links() const {
+    std::vector<Link> out;
+    out.reserve(count_);
+    for (NodeId u = 0; u < num_nodes(n_); ++u)
+      for (Dim d = 0; d < n_; ++d)
+        if (bit(u, d) == 0 && blocked_[index(u, d)])
+          out.push_back(Link{u, d});
+    return out;
+  }
+
+ private:
+  std::size_t index(NodeId lo, Dim d) const {
+    return static_cast<std::size_t>(lo) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(d);
+  }
+
+  Dim n_ = 0;
+  std::vector<bool> blocked_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ftsort::cube

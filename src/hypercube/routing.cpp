@@ -1,0 +1,131 @@
+#include "hypercube/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ftsort::cube {
+
+std::vector<NodeId> ecube_path(Dim n, NodeId src, NodeId dst) {
+  FTSORT_REQUIRE(valid_node(src, n) && valid_node(dst, n));
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  while (cur != dst) {
+    const Dim d = lowest_set_dim(cur ^ dst);
+    cur = neighbor(cur, d);
+    path.push_back(cur);
+  }
+  return path;
+}
+
+std::optional<std::vector<NodeId>> bfs_path(Dim n, NodeId src, NodeId dst,
+                                            const std::vector<bool>& faulty,
+                                            const LinkSet* dead_links) {
+  FTSORT_REQUIRE(valid_node(src, n) && valid_node(dst, n));
+  FTSORT_REQUIRE(faulty.size() == num_nodes(n));
+  if (src == dst) return std::vector<NodeId>{src};
+
+  constexpr NodeId kUnreached = ~NodeId{0};
+  std::vector<NodeId> parent(num_nodes(n), kUnreached);
+  std::queue<NodeId> frontier;
+  parent[src] = src;
+  frontier.push(src);
+  while (!frontier.empty() && parent[dst] == kUnreached) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (Dim d = 0; d < n; ++d) {
+      const NodeId v = neighbor(u, d);
+      if (parent[v] != kUnreached) continue;
+      if (dead_links != nullptr && dead_links->contains(u, d)) continue;
+      // Intermediate hops must be healthy; the destination itself may be
+      // reached regardless (it is the caller's business whether it listens).
+      if (v != dst && faulty[v]) continue;
+      parent[v] = u;
+      frontier.push(v);
+    }
+  }
+  if (parent[dst] == kUnreached) return std::nullopt;
+  std::vector<NodeId> path;
+  for (NodeId u = dst; u != src; u = parent[u]) path.push_back(u);
+  path.push_back(src);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<std::vector<NodeId>> adaptive_path(
+    Dim n, NodeId src, NodeId dst, const std::vector<bool>& faulty,
+    const LinkSet* dead_links) {
+  FTSORT_REQUIRE(valid_node(src, n) && valid_node(dst, n));
+  FTSORT_REQUIRE(faulty.size() == num_nodes(n));
+  const auto usable = [&](NodeId from, Dim d) {
+    return dead_links == nullptr || !dead_links->contains(from, d);
+  };
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  // Budget: the greedy walk may detour, but any healthy-connected pair is
+  // reachable in < 2N steps; beyond that we defer to the BFS oracle.
+  const int budget = static_cast<int>(num_nodes(n)) * 2;
+  Dim last_detour = -1;
+  while (cur != dst && static_cast<int>(path.size()) <= budget) {
+    const NodeId diff = cur ^ dst;
+    Dim chosen = -1;
+    // Preferred: correct an outstanding dimension, lowest first (e-cube).
+    for (Dim d = 0; d < n; ++d) {
+      if (!bit(diff, d) || !usable(cur, d)) continue;
+      const NodeId next = neighbor(cur, d);
+      if (next == dst || !faulty[next]) {
+        chosen = d;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      // Detour: burn one hop across a healthy spare dimension. Avoid
+      // immediately undoing the previous detour (would livelock).
+      for (Dim d = 0; d < n; ++d) {
+        if (bit(diff, d) || d == last_detour || !usable(cur, d)) continue;
+        const NodeId next = neighbor(cur, d);
+        if (!faulty[next]) {
+          chosen = d;
+          break;
+        }
+      }
+      if (chosen < 0) break;  // stuck; fall through to BFS
+      last_detour = chosen;
+    } else {
+      last_detour = -1;
+    }
+    cur = neighbor(cur, chosen);
+    path.push_back(cur);
+  }
+  if (cur == dst) return path;
+  return bfs_path(n, src, dst, faulty, dead_links);
+}
+
+Router::Router(Dim n, std::vector<bool> faulty, bool avoid_faulty,
+               LinkSet dead_links)
+    : n_(n), faulty_(std::move(faulty)), avoid_faulty_(avoid_faulty),
+      dead_links_(std::move(dead_links)) {
+  FTSORT_REQUIRE(valid_dim(n_));
+  FTSORT_REQUIRE(faulty_.size() == num_nodes(n_));
+  FTSORT_REQUIRE(dead_links_.empty() || dead_links_.dim() == n_);
+}
+
+std::vector<NodeId> Router::path(NodeId src, NodeId dst) const {
+  if (!avoid_faulty_ && dead_links_.empty())
+    return ecube_path(n_, src, dst);
+  // Dead links must be avoided under either fault model; partial-model
+  // routing may still pass through faulty nodes.
+  const std::vector<bool> no_nodes_blocked(faulty_.size(), false);
+  const std::vector<bool>& blocked =
+      avoid_faulty_ ? faulty_ : no_nodes_blocked;
+  auto p = adaptive_path(n_, src, dst, blocked,
+                         dead_links_.empty() ? nullptr : &dead_links_);
+  FTSORT_REQUIRE(p.has_value());
+  return *std::move(p);
+}
+
+int Router::hops(NodeId src, NodeId dst) const {
+  if (!avoid_faulty_ && dead_links_.empty()) return hamming(src, dst);
+  return static_cast<int>(path(src, dst).size()) - 1;
+}
+
+}  // namespace ftsort::cube

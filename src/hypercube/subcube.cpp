@@ -1,0 +1,90 @@
+#include "hypercube/subcube.hpp"
+
+#include <algorithm>
+
+namespace ftsort::cube {
+
+std::vector<NodeId> Subcube::members() const {
+  std::vector<NodeId> out;
+  out.reserve(size());
+  for (NodeId u = 0; u < num_nodes(ambient_dim); ++u)
+    if (contains(u)) out.push_back(u);
+  return out;
+}
+
+CutSplit::CutSplit(Dim n, std::vector<Dim> cuts)
+    : n_(n), m_(static_cast<Dim>(cuts.size())), s_(n - m_),
+      cuts_(std::move(cuts)) {
+  FTSORT_REQUIRE(valid_dim(n_));
+  FTSORT_REQUIRE(m_ <= n_);
+  NodeId seen = 0;
+  for (Dim d : cuts_) {
+    FTSORT_REQUIRE(d >= 0 && d < n_);
+    const NodeId bit_mask = NodeId{1} << d;
+    FTSORT_REQUIRE((seen & bit_mask) == 0);  // cuts must be distinct
+    seen |= bit_mask;
+  }
+  for (Dim d = 0; d < n_; ++d)
+    if ((seen & (NodeId{1} << d)) == 0) local_dims_.push_back(d);
+}
+
+NodeId CutSplit::subcube_index(NodeId u) const {
+  FTSORT_REQUIRE(valid_node(u, n_));
+  NodeId v = 0;
+  for (Dim i = 0; i < m_; ++i)
+    v |= static_cast<NodeId>(bit(u, cuts_[static_cast<std::size_t>(i)]))
+         << i;
+  return v;
+}
+
+NodeId CutSplit::local_address(NodeId u) const {
+  FTSORT_REQUIRE(valid_node(u, n_));
+  NodeId w = 0;
+  for (Dim i = 0; i < s_; ++i)
+    w |= static_cast<NodeId>(
+             bit(u, local_dims_[static_cast<std::size_t>(i)]))
+         << i;
+  return w;
+}
+
+NodeId CutSplit::global_address(NodeId v, NodeId w) const {
+  FTSORT_REQUIRE(valid_node(v, m_));
+  FTSORT_REQUIRE(valid_node(w, s_));
+  NodeId u = 0;
+  for (Dim i = 0; i < m_; ++i)
+    u = with_bit(u, cuts_[static_cast<std::size_t>(i)], bit(v, i));
+  for (Dim i = 0; i < s_; ++i)
+    u = with_bit(u, local_dims_[static_cast<std::size_t>(i)], bit(w, i));
+  return u;
+}
+
+Subcube CutSplit::subcube(NodeId v) const {
+  FTSORT_REQUIRE(valid_node(v, m_));
+  NodeId mask = 0;
+  for (Dim d : cuts_) mask |= NodeId{1} << d;
+  return Subcube{n_, mask, global_address(v, 0)};
+}
+
+std::vector<Subcube> all_subcubes(Dim n, Dim sub_dim) {
+  FTSORT_REQUIRE(valid_dim(n));
+  FTSORT_REQUIRE(sub_dim >= 0 && sub_dim <= n);
+  const Dim fixed = n - sub_dim;
+  std::vector<Subcube> out;
+  // Enumerate all masks with `fixed` set bits, then all values on the mask.
+  for (NodeId mask = 0; mask < num_nodes(n); ++mask) {
+    if (weight(mask) != fixed) continue;
+    // Iterate over the submasks of `mask` as fixed values.
+    NodeId value = 0;
+    while (true) {
+      out.push_back(Subcube{n, mask, value});
+      if (value == mask) break;
+      value = (value - mask) & mask;  // next submask trick
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Subcube& a, const Subcube& b) {
+    return a.mask != b.mask ? a.mask < b.mask : a.value < b.value;
+  });
+  return out;
+}
+
+}  // namespace ftsort::cube

@@ -1,0 +1,76 @@
+// Subcube descriptors and the cutting-dimension address split.
+//
+// A subcube of Q_n is described by a (mask, value) pair: node u belongs to it
+// iff (u & mask) == value. `CutSplit` implements the paper's address-space
+// factorisation: cutting dimensions D = (d_1 .. d_m) give each node a pair
+// (v, w) where v is the m-bit subcube index {u_{d_m} .. u_{d_1}} and w the
+// s = n-m bit within-subcube address formed by the remaining dimensions in
+// increasing order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypercube/address.hpp"
+
+namespace ftsort::cube {
+
+/// A (possibly improper) subcube of Q_n: the set of nodes u with
+/// (u & mask) == value. `mask` bits are the *fixed* dimensions.
+struct Subcube {
+  Dim ambient_dim = 0;   ///< n of the surrounding Q_n
+  NodeId mask = 0;       ///< fixed-dimension bit mask
+  NodeId value = 0;      ///< required values on the fixed dimensions
+
+  /// Dimension of the subcube itself (number of free dimensions).
+  Dim dim() const { return ambient_dim - weight(mask); }
+  std::uint32_t size() const { return num_nodes(dim()); }
+
+  bool contains(NodeId u) const { return (u & mask) == value; }
+
+  /// All member node addresses, in increasing global-address order.
+  std::vector<NodeId> members() const;
+
+  friend bool operator==(const Subcube&, const Subcube&) = default;
+};
+
+/// The address factorisation induced by a cutting-dimension sequence.
+class CutSplit {
+ public:
+  /// `cuts` must be distinct dimensions of Q_n; order follows the paper's
+  /// convention (d_1 is the first cut, becomes v bit 0).
+  CutSplit(Dim n, std::vector<Dim> cuts);
+
+  Dim ambient_dim() const { return n_; }
+  Dim subcube_bits() const { return m_; }            ///< m
+  Dim local_bits() const { return s_; }              ///< s = n - m
+  std::uint32_t num_subcubes() const { return num_nodes(m_); }
+  std::uint32_t subcube_size() const { return num_nodes(s_); }
+  const std::vector<Dim>& cuts() const { return cuts_; }
+  /// The non-cut dimensions in increasing order (w bit i = global bit
+  /// local_dims()[i]).
+  const std::vector<Dim>& local_dims() const { return local_dims_; }
+
+  /// m-bit subcube index v of a global address.
+  NodeId subcube_index(NodeId u) const;
+  /// s-bit within-subcube address w of a global address.
+  NodeId local_address(NodeId u) const;
+  /// Reassemble a global address from (v, w).
+  NodeId global_address(NodeId v, NodeId w) const;
+
+  /// The subcube (mask/value form) with index v.
+  Subcube subcube(NodeId v) const;
+
+ private:
+  Dim n_;
+  Dim m_;
+  Dim s_;
+  std::vector<Dim> cuts_;        // d_1 .. d_m
+  std::vector<Dim> local_dims_;  // remaining dims, increasing
+};
+
+/// Enumerate every subcube of Q_n of exactly `sub_dim` dimensions.
+/// There are C(n, n-sub_dim) * 2^(n-sub_dim) of them.
+std::vector<Subcube> all_subcubes(Dim n, Dim sub_dim);
+
+}  // namespace ftsort::cube

@@ -1,0 +1,78 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+
+namespace ftsort::partition {
+
+bool is_single_fault_structure(const fault::FaultSet& faults,
+                               std::span<const cube::Dim> cuts) {
+  // Equivalent to the paper's checking tree: each fault descends left/right
+  // by its bit on each cutting dimension; a leaf (subcube) may hold at most
+  // one fault. Implemented by projecting each fault onto its subcube index
+  // and looking for a collision.
+  std::vector<cube::NodeId> indices;
+  indices.reserve(faults.count());
+  for (cube::NodeId f : faults.addresses()) {
+    cube::NodeId v = 0;
+    for (std::size_t i = 0; i < cuts.size(); ++i)
+      v |= static_cast<cube::NodeId>(cube::bit(f, cuts[i])) << i;
+    indices.push_back(v);
+  }
+  std::sort(indices.begin(), indices.end());
+  return std::adjacent_find(indices.begin(), indices.end()) ==
+         indices.end();
+}
+
+namespace {
+
+struct DfsState {
+  const fault::FaultSet& faults;
+  SearchResult result;
+  std::vector<cube::Dim> prefix;
+
+  bool check(std::span<const cube::Dim> cuts) {
+    result.fault_checks += faults.count();
+    return is_single_fault_structure(faults, cuts);
+  }
+
+  void visit(cube::Dim next_start) {
+    const cube::Dim n = faults.dim();
+    for (cube::Dim d = next_start; d < n; ++d) {
+      // Prune: a child at depth k+1 can never improve on mincut.
+      const int depth = static_cast<int>(prefix.size()) + 1;
+      if (depth > result.mincut) return;
+      prefix.push_back(d);
+      ++result.tree_nodes_visited;
+      if (check(prefix)) {
+        if (depth < result.mincut) {
+          result.mincut = depth;
+          result.cutting_set.clear();
+        }
+        if (depth == result.mincut) result.cutting_set.push_back(prefix);
+        // No point descending: any superset is longer, hence non-minimal.
+      } else {
+        visit(d + 1);
+      }
+      prefix.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+SearchResult find_cutting_set(const fault::FaultSet& faults) {
+  DfsState state{faults, SearchResult{}, {}};
+  state.result.mincut = faults.dim();  // initial bound: cut everything
+
+  // Root of the tree: the empty sequence, valid iff r <= 1.
+  if (state.check({})) {
+    state.result.mincut = 0;
+    state.result.cutting_set.push_back({});
+    return state.result;
+  }
+  state.visit(0);
+  FTSORT_ENSURE(!state.result.cutting_set.empty());
+  return state.result;
+}
+
+}  // namespace ftsort::partition

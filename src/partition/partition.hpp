@@ -1,0 +1,41 @@
+// §2.2 — The Partition Algorithm.
+//
+// Given Q_n with r faulty processors, find the minimum number of cutting
+// dimensions (mincut, m) whose induced 2^m subcubes each contain at most one
+// fault (the single-fault subcube structure F_n^m), together with the full
+// cutting set Ψ of all m-subsets that achieve it.
+//
+// The search mirrors the paper exactly: a depth-first traversal of the
+// cutting-dimension tree T_n (all increasing dimension sequences — at most
+// 2^n - 1 nodes), pruned when the depth exceeds the best mincut found so
+// far; each visited node runs the checking-tree test, which distributes the
+// r fault addresses over the subcube indices. Total work is O(rN).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+
+namespace ftsort::partition {
+
+/// The checking-tree test: does cutting Q_n along `cuts` yield subcubes
+/// with at most one fault each?
+bool is_single_fault_structure(const fault::FaultSet& faults,
+                               std::span<const cube::Dim> cuts);
+
+struct SearchResult {
+  int mincut = 0;
+  /// Ψ: every minimum-size cutting sequence, in DFS (lexicographic) order.
+  std::vector<std::vector<cube::Dim>> cutting_set;
+  std::uint64_t tree_nodes_visited = 0;  ///< cutting-dimension-tree nodes
+  std::uint64_t fault_checks = 0;        ///< per-fault address inspections
+};
+
+/// Run the partition algorithm. For r <= 1 the result is mincut 0 with the
+/// empty sequence. Always succeeds (cutting every dimension isolates every
+/// fault), but for r <= n-1 the paper guarantees mincut <= n-2.
+SearchResult find_cutting_set(const fault::FaultSet& faults);
+
+}  // namespace ftsort::partition

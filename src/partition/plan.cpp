@@ -1,0 +1,106 @@
+#include "partition/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ftsort::partition {
+
+Plan Plan::build(const fault::FaultSet& faults) {
+  SearchResult search = find_cutting_set(faults);
+  Selection selection = select_sequence(faults, search.cutting_set);
+  return Plan(faults, std::move(search), std::move(selection));
+}
+
+Plan Plan::build_with_cuts(const fault::FaultSet& faults,
+                           std::vector<cube::Dim> cuts) {
+  FTSORT_REQUIRE(is_single_fault_structure(faults, cuts));
+  SearchResult search;
+  search.mincut = static_cast<int>(cuts.size());
+  search.cutting_set.push_back(cuts);
+  Selection selection = select_sequence(faults, search.cutting_set);
+  return Plan(faults, std::move(search), std::move(selection));
+}
+
+Plan::Plan(fault::FaultSet faults, SearchResult search, Selection selection)
+    : faults_(std::move(faults)), search_(std::move(search)),
+      selection_(std::move(selection)),
+      split_(faults_.dim(), selection_.cuts) {
+  const std::uint32_t subcubes = split_.num_subcubes();
+  // Every subcube is given a dead node unless the cube is entirely
+  // fault-free and unpartitioned.
+  has_dead_ = !(faults_.empty() && split_.subcube_bits() == 0);
+  if (!has_dead_) return;
+
+  dead_w_.assign(subcubes, 0);
+  dead_is_fault_.assign(subcubes, false);
+  const cube::NodeId dangling_w =
+      most_frequent_fault_local(faults_, split_);
+  for (cube::NodeId v = 0; v < subcubes; ++v) dead_w_[v] = dangling_w;
+  for (cube::NodeId f : faults_.addresses()) {
+    const cube::NodeId v = split_.subcube_index(f);
+    FTSORT_INVARIANT(!dead_is_fault_[v]);  // single-fault structure
+    dead_w_[v] = split_.local_address(f);
+    dead_is_fault_[v] = true;
+  }
+  dangling_count_ =
+      subcubes - static_cast<std::uint32_t>(faults_.count());
+}
+
+double Plan::utilization_percent() const {
+  const double healthy =
+      static_cast<double>(faults_.cube_size() - faults_.count());
+  if (healthy == 0.0) return 0.0;
+  return 100.0 * static_cast<double>(live_count()) / healthy;
+}
+
+cube::NodeId Plan::dead_w(cube::NodeId v) const {
+  FTSORT_REQUIRE(has_dead_);
+  FTSORT_REQUIRE(cube::valid_node(v, m()));
+  return dead_w_[v];
+}
+
+bool Plan::dead_is_fault(cube::NodeId v) const {
+  FTSORT_REQUIRE(has_dead_);
+  FTSORT_REQUIRE(cube::valid_node(v, m()));
+  return dead_is_fault_[v];
+}
+
+cube::NodeId Plan::physical(cube::NodeId v, cube::NodeId logical_w) const {
+  const cube::NodeId w =
+      has_dead_ ? (logical_w ^ dead_w_[v]) : logical_w;
+  return split_.global_address(v, w);
+}
+
+Plan::Role Plan::role_of(cube::NodeId u) const {
+  Role role;
+  role.v = split_.subcube_index(u);
+  const cube::NodeId w = split_.local_address(u);
+  role.logical_w = has_dead_ ? (w ^ dead_w_[role.v]) : w;
+  role.live = !(has_dead_ && role.logical_w == 0);
+  return role;
+}
+
+std::vector<cube::NodeId> Plan::dangling_addresses() const {
+  std::vector<cube::NodeId> out;
+  if (!has_dead_) return out;
+  for (cube::NodeId v = 0; v < num_subcubes(); ++v)
+    if (!dead_is_fault_[v])
+      out.push_back(split_.global_address(v, dead_w_[v]));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Plan::to_string() const {
+  std::ostringstream os;
+  os << "Plan(Q_" << n() << ", r=" << faults_.count() << ", mincut="
+     << search_.mincut << ", cuts=(";
+  for (std::size_t i = 0; i < selection_.cuts.size(); ++i) {
+    if (i != 0) os << ",";
+    os << selection_.cuts[i];
+  }
+  os << "), overhead=" << selection_.overhead.total << ", live="
+     << live_count() << ", dangling=" << dangling_count_ << ")";
+  return os.str();
+}
+
+}  // namespace ftsort::partition

@@ -1,0 +1,93 @@
+// The executable partition plan: cutting sequence + per-subcube dead
+// processor + re-indexing, i.e. everything Steps 1-2 of the fault-tolerant
+// sorting algorithm need.
+//
+// After planning, every subcube has exactly one *dead* local address (its
+// fault, or the chosen dangling processor when it is fault-free), except in
+// the trivial fault-free case m == 0, r == 0 where nothing is dead. The
+// re-index operation XORs local addresses with the dead address so the dead
+// node sits at logical 0 in every subcube — making the live logical address
+// sets identical across subcubes, which is what lets subcubes be treated as
+// super-nodes of an m-cube.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "hypercube/subcube.hpp"
+#include "partition/partition.hpp"
+#include "partition/selection.hpp"
+
+namespace ftsort::partition {
+
+class Plan {
+ public:
+  /// Full pipeline: partition search, heuristic selection, danglings.
+  static Plan build(const fault::FaultSet& faults);
+  /// Build with a fixed cutting sequence (tests / ablations). The sequence
+  /// must yield a single-fault structure.
+  static Plan build_with_cuts(const fault::FaultSet& faults,
+                              std::vector<cube::Dim> cuts);
+
+  cube::Dim n() const { return faults_.dim(); }
+  cube::Dim m() const { return split_.subcube_bits(); }
+  cube::Dim s() const { return split_.local_bits(); }
+  const fault::FaultSet& faults() const { return faults_; }
+  const cube::CutSplit& split() const { return split_; }
+  const SearchResult& search() const { return search_; }
+  const Selection& selection() const { return selection_; }
+
+  std::uint32_t num_subcubes() const { return split_.num_subcubes(); }
+  /// Keys-per-subcube capacity: live processors in each subcube.
+  std::uint32_t live_per_subcube() const {
+    return split_.subcube_size() - (has_dead() ? 1u : 0u);
+  }
+  /// N' — total key-holding processors.
+  std::uint32_t live_count() const {
+    return num_subcubes() * live_per_subcube();
+  }
+  /// Healthy-but-idle processors.
+  std::uint32_t dangling_count() const { return dangling_count_; }
+  /// live / healthy, in percent — the paper's Table 2 metric.
+  double utilization_percent() const;
+
+  /// True when every subcube carries a dead (faulty or dangling) node.
+  bool has_dead() const { return has_dead_; }
+  /// Pre-reindex local address of subcube v's dead node.
+  cube::NodeId dead_w(cube::NodeId v) const;
+  /// True when subcube v's dead node is a fault (else it is dangling).
+  bool dead_is_fault(cube::NodeId v) const;
+
+  /// Machine address of logical processor `logical_w` of subcube `v`
+  /// (logical_w != 0 when has_dead()).
+  cube::NodeId physical(cube::NodeId v, cube::NodeId logical_w) const;
+
+  /// Where a machine node sits in the plan.
+  struct Role {
+    cube::NodeId v = 0;          ///< subcube index
+    cube::NodeId logical_w = 0;  ///< re-indexed local address
+    bool live = false;           ///< holds keys (healthy and not dangling)
+  };
+  Role role_of(cube::NodeId u) const;
+
+  /// Machine addresses of the dangling processors, ascending.
+  std::vector<cube::NodeId> dangling_addresses() const;
+
+  std::string to_string() const;
+
+ private:
+  Plan(fault::FaultSet faults, SearchResult search, Selection selection);
+
+  fault::FaultSet faults_;
+  SearchResult search_;
+  Selection selection_;
+  cube::CutSplit split_;
+  bool has_dead_ = false;
+  std::vector<cube::NodeId> dead_w_;     ///< per subcube (valid if has_dead_)
+  std::vector<bool> dead_is_fault_;      ///< per subcube
+  std::uint32_t dangling_count_ = 0;
+};
+
+}  // namespace ftsort::partition

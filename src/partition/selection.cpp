@@ -1,0 +1,73 @@
+#include "partition/selection.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace ftsort::partition {
+
+OverheadProfile extra_overhead(const fault::FaultSet& faults,
+                               const cube::CutSplit& split) {
+  const cube::Dim m = split.subcube_bits();
+  // Local fault address per subcube index (at most one by construction —
+  // callers pass sequences validated by the partition algorithm).
+  std::vector<std::optional<cube::NodeId>> fault_w(split.num_subcubes());
+  for (cube::NodeId f : faults.addresses()) {
+    const cube::NodeId v = split.subcube_index(f);
+    FTSORT_REQUIRE(!fault_w[v].has_value());
+    fault_w[v] = split.local_address(f);
+  }
+
+  OverheadProfile profile;
+  profile.h.assign(static_cast<std::size_t>(m), 0);
+  for (cube::Dim i = 0; i < m; ++i) {
+    int worst = 0;
+    for (cube::NodeId v = 0; v < split.num_subcubes(); ++v) {
+      if (cube::bit(v, i) != 0) continue;  // count each pair once
+      const cube::NodeId v2 = cube::neighbor(v, i);
+      if (fault_w[v].has_value() && fault_w[v2].has_value())
+        worst = std::max(worst, cube::hamming(*fault_w[v], *fault_w[v2]));
+    }
+    profile.h[static_cast<std::size_t>(i)] = worst;
+    profile.total += worst;
+  }
+  return profile;
+}
+
+cube::NodeId most_frequent_fault_local(const fault::FaultSet& faults,
+                                       const cube::CutSplit& split) {
+  FTSORT_REQUIRE(!faults.empty());
+  std::map<cube::NodeId, int> frequency;
+  for (cube::NodeId f : faults.addresses())
+    ++frequency[split.local_address(f)];
+  cube::NodeId best = 0;
+  int best_count = -1;
+  for (const auto& [w, count] : frequency) {
+    if (count > best_count) {  // map order => smallest address wins ties
+      best_count = count;
+      best = w;
+    }
+  }
+  return best;
+}
+
+Selection select_sequence(
+    const fault::FaultSet& faults,
+    const std::vector<std::vector<cube::Dim>>& cutting_set) {
+  FTSORT_REQUIRE(!cutting_set.empty());
+  Selection best;
+  bool have_best = false;
+  for (std::size_t idx = 0; idx < cutting_set.size(); ++idx) {
+    const cube::CutSplit split(faults.dim(), cutting_set[idx]);
+    OverheadProfile profile = extra_overhead(faults, split);
+    if (!have_best || profile.total < best.overhead.total) {
+      best.cuts = cutting_set[idx];
+      best.overhead = std::move(profile);
+      best.beta = idx;
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace ftsort::partition

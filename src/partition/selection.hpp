@@ -1,0 +1,50 @@
+// §3 — Heuristic selection of the cutting sequence D_β and of the dangling
+// processors.
+//
+// Re-indexing puts each subcube's dead processor at local address 0, so
+// corresponding processors of two neighbouring subcubes are physically
+// HD(FP, FP') extra hops apart, where FP/FP' are the s-bit local addresses
+// of the subcubes' faults. For each cube dimension i of the m-cube of
+// subcubes, h_i is the maximum such distance over the fault-carrying pairs
+// adjacent along i; the chosen D_β minimises Σ_i max(h_i) over Ψ (ties:
+// first in Ψ order, i.e. the paper's Example 2 choice).
+//
+// The dangling processor of every fault-free subcube is the local address
+// occurring most frequently among the faults (ties: smallest address),
+// which lines the dead nodes up across subcubes and so minimises the
+// re-index penalty the danglings introduce.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "hypercube/subcube.hpp"
+
+namespace ftsort::partition {
+
+/// Per-dimension worst-case extra hop counts for one cutting sequence.
+struct OverheadProfile {
+  std::vector<int> h;      ///< h_i = max pairwise HD along m-cube dim i
+  int total = 0;           ///< Σ h_i — formula (1) of the paper
+};
+
+OverheadProfile extra_overhead(const fault::FaultSet& faults,
+                               const cube::CutSplit& split);
+
+/// The local (s-bit) address appearing most often among the faults; ties
+/// broken toward the smallest address. Precondition: at least one fault.
+cube::NodeId most_frequent_fault_local(const fault::FaultSet& faults,
+                                       const cube::CutSplit& split);
+
+struct Selection {
+  std::vector<cube::Dim> cuts;  ///< the chosen D_β
+  OverheadProfile overhead;
+  std::size_t beta = 0;         ///< index of D_β within Ψ
+};
+
+/// Evaluate formula (1) on every sequence in Ψ and return the argmin.
+Selection select_sequence(
+    const fault::FaultSet& faults,
+    const std::vector<std::vector<cube::Dim>>& cutting_set);
+
+}  // namespace ftsort::partition

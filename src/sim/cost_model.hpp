@@ -1,0 +1,48 @@
+// The paper's communication/computation cost algebra.
+//
+// §3 expresses every term of the total sorting time T as a combination of
+//   t_c   — time to compare one pair of keys, and
+//   t_s/r — time to send or receive one key between *neighbouring* nodes,
+// with multi-hop transfers multiplied by the hop count (store-and-forward).
+// This model reproduces those terms; the optional per-message start-up cost
+// extends it towards real NCUBE/VERTEX behaviour (0 by default so that the
+// default configuration matches the paper's algebra exactly).
+#pragma once
+
+#include <cstdint>
+
+namespace ftsort::sim {
+
+/// Simulated time, in microseconds.
+using SimTime = double;
+
+struct CostModel {
+  double t_compare = 2.0;   ///< µs per key comparison (t_c)
+  double t_transfer = 8.0;  ///< µs per key per hop (t_s/r)
+  double t_startup = 0.0;   ///< µs per message per hop (VERTEX overhead)
+
+  /// Time the sender's processor is busy injecting k keys into its link.
+  SimTime injection_time(std::uint64_t keys) const {
+    return t_startup + t_transfer * static_cast<double>(keys);
+  }
+
+  /// End-to-end store-and-forward latency of k keys over h hops.
+  SimTime transfer_time(std::uint64_t keys, int hops) const {
+    return static_cast<double>(hops) *
+           (t_startup + t_transfer * static_cast<double>(keys));
+  }
+
+  SimTime compare_time(std::uint64_t comparisons) const {
+    return t_compare * static_cast<double>(comparisons);
+  }
+
+  /// Constants calibrated to NCUBE-era ratios (comparison ~2 µs on a ~0.5
+  /// MIPS node CPU; ~8 µs per 4-byte key on a ~0.5 MB/s DMA link).
+  static CostModel ncube7() { return CostModel{2.0, 8.0, 0.0}; }
+
+  /// ncube7 plus a realistic 350 µs per-message software start-up, used by
+  /// the ablation bench to test sensitivity of the paper's conclusions.
+  static CostModel ncube7_with_startup() { return CostModel{2.0, 8.0, 350.0}; }
+};
+
+}  // namespace ftsort::sim

@@ -1,0 +1,323 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+namespace ftsort::sim {
+
+cube::Dim NodeCtx::dim() const { return machine_->dim(); }
+
+const fault::FaultSet& NodeCtx::faults() const { return machine_->faults(); }
+
+bool NodeCtx::is_faulty(cube::NodeId u) const {
+  return machine_->faults().is_faulty(u);
+}
+
+void NodeCtx::charge_compares(std::uint64_t k) {
+  if (k == 0) return;
+  clock_ += machine_->cost().compare_time(k);
+  machine_->comparisons_.fetch_add(k, std::memory_order_relaxed);
+  machine_->trace_.record(
+      {clock_, id_, EventKind::Compute, 0, 0, k, 0});
+}
+
+void NodeCtx::charge_time(SimTime t) {
+  FTSORT_REQUIRE(t >= 0.0);
+  clock_ += t;
+}
+
+void NodeCtx::send(cube::NodeId dst, Tag tag, std::vector<Key> payload) {
+  FTSORT_REQUIRE(dst != id_);
+  FTSORT_REQUIRE(cube::valid_node(dst, machine_->dim()));
+  FTSORT_REQUIRE(!machine_->faults().is_faulty(dst));
+
+  const int hops = machine_->router().hops(id_, dst);
+  Message msg;
+  msg.src = id_;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.sent_at = clock_;
+  msg.hops = hops;
+  msg.arrival =
+      clock_ + machine_->cost().transfer_time(payload.size(), hops);
+  msg.payload = std::move(payload);
+
+  clock_ += machine_->cost().injection_time(msg.payload.size());
+  machine_->trace_.record({msg.sent_at, id_, EventKind::Send, dst, tag,
+                           msg.payload.size(), hops});
+  machine_->post(std::move(msg));
+}
+
+bool NodeCtx::RecvAwaiter::await_ready() const noexcept {
+  // The threaded executor must re-check under the mailbox lock inside
+  // await_suspend; the sequential one can short-circuit here.
+  if (ctx.machine_->threaded_) return false;
+  return ctx.machine_->has_message(ctx.id_, src, tag);
+}
+
+bool NodeCtx::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
+  return ctx.machine_->register_waiter(ctx.id_, src, tag, h);
+}
+
+Message NodeCtx::RecvAwaiter::await_resume() {
+  return ctx.machine_->pop_message(ctx.id_, src, tag);
+}
+
+Machine::Machine(cube::Dim n, fault::FaultSet faults,
+                 fault::FaultModel model, CostModel cost,
+                 cube::LinkSet dead_links)
+    : n_(n), faults_(std::move(faults)), model_(model), cost_(cost),
+      router_(n, faults_.bitmap(), model == fault::FaultModel::Total,
+              std::move(dead_links)) {
+  FTSORT_REQUIRE(cube::valid_dim(n_));
+  FTSORT_REQUIRE(faults_.dim() == n_);
+  nodes_.resize(size());
+}
+
+Machine::NodeState& Machine::state_of(cube::NodeId id) {
+  FTSORT_REQUIRE(cube::valid_node(id, n_));
+  FTSORT_INVARIANT(nodes_[id] != nullptr);
+  return *nodes_[id];
+}
+
+void Machine::post(Message msg) {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  keys_sent_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
+  key_hops_.fetch_add(
+      msg.payload.size() * static_cast<std::uint64_t>(msg.hops),
+      std::memory_order_relaxed);
+
+  NodeState& dst = state_of(msg.dst);
+  const std::uint64_t channel = channel_key(msg.src, msg.tag);
+  if (threaded_) {
+    std::coroutine_handle<> to_wake = nullptr;
+    {
+      const std::lock_guard<std::mutex> guard(dst.mutex);
+      dst.inbox[channel].push_back(std::move(msg));
+      if (dst.waiting && dst.want_channel == channel) {
+        dst.waiting = false;
+        dst.ready = dst.waiter;
+        dst.waiter = nullptr;
+        to_wake = dst.ready;
+      }
+    }
+    deliveries_.fetch_add(1, std::memory_order_release);
+    if (to_wake) dst.cv.notify_one();
+    return;
+  }
+  dst.inbox[channel].push_back(std::move(msg));
+  deliveries_.fetch_add(1, std::memory_order_relaxed);
+  if (dst.waiting && dst.want_channel == channel) {
+    dst.waiting = false;
+    ready_.push_back(dst.waiter);
+    dst.waiter = nullptr;
+  }
+}
+
+bool Machine::has_message(cube::NodeId node, cube::NodeId src, Tag tag) {
+  NodeState& st = state_of(node);
+  const auto it = st.inbox.find(channel_key(src, tag));
+  return it != st.inbox.end() && !it->second.empty();
+}
+
+bool Machine::register_waiter(cube::NodeId node, cube::NodeId src, Tag tag,
+                              std::coroutine_handle<> h) {
+  // A node program is one sequential coroutine chain, so at most one
+  // outstanding recv can exist per node.
+  FTSORT_REQUIRE(!faults_.is_faulty(src));  // would deadlock: never sends
+  NodeState& st = state_of(node);
+  if (threaded_) {
+    const std::lock_guard<std::mutex> guard(st.mutex);
+    const auto it = st.inbox.find(channel_key(src, tag));
+    if (it != st.inbox.end() && !it->second.empty())
+      return false;  // raced with a sender: resume immediately
+    FTSORT_INVARIANT(!st.waiting);
+    st.waiting = true;
+    st.want_channel = channel_key(src, tag);
+    st.waiter = h;
+    return true;
+  }
+  FTSORT_INVARIANT(!st.waiting);
+  st.waiting = true;
+  st.want_channel = channel_key(src, tag);
+  st.waiter = h;
+  return true;
+}
+
+Message Machine::pop_message(cube::NodeId node, cube::NodeId src, Tag tag) {
+  NodeState& st = state_of(node);
+  Message msg;
+  if (threaded_) {
+    const std::lock_guard<std::mutex> guard(st.mutex);
+    auto& queue = st.inbox[channel_key(src, tag)];
+    FTSORT_INVARIANT(!queue.empty());
+    msg = std::move(queue.front());
+    queue.pop_front();
+  } else {
+    auto& queue = st.inbox[channel_key(src, tag)];
+    FTSORT_INVARIANT(!queue.empty());
+    msg = std::move(queue.front());
+    queue.pop_front();
+  }
+  st.ctx.clock_ = std::max(st.ctx.clock_, msg.arrival);
+  trace_.record({st.ctx.clock_, node, EventKind::Recv, src, tag,
+                 msg.payload.size(), msg.hops});
+  return msg;
+}
+
+void Machine::report_deadlock() {
+  std::ostringstream os;
+  os << "simulation deadlock: every live node is blocked;";
+  for (const auto& node : nodes_) {
+    if (!node || node->task.done()) continue;
+    os << " node " << node->ctx.id();
+    if (node->waiting) {
+      os << " waits for src=" << (node->want_channel >> 32)
+         << " tag=" << (node->want_channel & 0xffffffffu) << ";";
+    } else {
+      os << " is not runnable;";
+    }
+  }
+  throw DeadlockError(os.str());
+}
+
+void Machine::instantiate_programs(const Program& program) {
+  messages_ = keys_sent_ = key_hops_ = comparisons_ = deliveries_ = 0;
+  ready_.clear();
+  for (cube::NodeId u = 0; u < size(); ++u) {
+    if (faults_.is_faulty(u)) {
+      nodes_[u] = nullptr;
+      continue;
+    }
+    nodes_[u] = std::unique_ptr<NodeState>(new NodeState(NodeCtx(*this, u)));
+    nodes_[u]->task = program(nodes_[u]->ctx);
+  }
+}
+
+RunReport Machine::collect_report() {
+  RunReport report;
+  report.node_clocks.assign(size(), 0.0);
+  for (cube::NodeId u = 0; u < size(); ++u) {
+    if (!nodes_[u]) continue;
+    try {
+      nodes_[u]->task.take_result();
+    } catch (const std::exception& e) {
+      running_ = false;
+      for (auto& node : nodes_) node.reset();
+      throw std::runtime_error("node " + std::to_string(u) +
+                               " failed: " + e.what());
+    }
+    report.node_clocks[u] = nodes_[u]->ctx.now();
+    report.makespan = std::max(report.makespan, nodes_[u]->ctx.now());
+  }
+  report.messages = messages_.load();
+  report.keys_sent = keys_sent_.load();
+  report.key_hops = key_hops_.load();
+  report.comparisons = comparisons_.load();
+
+  // Check no messages were left undelivered (protocol completeness).
+  for (const auto& node : nodes_) {
+    if (!node) continue;
+    for (const auto& [channel, queue] : node->inbox)
+      FTSORT_ENSURE(queue.empty());
+  }
+  for (auto& node : nodes_) node.reset();
+  running_ = false;
+  return report;
+}
+
+RunReport Machine::run(const Program& program) {
+  FTSORT_REQUIRE(!running_);
+  running_ = true;
+  threaded_ = false;
+  instantiate_programs(program);
+
+  // Kick each program to its first suspension point; then drain wakeups.
+  for (cube::NodeId u = 0; u < size(); ++u) {
+    if (!nodes_[u]) continue;
+    nodes_[u]->task.start();
+    while (!ready_.empty()) {
+      auto h = ready_.front();
+      ready_.pop_front();
+      h.resume();
+    }
+  }
+  while (!ready_.empty()) {
+    auto h = ready_.front();
+    ready_.pop_front();
+    h.resume();
+  }
+
+  // All programs must have completed; otherwise the system is deadlocked.
+  for (const auto& node : nodes_) {
+    if (node && !node->task.done()) {
+      running_ = false;
+      report_deadlock();
+    }
+  }
+  return collect_report();
+}
+
+RunReport Machine::run_threaded(const Program& program,
+                                std::chrono::milliseconds timeout) {
+  FTSORT_REQUIRE(!running_);
+  running_ = true;
+  threaded_ = true;
+  instantiate_programs(program);
+
+  std::atomic<bool> shutdown{false};
+  std::atomic<bool> stalled{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(faults_.healthy_count());
+  for (cube::NodeId u = 0; u < size(); ++u) {
+    if (!nodes_[u]) continue;
+    NodeState& st = *nodes_[u];
+    threads.emplace_back([&st, &shutdown, &stalled, timeout, this] {
+      st.task.start();
+      auto last_epoch = deliveries_.load(std::memory_order_acquire);
+      auto last_change = std::chrono::steady_clock::now();
+      while (!st.task.done() && !shutdown.load()) {
+        std::coroutine_handle<> to_resume = nullptr;
+        {
+          std::unique_lock<std::mutex> lk(st.mutex);
+          st.cv.wait_for(lk, std::chrono::milliseconds(50), [&] {
+            return st.ready != nullptr || shutdown.load();
+          });
+          if (st.ready != nullptr) {
+            to_resume = st.ready;
+            st.ready = nullptr;
+          }
+        }
+        if (to_resume != nullptr) {
+          to_resume.resume();
+          continue;
+        }
+        // No wakeup: detect global stalls via the delivery epoch.
+        const auto epoch = deliveries_.load(std::memory_order_acquire);
+        const auto now = std::chrono::steady_clock::now();
+        if (epoch != last_epoch) {
+          last_epoch = epoch;
+          last_change = now;
+        } else if (now - last_change > timeout) {
+          stalled.store(true);
+          shutdown.store(true);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  if (stalled.load()) {
+    running_ = false;
+    for (auto& node : nodes_) node.reset();
+    throw DeadlockError(
+        "threaded run stalled: no message delivered within the timeout "
+        "while nodes were still blocked");
+  }
+  threaded_ = false;
+  return collect_report();
+}
+
+}  // namespace ftsort::sim

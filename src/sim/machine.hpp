@@ -1,0 +1,187 @@
+// The simulated hypercube multicomputer.
+//
+// A `Machine` is an n-cube of processors with a fault set, a routing policy
+// derived from the fault model, and the paper's cost model. Each healthy
+// processor executes one coroutine program against its `NodeCtx`, which
+// provides message passing (`send` / `co_await recv`) and logical-clock
+// accounting. Execution is driven by a deterministic run-to-completion
+// scheduler: identical inputs produce identical message orders, logical
+// times, and results on every host.
+//
+// Time model (matches the paper's cost algebra, §3):
+//   * local comparisons advance the node clock by t_c each;
+//   * a send of k keys over h hops advances the sender by one link-injection
+//     time and arrives at sender_clock + h * (t_startup + k * t_transfer);
+//   * recv waits for the message, then sets clock = max(clock, arrival).
+// The run's makespan is the maximum final clock over all participating
+// nodes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "hypercube/routing.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/message.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+
+namespace ftsort::sim {
+
+class Machine;
+
+/// Thrown when every live program is blocked in recv and no message can
+/// ever arrive. The message lists each blocked node and what it waits for.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Per-node interface handed to node programs.
+class NodeCtx {
+ public:
+  cube::NodeId id() const { return id_; }
+  cube::Dim dim() const;
+  SimTime now() const { return clock_; }
+
+  const fault::FaultSet& faults() const;
+  bool is_faulty(cube::NodeId u) const;
+
+  /// Account `k` key comparisons of local work.
+  void charge_compares(std::uint64_t k);
+  /// Account arbitrary local work (e.g. data movement) in µs.
+  void charge_time(SimTime t);
+
+  /// Post a message. Never blocks (links are buffered); the sender's clock
+  /// advances by the link-injection time.
+  void send(cube::NodeId dst, Tag tag, std::vector<Key> payload);
+
+  /// Awaitable receive of the next message from (src, tag). FIFO per
+  /// channel. `co_await ctx.recv(...)` yields the Message.
+  struct RecvAwaiter {
+    NodeCtx& ctx;
+    cube::NodeId src;
+    Tag tag;
+    bool await_ready() const noexcept;
+    /// Returns false (resume immediately) if a message raced in between
+    /// await_ready and suspension — only possible on the threaded executor.
+    bool await_suspend(std::coroutine_handle<> h);
+    Message await_resume();
+  };
+  RecvAwaiter recv(cube::NodeId src, Tag tag) {
+    return RecvAwaiter{*this, src, tag};
+  }
+
+ private:
+  friend class Machine;
+  NodeCtx(Machine& machine, cube::NodeId id) : machine_(&machine), id_(id) {}
+
+  Machine* machine_;
+  cube::NodeId id_;
+  SimTime clock_ = 0.0;
+};
+
+/// Aggregate results of one simulation run.
+struct RunReport {
+  SimTime makespan = 0.0;            ///< max final node clock, µs
+  std::uint64_t messages = 0;        ///< messages posted
+  std::uint64_t keys_sent = 0;       ///< Σ payload sizes
+  std::uint64_t key_hops = 0;        ///< Σ payload size × hops
+  std::uint64_t comparisons = 0;     ///< Σ charged comparisons
+  std::vector<SimTime> node_clocks;  ///< final clock per node (0 if idle)
+};
+
+class Machine {
+ public:
+  /// A node program factory: invoked once per healthy node.
+  using Program = std::function<Task<void>(NodeCtx&)>;
+
+  Machine(cube::Dim n, fault::FaultSet faults,
+          fault::FaultModel model = fault::FaultModel::Partial,
+          CostModel cost = CostModel::ncube7(),
+          cube::LinkSet dead_links = {});
+
+  cube::Dim dim() const { return n_; }
+  std::uint32_t size() const { return cube::num_nodes(n_); }
+  const fault::FaultSet& faults() const { return faults_; }
+  fault::FaultModel fault_model() const { return model_; }
+  const CostModel& cost() const { return cost_; }
+  const cube::Router& router() const { return router_; }
+  Trace& trace() { return trace_; }
+
+  /// Instantiate `program` on every healthy node and run the whole system
+  /// to completion. Throws DeadlockError on global blocking, and rethrows
+  /// the first node-program exception (annotated with the node id).
+  RunReport run(const Program& program);
+
+  /// MIMD execution: one std::thread per healthy node, blocking mailboxes.
+  /// Results, statistics, and logical times are identical to `run` — the
+  /// logical clocks depend only on the message causality, not on host
+  /// scheduling — so this mainly demonstrates that node programs are
+  /// executor-agnostic. A stalled system is reported as DeadlockError
+  /// after `timeout` elapses with no delivery progress.
+  RunReport run_threaded(const Program& program,
+                         std::chrono::milliseconds timeout =
+                             std::chrono::milliseconds(30'000));
+
+ private:
+  friend class NodeCtx;
+
+  struct NodeState {
+    explicit NodeState(NodeCtx c) : ctx(std::move(c)) {}
+    NodeCtx ctx;
+    Task<void> task;
+    // Channel key = (src << 32) | tag.
+    std::unordered_map<std::uint64_t, std::deque<Message>> inbox;
+    bool waiting = false;
+    std::uint64_t want_channel = 0;
+    std::coroutine_handle<> waiter;
+    // Threaded-executor state: the mailbox lock and the wakeup channel.
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::coroutine_handle<> ready;
+  };
+
+  static std::uint64_t channel_key(cube::NodeId src, Tag tag) {
+    return (static_cast<std::uint64_t>(src) << 32) | tag;
+  }
+
+  NodeState& state_of(cube::NodeId id);
+  void post(Message msg);
+  bool has_message(cube::NodeId node, cube::NodeId src, Tag tag);
+  bool register_waiter(cube::NodeId node, cube::NodeId src, Tag tag,
+                       std::coroutine_handle<> h);
+  Message pop_message(cube::NodeId node, cube::NodeId src, Tag tag);
+  [[noreturn]] void report_deadlock();
+  void instantiate_programs(const Program& program);
+  RunReport collect_report();
+
+  cube::Dim n_;
+  fault::FaultSet faults_;
+  fault::FaultModel model_;
+  CostModel cost_;
+  cube::Router router_;
+  Trace trace_;
+
+  std::vector<std::unique_ptr<NodeState>> nodes_;  // index = address
+  std::deque<std::coroutine_handle<>> ready_;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> keys_sent_{0};
+  std::atomic<std::uint64_t> key_hops_{0};
+  std::atomic<std::uint64_t> comparisons_{0};
+  std::atomic<std::uint64_t> deliveries_{0};  // progress epoch (threaded)
+  bool running_ = false;
+  bool threaded_ = false;
+};
+
+}  // namespace ftsort::sim

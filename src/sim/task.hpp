@@ -1,0 +1,151 @@
+// Minimal coroutine task type for SPMD node programs.
+//
+// Every processor of the simulated multicomputer runs one `Task<void>`
+// program; blocking operations (message receive) suspend the coroutine and
+// hand control back to the deterministic scheduler. Sub-routines that
+// communicate are themselves Task<T> and are composed with `co_await`, using
+// symmetric transfer so deep call chains cost no stack.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      // Resume whoever co_awaited us; top-level tasks fall back to a noop
+      // handle, returning control to the scheduler.
+      return h.promise().continuation;
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+/// An owning handle to a lazily-started coroutine. Move-only. Await it to
+/// run it to completion; or `start()` it from a scheduler and poll `done()`.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  /// Kick off a top-level task (scheduler use). The task runs until its
+  /// first suspension point or completion.
+  void start() {
+    FTSORT_REQUIRE(valid());
+    handle_.resume();
+  }
+
+  /// Rethrow any exception the finished task captured; return its value.
+  T take_result() {
+    FTSORT_REQUIRE(done() && valid());
+    if (handle_.promise().exception)
+      std::rethrow_exception(handle_.promise().exception);
+    if constexpr (!std::is_void_v<T>) {
+      FTSORT_INVARIANT(handle_.promise().value.has_value());
+      return std::move(*handle_.promise().value);
+    }
+  }
+
+  /// Awaiter: suspends the caller, transfers control into this task, and
+  /// resumes the caller when it finishes (symmetric transfer).
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> caller) noexcept {
+        handle.promise().continuation = caller;
+        return handle;
+      }
+      T await_resume() {
+        if (handle.promise().exception)
+          std::rethrow_exception(handle.promise().exception);
+        if constexpr (!std::is_void_v<T>)
+          return std::move(*handle.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_ = nullptr;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(
+      std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace ftsort::sim

@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ftsort::sim {
+
+namespace {
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::Send: return "send";
+    case EventKind::Recv: return "recv";
+    case EventKind::Compute: return "compute";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Trace::to_string(std::size_t max_lines) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const auto& ev : events_) {
+    if (shown++ >= max_lines) {
+      os << "... (" << events_.size() - max_lines << " more events)\n";
+      break;
+    }
+    os << std::fixed << std::setprecision(1) << std::setw(12) << ev.time
+       << "us  node " << std::setw(3) << ev.node << "  "
+       << kind_name(ev.kind);
+    if (ev.kind != EventKind::Compute)
+      os << (ev.kind == EventKind::Send ? " -> " : " <- ") << ev.peer
+         << " tag=" << ev.tag << " keys=" << ev.keys
+         << " hops=" << ev.hops;
+    else
+      os << " comparisons=" << ev.keys;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ftsort::sim

@@ -1,0 +1,52 @@
+// Optional event trace of a simulation run, for debugging and the demo
+// examples. Disabled by default; recording is O(1) per event when enabled.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hypercube/address.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/message.hpp"
+
+namespace ftsort::sim {
+
+enum class EventKind { Send, Recv, Compute };
+
+struct TraceEvent {
+  SimTime time = 0.0;
+  cube::NodeId node = 0;
+  EventKind kind = EventKind::Compute;
+  cube::NodeId peer = 0;   ///< other endpoint for Send/Recv
+  Tag tag = 0;
+  std::uint64_t keys = 0;  ///< payload size or comparison count
+  int hops = 0;
+};
+
+class Trace {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(TraceEvent ev) {
+    if (!enabled_) return;
+    // Serialised so the threaded executor can trace too.
+    const std::lock_guard<std::mutex> guard(mutex_);
+    events_.push_back(ev);
+  }
+  void clear() { events_.clear(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Human-readable dump (one line per event), truncated to `max_lines`.
+  std::string to_string(std::size_t max_lines = 200) const;
+
+ private:
+  bool enabled_ = false;
+  std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ftsort::sim

@@ -1,0 +1,49 @@
+#include "sort/bitonic_network.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::sort {
+
+std::vector<CompareExchange> bitonic_schedule(int k) {
+  FTSORT_REQUIRE(k >= 0 && k <= 24);
+  std::vector<CompareExchange> schedule;
+  const std::size_t n = std::size_t{1} << k;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i; j >= 0; --j) {
+      const std::size_t stride = std::size_t{1} << j;
+      for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t q = p ^ stride;
+        if (q < p) continue;
+        const bool ascending = ((p >> (i + 1)) & 1u) == 0;
+        schedule.push_back(CompareExchange{p, q, ascending});
+      }
+    }
+  }
+  return schedule;
+}
+
+void apply_schedule(std::span<Key> data,
+                    std::span<const CompareExchange> schedule,
+                    std::uint64_t& comparisons) {
+  for (const auto& ce : schedule) {
+    FTSORT_REQUIRE(ce.hi < data.size());
+    ++comparisons;
+    const bool out_of_order = ce.ascending ? data[ce.hi] < data[ce.lo]
+                                           : data[ce.lo] < data[ce.hi];
+    if (out_of_order) std::swap(data[ce.lo], data[ce.hi]);
+  }
+}
+
+void bitonic_sort_sequential(std::span<Key> data,
+                             std::uint64_t& comparisons) {
+  FTSORT_REQUIRE(std::has_single_bit(data.size()) || data.empty());
+  if (data.size() < 2) return;
+  const int k = std::countr_zero(data.size());
+  const auto schedule = bitonic_schedule(k);
+  apply_schedule(data, schedule, comparisons);
+}
+
+}  // namespace ftsort::sort

@@ -1,0 +1,36 @@
+// Sequential bitonic sorting network — the oracle the SPMD sorts are tested
+// against, and the schedule generator documentation refers to.
+//
+// Batcher's bitonic sorter for 2^k keys: stages i = 0..k-1, each sweeping
+// substeps j = i..0; at (i, j) key p is compare-exchanged with p ^ 2^j in
+// ascending order iff bit i+1 of p is 0. The same (i, j) loop structure,
+// lifted to blocks and hypercube nodes, is exactly the paper's algorithm.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sort/sequential.hpp"
+
+namespace ftsort::sort {
+
+struct CompareExchange {
+  std::size_t lo = 0;     ///< smaller index of the pair
+  std::size_t hi = 0;     ///< larger index
+  bool ascending = true;  ///< min to lo / max to hi when true
+};
+
+/// The full schedule for 2^k keys, in execution order.
+std::vector<CompareExchange> bitonic_schedule(int k);
+
+/// Apply a schedule in order.
+void apply_schedule(std::span<Key> data,
+                    std::span<const CompareExchange> schedule,
+                    std::uint64_t& comparisons);
+
+/// Sort `data` (size must be a power of two) with the bitonic network.
+void bitonic_sort_sequential(std::span<Key> data,
+                             std::uint64_t& comparisons);
+
+}  // namespace ftsort::sort

@@ -1,0 +1,195 @@
+#include "sort/collectives.hpp"
+
+#include <algorithm>
+
+namespace ftsort::sort {
+
+namespace {
+
+/// Relative rank: collectives operate on r = me XOR root so the root is
+/// always relative 0; physical targets are mapped back through the cube.
+cube::NodeId physical_of(const LogicalCube& lc, cube::NodeId relative,
+                         cube::NodeId root) {
+  return lc.phys[relative ^ root];
+}
+
+void check_args(const LogicalCube& lc, cube::NodeId me, cube::NodeId root) {
+  FTSORT_REQUIRE(!lc.dead0);
+  FTSORT_REQUIRE(cube::valid_node(me, lc.s));
+  FTSORT_REQUIRE(cube::valid_node(root, lc.s));
+}
+
+}  // namespace
+
+std::uint32_t collective_tag_span(cube::Dim s) {
+  return static_cast<std::uint32_t>(s);
+}
+
+sim::Task<std::vector<Key>> broadcast(sim::NodeCtx& ctx,
+                                      const LogicalCube& lc,
+                                      cube::NodeId me, cube::NodeId root,
+                                      std::vector<Key> data, sim::Tag tag) {
+  check_args(lc, me, root);
+  const cube::NodeId r = me ^ root;
+  // Round k: ranks below 2^k forward to their k-th-dimension partner.
+  for (cube::Dim k = 0; k < lc.s; ++k, ++tag) {
+    const cube::NodeId bit_k = cube::NodeId{1} << k;
+    if (r < bit_k) {
+      ctx.send(physical_of(lc, r | bit_k, root), tag, data);
+    } else if (r < (bit_k << 1)) {
+      sim::Message msg =
+          co_await ctx.recv(physical_of(lc, r ^ bit_k, root), tag);
+      data = std::move(msg.payload);
+    }
+  }
+  co_return data;
+}
+
+sim::Task<std::vector<Key>> scatter(sim::NodeCtx& ctx,
+                                    const LogicalCube& lc, cube::NodeId me,
+                                    cube::NodeId root,
+                                    std::vector<std::vector<Key>> blocks,
+                                    sim::Tag tag) {
+  check_args(lc, me, root);
+  const cube::NodeId r = me ^ root;
+  // Buffer holds the blocks destined for relative ranks
+  // [r, r + buffer.size()); at the root that is everything.
+  std::vector<std::vector<Key>> buffer;
+  if (r == 0) {
+    FTSORT_REQUIRE(blocks.size() == lc.size());
+    // Re-order root blocks from logical to relative rank order.
+    buffer.resize(lc.size());
+    for (cube::NodeId rel = 0; rel < lc.size(); ++rel)
+      buffer[rel] = std::move(blocks[rel ^ root]);
+  }
+  // Top-down: at round k the holders (relative ranks that are multiples of
+  // 2^(k+1)) split off the upper 2^k blocks of their range to r + 2^k.
+  for (cube::Dim k = lc.s - 1; k >= 0; --k, ++tag) {
+    const cube::NodeId bit_k = cube::NodeId{1} << k;
+    const bool holder = (r & ((bit_k << 1) - 1)) == 0 && !buffer.empty();
+    if (holder) {
+      // Send blocks [bit_k, 2*bit_k) of my range to partner r | bit_k.
+      std::vector<Key> wire;
+      for (cube::NodeId idx = bit_k; idx < (bit_k << 1); ++idx)
+        wire.insert(wire.end(), buffer[idx].begin(), buffer[idx].end());
+      ctx.send(physical_of(lc, r | bit_k, root), tag, std::move(wire));
+      buffer.resize(bit_k);
+    } else if ((r & bit_k) != 0 && (r & (bit_k - 1)) == 0) {
+      // I am the receiver of this round: r in [bit_k, 2*bit_k).
+      sim::Message msg =
+          co_await ctx.recv(physical_of(lc, r ^ bit_k, root), tag);
+      const std::size_t count = bit_k;
+      FTSORT_REQUIRE(msg.payload.size() % count == 0);
+      const std::size_t block_len = msg.payload.size() / count;
+      buffer.resize(count);
+      for (std::size_t i = 0; i < count; ++i)
+        buffer[i].assign(
+            msg.payload.begin() + static_cast<std::ptrdiff_t>(i * block_len),
+            msg.payload.begin() +
+                static_cast<std::ptrdiff_t>((i + 1) * block_len));
+    }
+  }
+  FTSORT_ENSURE(buffer.size() == 1);
+  co_return std::move(buffer.front());
+}
+
+sim::Task<std::vector<Key>> gather(sim::NodeCtx& ctx, const LogicalCube& lc,
+                                   cube::NodeId me, cube::NodeId root,
+                                   std::vector<Key> mine, sim::Tag tag) {
+  check_args(lc, me, root);
+  const cube::NodeId r = me ^ root;
+  const std::size_t block_len = mine.size();
+  // Bottom-up: after round k, ranks with low k+1 bits zero hold the
+  // concatenation of relative ranks [r, r + 2^(k+1)).
+  std::vector<Key> buffer = std::move(mine);
+  for (cube::Dim k = 0; k < lc.s; ++k, ++tag) {
+    const cube::NodeId bit_k = cube::NodeId{1} << k;
+    if ((r & (bit_k - 1)) != 0) break;  // already handed off
+    if ((r & bit_k) != 0) {
+      ctx.send(physical_of(lc, r ^ bit_k, root), tag, std::move(buffer));
+      buffer.clear();
+      break;
+    }
+    sim::Message msg =
+        co_await ctx.recv(physical_of(lc, r | bit_k, root), tag);
+    buffer.insert(buffer.end(), msg.payload.begin(), msg.payload.end());
+  }
+  if (r != 0) co_return std::vector<Key>{};
+  // Root holds relative rank order == logical order rotated by XOR root;
+  // restore logical order.
+  FTSORT_ENSURE(buffer.size() == block_len * lc.size());
+  std::vector<Key> out(buffer.size());
+  for (cube::NodeId rel = 0; rel < lc.size(); ++rel) {
+    const cube::NodeId logical = rel ^ root;
+    std::copy(buffer.begin() + static_cast<std::ptrdiff_t>(rel * block_len),
+              buffer.begin() +
+                  static_cast<std::ptrdiff_t>((rel + 1) * block_len),
+              out.begin() + static_cast<std::ptrdiff_t>(
+                                static_cast<std::size_t>(logical) *
+                                block_len));
+  }
+  co_return out;
+}
+
+sim::Task<std::vector<Key>> all_gather(sim::NodeCtx& ctx,
+                                       const LogicalCube& lc,
+                                       cube::NodeId me,
+                                       std::vector<Key> mine,
+                                       sim::Tag tag) {
+  check_args(lc, me, 0);
+  const std::size_t block_len = mine.size();
+  // Recursive doubling: after round k I hold the blocks of the 2^(k+1)
+  // ranks sharing my high bits, in rank order within that group.
+  std::vector<Key> buffer = std::move(mine);
+  for (cube::Dim k = 0; k < lc.s; ++k, ++tag) {
+    const cube::NodeId partner = cube::neighbor(me, k);
+    ctx.send(lc.phys[partner], tag, buffer);
+    sim::Message msg = co_await ctx.recv(lc.phys[partner], tag);
+    if (cube::bit(me, k) == 0) {
+      buffer.insert(buffer.end(), msg.payload.begin(), msg.payload.end());
+    } else {
+      msg.payload.insert(msg.payload.end(), buffer.begin(), buffer.end());
+      buffer = std::move(msg.payload);
+    }
+  }
+  FTSORT_ENSURE(buffer.size() == block_len * lc.size());
+  co_return buffer;
+}
+
+sim::Task<std::vector<Key>> reduce(sim::NodeCtx& ctx, const LogicalCube& lc,
+                                   cube::NodeId me, cube::NodeId root,
+                                   std::vector<Key> mine, ReduceOp op,
+                                   sim::Tag tag) {
+  check_args(lc, me, root);
+  const cube::NodeId r = me ^ root;
+  const auto combine = [op](Key a, Key b) {
+    switch (op) {
+      case ReduceOp::Sum: return static_cast<Key>(a + b);
+      case ReduceOp::Min: return std::min(a, b);
+      case ReduceOp::Max: return std::max(a, b);
+    }
+    return a;
+  };
+  std::vector<Key> buffer = std::move(mine);
+  std::uint64_t combines = 0;
+  for (cube::Dim k = 0; k < lc.s; ++k, ++tag) {
+    const cube::NodeId bit_k = cube::NodeId{1} << k;
+    if ((r & (bit_k - 1)) != 0) break;
+    if ((r & bit_k) != 0) {
+      ctx.send(physical_of(lc, r ^ bit_k, root), tag, std::move(buffer));
+      buffer.clear();
+      break;
+    }
+    sim::Message msg =
+        co_await ctx.recv(physical_of(lc, r | bit_k, root), tag);
+    FTSORT_REQUIRE(msg.payload.size() == buffer.size());
+    for (std::size_t i = 0; i < buffer.size(); ++i)
+      buffer[i] = combine(buffer[i], msg.payload[i]);
+    combines += buffer.size();
+  }
+  ctx.charge_compares(combines);
+  if (r != 0) co_return std::vector<Key>{};
+  co_return buffer;
+}
+
+}  // namespace ftsort::sort

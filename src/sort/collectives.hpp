@@ -1,0 +1,60 @@
+// SPMD collective operations on a logical hypercube — the standard
+// binomial-tree / recursive-doubling algorithms every hypercube
+// multicomputer of the era shipped (and the substrate for modelling the
+// NCUBE host's scatter/gather of Step 2).
+//
+// All collectives run over a fault-free LogicalCube (re-mapped subcubes are
+// fine; a dead logical 0 is not supported — route host I/O through a live
+// entry node instead) and complete in s rounds. Every rank must call the
+// collective with the same root and tag.
+#pragma once
+
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/task.hpp"
+#include "sort/spmd_bitonic.hpp"
+
+namespace ftsort::sort {
+
+/// Tags consumed by one collective call (one per round).
+std::uint32_t collective_tag_span(cube::Dim s);
+
+/// Binomial-tree broadcast: after completion every rank returns a copy of
+/// the root's `data` (non-roots pass an empty vector).
+sim::Task<std::vector<Key>> broadcast(sim::NodeCtx& ctx,
+                                      const LogicalCube& lc,
+                                      cube::NodeId me, cube::NodeId root,
+                                      std::vector<Key> data, sim::Tag tag);
+
+/// Scatter equal-size blocks: the root passes 2^s blocks (in logical rank
+/// order, all the same size); every rank returns its own block.
+sim::Task<std::vector<Key>> scatter(sim::NodeCtx& ctx,
+                                    const LogicalCube& lc, cube::NodeId me,
+                                    cube::NodeId root,
+                                    std::vector<std::vector<Key>> blocks,
+                                    sim::Tag tag);
+
+/// Gather equal-size blocks to the root: returns, at the root, the 2^s
+/// blocks concatenated in logical rank order; empty elsewhere.
+sim::Task<std::vector<Key>> gather(sim::NodeCtx& ctx, const LogicalCube& lc,
+                                   cube::NodeId me, cube::NodeId root,
+                                   std::vector<Key> mine, sim::Tag tag);
+
+/// Recursive-doubling all-gather: every rank returns the concatenation of
+/// all ranks' blocks in logical rank order (blocks must be equal size).
+sim::Task<std::vector<Key>> all_gather(sim::NodeCtx& ctx,
+                                       const LogicalCube& lc,
+                                       cube::NodeId me,
+                                       std::vector<Key> mine, sim::Tag tag);
+
+enum class ReduceOp { Sum, Min, Max };
+
+/// Binomial-tree reduction to the root: element-wise op over equal-length
+/// vectors; returns the reduced vector at the root, empty elsewhere.
+sim::Task<std::vector<Key>> reduce(sim::NodeCtx& ctx, const LogicalCube& lc,
+                                   cube::NodeId me, cube::NodeId root,
+                                   std::vector<Key> mine, ReduceOp op,
+                                   sim::Tag tag);
+
+}  // namespace ftsort::sort

@@ -1,0 +1,51 @@
+// Key distribution, gathering, and workload generation.
+//
+// The host scatters M unsorted keys over the live processors in equal
+// blocks, padding the tail with dummy (+∞) keys exactly as the paper does;
+// gathering concatenates blocks in logical order and strips the dummies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::sort {
+
+using sim::Key;
+
+/// Equal blocks of size ceil(M / live_count), dummy-padded.
+struct Distribution {
+  std::size_t block_size = 0;
+  std::vector<std::vector<Key>> blocks;  ///< one per live slot, in order
+};
+
+Distribution distribute_evenly(std::span<const Key> keys,
+                               std::uint32_t live_count);
+
+/// Concatenate blocks in order and drop dummy keys. The result of a correct
+/// sort is ascending with all dummies trailing, so stripping preserves
+/// order.
+std::vector<Key> gather_and_strip(
+    std::span<const std::vector<Key>> blocks);
+
+// ---- Workload generators (all deterministic given the Rng) ----
+
+/// Uniform random 48-bit keys (kept well below the dummy sentinel).
+std::vector<Key> gen_uniform(std::size_t count, util::Rng& rng);
+/// Already ascending input.
+std::vector<Key> gen_sorted(std::size_t count);
+/// Strictly descending input (adversarial for many sorts, not for bitonic).
+std::vector<Key> gen_reverse(std::size_t count);
+/// Keys drawn from only `distinct` values — stresses tie handling.
+std::vector<Key> gen_few_distinct(std::size_t count, std::size_t distinct,
+                                  util::Rng& rng);
+/// Ascending then descending ("organ pipe") — classic merge stress shape.
+std::vector<Key> gen_organ_pipe(std::size_t count);
+/// Sorted input with `swaps` random transpositions.
+std::vector<Key> gen_nearly_sorted(std::size_t count, std::size_t swaps,
+                                   util::Rng& rng);
+
+}  // namespace ftsort::sort

@@ -1,0 +1,74 @@
+#include "sort/merge_split.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::sort {
+
+std::vector<Key> merge_split_full(std::span<const Key> mine,
+                                  std::span<const Key> theirs,
+                                  SplitHalf keep,
+                                  std::uint64_t& comparisons) {
+  const std::size_t want = mine.size();
+  std::vector<Key> out;
+  out.reserve(want);
+  if (want == 0) return out;
+
+  if (keep == SplitHalf::Lower) {
+    // Forward merge until `want` keys are produced.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (out.size() < want) {
+      if (i < mine.size() && j < theirs.size()) {
+        ++comparisons;
+        out.push_back(theirs[j] < mine[i] ? theirs[j++] : mine[i++]);
+      } else if (i < mine.size()) {
+        out.push_back(mine[i++]);
+      } else {
+        FTSORT_INVARIANT(j < theirs.size());
+        out.push_back(theirs[j++]);
+      }
+    }
+  } else {
+    // Backward merge from the top.
+    std::size_t i = mine.size();
+    std::size_t j = theirs.size();
+    while (out.size() < want) {
+      if (i > 0 && j > 0) {
+        ++comparisons;
+        out.push_back(mine[i - 1] < theirs[j - 1] ? theirs[--j] : mine[--i]);
+      } else if (i > 0) {
+        out.push_back(mine[--i]);
+      } else {
+        FTSORT_INVARIANT(j > 0);
+        out.push_back(theirs[--j]);
+      }
+    }
+    std::reverse(out.begin(), out.end());
+  }
+  return out;
+}
+
+PairwiseSplit pairwise_select(std::span<const Key> a, std::span<const Key> b,
+                              SplitHalf keep, std::uint64_t& comparisons) {
+  FTSORT_REQUIRE(a.size() == b.size());
+  PairwiseSplit split;
+  split.kept.reserve(a.size());
+  split.returned.reserve(a.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ++comparisons;
+    const Key lo = std::min(a[t], b[t]);
+    const Key hi = std::max(a[t], b[t]);
+    if (keep == SplitHalf::Lower) {
+      split.kept.push_back(lo);
+      split.returned.push_back(hi);
+    } else {
+      split.kept.push_back(hi);
+      split.returned.push_back(lo);
+    }
+  }
+  return split;
+}
+
+}  // namespace ftsort::sort

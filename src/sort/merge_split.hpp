@@ -1,0 +1,60 @@
+// Merge-split kernels: the block-level comparator of block bitonic sort.
+//
+// Replacing each key of a sorting network by a sorted block and each
+// compare-exchange by a *merge-split* (lower block keeps the smaller half of
+// the union) sorts the blocked input — Baudet & Stevenson's classical
+// observation that underlies all hypercube bitonic sorts, including the
+// paper's.
+//
+// Two wire protocols compute the same split:
+//  * Full exchange — both partners swap whole blocks and each computes its
+//    half locally. Simple; 2x the traffic.
+//  * Half exchange (the paper's §2.1/§3 Step 7 protocol) — each partner
+//    sends half its block, the pairwise winners are computed at both ends,
+//    and exactly the losers travel back; per-step traffic matches the
+//    ⌈M/2N'⌉ + ⌈M/2N'⌉ terms in the paper's cost formula. It relies on the
+//    identity that for ascending equal-length blocks A and B, the b smallest
+//    keys of A ∪ B are { min(A[k], B[b-1-k]) } and the b largest are
+//    { max(A[k], B[b-1-k]) }.
+//
+// The messaging halves of these protocols live in spmd_bitonic.*; this
+// header holds the pure computational kernels plus a reference
+// `merge_split_full` used directly by tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sort/sequential.hpp"
+
+namespace ftsort::sort {
+
+enum class SplitHalf { Lower, Upper };
+
+/// Which wire protocol the SPMD sorts use for each comparison-exchange.
+enum class ExchangeProtocol {
+  FullExchange,  ///< swap whole blocks, compute locally
+  HalfExchange,  ///< the paper's send-half / compare / return protocol
+};
+
+/// Reference kernel: given own ascending block `mine` and the partner's
+/// ascending block `theirs`, return the `mine.size()` smallest (Lower) or
+/// largest (Upper) keys of the union, ascending.
+std::vector<Key> merge_split_full(std::span<const Key> mine,
+                                  std::span<const Key> theirs,
+                                  SplitHalf keep,
+                                  std::uint64_t& comparisons);
+
+/// Pairwise-select kernel of the half-exchange protocol. Pairs a[t] with
+/// b[t] (the caller arranges the reversed indexing) and splits winners from
+/// losers: with `keep == Lower` kept[t] = min, returned[t] = max; with
+/// `Upper` the reverse. `a` and `b` must have equal length.
+struct PairwiseSplit {
+  std::vector<Key> kept;
+  std::vector<Key> returned;
+};
+PairwiseSplit pairwise_select(std::span<const Key> a, std::span<const Key> b,
+                              SplitHalf keep, std::uint64_t& comparisons);
+
+}  // namespace ftsort::sort

@@ -1,0 +1,221 @@
+#include "sort/sequential.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::sort {
+
+namespace {
+
+/// Restore the max-heap property below `root` within data[0 .. size).
+void sift_down(std::span<Key> data, std::size_t root, std::size_t size,
+               std::uint64_t& comparisons) {
+  while (true) {
+    const std::size_t left = 2 * root + 1;
+    if (left >= size) return;
+    std::size_t largest = left;
+    const std::size_t right = left + 1;
+    if (right < size) {
+      ++comparisons;
+      if (data[right] > data[left]) largest = right;
+    }
+    ++comparisons;
+    if (data[largest] <= data[root]) return;
+    std::swap(data[root], data[largest]);
+    root = largest;
+  }
+}
+
+}  // namespace
+
+void heapsort(std::span<Key> data, std::uint64_t& comparisons) {
+  const std::size_t n = data.size();
+  if (n < 2) return;
+  for (std::size_t i = n / 2; i-- > 0;)
+    sift_down(data, i, n, comparisons);
+  for (std::size_t end = n; end-- > 1;) {
+    std::swap(data[0], data[end]);
+    sift_down(data, 0, end, comparisons);
+  }
+}
+
+void heapsort(std::span<Key> data) {
+  std::uint64_t ignored = 0;
+  heapsort(data, ignored);
+}
+
+namespace {
+
+void mergesort_impl(std::span<Key> data, std::span<Key> scratch,
+                    std::uint64_t& comparisons) {
+  const std::size_t n = data.size();
+  if (n < 2) return;
+  const std::size_t half = n / 2;
+  mergesort_impl(data.subspan(0, half), scratch.subspan(0, half),
+                 comparisons);
+  mergesort_impl(data.subspan(half), scratch.subspan(half), comparisons);
+  // Merge into scratch, then copy back.
+  std::size_t i = 0;
+  std::size_t j = half;
+  std::size_t out = 0;
+  while (i < half && j < n) {
+    ++comparisons;
+    scratch[out++] = (data[j] < data[i]) ? data[j++] : data[i++];
+  }
+  while (i < half) scratch[out++] = data[i++];
+  while (j < n) scratch[out++] = data[j++];
+  std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(n),
+            data.begin());
+}
+
+void insertion_sort(std::span<Key> data, std::uint64_t& comparisons) {
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    const Key key = data[i];
+    std::size_t j = i;
+    while (j > 0) {
+      ++comparisons;
+      if (data[j - 1] <= key) break;
+      data[j] = data[j - 1];
+      --j;
+    }
+    data[j] = key;
+  }
+}
+
+void quicksort_impl(std::span<Key> data, std::uint64_t& comparisons) {
+  constexpr std::size_t kCutoff = 16;
+  while (data.size() > kCutoff) {
+    // Median of three: first, middle, last.
+    const std::size_t n = data.size();
+    const std::size_t mid = n / 2;
+    comparisons += 3;
+    if (data[mid] < data[0]) std::swap(data[mid], data[0]);
+    if (data[n - 1] < data[0]) std::swap(data[n - 1], data[0]);
+    if (data[n - 1] < data[mid]) std::swap(data[n - 1], data[mid]);
+    const Key pivot = data[mid];
+    // Hoare partition.
+    std::size_t i = 0;
+    std::size_t j = n - 1;
+    while (true) {
+      do {
+        ++i;
+        ++comparisons;
+      } while (data[i] < pivot);
+      do {
+        --j;
+        ++comparisons;
+      } while (pivot < data[j]);
+      if (i >= j) break;
+      std::swap(data[i], data[j]);
+    }
+    // Recurse into the smaller side, loop on the larger (O(log n) stack).
+    const std::size_t split = j + 1;
+    if (split < n - split) {
+      quicksort_impl(data.subspan(0, split), comparisons);
+      data = data.subspan(split);
+    } else {
+      quicksort_impl(data.subspan(split), comparisons);
+      data = data.subspan(0, split);
+    }
+  }
+  insertion_sort(data, comparisons);
+}
+
+}  // namespace
+
+void mergesort(std::span<Key> data, std::uint64_t& comparisons) {
+  std::vector<Key> scratch(data.size());
+  mergesort_impl(data, scratch, comparisons);
+}
+
+void quicksort(std::span<Key> data, std::uint64_t& comparisons) {
+  quicksort_impl(data, comparisons);
+}
+
+void local_sort(LocalSort algorithm, std::span<Key> data,
+                std::uint64_t& comparisons) {
+  switch (algorithm) {
+    case LocalSort::Heapsort: heapsort(data, comparisons); return;
+    case LocalSort::Mergesort: mergesort(data, comparisons); return;
+    case LocalSort::Quicksort: quicksort(data, comparisons); return;
+  }
+}
+
+std::vector<Key> merge_sorted(std::span<const Key> a, std::span<const Key> b,
+                              std::uint64_t& comparisons) {
+  std::vector<Key> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    ++comparisons;
+    if (b[j] < a[i])
+      out.push_back(b[j++]);
+    else
+      out.push_back(a[i++]);
+  }
+  out.insert(out.end(), a.begin() + static_cast<std::ptrdiff_t>(i), a.end());
+  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(j), b.end());
+  return out;
+}
+
+void sort_unimodal(std::vector<Key>& data, std::uint64_t& comparisons) {
+  if (data.size() < 2) return;
+  // Detect the shape from the first strict change of direction, then merge
+  // the two monotone runs. A peak sequence splits into ascending +
+  // descending; a valley into descending + ascending.
+  const std::size_t n = data.size();
+  // Find the extremum: scan for the last index of the initial run.
+  std::size_t turn = n;  // index where the second run starts
+  bool rising_start = true;
+  std::size_t k = 1;
+  while (k < n && data[k] == data[k - 1]) ++k;
+  if (k == n) return;  // all equal
+  ++comparisons;
+  rising_start = data[k] > data[k - 1];
+  for (; k < n; ++k) {
+    ++comparisons;
+    if (data[k] == data[k - 1]) continue;
+    const bool rising_here = data[k] > data[k - 1];
+    if (rising_here != rising_start) {
+      turn = k;
+      break;
+    }
+  }
+  if (turn == n) {  // already monotone
+    if (!rising_start) std::reverse(data.begin(), data.end());
+    return;
+  }
+  std::vector<Key> first(data.begin(),
+                         data.begin() + static_cast<std::ptrdiff_t>(turn));
+  std::vector<Key> second(data.begin() + static_cast<std::ptrdiff_t>(turn),
+                          data.end());
+  if (rising_start) {
+    // Peak: first ascending, second descending.
+    std::reverse(second.begin(), second.end());
+  } else {
+    // Valley: first descending, second ascending.
+    std::reverse(first.begin(), first.end());
+  }
+  data = merge_sorted(first, second, comparisons);
+}
+
+bool is_ascending(std::span<const Key> data) {
+  for (std::size_t i = 1; i < data.size(); ++i)
+    if (data[i] < data[i - 1]) return false;
+  return true;
+}
+
+bool is_globally_ascending(std::span<const std::vector<Key>> blocks) {
+  const Key* last = nullptr;
+  for (const auto& block : blocks) {
+    for (const Key& key : block) {
+      if (last != nullptr && key < *last) return false;
+      last = &key;
+    }
+  }
+  return true;
+}
+
+}  // namespace ftsort::sort

@@ -1,0 +1,63 @@
+#include "sort/single_fault.hpp"
+
+#include "sort/distribution.hpp"
+#include "sort/sequential.hpp"
+#include "util/contracts.hpp"
+
+namespace ftsort::sort {
+
+SingleFaultSortResult single_fault_bitonic_sort(
+    cube::Dim n, const fault::FaultSet& faults, std::span<const Key> keys,
+    fault::FaultModel model, sim::CostModel cost,
+    ExchangeProtocol protocol) {
+  FTSORT_REQUIRE(faults.dim() == n);
+  FTSORT_REQUIRE(faults.count() <= 1);
+
+  // Logical cube: XOR re-indexing places the fault (if any) at logical 0.
+  const cube::NodeId reindex_mask =
+      faults.empty() ? 0 : faults.addresses().front();
+  LogicalCube lc;
+  lc.s = n;
+  lc.dead0 = !faults.empty();
+  lc.phys.resize(cube::num_nodes(n));
+  for (cube::NodeId logical = 0; logical < lc.size(); ++logical)
+    lc.phys[logical] = logical ^ reindex_mask;
+
+  // Scatter: live logical addresses in increasing order get the blocks.
+  Distribution dist = distribute_evenly(keys, lc.live_count());
+  std::vector<std::vector<Key>> block_of(cube::num_nodes(n));
+  {
+    std::size_t slot = 0;
+    for (cube::NodeId logical = 0; logical < lc.size(); ++logical) {
+      if (lc.is_dead(logical)) continue;
+      block_of[lc.phys[logical]] = std::move(dist.blocks[slot++]);
+    }
+  }
+
+  sim::Machine machine(n, faults, model, cost);
+  const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    const cube::NodeId logical = ctx.id() ^ reindex_mask;
+    if (lc.is_dead(logical)) co_return;  // a dangling-style no-op (unused)
+    std::vector<Key>& block = block_of[ctx.id()];
+    std::uint64_t comparisons = 0;
+    heapsort(block, comparisons);
+    ctx.charge_compares(comparisons);
+    co_await block_bitonic_sort(ctx, lc, logical, block, /*ascending=*/true,
+                                protocol, /*tag_base=*/0);
+  };
+
+  SingleFaultSortResult result;
+  result.report = machine.run(program);
+  result.block_size = dist.block_size;
+
+  std::vector<std::vector<Key>> in_logical_order;
+  in_logical_order.reserve(lc.live_count());
+  for (cube::NodeId logical = 0; logical < lc.size(); ++logical) {
+    if (lc.is_dead(logical)) continue;
+    in_logical_order.push_back(std::move(block_of[lc.phys[logical]]));
+  }
+  result.sorted = gather_and_strip(in_logical_order);
+  return result;
+}
+
+}  // namespace ftsort::sort

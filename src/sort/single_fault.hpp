@@ -1,0 +1,32 @@
+// §2.1 of the paper: bitonic sort on a hypercube with at most one faulty
+// processor.
+//
+// The fault is re-indexed to logical address 0 by XOR-ing every address with
+// the fault's address; the dead node holds no keys and its partners skip
+// their comparison-exchanges. This wrapper builds the machine, scatters the
+// keys, runs the SPMD sort, and gathers the verified result.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "sim/machine.hpp"
+#include "sort/spmd_bitonic.hpp"
+
+namespace ftsort::sort {
+
+struct SingleFaultSortResult {
+  std::vector<Key> sorted;  ///< all input keys, ascending
+  sim::RunReport report;
+  std::size_t block_size = 0;
+};
+
+/// Sort `keys` on Q_n with `faults.count() <= 1`.
+SingleFaultSortResult single_fault_bitonic_sort(
+    cube::Dim n, const fault::FaultSet& faults, std::span<const Key> keys,
+    fault::FaultModel model = fault::FaultModel::Partial,
+    sim::CostModel cost = sim::CostModel::ncube7(),
+    ExchangeProtocol protocol = ExchangeProtocol::HalfExchange);
+
+}  // namespace ftsort::sort

@@ -1,0 +1,112 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <iostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::util {
+
+CliParser::CliParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::Flag, help, "false"};
+}
+
+void CliParser::add_int(const std::string& name, std::int64_t fallback,
+                        const std::string& help) {
+  options_[name] = Option{Kind::Int, help, std::to_string(fallback)};
+}
+
+void CliParser::add_string(const std::string& name,
+                           const std::string& fallback,
+                           const std::string& help) {
+  options_[name] = Option{Kind::String, help, fallback};
+}
+
+bool CliParser::parse(int argc, const char* const argv[]) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name.resize(eq);
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::cerr << program_ << ": unknown option --" << name << "\n"
+                << usage();
+      return false;
+    }
+    Option& opt = it->second;
+    opt.seen = true;
+    if (opt.kind == Kind::Flag) {
+      opt.value = inline_value.value_or("true");
+    } else if (inline_value) {
+      opt.value = *inline_value;
+    } else if (i + 1 < argc) {
+      opt.value = argv[++i];
+    } else {
+      std::cerr << program_ << ": option --" << name
+                << " requires a value\n";
+      return false;
+    }
+    if (opt.kind == Kind::Int) {
+      std::int64_t parsed = 0;
+      const auto* first = opt.value.data();
+      const auto* last = first + opt.value.size();
+      const auto [ptr, ec] = std::from_chars(first, last, parsed);
+      if (ec != std::errc{} || ptr != last) {
+        std::cerr << program_ << ": option --" << name
+                  << " expects an integer, got '" << opt.value << "'\n";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::lookup(const std::string& name,
+                                           Kind kind) const {
+  const auto it = options_.find(name);
+  FTSORT_REQUIRE(it != options_.end());
+  FTSORT_REQUIRE(it->second.kind == kind);
+  return it->second;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  return lookup(name, Kind::Flag).value == "true";
+}
+
+std::int64_t CliParser::integer(const std::string& name) const {
+  return std::stoll(lookup(name, Kind::Int).value);
+}
+
+const std::string& CliParser::str(const std::string& name) const {
+  return lookup(name, Kind::String).value;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << summary_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    if (opt.kind != Kind::Flag) os << " <" << opt.value << ">";
+    os << "\n      " << opt.help << "\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+}  // namespace ftsort::util

@@ -1,0 +1,55 @@
+// Minimal command-line option parser for the example applications.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` forms, with
+// typed accessors and an auto-generated usage string. Unknown options are an
+// error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ftsort::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string summary);
+
+  /// Register an option; `fallback` doubles as documentation of the default.
+  void add_flag(const std::string& name, const std::string& help);
+  void add_int(const std::string& name, std::int64_t fallback,
+               const std::string& help);
+  void add_string(const std::string& name, const std::string& fallback,
+                  const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) on `--help` or error.
+  bool parse(int argc, const char* const argv[]);
+
+  bool flag(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  const std::string& str(const std::string& name) const;
+  /// Positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { Flag, Int, String };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;       // current (default or parsed) textual value
+    bool seen = false;
+  };
+
+  const Option& lookup(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ftsort::util

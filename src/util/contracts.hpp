@@ -1,0 +1,46 @@
+// Lightweight contract checks (Core Guidelines I.6/I.8 style).
+//
+// FTSORT_REQUIRE / FTSORT_ENSURE throw ftsort::ContractViolation with the
+// failing expression and location; they are always on (this library is a
+// research artifact where a wrong answer is worse than a throw).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace ftsort {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr,
+                    const std::source_location& loc)
+      : std::logic_error(std::string(kind) + " failed: `" + expr + "` at " +
+                         loc.file_name() + ":" + std::to_string(loc.line()) +
+                         " in " + loc.function_name()) {}
+};
+
+namespace detail {
+inline void contract_check(bool ok, const char* kind, const char* expr,
+                           const std::source_location& loc) {
+  if (!ok) throw ContractViolation(kind, expr, loc);
+}
+}  // namespace detail
+
+}  // namespace ftsort
+
+#define FTSORT_REQUIRE(expr)                                   \
+  ::ftsort::detail::contract_check(static_cast<bool>(expr),    \
+                                   "precondition", #expr,      \
+                                   ::std::source_location::current())
+
+#define FTSORT_ENSURE(expr)                                    \
+  ::ftsort::detail::contract_check(static_cast<bool>(expr),    \
+                                   "postcondition", #expr,     \
+                                   ::std::source_location::current())
+
+#define FTSORT_INVARIANT(expr)                                 \
+  ::ftsort::detail::contract_check(static_cast<bool>(expr),    \
+                                   "invariant", #expr,         \
+                                   ::std::source_location::current())

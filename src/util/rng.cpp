@@ -1,0 +1,52 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace ftsort::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  FTSORT_REQUIRE(bound > 0);
+  // Lemire's multiply-shift with rejection of the biased low region.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  FTSORT_REQUIRE(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const std::uint64_t draw = (span == 0) ? next() : below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+std::vector<std::uint64_t> Rng::sample_distinct(std::uint64_t population,
+                                                std::uint64_t k) {
+  FTSORT_REQUIRE(k <= population);
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (k == 0) return out;
+  // Partial Fisher–Yates over an explicit index vector: population sizes in
+  // this project are at most 2^16 nodes, so O(population) is always cheap.
+  std::vector<std::uint64_t> idx(static_cast<std::size_t>(population));
+  std::iota(idx.begin(), idx.end(), 0ull);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t j = i + below(population - i);
+    std::swap(idx[static_cast<std::size_t>(i)],
+              idx[static_cast<std::size_t>(j)]);
+    out.push_back(idx[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace ftsort::util

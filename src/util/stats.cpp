@@ -1,0 +1,125 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n_a = static_cast<double>(n_);
+  const double n_b = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_ab = n_a + n_b;
+  mean_ += delta * n_b / n_ab;
+  m2_ += other.m2_ + delta * delta * n_a * n_b / n_ab;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::ensure_sorted() const {
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double SampleSet::mean() const {
+  FTSORT_REQUIRE(!samples_.empty());
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  FTSORT_REQUIRE(!samples_.empty());
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  FTSORT_REQUIRE(!sorted_.empty());
+  return sorted_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  FTSORT_REQUIRE(!sorted_.empty());
+  return sorted_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  FTSORT_REQUIRE(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  FTSORT_REQUIRE(!sorted_.empty());
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank =
+      p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+void Histogram::add(std::int64_t value, std::uint64_t weight) {
+  bins_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count(std::int64_t value) const {
+  const auto it = bins_.find(value);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+double Histogram::percent(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(count(value)) /
+         static_cast<double>(total_);
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [value, n] : bins_) {
+    if (!first) os << ", ";
+    first = false;
+    os << value << ": " << n;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ftsort::util

@@ -1,0 +1,83 @@
+// Descriptive statistics for experiment harnesses: Welford online moments,
+// percentile summaries, and integer histograms (used for mincut
+// distributions, utilisation spreads, and timing series).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftsort::util {
+
+/// Single-pass mean/variance accumulator (Welford). Numerically stable.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary with arbitrary percentiles over stored samples.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  // Sorted lazily; mutable cache keyed on size.
+  mutable std::vector<double> sorted_;
+  std::vector<double> samples_;
+  void ensure_sorted() const;
+};
+
+/// Counts of integer-valued outcomes (e.g. mincut values). Preserves key
+/// order for table rendering.
+class Histogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::int64_t value) const;
+  /// Share of `value` among all observations, in percent.
+  double percent(std::int64_t value) const;
+  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
+
+  std::string to_string() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ftsort::util

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::util {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> alignment)
+    : headers_(std::move(headers)), align_(std::move(alignment)) {
+  FTSORT_REQUIRE(!headers_.empty());
+  if (align_.empty()) align_.assign(headers_.size(), Align::Right);
+  FTSORT_REQUIRE(align_.size() == headers_.size());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FTSORT_REQUIRE(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string(int indent) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << pad;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      const auto w = static_cast<int>(width[c]);
+      os << (align_[c] == Align::Left ? std::left : std::right)
+         << std::setw(w) << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  os << pad;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << "  ";
+    os << std::string(width[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_string();
+}
+
+std::string Table::fixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string Table::percent(double v, int decimals) {
+  return fixed(v, decimals) + "%";
+}
+
+std::string Table::integer(long long v) { return std::to_string(v); }
+
+}  // namespace ftsort::util

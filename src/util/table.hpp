@@ -1,0 +1,42 @@
+// Fixed-width ASCII table renderer for the benchmark harness. The table and
+// figure benches print rows in the same layout as the paper's evaluation
+// section; this keeps the formatting in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftsort::util {
+
+enum class Align { Left, Right };
+
+/// A simple column-oriented table: declare headers, append rows of cells,
+/// render with padding and column separators.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> alignment = {});
+
+  /// Append one row; must match the number of headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Render with a header rule. `indent` spaces prefix every line.
+  std::string to_string(int indent = 0) const;
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+  // Cell formatting helpers used across the benches.
+  static std::string fixed(double v, int decimals);
+  static std::string percent(double v, int decimals = 2);
+  static std::string integer(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftsort::util

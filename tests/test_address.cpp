@@ -1,0 +1,97 @@
+// Unit tests for hypercube address algebra.
+#include <gtest/gtest.h>
+
+#include "hypercube/address.hpp"
+
+namespace ftsort::cube {
+namespace {
+
+TEST(Address, NumNodesIsPowerOfTwo) {
+  EXPECT_EQ(num_nodes(0), 1u);
+  EXPECT_EQ(num_nodes(1), 2u);
+  EXPECT_EQ(num_nodes(6), 64u);
+  EXPECT_EQ(num_nodes(10), 1024u);
+}
+
+TEST(Address, ValidityChecks) {
+  EXPECT_TRUE(valid_dim(0));
+  EXPECT_TRUE(valid_dim(kMaxDim));
+  EXPECT_FALSE(valid_dim(-1));
+  EXPECT_FALSE(valid_dim(kMaxDim + 1));
+  EXPECT_TRUE(valid_node(63, 6));
+  EXPECT_FALSE(valid_node(64, 6));
+}
+
+TEST(Address, BitExtraction) {
+  const NodeId u = 0b101101;
+  EXPECT_EQ(bit(u, 0), 1);
+  EXPECT_EQ(bit(u, 1), 0);
+  EXPECT_EQ(bit(u, 2), 1);
+  EXPECT_EQ(bit(u, 3), 1);
+  EXPECT_EQ(bit(u, 4), 0);
+  EXPECT_EQ(bit(u, 5), 1);
+}
+
+TEST(Address, NeighborFlipsExactlyOneBit) {
+  for (Dim n = 1; n <= 6; ++n)
+    for (NodeId u = 0; u < num_nodes(n); ++u)
+      for (Dim d = 0; d < n; ++d) {
+        const NodeId v = neighbor(u, d);
+        EXPECT_EQ(hamming(u, v), 1);
+        EXPECT_EQ(neighbor(v, d), u);  // involution
+      }
+}
+
+TEST(Address, WithBitSetsAndClears) {
+  EXPECT_EQ(with_bit(0b000, 1, 1), 0b010u);
+  EXPECT_EQ(with_bit(0b111, 1, 0), 0b101u);
+  EXPECT_EQ(with_bit(0b010, 1, 1), 0b010u);  // idempotent
+}
+
+TEST(Address, HammingDistanceProperties) {
+  EXPECT_EQ(hamming(0, 0), 0);
+  EXPECT_EQ(hamming(0b1010, 0b0101), 4);
+  EXPECT_EQ(hamming(5, 5), 0);
+  // Symmetry and triangle inequality on a sample.
+  for (NodeId a = 0; a < 16; ++a)
+    for (NodeId b = 0; b < 16; ++b) {
+      EXPECT_EQ(hamming(a, b), hamming(b, a));
+      for (NodeId c = 0; c < 16; ++c)
+        EXPECT_LE(hamming(a, c), hamming(a, b) + hamming(b, c));
+    }
+}
+
+TEST(Address, WeightCountsBits) {
+  EXPECT_EQ(weight(0), 0);
+  EXPECT_EQ(weight(0b1011), 3);
+}
+
+TEST(Address, LowestSetDim) {
+  EXPECT_EQ(lowest_set_dim(0b100), 2);
+  EXPECT_EQ(lowest_set_dim(0b101), 0);
+}
+
+TEST(Address, GrayCodeAdjacency) {
+  // Successive Gray codes differ in exactly one bit: a Hamiltonian path.
+  for (NodeId i = 0; i + 1 < 64; ++i)
+    EXPECT_EQ(hamming(gray(i), gray(i + 1)), 1);
+}
+
+TEST(Address, GrayCodeInverseRoundTrips) {
+  for (NodeId i = 0; i < 256; ++i) {
+    EXPECT_EQ(gray_inverse(gray(i)), i);
+    EXPECT_EQ(gray(gray_inverse(i)), i);
+  }
+}
+
+TEST(Address, GrayCodeIsPermutation) {
+  std::vector<bool> seen(64, false);
+  for (NodeId i = 0; i < 64; ++i) {
+    const NodeId g = gray(i) & 63u;
+    EXPECT_FALSE(seen[g]);
+    seen[g] = true;
+  }
+}
+
+}  // namespace
+}  // namespace ftsort::cube

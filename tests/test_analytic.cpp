@@ -1,0 +1,104 @@
+// The paper's closed-form worst-case T (§3) against the simulator: the
+// formula must upper-bound (and track the scaling of) the literal
+// FullSort-mode simulation it describes.
+#include <gtest/gtest.h>
+
+#include "baseline/mfs_sorter.hpp"
+#include "core/analytic.hpp"
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::core {
+namespace {
+
+TEST(Analytic, TermsArePositiveAndSumToTotal) {
+  util::Rng rng(1);
+  const auto faults = fault::random_faults(6, 4, rng);
+  const auto plan = partition::Plan::build(faults);
+  const auto breakdown =
+      predicted_sort_time(plan, 100'000, sim::CostModel::ncube7());
+  EXPECT_GT(breakdown.heapsort, 0.0);
+  EXPECT_GT(breakdown.intra_sort, 0.0);
+  EXPECT_GT(breakdown.inter_exchange, 0.0);
+  EXPECT_GT(breakdown.inter_resort, 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.total,
+                   breakdown.heapsort + breakdown.intra_sort +
+                       breakdown.inter_exchange + breakdown.inter_resort);
+}
+
+TEST(Analytic, NoInterTermsForSingleFault) {
+  const auto plan = partition::Plan::build(fault::FaultSet(5, {9}));
+  const auto breakdown =
+      predicted_sort_time(plan, 10'000, sim::CostModel::ncube7());
+  EXPECT_DOUBLE_EQ(breakdown.inter_exchange, 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.inter_resort, 0.0);
+}
+
+TEST(Analytic, FormulaUpperBoundsFullSortSimulation) {
+  // T is a worst-case bound: every node is charged every term, while the
+  // simulated makespan is the actual critical path. Check both the bound
+  // and its tightness (within 4x) across (n, r).
+  util::Rng rng(2);
+  SortConfig config;
+  config.step8 = Step8Mode::FullSort;
+  for (cube::Dim n = 4; n <= 6; ++n) {
+    for (std::size_t r = 1; r + 1 <= static_cast<std::size_t>(n); ++r) {
+      const auto faults = fault::random_faults(n, r, rng);
+      FaultTolerantSorter sorter(n, faults, config);
+      const std::uint64_t keys_count = 20'000;
+      const auto keys = sort::gen_uniform(keys_count, rng);
+      const double simulated = sorter.sort(keys).report.makespan;
+      const double predicted =
+          predicted_sort_time(sorter.plan(), keys_count, config.cost)
+              .total;
+      EXPECT_LE(simulated, predicted * 1.05)
+          << "n=" << n << " r=" << r;
+      EXPECT_GE(simulated, predicted / 4.0)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(Analytic, BaselineFormulaTracksSimulation) {
+  util::Rng rng(3);
+  for (cube::Dim t = 3; t <= 6; ++t) {
+    const std::uint64_t keys_count = 64'000;
+    const auto keys = sort::gen_uniform(keys_count, rng);
+    const auto result =
+        baseline::mfs_bitonic_sort(t, fault::FaultSet(t), keys);
+    const double predicted =
+        predicted_baseline_time(t, keys_count, sim::CostModel::ncube7());
+    EXPECT_LE(result.report.makespan, predicted * 1.05) << "t=" << t;
+    EXPECT_GE(result.report.makespan, predicted / 4.0) << "t=" << t;
+  }
+}
+
+TEST(Analytic, AsymptoticClaimMLogMOverN) {
+  // §3: for M >> N the cost approaches (M/N') log (M/N') t_c. The
+  // heapsort term must dominate all communication terms as M grows with
+  // fixed n.
+  const auto plan = partition::Plan::build(fault::FaultSet(6, {0, 21}));
+  const auto cost = sim::CostModel::ncube7();
+  const auto small = predicted_sort_time(plan, 1u << 14, cost);
+  const auto huge = predicted_sort_time(plan, 1u << 26, cost);
+  const double small_frac = small.heapsort / small.total;
+  const double huge_frac = huge.heapsort / huge.total;
+  EXPECT_GT(huge_frac, small_frac);
+  // Superlinear (b log b) heapsort vs linear communication: growing M by
+  // 2^12 grows the heapsort term strictly faster than the wire terms.
+  EXPECT_GT(huge.heapsort / small.heapsort,
+            1.2 * huge.inter_exchange / small.inter_exchange);
+}
+
+TEST(Analytic, PredictionsScaleLinearlyInBlockSize) {
+  const auto plan = partition::Plan::build(fault::FaultSet(5, {1, 2, 4}));
+  const auto cost = sim::CostModel::ncube7();
+  const double t1 = predicted_sort_time(plan, 40'000, cost).inter_exchange;
+  const double t2 = predicted_sort_time(plan, 80'000, cost).inter_exchange;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace ftsort::core

@@ -1,0 +1,143 @@
+// Unit tests for the maximum fault-free subcube baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/mfs_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "partition/plan.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::baseline {
+namespace {
+
+TEST(MaxSubcube, FaultFreeUsesWholeCube) {
+  const auto result = find_max_fault_free_subcube(fault::FaultSet(4));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->subcube.dim(), 4);
+  EXPECT_EQ(result->dangling_count, 0u);
+  EXPECT_DOUBLE_EQ(result->utilization_percent, 100.0);
+}
+
+TEST(MaxSubcube, SingleFaultHalvesTheCube) {
+  // The paper's motivating waste: one fault in Q_6 -> only Q_5 is usable,
+  // 31 of 63 healthy nodes dangle.
+  const auto result =
+      find_max_fault_free_subcube(fault::FaultSet(6, {0}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->subcube.dim(), 5);
+  EXPECT_EQ(result->dangling_count, 31u);
+  EXPECT_NEAR(result->utilization_percent, 100.0 * 32 / 63, 1e-9);
+}
+
+TEST(MaxSubcube, ResultContainsNoFault) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto faults = fault::random_faults(5, 4, rng);
+    const auto result = find_max_fault_free_subcube(faults);
+    ASSERT_TRUE(result.has_value());
+    for (cube::NodeId u : result->subcube.members())
+      EXPECT_FALSE(faults.is_faulty(u));
+  }
+}
+
+TEST(MaxSubcube, IsActuallyMaximal) {
+  // No fault-free subcube of higher dimension may exist.
+  util::Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto faults = fault::random_faults(5, 3, rng);
+    const auto result = find_max_fault_free_subcube(faults);
+    ASSERT_TRUE(result.has_value());
+    for (const auto& sc :
+         cube::all_subcubes(5, result->subcube.dim() + 1))
+      EXPECT_GT(faults.count_in(sc.mask, sc.value), 0u);
+  }
+}
+
+TEST(MaxSubcube, AntipodalPairWastesHalfOfQ4) {
+  // Antipodal faults hit both halves along every dimension: excluding both
+  // needs two fixed bits, so only a Q_2 survives — while the proposed
+  // partition keeps all 14 healthy nodes busy (mincut 1).
+  const fault::FaultSet faults(4, {0b0000, 0b1111});
+  const auto result = find_max_fault_free_subcube(faults);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->subcube.dim(), 2);
+  EXPECT_EQ(result->dangling_count, 10u);
+}
+
+TEST(MaxSubcube, SpreadFaultsShrinkTheSubcube) {
+  // Antipodal faults in Q_3: one fixed bit cannot exclude both, so the
+  // best fault-free subcube is a single edge (Q_1).
+  const fault::FaultSet faults(3, {0, 7});
+  const auto result = find_max_fault_free_subcube(faults);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->subcube.dim(), 1);
+}
+
+TEST(MaxSubcube, AllNodesFaultyReturnsNullopt) {
+  const fault::FaultSet faults(1, {0, 1});
+  EXPECT_FALSE(find_max_fault_free_subcube(faults).has_value());
+}
+
+TEST(MaxSubcube, ProposedUtilizationAlwaysAtLeastBaseline) {
+  // Table 2's claim, as an invariant over random scenarios.
+  util::Rng rng(3);
+  for (cube::Dim n = 3; n <= 6; ++n)
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::size_t r =
+          1 + rng.below(static_cast<std::uint64_t>(n - 1));
+      const auto faults = fault::random_faults(n, r, rng);
+      const auto mfs = find_max_fault_free_subcube(faults);
+      ASSERT_TRUE(mfs.has_value());
+      const auto plan = partition::Plan::build(faults);
+      EXPECT_GE(plan.utilization_percent() + 1e-9,
+                mfs->utilization_percent)
+          << faults.to_string();
+    }
+}
+
+TEST(MfsSorter, SortsCorrectly) {
+  util::Rng rng(4);
+  const auto keys = sort::gen_uniform(200, rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  const auto result =
+      mfs_bitonic_sort(5, fault::FaultSet(5, {1, 30}), keys);
+  EXPECT_EQ(result.sorted, expected);
+  EXPECT_EQ(result.reconfiguration.subcube.dim(), 3);
+}
+
+TEST(MfsSorter, FaultFreeEqualsPlainBitonic) {
+  util::Rng rng(5);
+  const auto keys = sort::gen_uniform(160, rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  const auto result = mfs_bitonic_sort(4, fault::FaultSet(4), keys);
+  EXPECT_EQ(result.sorted, expected);
+  EXPECT_EQ(result.block_size, 10u);
+}
+
+TEST(MfsSorter, SmallerSubcubeMeansBiggerBlocks) {
+  util::Rng rng(6);
+  const auto keys = sort::gen_uniform(320, rng);
+  const auto clean = mfs_bitonic_sort(5, fault::FaultSet(5), keys);
+  const auto faulty = mfs_bitonic_sort(5, fault::FaultSet(5, {0, 31}), keys);
+  EXPECT_EQ(clean.block_size, 10u);   // 320 / 32
+  EXPECT_EQ(faulty.block_size, 40u);  // 320 / 8
+  EXPECT_GT(faulty.report.makespan, clean.report.makespan);
+}
+
+TEST(MfsSorter, RandomScenariosStaySorted) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto faults = fault::random_faults(5, 4, rng);
+    const auto keys = sort::gen_uniform(100, rng);
+    auto expected = keys;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(mfs_bitonic_sort(5, faults, keys).sorted, expected);
+  }
+}
+
+}  // namespace
+}  // namespace ftsort::baseline

@@ -1,0 +1,98 @@
+// Unit tests for the sequential bitonic sorting network.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sort/bitonic_network.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::sort {
+namespace {
+
+TEST(BitonicSchedule, SizeMatchesFormula) {
+  // n/2 * k(k+1)/2 comparators for 2^k keys.
+  for (int k = 0; k <= 6; ++k) {
+    const std::size_t n = std::size_t{1} << k;
+    const std::size_t expected =
+        n / 2 * static_cast<std::size_t>(k * (k + 1) / 2);
+    EXPECT_EQ(bitonic_schedule(k).size(), expected) << "k=" << k;
+  }
+}
+
+TEST(BitonicSchedule, PairsDifferInOneBit) {
+  for (const auto& ce : bitonic_schedule(4)) {
+    EXPECT_LT(ce.lo, ce.hi);
+    EXPECT_EQ(std::popcount(ce.lo ^ ce.hi), 1);
+  }
+}
+
+TEST(BitonicSchedule, ZeroOnePrinciple) {
+  // A comparator network sorts all inputs iff it sorts all 0/1 inputs;
+  // verify exhaustively for 8 and 16 keys.
+  for (int k : {3, 4}) {
+    const auto schedule = bitonic_schedule(k);
+    const std::size_t n = std::size_t{1} << k;
+    for (std::uint32_t pattern = 0; pattern < (1u << n); ++pattern) {
+      std::vector<Key> data(n);
+      for (std::size_t i = 0; i < n; ++i)
+        data[i] = (pattern >> i) & 1u;
+      std::uint64_t comparisons = 0;
+      apply_schedule(data, schedule, comparisons);
+      EXPECT_TRUE(std::is_sorted(data.begin(), data.end()))
+          << "k=" << k << " pattern=" << pattern;
+    }
+  }
+}
+
+TEST(BitonicSortSequential, SortsRandomInputs) {
+  util::Rng rng(1);
+  for (int k = 0; k <= 8; ++k) {
+    auto keys = gen_uniform(std::size_t{1} << k, rng);
+    auto expected = keys;
+    std::sort(expected.begin(), expected.end());
+    std::uint64_t comparisons = 0;
+    bitonic_sort_sequential(keys, comparisons);
+    EXPECT_EQ(keys, expected);
+  }
+}
+
+TEST(BitonicSortSequential, ComparisonCountIsExact) {
+  // Oblivious network: comparison count is data-independent.
+  util::Rng rng(2);
+  std::uint64_t c1 = 0;
+  std::uint64_t c2 = 0;
+  auto a = gen_uniform(64, rng);
+  auto b = gen_reverse(64);
+  bitonic_sort_sequential(a, c1);
+  bitonic_sort_sequential(b, c2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(c1, 64u / 2 * (6u * 7u / 2));
+}
+
+TEST(BitonicSortSequential, RejectsNonPowerOfTwo) {
+  std::vector<Key> bad{1, 2, 3};
+  std::uint64_t comparisons = 0;
+  EXPECT_THROW(bitonic_sort_sequential(bad, comparisons),
+               ContractViolation);
+}
+
+TEST(ApplySchedule, RejectsOutOfRangeComparator) {
+  std::vector<Key> data{1, 2};
+  const std::vector<CompareExchange> bogus{{0, 5, true}};
+  std::uint64_t comparisons = 0;
+  EXPECT_THROW(apply_schedule(data, bogus, comparisons),
+               ContractViolation);
+}
+
+TEST(ApplySchedule, DescendingComparatorSwapsCorrectly) {
+  std::vector<Key> data{1, 9};
+  const std::vector<CompareExchange> one{{0, 1, false}};
+  std::uint64_t comparisons = 0;
+  apply_schedule(data, one, comparisons);
+  EXPECT_EQ(data, (std::vector<Key>{9, 1}));
+  EXPECT_EQ(comparisons, 1u);
+}
+
+}  // namespace
+}  // namespace ftsort::sort

@@ -1,0 +1,221 @@
+// Tests for the binomial-tree / recursive-doubling collectives.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sort/collectives.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::sort {
+namespace {
+
+using Blocks = std::vector<std::vector<Key>>;
+
+/// Run one collective across a fault-free identity cube of dimension s.
+template <typename PerNode>
+void run_on_cube(cube::Dim s, PerNode&& per_node) {
+  sim::Machine machine(s, fault::FaultSet(s));
+  const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    co_await per_node(ctx);
+  };
+  machine.run(program);
+}
+
+TEST(Broadcast, EveryRankReceivesRootData) {
+  for (cube::Dim s = 0; s <= 5; ++s) {
+    for (cube::NodeId root = 0; root < cube::num_nodes(s);
+         root += (s >= 4 ? 5 : 1)) {
+      const LogicalCube lc = LogicalCube::identity(s);
+      const std::vector<Key> payload{7, 8, 9};
+      Blocks results(lc.size());
+      run_on_cube(s, [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+        std::vector<Key> data =
+            ctx.id() == root ? payload : std::vector<Key>{};
+        results[ctx.id()] = co_await broadcast(ctx, lc, ctx.id(), root,
+                                               std::move(data), 0);
+      });
+      for (cube::NodeId u = 0; u < lc.size(); ++u)
+        EXPECT_EQ(results[u], payload) << "s=" << s << " root=" << root;
+    }
+  }
+}
+
+TEST(Broadcast, RoundCountIsLogarithmic) {
+  const LogicalCube lc = LogicalCube::identity(4);
+  sim::Machine machine(4, fault::FaultSet(4));
+  const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    std::vector<Key> data = ctx.id() == 0 ? std::vector<Key>{1} : std::vector<Key>{};
+    auto out = co_await broadcast(ctx, lc, ctx.id(), 0, std::move(data), 0);
+    (void)out;
+  };
+  const auto report = machine.run(program);
+  EXPECT_EQ(report.messages, 15u);  // one per non-root rank
+}
+
+TEST(Scatter, EveryRankGetsItsBlock) {
+  util::Rng rng(1);
+  for (cube::Dim s = 1; s <= 5; ++s) {
+    for (cube::NodeId root : {cube::NodeId{0},
+                              cube::NodeId(cube::num_nodes(s) - 1)}) {
+      const LogicalCube lc = LogicalCube::identity(s);
+      Blocks input(lc.size());
+      for (cube::NodeId u = 0; u < lc.size(); ++u)
+        input[u] = {static_cast<Key>(u * 10), static_cast<Key>(u * 10 + 1)};
+      Blocks results(lc.size());
+      run_on_cube(s, [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+        Blocks mine = ctx.id() == root ? input : Blocks{};
+        results[ctx.id()] = co_await scatter(ctx, lc, ctx.id(), root,
+                                             std::move(mine), 0);
+      });
+      for (cube::NodeId u = 0; u < lc.size(); ++u)
+        EXPECT_EQ(results[u], input[u]) << "s=" << s << " root=" << root;
+    }
+  }
+}
+
+TEST(Gather, RootCollectsInLogicalOrder) {
+  for (cube::Dim s = 1; s <= 5; ++s) {
+    for (cube::NodeId root : {cube::NodeId{0}, cube::NodeId{1}}) {
+      const LogicalCube lc = LogicalCube::identity(s);
+      std::vector<Key> at_root;
+      run_on_cube(s, [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+        std::vector<Key> mine{static_cast<Key>(ctx.id() * 2),
+                              static_cast<Key>(ctx.id() * 2 + 1)};
+        auto out =
+            co_await gather(ctx, lc, ctx.id(), root, std::move(mine), 0);
+        if (ctx.id() == root) at_root = std::move(out);
+      });
+      ASSERT_EQ(at_root.size(), 2 * lc.size());
+      for (std::size_t i = 0; i < at_root.size(); ++i)
+        EXPECT_EQ(at_root[i], static_cast<Key>(i)) << "s=" << s;
+    }
+  }
+}
+
+TEST(GatherScatter, RoundTrip) {
+  util::Rng rng(2);
+  const cube::Dim s = 4;
+  const LogicalCube lc = LogicalCube::identity(s);
+  Blocks original(lc.size());
+  for (auto& block : original) block = gen_uniform(3, rng);
+  Blocks scattered(lc.size());
+  std::vector<Key> gathered;
+  run_on_cube(s, [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    Blocks mine = ctx.id() == 0 ? original : Blocks{};
+    scattered[ctx.id()] =
+        co_await scatter(ctx, lc, ctx.id(), 0, std::move(mine), 0);
+    auto out = co_await gather(ctx, lc, ctx.id(), 0,
+                               scattered[ctx.id()], 100);
+    if (ctx.id() == 0) gathered = std::move(out);
+  });
+  std::vector<Key> expect;
+  for (const auto& block : original)
+    expect.insert(expect.end(), block.begin(), block.end());
+  EXPECT_EQ(gathered, expect);
+}
+
+TEST(AllGather, EveryRankHoldsEverything) {
+  for (cube::Dim s = 0; s <= 4; ++s) {
+    const LogicalCube lc = LogicalCube::identity(s);
+    Blocks results(lc.size());
+    run_on_cube(s, [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+      std::vector<Key> mine{static_cast<Key>(ctx.id())};
+      results[ctx.id()] =
+          co_await all_gather(ctx, lc, ctx.id(), std::move(mine), 0);
+    });
+    std::vector<Key> expect(lc.size());
+    std::iota(expect.begin(), expect.end(), Key{0});
+    for (cube::NodeId u = 0; u < lc.size(); ++u)
+      EXPECT_EQ(results[u], expect) << "s=" << s;
+  }
+}
+
+TEST(Reduce, SumMinMax) {
+  const cube::Dim s = 3;
+  const LogicalCube lc = LogicalCube::identity(s);
+  for (const auto op : {ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max}) {
+    std::vector<Key> at_root;
+    run_on_cube(s, [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+      // Vector of two elements: id and -id.
+      std::vector<Key> mine{static_cast<Key>(ctx.id()),
+                            -static_cast<Key>(ctx.id())};
+      auto out =
+          co_await reduce(ctx, lc, ctx.id(), 0, std::move(mine), op, 0);
+      if (ctx.id() == 0) at_root = std::move(out);
+    });
+    ASSERT_EQ(at_root.size(), 2u);
+    switch (op) {
+      case ReduceOp::Sum:
+        EXPECT_EQ(at_root[0], 28);   // 0+1+...+7
+        EXPECT_EQ(at_root[1], -28);
+        break;
+      case ReduceOp::Min:
+        EXPECT_EQ(at_root[0], 0);
+        EXPECT_EQ(at_root[1], -7);
+        break;
+      case ReduceOp::Max:
+        EXPECT_EQ(at_root[0], 7);
+        EXPECT_EQ(at_root[1], 0);
+        break;
+    }
+  }
+}
+
+TEST(Reduce, NonZeroRoot) {
+  const cube::Dim s = 3;
+  const LogicalCube lc = LogicalCube::identity(s);
+  std::vector<Key> at_root;
+  run_on_cube(s, [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    std::vector<Key> mine{1};
+    auto out = co_await reduce(ctx, lc, ctx.id(), 5, std::move(mine),
+                               ReduceOp::Sum, 0);
+    if (ctx.id() == 5) at_root = std::move(out);
+  });
+  ASSERT_EQ(at_root.size(), 1u);
+  EXPECT_EQ(at_root[0], 8);
+}
+
+TEST(Collectives, WorkOnRemappedSubcube) {
+  // A collective over a re-mapped logical cube (the upper half of Q_4,
+  // reversed) must behave identically to the identity mapping.
+  const cube::Dim s = 3;
+  LogicalCube lc;
+  lc.s = s;
+  for (cube::NodeId u = 0; u < 8; ++u)
+    lc.phys.push_back(15 - u);  // logical i -> physical 15-i
+  std::vector<Key> at_root;
+  sim::Machine machine(4, fault::FaultSet(4));
+  const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    if (ctx.id() < 8) co_return;  // lower half idles
+    const cube::NodeId logical = 15 - ctx.id();
+    std::vector<Key> mine{static_cast<Key>(logical)};
+    auto out = co_await gather(ctx, lc, logical, 0, std::move(mine), 0);
+    if (logical == 0) at_root = std::move(out);
+  };
+  machine.run(program);
+  ASSERT_EQ(at_root.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(at_root[i], static_cast<Key>(i));
+}
+
+TEST(Collectives, RejectDeadCube) {
+  LogicalCube lc = LogicalCube::identity(2);
+  lc.dead0 = true;
+  sim::Machine machine(2, fault::FaultSet(2, {0}));
+  const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    std::vector<Key> data{1};
+    auto out =
+        co_await broadcast(ctx, lc, ctx.id(), 1, std::move(data), 0);
+    (void)out;
+  };
+  EXPECT_THROW(machine.run(program), std::runtime_error);
+}
+
+TEST(Collectives, TagSpan) {
+  EXPECT_EQ(collective_tag_span(0), 0u);
+  EXPECT_EQ(collective_tag_span(5), 5u);
+}
+
+}  // namespace
+}  // namespace ftsort::sort

@@ -1,0 +1,185 @@
+// Unit tests for fault sets, scenario generators, and diagnosis.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/diagnosis.hpp"
+#include "fault/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::fault {
+namespace {
+
+TEST(FaultSet, EmptySet) {
+  const FaultSet fs(4);
+  EXPECT_EQ(fs.count(), 0u);
+  EXPECT_TRUE(fs.empty());
+  EXPECT_EQ(fs.healthy_count(), 16u);
+  for (cube::NodeId u = 0; u < 16; ++u) EXPECT_FALSE(fs.is_faulty(u));
+}
+
+TEST(FaultSet, AddressesSortedAndBitmapConsistent) {
+  const FaultSet fs(4, {9, 3, 12});
+  EXPECT_EQ(fs.count(), 3u);
+  EXPECT_EQ(fs.addresses(), (std::vector<cube::NodeId>{3, 9, 12}));
+  for (cube::NodeId u = 0; u < 16; ++u)
+    EXPECT_EQ(fs.is_faulty(u), u == 3 || u == 9 || u == 12);
+}
+
+TEST(FaultSet, RejectsDuplicates) {
+  EXPECT_THROW(FaultSet(3, {1, 1}), ContractViolation);
+}
+
+TEST(FaultSet, RejectsOutOfRangeAddress) {
+  EXPECT_THROW(FaultSet(3, {8}), ContractViolation);
+}
+
+TEST(FaultSet, CountInSubcube) {
+  const FaultSet fs(4, {0b0000, 0b0001, 0b1000});
+  // Subcube with bit3 = 0 holds faults 0 and 1.
+  EXPECT_EQ(fs.count_in(0b1000, 0b0000), 2u);
+  EXPECT_EQ(fs.count_in(0b1000, 0b1000), 1u);
+  EXPECT_EQ(fs.count_in(0b0011, 0b0010), 0u);
+}
+
+TEST(FaultSet, IsolationDetection) {
+  // Q_2: node 0's neighbours are 1 and 2; failing both isolates it.
+  EXPECT_TRUE(FaultSet(2, {1, 2}).isolates_healthy_node());
+  EXPECT_FALSE(FaultSet(2, {1}).isolates_healthy_node());
+  // r = n faults that do NOT isolate anyone.
+  EXPECT_FALSE(FaultSet(3, {0, 7, 1}).isolates_healthy_node());
+}
+
+TEST(FaultSet, PaperBoundNeverIsolates) {
+  // r <= n-1 can never isolate a healthy node (Q_n is n-connected).
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto fs = random_faults(5, 4, rng);
+    EXPECT_FALSE(fs.isolates_healthy_node());
+  }
+}
+
+TEST(FaultSet, ToStringListsAddresses) {
+  EXPECT_EQ(FaultSet(3, {5, 2}).to_string(), "FaultSet(Q_3, {2, 5})");
+}
+
+TEST(Scenario, RandomFaultsHasExactCount) {
+  util::Rng rng(2);
+  for (std::size_t r = 0; r <= 5; ++r) {
+    const auto fs = random_faults(6, r, rng);
+    EXPECT_EQ(fs.count(), r);
+    EXPECT_EQ(fs.dim(), 6);
+  }
+}
+
+TEST(Scenario, RandomFaultsCoversAllAddressesEventually) {
+  util::Rng rng(3);
+  std::set<cube::NodeId> seen;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto fs = random_faults(3, 2, rng);
+    for (cube::NodeId f : fs.addresses()) seen.insert(f);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Scenario, NoIsolationGeneratorHonoursConstraint) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    // r = n faults can isolate; the generator must filter those cases.
+    const auto fs = random_faults_no_isolation(3, 3, rng);
+    EXPECT_FALSE(fs.isolates_healthy_node());
+  }
+}
+
+TEST(Scenario, ClusteredFaultsStayInOneSubcube) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto fs = clustered_faults(6, 4, 2, rng);
+    ASSERT_EQ(fs.count(), 4u);
+    // All faults agree outside some 2-dimensional subcube: pairwise
+    // Hamming distance is at most 2.
+    for (cube::NodeId a : fs.addresses())
+      for (cube::NodeId b : fs.addresses())
+        EXPECT_LE(cube::hamming(a, b), 2);
+  }
+}
+
+TEST(Scenario, ClusteredRejectsOversizedCluster) {
+  util::Rng rng(6);
+  EXPECT_THROW(clustered_faults(6, 5, 2, rng), ContractViolation);
+}
+
+TEST(Scenario, SpreadFaultsAreFarApart) {
+  util::Rng rng(7);
+  const auto fs = spread_faults(6, 2, rng);
+  ASSERT_EQ(fs.count(), 2u);
+  // Greedy farthest-point with r=2 must reach the antipode: distance n.
+  EXPECT_EQ(cube::hamming(fs.addresses()[0], fs.addresses()[1]), 6);
+}
+
+TEST(Scenario, ChainFaultsFormConnectedSet) {
+  util::Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto fs = chain_faults(5, 4, rng);
+    ASSERT_EQ(fs.count(), 4u);
+    // Each fault has at least one faulty neighbour (connected chain).
+    for (cube::NodeId f : fs.addresses()) {
+      bool has_faulty_neighbor = false;
+      for (cube::Dim d = 0; d < 5; ++d)
+        has_faulty_neighbor |= fs.is_faulty(cube::neighbor(f, d));
+      EXPECT_TRUE(has_faulty_neighbor);
+    }
+  }
+}
+
+TEST(Scenario, GeneratorsAreDeterministicPerSeed) {
+  util::Rng a(9);
+  util::Rng b(9);
+  EXPECT_EQ(random_faults(6, 3, a), random_faults(6, 3, b));
+}
+
+TEST(Diagnosis, RecoversGroundTruthUnderPaperBound) {
+  util::Rng rng(10);
+  for (cube::Dim n = 2; n <= 5; ++n)
+    for (std::size_t r = 0; r + 1 <= static_cast<std::size_t>(n); ++r) {
+      const auto truth = random_faults(n, r, rng);
+      const auto result = diagnose_fail_stop(truth);
+      EXPECT_TRUE(result.complete) << truth.to_string();
+      EXPECT_EQ(result.identified, truth);
+    }
+}
+
+TEST(Diagnosis, FaultFreeCubeConvergesInOneRound) {
+  const auto result = diagnose_fail_stop(FaultSet(3));
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.identified.empty());
+  // Pings already establish full neighbour knowledge; flooding needs the
+  // rounds to spread it across diameter-many hops.
+  EXPECT_GE(result.rounds, 1);
+}
+
+TEST(Diagnosis, MessageCountGrowsWithCubeSize) {
+  const auto small = diagnose_fail_stop(FaultSet(3));
+  const auto big = diagnose_fail_stop(FaultSet(5));
+  EXPECT_GT(big.messages, small.messages);
+}
+
+TEST(Diagnosis, RoundsBoundedByDiameterPlusOne) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto truth = random_faults(4, 3, rng);
+    const auto result = diagnose_fail_stop(truth);
+    // Healthy subgraph diameter can stretch past n when detours are
+    // needed, but quiescence must come within |healthy| rounds.
+    EXPECT_LE(result.rounds,
+              static_cast<int>(truth.healthy_count()) + 1);
+  }
+}
+
+TEST(FaultModel, Names) {
+  EXPECT_EQ(to_string(FaultModel::Partial), "partial");
+  EXPECT_EQ(to_string(FaultModel::Total), "total");
+}
+
+}  // namespace
+}  // namespace ftsort::fault

@@ -1,0 +1,151 @@
+// End-to-end tests of the fault-tolerant sorting algorithm: every fault
+// configuration on small cubes, random configurations on larger ones, both
+// exchange protocols, both fault models, adversarial key patterns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort {
+namespace {
+
+using core::FaultTolerantSorter;
+using core::SortConfig;
+using sort::ExchangeProtocol;
+using sort::Key;
+
+std::vector<Key> sorted_copy(std::vector<Key> keys) {
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void expect_sorts(cube::Dim n, const fault::FaultSet& faults,
+                  const std::vector<Key>& keys, SortConfig config = {}) {
+  FaultTolerantSorter sorter(n, faults, config);
+  const auto outcome = sorter.sort(keys);
+  ASSERT_EQ(outcome.sorted.size(), keys.size())
+      << "keys lost or duplicated; " << sorter.plan().to_string();
+  EXPECT_EQ(outcome.sorted, sorted_copy(keys))
+      << sorter.plan().to_string();
+}
+
+TEST(FtSortIntegration, FaultFreeCubeSortsUniformKeys) {
+  util::Rng rng(1);
+  for (cube::Dim n = 0; n <= 5; ++n) {
+    const auto keys = sort::gen_uniform(100, rng);
+    expect_sorts(n, fault::FaultSet(n), keys);
+  }
+}
+
+TEST(FtSortIntegration, SingleFaultEveryLocation) {
+  util::Rng rng(2);
+  for (cube::Dim n = 2; n <= 4; ++n) {
+    const auto keys = sort::gen_uniform(75, rng);
+    for (cube::NodeId f = 0; f < cube::num_nodes(n); ++f)
+      expect_sorts(n, fault::FaultSet(n, {f}), keys);
+  }
+}
+
+TEST(FtSortIntegration, TwoFaultsEveryPairOnQ3) {
+  util::Rng rng(3);
+  const auto keys = sort::gen_uniform(64, rng);
+  for (cube::NodeId a = 0; a < 8; ++a)
+    for (cube::NodeId b = a + 1; b < 8; ++b)
+      expect_sorts(3, fault::FaultSet(3, {a, b}), keys);
+}
+
+TEST(FtSortIntegration, UpToThreeFaultsRandomOnQ4) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    for (std::size_t r = 1; r <= 3; ++r) {
+      const auto faults = fault::random_faults(4, r, rng);
+      const auto keys = sort::gen_uniform(120, rng);
+      expect_sorts(4, faults, keys);
+    }
+  }
+}
+
+TEST(FtSortIntegration, ManyFaultsOnQ6) {
+  util::Rng rng(5);
+  for (std::size_t r = 1; r <= 5; ++r) {
+    const auto faults = fault::random_faults(6, r, rng);
+    const auto keys = sort::gen_uniform(400, rng);
+    expect_sorts(6, faults, keys);
+  }
+}
+
+TEST(FtSortIntegration, FullExchangeProtocolAgrees) {
+  util::Rng rng(6);
+  SortConfig full;
+  full.protocol = ExchangeProtocol::FullExchange;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto faults = fault::random_faults(5, 3, rng);
+    const auto keys = sort::gen_uniform(150, rng);
+    expect_sorts(5, faults, keys, full);
+  }
+}
+
+TEST(FtSortIntegration, Step8FullSortModeAgrees) {
+  // The literal-paper Step 8 (full re-sort) and the merge optimisation
+  // must both sort; exhaustive over fault pairs on Q_3 and random beyond.
+  util::Rng rng(77);
+  SortConfig full_sort;
+  full_sort.step8 = core::Step8Mode::FullSort;
+  const auto keys = sort::gen_uniform(88, rng);
+  for (cube::NodeId a = 0; a < 8; ++a)
+    for (cube::NodeId b = a + 1; b < 8; ++b)
+      expect_sorts(3, fault::FaultSet(3, {a, b}), keys, full_sort);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto faults = fault::random_faults(6, 5, rng);
+    expect_sorts(6, faults, sort::gen_uniform(333, rng), full_sort);
+  }
+}
+
+TEST(FtSortIntegration, Step8MergeModeExhaustiveSmallCubes) {
+  // The merge optimisation leans on the post-split content being
+  // blockwise bitonic *with the dead hole at logical 0*; hammer it over
+  // every fault pair/triple on Q_3/Q_4 and adversarial key patterns.
+  util::Rng rng(78);
+  SortConfig merge;
+  merge.step8 = core::Step8Mode::BitonicMerge;
+  for (cube::NodeId a = 0; a < 8; ++a)
+    for (cube::NodeId b = a + 1; b < 8; ++b) {
+      expect_sorts(3, fault::FaultSet(3, {a, b}),
+                   sort::gen_uniform(50, rng), merge);
+      expect_sorts(3, fault::FaultSet(3, {a, b}),
+                   sort::gen_few_distinct(50, 3, rng), merge);
+    }
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto faults = fault::random_faults(4, 3, rng);
+    expect_sorts(4, faults, sort::gen_uniform(97, rng), merge);
+  }
+}
+
+TEST(FtSortIntegration, Step8MergeModeIsFaster) {
+  util::Rng rng(79);
+  const auto faults = fault::random_faults(6, 5, rng);
+  const auto keys = sort::gen_uniform(10'000, rng);
+  SortConfig merge;
+  merge.step8 = core::Step8Mode::BitonicMerge;
+  SortConfig full_sort;
+  full_sort.step8 = core::Step8Mode::FullSort;
+  const auto fast = FaultTolerantSorter(6, faults, merge).sort(keys);
+  const auto slow = FaultTolerantSorter(6, faults, full_sort).sort(keys);
+  EXPECT_EQ(fast.sorted, slow.sorted);
+  EXPECT_LT(fast.report.makespan, slow.report.makespan);
+}
+
+TEST(FtSortIntegration, PaperExample1Configuration) {
+  // Q_5 with faults {3, 5, 16, 24}: mincut 3, 47 keys as in Fig. 6.
+  util::Rng rng(7);
+  const fault::FaultSet faults(5, {3, 5, 16, 24});
+  const auto keys = sort::gen_uniform(47, rng);
+  expect_sorts(5, faults, keys);
+}
+
+}  // namespace
+}  // namespace ftsort

@@ -1,0 +1,185 @@
+// Tests for faulty links: the LinkSet container, link-avoiding routing,
+// the vertex-cover reduction, and end-to-end sorting with dead wires.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ft_sorter.hpp"
+#include "fault/link_fault.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort {
+namespace {
+
+TEST(LinkSet, CanonicalisationAndMembership) {
+  const cube::Link link = cube::Link::between(0b101, 0b111);
+  EXPECT_EQ(link.lo, 0b101u);
+  EXPECT_EQ(link.dim, 1);
+  EXPECT_EQ(link.hi(), 0b111u);
+
+  cube::LinkSet set(3, {link});
+  EXPECT_EQ(set.count(), 1u);
+  EXPECT_TRUE(set.contains(0b101, 1));
+  EXPECT_TRUE(set.contains(0b111, 1));  // either endpoint
+  EXPECT_FALSE(set.contains(0b101, 0));
+}
+
+TEST(LinkSet, BetweenRejectsNonNeighbors) {
+  EXPECT_THROW(cube::Link::between(0, 3), ContractViolation);
+}
+
+TEST(LinkSet, AddIsIdempotent) {
+  cube::LinkSet set(3);
+  set.add(cube::Link{0, 0});
+  set.add(cube::Link{0, 0});
+  EXPECT_EQ(set.count(), 1u);
+}
+
+TEST(LinkSet, LinksRoundTrip) {
+  util::Rng rng(1);
+  const auto set = fault::random_link_faults(4, 7, rng);
+  EXPECT_EQ(set.count(), 7u);
+  cube::LinkSet rebuilt(4, set.links());
+  EXPECT_EQ(rebuilt.count(), 7u);
+  for (const auto& link : set.links()) EXPECT_TRUE(rebuilt.contains(link));
+}
+
+TEST(LinkRouting, BfsAvoidsDeadLinks) {
+  // Q_2: kill link 00-01; path 00 -> 01 must go the long way (3 hops).
+  cube::LinkSet dead(2, {cube::Link::between(0b00, 0b01)});
+  const std::vector<bool> healthy(4, false);
+  const auto path = cube::bfs_path(2, 0b00, 0b01, healthy, &dead);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 4u);  // 00 -> 10 -> 11 -> 01
+}
+
+TEST(LinkRouting, AdaptiveAvoidsDeadLinks) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto dead =
+        fault::random_link_faults_connected(4, 4, fault::FaultSet(4), rng);
+    const std::vector<bool> healthy(16, false);
+    for (cube::NodeId a = 0; a < 16; ++a)
+      for (cube::NodeId b = 0; b < 16; ++b) {
+        const auto path = cube::adaptive_path(4, a, b, healthy, &dead);
+        ASSERT_TRUE(path.has_value());
+        for (std::size_t i = 1; i < path->size(); ++i) {
+          const auto link =
+              cube::Link::between((*path)[i - 1], (*path)[i]);
+          EXPECT_FALSE(dead.contains(link));
+        }
+      }
+  }
+}
+
+TEST(LinkRouting, RouterChargesDetourUnderBothModels) {
+  cube::LinkSet dead(3, {cube::Link::between(0b000, 0b001)});
+  for (bool avoid_nodes : {false, true}) {
+    const cube::Router router(3, std::vector<bool>(8, false), avoid_nodes,
+                              dead);
+    EXPECT_GE(router.hops(0b000, 0b001), 3);
+  }
+}
+
+TEST(LinkCover, CoversEveryLink) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto dead = fault::random_link_faults(5, 6, rng);
+    const auto cover = fault::link_cover(dead, fault::FaultSet(5));
+    for (const auto& link : dead.links()) {
+      const bool covered =
+          std::find(cover.begin(), cover.end(), link.lo) != cover.end() ||
+          std::find(cover.begin(), cover.end(), link.hi()) != cover.end();
+      EXPECT_TRUE(covered);
+    }
+    // Greedy cover of k links never needs more than k nodes.
+    EXPECT_LE(cover.size(), dead.count());
+  }
+}
+
+TEST(LinkCover, StarOfLinksNeedsOneNode) {
+  // All faulty links share endpoint 0: cover = {0}.
+  cube::LinkSet dead(4, {cube::Link{0, 0}, cube::Link{0, 1},
+                         cube::Link{0, 2}, cube::Link{0, 3}});
+  const auto cover = fault::link_cover(dead, fault::FaultSet(4));
+  EXPECT_EQ(cover, (std::vector<cube::NodeId>{0}));
+}
+
+TEST(LinkCover, FaultyEndpointsCoverForFree) {
+  cube::LinkSet dead(3, {cube::Link{0, 0}});
+  const auto cover = fault::link_cover(dead, fault::FaultSet(3, {1}));
+  EXPECT_TRUE(cover.empty());  // endpoint 1 is already faulty
+  const auto effective =
+      fault::effective_node_faults(fault::FaultSet(3, {1}), dead);
+  EXPECT_EQ(effective.addresses(), (std::vector<cube::NodeId>{1}));
+}
+
+TEST(LinkConnectivity, DetectsDisconnection) {
+  // Cut all 2 links of node 0 in Q_2.
+  cube::LinkSet dead(2, {cube::Link{0, 0}, cube::Link{0, 1}});
+  EXPECT_FALSE(fault::healthy_subgraph_connected(fault::FaultSet(2), dead));
+  // But if node 0 is itself faulty, the rest stays connected.
+  EXPECT_TRUE(
+      fault::healthy_subgraph_connected(fault::FaultSet(2, {0}), dead));
+}
+
+TEST(LinkFaultSort, SortsWithDeadLinksOnly) {
+  util::Rng rng(4);
+  const auto keys = sort::gen_uniform(200, rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto dead =
+        fault::random_link_faults_connected(5, 3, fault::FaultSet(5), rng);
+    core::FaultTolerantSorter sorter(5, fault::FaultSet(5), dead);
+    const auto outcome = sorter.sort(keys);
+    EXPECT_EQ(outcome.sorted, expected);
+    // The cover sacrifices at most one healthy node per dead link.
+    EXPECT_GE(sorter.plan().live_count(), 32u - 2 * 3 - 1);
+  }
+}
+
+TEST(LinkFaultSort, SortsWithMixedNodeAndLinkFaults) {
+  util::Rng rng(5);
+  const auto keys = sort::gen_uniform(300, rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto faults = fault::random_faults(6, 2, rng);
+    const auto dead = fault::random_link_faults_connected(6, 2, faults, rng);
+    core::FaultTolerantSorter sorter(6, faults, dead);
+    EXPECT_EQ(sorter.sort(keys).sorted, expected);
+  }
+}
+
+TEST(LinkFaultSort, TotalModelWithLinksStillSorts) {
+  util::Rng rng(6);
+  const auto keys = sort::gen_uniform(150, rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  const auto faults = fault::random_faults(5, 2, rng);
+  const auto dead = fault::random_link_faults_connected(5, 2, faults, rng);
+  core::SortConfig config;
+  config.model = fault::FaultModel::Total;
+  core::FaultTolerantSorter sorter(5, faults, dead, config);
+  EXPECT_EQ(sorter.sort(keys).sorted, expected);
+}
+
+TEST(LinkFaultSort, DeadLinkRaisesCostWhenOnRoute) {
+  // Fault-free Q_4, one dead link: same plan as clean only if the cover
+  // node idles; time must be >= the fully clean run.
+  util::Rng rng(7);
+  const auto keys = sort::gen_uniform(2'000, rng);
+  const auto clean =
+      core::FaultTolerantSorter(4, fault::FaultSet(4)).sort(keys);
+  cube::LinkSet dead(4, {cube::Link{0, 0}});
+  const auto degraded =
+      core::FaultTolerantSorter(4, fault::FaultSet(4), dead).sort(keys);
+  EXPECT_EQ(degraded.sorted, clean.sorted);
+  EXPECT_GT(degraded.report.makespan, clean.report.makespan);
+}
+
+}  // namespace
+}  // namespace ftsort

@@ -1,0 +1,159 @@
+// Unit tests for the merge-split kernels, including the identity the
+// half-exchange protocol relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sort/distribution.hpp"
+#include "sort/merge_split.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::sort {
+namespace {
+
+TEST(MergeSplitFull, BasicLowerUpper) {
+  std::uint64_t comparisons = 0;
+  const std::vector<Key> a{1, 4, 7};
+  const std::vector<Key> b{2, 3, 9};
+  EXPECT_EQ(merge_split_full(a, b, SplitHalf::Lower, comparisons),
+            (std::vector<Key>{1, 2, 3}));
+  EXPECT_EQ(merge_split_full(a, b, SplitHalf::Upper, comparisons),
+            (std::vector<Key>{4, 7, 9}));
+}
+
+TEST(MergeSplitFull, ComplementaryHalvesPartitionUnion) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto a = gen_uniform(17, rng);
+    auto b = gen_uniform(17, rng);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::uint64_t comparisons = 0;
+    const auto lower = merge_split_full(a, b, SplitHalf::Lower, comparisons);
+    const auto upper = merge_split_full(b, a, SplitHalf::Upper, comparisons);
+    std::vector<Key> expected;
+    expected.insert(expected.end(), a.begin(), a.end());
+    expected.insert(expected.end(), b.begin(), b.end());
+    std::sort(expected.begin(), expected.end());
+    std::vector<Key> got = lower;
+    got.insert(got.end(), upper.begin(), upper.end());
+    EXPECT_EQ(got, expected);  // lower then upper == sorted union
+  }
+}
+
+TEST(MergeSplitFull, ResultsAreAscending) {
+  util::Rng rng(2);
+  auto a = gen_few_distinct(25, 4, rng);
+  auto b = gen_few_distinct(25, 4, rng);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::uint64_t comparisons = 0;
+  EXPECT_TRUE(is_ascending(
+      merge_split_full(a, b, SplitHalf::Lower, comparisons)));
+  EXPECT_TRUE(is_ascending(
+      merge_split_full(a, b, SplitHalf::Upper, comparisons)));
+}
+
+TEST(MergeSplitFull, UnequalSizesKeepOwnSize) {
+  std::uint64_t comparisons = 0;
+  const std::vector<Key> mine{5, 6};
+  const std::vector<Key> theirs{1, 2, 3, 4};
+  EXPECT_EQ(merge_split_full(mine, theirs, SplitHalf::Lower, comparisons),
+            (std::vector<Key>{1, 2}));
+  EXPECT_EQ(merge_split_full(mine, theirs, SplitHalf::Upper, comparisons),
+            (std::vector<Key>{5, 6}));
+}
+
+TEST(MergeSplitFull, EmptyInputs) {
+  std::uint64_t comparisons = 0;
+  const std::vector<Key> empty;
+  const std::vector<Key> some{1, 2};
+  EXPECT_TRUE(
+      merge_split_full(empty, some, SplitHalf::Lower, comparisons).empty());
+  EXPECT_EQ(merge_split_full(some, empty, SplitHalf::Lower, comparisons),
+            some);
+  EXPECT_EQ(comparisons, 0u);
+}
+
+TEST(MergeSplitFull, LinearComparisonBudget) {
+  util::Rng rng(3);
+  auto a = gen_uniform(100, rng);
+  auto b = gen_uniform(100, rng);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::uint64_t comparisons = 0;
+  merge_split_full(a, b, SplitHalf::Lower, comparisons);
+  EXPECT_LE(comparisons, 100u);  // stops after producing |mine| keys
+}
+
+TEST(PairwiseIdentity, ReversedPairingYieldsExactSplit) {
+  // The identity behind the paper's half-exchange: for equal-length
+  // ascending blocks A, B, { min(A[k], B[b-1-k]) } is exactly the multiset
+  // of the b smallest keys of A ∪ B.
+  util::Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t b = 1 + rng.below(40);
+    auto A = gen_uniform(b, rng);
+    auto B = gen_uniform(b, rng);
+    std::sort(A.begin(), A.end());
+    std::sort(B.begin(), B.end());
+    std::vector<Key> mins;
+    std::vector<Key> maxs;
+    for (std::size_t k = 0; k < b; ++k) {
+      mins.push_back(std::min(A[k], B[b - 1 - k]));
+      maxs.push_back(std::max(A[k], B[b - 1 - k]));
+    }
+    std::vector<Key> all;
+    all.insert(all.end(), A.begin(), A.end());
+    all.insert(all.end(), B.begin(), B.end());
+    std::sort(all.begin(), all.end());
+    std::sort(mins.begin(), mins.end());
+    std::sort(maxs.begin(), maxs.end());
+    EXPECT_TRUE(std::equal(mins.begin(), mins.end(), all.begin()));
+    EXPECT_TRUE(std::equal(maxs.begin(), maxs.end(),
+                           all.begin() + static_cast<std::ptrdiff_t>(b)));
+  }
+}
+
+TEST(PairwiseSelect, SplitsWinnersFromLosers) {
+  std::uint64_t comparisons = 0;
+  const std::vector<Key> a{3, 8, 1};
+  const std::vector<Key> b{5, 2, 9};
+  const auto lower = pairwise_select(a, b, SplitHalf::Lower, comparisons);
+  EXPECT_EQ(lower.kept, (std::vector<Key>{3, 2, 1}));
+  EXPECT_EQ(lower.returned, (std::vector<Key>{5, 8, 9}));
+  const auto upper = pairwise_select(a, b, SplitHalf::Upper, comparisons);
+  EXPECT_EQ(upper.kept, (std::vector<Key>{5, 8, 9}));
+  EXPECT_EQ(upper.returned, (std::vector<Key>{3, 2, 1}));
+  EXPECT_EQ(comparisons, 6u);
+}
+
+TEST(PairwiseSelect, RejectsMismatchedLengths) {
+  std::uint64_t comparisons = 0;
+  const std::vector<Key> a{1};
+  const std::vector<Key> b{1, 2};
+  EXPECT_THROW(pairwise_select(a, b, SplitHalf::Lower, comparisons),
+               ContractViolation);
+}
+
+TEST(PairwiseSelect, EmptyIsEmpty) {
+  std::uint64_t comparisons = 0;
+  const std::vector<Key> empty;
+  const auto split =
+      pairwise_select(empty, empty, SplitHalf::Lower, comparisons);
+  EXPECT_TRUE(split.kept.empty());
+  EXPECT_TRUE(split.returned.empty());
+}
+
+TEST(PairwiseSelect, DummiesLoseEveryComparison) {
+  std::uint64_t comparisons = 0;
+  const std::vector<Key> a{1, sim::kDummyKey};
+  const std::vector<Key> b{sim::kDummyKey, 2};
+  const auto split = pairwise_select(a, b, SplitHalf::Lower, comparisons);
+  EXPECT_EQ(split.kept, (std::vector<Key>{1, 2}));
+  EXPECT_EQ(split.returned,
+            (std::vector<Key>{sim::kDummyKey, sim::kDummyKey}));
+}
+
+}  // namespace
+}  // namespace ftsort::sort

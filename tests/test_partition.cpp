@@ -1,0 +1,166 @@
+// Unit tests for the partition algorithm (checking tree, mincut, Ψ).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fault/scenario.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::partition {
+namespace {
+
+TEST(CheckingTree, EmptyAndSingleFaultNeedNoCuts) {
+  EXPECT_TRUE(is_single_fault_structure(fault::FaultSet(4), {}));
+  EXPECT_TRUE(is_single_fault_structure(fault::FaultSet(4, {9}), {}));
+}
+
+TEST(CheckingTree, TwoFaultsNeedSeparatingDimension) {
+  // Faults 0 and 6 (differ in dims 1, 2).
+  const fault::FaultSet faults(3, {0, 6});
+  EXPECT_FALSE(is_single_fault_structure(faults, {}));
+  const std::vector<cube::Dim> d0{0};
+  EXPECT_FALSE(is_single_fault_structure(faults, d0));
+  const std::vector<cube::Dim> d1{1};
+  EXPECT_TRUE(is_single_fault_structure(faults, d1));
+  const std::vector<cube::Dim> d2{2};
+  EXPECT_TRUE(is_single_fault_structure(faults, d2));
+}
+
+TEST(CheckingTree, PaperFigure3Example) {
+  // Q_4 with faults {0, 6, 9}: D = (1, 3) builds F_4^2.
+  const fault::FaultSet faults(4, {0, 6, 9});
+  const std::vector<cube::Dim> cuts{1, 3};
+  EXPECT_TRUE(is_single_fault_structure(faults, cuts));
+  // Dimension 1 alone leaves {0, 9} together.
+  const std::vector<cube::Dim> d1{1};
+  EXPECT_FALSE(is_single_fault_structure(faults, d1));
+}
+
+TEST(PartitionSearch, FaultFreeGivesMincutZero) {
+  const auto result = find_cutting_set(fault::FaultSet(5));
+  EXPECT_EQ(result.mincut, 0);
+  ASSERT_EQ(result.cutting_set.size(), 1u);
+  EXPECT_TRUE(result.cutting_set[0].empty());
+}
+
+TEST(PartitionSearch, SingleFaultGivesMincutZero) {
+  const auto result = find_cutting_set(fault::FaultSet(5, {17}));
+  EXPECT_EQ(result.mincut, 0);
+}
+
+TEST(PartitionSearch, TwoFaultsGiveMincutOne) {
+  // Any two distinct faults are separated by one cut along any differing
+  // dimension; Ψ holds exactly those dimensions.
+  const fault::FaultSet faults(4, {0b0101, 0b0110});
+  const auto result = find_cutting_set(faults);
+  EXPECT_EQ(result.mincut, 1);
+  std::vector<std::vector<cube::Dim>> expected{{0}, {1}};
+  EXPECT_EQ(result.cutting_set, expected);
+}
+
+TEST(PartitionSearch, PaperExample1FullCuttingSet) {
+  // Q_5, faults {00011, 00101, 10000, 11000} = {3, 5, 16, 24}:
+  // Ψ = {(0,1,3), (0,2,3), (1,2,3), (1,3,4), (2,3,4)}, mincut = 3.
+  const fault::FaultSet faults(5, {3, 5, 16, 24});
+  const auto result = find_cutting_set(faults);
+  EXPECT_EQ(result.mincut, 3);
+  const std::vector<std::vector<cube::Dim>> expected{
+      {0, 1, 3}, {0, 2, 3}, {1, 2, 3}, {1, 3, 4}, {2, 3, 4}};
+  EXPECT_EQ(result.cutting_set, expected);
+}
+
+TEST(PartitionSearch, EverySequenceInPsiIsValidAndMinimal) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto faults = fault::random_faults(6, 5, rng);
+    const auto result = find_cutting_set(faults);
+    for (const auto& cuts : result.cutting_set) {
+      EXPECT_EQ(static_cast<int>(cuts.size()), result.mincut);
+      EXPECT_TRUE(is_single_fault_structure(faults, cuts));
+      EXPECT_TRUE(std::is_sorted(cuts.begin(), cuts.end()));
+    }
+  }
+}
+
+TEST(PartitionSearch, MincutMatchesBruteForce) {
+  // Exhaustive verification against all dimension subsets on Q_5.
+  util::Rng rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto faults = fault::random_faults(5, 4, rng);
+    const auto result = find_cutting_set(faults);
+    int brute = 5;
+    std::vector<std::vector<cube::Dim>> all_minimal;
+    for (std::uint32_t mask = 0; mask < 32; ++mask) {
+      std::vector<cube::Dim> cuts;
+      for (cube::Dim d = 0; d < 5; ++d)
+        if (mask & (1u << d)) cuts.push_back(d);
+      if (!is_single_fault_structure(faults, cuts)) continue;
+      if (static_cast<int>(cuts.size()) < brute) {
+        brute = static_cast<int>(cuts.size());
+        all_minimal.clear();
+      }
+      if (static_cast<int>(cuts.size()) == brute)
+        all_minimal.push_back(cuts);
+    }
+    EXPECT_EQ(result.mincut, brute) << faults.to_string();
+    auto got = result.cutting_set;
+    std::sort(got.begin(), got.end());
+    std::sort(all_minimal.begin(), all_minimal.end());
+    EXPECT_EQ(got, all_minimal) << faults.to_string();
+  }
+}
+
+TEST(PartitionSearch, PaperBoundMincutAtMostNMinus2) {
+  // For r <= n-1 the paper guarantees a partition with at most n-2 cuts.
+  util::Rng rng(3);
+  for (cube::Dim n = 3; n <= 6; ++n)
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto faults =
+          fault::random_faults(n, static_cast<std::size_t>(n - 1), rng);
+      const auto result = find_cutting_set(faults);
+      EXPECT_LE(result.mincut, n - 2) << faults.to_string();
+    }
+}
+
+TEST(PartitionSearch, MincutAtMostRMinus1) {
+  // Separating r faults pairwise never needs more than r-1 cuts.
+  util::Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    for (std::size_t r = 2; r <= 5; ++r) {
+      const auto faults = fault::random_faults(6, r, rng);
+      const auto result = find_cutting_set(faults);
+      EXPECT_LE(result.mincut, static_cast<int>(r) - 1);
+    }
+  }
+}
+
+TEST(PartitionSearch, TreeTraversalIsBounded) {
+  // The cutting-dimension tree has at most 2^n - 1 nodes.
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto faults = fault::random_faults(6, 5, rng);
+    const auto result = find_cutting_set(faults);
+    EXPECT_LE(result.tree_nodes_visited, 63u);
+    EXPECT_LE(result.fault_checks, 5u * 64u);  // O(rN)
+  }
+}
+
+TEST(PartitionSearch, AdversarialClusterNeedsManyCuts) {
+  // All faults packed in one tiny subcube force larger mincut values than
+  // typical random placements.
+  util::Rng rng(6);
+  const auto faults = fault::clustered_faults(6, 4, 2, rng);
+  const auto result = find_cutting_set(faults);
+  EXPECT_GE(result.mincut, 2);  // 4 faults in a Q_2 need both its dims cut
+}
+
+TEST(PartitionSearch, AntipodalFaultsSeparableEverywhere) {
+  const fault::FaultSet faults(4, {0b0000, 0b1111});
+  const auto result = find_cutting_set(faults);
+  EXPECT_EQ(result.mincut, 1);
+  EXPECT_EQ(result.cutting_set.size(), 4u);  // any single dimension works
+}
+
+}  // namespace
+}  // namespace ftsort::partition

@@ -1,0 +1,124 @@
+// Tests for the odd-even transposition ring baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/ring_sorter.hpp"
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::baseline {
+namespace {
+
+TEST(HealthyRing, FaultFreeIsGrayCycle) {
+  const auto ring = healthy_ring(fault::FaultSet(4));
+  ASSERT_EQ(ring.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(ring[i], cube::gray(static_cast<cube::NodeId>(i)));
+    EXPECT_EQ(cube::hamming(ring[i], ring[(i + 1) % 16]), 1);
+  }
+}
+
+TEST(HealthyRing, SkipsFaultyNodes) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto faults = fault::random_faults(5, 4, rng);
+    const auto ring = healthy_ring(faults);
+    EXPECT_EQ(ring.size(), faults.healthy_count());
+    const std::set<cube::NodeId> unique(ring.begin(), ring.end());
+    EXPECT_EQ(unique.size(), ring.size());
+    for (cube::NodeId u : ring) EXPECT_FALSE(faults.is_faulty(u));
+  }
+}
+
+TEST(HealthyRing, GapsStaySmall) {
+  // Skipping r faulty nodes along the Gray cycle leaves successive live
+  // nodes at Hamming distance at most r + 1.
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto faults = fault::random_faults(5, 4, rng);
+    const auto ring = healthy_ring(faults);
+    for (std::size_t i = 0; i + 1 < ring.size(); ++i)
+      EXPECT_LE(cube::hamming(ring[i], ring[i + 1]), 5);
+  }
+}
+
+TEST(RingSort, SortsFaultFree) {
+  util::Rng rng(3);
+  for (cube::Dim n = 0; n <= 4; ++n) {
+    const auto keys = sort::gen_uniform(100, rng);
+    auto expected = keys;
+    std::sort(expected.begin(), expected.end());
+    const auto result = ring_odd_even_sort(n, fault::FaultSet(n), keys);
+    EXPECT_EQ(result.sorted, expected) << "n=" << n;
+  }
+}
+
+TEST(RingSort, SortsEveryPairOfFaultsOnQ3) {
+  util::Rng rng(4);
+  const auto keys = sort::gen_uniform(60, rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  for (cube::NodeId a = 0; a < 8; ++a)
+    for (cube::NodeId b = a + 1; b < 8; ++b) {
+      const auto result =
+          ring_odd_even_sort(3, fault::FaultSet(3, {a, b}), keys);
+      EXPECT_EQ(result.sorted, expected)
+          << "faults " << a << "," << b;
+    }
+}
+
+TEST(RingSort, SortsManyFaultsBeyondPaperEnvelope) {
+  // The ring only needs connectivity of nothing at all — any healthy
+  // subset works, even ones the partition cannot use well.
+  util::Rng rng(5);
+  const auto keys = sort::gen_uniform(200, rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto faults = fault::random_faults(5, 12, rng);
+    const auto result = ring_odd_even_sort(5, faults, keys);
+    EXPECT_EQ(result.sorted, expected);
+  }
+}
+
+TEST(RingSort, AdversarialPatterns) {
+  util::Rng rng(6);
+  const auto faults = fault::random_faults(4, 3, rng);
+  for (auto keys : {sort::gen_reverse(90), sort::gen_organ_pipe(91),
+                    sort::gen_few_distinct(90, 2, rng)}) {
+    auto expected = keys;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(ring_odd_even_sort(4, faults, keys).sorted, expected);
+  }
+}
+
+TEST(RingSort, LinearPhasesMakeItSlowerThanBitonicOnBigCubes) {
+  util::Rng rng(7);
+  const auto keys = sort::gen_uniform(32'000, rng);
+  const auto faults = fault::random_faults(6, 2, rng);
+  const auto ring = ring_odd_even_sort(6, faults, keys);
+  // 62 phases of block exchanges vs ~21 bitonic steps: the ring must be
+  // markedly slower than the partitioned bitonic sort despite equal
+  // utilization.
+  core::FaultTolerantSorter sorter(6, faults);
+  const auto bitonic = sorter.sort(keys);
+  EXPECT_GT(ring.report.makespan, 2.0 * bitonic.report.makespan);
+}
+
+TEST(RingSort, SingleHealthyNodeDegeneratesToLocalSort) {
+  const fault::FaultSet faults(1, {1});
+  util::Rng rng(8);
+  const auto keys = sort::gen_uniform(50, rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  const auto result = ring_odd_even_sort(1, faults, keys);
+  EXPECT_EQ(result.sorted, expected);
+  EXPECT_EQ(result.report.messages, 0u);
+}
+
+}  // namespace
+}  // namespace ftsort::baseline

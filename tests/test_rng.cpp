@@ -1,0 +1,149 @@
+// Unit tests for the deterministic RNG stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace ftsort::util {
+namespace {
+
+TEST(SplitMix64, ProducesKnownFirstValueForZeroSeed) {
+  SplitMix64 sm(0);
+  // Reference value from the SplitMix64 reference implementation.
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafull);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(7);
+  const std::uint64_t first = rng.next();
+  rng.next();
+  rng.reseed(7);
+  EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowRejectsZeroBound) {
+  Rng rng(5);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Rng, BelowCoversSmallRangeUniformly) {
+  Rng rng(6);
+  std::array<int, 4> counts{};
+  const int trials = 40'000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(4)];
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 4 - trials / 20);
+    EXPECT_LT(c, trials / 4 + trials / 20);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeSingletonInterval) {
+  Rng rng(9);
+  EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto expected = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, expected);
+}
+
+TEST(Rng, ShuffleHandlesEmptyAndSingleton) {
+  Rng rng(13);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValues) {
+  Rng rng(14);
+  const auto sample = rng.sample_distinct(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (auto v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleDistinctFullPopulationIsPermutation) {
+  Rng rng(15);
+  auto sample = rng.sample_distinct(16, 16);
+  std::sort(sample.begin(), sample.end());
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleDistinctZeroIsEmpty) {
+  Rng rng(16);
+  EXPECT_TRUE(rng.sample_distinct(10, 0).empty());
+}
+
+TEST(Rng, SampleDistinctRejectsOverdraw) {
+  Rng rng(17);
+  EXPECT_THROW(rng.sample_distinct(4, 5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftsort::util

@@ -1,0 +1,168 @@
+// Unit tests for e-cube, BFS, and adaptive fault-avoiding routing.
+#include <gtest/gtest.h>
+
+#include "fault/scenario.hpp"
+#include "hypercube/routing.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::cube {
+namespace {
+
+bool path_is_valid(Dim /*n*/, const std::vector<NodeId>& path, NodeId src,
+                   NodeId dst) {
+  if (path.empty() || path.front() != src || path.back() != dst)
+    return false;
+  for (std::size_t i = 1; i < path.size(); ++i)
+    if (hamming(path[i - 1], path[i]) != 1) return false;
+  return true;
+}
+
+std::vector<bool> no_faults(Dim n) {
+  return std::vector<bool>(num_nodes(n), false);
+}
+
+TEST(EcubeRouting, PathLengthEqualsHamming) {
+  for (Dim n = 1; n <= 5; ++n)
+    for (NodeId a = 0; a < num_nodes(n); ++a)
+      for (NodeId b = 0; b < num_nodes(n); ++b) {
+        const auto path = ecube_path(n, a, b);
+        EXPECT_TRUE(path_is_valid(n, path, a, b));
+        EXPECT_EQ(static_cast<int>(path.size()) - 1, hamming(a, b));
+      }
+}
+
+TEST(EcubeRouting, CorrectsLowestDimensionFirst) {
+  const auto path = ecube_path(4, 0b0000, 0b1010);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], 0b0010u);  // dimension 1 before dimension 3
+}
+
+TEST(EcubeRouting, SelfPathIsSingleton) {
+  const auto path = ecube_path(3, 5, 5);
+  EXPECT_EQ(path, std::vector<NodeId>{5});
+}
+
+TEST(BfsRouting, MatchesHammingWhenFaultFree) {
+  for (NodeId a = 0; a < 16; ++a)
+    for (NodeId b = 0; b < 16; ++b) {
+      const auto path = bfs_path(4, a, b, no_faults(4));
+      ASSERT_TRUE(path.has_value());
+      EXPECT_EQ(static_cast<int>(path->size()) - 1, hamming(a, b));
+    }
+}
+
+TEST(BfsRouting, AvoidsFaultyIntermediates) {
+  // Q_2: route 00 -> 11 with 01 faulty must go through 10.
+  std::vector<bool> faulty(4, false);
+  faulty[0b01] = true;
+  const auto path = bfs_path(2, 0b00, 0b11, faulty);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 3u);
+  EXPECT_EQ((*path)[1], 0b10u);
+}
+
+TEST(BfsRouting, ReturnsNulloptWhenCutOff) {
+  // Q_2: isolate node 00 by failing both neighbours.
+  std::vector<bool> faulty(4, false);
+  faulty[0b01] = true;
+  faulty[0b10] = true;
+  EXPECT_FALSE(bfs_path(2, 0b00, 0b11, faulty).has_value());
+}
+
+TEST(BfsRouting, DestinationMayBeFaulty) {
+  // Diagnosis-style probe: the endpoint itself is reachable even if faulty.
+  std::vector<bool> faulty(4, false);
+  faulty[0b11] = true;
+  const auto path = bfs_path(2, 0b00, 0b11, faulty);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);
+}
+
+TEST(AdaptiveRouting, EqualsEcubeWhenFaultFree) {
+  for (NodeId a = 0; a < 32; ++a)
+    for (NodeId b = 0; b < 32; ++b) {
+      const auto path = adaptive_path(5, a, b, no_faults(5));
+      ASSERT_TRUE(path.has_value());
+      EXPECT_EQ(static_cast<int>(path->size()) - 1, hamming(a, b));
+    }
+}
+
+TEST(AdaptiveRouting, DetoursAroundSingleFault) {
+  // Q_3: 000 -> 011 with 001 faulty; still reachable, maybe longer.
+  std::vector<bool> faulty(8, false);
+  faulty[0b001] = true;
+  const auto path = adaptive_path(3, 0b000, 0b011, faulty);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path_is_valid(3, *path, 0b000, 0b011));
+  for (std::size_t i = 1; i + 1 < path->size(); ++i)
+    EXPECT_FALSE(faulty[(*path)[i]]);
+}
+
+TEST(AdaptiveRouting, AlwaysReachesUnderPaperFaultBound) {
+  // r <= n-1 keeps the healthy subgraph connected; adaptive routing must
+  // always deliver between healthy nodes.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto faults = fault::random_faults(5, 4, rng);
+    const auto& bitmap = faults.bitmap();
+    for (NodeId a = 0; a < 32; ++a) {
+      if (bitmap[a]) continue;
+      for (NodeId b = 0; b < 32; ++b) {
+        if (bitmap[b]) continue;
+        const auto path = adaptive_path(5, a, b, bitmap);
+        ASSERT_TRUE(path.has_value());
+        EXPECT_TRUE(path_is_valid(5, *path, a, b));
+        for (std::size_t i = 1; i + 1 < path->size(); ++i)
+          EXPECT_FALSE(bitmap[(*path)[i]]);
+      }
+    }
+  }
+}
+
+TEST(AdaptiveRouting, NeverShorterThanBfs) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto faults = fault::random_faults(4, 3, rng);
+    const auto& bitmap = faults.bitmap();
+    for (NodeId a = 0; a < 16; ++a) {
+      if (bitmap[a]) continue;
+      for (NodeId b = 0; b < 16; ++b) {
+        if (bitmap[b]) continue;
+        const auto adaptive = adaptive_path(4, a, b, bitmap);
+        const auto shortest = bfs_path(4, a, b, bitmap);
+        ASSERT_TRUE(adaptive.has_value());
+        ASSERT_TRUE(shortest.has_value());
+        EXPECT_GE(adaptive->size(), shortest->size());
+      }
+    }
+  }
+}
+
+TEST(Router, PartialModelChargesHammingThroughFaults) {
+  std::vector<bool> faulty(8, false);
+  faulty[0b001] = true;
+  const Router router(3, faulty, /*avoid_faulty=*/false);
+  // e-cube passes straight through the faulty node.
+  EXPECT_EQ(router.hops(0b000, 0b011), 2);
+  EXPECT_EQ(router.path(0b000, 0b011)[1], 0b001u);
+}
+
+TEST(Router, TotalModelRoutesAround) {
+  std::vector<bool> faulty(8, false);
+  faulty[0b001] = true;
+  const Router router(3, faulty, /*avoid_faulty=*/true);
+  EXPECT_GE(router.hops(0b000, 0b011), 2);
+  for (NodeId hop : router.path(0b000, 0b011)) {
+    if (hop != 0b000 && hop != 0b011) {
+      EXPECT_FALSE(faulty[hop]);
+    }
+  }
+}
+
+TEST(Router, HopsZeroForSelf) {
+  const Router router(3, std::vector<bool>(8, false), false);
+  EXPECT_EQ(router.hops(4, 4), 0);
+}
+
+}  // namespace
+}  // namespace ftsort::cube

@@ -1,0 +1,212 @@
+// Unit tests for the heuristic selection of D_β and dangling processors.
+#include <gtest/gtest.h>
+
+#include "fault/scenario.hpp"
+#include "partition/plan.hpp"
+#include "partition/selection.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::partition {
+namespace {
+
+const fault::FaultSet& paper_faults() {
+  static const fault::FaultSet faults(5, {3, 5, 16, 24});
+  return faults;
+}
+
+TEST(ExtraOverhead, PaperExample2PerSequenceCosts) {
+  // Example 2: costs of D_1..D_5 are 3, 3, 4, 3, 3.
+  const std::vector<std::vector<cube::Dim>> psi{
+      {0, 1, 3}, {0, 2, 3}, {1, 2, 3}, {1, 3, 4}, {2, 3, 4}};
+  const std::vector<int> expected_costs{3, 3, 4, 3, 3};
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    const cube::CutSplit split(5, psi[i]);
+    EXPECT_EQ(extra_overhead(paper_faults(), split).total,
+              expected_costs[i])
+        << "D_" << i + 1;
+  }
+}
+
+TEST(ExtraOverhead, PaperExample2PerDimensionProfile) {
+  // D_1 = (0,1,3): h = (2, 1, 0) -> Σ max(h_i) = 3.
+  const cube::CutSplit split(5, {0, 1, 3});
+  const auto profile = extra_overhead(paper_faults(), split);
+  ASSERT_EQ(profile.h.size(), 3u);
+  EXPECT_EQ(profile.h[0], 2);
+  EXPECT_EQ(profile.h[1], 1);
+  EXPECT_EQ(profile.h[2], 0);
+}
+
+TEST(ExtraOverhead, ZeroWhenFaultsAlign) {
+  // Two faults with identical local addresses: re-indexing is the same in
+  // both subcubes, so no extra hops.
+  const fault::FaultSet faults(3, {0b000, 0b001});  // differ only in dim 0
+  const cube::CutSplit split(3, {0});
+  EXPECT_EQ(extra_overhead(faults, split).total, 0);
+}
+
+TEST(ExtraOverhead, RejectsNonSingleFaultSplit) {
+  const fault::FaultSet faults(3, {0, 2});  // differ in dim 1 only
+  const cube::CutSplit split(3, {0});       // does not separate them
+  EXPECT_THROW(extra_overhead(faults, split), ContractViolation);
+}
+
+TEST(SelectSequence, PicksFirstMinimumInPsiOrder) {
+  const auto search = find_cutting_set(paper_faults());
+  const auto selection = select_sequence(paper_faults(),
+                                         search.cutting_set);
+  // Example 2 selects D_β = D_1 = (0, 1, 3) at cost 3.
+  EXPECT_EQ(selection.cuts, (std::vector<cube::Dim>{0, 1, 3}));
+  EXPECT_EQ(selection.overhead.total, 3);
+  EXPECT_EQ(selection.beta, 0u);
+}
+
+TEST(SelectSequence, SelectionNeverWorseThanAnyCandidate) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto faults = fault::random_faults(6, 4, rng);
+    const auto search = find_cutting_set(faults);
+    const auto selection = select_sequence(faults, search.cutting_set);
+    for (const auto& cuts : search.cutting_set) {
+      const cube::CutSplit split(6, cuts);
+      EXPECT_LE(selection.overhead.total,
+                extra_overhead(faults, split).total);
+    }
+  }
+}
+
+TEST(SelectSequence, RejectsEmptyCuttingSet) {
+  EXPECT_THROW(select_sequence(paper_faults(), {}), ContractViolation);
+}
+
+TEST(MostFrequentFaultLocal, PaperExample2DanglingAddress) {
+  // Faults' local addresses under D_1: {00, 01, 10, 10} -> dangling 10.
+  const cube::CutSplit split(5, {0, 1, 3});
+  EXPECT_EQ(most_frequent_fault_local(paper_faults(), split), 0b10u);
+}
+
+TEST(MostFrequentFaultLocal, TiesBreakTowardSmallest) {
+  const fault::FaultSet faults(3, {0b000, 0b011});
+  const cube::CutSplit split(3, {0});  // locals: w = {u2 u1}: 00 and 01
+  EXPECT_EQ(most_frequent_fault_local(faults, split), 0b00u);
+}
+
+TEST(MostFrequentFaultLocal, RequiresFaults) {
+  const cube::CutSplit split(3, {0});
+  EXPECT_THROW(most_frequent_fault_local(fault::FaultSet(3), split),
+               ContractViolation);
+}
+
+TEST(Plan, PaperExample2DanglingGlobalAddresses) {
+  const Plan plan = Plan::build(paper_faults());
+  EXPECT_EQ(plan.selection().cuts, (std::vector<cube::Dim>{0, 1, 3}));
+  EXPECT_EQ(plan.dangling_addresses(),
+            (std::vector<cube::NodeId>{18, 25, 26, 27}));
+  EXPECT_EQ(plan.dangling_count(), 4u);
+  EXPECT_EQ(plan.live_count(), 24u);
+}
+
+TEST(Plan, RolesPartitionTheMachine) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto faults = fault::random_faults(5, 3, rng);
+    const Plan plan = Plan::build(faults);
+    std::size_t live = 0;
+    for (cube::NodeId u = 0; u < 32; ++u) {
+      const auto role = plan.role_of(u);
+      EXPECT_EQ(plan.physical(role.v, role.logical_w), u);
+      if (role.live) {
+        ++live;
+        EXPECT_FALSE(faults.is_faulty(u));
+      }
+    }
+    EXPECT_EQ(live, plan.live_count());
+  }
+}
+
+TEST(Plan, DeadNodesAreFaultsOrDanglings) {
+  util::Rng rng(3);
+  const auto faults = fault::random_faults(6, 5, rng);
+  const Plan plan = Plan::build(faults);
+  ASSERT_TRUE(plan.has_dead());
+  std::size_t fault_subcubes = 0;
+  for (cube::NodeId v = 0; v < plan.num_subcubes(); ++v) {
+    const cube::NodeId dead_global =
+        plan.split().global_address(v, plan.dead_w(v));
+    if (plan.dead_is_fault(v)) {
+      ++fault_subcubes;
+      EXPECT_TRUE(faults.is_faulty(dead_global));
+    } else {
+      EXPECT_FALSE(faults.is_faulty(dead_global));
+    }
+    // Dead node re-indexes to logical 0.
+    EXPECT_EQ(plan.role_of(dead_global).logical_w, 0u);
+    EXPECT_FALSE(plan.role_of(dead_global).live);
+  }
+  EXPECT_EQ(fault_subcubes, faults.count());
+}
+
+TEST(Plan, FaultFreePlanHasNoDeadNodes) {
+  const Plan plan = Plan::build(fault::FaultSet(4));
+  EXPECT_FALSE(plan.has_dead());
+  EXPECT_EQ(plan.live_count(), 16u);
+  EXPECT_EQ(plan.dangling_count(), 0u);
+  EXPECT_DOUBLE_EQ(plan.utilization_percent(), 100.0);
+}
+
+TEST(Plan, SingleFaultPlanUsesWholeCube) {
+  const Plan plan = Plan::build(fault::FaultSet(4, {11}));
+  EXPECT_EQ(plan.m(), 0);
+  EXPECT_TRUE(plan.has_dead());
+  EXPECT_EQ(plan.live_count(), 15u);
+  EXPECT_EQ(plan.dangling_count(), 0u);
+  EXPECT_DOUBLE_EQ(plan.utilization_percent(), 100.0);
+}
+
+TEST(Plan, TwoFaultsZeroDangling) {
+  // The paper's flagship case: two faults -> two half-cubes, each with one
+  // fault, no dangling processor, 100% utilisation.
+  util::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto faults = fault::random_faults(6, 2, rng);
+    const Plan plan = Plan::build(faults);
+    EXPECT_EQ(plan.m(), 1);
+    EXPECT_EQ(plan.dangling_count(), 0u);
+    EXPECT_DOUBLE_EQ(plan.utilization_percent(), 100.0);
+  }
+}
+
+TEST(Plan, WorstCaseDanglingBelowQuarter) {
+  // The paper's bound: fewer than N/4 danglings for r <= n-1.
+  util::Rng rng(5);
+  for (cube::Dim n = 3; n <= 6; ++n)
+    for (int trial = 0; trial < 50; ++trial) {
+      const auto faults =
+          fault::random_faults(n, static_cast<std::size_t>(n - 1), rng);
+      const Plan plan = Plan::build(faults);
+      EXPECT_LE(plan.dangling_count(), cube::num_nodes(n) / 4);
+    }
+}
+
+TEST(Plan, BuildWithCutsHonoursGivenSequence) {
+  const Plan plan =
+      Plan::build_with_cuts(paper_faults(), {2, 3, 4});
+  EXPECT_EQ(plan.selection().cuts, (std::vector<cube::Dim>{2, 3, 4}));
+  EXPECT_EQ(plan.m(), 3);
+}
+
+TEST(Plan, BuildWithCutsRejectsInvalidSequence) {
+  EXPECT_THROW(Plan::build_with_cuts(paper_faults(), {4}),
+               ContractViolation);
+}
+
+TEST(Plan, ToStringMentionsKeyQuantities) {
+  const Plan plan = Plan::build(paper_faults());
+  const std::string s = plan.to_string();
+  EXPECT_NE(s.find("Q_5"), std::string::npos);
+  EXPECT_NE(s.find("mincut=3"), std::string::npos);
+  EXPECT_NE(s.find("dangling=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsort::partition

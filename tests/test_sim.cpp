@@ -1,0 +1,336 @@
+// Unit tests for the discrete-event machine: tasks, message passing,
+// logical clocks, cost accounting, deadlock detection, tracing.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace ftsort::sim {
+namespace {
+
+fault::FaultSet no_faults(cube::Dim n) { return fault::FaultSet(n); }
+
+TEST(Task, RunsToCompletionAndReturnsValue) {
+  auto coro = []() -> Task<int> { co_return 42; };
+  Task<int> t = coro();
+  EXPECT_FALSE(t.done());
+  t.start();
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(t.take_result(), 42);
+}
+
+TEST(Task, PropagatesExceptions) {
+  auto coro = []() -> Task<int> {
+    throw std::runtime_error("boom");
+    co_return 0;
+  };
+  Task<int> t = coro();
+  t.start();
+  EXPECT_TRUE(t.done());
+  EXPECT_THROW(t.take_result(), std::runtime_error);
+}
+
+TEST(Task, NestedAwaitPassesValues) {
+  auto inner = []() -> Task<int> { co_return 7; };
+  auto outer = [&]() -> Task<int> {
+    const int x = co_await inner();
+    co_return x * 3;
+  };
+  Task<int> t = outer();
+  t.start();
+  EXPECT_EQ(t.take_result(), 21);
+}
+
+TEST(Machine, PingPongDeliversPayloadAndAdvancesClocks) {
+  Machine machine(1, no_faults(1));
+  std::vector<Key> got;
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      ctx.send(1, 5, {10, 20, 30});
+      Message reply = co_await ctx.recv(1, 6);
+      got = reply.payload;
+    } else {
+      Message msg = co_await ctx.recv(0, 5);
+      ctx.send(0, 6, std::move(msg.payload));
+    }
+  };
+  const RunReport report = machine.run(program);
+  EXPECT_EQ(got, (std::vector<Key>{10, 20, 30}));
+  EXPECT_EQ(report.messages, 2u);
+  EXPECT_EQ(report.keys_sent, 6u);
+  EXPECT_EQ(report.key_hops, 6u);  // neighbours: 1 hop each way
+  // Two 3-key transfers at 8 µs/key back-to-back.
+  EXPECT_DOUBLE_EQ(report.makespan, 2 * 3 * 8.0);
+}
+
+TEST(Machine, RecvBeforeSendSuspendsAndResumes) {
+  // Node 1 posts its recv before node 0 runs (address order starts the
+  // receive first when node 1's program is kicked after node 0's... force
+  // the suspended path by having node 1 wait for a message node 0 sends
+  // only after receiving from node 1).
+  Machine machine(1, no_faults(1));
+  bool done0 = false;
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      Message msg = co_await ctx.recv(1, 1);  // suspends: nothing sent yet
+      EXPECT_EQ(msg.payload.size(), 1u);
+      done0 = true;
+    } else {
+      ctx.send(0, 1, {99});
+    }
+  };
+  machine.run(program);
+  EXPECT_TRUE(done0);
+}
+
+TEST(Machine, FifoPerChannel) {
+  Machine machine(1, no_faults(1));
+  std::vector<Key> order;
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      ctx.send(1, 1, {1});
+      ctx.send(1, 1, {2});
+      ctx.send(1, 1, {3});
+    } else {
+      for (int i = 0; i < 3; ++i) {
+        Message msg = co_await ctx.recv(0, 1);
+        order.push_back(msg.payload[0]);
+      }
+    }
+  };
+  machine.run(program);
+  EXPECT_EQ(order, (std::vector<Key>{1, 2, 3}));
+}
+
+TEST(Machine, TagsSeparateChannels) {
+  Machine machine(1, no_faults(1));
+  std::vector<Key> got;
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      ctx.send(1, /*tag=*/2, {222});
+      ctx.send(1, /*tag=*/1, {111});
+    } else {
+      // Receive tag 1 first even though tag 2 was sent first.
+      Message first = co_await ctx.recv(0, 1);
+      Message second = co_await ctx.recv(0, 2);
+      got = {first.payload[0], second.payload[0]};
+    }
+  };
+  machine.run(program);
+  EXPECT_EQ(got, (std::vector<Key>{111, 222}));
+}
+
+TEST(Machine, MultiHopChargesStoreAndForward) {
+  // Q_2, send 0 -> 3: two hops under e-cube routing.
+  Machine machine(2, no_faults(2));
+  SimTime arrival = 0;
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      ctx.send(3, 1, {1, 2});
+    } else if (ctx.id() == 3) {
+      Message msg = co_await ctx.recv(0, 1);
+      EXPECT_EQ(msg.hops, 2);
+      arrival = ctx.now();
+    }
+    co_return;
+  };
+  const RunReport report = machine.run(program);
+  EXPECT_DOUBLE_EQ(arrival, 2 * 2 * 8.0);  // hops * keys * t_transfer
+  EXPECT_EQ(report.key_hops, 4u);
+}
+
+TEST(Machine, PartialFaultRoutesThroughFaultyNode) {
+  // Q_2 with node 1 faulty: 0 -> 3 still two hops (VERTEX-style).
+  Machine machine(2, fault::FaultSet(2, {1}), fault::FaultModel::Partial);
+  int hops = 0;
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      ctx.send(3, 1, {1});
+    } else if (ctx.id() == 3) {
+      Message msg = co_await ctx.recv(0, 1);
+      hops = msg.hops;
+    }
+    co_return;
+  };
+  machine.run(program);
+  EXPECT_EQ(hops, 2);
+}
+
+TEST(Machine, TotalFaultDetoursAndCostsMore) {
+  // Q_2 with node 1 faulty under the total model: 0 -> 3 must go via 2,
+  // still 2 hops here; make it cost more with two faults in Q_3.
+  Machine machine(3, fault::FaultSet(3, {1, 2}), fault::FaultModel::Total);
+  int hops = 0;
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      ctx.send(3, 1, {1});
+    } else if (ctx.id() == 3) {
+      Message msg = co_await ctx.recv(0, 1);
+      hops = msg.hops;
+    }
+    co_return;
+  };
+  machine.run(program);
+  EXPECT_GE(hops, 3);  // both 2-hop routes blocked; detour needed
+}
+
+TEST(Machine, ChargeComparesAccumulates) {
+  Machine machine(0, no_faults(0));
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    ctx.charge_compares(10);
+    ctx.charge_compares(5);
+    co_return;
+  };
+  const RunReport report = machine.run(program);
+  EXPECT_EQ(report.comparisons, 15u);
+  EXPECT_DOUBLE_EQ(report.makespan, 15 * 2.0);
+}
+
+TEST(Machine, ChargeTimeRejectsNegative) {
+  Machine machine(0, no_faults(0));
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    ctx.charge_time(-1.0);
+    co_return;
+  };
+  EXPECT_THROW(machine.run(program), std::runtime_error);
+}
+
+TEST(Machine, RecvClockIsMaxOfLocalAndArrival) {
+  // Receiver does heavy local work first: clock should not regress.
+  Machine machine(1, no_faults(1));
+  SimTime at_recv = 0;
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      ctx.send(1, 1, {1});
+    } else {
+      ctx.charge_time(10'000.0);
+      Message msg = co_await ctx.recv(0, 1);
+      (void)msg;
+      at_recv = ctx.now();
+    }
+    co_return;
+  };
+  machine.run(program);
+  EXPECT_DOUBLE_EQ(at_recv, 10'000.0);
+}
+
+TEST(Machine, DeadlockDetected) {
+  Machine machine(1, no_faults(1));
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    // Both nodes wait for a message that never comes.
+    Message msg = co_await ctx.recv(ctx.id() ^ 1u, 9);
+    (void)msg;
+  };
+  EXPECT_THROW(machine.run(program), DeadlockError);
+}
+
+TEST(Machine, NodeExceptionAnnotatedWithNodeId) {
+  Machine machine(1, no_faults(1));
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 1) throw std::runtime_error("bad node");
+    co_return;
+  };
+  try {
+    machine.run(program);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("node 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad node"), std::string::npos);
+  }
+}
+
+TEST(Machine, SendToFaultyNodeRejected) {
+  Machine machine(2, fault::FaultSet(2, {3}));
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) ctx.send(3, 1, {1});
+    co_return;
+  };
+  EXPECT_THROW(machine.run(program), std::runtime_error);
+}
+
+TEST(Machine, SendToSelfRejected) {
+  Machine machine(1, no_faults(1));
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    ctx.send(ctx.id(), 1, {1});
+    co_return;
+  };
+  EXPECT_THROW(machine.run(program), std::runtime_error);
+}
+
+TEST(Machine, FaultyNodesRunNoProgram) {
+  Machine machine(2, fault::FaultSet(2, {0, 1}));
+  int instantiations = 0;
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    ++instantiations;
+    (void)ctx;
+    co_return;
+  };
+  machine.run(program);
+  EXPECT_EQ(instantiations, 2);  // only nodes 2 and 3
+}
+
+TEST(Machine, ReusableForMultipleRuns) {
+  Machine machine(1, no_faults(1));
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) ctx.send(1, 1, {1});
+    else { Message m = co_await ctx.recv(0, 1); (void)m; }
+  };
+  const RunReport first = machine.run(program);
+  const RunReport second = machine.run(program);
+  EXPECT_DOUBLE_EQ(first.makespan, second.makespan);
+  EXPECT_EQ(first.messages, second.messages);
+}
+
+TEST(Machine, StartupCostAddsPerHop) {
+  CostModel cost{0.0, 0.0, 100.0};  // startup only
+  Machine machine(2, no_faults(2), fault::FaultModel::Partial, cost);
+  SimTime arrival = 0;
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      ctx.send(3, 1, {});
+    } else if (ctx.id() == 3) {
+      Message msg = co_await ctx.recv(0, 1);
+      (void)msg;
+      arrival = ctx.now();
+    }
+    co_return;
+  };
+  machine.run(program);
+  EXPECT_DOUBLE_EQ(arrival, 200.0);  // 2 hops x 100 µs
+}
+
+TEST(Machine, TraceRecordsSendRecvCompute) {
+  Machine machine(1, no_faults(1));
+  machine.trace().enable();
+  const auto program = [&](NodeCtx& ctx) -> Task<void> {
+    if (ctx.id() == 0) {
+      ctx.charge_compares(3);
+      ctx.send(1, 1, {1, 2});
+    } else {
+      Message m = co_await ctx.recv(0, 1);
+      (void)m;
+    }
+    co_return;
+  };
+  machine.run(program);
+  const auto& events = machine.trace().events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::Compute);
+  EXPECT_EQ(events[1].kind, EventKind::Send);
+  EXPECT_EQ(events[2].kind, EventKind::Recv);
+  EXPECT_EQ(events[1].keys, 2u);
+  const std::string dump = machine.trace().to_string();
+  EXPECT_NE(dump.find("send"), std::string::npos);
+  EXPECT_NE(dump.find("recv"), std::string::npos);
+}
+
+TEST(CostModelValues, PaperAlgebra) {
+  const CostModel cm = CostModel::ncube7();
+  EXPECT_DOUBLE_EQ(cm.compare_time(10), 20.0);
+  EXPECT_DOUBLE_EQ(cm.injection_time(4), 32.0);
+  EXPECT_DOUBLE_EQ(cm.transfer_time(4, 3), 96.0);
+  const CostModel with_startup = CostModel::ncube7_with_startup();
+  EXPECT_DOUBLE_EQ(with_startup.transfer_time(0, 2), 700.0);
+}
+
+}  // namespace
+}  // namespace ftsort::sim

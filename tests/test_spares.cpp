@@ -1,0 +1,68 @@
+// Tests for the spare-allocation hardware baseline.
+#include <gtest/gtest.h>
+
+#include "baseline/spare_allocation.hpp"
+#include "fault/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::baseline {
+namespace {
+
+TEST(SpareScheme, ModuleArithmetic) {
+  const auto scheme = fine_spares(6);  // g = 4 on 64 nodes
+  EXPECT_EQ(scheme.modules(), 16u);
+  EXPECT_EQ(scheme.spares(), 16u);
+  EXPECT_EQ(scheme.module_of(0), 0u);
+  EXPECT_EQ(scheme.module_of(3), 0u);
+  EXPECT_EQ(scheme.module_of(4), 1u);
+  EXPECT_EQ(scheme.module_of(63), 15u);
+}
+
+TEST(SpareScheme, SurvivesSingleFaultAnywhere) {
+  const auto scheme = medium_spares(5);
+  for (cube::NodeId f = 0; f < 32; ++f)
+    EXPECT_TRUE(scheme.survives(fault::FaultSet(5, {f})));
+}
+
+TEST(SpareScheme, DiesOnTwoFaultsInOneModule) {
+  const auto scheme = fine_spares(4);  // modules of 4
+  EXPECT_FALSE(scheme.survives(fault::FaultSet(4, {0, 1})));
+  EXPECT_TRUE(scheme.survives(fault::FaultSet(4, {0, 4})));
+}
+
+TEST(SpareScheme, FaultFreeAlwaysSurvives) {
+  EXPECT_TRUE(coarse_spares(6).survives(fault::FaultSet(6)));
+}
+
+TEST(SpareScheme, SiliconUtilizationMatchesFormula) {
+  const auto scheme = fine_spares(6);
+  EXPECT_NEAR(scheme.silicon_utilization(), 64.0 / 80.0, 1e-12);
+}
+
+TEST(SurvivalProbability, OneIsCertainZeroFaults) {
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(
+      survival_probability(medium_spares(6), 0, 100, rng), 1.0);
+}
+
+TEST(SurvivalProbability, DecreasesWithFaultsAndModuleSize) {
+  util::Rng rng(2);
+  const auto fine = fine_spares(6);
+  const auto coarse = coarse_spares(6);
+  const double fine_r2 = survival_probability(fine, 2, 4000, rng);
+  const double fine_r5 = survival_probability(fine, 5, 4000, rng);
+  const double coarse_r2 = survival_probability(coarse, 2, 4000, rng);
+  EXPECT_GT(fine_r2, fine_r5);     // more faults, less survival
+  EXPECT_GT(fine_r2, coarse_r2);   // smaller modules survive better
+  // Analytic check for r = 2: P(different modules) = 1 - (g-1)/(N-1).
+  EXPECT_NEAR(fine_r2, 1.0 - 3.0 / 63.0, 0.02);
+  EXPECT_NEAR(coarse_r2, 1.0 - 15.0 / 63.0, 0.02);
+}
+
+TEST(SpareScheme, PresetsRequireLargeEnoughCube) {
+  EXPECT_THROW(coarse_spares(3), ContractViolation);
+  EXPECT_NO_THROW(fine_spares(2));
+}
+
+}  // namespace
+}  // namespace ftsort::baseline

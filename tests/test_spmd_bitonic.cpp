@@ -1,0 +1,247 @@
+// Tests for the SPMD block bitonic sort on the simulated machine:
+// fault-free and dead-node cubes, both directions, both protocols.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sort/distribution.hpp"
+#include "sort/single_fault.hpp"
+#include "sort/spmd_bitonic.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::sort {
+namespace {
+
+struct RunResult {
+  std::vector<std::vector<Key>> blocks;  // by logical address
+  sim::RunReport report;
+};
+
+/// Drive block_bitonic_sort over an identity or reindexed cube.
+RunResult run_sort(cube::Dim s, bool dead0, std::size_t block_size,
+                   bool ascending, ExchangeProtocol protocol,
+                   std::uint64_t seed) {
+  LogicalCube lc = LogicalCube::identity(s);
+  lc.dead0 = dead0;
+  util::Rng rng(seed);
+
+  std::vector<std::vector<Key>> blocks(lc.size());
+  for (cube::NodeId u = 0; u < lc.size(); ++u) {
+    if (lc.is_dead(u)) continue;
+    blocks[u] = gen_uniform(block_size, rng);
+    std::sort(blocks[u].begin(), blocks[u].end());
+  }
+
+  fault::FaultSet faults =
+      dead0 ? fault::FaultSet(s, {0}) : fault::FaultSet(s);
+  sim::Machine machine(s, faults);
+  const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    co_await block_bitonic_sort(ctx, lc, ctx.id(), blocks[ctx.id()],
+                                ascending, protocol, 0);
+  };
+  RunResult result;
+  result.report = machine.run(program);
+  result.blocks = std::move(blocks);
+  return result;
+}
+
+std::vector<Key> flatten(const std::vector<std::vector<Key>>& blocks,
+                         bool reverse_blocks) {
+  std::vector<Key> out;
+  if (!reverse_blocks) {
+    for (const auto& b : blocks) out.insert(out.end(), b.begin(), b.end());
+  } else {
+    for (auto it = blocks.rbegin(); it != blocks.rend(); ++it)
+      out.insert(out.end(), it->begin(), it->end());
+  }
+  return out;
+}
+
+TEST(BlockBitonic, SortsAscendingFaultFree) {
+  for (cube::Dim s = 0; s <= 5; ++s) {
+    const auto result =
+        run_sort(s, false, 4, true, ExchangeProtocol::HalfExchange, static_cast<std::uint64_t>(s) + 1);
+    EXPECT_TRUE(is_globally_ascending(result.blocks)) << "s=" << s;
+  }
+}
+
+TEST(BlockBitonic, SortsDescendingFaultFree) {
+  for (cube::Dim s = 1; s <= 5; ++s) {
+    const auto result =
+        run_sort(s, false, 4, false, ExchangeProtocol::HalfExchange,
+                 static_cast<std::uint64_t>(s) + 10);
+    // Descending by blocks: reversing the block order gives an ascending
+    // sequence (blocks themselves stay internally ascending).
+    EXPECT_TRUE(is_ascending(flatten(result.blocks, true))) << "s=" << s;
+  }
+}
+
+TEST(BlockBitonic, SortsWithDeadNodeAscending) {
+  for (cube::Dim s = 1; s <= 5; ++s) {
+    const auto result =
+        run_sort(s, true, 3, true, ExchangeProtocol::HalfExchange, static_cast<std::uint64_t>(s) + 20);
+    EXPECT_TRUE(result.blocks[0].empty());
+    EXPECT_TRUE(is_globally_ascending(result.blocks)) << "s=" << s;
+  }
+}
+
+TEST(BlockBitonic, SortsWithDeadNodeDescending) {
+  // The §2.1 skip rule must also hold for mirrored (descending) sorts —
+  // the intra-subcube re-sorts of Step 8 depend on it.
+  for (cube::Dim s = 1; s <= 5; ++s) {
+    const auto result =
+        run_sort(s, true, 3, false, ExchangeProtocol::HalfExchange,
+                 static_cast<std::uint64_t>(s) + 30);
+    EXPECT_TRUE(result.blocks[0].empty());
+    EXPECT_TRUE(is_ascending(flatten(result.blocks, true))) << "s=" << s;
+  }
+}
+
+TEST(BlockBitonic, ProtocolsProduceIdenticalBlocks) {
+  for (bool dead0 : {false, true}) {
+    for (bool ascending : {true, false}) {
+      const auto half = run_sort(4, dead0, 5, ascending,
+                                 ExchangeProtocol::HalfExchange, 77);
+      const auto full = run_sort(4, dead0, 5, ascending,
+                                 ExchangeProtocol::FullExchange, 77);
+      EXPECT_EQ(half.blocks, full.blocks)
+          << "dead0=" << dead0 << " asc=" << ascending;
+    }
+  }
+}
+
+TEST(BlockBitonic, ProtocolTrafficAndMessageAccounting) {
+  // Both protocols move 2b keys per node pair per step (each key crosses
+  // the wire exactly once in half-exchange: half out, losers back); the
+  // half-exchange pays twice the message count (two phases), which only
+  // matters under a per-message start-up cost.
+  const auto half =
+      run_sort(4, false, 64, true, ExchangeProtocol::HalfExchange, 5);
+  const auto full =
+      run_sort(4, false, 64, true, ExchangeProtocol::FullExchange, 5);
+  EXPECT_EQ(half.report.keys_sent, full.report.keys_sent);
+  EXPECT_EQ(half.report.messages, 2 * full.report.messages);
+}
+
+TEST(BlockBitonic, PreservesKeyMultiset) {
+  util::Rng rng(6);
+  LogicalCube lc = LogicalCube::identity(3);
+  std::vector<std::vector<Key>> blocks(8);
+  std::vector<Key> all;
+  for (auto& b : blocks) {
+    b = gen_few_distinct(4, 3, rng);
+    std::sort(b.begin(), b.end());
+    all.insert(all.end(), b.begin(), b.end());
+  }
+  sim::Machine machine(3, fault::FaultSet(3));
+  const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    co_await block_bitonic_sort(ctx, lc, ctx.id(), blocks[ctx.id()], true,
+                                ExchangeProtocol::HalfExchange, 0);
+  };
+  machine.run(program);
+  std::vector<Key> after;
+  for (const auto& b : blocks)
+    after.insert(after.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(after, all);  // already sorted ascending == sorted multiset
+}
+
+TEST(BlockBitonic, SingleBlockCubeIsNoop) {
+  // s = 0: one node, nothing to exchange.
+  const auto result =
+      run_sort(0, false, 4, true, ExchangeProtocol::HalfExchange, 9);
+  EXPECT_EQ(result.report.messages, 0u);
+  EXPECT_TRUE(is_ascending(result.blocks[0]));
+}
+
+TEST(BlockBitonic, DeterministicAcrossRuns) {
+  const auto a = run_sort(4, true, 6, true,
+                          ExchangeProtocol::HalfExchange, 123);
+  const auto b = run_sort(4, true, 6, true,
+                          ExchangeProtocol::HalfExchange, 123);
+  EXPECT_EQ(a.blocks, b.blocks);
+  EXPECT_DOUBLE_EQ(a.report.makespan, b.report.makespan);
+  EXPECT_EQ(a.report.messages, b.report.messages);
+}
+
+TEST(BlockBitonic, TagSpanFormula) {
+  EXPECT_EQ(bitonic_tag_span(0), 0u);
+  EXPECT_EQ(bitonic_tag_span(1), 2u);
+  EXPECT_EQ(bitonic_tag_span(3), 12u);
+  EXPECT_EQ(bitonic_tag_span(6), 42u);
+  // Merge: two tags per substep plus the reversal swap.
+  EXPECT_EQ(bitonic_merge_tag_span(0), 1u);
+  EXPECT_EQ(bitonic_merge_tag_span(3), 7u);
+}
+
+TEST(SingleFaultSort, EveryFaultLocationQ4) {
+  util::Rng rng(11);
+  const auto keys = gen_uniform(93, rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  for (cube::NodeId f = 0; f < 16; ++f) {
+    const auto result =
+        single_fault_bitonic_sort(4, fault::FaultSet(4, {f}), keys);
+    EXPECT_EQ(result.sorted, expected) << "fault at " << f;
+  }
+}
+
+TEST(SingleFaultSort, FaultFreeMatches) {
+  util::Rng rng(12);
+  const auto keys = gen_uniform(128, rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  const auto result = single_fault_bitonic_sort(4, fault::FaultSet(4), keys);
+  EXPECT_EQ(result.sorted, expected);
+  EXPECT_EQ(result.block_size, 8u);
+}
+
+TEST(SingleFaultSort, FaultyCubeUsesLargerBlocks) {
+  util::Rng rng(13);
+  const auto keys = gen_uniform(128, rng);
+  const auto faulty =
+      single_fault_bitonic_sort(4, fault::FaultSet(4, {3}), keys);
+  EXPECT_EQ(faulty.block_size, 9u);  // ceil(128 / 15)
+}
+
+TEST(SingleFaultSort, TotalFaultModelCostsAtLeastPartial) {
+  util::Rng rng(14);
+  const auto keys = gen_uniform(200, rng);
+  const fault::FaultSet faults(4, {5});
+  const auto partial = single_fault_bitonic_sort(
+      4, faults, keys, fault::FaultModel::Partial);
+  const auto total = single_fault_bitonic_sort(
+      4, faults, keys, fault::FaultModel::Total);
+  EXPECT_EQ(partial.sorted, total.sorted);
+  EXPECT_GE(total.report.makespan, partial.report.makespan);
+}
+
+TEST(SingleFaultSort, RejectsTwoFaults) {
+  util::Rng rng(15);
+  const auto keys = gen_uniform(16, rng);
+  EXPECT_THROW(
+      single_fault_bitonic_sort(3, fault::FaultSet(3, {1, 2}), keys),
+      ContractViolation);
+}
+
+TEST(SingleFaultSort, EmptyInput) {
+  const std::vector<Key> none;
+  const auto result =
+      single_fault_bitonic_sort(3, fault::FaultSet(3, {0}), none);
+  EXPECT_TRUE(result.sorted.empty());
+}
+
+TEST(SingleFaultSort, FewerKeysThanNodes) {
+  util::Rng rng(16);
+  const auto keys = gen_uniform(5, rng);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  const auto result =
+      single_fault_bitonic_sort(4, fault::FaultSet(4, {7}), keys);
+  EXPECT_EQ(result.sorted, expected);
+  EXPECT_EQ(result.block_size, 1u);
+}
+
+}  // namespace
+}  // namespace ftsort::sort

@@ -1,0 +1,144 @@
+// Unit tests for the statistics accumulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace ftsort::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZeroed) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: 32 / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 17.5);
+}
+
+TEST(SampleSet, SingleSamplePercentiles) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 7.0);
+}
+
+TEST(SampleSet, RejectsOutOfRangePercentile) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1.0), ContractViolation);
+  EXPECT_THROW(s.percentile(101.0), ContractViolation);
+}
+
+TEST(SampleSet, EmptyStatsThrow) {
+  SampleSet s;
+  EXPECT_THROW(s.mean(), ContractViolation);
+  EXPECT_THROW(s.min(), ContractViolation);
+}
+
+TEST(SampleSet, MeanAndStddev) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+}
+
+TEST(SampleSet, SortingIsStableAcrossInsertions) {
+  SampleSet s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  s.add(5.0);  // cache must refresh
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Histogram, CountsAndPercents) {
+  Histogram h;
+  h.add(2);
+  h.add(2);
+  h.add(3);
+  h.add(4, 6);
+  EXPECT_EQ(h.total(), 9u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.count(4), 6u);
+  EXPECT_EQ(h.count(99), 0u);
+  EXPECT_NEAR(h.percent(4), 100.0 * 6 / 9, 1e-12);
+}
+
+TEST(Histogram, EmptyPercentIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percent(1), 0.0);
+}
+
+TEST(Histogram, ToStringListsBinsInOrder) {
+  Histogram h;
+  h.add(5);
+  h.add(1);
+  h.add(5);
+  EXPECT_EQ(h.to_string(), "{1: 1, 5: 2}");
+}
+
+}  // namespace
+}  // namespace ftsort::util

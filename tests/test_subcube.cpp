@@ -1,0 +1,133 @@
+// Unit tests for subcube descriptors and the cutting-dimension split.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hypercube/subcube.hpp"
+
+namespace ftsort::cube {
+namespace {
+
+TEST(Subcube, MembershipAndSize) {
+  // In Q_4, fix bit 1 = 1: a 3-dimensional subcube of 8 nodes.
+  const Subcube sc{4, 0b0010, 0b0010};
+  EXPECT_EQ(sc.dim(), 3);
+  EXPECT_EQ(sc.size(), 8u);
+  EXPECT_TRUE(sc.contains(0b0010));
+  EXPECT_TRUE(sc.contains(0b1111));
+  EXPECT_FALSE(sc.contains(0b0000));
+  EXPECT_EQ(sc.members().size(), 8u);
+  for (NodeId u : sc.members()) EXPECT_TRUE(sc.contains(u));
+}
+
+TEST(Subcube, WholeCubeIsImproperSubcube) {
+  const Subcube whole{3, 0, 0};
+  EXPECT_EQ(whole.dim(), 3);
+  EXPECT_EQ(whole.members().size(), 8u);
+}
+
+TEST(Subcube, SingleNodeSubcube) {
+  const Subcube point{3, 0b111, 0b101};
+  EXPECT_EQ(point.dim(), 0);
+  ASSERT_EQ(point.members().size(), 1u);
+  EXPECT_EQ(point.members()[0], 0b101u);
+}
+
+TEST(AllSubcubes, CountsMatchCombinatorics) {
+  // C(n, f) * 2^f subcubes with f fixed dimensions.
+  EXPECT_EQ(all_subcubes(4, 4).size(), 1u);        // the whole cube
+  EXPECT_EQ(all_subcubes(4, 3).size(), 8u);        // C(4,1)*2
+  EXPECT_EQ(all_subcubes(4, 2).size(), 24u);       // C(4,2)*4
+  EXPECT_EQ(all_subcubes(4, 0).size(), 16u);       // all nodes
+}
+
+TEST(AllSubcubes, MembersPartitionForFixedMask) {
+  // Subcubes sharing a mask partition the cube.
+  const auto subs = all_subcubes(4, 2);
+  std::map<NodeId, std::set<NodeId>> members_by_mask;
+  for (const auto& sc : subs)
+    for (NodeId u : sc.members()) {
+      auto [it, inserted] = members_by_mask[sc.mask].insert(u);
+      EXPECT_TRUE(inserted) << "node " << u << " duplicated in mask "
+                            << sc.mask;
+    }
+  for (const auto& [mask, members] : members_by_mask)
+    EXPECT_EQ(members.size(), 16u);
+}
+
+TEST(CutSplit, PaperExampleAddressFactorisation) {
+  // §3: Q_5 cut along D = (0, 1, 3): v = {u3 u1 u0}, w = {u4 u2}.
+  const CutSplit split(5, {0, 1, 3});
+  EXPECT_EQ(split.subcube_bits(), 3);
+  EXPECT_EQ(split.local_bits(), 2);
+  EXPECT_EQ(split.num_subcubes(), 8u);
+  EXPECT_EQ(split.subcube_size(), 4u);
+  ASSERT_EQ(split.local_dims().size(), 2u);
+  EXPECT_EQ(split.local_dims()[0], 2);
+  EXPECT_EQ(split.local_dims()[1], 4);
+
+  // Fault addresses from Example 1 and their (v, w) from Example 2.
+  EXPECT_EQ(split.subcube_index(3), 0b011u);   // FP1 = 00011
+  EXPECT_EQ(split.local_address(3), 0b00u);
+  EXPECT_EQ(split.subcube_index(5), 0b001u);   // FP2 = 00101
+  EXPECT_EQ(split.local_address(5), 0b01u);
+  EXPECT_EQ(split.subcube_index(16), 0b000u);  // FP3 = 10000
+  EXPECT_EQ(split.local_address(16), 0b10u);
+  EXPECT_EQ(split.subcube_index(24), 0b100u);  // FP4 = 11000
+  EXPECT_EQ(split.local_address(24), 0b10u);
+}
+
+TEST(CutSplit, GlobalAddressRoundTrips) {
+  const CutSplit split(6, {1, 4});
+  for (NodeId u = 0; u < 64; ++u) {
+    const NodeId v = split.subcube_index(u);
+    const NodeId w = split.local_address(u);
+    EXPECT_EQ(split.global_address(v, w), u);
+  }
+}
+
+TEST(CutSplit, SubcubeDescriptorMatchesIndex) {
+  const CutSplit split(5, {0, 2});
+  for (NodeId v = 0; v < split.num_subcubes(); ++v) {
+    const Subcube sc = split.subcube(v);
+    EXPECT_EQ(sc.size(), split.subcube_size());
+    for (NodeId u : sc.members()) EXPECT_EQ(split.subcube_index(u), v);
+  }
+}
+
+TEST(CutSplit, EmptyCutIsWholeCube) {
+  const CutSplit split(4, {});
+  EXPECT_EQ(split.num_subcubes(), 1u);
+  EXPECT_EQ(split.subcube_size(), 16u);
+  for (NodeId u = 0; u < 16; ++u) {
+    EXPECT_EQ(split.subcube_index(u), 0u);
+    EXPECT_EQ(split.local_address(u), u);
+  }
+}
+
+TEST(CutSplit, FullCutIsPointSubcubes) {
+  const CutSplit split(3, {0, 1, 2});
+  EXPECT_EQ(split.num_subcubes(), 8u);
+  EXPECT_EQ(split.subcube_size(), 1u);
+}
+
+TEST(CutSplit, RejectsDuplicateCut) {
+  EXPECT_THROW(CutSplit(4, {1, 1}), ContractViolation);
+}
+
+TEST(CutSplit, RejectsOutOfRangeCut) {
+  EXPECT_THROW(CutSplit(4, {4}), ContractViolation);
+  EXPECT_THROW(CutSplit(4, {-1}), ContractViolation);
+}
+
+TEST(CutSplit, CutOrderDefinesVBits) {
+  // v bit i corresponds to cut d_{i+1}; order matters for addressing.
+  const CutSplit a(4, {0, 2});
+  const CutSplit b(4, {2, 0});
+  const NodeId u = 0b0100;  // bit2 = 1, bit0 = 0
+  EXPECT_EQ(a.subcube_index(u), 0b10u);
+  EXPECT_EQ(b.subcube_index(u), 0b01u);
+}
+
+}  // namespace
+}  // namespace ftsort::cube

@@ -1,0 +1,136 @@
+// Unit tests for the table renderer and CLI parser.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/contracts.hpp"
+#include "util/table.hpp"
+
+namespace ftsort::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"}, {Align::Left, Align::Right});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "1000"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Right-aligned numbers share their final column.
+  const auto line1_pos = out.find("alpha");
+  const auto one = out.find(" 1\n");
+  EXPECT_NE(one, std::string::npos);
+  EXPECT_GT(one, line1_pos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, IndentPrefixesEveryLine) {
+  Table t({"h"});
+  t.add_row({"x"});
+  const std::string out = t.to_string(2);
+  for (std::size_t pos = 0; pos < out.size();) {
+    EXPECT_EQ(out.substr(pos, 2), "  ");
+    pos = out.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::percent(93.85), "93.85%");
+  EXPECT_EQ(Table::percent(50.0, 1), "50.0%");
+  EXPECT_EQ(Table::integer(-12), "-12");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Cli, ParsesLongOptionsBothForms) {
+  CliParser cli("prog", "test");
+  cli.add_int("n", 4, "dimension");
+  cli.add_string("mode", "fast", "mode");
+  const char* argv[] = {"prog", "--n", "6", "--mode=slow"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.integer("n"), 6);
+  EXPECT_EQ(cli.str("mode"), "slow");
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  CliParser cli("prog", "test");
+  cli.add_int("n", 4, "dimension");
+  cli.add_flag("verbose", "chatty");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.integer("n"), 4);
+  EXPECT_FALSE(cli.flag("verbose"));
+}
+
+TEST(Cli, FlagsToggleOn) {
+  CliParser cli("prog", "test");
+  cli.add_flag("verbose", "chatty");
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionFails) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, NonIntegerValueFails) {
+  CliParser cli("prog", "test");
+  cli.add_int("n", 4, "dimension");
+  const char* argv[] = {"prog", "--n", "six"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli("prog", "test");
+  cli.add_int("n", 4, "dimension");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "one", "two"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "one");
+  EXPECT_EQ(cli.positional()[1], "two");
+}
+
+TEST(Cli, HelpReturnsFalseAndPrintsUsage) {
+  CliParser cli("prog", "summary text");
+  const char* argv[] = {"prog", "--help"};
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(cli.parse(2, argv));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("summary text"), std::string::npos);
+}
+
+TEST(Cli, UsageListsOptionsWithDefaults) {
+  CliParser cli("prog", "test");
+  cli.add_int("keys", 1000, "number of keys");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--keys <1000>"), std::string::npos);
+  EXPECT_NE(usage.find("number of keys"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsort::util

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cost.dir/bench_ablation_cost.cpp.o"
+  "CMakeFiles/bench_ablation_cost.dir/bench_ablation_cost.cpp.o.d"
+  "bench_ablation_cost"
+  "bench_ablation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

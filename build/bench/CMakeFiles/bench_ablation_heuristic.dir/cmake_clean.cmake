@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_heuristic.dir/bench_ablation_heuristic.cpp.o"
+  "CMakeFiles/bench_ablation_heuristic.dir/bench_ablation_heuristic.cpp.o.d"
+  "bench_ablation_heuristic"
+  "bench_ablation_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_localsort.dir/bench_ablation_localsort.cpp.o"
+  "CMakeFiles/bench_ablation_localsort.dir/bench_ablation_localsort.cpp.o.d"
+  "bench_ablation_localsort"
+  "bench_ablation_localsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_localsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alternatives.dir/bench_alternatives.cpp.o"
+  "CMakeFiles/bench_alternatives.dir/bench_alternatives.cpp.o.d"
+  "bench_alternatives"
+  "bench_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

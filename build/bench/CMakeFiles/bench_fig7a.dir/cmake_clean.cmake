@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a.dir/bench_fig7a.cpp.o"
+  "CMakeFiles/bench_fig7a.dir/bench_fig7a.cpp.o.d"
+  "bench_fig7a"
+  "bench_fig7a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b.dir/bench_fig7b.cpp.o"
+  "CMakeFiles/bench_fig7b.dir/bench_fig7b.cpp.o.d"
+  "bench_fig7b"
+  "bench_fig7b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

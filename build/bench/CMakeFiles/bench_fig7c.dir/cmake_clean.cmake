@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7c.dir/bench_fig7c.cpp.o"
+  "CMakeFiles/bench_fig7c.dir/bench_fig7c.cpp.o.d"
+  "bench_fig7c"
+  "bench_fig7c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

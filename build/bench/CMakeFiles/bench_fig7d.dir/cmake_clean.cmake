@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7d.dir/bench_fig7d.cpp.o"
+  "CMakeFiles/bench_fig7d.dir/bench_fig7d.cpp.o.d"
+  "bench_fig7d"
+  "bench_fig7d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

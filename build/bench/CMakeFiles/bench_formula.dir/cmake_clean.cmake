@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_formula.dir/bench_formula.cpp.o"
+  "CMakeFiles/bench_formula.dir/bench_formula.cpp.o.d"
+  "bench_formula"
+  "bench_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_micro.dir/bench_sim_micro.cpp.o"
+  "CMakeFiles/bench_sim_micro.dir/bench_sim_micro.cpp.o.d"
+  "bench_sim_micro"
+  "bench_sim_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_micro.dir/bench_sort_micro.cpp.o"
+  "CMakeFiles/bench_sort_micro.dir/bench_sort_micro.cpp.o.d"
+  "bench_sort_micro"
+  "bench_sort_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

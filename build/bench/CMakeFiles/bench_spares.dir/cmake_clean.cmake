@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spares.dir/bench_spares.cpp.o"
+  "CMakeFiles/bench_spares.dir/bench_spares.cpp.o.d"
+  "bench_spares"
+  "bench_spares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnosis_demo.dir/diagnosis_demo.cpp.o"
+  "CMakeFiles/diagnosis_demo.dir/diagnosis_demo.cpp.o.d"
+  "diagnosis_demo"
+  "diagnosis_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnosis_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_walkthrough.dir/figure6_walkthrough.cpp.o"
+  "CMakeFiles/figure6_walkthrough.dir/figure6_walkthrough.cpp.o.d"
+  "figure6_walkthrough"
+  "figure6_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

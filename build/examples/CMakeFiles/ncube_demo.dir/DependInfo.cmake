@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ncube_demo.cpp" "examples/CMakeFiles/ncube_demo.dir/ncube_demo.cpp.o" "gcc" "examples/CMakeFiles/ncube_demo.dir/ncube_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ftsort_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ftsort_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ftsort_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/ftsort_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftsort_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/ftsort_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypercube/CMakeFiles/ftsort_hypercube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftsort_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

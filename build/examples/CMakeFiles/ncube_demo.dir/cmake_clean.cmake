@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncube_demo.dir/ncube_demo.cpp.o"
+  "CMakeFiles/ncube_demo.dir/ncube_demo.cpp.o.d"
+  "ncube_demo"
+  "ncube_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncube_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

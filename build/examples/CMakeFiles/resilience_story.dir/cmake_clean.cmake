@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_story.dir/resilience_story.cpp.o"
+  "CMakeFiles/resilience_story.dir/resilience_story.cpp.o.d"
+  "resilience_story"
+  "resilience_story.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_story.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

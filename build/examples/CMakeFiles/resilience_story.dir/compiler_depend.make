@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for resilience_story.
+# This may be replaced when dependencies are built.

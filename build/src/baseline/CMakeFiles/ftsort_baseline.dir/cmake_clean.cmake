@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsort_baseline.dir/max_subcube.cpp.o"
+  "CMakeFiles/ftsort_baseline.dir/max_subcube.cpp.o.d"
+  "CMakeFiles/ftsort_baseline.dir/mfs_sorter.cpp.o"
+  "CMakeFiles/ftsort_baseline.dir/mfs_sorter.cpp.o.d"
+  "CMakeFiles/ftsort_baseline.dir/ring_sorter.cpp.o"
+  "CMakeFiles/ftsort_baseline.dir/ring_sorter.cpp.o.d"
+  "CMakeFiles/ftsort_baseline.dir/spare_allocation.cpp.o"
+  "CMakeFiles/ftsort_baseline.dir/spare_allocation.cpp.o.d"
+  "libftsort_baseline.a"
+  "libftsort_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsort_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

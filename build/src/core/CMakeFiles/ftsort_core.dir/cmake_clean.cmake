@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsort_core.dir/analytic.cpp.o"
+  "CMakeFiles/ftsort_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/ftsort_core.dir/ft_sorter.cpp.o"
+  "CMakeFiles/ftsort_core.dir/ft_sorter.cpp.o.d"
+  "libftsort_core.a"
+  "libftsort_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsort_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

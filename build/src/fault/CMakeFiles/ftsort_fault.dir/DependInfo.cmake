@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/diagnosis.cpp" "src/fault/CMakeFiles/ftsort_fault.dir/diagnosis.cpp.o" "gcc" "src/fault/CMakeFiles/ftsort_fault.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/fault/fault_set.cpp" "src/fault/CMakeFiles/ftsort_fault.dir/fault_set.cpp.o" "gcc" "src/fault/CMakeFiles/ftsort_fault.dir/fault_set.cpp.o.d"
+  "/root/repo/src/fault/link_fault.cpp" "src/fault/CMakeFiles/ftsort_fault.dir/link_fault.cpp.o" "gcc" "src/fault/CMakeFiles/ftsort_fault.dir/link_fault.cpp.o.d"
+  "/root/repo/src/fault/scenario.cpp" "src/fault/CMakeFiles/ftsort_fault.dir/scenario.cpp.o" "gcc" "src/fault/CMakeFiles/ftsort_fault.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypercube/CMakeFiles/ftsort_hypercube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftsort_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsort_fault.dir/diagnosis.cpp.o"
+  "CMakeFiles/ftsort_fault.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/ftsort_fault.dir/fault_set.cpp.o"
+  "CMakeFiles/ftsort_fault.dir/fault_set.cpp.o.d"
+  "CMakeFiles/ftsort_fault.dir/link_fault.cpp.o"
+  "CMakeFiles/ftsort_fault.dir/link_fault.cpp.o.d"
+  "CMakeFiles/ftsort_fault.dir/scenario.cpp.o"
+  "CMakeFiles/ftsort_fault.dir/scenario.cpp.o.d"
+  "libftsort_fault.a"
+  "libftsort_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsort_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ftsort_fault.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsort_hypercube.dir/routing.cpp.o"
+  "CMakeFiles/ftsort_hypercube.dir/routing.cpp.o.d"
+  "CMakeFiles/ftsort_hypercube.dir/subcube.cpp.o"
+  "CMakeFiles/ftsort_hypercube.dir/subcube.cpp.o.d"
+  "libftsort_hypercube.a"
+  "libftsort_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsort_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/partition.cpp" "src/partition/CMakeFiles/ftsort_partition.dir/partition.cpp.o" "gcc" "src/partition/CMakeFiles/ftsort_partition.dir/partition.cpp.o.d"
+  "/root/repo/src/partition/plan.cpp" "src/partition/CMakeFiles/ftsort_partition.dir/plan.cpp.o" "gcc" "src/partition/CMakeFiles/ftsort_partition.dir/plan.cpp.o.d"
+  "/root/repo/src/partition/selection.cpp" "src/partition/CMakeFiles/ftsort_partition.dir/selection.cpp.o" "gcc" "src/partition/CMakeFiles/ftsort_partition.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/ftsort_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypercube/CMakeFiles/ftsort_hypercube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftsort_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsort_partition.dir/partition.cpp.o"
+  "CMakeFiles/ftsort_partition.dir/partition.cpp.o.d"
+  "CMakeFiles/ftsort_partition.dir/plan.cpp.o"
+  "CMakeFiles/ftsort_partition.dir/plan.cpp.o.d"
+  "CMakeFiles/ftsort_partition.dir/selection.cpp.o"
+  "CMakeFiles/ftsort_partition.dir/selection.cpp.o.d"
+  "libftsort_partition.a"
+  "libftsort_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsort_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

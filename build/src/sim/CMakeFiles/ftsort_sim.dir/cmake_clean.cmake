@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsort_sim.dir/machine.cpp.o"
+  "CMakeFiles/ftsort_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/ftsort_sim.dir/trace.cpp.o"
+  "CMakeFiles/ftsort_sim.dir/trace.cpp.o.d"
+  "libftsort_sim.a"
+  "libftsort_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsort_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

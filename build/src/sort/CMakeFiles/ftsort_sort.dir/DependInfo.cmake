@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sort/bitonic_network.cpp" "src/sort/CMakeFiles/ftsort_sort.dir/bitonic_network.cpp.o" "gcc" "src/sort/CMakeFiles/ftsort_sort.dir/bitonic_network.cpp.o.d"
+  "/root/repo/src/sort/collectives.cpp" "src/sort/CMakeFiles/ftsort_sort.dir/collectives.cpp.o" "gcc" "src/sort/CMakeFiles/ftsort_sort.dir/collectives.cpp.o.d"
+  "/root/repo/src/sort/distribution.cpp" "src/sort/CMakeFiles/ftsort_sort.dir/distribution.cpp.o" "gcc" "src/sort/CMakeFiles/ftsort_sort.dir/distribution.cpp.o.d"
+  "/root/repo/src/sort/merge_split.cpp" "src/sort/CMakeFiles/ftsort_sort.dir/merge_split.cpp.o" "gcc" "src/sort/CMakeFiles/ftsort_sort.dir/merge_split.cpp.o.d"
+  "/root/repo/src/sort/sequential.cpp" "src/sort/CMakeFiles/ftsort_sort.dir/sequential.cpp.o" "gcc" "src/sort/CMakeFiles/ftsort_sort.dir/sequential.cpp.o.d"
+  "/root/repo/src/sort/single_fault.cpp" "src/sort/CMakeFiles/ftsort_sort.dir/single_fault.cpp.o" "gcc" "src/sort/CMakeFiles/ftsort_sort.dir/single_fault.cpp.o.d"
+  "/root/repo/src/sort/spmd_bitonic.cpp" "src/sort/CMakeFiles/ftsort_sort.dir/spmd_bitonic.cpp.o" "gcc" "src/sort/CMakeFiles/ftsort_sort.dir/spmd_bitonic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ftsort_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/ftsort_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypercube/CMakeFiles/ftsort_hypercube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftsort_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsort_sort.dir/bitonic_network.cpp.o"
+  "CMakeFiles/ftsort_sort.dir/bitonic_network.cpp.o.d"
+  "CMakeFiles/ftsort_sort.dir/collectives.cpp.o"
+  "CMakeFiles/ftsort_sort.dir/collectives.cpp.o.d"
+  "CMakeFiles/ftsort_sort.dir/distribution.cpp.o"
+  "CMakeFiles/ftsort_sort.dir/distribution.cpp.o.d"
+  "CMakeFiles/ftsort_sort.dir/merge_split.cpp.o"
+  "CMakeFiles/ftsort_sort.dir/merge_split.cpp.o.d"
+  "CMakeFiles/ftsort_sort.dir/sequential.cpp.o"
+  "CMakeFiles/ftsort_sort.dir/sequential.cpp.o.d"
+  "CMakeFiles/ftsort_sort.dir/single_fault.cpp.o"
+  "CMakeFiles/ftsort_sort.dir/single_fault.cpp.o.d"
+  "CMakeFiles/ftsort_sort.dir/spmd_bitonic.cpp.o"
+  "CMakeFiles/ftsort_sort.dir/spmd_bitonic.cpp.o.d"
+  "libftsort_sort.a"
+  "libftsort_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsort_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

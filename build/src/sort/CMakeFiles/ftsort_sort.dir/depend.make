@@ -1,0 +1,2 @@
+# Empty dependencies file for ftsort_sort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsort_util.dir/cli.cpp.o"
+  "CMakeFiles/ftsort_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ftsort_util.dir/rng.cpp.o"
+  "CMakeFiles/ftsort_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ftsort_util.dir/stats.cpp.o"
+  "CMakeFiles/ftsort_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ftsort_util.dir/table.cpp.o"
+  "CMakeFiles/ftsort_util.dir/table.cpp.o.d"
+  "libftsort_util.a"
+  "libftsort_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsort_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_address.dir/test_address.cpp.o"
+  "CMakeFiles/test_address.dir/test_address.cpp.o.d"
+  "test_address"
+  "test_address.pdb"
+  "test_address[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

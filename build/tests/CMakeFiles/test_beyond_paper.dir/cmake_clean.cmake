@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beyond_paper.dir/test_beyond_paper.cpp.o"
+  "CMakeFiles/test_beyond_paper.dir/test_beyond_paper.cpp.o.d"
+  "test_beyond_paper"
+  "test_beyond_paper.pdb"
+  "test_beyond_paper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beyond_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

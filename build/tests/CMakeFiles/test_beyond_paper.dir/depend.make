@@ -1,0 +1,2 @@
+# Empty dependencies file for test_beyond_paper.
+# This may be replaced when dependencies are built.

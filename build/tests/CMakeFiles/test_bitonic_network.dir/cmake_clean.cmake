@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitonic_network.dir/test_bitonic_network.cpp.o"
+  "CMakeFiles/test_bitonic_network.dir/test_bitonic_network.cpp.o.d"
+  "test_bitonic_network"
+  "test_bitonic_network.pdb"
+  "test_bitonic_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitonic_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_ftsort.dir/test_integration_ftsort.cpp.o"
+  "CMakeFiles/test_integration_ftsort.dir/test_integration_ftsort.cpp.o.d"
+  "test_integration_ftsort"
+  "test_integration_ftsort.pdb"
+  "test_integration_ftsort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_ftsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

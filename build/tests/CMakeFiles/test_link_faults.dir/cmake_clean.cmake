@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_faults.dir/test_link_faults.cpp.o"
+  "CMakeFiles/test_link_faults.dir/test_link_faults.cpp.o.d"
+  "test_link_faults"
+  "test_link_faults.pdb"
+  "test_link_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_link_faults.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_split.dir/test_merge_split.cpp.o"
+  "CMakeFiles/test_merge_split.dir/test_merge_split.cpp.o.d"
+  "test_merge_split"
+  "test_merge_split.pdb"
+  "test_merge_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition.dir/test_partition.cpp.o"
+  "CMakeFiles/test_partition.dir/test_partition.cpp.o.d"
+  "test_partition"
+  "test_partition.pdb"
+  "test_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_sorter.dir/test_ring_sorter.cpp.o"
+  "CMakeFiles/test_ring_sorter.dir/test_ring_sorter.cpp.o.d"
+  "test_ring_sorter"
+  "test_ring_sorter.pdb"
+  "test_ring_sorter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_sorter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

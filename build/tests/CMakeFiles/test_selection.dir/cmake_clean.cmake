@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selection.dir/test_selection.cpp.o"
+  "CMakeFiles/test_selection.dir/test_selection.cpp.o.d"
+  "test_selection"
+  "test_selection.pdb"
+  "test_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequential_sort.dir/test_sequential_sort.cpp.o"
+  "CMakeFiles/test_sequential_sort.dir/test_sequential_sort.cpp.o.d"
+  "test_sequential_sort"
+  "test_sequential_sort.pdb"
+  "test_sequential_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequential_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

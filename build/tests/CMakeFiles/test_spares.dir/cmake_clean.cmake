@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spares.dir/test_spares.cpp.o"
+  "CMakeFiles/test_spares.dir/test_spares.cpp.o.d"
+  "test_spares"
+  "test_spares.pdb"
+  "test_spares[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmd_bitonic.dir/test_spmd_bitonic.cpp.o"
+  "CMakeFiles/test_spmd_bitonic.dir/test_spmd_bitonic.cpp.o.d"
+  "test_spmd_bitonic"
+  "test_spmd_bitonic.pdb"
+  "test_spmd_bitonic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmd_bitonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

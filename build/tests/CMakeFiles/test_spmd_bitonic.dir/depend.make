@@ -1,0 +1,2 @@
+# Empty dependencies file for test_spmd_bitonic.
+# This may be replaced when dependencies are built.

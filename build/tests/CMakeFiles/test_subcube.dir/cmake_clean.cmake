@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subcube.dir/test_subcube.cpp.o"
+  "CMakeFiles/test_subcube.dir/test_subcube.cpp.o.d"
+  "test_subcube"
+  "test_subcube.pdb"
+  "test_subcube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subcube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threaded_executor.dir/test_threaded_executor.cpp.o"
+  "CMakeFiles/test_threaded_executor.dir/test_threaded_executor.cpp.o.d"
+  "test_threaded_executor"
+  "test_threaded_executor.pdb"
+  "test_threaded_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threaded_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

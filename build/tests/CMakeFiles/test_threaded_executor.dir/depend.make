@@ -1,0 +1,2 @@
+# Empty dependencies file for test_threaded_executor.
+# This may be replaced when dependencies are built.

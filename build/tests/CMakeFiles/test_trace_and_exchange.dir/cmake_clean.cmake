@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_and_exchange.dir/test_trace_and_exchange.cpp.o"
+  "CMakeFiles/test_trace_and_exchange.dir/test_trace_and_exchange.cpp.o.d"
+  "test_trace_and_exchange"
+  "test_trace_and_exchange.pdb"
+  "test_trace_and_exchange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_and_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_address[1]_include.cmake")
+include("/root/repo/build/tests/test_subcube[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sequential_sort[1]_include.cmake")
+include("/root/repo/build/tests/test_merge_split[1]_include.cmake")
+include("/root/repo/build/tests/test_bitonic_network[1]_include.cmake")
+include("/root/repo/build/tests/test_distribution[1]_include.cmake")
+include("/root/repo/build/tests/test_spmd_bitonic[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_selection[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_ftsort[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_threaded_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_link_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_beyond_paper[1]_include.cmake")
+include("/root/repo/build/tests/test_analytic[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_spares[1]_include.cmake")
+include("/root/repo/build/tests/test_ring_sorter[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_and_exchange[1]_include.cmake")

@@ -40,6 +40,12 @@ FaultTolerantSorter::FaultTolerantSorter(partition::Plan plan,
 
 SortOutcome FaultTolerantSorter::sort(
     std::span<const sort::Key> keys) const {
+  if (config_.online_recovery) {
+    // Recovery renegotiates processor faults only; a plan reduced from
+    // dead links would let it schedule exchanges across dead wires.
+    FTSORT_REQUIRE(dead_links_.empty());
+    return recovery_sort(plan_, config_, keys);
+  }
   const partition::Plan& plan = plan_;
   const cube::Dim n = plan.n();
   const cube::Dim m = plan.m();
@@ -190,6 +196,7 @@ SortOutcome FaultTolerantSorter::sort(
 
   sim::Machine machine(n, machine_faults_, config_.model, config_.cost,
                        dead_links_);
+  machine.set_injector(config_.injector);
   machine.trace().enable(config_.record_trace);
 
   SortOutcome outcome;

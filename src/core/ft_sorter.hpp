@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "core/recovery.hpp"
 #include "fault/link_fault.hpp"
 #include "partition/plan.hpp"
 #include "sim/machine.hpp"
@@ -60,6 +61,19 @@ struct SortConfig {
   /// shows how far host I/O dominates once the cube itself is fast.
   bool charge_host_io = false;
   bool record_trace = false;
+  /// Mid-run fault schedule (sim/fault_injector.hpp), applied to every run.
+  /// Without online_recovery an injected death typically leaves the
+  /// victim's partners blocked forever and the run ends in DeadlockError —
+  /// the behaviour the paper's offline-diagnosis model predicts.
+  sim::FaultInjector injector;
+  /// Route the sort through the online-recovery engine (core/recovery.hpp):
+  /// survivors detect injected deaths, renegotiate the partition, salvage
+  /// the casualties' keys and restart, raising DegradationError when the
+  /// grown fault set defeats recovery. Requires charge_host_io == false and
+  /// no dead links; protocol and step8 are ignored (recovery always uses
+  /// full-block exchanges and the FullSort Step 8).
+  bool online_recovery = false;
+  RecoveryConfig recovery;
 };
 
 struct SortOutcome {

@@ -1,0 +1,479 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/ft_sorter.hpp"
+#include "sim/machine.hpp"
+#include "sort/distribution.hpp"
+#include "sort/resilient_schedule.hpp"
+#include "sort/sequential.hpp"
+#include "util/contracts.hpp"
+
+namespace ftsort::core {
+namespace {
+
+using cube::NodeId;
+using sort::Key;
+
+// Wire words. Check-in statuses:
+constexpr Key kStatusFinished = 0;
+constexpr Key kStatusAborted = 1;
+constexpr Key kStatusIdle = 2;
+// Verdicts:
+constexpr Key kVerdictCommit = 0;
+constexpr Key kVerdictRestart = 1;
+constexpr Key kVerdictDegrade = 2;
+// Re-scatter flags:
+constexpr Key kRescatterIdle = 0;
+constexpr Key kRescatterLive = 1;
+constexpr Key kRescatterDegrade = 2;
+
+// Control tags of an attempt sit right after its exchange-step tags.
+constexpr std::uint32_t kTagCheckin = 0;
+constexpr std::uint32_t kTagVerdict = 1;
+constexpr std::uint32_t kTagWitness = 2;
+constexpr std::uint32_t kTagRescatter = 3;
+constexpr std::uint32_t kControlTags = 4;
+
+sort::SplitHalf opposite(sort::SplitHalf h) {
+  return h == sort::SplitHalf::Lower ? sort::SplitHalf::Upper
+                                     : sort::SplitHalf::Lower;
+}
+
+/// Order-insensitive integrity check of the key pool (wrapping sum).
+std::uint64_t checksum(std::span<const Key> keys) {
+  std::uint64_t sum = 0;
+  for (Key k : keys) sum += static_cast<std::uint64_t>(k);
+  return sum;
+}
+
+/// Everything one attempt needs to know about its plan. Attempt 0 is built
+/// host-side; later attempts by the coordinator, which appends to the
+/// shared vector *before* sending the re-scatter messages whose receipt is
+/// the only thing that lets another node index the new entry — message
+/// delivery orders the reads after the write on both executors.
+struct AttemptState {
+  partition::Plan plan;
+  std::vector<sort::LogicalCube> lc;  ///< per subcube
+  std::uint32_t steps = 0;            ///< global exchange-step count
+  std::uint32_t tag_base = 0;         ///< first wire tag of this attempt
+};
+
+AttemptState make_attempt(partition::Plan plan, std::uint32_t tag_base) {
+  AttemptState a{std::move(plan), {}, 0, tag_base};
+  const cube::Dim s = a.plan.s();
+  const cube::Dim m = a.plan.m();
+  a.lc.resize(a.plan.num_subcubes());
+  for (NodeId v = 0; v < a.plan.num_subcubes(); ++v) {
+    sort::LogicalCube& lc = a.lc[v];
+    lc.s = s;
+    lc.dead0 = a.plan.has_dead();
+    lc.phys.resize(cube::num_nodes(s));
+    for (NodeId lw = 0; lw < lc.size(); ++lw)
+      lc.phys[lw] = a.plan.physical(v, lw);
+  }
+  const std::uint32_t t3 = sort::bitonic_sort_steps(s);
+  const std::uint32_t msteps =
+      static_cast<std::uint32_t>(m) * (static_cast<std::uint32_t>(m) + 1) /
+      2;
+  // Step 3, then per inter-subcube exchange one swap plus a full Step 8.
+  a.steps = t3 + msteps * (1 + t3);
+  return a;
+}
+
+/// The full resilient schedule of machine node `u`: Step 3, then Steps 4-8
+/// with the FullSort Step 8 variant — the same structure as ft_sorter's
+/// program, flattened to (step, partner, keep) triples.
+std::vector<sort::ScheduleStep> node_schedule(const AttemptState& a,
+                                              NodeId u) {
+  const partition::Plan::Role role = a.plan.role_of(u);
+  FTSORT_REQUIRE(role.live);
+  const NodeId v = role.v;
+  const NodeId lw = role.logical_w;
+  const sort::LogicalCube& lc = a.lc[v];
+  const cube::Dim m = a.plan.m();
+  std::vector<sort::ScheduleStep> out;
+  std::uint32_t step = 0;
+  const bool v_even = cube::bit(v, 0) == 0;
+  sort::append_bitonic_sort_schedule(lc, lw, m == 0 || v_even, step, out);
+  for (cube::Dim i = 0; i < m; ++i) {
+    const int mask = (i + 1 == m) ? 0 : cube::bit(v, i + 1);
+    for (cube::Dim j = i; j >= 0; --j) {
+      const NodeId partner = a.plan.physical(cube::neighbor(v, j), lw);
+      const sort::SplitHalf keep = (cube::bit(v, j) == mask)
+                                       ? sort::SplitHalf::Lower
+                                       : sort::SplitHalf::Upper;
+      out.push_back({step++, partner, keep});
+      const int v_jm1 = (j == 0) ? 0 : cube::bit(v, j - 1);
+      sort::append_bitonic_sort_schedule(lc, lw, v_jm1 == mask, step, out);
+    }
+  }
+  FTSORT_ENSURE(step == a.steps);
+  return out;
+}
+
+struct Shared {
+  std::vector<AttemptState> attempts;  ///< capacity reserved: never moves
+  std::vector<std::vector<Key>>* block_of = nullptr;
+  /// Coordinator's copy of the current attempt's scatter — the step -1
+  /// witness for a node that dies before completing any exchange.
+  std::vector<std::vector<Key>> scatter_record;
+  std::uint64_t expect_count = 0;
+  std::uint64_t expect_sum = 0;
+  NodeId coordinator = 0;
+  int final_attempt = -1;  ///< set by the coordinator before COMMIT
+  std::atomic<bool> degraded{false};
+  std::mutex reason_mutex;
+  std::string reason;
+
+  void record(const std::string& why) {
+    {
+      std::scoped_lock lock(reason_mutex);
+      if (reason.empty()) reason = why;
+    }
+    degraded.store(true);
+  }
+  std::string first_reason() {
+    std::scoped_lock lock(reason_mutex);
+    return reason;
+  }
+  [[noreturn]] void degrade(const std::string& why) {
+    record(why);
+    throw DegradationError("graceful degradation: " + why);
+  }
+};
+
+sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
+                             const SortConfig& cfg) {
+  const NodeId me = ctx.id();
+  const RecoveryConfig& rc = cfg.recovery;
+  const bool coord = me == sh.coordinator;
+  std::vector<Key>& block = (*sh.block_of)[me];
+
+  for (int e = 0;; ++e) {
+    const AttemptState& at = sh.attempts[static_cast<std::size_t>(e)];
+    const partition::Plan::Role role = at.plan.role_of(me);
+    const std::uint32_t cbase = at.tag_base + at.steps;
+
+    // ---- Sort phase ----------------------------------------------------
+    Key status = kStatusIdle;
+    // Freshest witness per partner: (step, the partner's post-step block,
+    // recomputed locally from the swapped data).
+    std::map<NodeId, std::pair<std::uint32_t, std::vector<Key>>> witness;
+    if (role.live) {
+      status = kStatusFinished;
+      std::uint64_t comps = 0;
+      sort::local_sort(cfg.local_sort, block, comps);
+      ctx.charge_compares(comps);
+      for (const sort::ScheduleStep& st : node_schedule(at, me)) {
+        const sim::Tag tag = at.tag_base + st.step;
+        ctx.send(st.partner, tag, block);  // a copy: aborts need no rollback
+        auto reply =
+            co_await ctx.recv_or_timeout(st.partner, tag, rc.detect_patience);
+        if (!reply) {
+          status = kStatusAborted;  // keep the pre-step block
+          break;
+        }
+        std::uint64_t c1 = 0, c2 = 0;
+        std::vector<Key> mine =
+            sort::merge_split_full(block, reply->payload, st.keep, c1);
+        std::vector<Key> theirs = sort::merge_split_full(
+            reply->payload, block, opposite(st.keep), c2);
+        ctx.charge_compares(c1 + c2);  // witness upkeep is charged work
+        witness[st.partner] = {st.step, std::move(theirs)};
+        block = std::move(mine);
+      }
+    }
+
+    // ---- Check-in and verdict (non-coordinator) ------------------------
+    if (!coord) {
+      ctx.send(sh.coordinator, cbase + kTagCheckin, {status});
+      auto verdict = co_await ctx.recv_or_timeout(
+          sh.coordinator, cbase + kTagVerdict, rc.verdict_patience);
+      if (!verdict) sh.degrade("coordinator failed during recovery");
+      FTSORT_REQUIRE(!verdict->payload.empty());
+      const Key word = verdict->payload[0];
+      if (word == kVerdictCommit) co_return;
+      if (word == kVerdictDegrade)
+        throw DegradationError("graceful degradation: " + sh.first_reason());
+
+      // RESTART: payload[1..] is the casualty list. Send my (rolled-back)
+      // block and my witnesses for the dead, then wait for the new block.
+      FTSORT_REQUIRE(word == kVerdictRestart);
+      std::vector<Key> wire;
+      wire.push_back(static_cast<Key>(block.size()));
+      wire.insert(wire.end(), block.begin(), block.end());
+      Key nwit = 0;
+      std::vector<Key> wits;
+      for (std::size_t k = 1; k < verdict->payload.size(); ++k) {
+        const NodeId d = static_cast<NodeId>(verdict->payload[k]);
+        auto it = witness.find(d);
+        if (it == witness.end()) continue;
+        ++nwit;
+        wits.push_back(static_cast<Key>(d));
+        wits.push_back(static_cast<Key>(it->second.first));
+        wits.push_back(static_cast<Key>(it->second.second.size()));
+        wits.insert(wits.end(), it->second.second.begin(),
+                    it->second.second.end());
+      }
+      wire.push_back(nwit);
+      wire.insert(wire.end(), wits.begin(), wits.end());
+      ctx.send(sh.coordinator, cbase + kTagWitness, std::move(wire));
+
+      auto rs = co_await ctx.recv_or_timeout(
+          sh.coordinator, cbase + kTagRescatter, rc.verdict_patience);
+      if (!rs) sh.degrade("coordinator failed during recovery");
+      FTSORT_REQUIRE(!rs->payload.empty());
+      if (rs->payload[0] == kRescatterDegrade)
+        throw DegradationError("graceful degradation: " + sh.first_reason());
+      block.assign(rs->payload.begin() + 1, rs->payload.end());
+      continue;  // next attempt
+    }
+
+    // ---- Coordinator: roll call ----------------------------------------
+    std::vector<NodeId> peers;
+    for (NodeId u = 0; u < cube::num_nodes(at.plan.n()); ++u)
+      if (u != me && !at.plan.faults().is_faulty(u)) peers.push_back(u);
+
+    std::vector<NodeId> dead;
+    bool any_abort = status == kStatusAborted;
+    for (NodeId u : peers) {
+      auto r = co_await ctx.recv_or_timeout(u, cbase + kTagCheckin,
+                                            rc.collect_patience);
+      if (!r)
+        dead.push_back(u);  // missed roll call: the ground truth of death
+      else if (!r->payload.empty() && r->payload[0] == kStatusAborted)
+        any_abort = true;
+    }
+
+    if (dead.empty() && !any_abort) {
+      sh.final_attempt = e;
+      for (NodeId u : peers)
+        ctx.send(u, cbase + kTagVerdict, {kVerdictCommit});
+      co_return;
+    }
+
+    std::vector<NodeId> survivors;  // peers minus dead, ascending
+    std::set_difference(peers.begin(), peers.end(), dead.begin(),
+                        dead.end(), std::back_inserter(survivors));
+
+    // Degrade before the verdict: survivors still wait on kTagVerdict.
+    auto fail_verdict = [&](const std::string& why) {
+      sh.record(why);
+      for (NodeId u : survivors)
+        ctx.send(u, cbase + kTagVerdict, {kVerdictDegrade});
+      throw DegradationError("graceful degradation: " + why);
+    };
+    // Degrade after RESTART went out: survivors wait on kTagRescatter.
+    auto fail_salvage = [&](const std::string& why) {
+      sh.record(why);
+      for (NodeId u : survivors)
+        ctx.send(u, cbase + kTagRescatter, {kRescatterDegrade});
+      throw DegradationError("graceful degradation: " + why);
+    };
+
+    if (dead.empty())
+      fail_verdict(
+          "live processors time out on each other with no deaths — cut "
+          "links admit no recovery");
+    if (e + 1 >= rc.max_attempts)
+      fail_verdict("recovery attempt limit reached");
+
+    const fault::FaultSet grown = at.plan.faults().grown(dead);
+    std::optional<partition::Plan> next;
+    if (!grown.isolates_healthy_node()) {
+      try {
+        next = partition::Plan::build(grown);
+      } catch (const std::exception&) {
+        // no single-fault structure: degrade below
+      }
+    }
+    if (!next || next->live_count() == 0)
+      fail_verdict("grown fault set " + grown.to_string() +
+                   " admits no single-fault partition");
+
+    std::vector<Key> restart{kVerdictRestart};
+    for (NodeId d : dead) restart.push_back(static_cast<Key>(d));
+    for (NodeId u : survivors)
+      ctx.send(u, cbase + kTagVerdict, restart);
+
+    // ---- Salvage -------------------------------------------------------
+    const std::uint32_t nn = cube::num_nodes(at.plan.n());
+    std::vector<std::vector<Key>> contributed(nn);
+    // Per dead node: freshest (step, block); the scatter record is the
+    // step -1 fallback for nodes that never completed an exchange.
+    std::map<NodeId, std::pair<long, std::vector<Key>>> best;
+    auto offer = [&](NodeId d, long step, std::vector<Key> w) {
+      auto it = best.find(d);
+      if (it == best.end() || step > it->second.first)
+        best[d] = {step, std::move(w)};
+    };
+    contributed[me] = block;
+    for (const auto& [d, w] : witness)
+      if (std::binary_search(dead.begin(), dead.end(), d))
+        offer(d, static_cast<long>(w.first), w.second);
+    for (NodeId u : survivors) {
+      auto r = co_await ctx.recv_or_timeout(u, cbase + kTagWitness,
+                                            rc.collect_patience);
+      if (!r)
+        fail_salvage("processor " + std::to_string(u) +
+                     " failed during recovery negotiation");
+      const std::vector<Key>& p = r->payload;
+      std::size_t k = 0;
+      const auto need = [&](std::size_t c) {
+        FTSORT_REQUIRE(k + c <= p.size());
+      };
+      need(1);
+      const auto nb = static_cast<std::size_t>(p[k++]);
+      need(nb);
+      contributed[u].assign(p.begin() + static_cast<std::ptrdiff_t>(k),
+                            p.begin() + static_cast<std::ptrdiff_t>(k + nb));
+      k += nb;
+      need(1);
+      const auto nw = static_cast<std::size_t>(p[k++]);
+      for (std::size_t t = 0; t < nw; ++t) {
+        need(3);
+        const NodeId d = static_cast<NodeId>(p[k++]);
+        const long stp = static_cast<long>(p[k++]);
+        const auto len = static_cast<std::size_t>(p[k++]);
+        need(len);
+        offer(d, stp,
+              std::vector<Key>(p.begin() + static_cast<std::ptrdiff_t>(k),
+                               p.begin() +
+                                   static_cast<std::ptrdiff_t>(k + len)));
+        k += len;
+      }
+    }
+    for (NodeId d : dead)
+      if (!best.count(d) && d < sh.scatter_record.size())
+        offer(d, -1, sh.scatter_record[d]);
+
+    // Pool every key exactly once, in deterministic order, and verify
+    // nothing was lost: concurrent deaths can leave witnesses stale (two
+    // casualties that exchanged with each other before dying), which this
+    // count + checksum test catches.
+    std::vector<Key> pool;
+    for (NodeId u = 0; u < nn; ++u)
+      for (Key key : contributed[u])
+        if (key != sim::kDummyKey) pool.push_back(key);
+    for (const auto& [d, w] : best)
+      for (Key key : w.second)
+        if (key != sim::kDummyKey) pool.push_back(key);
+    if (pool.size() != sh.expect_count ||
+        checksum(pool) != sh.expect_sum)
+      fail_salvage("key salvage failed — concurrent deaths destroyed data");
+
+    // ---- Re-plan and re-scatter ---------------------------------------
+    sh.attempts.push_back(
+        make_attempt(std::move(*next), cbase + kControlTags));
+    const AttemptState& na = sh.attempts.back();
+    sort::Distribution dist =
+        sort::distribute_evenly(pool, na.plan.live_count());
+    std::vector<std::vector<Key>> nb(nn);
+    {
+      std::size_t slot = 0;
+      for (NodeId v = 0; v < na.plan.num_subcubes(); ++v)
+        for (NodeId lw = 0; lw < cube::num_nodes(na.plan.s()); ++lw) {
+          if (na.lc[v].is_dead(lw)) continue;
+          nb[na.plan.physical(v, lw)] = std::move(dist.blocks[slot++]);
+        }
+    }
+    sh.scatter_record = nb;
+    for (NodeId u : survivors) {
+      std::vector<Key> msg;
+      msg.push_back(na.plan.role_of(u).live ? kRescatterLive
+                                            : kRescatterIdle);
+      msg.insert(msg.end(), nb[u].begin(), nb[u].end());
+      ctx.send(u, cbase + kTagRescatter, std::move(msg));
+    }
+    block = std::move(nb[me]);
+  }
+}
+
+}  // namespace
+
+SortOutcome recovery_sort(const partition::Plan& plan0,
+                          const SortConfig& config,
+                          std::span<const sort::Key> keys) {
+  FTSORT_REQUIRE(!config.charge_host_io);
+  const cube::Dim n = plan0.n();
+  const std::uint32_t nn = cube::num_nodes(n);
+
+  Shared sh;
+  sh.attempts.reserve(
+      static_cast<std::size_t>(std::max(config.recovery.max_attempts, 1)) +
+      1);
+  sh.attempts.push_back(make_attempt(plan0, 0));
+  sh.expect_count = keys.size();
+  sh.expect_sum = checksum(keys);
+  for (NodeId u = 0; u < nn; ++u)
+    if (!plan0.faults().is_faulty(u)) {
+      sh.coordinator = u;
+      break;
+    }
+
+  // Step 2: scatter exactly as the offline sorter does.
+  sort::Distribution dist =
+      sort::distribute_evenly(keys, plan0.live_count());
+  std::vector<std::vector<Key>> block_of(nn);
+  {
+    const AttemptState& a0 = sh.attempts[0];
+    std::size_t slot = 0;
+    for (NodeId v = 0; v < a0.plan.num_subcubes(); ++v)
+      for (NodeId lw = 0; lw < cube::num_nodes(a0.plan.s()); ++lw) {
+        if (a0.lc[v].is_dead(lw)) continue;
+        block_of[a0.plan.physical(v, lw)] = std::move(dist.blocks[slot++]);
+      }
+  }
+  sh.block_of = &block_of;
+  sh.scatter_record = block_of;
+
+  sim::Machine machine(n, plan0.faults(), config.model, config.cost, {});
+  machine.set_injector(config.injector);
+  machine.trace().enable(config.record_trace);
+  const auto program = [&sh, &config](sim::NodeCtx& ctx) {
+    return node_program(ctx, sh, config);
+  };
+
+  SortOutcome out;
+  out.block_size = dist.block_size;
+  try {
+    out.report = config.executor == Executor::Threaded
+                     ? machine.run_threaded(program)
+                     : machine.run(program);
+  } catch (const std::runtime_error&) {
+    if (sh.degraded.load())
+      throw DegradationError("graceful degradation: " + sh.first_reason());
+    throw;
+  }
+  // Recovery traces are long (two sorts plus the negotiation); raise the
+  // dump cap so the death and the restart are actually visible.
+  if (config.record_trace) out.trace = machine.trace().to_string(50'000);
+  if (sh.degraded.load())
+    throw DegradationError("graceful degradation: " + sh.first_reason());
+  if (sh.final_attempt < 0)
+    throw DegradationError(
+        "graceful degradation: the recovery coordinator died before any "
+        "attempt committed");
+
+  // Gather under the plan that committed.
+  const AttemptState& fin =
+      sh.attempts[static_cast<std::size_t>(sh.final_attempt)];
+  std::vector<std::vector<Key>> in_order;
+  in_order.reserve(fin.plan.live_count());
+  for (NodeId v = 0; v < fin.plan.num_subcubes(); ++v)
+    for (NodeId lw = 0; lw < cube::num_nodes(fin.plan.s()); ++lw) {
+      if (fin.lc[v].is_dead(lw)) continue;
+      in_order.push_back(std::move(block_of[fin.plan.physical(v, lw)]));
+    }
+  out.sorted = sort::gather_and_strip(in_order);
+  return out;
+}
+
+}  // namespace ftsort::core

@@ -46,6 +46,15 @@ bool FaultSet::isolates_healthy_node() const {
   return false;
 }
 
+FaultSet FaultSet::grown(const std::vector<cube::NodeId>& extra) const {
+  std::vector<cube::NodeId> all = faults_;
+  for (cube::NodeId u : extra)
+    if (!is_faulty(u)) all.push_back(u);
+  FaultSet next(n_, std::move(all));
+  next.version_ = version_ + 1;
+  return next;
+}
+
 std::size_t FaultSet::count_in(cube::NodeId mask, cube::NodeId value) const {
   std::size_t c = 0;
   for (cube::NodeId f : faults_)

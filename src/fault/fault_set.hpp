@@ -50,14 +50,25 @@ class FaultSet {
   /// Number of faulty nodes inside a (mask, value) subcube.
   std::size_t count_in(cube::NodeId mask, cube::NodeId value) const;
 
+  /// A new set with `extra` nodes additionally faulty and the version
+  /// bumped — how online recovery grows the fault knowledge. Nodes already
+  /// faulty are ignored.
+  FaultSet grown(const std::vector<cube::NodeId>& extra) const;
+  /// How many times this set has been grown from its diagnosis-time
+  /// original (0 for freshly constructed sets).
+  unsigned version() const { return version_; }
+
   std::string to_string() const;
 
-  friend bool operator==(const FaultSet&, const FaultSet&) = default;
+  friend bool operator==(const FaultSet& a, const FaultSet& b) {
+    return a.n_ == b.n_ && a.faults_ == b.faults_;
+  }
 
  private:
   cube::Dim n_;
   std::vector<cube::NodeId> faults_;  // sorted
   std::vector<bool> bitmap_;
+  unsigned version_ = 0;
 };
 
 }  // namespace ftsort::fault

@@ -1,0 +1,61 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::sim {
+
+FaultInjector& FaultInjector::kill_node_at(cube::NodeId u, SimTime t) {
+  FTSORT_REQUIRE(t >= 0.0);
+  for (NodeKill& k : kills_) {
+    if (k.node == u) {
+      k.when = std::min(k.when, t);
+      return *this;
+    }
+  }
+  kills_.push_back({u, t});
+  return *this;
+}
+
+FaultInjector& FaultInjector::cut_link_at(cube::NodeId a, cube::NodeId b,
+                                          SimTime t) {
+  FTSORT_REQUIRE(t >= 0.0);
+  FTSORT_REQUIRE(a != b);
+  if (a > b) std::swap(a, b);
+  for (LinkCut& c : cuts_) {
+    if (c.a == a && c.b == b) {
+      c.when = std::min(c.when, t);
+      return *this;
+    }
+  }
+  cuts_.push_back({a, b, t});
+  return *this;
+}
+
+SimTime FaultInjector::node_kill_time(cube::NodeId u) const {
+  for (const NodeKill& k : kills_)
+    if (k.node == u) return k.when;
+  return kNever;
+}
+
+SimTime FaultInjector::link_cut_time(cube::NodeId a, cube::NodeId b) const {
+  if (a > b) std::swap(a, b);
+  for (const LinkCut& c : cuts_)
+    if (c.a == a && c.b == b) return c.when;
+  return kNever;
+}
+
+std::string FaultInjector::to_string() const {
+  std::ostringstream os;
+  os << "injector{";
+  for (const NodeKill& k : kills_)
+    os << " kill node " << k.node << " @" << k.when;
+  for (const LinkCut& c : cuts_)
+    os << " cut link {" << c.a << "," << c.b << "} @" << c.when;
+  os << " }";
+  return os.str();
+}
+
+}  // namespace ftsort::sim

@@ -1,0 +1,73 @@
+// Runtime fault injection: scheduled mid-run deaths of processors and
+// direct links, in *logical* simulation time.
+//
+// A `FaultInjector` is an immutable schedule handed to a `Machine` before a
+// run. Semantics (identical on both executors, see DESIGN.md):
+//   * a node scheduled to die at logical time T halts at its first NodeCtx
+//     interaction whose clock is >= T (the interaction itself is cancelled);
+//     a node blocked in recv when T passes halts at the next global
+//     quiescence point, ordered against pending recv timeouts by logical
+//     event time;
+//   * a message is delivered iff its arrival time precedes the
+//     destination's death; later arrivals are dropped (and traced);
+//   * a cut link (a, b) severs the direct channel between its endpoints:
+//     messages between a and b sent at or after the cut time are dropped.
+//     Multi-hop traffic is assumed to be re-routed by the fault-avoiding
+//     router and is not affected.
+// Deaths are *partial* faults in the paper's sense: the computation stops
+// but the routing hardware keeps forwarding, so the static router stays
+// valid.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hypercube/address.hpp"
+#include "sim/cost_model.hpp"
+
+namespace ftsort::sim {
+
+/// Internal signal thrown out of a node program when its processor dies.
+/// Not an error: the machine treats the program as halted, never failed.
+struct KilledSignal {};
+
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+
+class FaultInjector {
+ public:
+  struct NodeKill {
+    cube::NodeId node = 0;
+    SimTime when = 0.0;
+  };
+  struct LinkCut {
+    cube::NodeId a = 0;
+    cube::NodeId b = 0;
+    SimTime when = 0.0;
+  };
+
+  FaultInjector() = default;
+
+  /// Schedule processor `u` to die at logical time `t` (earliest wins if
+  /// scheduled twice).
+  FaultInjector& kill_node_at(cube::NodeId u, SimTime t);
+  /// Schedule the direct link {a, b} to be cut at logical time `t`.
+  FaultInjector& cut_link_at(cube::NodeId a, cube::NodeId b, SimTime t);
+
+  bool empty() const { return kills_.empty() && cuts_.empty(); }
+  const std::vector<NodeKill>& kills() const { return kills_; }
+  const std::vector<LinkCut>& cuts() const { return cuts_; }
+
+  /// Scheduled death time of `u`, or kNever.
+  SimTime node_kill_time(cube::NodeId u) const;
+  /// Cut time of the (unordered) link {a, b}, or kNever.
+  SimTime link_cut_time(cube::NodeId a, cube::NodeId b) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<NodeKill> kills_;  // at most one entry per node
+  std::vector<LinkCut> cuts_;    // at most one entry per unordered pair
+};
+
+}  // namespace ftsort::sim

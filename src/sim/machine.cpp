@@ -20,17 +20,20 @@ void NodeCtx::charge_compares(std::uint64_t k) {
   machine_->comparisons_.fetch_add(k, std::memory_order_relaxed);
   machine_->trace_.record(
       {clock_, id_, EventKind::Compute, 0, 0, k, 0});
+  machine_->check_alive(id_);
 }
 
 void NodeCtx::charge_time(SimTime t) {
   FTSORT_REQUIRE(t >= 0.0);
   clock_ += t;
+  machine_->check_alive(id_);
 }
 
 void NodeCtx::send(cube::NodeId dst, Tag tag, std::vector<Key> payload) {
   FTSORT_REQUIRE(dst != id_);
   FTSORT_REQUIRE(cube::valid_node(dst, machine_->dim()));
   FTSORT_REQUIRE(!machine_->faults().is_faulty(dst));
+  machine_->check_alive(id_);
 
   const int hops = machine_->router().hops(id_, dst);
   Message msg;
@@ -57,11 +60,28 @@ bool NodeCtx::RecvAwaiter::await_ready() const noexcept {
 }
 
 bool NodeCtx::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
-  return ctx.machine_->register_waiter(ctx.id_, src, tag, h);
+  return ctx.machine_->register_waiter(ctx.id_, src, tag, h,
+                                       /*has_deadline=*/false, 0.0);
 }
 
 Message NodeCtx::RecvAwaiter::await_resume() {
   return ctx.machine_->pop_message(ctx.id_, src, tag);
+}
+
+bool NodeCtx::RecvTimeoutAwaiter::await_ready() const noexcept {
+  if (ctx.machine_->threaded_) return false;
+  return ctx.machine_->has_message(ctx.id_, src, tag);
+}
+
+bool NodeCtx::RecvTimeoutAwaiter::await_suspend(std::coroutine_handle<> h) {
+  FTSORT_REQUIRE(patience >= 0.0);
+  return ctx.machine_->register_waiter(ctx.id_, src, tag, h,
+                                       /*has_deadline=*/true,
+                                       ctx.clock_ + patience);
+}
+
+std::optional<Message> NodeCtx::RecvTimeoutAwaiter::await_resume() {
+  return ctx.machine_->finish_recv_or_timeout(ctx.id_, src, tag);
 }
 
 Machine::Machine(cube::Dim n, fault::FaultSet faults,
@@ -81,6 +101,19 @@ Machine::NodeState& Machine::state_of(cube::NodeId id) {
   return *nodes_[id];
 }
 
+void Machine::check_alive(cube::NodeId id) {
+  NodeState& st = state_of(id);
+  if (st.ctx.clock_ < st.kill_time) return;
+  if (threaded_) {
+    const std::lock_guard<std::mutex> guard(sched_mutex_);
+    st.killed = true;
+  } else {
+    st.killed = true;
+  }
+  trace_.record({st.ctx.clock_, id, EventKind::Kill, 0, 0, 0, 0});
+  throw KilledSignal{};
+}
+
 void Machine::post(Message msg) {
   messages_.fetch_add(1, std::memory_order_relaxed);
   keys_sent_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
@@ -89,21 +122,33 @@ void Machine::post(Message msg) {
       std::memory_order_relaxed);
 
   NodeState& dst = state_of(msg.dst);
+  // Dynamic-fault drop rules: dead on arrival, or the direct link between
+  // adjacent endpoints was cut before the send. Both are purely logical,
+  // so each executor drops exactly the same messages.
+  const bool dead_on_arrival = msg.arrival >= dst.kill_time;
+  const bool link_cut =
+      cube::hamming(msg.src, msg.dst) == 1 &&
+      msg.sent_at >= injector_.link_cut_time(msg.src, msg.dst);
+  if (dead_on_arrival || link_cut) {
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    trace_.record({msg.arrival, msg.dst, EventKind::Drop, msg.src, msg.tag,
+                   msg.payload.size(), msg.hops});
+    return;
+  }
+
   const std::uint64_t channel = channel_key(msg.src, msg.tag);
   if (threaded_) {
-    std::coroutine_handle<> to_wake = nullptr;
-    {
-      const std::lock_guard<std::mutex> guard(dst.mutex);
-      dst.inbox[channel].push_back(std::move(msg));
-      if (dst.waiting && dst.want_channel == channel) {
-        dst.waiting = false;
-        dst.ready = dst.waiter;
-        dst.waiter = nullptr;
-        to_wake = dst.ready;
-      }
-    }
+    const std::scoped_lock guard(dst.mutex, sched_mutex_);
+    dst.inbox[channel].push_back(std::move(msg));
     deliveries_.fetch_add(1, std::memory_order_release);
-    if (to_wake) dst.cv.notify_one();
+    if (dst.waiting && dst.want_channel == channel) {
+      dst.waiting = false;
+      dst.ready = dst.waiter;
+      dst.waiter = nullptr;
+      FTSORT_INVARIANT(blocked_count_ > 0);
+      --blocked_count_;
+      dst.cv.notify_one();
+    }
     return;
   }
   dst.inbox[channel].push_back(std::move(msg));
@@ -122,13 +167,15 @@ bool Machine::has_message(cube::NodeId node, cube::NodeId src, Tag tag) {
 }
 
 bool Machine::register_waiter(cube::NodeId node, cube::NodeId src, Tag tag,
-                              std::coroutine_handle<> h) {
+                              std::coroutine_handle<> h, bool has_deadline,
+                              SimTime deadline) {
   // A node program is one sequential coroutine chain, so at most one
-  // outstanding recv can exist per node.
-  FTSORT_REQUIRE(!faults_.is_faulty(src));  // would deadlock: never sends
+  // outstanding recv can exist per node. Statically faulty processors can
+  // never send (only injector victims can die after sending).
+  FTSORT_REQUIRE(!faults_.is_faulty(src));
   NodeState& st = state_of(node);
   if (threaded_) {
-    const std::lock_guard<std::mutex> guard(st.mutex);
+    const std::scoped_lock guard(st.mutex, sched_mutex_);
     const auto it = st.inbox.find(channel_key(src, tag));
     if (it != st.inbox.end() && !it->second.empty())
       return false;  // raced with a sender: resume immediately
@@ -136,12 +183,18 @@ bool Machine::register_waiter(cube::NodeId node, cube::NodeId src, Tag tag,
     st.waiting = true;
     st.want_channel = channel_key(src, tag);
     st.waiter = h;
+    st.has_deadline = has_deadline;
+    st.deadline = deadline;
+    ++blocked_count_;
+    maybe_resolve_quiescence_locked();
     return true;
   }
   FTSORT_INVARIANT(!st.waiting);
   st.waiting = true;
   st.want_channel = channel_key(src, tag);
   st.waiter = h;
+  st.has_deadline = has_deadline;
+  st.deadline = deadline;
   return true;
 }
 
@@ -163,14 +216,32 @@ Message Machine::pop_message(cube::NodeId node, cube::NodeId src, Tag tag) {
   st.ctx.clock_ = std::max(st.ctx.clock_, msg.arrival);
   trace_.record({st.ctx.clock_, node, EventKind::Recv, src, tag,
                  msg.payload.size(), msg.hops});
+  check_alive(node);
   return msg;
 }
 
-void Machine::report_deadlock() {
+std::optional<Message> Machine::finish_recv_or_timeout(cube::NodeId node,
+                                                       cube::NodeId src,
+                                                       Tag tag) {
+  NodeState& st = state_of(node);
+  if (st.timed_out) {
+    st.timed_out = false;
+    st.has_deadline = false;
+    st.ctx.clock_ = std::max(st.ctx.clock_, st.deadline);
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    trace_.record({st.ctx.clock_, node, EventKind::Timeout, src, tag, 0, 0});
+    check_alive(node);
+    return std::nullopt;
+  }
+  st.has_deadline = false;
+  return pop_message(node, src, tag);
+}
+
+std::string Machine::deadlock_message() const {
   std::ostringstream os;
   os << "simulation deadlock: every live node is blocked;";
   for (const auto& node : nodes_) {
-    if (!node || node->task.done()) continue;
+    if (!node || node->task.done() || node->killed) continue;
     os << " node " << node->ctx.id();
     if (node->waiting) {
       os << " waits for src=" << (node->want_channel >> 32)
@@ -179,19 +250,105 @@ void Machine::report_deadlock() {
       os << " is not runnable;";
     }
   }
-  throw DeadlockError(os.str());
+  return os.str();
+}
+
+bool Machine::fire_quiescence_event() {
+  // Candidate logical events for blocked nodes: recv-timeout expiry at its
+  // deadline, and the death of a node whose kill time can now never be
+  // outrun. The earliest (time, kind, node) triple fires; kills order
+  // after timeouts on exact ties so a node with deadline == kill time
+  // still observes its timeout.
+  NodeState* best = nullptr;
+  SimTime best_time = 0.0;
+  int best_kind = 0;  // 0 = timeout, 1 = kill
+  cube::NodeId best_node = 0;
+  const auto consider = [&](NodeState& st, SimTime t, int kind,
+                            cube::NodeId u) {
+    if (best != nullptr &&
+        std::tie(best_time, best_kind, best_node) <= std::tie(t, kind, u))
+      return;
+    best = &st;
+    best_time = t;
+    best_kind = kind;
+    best_node = u;
+  };
+  for (cube::NodeId u = 0; u < size(); ++u) {
+    NodeState* st = nodes_[u].get();
+    if (st == nullptr || !st->waiting) continue;
+    if (st->has_deadline) consider(*st, st->deadline, 0, u);
+    if (st->kill_time < kNever)
+      consider(*st, std::max(st->ctx.clock_, st->kill_time), 1, u);
+  }
+  if (best == nullptr) return false;
+
+  NodeState& st = *best;
+  st.waiting = false;
+  if (best_kind == 0) {
+    st.timed_out = true;
+    const std::coroutine_handle<> h = st.waiter;
+    st.waiter = nullptr;
+    if (threaded_) {
+      FTSORT_INVARIANT(blocked_count_ > 0);
+      --blocked_count_;
+      st.ready = h;
+      st.cv.notify_one();
+    } else {
+      ready_.push_back(h);
+    }
+    return true;
+  }
+  // A blocked node dies: its coroutine is abandoned, never resumed.
+  st.killed = true;
+  st.waiter = nullptr;
+  trace_.record({st.ctx.clock_, best_node, EventKind::Kill, 0, 0, 0, 0});
+  if (threaded_) {
+    FTSORT_INVARIANT(blocked_count_ > 0);
+    --blocked_count_;
+    st.cv.notify_one();  // its thread exits via the killed flag
+  }
+  return true;
+}
+
+void Machine::maybe_resolve_quiescence_locked() {
+  if (shutdown_) return;
+  if (blocked_count_ + terminal_count_ < total_programs_) return;
+  if (blocked_count_ == 0) return;  // everything finished
+  if (fire_quiescence_event()) return;
+  // Genuine deadlock: report the same blocked set the sequential executor
+  // would, then shut the thread pool down.
+  deadlocked_ = true;
+  deadlock_msg_ = deadlock_message();
+  shutdown_ = true;
+  for (auto& node : nodes_)
+    if (node) node->cv.notify_all();
 }
 
 void Machine::instantiate_programs(const Program& program) {
-  messages_ = keys_sent_ = key_hops_ = comparisons_ = deliveries_ = 0;
+  messages_ = keys_sent_ = key_hops_ = comparisons_ = 0;
+  messages_dropped_ = timeouts_ = deliveries_ = 0;
   ready_.clear();
+  total_programs_ = 0;
+  blocked_count_ = terminal_count_ = 0;
+  shutdown_ = deadlocked_ = false;
+  deadlock_msg_.clear();
   for (cube::NodeId u = 0; u < size(); ++u) {
     if (faults_.is_faulty(u)) {
       nodes_[u] = nullptr;
       continue;
     }
     nodes_[u] = std::unique_ptr<NodeState>(new NodeState(NodeCtx(*this, u)));
+    nodes_[u]->kill_time = injector_.node_kill_time(u);
     nodes_[u]->task = program(nodes_[u]->ctx);
+    ++total_programs_;
+  }
+}
+
+void Machine::drain_ready() {
+  while (!ready_.empty()) {
+    auto h = ready_.front();
+    ready_.pop_front();
+    h.resume();
   }
 }
 
@@ -200,27 +357,39 @@ RunReport Machine::collect_report() {
   report.node_clocks.assign(size(), 0.0);
   for (cube::NodeId u = 0; u < size(); ++u) {
     if (!nodes_[u]) continue;
+    NodeState& st = *nodes_[u];
+    report.node_clocks[u] = st.ctx.now();
+    if (st.killed) {
+      // Died mid-run: clock frozen at death; excluded from the makespan.
+      report.killed_nodes.push_back(u);
+      continue;
+    }
     try {
-      nodes_[u]->task.take_result();
+      st.task.take_result();
     } catch (const std::exception& e) {
       running_ = false;
       for (auto& node : nodes_) node.reset();
       throw std::runtime_error("node " + std::to_string(u) +
                                " failed: " + e.what());
     }
-    report.node_clocks[u] = nodes_[u]->ctx.now();
-    report.makespan = std::max(report.makespan, nodes_[u]->ctx.now());
+    report.makespan = std::max(report.makespan, st.ctx.now());
   }
   report.messages = messages_.load();
   report.keys_sent = keys_sent_.load();
   report.key_hops = key_hops_.load();
   report.comparisons = comparisons_.load();
+  report.messages_dropped = messages_dropped_.load();
+  report.timeouts = timeouts_.load();
 
-  // Check no messages were left undelivered (protocol completeness).
-  for (const auto& node : nodes_) {
-    if (!node) continue;
-    for (const auto& [channel, queue] : node->inbox)
-      FTSORT_ENSURE(queue.empty());
+  // Check no messages were left undelivered (protocol completeness). With
+  // dynamic faults, stray deliveries to dead or timed-out programs are
+  // expected and exempt.
+  if (injector_.empty() && report.timeouts == 0) {
+    for (const auto& node : nodes_) {
+      if (!node) continue;
+      for (const auto& [channel, queue] : node->inbox)
+        FTSORT_ENSURE(queue.empty());
+    }
   }
   for (auto& node : nodes_) node.reset();
   running_ = false;
@@ -237,24 +406,30 @@ RunReport Machine::run(const Program& program) {
   for (cube::NodeId u = 0; u < size(); ++u) {
     if (!nodes_[u]) continue;
     nodes_[u]->task.start();
-    while (!ready_.empty()) {
-      auto h = ready_.front();
-      ready_.pop_front();
-      h.resume();
-    }
+    drain_ready();
   }
-  while (!ready_.empty()) {
-    auto h = ready_.front();
-    ready_.pop_front();
-    h.resume();
-  }
+  drain_ready();
 
-  // All programs must have completed; otherwise the system is deadlocked.
-  for (const auto& node : nodes_) {
-    if (node && !node->task.done()) {
-      running_ = false;
-      report_deadlock();
+  // Quiescence loop: every remaining program is blocked in a recv. Fire
+  // pending logical events (recv timeouts, deaths of blocked nodes) in
+  // event-time order until everything is terminal, or fail with the
+  // blocked set if no event can make progress.
+  while (true) {
+    bool pending = false;
+    for (const auto& node : nodes_) {
+      if (node && !node->task.done() && !node->killed) {
+        pending = true;
+        break;
+      }
     }
+    if (!pending) break;
+    if (!fire_quiescence_event()) {
+      running_ = false;
+      const std::string msg = deadlock_message();
+      for (auto& node : nodes_) node.reset();
+      throw DeadlockError(msg);
+    }
+    drain_ready();
   }
   return collect_report();
 }
@@ -266,57 +441,70 @@ RunReport Machine::run_threaded(const Program& program,
   threaded_ = true;
   instantiate_programs(program);
 
-  std::atomic<bool> shutdown{false};
   std::atomic<bool> stalled{false};
 
   std::vector<std::thread> threads;
-  threads.reserve(faults_.healthy_count());
+  threads.reserve(total_programs_);
   for (cube::NodeId u = 0; u < size(); ++u) {
     if (!nodes_[u]) continue;
     NodeState& st = *nodes_[u];
-    threads.emplace_back([&st, &shutdown, &stalled, timeout, this] {
+    threads.emplace_back([&st, &stalled, timeout, this] {
       st.task.start();
       auto last_epoch = deliveries_.load(std::memory_order_acquire);
       auto last_change = std::chrono::steady_clock::now();
-      while (!st.task.done() && !shutdown.load()) {
+      while (!st.task.done()) {
         std::coroutine_handle<> to_resume = nullptr;
         {
-          std::unique_lock<std::mutex> lk(st.mutex);
-          st.cv.wait_for(lk, std::chrono::milliseconds(50), [&] {
-            return st.ready != nullptr || shutdown.load();
-          });
+          std::unique_lock<std::mutex> lk(sched_mutex_);
+          if (st.killed || shutdown_) break;
           if (st.ready != nullptr) {
             to_resume = st.ready;
             st.ready = nullptr;
+          } else {
+            st.cv.wait_for(lk, std::chrono::milliseconds(50), [&] {
+              return st.ready != nullptr || st.killed || shutdown_;
+            });
+            if (st.ready == nullptr && !st.killed && !shutdown_) {
+              // Wall-clock backstop against non-blocking livelock; real
+              // blocking deadlocks resolve instantly at quiescence.
+              const auto epoch =
+                  deliveries_.load(std::memory_order_acquire);
+              const auto now = std::chrono::steady_clock::now();
+              if (epoch != last_epoch) {
+                last_epoch = epoch;
+                last_change = now;
+              } else if (now - last_change > timeout) {
+                stalled.store(true);
+                shutdown_ = true;
+                for (auto& node : nodes_)
+                  if (node) node->cv.notify_all();
+              }
+            }
+            continue;
           }
         }
-        if (to_resume != nullptr) {
-          to_resume.resume();
-          continue;
-        }
-        // No wakeup: detect global stalls via the delivery epoch.
-        const auto epoch = deliveries_.load(std::memory_order_acquire);
-        const auto now = std::chrono::steady_clock::now();
-        if (epoch != last_epoch) {
-          last_epoch = epoch;
-          last_change = now;
-        } else if (now - last_change > timeout) {
-          stalled.store(true);
-          shutdown.store(true);
-        }
+        to_resume.resume();
+      }
+      const std::lock_guard<std::mutex> guard(sched_mutex_);
+      if (!st.terminal) {
+        st.terminal = true;
+        ++terminal_count_;
+        maybe_resolve_quiescence_locked();
       }
     });
   }
   for (auto& thread : threads) thread.join();
 
-  if (stalled.load()) {
-    running_ = false;
-    for (auto& node : nodes_) node.reset();
-    throw DeadlockError(
-        "threaded run stalled: no message delivered within the timeout "
-        "while nodes were still blocked");
-  }
   threaded_ = false;
+  if (stalled.load() || deadlocked_) {
+    running_ = false;
+    const std::string msg =
+        deadlocked_ ? deadlock_msg_
+                    : "threaded run stalled: no message delivered within "
+                      "the timeout while nodes were still blocked";
+    for (auto& node : nodes_) node.reset();
+    throw DeadlockError(msg);
+  }
   return collect_report();
 }
 

@@ -15,6 +15,18 @@
 //   * recv waits for the message, then sets clock = max(clock, arrival).
 // The run's makespan is the maximum final clock over all participating
 // nodes.
+//
+// Dynamic faults (sim/fault_injector.hpp): a `FaultInjector` kills nodes
+// and cuts links at scheduled logical times mid-run. Dead nodes halt at
+// their next NodeCtx interaction; messages arriving after the destination's
+// death are dropped. Survivors observe a loss through the bounded-wait
+// `recv_or_timeout` awaitable, which resolves as a *perfect failure
+// detector*: it returns nullopt exactly when the simulation reaches global
+// quiescence (no node runnable) with the awaited channel still empty — i.e.
+// when no matching send can ever occur — charging the caller its logical
+// patience. Quiescence events (recv timeouts, deaths of blocked nodes) are
+// resolved in logical-event-time order, so both executors observe the same
+// histories.
 #pragma once
 
 #include <atomic>
@@ -24,6 +36,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +44,7 @@
 #include "fault/fault_set.hpp"
 #include "hypercube/routing.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/message.hpp"
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
@@ -63,7 +77,8 @@ class NodeCtx {
   void charge_time(SimTime t);
 
   /// Post a message. Never blocks (links are buffered); the sender's clock
-  /// advances by the link-injection time.
+  /// advances by the link-injection time. A message addressed to a node
+  /// that is dead on arrival is silently dropped (the injector's model).
   void send(cube::NodeId dst, Tag tag, std::vector<Key> payload);
 
   /// Awaitable receive of the next message from (src, tag). FIFO per
@@ -82,6 +97,23 @@ class NodeCtx {
     return RecvAwaiter{*this, src, tag};
   }
 
+  /// Bounded-wait receive: like recv, but resolves to nullopt when no
+  /// message on (src, tag) can ever arrive (perfect failure detection; see
+  /// file header). On timeout the caller's clock advances by `patience`.
+  struct RecvTimeoutAwaiter {
+    NodeCtx& ctx;
+    cube::NodeId src;
+    Tag tag;
+    SimTime patience;
+    bool await_ready() const noexcept;
+    bool await_suspend(std::coroutine_handle<> h);
+    std::optional<Message> await_resume();
+  };
+  RecvTimeoutAwaiter recv_or_timeout(cube::NodeId src, Tag tag,
+                                     SimTime patience) {
+    return RecvTimeoutAwaiter{*this, src, tag, patience};
+  }
+
  private:
   friend class Machine;
   NodeCtx(Machine& machine, cube::NodeId id) : machine_(&machine), id_(id) {}
@@ -93,12 +125,15 @@ class NodeCtx {
 
 /// Aggregate results of one simulation run.
 struct RunReport {
-  SimTime makespan = 0.0;            ///< max final node clock, µs
+  SimTime makespan = 0.0;            ///< max final clock over surviving nodes
   std::uint64_t messages = 0;        ///< messages posted
   std::uint64_t keys_sent = 0;       ///< Σ payload sizes
   std::uint64_t key_hops = 0;        ///< Σ payload size × hops
   std::uint64_t comparisons = 0;     ///< Σ charged comparisons
+  std::uint64_t messages_dropped = 0;  ///< posts lost to dead nodes/links
+  std::uint64_t timeouts = 0;          ///< recv_or_timeout expirations
   std::vector<SimTime> node_clocks;  ///< final clock per node (0 if idle)
+  std::vector<cube::NodeId> killed_nodes;  ///< injector victims, ascending
 };
 
 class Machine {
@@ -119,6 +154,13 @@ class Machine {
   const cube::Router& router() const { return router_; }
   Trace& trace() { return trace_; }
 
+  /// Install a mid-run fault schedule; applies to every subsequent run on
+  /// either executor. Pass a default-constructed injector to clear.
+  void set_injector(FaultInjector injector) {
+    injector_ = std::move(injector);
+  }
+  const FaultInjector& injector() const { return injector_; }
+
   /// Instantiate `program` on every healthy node and run the whole system
   /// to completion. Throws DeadlockError on global blocking, and rethrows
   /// the first node-program exception (annotated with the node id).
@@ -128,8 +170,9 @@ class Machine {
   /// Results, statistics, and logical times are identical to `run` — the
   /// logical clocks depend only on the message causality, not on host
   /// scheduling — so this mainly demonstrates that node programs are
-  /// executor-agnostic. A stalled system is reported as DeadlockError
-  /// after `timeout` elapses with no delivery progress.
+  /// executor-agnostic. Genuine deadlocks are detected at quiescence and
+  /// report the same blocked set as the sequential executor; `timeout` is a
+  /// wall-clock backstop against non-blocking livelock.
   RunReport run_threaded(const Program& program,
                          std::chrono::milliseconds timeout =
                              std::chrono::milliseconds(30'000));
@@ -141,15 +184,25 @@ class Machine {
     explicit NodeState(NodeCtx c) : ctx(std::move(c)) {}
     NodeCtx ctx;
     Task<void> task;
-    // Channel key = (src << 32) | tag.
+    // Channel key = (src << 32) | tag. Guarded by `mutex` when threaded.
     std::unordered_map<std::uint64_t, std::deque<Message>> inbox;
+    // Scheduler state: plain on the sequential executor, guarded by the
+    // machine's sched_mutex_ on the threaded one.
     bool waiting = false;
     std::uint64_t want_channel = 0;
     std::coroutine_handle<> waiter;
-    // Threaded-executor state: the mailbox lock and the wakeup channel.
+    bool has_deadline = false;  ///< waiting via recv_or_timeout
+    SimTime deadline = 0.0;     ///< clock + patience at suspension
+    bool timed_out = false;     ///< set when the waiter is resumed empty
+    // Dynamic-fault state.
+    SimTime kill_time = kNever;
+    bool killed = false;  ///< died mid-run (thrown or abandoned)
+    // Threaded-executor state: the mailbox lock, the wakeup channel, and
+    // the once-only terminal latch.
     std::mutex mutex;
     std::condition_variable cv;
     std::coroutine_handle<> ready;
+    bool terminal = false;
   };
 
   static std::uint64_t channel_key(cube::NodeId src, Tag tag) {
@@ -157,13 +210,28 @@ class Machine {
   }
 
   NodeState& state_of(cube::NodeId id);
+  /// Throws KilledSignal (and records the death) once the node's clock has
+  /// reached its scheduled kill time.
+  void check_alive(cube::NodeId id);
   void post(Message msg);
   bool has_message(cube::NodeId node, cube::NodeId src, Tag tag);
   bool register_waiter(cube::NodeId node, cube::NodeId src, Tag tag,
-                       std::coroutine_handle<> h);
+                       std::coroutine_handle<> h, bool has_deadline,
+                       SimTime deadline);
   Message pop_message(cube::NodeId node, cube::NodeId src, Tag tag);
-  [[noreturn]] void report_deadlock();
+  std::optional<Message> finish_recv_or_timeout(cube::NodeId node,
+                                                cube::NodeId src, Tag tag);
+  std::string deadlock_message() const;
+  /// At global quiescence, fire the earliest logical event among pending
+  /// recv timeouts and deaths of blocked nodes. Returns false if none
+  /// exists (a genuine deadlock). Threaded callers hold sched_mutex_.
+  bool fire_quiescence_event();
+  /// Threaded bookkeeping (sched_mutex_ held): resolve quiescence if no
+  /// node is runnable; on genuine deadlock, records the message and begins
+  /// shutdown.
+  void maybe_resolve_quiescence_locked();
   void instantiate_programs(const Program& program);
+  void drain_ready();
   RunReport collect_report();
 
   cube::Dim n_;
@@ -172,6 +240,7 @@ class Machine {
   CostModel cost_;
   cube::Router router_;
   Trace trace_;
+  FaultInjector injector_;
 
   std::vector<std::unique_ptr<NodeState>> nodes_;  // index = address
   std::deque<std::coroutine_handle<>> ready_;
@@ -179,9 +248,20 @@ class Machine {
   std::atomic<std::uint64_t> keys_sent_{0};
   std::atomic<std::uint64_t> key_hops_{0};
   std::atomic<std::uint64_t> comparisons_{0};
+  std::atomic<std::uint64_t> messages_dropped_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> deliveries_{0};  // progress epoch (threaded)
   bool running_ = false;
   bool threaded_ = false;
+
+  // Threaded-executor coordination (all guarded by sched_mutex_).
+  std::mutex sched_mutex_;
+  std::size_t total_programs_ = 0;
+  std::size_t blocked_count_ = 0;
+  std::size_t terminal_count_ = 0;
+  bool shutdown_ = false;
+  bool deadlocked_ = false;
+  std::string deadlock_msg_;
 };
 
 }  // namespace ftsort::sim

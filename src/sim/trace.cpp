@@ -11,6 +11,9 @@ const char* kind_name(EventKind k) {
     case EventKind::Send: return "send";
     case EventKind::Recv: return "recv";
     case EventKind::Compute: return "compute";
+    case EventKind::Drop: return "drop";
+    case EventKind::Timeout: return "timeout";
+    case EventKind::Kill: return "kill";
   }
   return "?";
 }
@@ -27,12 +30,14 @@ std::string Trace::to_string(std::size_t max_lines) const {
     os << std::fixed << std::setprecision(1) << std::setw(12) << ev.time
        << "us  node " << std::setw(3) << ev.node << "  "
        << kind_name(ev.kind);
-    if (ev.kind != EventKind::Compute)
+    if (ev.kind == EventKind::Compute)
+      os << " comparisons=" << ev.keys;
+    else if (ev.kind == EventKind::Kill)
+      os << " (processor dies)";
+    else
       os << (ev.kind == EventKind::Send ? " -> " : " <- ") << ev.peer
          << " tag=" << ev.tag << " keys=" << ev.keys
          << " hops=" << ev.hops;
-    else
-      os << " comparisons=" << ev.keys;
     os << '\n';
   }
   return os.str();

@@ -13,7 +13,7 @@
 
 namespace ftsort::sim {
 
-enum class EventKind { Send, Recv, Compute };
+enum class EventKind { Send, Recv, Compute, Drop, Timeout, Kill };
 
 struct TraceEvent {
   SimTime time = 0.0;

@@ -1,0 +1,31 @@
+#include "sort/resilient_schedule.hpp"
+
+namespace ftsort::sort {
+
+std::uint32_t bitonic_sort_steps(cube::Dim s) {
+  return static_cast<std::uint32_t>(s) *
+         (static_cast<std::uint32_t>(s) + 1) / 2;
+}
+
+void append_bitonic_sort_schedule(const LogicalCube& lc, cube::NodeId lw,
+                                  bool ascending, std::uint32_t& step,
+                                  std::vector<ScheduleStep>& out) {
+  // Mirrors block_bitonic_sort: stage i compares along dimensions i..0; the
+  // direction bit within stage i is bit i+1 of the logical address (0 in
+  // the final stage); a descending sort mirrors the whole network; a dead
+  // logical-0 partner means no exchange at that substep.
+  for (cube::Dim i = 0; i < lc.s; ++i) {
+    for (cube::Dim j = i; j >= 0; --j, ++step) {
+      const cube::NodeId partner = cube::neighbor(lw, j);
+      if (lc.is_dead(partner)) continue;
+      const int stage_bit = (i + 1 == lc.s) ? 0 : cube::bit(lw, i + 1);
+      const int dir_bit = ascending ? stage_bit : 1 - stage_bit;
+      const SplitHalf keep = (cube::bit(lw, j) == dir_bit)
+                                 ? SplitHalf::Lower
+                                 : SplitHalf::Upper;
+      out.push_back({step, lc.phys[partner], keep});
+    }
+  }
+}
+
+}  // namespace ftsort::sort

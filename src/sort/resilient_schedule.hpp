@@ -1,0 +1,44 @@
+// Precomputed exchange schedules for the resilient (recovery-mode) sort.
+//
+// The online-recovery engine (core/recovery.hpp) cannot use the streaming
+// SPMD sorts of spmd_bitonic.hpp directly: to bound the wait on a possibly
+// dead partner it needs every comparison-exchange flattened into a list of
+// (global step, partner, keep) triples, one wire tag per step, so that a
+// timed-out exchange identifies exactly which protocol step — and hence
+// which partner — went silent.
+//
+// `append_bitonic_sort_schedule` emits the exact exchange sequence of
+// block_bitonic_sort (same stages, same direction rule, same dead-partner
+// skip). Every (stage, substep) advances the global step counter whether or
+// not an exchange occurs, so step indices — and therefore tags — agree
+// across all nodes of the logical cube.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sort/spmd_bitonic.hpp"
+
+namespace ftsort::sort {
+
+/// One full-block merge-split exchange of a resilient schedule: at global
+/// step index `step`, swap whole blocks with machine node `partner` and
+/// keep the given half of the union.
+struct ScheduleStep {
+  std::uint32_t step = 0;
+  cube::NodeId partner = 0;
+  SplitHalf keep = SplitHalf::Lower;
+};
+
+/// Number of global step indices a full block bitonic sort of a Q_s
+/// consumes: s(s+1)/2.
+std::uint32_t bitonic_sort_steps(cube::Dim s);
+
+/// Appends the block-bitonic-sort schedule of `lc` for live logical
+/// address `lw` (ascending or descending by blocks), advancing `step` by
+/// bitonic_sort_steps(lc.s).
+void append_bitonic_sort_schedule(const LogicalCube& lc, cube::NodeId lw,
+                                  bool ascending, std::uint32_t& step,
+                                  std::vector<ScheduleStep>& out);
+
+}  // namespace ftsort::sort

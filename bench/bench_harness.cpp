@@ -1,0 +1,429 @@
+// Machine-readable benchmark harness: runs pinned-seed end-to-end sorts
+// (fig7/table shapes) and kernel microbenchmarks, and writes BENCH_sort.json
+// so future changes have a perf trajectory to regress against.
+//
+// Usage:
+//   bench_harness [--smoke] [--out PATH] [--baseline PATH]
+//
+// `--smoke` shrinks every scenario for a seconds-scale CI run; `--baseline`
+// re-parses the emitted JSON (catching malformed output) and compares the
+// deterministic counters — comparisons, keys routed, messages, simulated
+// makespan, heap allocations — against a committed baseline, exiting
+// non-zero on a >20% regression. Wall time is recorded for the trajectory
+// but never gated: it is machine- and load-dependent, while the counters
+// only move when the code's actual work changes.
+//
+// Numbers are meaningful in the `release` preset only (-O3 -DNDEBUG); a
+// debug build tags the JSON so a baseline from the wrong build type is
+// obvious at review time.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sort/distribution.hpp"
+#include "sort/merge_split.hpp"
+#include "util/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting allocation hook: every operator new in the process bumps one
+// relaxed atomic. Replacing the global operators is the one sanctioned way
+// to observe allocator traffic without a profiler; keep the hook trivial so
+// it never perturbs what it measures.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ftsort::bench {
+namespace {
+
+struct Metrics {
+  std::string name;
+  std::uint64_t wall_ns = 0;      ///< best-of-reps wall time, informational
+  double makespan = 0.0;          ///< simulated time (0 for kernel micros)
+  std::uint64_t comparisons = 0;
+  std::uint64_t keys_routed = 0;  ///< RunReport::keys_sent
+  std::uint64_t messages = 0;
+  std::uint64_t allocations = 0;  ///< operator-new calls in one timed rep
+  std::uint64_t pool_heap_allocations = 0;  ///< pool fresh + grows
+  std::uint64_t pool_checkouts = 0;
+};
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  std::uint64_t ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Run `body` `reps` times; keep the fastest rep's wall time and the
+/// allocation delta of that same rep (the steady-state cost, not warm-up).
+template <typename Body>
+void measure(Metrics& m, int reps, Body&& body) {
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const Timer timer;
+    body();
+    const std::uint64_t ns = timer.ns();
+    if (rep == 0 || ns < m.wall_ns) {
+      m.wall_ns = ns;
+      m.allocations =
+          g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    }
+  }
+}
+
+Metrics run_end_to_end(const std::string& name, cube::Dim n,
+                       std::size_t num_faults, std::size_t num_keys,
+                       core::SortConfig cfg, std::uint64_t seed, int reps) {
+  util::Rng rng(seed);
+  const fault::FaultSet faults =
+      num_faults == 0 ? fault::FaultSet(n)
+                      : fault::random_faults(n, num_faults, rng);
+  const auto keys = sort::gen_uniform(num_keys, rng);
+  const core::FaultTolerantSorter sorter(n, faults, cfg);
+
+  Metrics m;
+  m.name = name;
+  core::SortOutcome outcome;
+  measure(m, reps, [&] { outcome = sorter.sort(keys); });
+  m.makespan = outcome.report.makespan;
+  m.comparisons = outcome.report.comparisons;
+  m.keys_routed = outcome.report.keys_sent;
+  m.messages = outcome.report.messages;
+  m.pool_heap_allocations = outcome.report.pool.heap_allocations();
+  m.pool_checkouts = outcome.report.pool.checkouts;
+  return m;
+}
+
+Metrics run_micro_merge_split(std::size_t block, int iters, int reps) {
+  util::Rng rng(99);
+  auto a = sort::gen_uniform(block, rng);
+  auto b = sort::gen_uniform(block, rng);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  Metrics m;
+  m.name = "micro_merge_split_into";
+  std::vector<sort::Key> out;
+  std::uint64_t comparisons = 0;
+  measure(m, reps, [&] {
+    comparisons = 0;
+    for (int i = 0; i < iters; ++i) {
+      sort::merge_split_into(a, b, sort::SplitHalf::Lower, out, comparisons);
+      sort::merge_split_into(a, b, sort::SplitHalf::Upper, out, comparisons);
+    }
+  });
+  m.comparisons = comparisons;
+  return m;
+}
+
+Metrics run_micro_pairwise(std::size_t block, int iters, int reps) {
+  util::Rng rng(98);
+  const auto a = sort::gen_uniform(block, rng);
+  const auto b = sort::gen_uniform(block, rng);
+
+  Metrics m;
+  m.name = "micro_pairwise_rev_into";
+  std::vector<sort::Key> kept;
+  std::vector<sort::Key> returned;
+  std::uint64_t comparisons = 0;
+  measure(m, reps, [&] {
+    comparisons = 0;
+    for (int i = 0; i < iters; ++i)
+      sort::pairwise_select_rev_into(a, b, sort::SplitHalf::Lower, kept,
+                                     returned, comparisons);
+  });
+  m.comparisons = comparisons;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// JSON out. Hand-rolled: the schema is flat and the repo has no JSON
+// dependency. Keep writer and parser in lockstep.
+
+void write_json(const std::string& path, const std::vector<Metrics>& all,
+                bool smoke) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"sort\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+#ifdef NDEBUG
+      << "  \"build\": \"release\",\n"
+#else
+      << "  \"build\": \"debug\",\n"
+#endif
+      << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Metrics& m = all[i];
+    char makespan[64];
+    std::snprintf(makespan, sizeof makespan, "%.17g", m.makespan);
+    out << "    {\n"
+        << "      \"name\": \"" << m.name << "\",\n"
+        << "      \"wall_ns\": " << m.wall_ns << ",\n"
+        << "      \"makespan\": " << makespan << ",\n"
+        << "      \"comparisons\": " << m.comparisons << ",\n"
+        << "      \"keys_routed\": " << m.keys_routed << ",\n"
+        << "      \"messages\": " << m.messages << ",\n"
+        << "      \"allocations\": " << m.allocations << ",\n"
+        << "      \"pool_heap_allocations\": " << m.pool_heap_allocations
+        << ",\n"
+        << "      \"pool_checkouts\": " << m.pool_checkouts << "\n"
+        << "    }" << (i + 1 < all.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+// Minimal reader for the exact format write_json emits (plus whitespace
+// tolerance). Returns false on anything it cannot understand, which is the
+// "malformed JSON" failure the smoke test gates on.
+struct ParsedScenario {
+  std::string name;
+  double makespan = 0.0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t keys_routed = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t pool_heap_allocations = 0;
+  std::uint64_t pool_checkouts = 0;
+};
+
+bool parse_json(const std::string& path, std::string& mode,
+                std::vector<ParsedScenario>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  // Structural sanity: braces and brackets must balance.
+  long depth = 0;
+  for (char c : text) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  if (depth != 0 || text.find("\"scenarios\"") == std::string::npos)
+    return false;
+
+  const std::size_t mode_key = text.find("\"mode\"");
+  if (mode_key == std::string::npos) return false;
+  const std::size_t mq1 = text.find('"', text.find(':', mode_key));
+  const std::size_t mq2 = text.find('"', mq1 + 1);
+  if (mq1 == std::string::npos || mq2 == std::string::npos) return false;
+  mode = text.substr(mq1 + 1, mq2 - mq1 - 1);
+
+  std::size_t pos = text.find("\"scenarios\"");
+  while ((pos = text.find("\"name\"", pos)) != std::string::npos) {
+    ParsedScenario s;
+    const std::size_t q1 = text.find('"', text.find(':', pos));
+    const std::size_t q2 = text.find('"', q1 + 1);
+    if (q1 == std::string::npos || q2 == std::string::npos) return false;
+    s.name = text.substr(q1 + 1, q2 - q1 - 1);
+    const std::size_t object_end = text.find('}', pos);
+    if (object_end == std::string::npos) return false;
+
+    const auto field = [&](const char* key, double& value) {
+      const std::size_t k = text.find(std::string("\"") + key + "\"", pos);
+      if (k == std::string::npos || k > object_end) return false;
+      value = std::strtod(text.c_str() + text.find(':', k) + 1, nullptr);
+      return true;
+    };
+    double v = 0;
+    if (!field("wall_ns", v)) return false;
+    s.wall_ns = static_cast<std::uint64_t>(v);
+    if (!field("makespan", s.makespan)) return false;
+    if (!field("comparisons", v)) return false;
+    s.comparisons = static_cast<std::uint64_t>(v);
+    if (!field("keys_routed", v)) return false;
+    s.keys_routed = static_cast<std::uint64_t>(v);
+    if (!field("messages", v)) return false;
+    s.messages = static_cast<std::uint64_t>(v);
+    if (!field("allocations", v)) return false;
+    s.allocations = static_cast<std::uint64_t>(v);
+    if (!field("pool_heap_allocations", v)) return false;
+    s.pool_heap_allocations = static_cast<std::uint64_t>(v);
+    if (!field("pool_checkouts", v)) return false;
+    s.pool_checkouts = static_cast<std::uint64_t>(v);
+    out.push_back(std::move(s));
+    pos = object_end;
+  }
+  return !out.empty();
+}
+
+/// >20% above baseline on any deterministic counter fails the gate.
+bool check_regressions(const std::vector<ParsedScenario>& current,
+                       const std::vector<ParsedScenario>& baseline) {
+  bool ok = true;
+  const auto gate = [&](const std::string& scenario, const char* metric,
+                        double now, double base) {
+    if (base > 0 && now > base * 1.2) {
+      std::fprintf(stderr,
+                   "REGRESSION %s.%s: %.0f vs baseline %.0f (+%.1f%%)\n",
+                   scenario.c_str(), metric, now, base,
+                   100.0 * (now / base - 1.0));
+      ok = false;
+    }
+  };
+  for (const ParsedScenario& base : baseline) {
+    const ParsedScenario* now = nullptr;
+    for (const ParsedScenario& s : current)
+      if (s.name == base.name) now = &s;
+    if (now == nullptr) {
+      std::fprintf(stderr, "REGRESSION: scenario %s missing from output\n",
+                   base.name.c_str());
+      ok = false;
+      continue;
+    }
+    gate(base.name, "makespan", now->makespan, base.makespan);
+    gate(base.name, "comparisons", static_cast<double>(now->comparisons),
+         static_cast<double>(base.comparisons));
+    gate(base.name, "keys_routed", static_cast<double>(now->keys_routed),
+         static_cast<double>(base.keys_routed));
+    gate(base.name, "messages", static_cast<double>(now->messages),
+         static_cast<double>(base.messages));
+    gate(base.name, "allocations", static_cast<double>(now->allocations),
+         static_cast<double>(base.allocations));
+    gate(base.name, "pool_heap_allocations",
+         static_cast<double>(now->pool_heap_allocations),
+         static_cast<double>(base.pool_heap_allocations));
+  }
+  return ok;
+}
+
+int harness_main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_sort.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_harness [--smoke] [--out PATH] "
+                   "[--baseline PATH]\n");
+      return 2;
+    }
+  }
+
+  const int reps = smoke ? 2 : 3;
+  const std::size_t m_fig7 = smoke ? 3'200 : 32'000;
+  const std::size_t m_table = smoke ? 1'000 : 10'000;
+  const std::size_t m_recovery = smoke ? 200 : 2'000;
+  const std::size_t micro_block = smoke ? 8'192 : 65'536;
+  const int micro_iters = smoke ? 20 : 50;
+
+  std::vector<Metrics> all;
+
+  {  // Fig. 7 shape: Q_6, r = 2 random faults, full exchange.
+    core::SortConfig cfg;
+    cfg.protocol = sort::ExchangeProtocol::FullExchange;
+    all.push_back(
+        run_end_to_end("fig7_q6_r2", 6, 2, m_fig7, cfg, 1706, reps));
+  }
+  {  // Same machine on the threaded executor.
+    core::SortConfig cfg;
+    cfg.protocol = sort::ExchangeProtocol::FullExchange;
+    cfg.executor = core::Executor::Threaded;
+    all.push_back(run_end_to_end("fig7_q6_r2_threaded", 6, 2, m_fig7, cfg,
+                                 1706, reps));
+  }
+  {  // Table 1 shape: Q_4, 2 faults, the paper's half exchange.
+    core::SortConfig cfg;
+    cfg.protocol = sort::ExchangeProtocol::HalfExchange;
+    all.push_back(
+        run_end_to_end("table1_q4_half_f2", 4, 2, m_table, cfg, 1704, reps));
+  }
+  {  // Online recovery with a mid-run death.
+    core::SortConfig cfg;
+    cfg.online_recovery = true;
+    cfg.injector.kill_node_at(6, 2000.0);
+    all.push_back(run_end_to_end("recovery_q3_kill6", 3, 1, m_recovery, cfg,
+                                 1703, reps));
+  }
+  all.push_back(run_micro_merge_split(micro_block, micro_iters, reps));
+  all.push_back(run_micro_pairwise(micro_block, micro_iters, reps));
+
+  write_json(out_path, all, smoke);
+
+  // Re-parse what we just wrote: a malformed file fails here, not in some
+  // future consumer.
+  std::vector<ParsedScenario> current;
+  std::string current_mode;
+  if (!parse_json(out_path, current_mode, current) ||
+      current.size() != all.size()) {
+    std::fprintf(stderr, "FAIL: %s is malformed\n", out_path.c_str());
+    return 1;
+  }
+  for (const ParsedScenario& s : current)
+    std::printf("%-22s wall=%9.3fms makespan=%12.1f cmp=%9" PRIu64
+                " keys=%8" PRIu64 " msgs=%6" PRIu64 " allocs=%8" PRIu64
+                " pool_heap=%6" PRIu64 "\n",
+                s.name.c_str(), static_cast<double>(s.wall_ns) / 1e6,
+                s.makespan, s.comparisons, s.keys_routed, s.messages,
+                s.allocations, s.pool_heap_allocations);
+
+  if (!baseline_path.empty()) {
+    std::vector<ParsedScenario> baseline;
+    std::string baseline_mode;
+    if (!parse_json(baseline_path, baseline_mode, baseline)) {
+      std::fprintf(stderr, "FAIL: baseline %s is malformed\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    if (baseline_mode != current_mode) {
+      std::fprintf(stderr,
+                   "FAIL: baseline mode \"%s\" != current mode \"%s\" — "
+                   "scenario sizes differ, counters are not comparable\n",
+                   baseline_mode.c_str(), current_mode.c_str());
+      return 1;
+    }
+    if (!check_regressions(current, baseline)) return 1;
+    std::printf("baseline check OK (%zu scenarios, +20%% tolerance)\n",
+                baseline.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ftsort::bench
+
+int main(int argc, char** argv) {
+  return ftsort::bench::harness_main(argc, argv);
+}

@@ -125,9 +125,13 @@ SortOutcome FaultTolerantSorter::sort(
         }
       } else {
         sim::Message msg = co_await ctx.recv(entry, tag_host);
-        block = std::move(msg.payload);
+        msg.payload.release_into(block);
       }
     }
+
+    // Exchange working storage, reused across every merge-split this node
+    // performs; after warm-up the whole sort's hot path is allocation-free.
+    sort::ExchangeScratch scratch;
 
     // Step 3: local sort (heapsort per the paper, configurable), then the
     // single-fault bitonic sort of this subcube; ascending iff the subcube
@@ -138,7 +142,7 @@ SortOutcome FaultTolerantSorter::sort(
     const bool v_even = cube::bit(v, 0) == 0;
     co_await sort::block_bitonic_sort(ctx, lc, lw, block,
                                       /*ascending=*/m == 0 || v_even,
-                                      protocol, /*tag_base=*/0);
+                                      protocol, /*tag_base=*/0, &scratch);
 
     // Steps 4-8: bitonic-like sort across subcubes.
     std::uint32_t step = 0;
@@ -153,8 +157,8 @@ SortOutcome FaultTolerantSorter::sort(
         const sort::SplitHalf keep = (cube::bit(v, j) == mask)
                                          ? sort::SplitHalf::Lower
                                          : sort::SplitHalf::Upper;
-        block = co_await sort::exchange_merge_split(
-            ctx, partner, tag_exchange(step), std::move(block), keep,
+        co_await sort::exchange_merge_split_into(
+            ctx, partner, tag_exchange(step), block, scratch, keep,
             protocol);
         // Step 8: re-sort this subcube; ascending iff v_{j-1} == mask
         // (v_{-1} = 0). The content is blockwise bitonic after the split,
@@ -164,11 +168,12 @@ SortOutcome FaultTolerantSorter::sort(
           co_await sort::block_bitonic_merge(ctx, lc, lw, block,
                                              /*ascending=*/v_jm1 == mask,
                                              keep, protocol,
-                                             tag_resort(step));
+                                             tag_resort(step), &scratch);
         } else {
           co_await sort::block_bitonic_sort(ctx, lc, lw, block,
                                             /*ascending=*/v_jm1 == mask,
-                                            protocol, tag_resort(step));
+                                            protocol, tag_resort(step),
+                                            &scratch);
         }
       }
     }
@@ -184,7 +189,7 @@ SortOutcome FaultTolerantSorter::sort(
             const cube::NodeId u = plan.physical(gv, glw);
             if (u == entry) continue;
             sim::Message msg = co_await ctx.recv(u, tag_host + 1);
-            block_of[u] = std::move(msg.payload);
+            msg.payload.release_into(block_of[u]);
           }
         ctx.charge_time(config_.cost.injection_time(keys.size()));
       } else {

@@ -155,6 +155,10 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
   const RecoveryConfig& rc = cfg.recovery;
   const bool coord = me == sh.coordinator;
   std::vector<Key>& block = (*sh.block_of)[me];
+  // Merge scratch reused across every exchange step (and attempt): the
+  // double-buffer swap below keeps the hot loop allocation-free.
+  std::vector<Key> mine_scratch;
+  std::vector<Key> theirs_scratch;
 
   for (int e = 0;; ++e) {
     const AttemptState& at = sh.attempts[static_cast<std::size_t>(e)];
@@ -181,13 +185,15 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
           break;
         }
         std::uint64_t c1 = 0, c2 = 0;
-        std::vector<Key> mine =
-            sort::merge_split_full(block, reply->payload, st.keep, c1);
-        std::vector<Key> theirs = sort::merge_split_full(
-            reply->payload, block, opposite(st.keep), c2);
+        sort::merge_split_into(block, reply->payload.span(), st.keep,
+                               mine_scratch, c1);
+        sort::merge_split_into(reply->payload.span(), block,
+                               opposite(st.keep), theirs_scratch, c2);
         ctx.charge_compares(c1 + c2);  // witness upkeep is charged work
-        witness[st.partner] = {st.step, std::move(theirs)};
-        block = std::move(mine);
+        auto& w = witness[st.partner];
+        w.first = st.step;
+        std::swap(w.second, theirs_scratch);  // recycle the old witness
+        std::swap(block, mine_scratch);
       }
     }
 
@@ -324,7 +330,7 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
       if (!r)
         fail_salvage("processor " + std::to_string(u) +
                      " failed during recovery negotiation");
-      const std::vector<Key>& p = r->payload;
+      const std::vector<Key>& p = r->payload.vec();
       std::size_t k = 0;
       const auto need = [&](std::size_t c) {
         FTSORT_REQUIRE(k + c <= p.size());

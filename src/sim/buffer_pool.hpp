@@ -1,0 +1,167 @@
+// Recycled key-buffer storage for simulated message payloads.
+//
+// Every exchange of the SPMD sorts used to heap-allocate a fresh
+// `std::vector<Key>` per message; at steady state the simulator's hot path
+// was dominated by allocator traffic rather than by the work the paper's
+// cost model charges. A `BufferPool` keeps returned payload storage on a
+// per-node free list so that, after warm-up, sends and receives perform no
+// heap allocation at all.
+//
+// Ownership protocol:
+//  * `NodeCtx::send` checks a buffer out of the *sender's* pool (or adopts
+//    the storage of a moved-in vector) and wraps it in a `PooledBuffer`.
+//  * The `Message` carries the `PooledBuffer` to the receiver.
+//  * When the receiver drops the handle — or swaps its storage out with
+//    `release_into` — the storage travels back to the pool it came from.
+//
+// Pools are therefore written by at most two threads (the owning node when
+// checking out, the receiving node when returning), so the internal mutex
+// is essentially uncontended; it exists so the MIMD executor's cross-thread
+// returns are race-free. Statistics count every checkout, every checkout
+// that had to touch the heap (`fresh` when the free list was empty, `grows`
+// when a recycled buffer was too small), and every return, giving the
+// benchmark harness an exact allocation ledger.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ftsort::sim {
+
+using Key = std::int64_t;
+
+/// Allocation ledger of one pool (or the aggregate over all pools).
+struct PoolStats {
+  std::uint64_t checkouts = 0;  ///< buffers handed out
+  std::uint64_t fresh = 0;      ///< checkouts served by a new heap vector
+  std::uint64_t grows = 0;      ///< recycled buffers that had to reallocate
+  std::uint64_t returns = 0;    ///< buffers returned to the free list
+
+  /// Heap allocations attributable to payload traffic.
+  std::uint64_t heap_allocations() const { return fresh + grows; }
+
+  PoolStats& operator+=(const PoolStats& other) {
+    checkouts += other.checkouts;
+    fresh += other.fresh;
+    grows += other.grows;
+    returns += other.returns;
+    return *this;
+  }
+};
+
+class BufferPool {
+ public:
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Take a buffer with capacity for at least `size_hint` keys. The buffer
+  /// is empty (size 0); its capacity is whatever the recycled storage
+  /// carried, grown on demand.
+  std::vector<Key> checkout(std::size_t size_hint) {
+    std::vector<Key> storage;
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      ++stats_.checkouts;
+      if (free_.empty()) {
+        ++stats_.fresh;
+      } else {
+        storage = std::move(free_.back());
+        free_.pop_back();
+        if (storage.capacity() < size_hint) ++stats_.grows;
+      }
+    }
+    storage.reserve(size_hint);
+    return storage;
+  }
+
+  /// Return storage to the free list. The contents are discarded; the
+  /// capacity is kept for the next checkout.
+  void give_back(std::vector<Key>&& storage) {
+    storage.clear();
+    const std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.returns;
+    free_.push_back(std::move(storage));
+  }
+
+  PoolStats stats() const {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    return stats_;
+  }
+
+  std::size_t free_count() const {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<Key>> free_;
+  PoolStats stats_;
+};
+
+/// Move-only owning handle to pooled storage. Destruction (or `reset`)
+/// returns the storage to its pool; a handle with no pool simply frees.
+/// Exposes enough of the vector interface that receivers can read payloads
+/// in place, and `release_into` for stealing the storage while recycling
+/// the receiver's previous buffer.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(BufferPool* pool, std::vector<Key> storage)
+      : pool_(pool), storage_(std::move(storage)) {}
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        storage_(std::move(other.storage_)) {}
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = std::exchange(other.pool_, nullptr);
+      storage_ = std::move(other.storage_);
+    }
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer() { reset(); }
+
+  /// Return the storage to its pool and leave the handle empty.
+  void reset() {
+    if (pool_ != nullptr) {
+      pool_->give_back(std::move(storage_));
+      pool_ = nullptr;
+    }
+    storage_.clear();
+  }
+
+  /// Swap the payload into `dst`; `dst`'s previous storage goes back to the
+  /// pool in its place. The receiver-side analogue of a zero-copy move.
+  void release_into(std::vector<Key>& dst) {
+    std::swap(dst, storage_);
+    reset();
+  }
+
+  std::vector<Key>& vec() { return storage_; }
+  const std::vector<Key>& vec() const { return storage_; }
+  std::span<const Key> span() const { return storage_; }
+
+  std::size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+  const Key* data() const { return storage_.data(); }
+  Key* data() { return storage_.data(); }
+  const Key& operator[](std::size_t i) const { return storage_[i]; }
+  auto begin() const { return storage_.begin(); }
+  auto end() const { return storage_.end(); }
+  auto begin() { return storage_.begin(); }
+  auto end() { return storage_.end(); }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  std::vector<Key> storage_;
+};
+
+}  // namespace ftsort::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 #include <thread>
+#include <tuple>
 
 namespace ftsort::sim {
 
@@ -29,7 +30,20 @@ void NodeCtx::charge_time(SimTime t) {
   machine_->check_alive(id_);
 }
 
-void NodeCtx::send(cube::NodeId dst, Tag tag, std::vector<Key> payload) {
+void NodeCtx::send(cube::NodeId dst, Tag tag, std::span<const Key> payload) {
+  BufferPool& pool = machine_->pools_[id_];
+  std::vector<Key> storage = pool.checkout(payload.size());
+  storage.assign(payload.begin(), payload.end());
+  send(dst, tag, PooledBuffer(&pool, std::move(storage)));
+}
+
+void NodeCtx::send(cube::NodeId dst, Tag tag, std::vector<Key>&& payload) {
+  // Adopt the storage: it enters the sender's pool circulation when the
+  // receiver is done with it.
+  send(dst, tag, PooledBuffer(&machine_->pools_[id_], std::move(payload)));
+}
+
+void NodeCtx::send(cube::NodeId dst, Tag tag, PooledBuffer&& payload) {
   FTSORT_REQUIRE(dst != id_);
   FTSORT_REQUIRE(cube::valid_node(dst, machine_->dim()));
   FTSORT_REQUIRE(!machine_->faults().is_faulty(dst));
@@ -92,7 +106,14 @@ Machine::Machine(cube::Dim n, fault::FaultSet faults,
               std::move(dead_links)) {
   FTSORT_REQUIRE(cube::valid_dim(n_));
   FTSORT_REQUIRE(faults_.dim() == n_);
+  pools_ = std::vector<BufferPool>(size());
   nodes_.resize(size());
+}
+
+PoolStats Machine::pool_stats() const {
+  PoolStats total;
+  for (const BufferPool& pool : pools_) total += pool.stats();
+  return total;
 }
 
 Machine::NodeState& Machine::state_of(cube::NodeId id) {
@@ -101,11 +122,19 @@ Machine::NodeState& Machine::state_of(cube::NodeId id) {
   return *nodes_[id];
 }
 
+std::size_t Machine::inbox_find(const NodeState& st, std::uint64_t channel) {
+  for (std::size_t k = 0; k < st.inbox.size(); ++k) {
+    const Message& m = st.inbox[k];
+    if (channel_key(m.src, m.tag) == channel) return k;
+  }
+  return kNotFound;
+}
+
 void Machine::check_alive(cube::NodeId id) {
   NodeState& st = state_of(id);
   if (st.ctx.clock_ < st.kill_time) return;
   if (threaded_) {
-    const std::lock_guard<std::mutex> guard(sched_mutex_);
+    const std::lock_guard<std::mutex> guard(st.mutex);
     st.killed = true;
   } else {
     st.killed = true;
@@ -138,20 +167,21 @@ void Machine::post(Message msg) {
 
   const std::uint64_t channel = channel_key(msg.src, msg.tag);
   if (threaded_) {
-    const std::scoped_lock guard(dst.mutex, sched_mutex_);
-    dst.inbox[channel].push_back(std::move(msg));
+    // Sharded hot path: only the destination's own lock. The sender is by
+    // definition runnable, so quiescence cannot be pending concurrently.
+    const std::lock_guard<std::mutex> guard(dst.mutex);
+    dst.inbox.push_back(std::move(msg));
     deliveries_.fetch_add(1, std::memory_order_release);
     if (dst.waiting && dst.want_channel == channel) {
       dst.waiting = false;
       dst.ready = dst.waiter;
       dst.waiter = nullptr;
-      FTSORT_INVARIANT(blocked_count_ > 0);
-      --blocked_count_;
+      progress_.fetch_sub(1, std::memory_order_acq_rel);
       dst.cv.notify_one();
     }
     return;
   }
-  dst.inbox[channel].push_back(std::move(msg));
+  dst.inbox.push_back(std::move(msg));
   deliveries_.fetch_add(1, std::memory_order_relaxed);
   if (dst.waiting && dst.want_channel == channel) {
     dst.waiting = false;
@@ -161,9 +191,7 @@ void Machine::post(Message msg) {
 }
 
 bool Machine::has_message(cube::NodeId node, cube::NodeId src, Tag tag) {
-  NodeState& st = state_of(node);
-  const auto it = st.inbox.find(channel_key(src, tag));
-  return it != st.inbox.end() && !it->second.empty();
+  return inbox_find(state_of(node), channel_key(src, tag)) != kNotFound;
 }
 
 bool Machine::register_waiter(cube::NodeId node, cube::NodeId src, Tag tag,
@@ -174,24 +202,28 @@ bool Machine::register_waiter(cube::NodeId node, cube::NodeId src, Tag tag,
   // never send (only injector victims can die after sending).
   FTSORT_REQUIRE(!faults_.is_faulty(src));
   NodeState& st = state_of(node);
+  const std::uint64_t channel = channel_key(src, tag);
   if (threaded_) {
-    const std::scoped_lock guard(st.mutex, sched_mutex_);
-    const auto it = st.inbox.find(channel_key(src, tag));
-    if (it != st.inbox.end() && !it->second.empty())
-      return false;  // raced with a sender: resume immediately
-    FTSORT_INVARIANT(!st.waiting);
-    st.waiting = true;
-    st.want_channel = channel_key(src, tag);
-    st.waiter = h;
-    st.has_deadline = has_deadline;
-    st.deadline = deadline;
-    ++blocked_count_;
-    maybe_resolve_quiescence_locked();
+    {
+      const std::lock_guard<std::mutex> guard(st.mutex);
+      if (inbox_find(st, channel) != kNotFound)
+        return false;  // raced with a sender: resume immediately
+      FTSORT_INVARIANT(!st.waiting);
+      st.waiting = true;
+      st.want_channel = channel;
+      st.waiter = h;
+      st.has_deadline = has_deadline;
+      st.deadline = deadline;
+      // Inside the lock so a racing wake in post() can never observe (and
+      // decrement) a blocked count we have not yet incremented.
+      progress_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    maybe_resolve_quiescence();
     return true;
   }
   FTSORT_INVARIANT(!st.waiting);
   st.waiting = true;
-  st.want_channel = channel_key(src, tag);
+  st.want_channel = channel;
   st.waiter = h;
   st.has_deadline = has_deadline;
   st.deadline = deadline;
@@ -200,18 +232,19 @@ bool Machine::register_waiter(cube::NodeId node, cube::NodeId src, Tag tag,
 
 Message Machine::pop_message(cube::NodeId node, cube::NodeId src, Tag tag) {
   NodeState& st = state_of(node);
+  const std::uint64_t channel = channel_key(src, tag);
   Message msg;
   if (threaded_) {
     const std::lock_guard<std::mutex> guard(st.mutex);
-    auto& queue = st.inbox[channel_key(src, tag)];
-    FTSORT_INVARIANT(!queue.empty());
-    msg = std::move(queue.front());
-    queue.pop_front();
+    const std::size_t k = inbox_find(st, channel);
+    FTSORT_INVARIANT(k != kNotFound);
+    msg = std::move(st.inbox[k]);
+    st.inbox.erase(st.inbox.begin() + static_cast<std::ptrdiff_t>(k));
   } else {
-    auto& queue = st.inbox[channel_key(src, tag)];
-    FTSORT_INVARIANT(!queue.empty());
-    msg = std::move(queue.front());
-    queue.pop_front();
+    const std::size_t k = inbox_find(st, channel);
+    FTSORT_INVARIANT(k != kNotFound);
+    msg = std::move(st.inbox[k]);
+    st.inbox.erase(st.inbox.begin() + static_cast<std::ptrdiff_t>(k));
   }
   st.ctx.clock_ = std::max(st.ctx.clock_, msg.arrival);
   trace_.record({st.ctx.clock_, node, EventKind::Recv, src, tag,
@@ -258,7 +291,9 @@ bool Machine::fire_quiescence_event() {
   // deadline, and the death of a node whose kill time can now never be
   // outrun. The earliest (time, kind, node) triple fires; kills order
   // after timeouts on exact ties so a node with deadline == kill time
-  // still observes its timeout.
+  // still observes its timeout. At quiescence no node is runnable, so the
+  // states read here are stable; the per-node locks (threaded only)
+  // synchronise with each node thread's last release of its own state.
   NodeState* best = nullptr;
   SimTime best_time = 0.0;
   int best_kind = 0;  // 0 = timeout, 1 = kill
@@ -275,7 +310,10 @@ bool Machine::fire_quiescence_event() {
   };
   for (cube::NodeId u = 0; u < size(); ++u) {
     NodeState* st = nodes_[u].get();
-    if (st == nullptr || !st->waiting) continue;
+    if (st == nullptr) continue;
+    std::unique_lock<std::mutex> lock;
+    if (threaded_) lock = std::unique_lock<std::mutex>(st->mutex);
+    if (!st->waiting) continue;
     if (st->has_deadline) consider(*st, st->deadline, 0, u);
     if (st->kill_time < kNever)
       consider(*st, std::max(st->ctx.clock_, st->kill_time), 1, u);
@@ -283,15 +321,17 @@ bool Machine::fire_quiescence_event() {
   if (best == nullptr) return false;
 
   NodeState& st = *best;
+  std::unique_lock<std::mutex> lock;
+  if (threaded_) lock = std::unique_lock<std::mutex>(st.mutex);
+  FTSORT_INVARIANT(st.waiting);
   st.waiting = false;
   if (best_kind == 0) {
     st.timed_out = true;
     const std::coroutine_handle<> h = st.waiter;
     st.waiter = nullptr;
     if (threaded_) {
-      FTSORT_INVARIANT(blocked_count_ > 0);
-      --blocked_count_;
       st.ready = h;
+      progress_.fetch_sub(1, std::memory_order_acq_rel);
       st.cv.notify_one();
     } else {
       ready_.push_back(h);
@@ -303,25 +343,41 @@ bool Machine::fire_quiescence_event() {
   st.waiter = nullptr;
   trace_.record({st.ctx.clock_, best_node, EventKind::Kill, 0, 0, 0, 0});
   if (threaded_) {
-    FTSORT_INVARIANT(blocked_count_ > 0);
-    --blocked_count_;
+    progress_.fetch_sub(1, std::memory_order_acq_rel);
     st.cv.notify_one();  // its thread exits via the killed flag
   }
   return true;
 }
 
-void Machine::maybe_resolve_quiescence_locked() {
-  if (shutdown_) return;
-  if (blocked_count_ + terminal_count_ < total_programs_) return;
-  if (blocked_count_ == 0) return;  // everything finished
+void Machine::maybe_resolve_quiescence() {
+  const auto quiescent = [this](std::uint64_t packed) {
+    const auto blocked = static_cast<std::size_t>(packed & 0xffffffffu);
+    const auto terminal = static_cast<std::size_t>(packed >> 32);
+    return blocked + terminal >= total_programs_ && blocked > 0;
+  };
+  if (!quiescent(progress_.load(std::memory_order_acquire))) return;
+  const std::lock_guard<std::mutex> guard(sched_mutex_);
+  if (shutdown_.load(std::memory_order_relaxed)) return;
+  // Re-verify under the lock: a concurrent resolver may have fired an
+  // event (making some node runnable) between our read and the acquire.
+  if (!quiescent(progress_.load(std::memory_order_acquire))) return;
   if (fire_quiescence_event()) return;
   // Genuine deadlock: report the same blocked set the sequential executor
   // would, then shut the thread pool down.
   deadlocked_ = true;
   deadlock_msg_ = deadlock_message();
-  shutdown_ = true;
-  for (auto& node : nodes_)
-    if (node) node->cv.notify_all();
+  begin_shutdown();
+}
+
+void Machine::begin_shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& node : nodes_) {
+    if (!node) continue;
+    // Lock-then-notify so a thread between its predicate check and its
+    // cv wait cannot miss the wakeup.
+    const std::lock_guard<std::mutex> guard(node->mutex);
+    node->cv.notify_all();
+  }
 }
 
 void Machine::instantiate_programs(const Program& program) {
@@ -329,8 +385,9 @@ void Machine::instantiate_programs(const Program& program) {
   messages_dropped_ = timeouts_ = deliveries_ = 0;
   ready_.clear();
   total_programs_ = 0;
-  blocked_count_ = terminal_count_ = 0;
-  shutdown_ = deadlocked_ = false;
+  progress_.store(0, std::memory_order_relaxed);
+  shutdown_.store(false, std::memory_order_relaxed);
+  deadlocked_ = false;
   deadlock_msg_.clear();
   for (cube::NodeId u = 0; u < size(); ++u) {
     if (faults_.is_faulty(u)) {
@@ -380,6 +437,7 @@ RunReport Machine::collect_report() {
   report.comparisons = comparisons_.load();
   report.messages_dropped = messages_dropped_.load();
   report.timeouts = timeouts_.load();
+  report.pool = pool_stats();
 
   // Check no messages were left undelivered (protocol completeness). With
   // dynamic faults, stray deliveries to dead or timed-out programs are
@@ -387,8 +445,7 @@ RunReport Machine::collect_report() {
   if (injector_.empty() && report.timeouts == 0) {
     for (const auto& node : nodes_) {
       if (!node) continue;
-      for (const auto& [channel, queue] : node->inbox)
-        FTSORT_ENSURE(queue.empty());
+      FTSORT_ENSURE(node->inbox.empty());
     }
   }
   for (auto& node : nodes_) node.reset();
@@ -454,17 +511,21 @@ RunReport Machine::run_threaded(const Program& program,
       auto last_change = std::chrono::steady_clock::now();
       while (!st.task.done()) {
         std::coroutine_handle<> to_resume = nullptr;
+        bool trigger_shutdown = false;
         {
-          std::unique_lock<std::mutex> lk(sched_mutex_);
-          if (st.killed || shutdown_) break;
+          std::unique_lock<std::mutex> lk(st.mutex);
+          if (st.killed || shutdown_.load(std::memory_order_relaxed))
+            break;
           if (st.ready != nullptr) {
             to_resume = st.ready;
             st.ready = nullptr;
           } else {
             st.cv.wait_for(lk, std::chrono::milliseconds(50), [&] {
-              return st.ready != nullptr || st.killed || shutdown_;
+              return st.ready != nullptr || st.killed ||
+                     shutdown_.load(std::memory_order_relaxed);
             });
-            if (st.ready == nullptr && !st.killed && !shutdown_) {
+            if (st.ready == nullptr && !st.killed &&
+                !shutdown_.load(std::memory_order_relaxed)) {
               // Wall-clock backstop against non-blocking livelock; real
               // blocking deadlocks resolve instantly at quiescence.
               const auto epoch =
@@ -475,33 +536,39 @@ RunReport Machine::run_threaded(const Program& program,
                 last_change = now;
               } else if (now - last_change > timeout) {
                 stalled.store(true);
-                shutdown_ = true;
-                for (auto& node : nodes_)
-                  if (node) node->cv.notify_all();
+                trigger_shutdown = true;
               }
             }
-            continue;
           }
         }
-        to_resume.resume();
+        if (trigger_shutdown) begin_shutdown();
+        if (to_resume != nullptr) to_resume.resume();
       }
-      const std::lock_guard<std::mutex> guard(sched_mutex_);
-      if (!st.terminal) {
-        st.terminal = true;
-        ++terminal_count_;
-        maybe_resolve_quiescence_locked();
+      bool newly_terminal = false;
+      {
+        const std::lock_guard<std::mutex> guard(st.mutex);
+        if (!st.terminal) {
+          st.terminal = true;
+          newly_terminal = true;
+        }
+      }
+      if (newly_terminal) {
+        progress_.fetch_add(kTerminalOne, std::memory_order_acq_rel);
+        maybe_resolve_quiescence();
       }
     });
   }
   for (auto& thread : threads) thread.join();
 
   threaded_ = false;
-  if (stalled.load() || deadlocked_) {
+  const bool was_deadlocked = deadlocked_;  // threads joined: plain reads
+  if (stalled.load() || was_deadlocked) {
     running_ = false;
     const std::string msg =
-        deadlocked_ ? deadlock_msg_
-                    : "threaded run stalled: no message delivered within "
-                      "the timeout while nodes were still blocked";
+        was_deadlocked
+            ? deadlock_msg_
+            : "threaded run stalled: no message delivered within "
+              "the timeout while nodes were still blocked";
     for (auto& node : nodes_) node.reset();
     throw DeadlockError(msg);
   }

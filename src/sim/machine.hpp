@@ -16,6 +16,14 @@
 // The run's makespan is the maximum final clock over all participating
 // nodes.
 //
+// Performance architecture (see DESIGN.md §6): message payloads live in
+// per-node BufferPools, so steady-state message traffic performs no heap
+// allocation; each node's pending messages sit in a flat arrival-ordered
+// vector (per-channel FIFO is preserved because arrival order restricted to
+// one (src, tag) channel is FIFO); and the MIMD executor's scheduler state
+// is sharded per node — the only global rendezvous is quiescence
+// resolution, which runs exactly when no node is runnable.
+//
 // Dynamic faults (sim/fault_injector.hpp): a `FaultInjector` kills nodes
 // and cuts links at scheduled logical times mid-run. Dead nodes halt at
 // their next NodeCtx interaction; messages arriving after the destination's
@@ -37,12 +45,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "fault/fault_set.hpp"
 #include "hypercube/routing.hpp"
+#include "sim/buffer_pool.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/message.hpp"
@@ -79,7 +88,14 @@ class NodeCtx {
   /// Post a message. Never blocks (links are buffered); the sender's clock
   /// advances by the link-injection time. A message addressed to a node
   /// that is dead on arrival is silently dropped (the injector's model).
-  void send(cube::NodeId dst, Tag tag, std::vector<Key> payload);
+  ///
+  /// Three forms: a span copies into a buffer checked out of this node's
+  /// pool (the steady-state zero-allocation path); a moved-in vector is
+  /// adopted into the pool; a PooledBuffer (e.g. a received payload being
+  /// forwarded) travels as-is.
+  void send(cube::NodeId dst, Tag tag, std::span<const Key> payload);
+  void send(cube::NodeId dst, Tag tag, std::vector<Key>&& payload);
+  void send(cube::NodeId dst, Tag tag, PooledBuffer&& payload);
 
   /// Awaitable receive of the next message from (src, tag). FIFO per
   /// channel. `co_await ctx.recv(...)` yields the Message.
@@ -134,6 +150,10 @@ struct RunReport {
   std::uint64_t timeouts = 0;          ///< recv_or_timeout expirations
   std::vector<SimTime> node_clocks;  ///< final clock per node (0 if idle)
   std::vector<cube::NodeId> killed_nodes;  ///< injector victims, ascending
+  /// Payload buffer-pool ledger at collection time. Cumulative over the
+  /// machine's lifetime (pools stay warm between runs), so repeated runs on
+  /// one machine should show `heap_allocations()` approaching a plateau.
+  PoolStats pool;
 };
 
 class Machine {
@@ -153,6 +173,11 @@ class Machine {
   const CostModel& cost() const { return cost_; }
   const cube::Router& router() const { return router_; }
   Trace& trace() { return trace_; }
+
+  /// Aggregate payload-allocation ledger over all node pools. Cumulative
+  /// across runs on this machine (pools stay warm); callers interested in a
+  /// single run take a delta.
+  PoolStats pool_stats() const;
 
   /// Install a mid-run fault schedule; applies to every subsequent run on
   /// either executor. Pass a default-constructed injector to clear.
@@ -184,10 +209,14 @@ class Machine {
     explicit NodeState(NodeCtx c) : ctx(std::move(c)) {}
     NodeCtx ctx;
     Task<void> task;
-    // Channel key = (src << 32) | tag. Guarded by `mutex` when threaded.
-    std::unordered_map<std::uint64_t, std::deque<Message>> inbox;
-    // Scheduler state: plain on the sequential executor, guarded by the
-    // machine's sched_mutex_ on the threaded one.
+    // Pending messages in arrival order. Matching a (src, tag) channel
+    // scans front-to-back, which preserves per-channel FIFO; the vector's
+    // capacity persists across steps, so steady-state delivery allocates
+    // nothing. Guarded by `mutex` when threaded.
+    std::vector<Message> inbox;
+    // Scheduler state: plain on the sequential executor, guarded by this
+    // node's `mutex` on the threaded one (sharded scheduling — the global
+    // sched_mutex_ is only taken at quiescence).
     bool waiting = false;
     std::uint64_t want_channel = 0;
     std::coroutine_handle<> waiter;
@@ -197,8 +226,8 @@ class Machine {
     // Dynamic-fault state.
     SimTime kill_time = kNever;
     bool killed = false;  ///< died mid-run (thrown or abandoned)
-    // Threaded-executor state: the mailbox lock, the wakeup channel, and
-    // the once-only terminal latch.
+    // Threaded-executor state: the mailbox/scheduler lock, the wakeup
+    // channel, and the once-only terminal latch.
     std::mutex mutex;
     std::condition_variable cv;
     std::coroutine_handle<> ready;
@@ -208,6 +237,9 @@ class Machine {
   static std::uint64_t channel_key(cube::NodeId src, Tag tag) {
     return (static_cast<std::uint64_t>(src) << 32) | tag;
   }
+  /// First pending message on `channel`, or npos.
+  static std::size_t inbox_find(const NodeState& st, std::uint64_t channel);
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
 
   NodeState& state_of(cube::NodeId id);
   /// Throws KilledSignal (and records the death) once the node's clock has
@@ -224,12 +256,15 @@ class Machine {
   std::string deadlock_message() const;
   /// At global quiescence, fire the earliest logical event among pending
   /// recv timeouts and deaths of blocked nodes. Returns false if none
-  /// exists (a genuine deadlock). Threaded callers hold sched_mutex_.
+  /// exists (a genuine deadlock). Threaded callers hold sched_mutex_; the
+  /// scan takes each node's own lock.
   bool fire_quiescence_event();
-  /// Threaded bookkeeping (sched_mutex_ held): resolve quiescence if no
-  /// node is runnable; on genuine deadlock, records the message and begins
-  /// shutdown.
-  void maybe_resolve_quiescence_locked();
+  /// Threaded bookkeeping: when the packed progress counter shows every
+  /// program blocked or terminal, take sched_mutex_, re-verify, and resolve
+  /// quiescence; on genuine deadlock, record the message and shut down.
+  void maybe_resolve_quiescence();
+  /// Set the shutdown flag and wake every node thread.
+  void begin_shutdown();
   void instantiate_programs(const Program& program);
   void drain_ready();
   RunReport collect_report();
@@ -242,6 +277,9 @@ class Machine {
   Trace trace_;
   FaultInjector injector_;
 
+  // Declared before nodes_ so in-flight payload handles (inside inboxes)
+  // are destroyed before the pools they return to.
+  std::vector<BufferPool> pools_;  // index = address; persists across runs
   std::vector<std::unique_ptr<NodeState>> nodes_;  // index = address
   std::deque<std::coroutine_handle<>> ready_;
   std::atomic<std::uint64_t> messages_{0};
@@ -254,14 +292,19 @@ class Machine {
   bool running_ = false;
   bool threaded_ = false;
 
-  // Threaded-executor coordination (all guarded by sched_mutex_).
+  // Threaded-executor coordination. `progress_` packs the number of
+  // blocked programs (low 32 bits) and terminal programs (high 32 bits) so
+  // one atomic read yields a consistent pair; every transition into
+  // blocked/terminal checks it against total_programs_ and, on global
+  // quiescence, serialises through sched_mutex_ — the only global lock,
+  // held only when nothing is runnable.
+  std::atomic<std::uint64_t> progress_{0};
+  static constexpr std::uint64_t kTerminalOne = std::uint64_t{1} << 32;
+  std::atomic<bool> shutdown_{false};
   std::mutex sched_mutex_;
   std::size_t total_programs_ = 0;
-  std::size_t blocked_count_ = 0;
-  std::size_t terminal_count_ = 0;
-  bool shutdown_ = false;
-  bool deadlocked_ = false;
-  std::string deadlock_msg_;
+  bool deadlocked_ = false;     // guarded by sched_mutex_
+  std::string deadlock_msg_;    // guarded by sched_mutex_
 };
 
 }  // namespace ftsort::sim

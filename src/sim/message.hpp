@@ -3,15 +3,15 @@
 
 #include <cstdint>
 #include <limits>
-#include <vector>
 
 #include "hypercube/address.hpp"
+#include "sim/buffer_pool.hpp"
 #include "sim/cost_model.hpp"
 
 namespace ftsort::sim {
 
-/// Sort key. 64-bit signed so workload generators can use the full range.
-using Key = std::int64_t;
+// Sort key (64-bit signed so workload generators can use the full range)
+// — defined in buffer_pool.hpp alongside the payload storage type.
 
 /// Padding sentinel (the paper's "dummy key (∞)"): compares greater than
 /// every real key, so dummies collect at the top of the sorted order and are
@@ -26,7 +26,9 @@ struct Message {
   cube::NodeId src = 0;
   cube::NodeId dst = 0;
   Tag tag = 0;
-  std::vector<Key> payload;
+  /// Pooled payload storage: checked out of the sender's BufferPool and
+  /// returned there when the receiver drops (or `release_into`s) it.
+  PooledBuffer payload;
   SimTime sent_at = 0.0;   ///< sender clock when the send was issued
   SimTime arrival = 0.0;   ///< store-and-forward arrival time at dst
   int hops = 0;            ///< link traversals the router charged

@@ -47,7 +47,18 @@ template <typename T>
 struct Promise : PromiseBase {
   std::optional<T> value;
   Task<T> get_return_object();
-  void return_value(T v) { value.emplace(std::move(v)); }
+  // The noinline is load-bearing, not a pessimisation: GCC 12.2 at -O2
+  // miscompiles the co_return hand-off when the emplace into the frame's
+  // optional is inlined into the coroutine body — the stored value reads
+  // back as garbage after the continuation resumes (reproduced with a
+  // standalone 200-line test; suppressed by -fno-tree-pre or
+  // -fno-tree-vectorize, i.e. an optimiser frame-layout bug, not UB).
+  // Forcing a call boundary makes the frame address escape and pins the
+  // stores. Costs one near call per value-returning co_return, which is
+  // never on the exchange hot path (those are Task<void>). The reference
+  // overloads also save a move versus the old by-value signature.
+  [[gnu::noinline]] void return_value(T&& v) { value.emplace(std::move(v)); }
+  [[gnu::noinline]] void return_value(const T& v) { value.emplace(v); }
 };
 
 template <>

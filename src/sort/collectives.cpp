@@ -39,7 +39,7 @@ sim::Task<std::vector<Key>> broadcast(sim::NodeCtx& ctx,
     } else if (r < (bit_k << 1)) {
       sim::Message msg =
           co_await ctx.recv(physical_of(lc, r ^ bit_k, root), tag);
-      data = std::move(msg.payload);
+      msg.payload.release_into(data);
     }
   }
   co_return data;
@@ -148,8 +148,11 @@ sim::Task<std::vector<Key>> all_gather(sim::NodeCtx& ctx,
     if (cube::bit(me, k) == 0) {
       buffer.insert(buffer.end(), msg.payload.begin(), msg.payload.end());
     } else {
-      msg.payload.insert(msg.payload.end(), buffer.begin(), buffer.end());
-      buffer = std::move(msg.payload);
+      // Partner's block precedes mine: append my keys to the payload
+      // storage and steal it, recycling my old buffer through the pool.
+      std::vector<Key>& p = msg.payload.vec();
+      p.insert(p.end(), buffer.begin(), buffer.end());
+      msg.payload.release_into(buffer);
     }
   }
   FTSORT_ENSURE(buffer.size() == block_len * lc.size());

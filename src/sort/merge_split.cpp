@@ -6,68 +6,106 @@
 
 namespace ftsort::sort {
 
-std::vector<Key> merge_split_full(std::span<const Key> mine,
-                                  std::span<const Key> theirs,
-                                  SplitHalf keep,
-                                  std::uint64_t& comparisons) {
+void merge_split_into(std::span<const Key> mine, std::span<const Key> theirs,
+                      SplitHalf keep, std::vector<Key>& out,
+                      std::uint64_t& comparisons) {
   const std::size_t want = mine.size();
-  std::vector<Key> out;
-  out.reserve(want);
-  if (want == 0) return out;
+  out.resize(want);
+  if (want == 0) return;
+  Key* const dst = out.data();
 
   if (keep == SplitHalf::Lower) {
     // Forward merge until `want` keys are produced.
     std::size_t i = 0;
     std::size_t j = 0;
-    while (out.size() < want) {
+    for (std::size_t k = 0; k < want; ++k) {
       if (i < mine.size() && j < theirs.size()) {
         ++comparisons;
-        out.push_back(theirs[j] < mine[i] ? theirs[j++] : mine[i++]);
+        dst[k] = theirs[j] < mine[i] ? theirs[j++] : mine[i++];
       } else if (i < mine.size()) {
-        out.push_back(mine[i++]);
+        dst[k] = mine[i++];
       } else {
         FTSORT_INVARIANT(j < theirs.size());
-        out.push_back(theirs[j++]);
+        dst[k] = theirs[j++];
       }
     }
   } else {
-    // Backward merge from the top.
+    // Backward merge from the top, filling `out` back-to-front (no final
+    // reverse). Comparison sequence matches the forward-filling reference.
     std::size_t i = mine.size();
     std::size_t j = theirs.size();
-    while (out.size() < want) {
+    for (std::size_t k = want; k-- > 0;) {
       if (i > 0 && j > 0) {
         ++comparisons;
-        out.push_back(mine[i - 1] < theirs[j - 1] ? theirs[--j] : mine[--i]);
+        dst[k] = mine[i - 1] < theirs[j - 1] ? theirs[--j] : mine[--i];
       } else if (i > 0) {
-        out.push_back(mine[--i]);
+        dst[k] = mine[--i];
       } else {
         FTSORT_INVARIANT(j > 0);
-        out.push_back(theirs[--j]);
+        dst[k] = theirs[--j];
       }
     }
-    std::reverse(out.begin(), out.end());
   }
+}
+
+std::vector<Key> merge_split_full(std::span<const Key> mine,
+                                  std::span<const Key> theirs,
+                                  SplitHalf keep,
+                                  std::uint64_t& comparisons) {
+  std::vector<Key> out;
+  merge_split_into(mine, theirs, keep, out, comparisons);
   return out;
 }
 
-PairwiseSplit pairwise_select(std::span<const Key> a, std::span<const Key> b,
-                              SplitHalf keep, std::uint64_t& comparisons) {
+void pairwise_select_into(std::span<const Key> a, std::span<const Key> b,
+                          SplitHalf keep, std::vector<Key>& kept,
+                          std::vector<Key>& returned,
+                          std::uint64_t& comparisons) {
   FTSORT_REQUIRE(a.size() == b.size());
-  PairwiseSplit split;
-  split.kept.reserve(a.size());
-  split.returned.reserve(a.size());
-  for (std::size_t t = 0; t < a.size(); ++t) {
+  const std::size_t n = a.size();
+  kept.resize(n);
+  returned.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
     ++comparisons;
     const Key lo = std::min(a[t], b[t]);
     const Key hi = std::max(a[t], b[t]);
     if (keep == SplitHalf::Lower) {
-      split.kept.push_back(lo);
-      split.returned.push_back(hi);
+      kept[t] = lo;
+      returned[t] = hi;
     } else {
-      split.kept.push_back(hi);
-      split.returned.push_back(lo);
+      kept[t] = hi;
+      returned[t] = lo;
     }
   }
+}
+
+void pairwise_select_rev_into(std::span<const Key> a, std::span<const Key> b,
+                              SplitHalf keep, std::vector<Key>& kept,
+                              std::vector<Key>& returned,
+                              std::uint64_t& comparisons) {
+  FTSORT_REQUIRE(a.size() == b.size());
+  const std::size_t n = a.size();
+  kept.resize(n);
+  returned.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    ++comparisons;
+    const Key bt = b[n - 1 - t];
+    const Key lo = std::min(a[t], bt);
+    const Key hi = std::max(a[t], bt);
+    if (keep == SplitHalf::Lower) {
+      kept[t] = lo;
+      returned[t] = hi;
+    } else {
+      kept[t] = hi;
+      returned[t] = lo;
+    }
+  }
+}
+
+PairwiseSplit pairwise_select(std::span<const Key> a, std::span<const Key> b,
+                              SplitHalf keep, std::uint64_t& comparisons) {
+  PairwiseSplit split;
+  pairwise_select_into(a, b, keep, split.kept, split.returned, comparisons);
   return split;
 }
 

@@ -142,36 +142,46 @@ void local_sort(LocalSort algorithm, std::span<Key> data,
   }
 }
 
+void merge_sorted_into(std::span<const Key> a, std::span<const Key> b,
+                       std::vector<Key>& out, std::uint64_t& comparisons) {
+  out.resize(a.size() + b.size());
+  Key* const dst = out.data();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t k = 0;
+  while (i < a.size() && j < b.size()) {
+    ++comparisons;
+    dst[k++] = (b[j] < a[i]) ? b[j++] : a[i++];
+  }
+  while (i < a.size()) dst[k++] = a[i++];
+  while (j < b.size()) dst[k++] = b[j++];
+}
+
 std::vector<Key> merge_sorted(std::span<const Key> a, std::span<const Key> b,
                               std::uint64_t& comparisons) {
   std::vector<Key> out;
-  out.reserve(a.size() + b.size());
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    ++comparisons;
-    if (b[j] < a[i])
-      out.push_back(b[j++]);
-    else
-      out.push_back(a[i++]);
-  }
-  out.insert(out.end(), a.begin() + static_cast<std::ptrdiff_t>(i), a.end());
-  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(j), b.end());
+  merge_sorted_into(a, b, out, comparisons);
   return out;
 }
 
-void sort_unimodal(std::vector<Key>& data, std::uint64_t& comparisons) {
-  if (data.size() < 2) return;
-  // Detect the shape from the first strict change of direction, then merge
-  // the two monotone runs. A peak sequence splits into ascending +
-  // descending; a valley into descending + ascending.
+namespace {
+
+/// Shared shape-detection prologue of the `sort_unimodal` overloads.
+/// Returns true when the two monotone runs still need merging; otherwise
+/// the sequence was handled in place (trivial, all-equal, or monotone —
+/// the latter reversed if descending).
+bool unimodal_turn(std::vector<Key>& data, std::uint64_t& comparisons,
+                   std::size_t& turn, bool& rising_start) {
+  if (data.size() < 2) return false;
+  // Detect the shape from the first strict change of direction. A peak
+  // sequence splits into ascending + descending; a valley into descending
+  // + ascending.
   const std::size_t n = data.size();
-  // Find the extremum: scan for the last index of the initial run.
-  std::size_t turn = n;  // index where the second run starts
-  bool rising_start = true;
+  turn = n;  // index where the second run starts
+  rising_start = true;
   std::size_t k = 1;
   while (k < n && data[k] == data[k - 1]) ++k;
-  if (k == n) return;  // all equal
+  if (k == n) return false;  // all equal
   ++comparisons;
   rising_start = data[k] > data[k - 1];
   for (; k < n; ++k) {
@@ -185,8 +195,17 @@ void sort_unimodal(std::vector<Key>& data, std::uint64_t& comparisons) {
   }
   if (turn == n) {  // already monotone
     if (!rising_start) std::reverse(data.begin(), data.end());
-    return;
+    return false;
   }
+  return true;
+}
+
+}  // namespace
+
+void sort_unimodal(std::vector<Key>& data, std::uint64_t& comparisons) {
+  std::size_t turn = 0;
+  bool rising_start = true;
+  if (!unimodal_turn(data, comparisons, turn, rising_start)) return;
   std::vector<Key> first(data.begin(),
                          data.begin() + static_cast<std::ptrdiff_t>(turn));
   std::vector<Key> second(data.begin() + static_cast<std::ptrdiff_t>(turn),
@@ -199,6 +218,48 @@ void sort_unimodal(std::vector<Key>& data, std::uint64_t& comparisons) {
     std::reverse(first.begin(), first.end());
   }
   data = merge_sorted(first, second, comparisons);
+}
+
+void sort_unimodal(std::vector<Key>& data, std::vector<Key>& scratch,
+                   std::uint64_t& comparisons) {
+  std::size_t turn = 0;
+  bool rising_start = true;
+  if (!unimodal_turn(data, comparisons, turn, rising_start)) return;
+  // Merge the two monotone runs straight out of `data`, reading the
+  // descending run backwards — same merge (and comparison sequence) as the
+  // allocating overload, minus the two reversed copies.
+  const std::size_t n = data.size();
+  scratch.resize(n);
+  const Key* const src = data.data();
+  Key* const dst = scratch.data();
+  // Run A = data[0, turn), ascending when rising_start else read backward;
+  // run B = data[turn, n), read backward when rising_start else ascending.
+  std::size_t ai = 0;
+  std::size_t bj = 0;
+  const std::size_t a_len = turn;
+  const std::size_t b_len = n - turn;
+  const auto a_at = [&](std::size_t i) {
+    return rising_start ? src[i] : src[a_len - 1 - i];
+  };
+  const auto b_at = [&](std::size_t j) {
+    return rising_start ? src[n - 1 - j] : src[turn + j];
+  };
+  std::size_t k = 0;
+  while (ai < a_len && bj < b_len) {
+    ++comparisons;
+    const Key a = a_at(ai);
+    const Key b = b_at(bj);
+    if (b < a) {
+      dst[k++] = b;
+      ++bj;
+    } else {
+      dst[k++] = a;
+      ++ai;
+    }
+  }
+  while (ai < a_len) dst[k++] = a_at(ai++);
+  while (bj < b_len) dst[k++] = b_at(bj++);
+  std::swap(data, scratch);
 }
 
 bool is_ascending(std::span<const Key> data) {

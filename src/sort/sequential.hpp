@@ -41,10 +41,24 @@ void local_sort(LocalSort algorithm, std::span<Key> data,
 std::vector<Key> merge_sorted(std::span<const Key> a, std::span<const Key> b,
                               std::uint64_t& comparisons);
 
+/// Scratch-buffer variant of `merge_sorted`: merges into caller-owned `out`
+/// (resized, capacity reused across calls). `out` must not alias the
+/// inputs. Identical output and comparison count to `merge_sorted`.
+void merge_sorted_into(std::span<const Key> a, std::span<const Key> b,
+                       std::vector<Key>& out, std::uint64_t& comparisons);
+
 /// Sort a *unimodal* sequence — one that rises then falls (peak) or falls
 /// then rises (valley); both shapes arise from pairwise min/max selections
 /// in the half-exchange protocol. O(n) with at most n extra comparisons.
 void sort_unimodal(std::vector<Key>& data, std::uint64_t& comparisons);
+
+/// Scratch-buffer variant: merges the two monotone runs of `data` directly
+/// into `scratch` (reading one of them backwards instead of materialising
+/// reversed copies) and swaps the result back into `data`. Identical output
+/// and comparison count to the allocating overload; zero allocations once
+/// `scratch` is warm.
+void sort_unimodal(std::vector<Key>& data, std::vector<Key>& scratch,
+                   std::uint64_t& comparisons);
 
 /// True iff ascending (non-strict).
 bool is_ascending(std::span<const Key> data);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 namespace ftsort::sort {
 
@@ -22,98 +23,105 @@ std::uint32_t bitonic_tag_span(cube::Dim s) {
 
 namespace {
 
-sim::Task<std::vector<Key>> half_exchange(sim::NodeCtx& ctx,
-                                          cube::NodeId partner, sim::Tag tag,
-                                          std::vector<Key> block,
-                                          SplitHalf keep) {
+sim::Task<void> half_exchange(sim::NodeCtx& ctx, cube::NodeId partner,
+                              sim::Tag tag, std::vector<Key>& block,
+                              ExchangeScratch& scratch, SplitHalf keep) {
   // Pairing: with both blocks ascending, the b smallest of A ∪ B are
   // { min(A[k], B[b-1-k]) } and the b largest { max(A[k], B[b-1-k]) }.
   // The Lower side evaluates pairs k in [h, b), the Upper side k in [0, h),
   // h = b/2 — so each key crosses the wire at most once each way and the
-  // per-step traffic matches the paper's ⌈M/2N'⌉ terms.
+  // per-step traffic matches the paper's ⌈M/2N'⌉ terms. The reversed
+  // indexing of the second element of each pair happens inside
+  // pairwise_select_rev_into; no reversed copies are materialised.
   const std::size_t b = block.size();
   const std::size_t h = b / 2;
+  const std::span<const Key> mine(block);
   std::uint64_t comparisons = 0;
 
   if (keep == SplitHalf::Lower) {
     // Send my bottom half A[0..h); partner needs it for pairs k in [0, h).
-    ctx.send(partner, tag,
-             std::vector<Key>(block.begin(),
-                              block.begin() + static_cast<std::ptrdiff_t>(h)));
+    ctx.send(partner, tag, mine.first(h));
     // Receive partner's bottom part B[0..b-h).
     sim::Message msg = co_await ctx.recv(partner, tag);
     FTSORT_REQUIRE(msg.payload.size() == b - h);
     // My pairs: a[t] = A[h+t], b[t] = B[b-1-(h+t)] = reversed(received)[t].
-    std::vector<Key> own(block.begin() + static_cast<std::ptrdiff_t>(h),
-                         block.end());
-    std::vector<Key> theirs(msg.payload.rbegin(), msg.payload.rend());
-    PairwiseSplit split =
-        pairwise_select(own, theirs, SplitHalf::Lower, comparisons);
+    pairwise_select_rev_into(mine.subspan(h), msg.payload.span(),
+                             SplitHalf::Lower, scratch.kept,
+                             scratch.returned, comparisons);
     ctx.charge_compares(comparisons);
     comparisons = 0;
     // Return the losers (maxes) to the partner.
-    ctx.send(partner, tag + 1, std::move(split.returned));
+    ctx.send(partner, tag + 1, std::span<const Key>(scratch.returned));
     // Receive the winners (mins) of the partner's pairs.
     sim::Message back = co_await ctx.recv(partner, tag + 1);
     FTSORT_REQUIRE(back.payload.size() == h);
     // Both parts are unimodal; sort each, then merge.
-    sort_unimodal(split.kept, comparisons);
-    sort_unimodal(back.payload, comparisons);
-    std::vector<Key> result =
-        merge_sorted(split.kept, back.payload, comparisons);
+    sort_unimodal(scratch.kept, scratch.unimodal, comparisons);
+    sort_unimodal(back.payload.vec(), scratch.unimodal, comparisons);
+    merge_sorted_into(scratch.kept, back.payload.span(), scratch.merged,
+                      comparisons);
     ctx.charge_compares(comparisons);
-    FTSORT_ENSURE(result.size() == b);
-    co_return result;
+    FTSORT_ENSURE(scratch.merged.size() == b);
+    std::swap(block, scratch.merged);
+    co_return;
   }
 
   // Upper side: send my bottom part B[0..b-h); partner pairs k in [h, b).
-  ctx.send(partner, tag,
-           std::vector<Key>(block.begin(),
-                            block.begin() + static_cast<std::ptrdiff_t>(b - h)));
+  ctx.send(partner, tag, mine.first(b - h));
   sim::Message msg = co_await ctx.recv(partner, tag);
   FTSORT_REQUIRE(msg.payload.size() == h);
-  // My pairs k in [0, h): a[t] = A[t] (received), b[t] = B[b-1-t] =
-  // reversed top of my own block.
-  std::vector<Key> own_top(block.rbegin(),
-                           block.rbegin() + static_cast<std::ptrdiff_t>(h));
-  PairwiseSplit split =
-      pairwise_select(msg.payload, own_top, SplitHalf::Upper, comparisons);
+  // My pairs k in [0, h): a[t] = A[t] (received), b[t] = B[b-1-t] = the top
+  // of my own block read backwards.
+  pairwise_select_rev_into(msg.payload.span(), mine.last(h),
+                           SplitHalf::Upper, scratch.kept, scratch.returned,
+                           comparisons);
   ctx.charge_compares(comparisons);
   comparisons = 0;
-  ctx.send(partner, tag + 1, std::move(split.returned));
+  ctx.send(partner, tag + 1, std::span<const Key>(scratch.returned));
   sim::Message back = co_await ctx.recv(partner, tag + 1);
   FTSORT_REQUIRE(back.payload.size() == b - h);
-  // My final multiset: kept maxes (pairs [0,h)) + my untouched middle?
-  // No — the untouched part of my block is B[b-h .. b) reversed-consumed
-  // above only as comparison input; the kept/returned sets already contain
-  // every key exactly once: kept (h maxes) + back.payload (b-h maxes from
-  // partner's pairs).
-  sort_unimodal(split.kept, comparisons);
-  sort_unimodal(back.payload, comparisons);
-  std::vector<Key> result =
-      merge_sorted(split.kept, back.payload, comparisons);
+  // My final multiset: the kept/returned sets already contain every key
+  // exactly once — kept (h maxes) + back.payload (b-h maxes from the
+  // partner's pairs); the top of my block served only as comparison input.
+  sort_unimodal(scratch.kept, scratch.unimodal, comparisons);
+  sort_unimodal(back.payload.vec(), scratch.unimodal, comparisons);
+  merge_sorted_into(scratch.kept, back.payload.span(), scratch.merged,
+                    comparisons);
   ctx.charge_compares(comparisons);
-  FTSORT_ENSURE(result.size() == b);
-  co_return result;
+  FTSORT_ENSURE(scratch.merged.size() == b);
+  std::swap(block, scratch.merged);
+  co_return;
 }
 
 }  // namespace
 
+sim::Task<void> exchange_merge_split_into(
+    sim::NodeCtx& ctx, cube::NodeId partner, sim::Tag tag,
+    std::vector<Key>& block, ExchangeScratch& scratch, SplitHalf keep,
+    ExchangeProtocol protocol) {
+  if (protocol == ExchangeProtocol::HalfExchange) {
+    co_await half_exchange(ctx, partner, tag, block, scratch, keep);
+    co_return;
+  }
+
+  // Full exchange: swap entire blocks, split locally.
+  ctx.send(partner, tag, std::span<const Key>(block));
+  sim::Message msg = co_await ctx.recv(partner, tag);
+  std::uint64_t comparisons = 0;
+  merge_split_into(block, msg.payload.span(), keep, scratch.merged,
+                   comparisons);
+  ctx.charge_compares(comparisons);
+  std::swap(block, scratch.merged);
+  co_return;
+}
+
 sim::Task<std::vector<Key>> exchange_merge_split(
     sim::NodeCtx& ctx, cube::NodeId partner, sim::Tag tag,
     std::vector<Key> block, SplitHalf keep, ExchangeProtocol protocol) {
-  if (protocol == ExchangeProtocol::HalfExchange)
-    co_return co_await half_exchange(ctx, partner, tag, std::move(block),
-                                     keep);
-
-  // Full exchange: swap entire blocks, split locally.
-  ctx.send(partner, tag, block);
-  sim::Message msg = co_await ctx.recv(partner, tag);
-  std::uint64_t comparisons = 0;
-  std::vector<Key> result =
-      merge_split_full(block, msg.payload, keep, comparisons);
-  ctx.charge_compares(comparisons);
-  co_return result;
+  ExchangeScratch scratch;
+  co_await exchange_merge_split_into(ctx, partner, tag, block, scratch, keep,
+                                     protocol);
+  co_return std::move(block);
 }
 
 std::uint32_t bitonic_merge_tag_span(cube::Dim s) {
@@ -126,8 +134,8 @@ namespace {
 sim::Task<void> merge_network(sim::NodeCtx& ctx, const LogicalCube& lc,
                               cube::NodeId me_logical,
                               std::vector<Key>& block, bool ascending,
-                              ExchangeProtocol protocol,
-                              sim::Tag tag_base) {
+                              ExchangeProtocol protocol, sim::Tag tag_base,
+                              ExchangeScratch& scratch) {
   sim::Tag tag = tag_base;
   for (cube::Dim j = lc.s - 1; j >= 0; --j, tag += 2) {
     const cube::NodeId partner_logical = cube::neighbor(me_logical, j);
@@ -136,9 +144,8 @@ sim::Task<void> merge_network(sim::NodeCtx& ctx, const LogicalCube& lc,
         (cube::bit(me_logical, j) == (ascending ? 0 : 1))
             ? SplitHalf::Lower
             : SplitHalf::Upper;
-    block = co_await exchange_merge_split(ctx, lc.phys[partner_logical],
-                                          tag, std::move(block), keep,
-                                          protocol);
+    co_await exchange_merge_split_into(ctx, lc.phys[partner_logical], tag,
+                                       block, scratch, keep, protocol);
   }
   co_return;
 }
@@ -151,11 +158,15 @@ sim::Task<void> block_bitonic_merge(sim::NodeCtx& ctx,
                                     std::vector<Key>& block, bool ascending,
                                     SplitHalf content_side,
                                     ExchangeProtocol protocol,
-                                    sim::Tag tag_base) {
+                                    sim::Tag tag_base,
+                                    ExchangeScratch* scratch) {
   FTSORT_REQUIRE(cube::valid_node(me_logical, lc.s));
   FTSORT_REQUIRE(!lc.is_dead(me_logical));
   FTSORT_REQUIRE(lc.phys[me_logical] == ctx.id());
   FTSORT_REQUIRE(is_ascending(block));
+
+  ExchangeScratch local;
+  ExchangeScratch& sc = scratch != nullptr ? *scratch : local;
 
   // Without a hole any direction is sound; with the dead node the merge
   // direction must match the content side (see header).
@@ -163,14 +174,14 @@ sim::Task<void> block_bitonic_merge(sim::NodeCtx& ctx,
   const bool direct = !lc.dead0 || (ascending == compatible_asc);
   if (direct) {
     co_await merge_network(ctx, lc, me_logical, block, ascending, protocol,
-                           tag_base);
+                           tag_base, sc);
     co_return;
   }
 
   // Merge in the sound direction, then reverse block order across live
   // addresses with the involution w <-> 2^s - w (never touches logical 0).
   co_await merge_network(ctx, lc, me_logical, block, compatible_asc,
-                         protocol, tag_base);
+                         protocol, tag_base, sc);
   const cube::NodeId mirror =
       static_cast<cube::NodeId>(lc.size()) - me_logical;
   if (mirror != me_logical) {
@@ -178,7 +189,7 @@ sim::Task<void> block_bitonic_merge(sim::NodeCtx& ctx,
         tag_base + static_cast<sim::Tag>(lc.s) * 2;
     ctx.send(lc.phys[mirror], swap_tag, std::move(block));
     sim::Message msg = co_await ctx.recv(lc.phys[mirror], swap_tag);
-    block = std::move(msg.payload);
+    msg.payload.release_into(block);
   }
   co_return;
 }
@@ -187,11 +198,15 @@ sim::Task<void> block_bitonic_sort(sim::NodeCtx& ctx, const LogicalCube& lc,
                                    cube::NodeId me_logical,
                                    std::vector<Key>& block, bool ascending,
                                    ExchangeProtocol protocol,
-                                   sim::Tag tag_base) {
+                                   sim::Tag tag_base,
+                                   ExchangeScratch* scratch) {
   FTSORT_REQUIRE(cube::valid_node(me_logical, lc.s));
   FTSORT_REQUIRE(!lc.is_dead(me_logical));
   FTSORT_REQUIRE(lc.phys[me_logical] == ctx.id());
   FTSORT_REQUIRE(is_ascending(block));
+
+  ExchangeScratch local;
+  ExchangeScratch& sc = scratch != nullptr ? *scratch : local;
 
   const cube::Dim s = lc.s;
   sim::Tag tag = tag_base;
@@ -211,9 +226,8 @@ sim::Task<void> block_bitonic_sort(sim::NodeCtx& ctx, const LogicalCube& lc,
       const SplitHalf keep = (cube::bit(me_logical, j) == dir_bit)
                                  ? SplitHalf::Lower
                                  : SplitHalf::Upper;
-      block = co_await exchange_merge_split(ctx, lc.phys[partner_logical],
-                                            tag, std::move(block), keep,
-                                            protocol);
+      co_await exchange_merge_split_into(ctx, lc.phys[partner_logical], tag,
+                                         block, sc, keep, protocol);
     }
   }
   co_return;

@@ -42,10 +42,29 @@ struct LogicalCube {
 /// (two per compare-exchange step).
 std::uint32_t bitonic_tag_span(cube::Dim s);
 
-/// One comparison-exchange with `partner_phys`: after completion the
-/// returned block holds the lower (or upper) half of the union of the two
-/// blocks, ascending. Both sides must call it with complementary `keep` and
-/// the same `tag` (tag and tag+1 are used).
+/// Reusable per-node working storage for the comparison-exchanges. One
+/// instance lives for a whole sort; after the first few exchanges every
+/// buffer has reached its steady-state capacity and the O(M) merge path
+/// performs no heap allocation at all.
+struct ExchangeScratch {
+  std::vector<Key> merged;    ///< merge destination, swapped into the block
+  std::vector<Key> kept;      ///< pairwise winners (half exchange)
+  std::vector<Key> returned;  ///< pairwise losers sent back (half exchange)
+  std::vector<Key> unimodal;  ///< sort_unimodal merge scratch
+};
+
+/// One comparison-exchange with `partner_phys`, in place: after completion
+/// `block` holds the lower (or upper) half of the union of the two blocks,
+/// ascending. Both sides must call it with complementary `keep` and the
+/// same `tag` (tag and tag+1 are used). All temporary storage comes from
+/// `scratch`.
+sim::Task<void> exchange_merge_split_into(
+    sim::NodeCtx& ctx, cube::NodeId partner_phys, sim::Tag tag,
+    std::vector<Key>& block, ExchangeScratch& scratch, SplitHalf keep,
+    ExchangeProtocol protocol);
+
+/// Value-returning convenience form (tests, baselines, walkthroughs): same
+/// exchange with a private scratch.
 sim::Task<std::vector<Key>> exchange_merge_split(
     sim::NodeCtx& ctx, cube::NodeId partner_phys, sim::Tag tag,
     std::vector<Key> block, SplitHalf keep, ExchangeProtocol protocol);
@@ -53,11 +72,14 @@ sim::Task<std::vector<Key>> exchange_merge_split(
 /// The SPMD sort. `me_logical` is the caller's logical address (must be
 /// live); `block` is its sorted ascending block and is replaced by the
 /// node's slice of the result. All live blocks must have equal size.
+/// `scratch` (optional) lets the caller reuse exchange storage across
+/// multiple sorts/merges; when null a sort-local scratch is used.
 sim::Task<void> block_bitonic_sort(sim::NodeCtx& ctx, const LogicalCube& lc,
                                    cube::NodeId me_logical,
                                    std::vector<Key>& block, bool ascending,
                                    ExchangeProtocol protocol,
-                                   sim::Tag tag_base);
+                                   sim::Tag tag_base,
+                                   ExchangeScratch* scratch = nullptr);
 
 /// Number of distinct tags block_bitonic_merge consumes (two per substep
 /// plus one for the reversal swap).
@@ -83,6 +105,7 @@ sim::Task<void> block_bitonic_merge(sim::NodeCtx& ctx,
                                     std::vector<Key>& block, bool ascending,
                                     SplitHalf content_side,
                                     ExchangeProtocol protocol,
-                                    sim::Tag tag_base);
+                                    sim::Tag tag_base,
+                                    ExchangeScratch* scratch = nullptr);
 
 }  // namespace ftsort::sort

@@ -155,5 +155,88 @@ TEST(PairwiseSelect, DummiesLoseEveryComparison) {
             (std::vector<Key>{sim::kDummyKey, sim::kDummyKey}));
 }
 
+// The scratch-buffer kernels must be drop-in replacements for the
+// allocating reference kernels: byte-identical output AND an identical
+// comparison count (the simulator's RunReport checksums depend on both).
+TEST(MergeSplitInto, MatchesReferenceBitForBit) {
+  util::Rng rng(11);
+  std::vector<Key> out;  // reused across every trial: exercises capacity reuse
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t na = 1 + static_cast<std::size_t>(trial) % 33;
+    const std::size_t nb = 1 + static_cast<std::size_t>(trial * 7) % 33;
+    auto a = gen_uniform(na, rng);
+    auto b = gen_uniform(nb, rng);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    for (const SplitHalf keep : {SplitHalf::Lower, SplitHalf::Upper}) {
+      std::uint64_t c_ref = 0;
+      std::uint64_t c_into = 0;
+      const auto ref = merge_split_full(a, b, keep, c_ref);
+      merge_split_into(a, b, keep, out, c_into);
+      ASSERT_EQ(out, ref);
+      ASSERT_EQ(c_into, c_ref);
+    }
+  }
+}
+
+TEST(MergeSplitInto, SteadyStateDoesNotReallocate) {
+  util::Rng rng(12);
+  auto a = gen_uniform(64, rng);
+  auto b = gen_uniform(64, rng);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::uint64_t c = 0;
+  std::vector<Key> out;
+  merge_split_into(a, b, SplitHalf::Lower, out, c);
+  const Key* warm = out.data();
+  const std::size_t cap = out.capacity();
+  for (int i = 0; i < 16; ++i)
+    merge_split_into(a, b, i % 2 ? SplitHalf::Lower : SplitHalf::Upper, out,
+                     c);
+  EXPECT_EQ(out.data(), warm);       // same storage after warm-up
+  EXPECT_EQ(out.capacity(), cap);
+}
+
+TEST(PairwiseSelectInto, MatchesReferenceBitForBit) {
+  util::Rng rng(13);
+  std::vector<Key> kept;
+  std::vector<Key> returned;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(trial) % 40;
+    auto a = gen_uniform(n, rng);
+    auto b = gen_uniform(n, rng);
+    for (const SplitHalf keep : {SplitHalf::Lower, SplitHalf::Upper}) {
+      std::uint64_t c_ref = 0;
+      std::uint64_t c_into = 0;
+      const auto ref = pairwise_select(a, b, keep, c_ref);
+      pairwise_select_into(a, b, keep, kept, returned, c_into);
+      ASSERT_EQ(kept, ref.kept);
+      ASSERT_EQ(returned, ref.returned);
+      ASSERT_EQ(c_into, c_ref);
+    }
+  }
+}
+
+TEST(PairwiseSelectRevInto, EquivalentToReversedCopy) {
+  util::Rng rng(14);
+  std::vector<Key> kept;
+  std::vector<Key> returned;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(trial) % 40;
+    auto a = gen_uniform(n, rng);
+    auto b = gen_uniform(n, rng);
+    std::vector<Key> b_rev(b.rbegin(), b.rend());
+    for (const SplitHalf keep : {SplitHalf::Lower, SplitHalf::Upper}) {
+      std::uint64_t c_ref = 0;
+      std::uint64_t c_into = 0;
+      const auto ref = pairwise_select(a, b_rev, keep, c_ref);
+      pairwise_select_rev_into(a, b, keep, kept, returned, c_into);
+      ASSERT_EQ(kept, ref.kept);
+      ASSERT_EQ(returned, ref.returned);
+      ASSERT_EQ(c_into, c_ref);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ftsort::sort

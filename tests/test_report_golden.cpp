@@ -1,0 +1,147 @@
+// Golden-report regression tests.
+//
+// The buffer-pooled message path and the scratch-buffer merge kernels are
+// pure performance changes: every RunReport field and every output key must
+// stay byte-identical to the pre-pool seed. The hexfloat constants below
+// were captured from the seed revision (commit cac260b) with a one-off
+// probe binary; hexfloat round-trips doubles exactly, so EXPECT_EQ on the
+// parsed values is a bit-for-bit comparison. If an intentional cost-model
+// or protocol change ever shifts these numbers, re-capture them with the
+// same four scenarios and say so in the commit message.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "core/ft_sorter.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort {
+namespace {
+
+struct Golden {
+  double makespan;
+  std::uint64_t messages;
+  std::uint64_t keys_sent;
+  std::uint64_t key_hops;
+  std::uint64_t comparisons;
+  std::uint64_t dropped;
+  std::uint64_t timeouts;
+  std::uint64_t key_checksum;
+  std::vector<double> node_clocks;
+};
+
+double hexf(const char* s) { return std::strtod(s, nullptr); }
+
+std::vector<double> hexf_list(std::initializer_list<const char*> ss) {
+  std::vector<double> out;
+  for (const char* s : ss) out.push_back(hexf(s));
+  return out;
+}
+
+void expect_matches(const core::SortOutcome& outcome, const Golden& g) {
+  const sim::RunReport& r = outcome.report;
+  EXPECT_EQ(r.makespan, g.makespan);
+  EXPECT_EQ(r.messages, g.messages);
+  EXPECT_EQ(r.keys_sent, g.keys_sent);
+  EXPECT_EQ(r.key_hops, g.key_hops);
+  EXPECT_EQ(r.comparisons, g.comparisons);
+  EXPECT_EQ(r.messages_dropped, g.dropped);
+  EXPECT_EQ(r.timeouts, g.timeouts);
+  ASSERT_EQ(r.node_clocks.size(), g.node_clocks.size());
+  for (std::size_t i = 0; i < g.node_clocks.size(); ++i)
+    EXPECT_EQ(r.node_clocks[i], g.node_clocks[i]) << "node " << i;
+  std::uint64_t csum = 0;
+  for (sort::Key k : outcome.sorted) csum += static_cast<std::uint64_t>(k);
+  EXPECT_EQ(csum, g.key_checksum);
+  EXPECT_TRUE(std::is_sorted(outcome.sorted.begin(), outcome.sorted.end()));
+}
+
+void run_scenario_offline_q3(core::Executor executor) {
+  util::Rng rng(42);
+  const auto keys = sort::gen_uniform(150, rng);
+  core::SortConfig cfg;
+  cfg.executor = executor;
+  core::FaultTolerantSorter sorter(3, fault::FaultSet(3, {2}), cfg);
+  const Golden g{
+      hexf("0x1.eap+10"), 72, 792, 792, 2743, 0, 0, 22023536548815715u,
+      hexf_list({"0x1.e8p+10", "0x1.e8p+10", "0x0p+0", "0x1.a3p+10",
+                 "0x1.eap+10", "0x1.e68p+10", "0x1.e88p+10", "0x1.e8p+10"})};
+  expect_matches(sorter.sort(keys), g);
+}
+
+void run_scenario_half_q4(core::Executor executor) {
+  util::Rng rng(7);
+  const auto keys = sort::gen_uniform(340, rng);
+  core::SortConfig cfg;
+  cfg.executor = executor;
+  cfg.protocol = sort::ExchangeProtocol::HalfExchange;
+  core::FaultTolerantSorter sorter(4, fault::FaultSet(4, {3, 12}), cfg);
+  const Golden g{
+      hexf("0x1.1a2p+12"), 250, 3200, 4350, 8825, 0, 0, 47440601626800935u,
+      hexf_list({"0x1.fdp+11", "0x1.1a2p+12", "0x1.fccp+11", "0x0p+0",
+                 "0x1.ff4p+11", "0x1.19ep+12", "0x1.fd4p+11", "0x1.0d2p+12",
+                 "0x1.fdp+11", "0x1.198p+12", "0x1.fc8p+11", "0x1.01p+12",
+                 "0x0p+0", "0x1.0dap+12", "0x1.d6cp+11", "0x1.0d2p+12"})};
+  expect_matches(sorter.sort(keys), g);
+}
+
+void run_scenario_recovery(core::Executor executor) {
+  util::Rng rng(11);
+  const auto keys = sort::gen_uniform(200, rng);
+  core::SortConfig cfg;
+  cfg.executor = executor;
+  cfg.online_recovery = true;
+  cfg.injector.kill_node_at(6, 2000.0);
+  core::FaultTolerantSorter sorter(3, fault::FaultSet(3, {5}), cfg);
+  const Golden g{
+      hexf("0x1.dcd773ep+29"), 95, 2486, 2967, 6831, 2, 2,
+      27766693709941424u,
+      hexf_list({"0x1.dcd7736p+29", "0x1.dcd7726p+29", "0x1.dcd772ap+29",
+                 "0x1.dcd7732p+29", "0x1.dcd7732p+29", "0x0p+0",
+                 "0x1.fap+10", "0x1.dcd773ep+29"})};
+  expect_matches(sorter.sort(keys), g);
+}
+
+void run_scenario_fault_free(core::Executor executor) {
+  util::Rng rng(3);
+  const auto keys = sort::gen_uniform(512, rng);
+  core::SortConfig cfg;
+  cfg.executor = executor;
+  cfg.protocol = sort::ExchangeProtocol::HalfExchange;
+  core::FaultTolerantSorter sorter(4, fault::FaultSet(4, {}), cfg);
+  const Golden g{
+      hexf("0x1.1acp+12"), 320, 5120, 5120, 14844, 0, 0, 74301754807861173u,
+      hexf_list({"0x1.19ep+12", "0x1.196p+12", "0x1.1acp+12", "0x1.198p+12",
+                 "0x1.1ap+12", "0x1.19ap+12", "0x1.17ep+12", "0x1.17cp+12",
+                 "0x1.18p+12", "0x1.18p+12", "0x1.18ep+12", "0x1.19ap+12",
+                 "0x1.18ep+12", "0x1.198p+12", "0x1.196p+12", "0x1.19p+12"})};
+  expect_matches(sorter.sort(keys), g);
+}
+
+TEST(ReportGolden, OfflineQ3Sequential) {
+  run_scenario_offline_q3(core::Executor::Sequential);
+}
+TEST(ReportGolden, OfflineQ3Threaded) {
+  run_scenario_offline_q3(core::Executor::Threaded);
+}
+TEST(ReportGolden, HalfExchangeQ4Sequential) {
+  run_scenario_half_q4(core::Executor::Sequential);
+}
+TEST(ReportGolden, HalfExchangeQ4Threaded) {
+  run_scenario_half_q4(core::Executor::Threaded);
+}
+TEST(ReportGolden, OnlineRecoverySequential) {
+  run_scenario_recovery(core::Executor::Sequential);
+}
+TEST(ReportGolden, FaultFreeQ4Sequential) {
+  run_scenario_fault_free(core::Executor::Sequential);
+}
+TEST(ReportGolden, FaultFreeQ4Threaded) {
+  run_scenario_fault_free(core::Executor::Threaded);
+}
+
+}  // namespace
+}  // namespace ftsort

@@ -47,7 +47,7 @@ TEST(Machine, PingPongDeliversPayloadAndAdvancesClocks) {
     if (ctx.id() == 0) {
       ctx.send(1, 5, {10, 20, 30});
       Message reply = co_await ctx.recv(1, 6);
-      got = reply.payload;
+      got = reply.payload.vec();
     } else {
       Message msg = co_await ctx.recv(0, 5);
       ctx.send(0, 6, std::move(msg.payload));
@@ -286,7 +286,7 @@ TEST(Machine, StartupCostAddsPerHop) {
   SimTime arrival = 0;
   const auto program = [&](NodeCtx& ctx) -> Task<void> {
     if (ctx.id() == 0) {
-      ctx.send(3, 1, {});
+      ctx.send(3, 1, std::vector<Key>{});
     } else if (ctx.id() == 3) {
       Message msg = co_await ctx.recv(0, 1);
       (void)msg;

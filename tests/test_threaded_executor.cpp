@@ -19,7 +19,7 @@ TEST(ThreadedExecutor, PingPongMatchesSequential) {
       if (ctx.id() == 0) {
         ctx.send(1, 1, {5, 6, 7});
         sim::Message reply = co_await ctx.recv(1, 2);
-        sink = reply.payload;
+        sink = reply.payload.vec();
       } else {
         sim::Message msg = co_await ctx.recv(0, 1);
         ctx.send(0, 2, std::move(msg.payload));

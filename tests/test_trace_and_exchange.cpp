@@ -79,7 +79,7 @@ TEST(MachineEdge, EmptyPayloadMessagesWork) {
   bool received = false;
   const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
     if (ctx.id() == 0) {
-      ctx.send(1, 0, {});
+      ctx.send(1, 0, std::vector<Key>{});
     } else {
       sim::Message m = co_await ctx.recv(0, 0);
       received = m.payload.empty();

@@ -4,6 +4,7 @@
 //
 // Usage:
 //   bench_harness [--smoke] [--out PATH] [--baseline PATH]
+//                 [--trace-out PATH] [--metrics-out PATH] [--schema PATH]
 //
 // `--smoke` shrinks every scenario for a seconds-scale CI run; `--baseline`
 // re-parses the emitted JSON (catching malformed output) and compares the
@@ -12,6 +13,15 @@
 // non-zero on a >20% regression. Wall time is recorded for the trajectory
 // but never gated: it is machine- and load-dependent, while the counters
 // only move when the code's actual work changes.
+//
+// Observability: each end-to-end scenario also performs one *separate*
+// instrumented run with sim::Metrics enabled — the timed reps (and their
+// allocation ledger) stay uninstrumented — and BENCH_sort.json gains a
+// per-phase block per scenario. `--metrics-out` writes the flagship
+// fig7_q6_r2 scenario's full metrics JSON (sim::write_metrics_json);
+// `--schema` validates that JSON against the checked-in
+// bench/metrics_schema.json required-keys list; `--trace-out` writes the
+// same run's Chrome/Perfetto trace (open at ui.perfetto.dev).
 //
 // Numbers are meaningful in the `release` preset only (-O3 -DNDEBUG); a
 // debug build tags the JSON so a baseline from the wrong build type is
@@ -31,6 +41,7 @@
 
 #include "core/ft_sorter.hpp"
 #include "fault/scenario.hpp"
+#include "sim/exporters.hpp"
 #include "sort/distribution.hpp"
 #include "sort/merge_split.hpp"
 #include "util/rng.hpp"
@@ -68,6 +79,11 @@ struct Metrics {
   std::uint64_t allocations = 0;  ///< operator-new calls in one timed rep
   std::uint64_t pool_heap_allocations = 0;  ///< pool fresh + grows
   std::uint64_t pool_checkouts = 0;
+  /// Report of the separate instrumented run (metrics, phase breakdown);
+  /// empty for kernel micros.
+  sim::RunReport obs;
+  /// Trace of the instrumented run; captured only when --trace-out needs it.
+  std::vector<sim::TraceEvent> trace_events;
 };
 
 class Timer {
@@ -122,6 +138,18 @@ Metrics run_end_to_end(const std::string& name, cube::Dim n,
   m.messages = outcome.report.messages;
   m.pool_heap_allocations = outcome.report.pool.heap_allocations();
   m.pool_checkouts = outcome.report.pool.checkouts;
+
+  // One separate instrumented run per scenario: the per-phase block and the
+  // exportable trace come from here, so the timed reps above stay free of
+  // metrics/trace overhead and the allocation gate keeps measuring the real
+  // hot path.
+  core::SortConfig obs_cfg = cfg;
+  obs_cfg.record_metrics = true;
+  obs_cfg.record_trace = true;
+  const core::FaultTolerantSorter obs_sorter(n, faults, obs_cfg);
+  core::SortOutcome obs_outcome = obs_sorter.sort(keys);
+  m.obs = std::move(obs_outcome.report);
+  m.trace_events = std::move(obs_outcome.trace_events);
   return m;
 }
 
@@ -198,8 +226,30 @@ void write_json(const std::string& path, const std::vector<Metrics>& all,
         << "      \"allocations\": " << m.allocations << ",\n"
         << "      \"pool_heap_allocations\": " << m.pool_heap_allocations
         << ",\n"
-        << "      \"pool_checkouts\": " << m.pool_checkouts << "\n"
-        << "    }" << (i + 1 < all.size() ? "," : "") << "\n";
+        << "      \"pool_checkouts\": " << m.pool_checkouts;
+    // Per-phase columns from the instrumented run. Placed AFTER every flat
+    // field: parse_json bounds a scenario's fields by the first '}' after
+    // its "name", which with this layout is the first nested phase object's
+    // close — still past all the gated counters. Empty phases are skipped.
+    if (!m.obs.metrics.empty()) {
+      out << ",\n      \"phases\": {";
+      bool first_phase = true;
+      for (const sim::PhaseBreakdown::Slice& sl : m.obs.phases.slices) {
+        if (sl.counters == sim::PhaseCounters{} && sl.critical_time == 0.0)
+          continue;
+        char crit[64];
+        std::snprintf(crit, sizeof crit, "%.17g", sl.critical_time);
+        out << (first_phase ? "\n" : ",\n") << "        \""
+            << sim::phase_name(sl.phase) << "\": {\"comparisons\": "
+            << sl.counters.comparisons
+            << ", \"keys_sent\": " << sl.counters.keys_sent
+            << ", \"messages\": " << sl.counters.messages
+            << ", \"critical_time\": " << crit << "}";
+        first_phase = false;
+      }
+      out << "\n      }";
+    }
+    out << "\n    }" << (i + 1 < all.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -282,6 +332,82 @@ bool parse_json(const std::string& path, std::string& mode,
   return !out.empty();
 }
 
+// ---------------------------------------------------------------------------
+// Metrics-JSON schema gate. bench/metrics_schema.json lists the top-level
+// keys, per-phase counter fields, and phase names every metrics export must
+// contain; the check is a required-keys scan, not a JSON-schema engine —
+// enough to catch writer/consumer drift without a JSON dependency.
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Extract the string elements of the JSON array following `"key"`.
+std::vector<std::string> string_array(const std::string& text,
+                                      const char* key) {
+  std::vector<std::string> items;
+  const std::size_t pos = text.find(std::string("\"") + key + "\"");
+  if (pos == std::string::npos) return items;
+  const std::size_t open = text.find('[', pos);
+  if (open == std::string::npos) return items;
+  const std::size_t close = text.find(']', open);
+  if (close == std::string::npos) return items;
+  std::size_t q = open;
+  while ((q = text.find('"', q + 1)) != std::string::npos && q < close) {
+    const std::size_t q2 = text.find('"', q + 1);
+    if (q2 == std::string::npos || q2 > close) break;
+    items.push_back(text.substr(q + 1, q2 - q - 1));
+    q = q2;
+  }
+  return items;
+}
+
+bool validate_metrics_schema(const std::string& metrics_json,
+                             const std::string& schema_path) {
+  std::string schema;
+  if (!read_file(schema_path, schema)) {
+    std::fprintf(stderr, "FAIL: cannot read schema %s\n",
+                 schema_path.c_str());
+    return false;
+  }
+  bool ok = true;
+  long depth = 0;
+  for (char c : metrics_json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) break;
+  }
+  if (depth != 0) {
+    std::fprintf(stderr, "SCHEMA: metrics JSON braces do not balance\n");
+    ok = false;
+  }
+  const std::vector<std::string> keys = string_array(schema, "required_keys");
+  const std::vector<std::string> phases =
+      string_array(schema, "required_phases");
+  if (keys.empty() || phases.empty()) {
+    std::fprintf(stderr, "FAIL: schema %s lists no required keys\n",
+                 schema_path.c_str());
+    return false;
+  }
+  for (const std::string& k : keys)
+    if (metrics_json.find("\"" + k + "\"") == std::string::npos) {
+      std::fprintf(stderr, "SCHEMA: missing required key \"%s\"\n",
+                   k.c_str());
+      ok = false;
+    }
+  for (const std::string& p : phases)
+    if (metrics_json.find("\"phase\": \"" + p + "\"") == std::string::npos) {
+      std::fprintf(stderr, "SCHEMA: missing phase entry \"%s\"\n", p.c_str());
+      ok = false;
+    }
+  return ok;
+}
+
 /// >20% above baseline on any deterministic counter fails the gate.
 bool check_regressions(const std::vector<ParsedScenario>& current,
                        const std::vector<ParsedScenario>& baseline) {
@@ -326,6 +452,9 @@ int harness_main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_sort.json";
   std::string baseline_path;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string schema_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -334,10 +463,17 @@ int harness_main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--schema" && i + 1 < argc) {
+      schema_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_harness [--smoke] [--out PATH] "
-                   "[--baseline PATH]\n");
+                   "[--baseline PATH] [--trace-out PATH] "
+                   "[--metrics-out PATH] [--schema PATH]\n");
       return 2;
     }
   }
@@ -398,6 +534,44 @@ int harness_main(int argc, char** argv) {
                 s.name.c_str(), static_cast<double>(s.wall_ns) / 1e6,
                 s.makespan, s.comparisons, s.keys_routed, s.messages,
                 s.allocations, s.pool_heap_allocations);
+
+  // Observability exports: the flagship fig7_q6_r2 scenario's instrumented
+  // run backs both the Perfetto trace and the metrics JSON.
+  const Metrics& flagship = all.front();
+  if (!trace_path.empty()) {
+    std::ofstream tout(trace_path);
+    sim::write_chrome_trace(
+        tout, flagship.trace_events,
+        static_cast<std::uint32_t>(flagship.obs.metrics.nodes.size()));
+    if (!tout) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace: %s (%zu events)\n", trace_path.c_str(),
+                flagship.trace_events.size());
+  }
+  if (!metrics_path.empty() || !schema_path.empty()) {
+    std::ostringstream mjson;
+    sim::write_metrics_json(mjson, flagship.obs);
+    const std::string metrics_json = mjson.str();
+    if (!metrics_path.empty()) {
+      std::ofstream mout(metrics_path);
+      mout << metrics_json;
+      if (!mout) {
+        std::fprintf(stderr, "FAIL: cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+      std::printf("metrics: %s\n", metrics_path.c_str());
+    }
+    if (!schema_path.empty()) {
+      if (!validate_metrics_schema(metrics_json, schema_path)) {
+        std::fprintf(stderr, "FAIL: metrics JSON violates %s\n",
+                     schema_path.c_str());
+        return 1;
+      }
+      std::printf("metrics schema OK (%s)\n", schema_path.c_str());
+    }
+  }
 
   if (!baseline_path.empty()) {
     std::vector<ParsedScenario> baseline;

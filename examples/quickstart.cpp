@@ -1,18 +1,28 @@
 // Quickstart: sort keys on a faulty hypercube in a dozen lines.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--trace out.json] [--metrics metrics.json]
 //
 // Builds a 5-dimensional (32-processor) simulated hypercube with two faulty
 // processors, sorts 10,000 random keys with the fault-tolerant algorithm,
-// and prints the partition plan and the simulated execution time.
+// and prints the partition plan and the simulated execution time. The
+// optional flags save a Perfetto-loadable trace (ui.perfetto.dev) and a
+// phase-attributed metrics JSON of the run.
+#include <fstream>
 #include <iostream>
 
 #include "core/ft_sorter.hpp"
+#include "sim/exporters.hpp"
 #include "sort/distribution.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftsort;
+
+  util::CliParser cli("quickstart", "sort keys on a faulty hypercube");
+  cli.add_string("trace", "", "write Chrome/Perfetto trace JSON");
+  cli.add_string("metrics", "", "write phase metrics JSON");
+  if (!cli.parse(argc, argv)) return 1;
 
   // A Q_5 with processors 7 and 22 permanently faulty.
   const cube::Dim n = 5;
@@ -20,7 +30,11 @@ int main() {
 
   // The sorter computes the partition plan once (mincut, D_beta, dangling
   // processors) and can then sort any number of inputs.
-  core::FaultTolerantSorter sorter(n, faults);
+  core::SortConfig cfg;
+  cfg.record_trace = !cli.str("trace").empty();
+  cfg.record_metrics =
+      cfg.record_trace || !cli.str("metrics").empty();
+  core::FaultTolerantSorter sorter(n, faults, cfg);
   std::cout << "plan: " << sorter.plan().to_string() << "\n";
 
   util::Rng rng(2026);
@@ -39,5 +53,17 @@ int main() {
             << "messages: " << outcome.report.messages
             << ", keys on wire: " << outcome.report.keys_sent
             << ", comparisons: " << outcome.report.comparisons << "\n";
+
+  if (!cli.str("trace").empty()) {
+    std::ofstream tf(cli.str("trace"));
+    sim::write_chrome_trace(tf, outcome.trace_events, cube::num_nodes(n));
+    std::cout << "wrote trace: " << cli.str("trace")
+              << " (open at ui.perfetto.dev)\n";
+  }
+  if (!cli.str("metrics").empty()) {
+    std::ofstream mf(cli.str("metrics"));
+    sim::write_metrics_json(mf, outcome.report);
+    std::cout << "wrote metrics: " << cli.str("metrics") << "\n";
+  }
   return 0;
 }

@@ -34,9 +34,12 @@ MfsSortResult mfs_bitonic_sort(cube::Dim n, const fault::FaultSet& faults,
     const cube::NodeId logical = logical_of[ctx.id()];
     if (logical == cube::num_nodes(n)) co_return;  // outside the subcube
     std::vector<sort::Key>& block = block_of[ctx.id()];
-    std::uint64_t comparisons = 0;
-    sort::heapsort(block, comparisons);
-    ctx.charge_compares(comparisons);
+    {
+      const sim::PhaseSpan span = ctx.span(sim::Phase::LocalSort);
+      std::uint64_t comparisons = 0;
+      sort::heapsort(block, comparisons);
+      ctx.charge_compares(comparisons);
+    }
     co_await sort::block_bitonic_sort(ctx, lc, logical, block,
                                       /*ascending=*/true, protocol,
                                       /*tag_base=*/0);

@@ -44,9 +44,12 @@ RingSortResult ring_odd_even_sort(cube::Dim n,
     const std::size_t me = position[ctx.id()];
     if (me == live) co_return;  // not on the ring (cannot happen: healthy)
     std::vector<sort::Key>& block = block_of[ctx.id()];
-    std::uint64_t comparisons = 0;
-    sort::heapsort(block, comparisons);
-    ctx.charge_compares(comparisons);
+    {
+      const sim::PhaseSpan span = ctx.span(sim::Phase::LocalSort);
+      std::uint64_t comparisons = 0;
+      sort::heapsort(block, comparisons);
+      ctx.charge_compares(comparisons);
+    }
 
     // Odd-even transposition: phase p pairs positions (i, i+1) with
     // i ≡ p (mod 2). `live` phases guarantee a sorted ring.

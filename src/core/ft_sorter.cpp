@@ -117,6 +117,7 @@ SortOutcome FaultTolerantSorter::sort(
     // Step 2 (optional): the host pushes every key through the entry
     // node's host link; the entry fans the blocks out.
     if (config_.charge_host_io) {
+      const sim::PhaseSpan span = ctx.span(sim::Phase::Scatter);
       if (ctx.id() == entry) {
         ctx.charge_time(config_.cost.injection_time(keys.size()));
         for (cube::NodeId u = 0; u < cube::num_nodes(plan.n()); ++u) {
@@ -136,13 +137,19 @@ SortOutcome FaultTolerantSorter::sort(
     // Step 3: local sort (heapsort per the paper, configurable), then the
     // single-fault bitonic sort of this subcube; ascending iff the subcube
     // address is even.
-    std::uint64_t comparisons = 0;
-    sort::local_sort(config_.local_sort, block, comparisons);
-    ctx.charge_compares(comparisons);
+    {
+      const sim::PhaseSpan span = ctx.span(sim::Phase::LocalSort);
+      std::uint64_t comparisons = 0;
+      sort::local_sort(config_.local_sort, block, comparisons);
+      ctx.charge_compares(comparisons);
+    }
     const bool v_even = cube::bit(v, 0) == 0;
-    co_await sort::block_bitonic_sort(ctx, lc, lw, block,
-                                      /*ascending=*/m == 0 || v_even,
-                                      protocol, /*tag_base=*/0, &scratch);
+    {
+      const sim::PhaseSpan span = ctx.span(sim::Phase::SubcubeSort);
+      co_await sort::block_bitonic_sort(ctx, lc, lw, block,
+                                        /*ascending=*/m == 0 || v_even,
+                                        protocol, /*tag_base=*/0, &scratch);
+    }
 
     // Steps 4-8: bitonic-like sort across subcubes.
     std::uint32_t step = 0;
@@ -157,13 +164,17 @@ SortOutcome FaultTolerantSorter::sort(
         const sort::SplitHalf keep = (cube::bit(v, j) == mask)
                                          ? sort::SplitHalf::Lower
                                          : sort::SplitHalf::Upper;
-        co_await sort::exchange_merge_split_into(
-            ctx, partner, tag_exchange(step), block, scratch, keep,
-            protocol);
+        {
+          const sim::PhaseSpan span = ctx.span(sim::Phase::MergeExchange);
+          co_await sort::exchange_merge_split_into(
+              ctx, partner, tag_exchange(step), block, scratch, keep,
+              protocol);
+        }
         // Step 8: re-sort this subcube; ascending iff v_{j-1} == mask
         // (v_{-1} = 0). The content is blockwise bitonic after the split,
         // so the merge variant needs only s substeps.
         const int v_jm1 = (j == 0) ? 0 : cube::bit(v, j - 1);
+        const sim::PhaseSpan span = ctx.span(sim::Phase::Resort);
         if (config_.step8 == Step8Mode::BitonicMerge) {
           co_await sort::block_bitonic_merge(ctx, lc, lw, block,
                                              /*ascending=*/v_jm1 == mask,
@@ -181,6 +192,7 @@ SortOutcome FaultTolerantSorter::sort(
     // Final gather (optional): blocks stream back to the host through the
     // entry node in output order.
     if (config_.charge_host_io) {
+      const sim::PhaseSpan span = ctx.span(sim::Phase::Gather);
       if (ctx.id() == entry) {
         for (cube::NodeId gv = 0; gv < plan.num_subcubes(); ++gv)
           for (cube::NodeId glw = 0; glw < cube::num_nodes(plan.s());
@@ -203,13 +215,17 @@ SortOutcome FaultTolerantSorter::sort(
                        dead_links_);
   machine.set_injector(config_.injector);
   machine.trace().enable(config_.record_trace);
+  if (config_.record_metrics) machine.metrics().enable(machine.size());
 
   SortOutcome outcome;
   outcome.report = config_.executor == Executor::Threaded
                        ? machine.run_threaded(program)
                        : machine.run(program);
   outcome.block_size = dist.block_size;
-  if (config_.record_trace) outcome.trace = machine.trace().to_string();
+  if (config_.record_trace) {
+    outcome.trace = machine.trace().to_string();
+    outcome.trace_events = machine.trace().snapshot();
+  }
 
   // Gather in subcube-address order (the algorithm's output placement).
   std::vector<std::vector<sort::Key>> in_order;

@@ -61,6 +61,11 @@ struct SortConfig {
   /// shows how far host I/O dominates once the cube itself is fast.
   bool charge_host_io = false;
   bool record_trace = false;
+  /// Populate RunReport::metrics / RunReport::phases with per-node,
+  /// per-phase counters (sim/metrics.hpp). The critical-path makespan
+  /// attribution additionally needs record_trace. Deterministic across
+  /// executors; off by default (one branch per charge site when off).
+  bool record_metrics = false;
   /// Mid-run fault schedule (sim/fault_injector.hpp), applied to every run.
   /// Without online_recovery an injected death typically leaves the
   /// victim's partners blocked forever and the run ends in DeadlockError —
@@ -81,6 +86,9 @@ struct SortOutcome {
   sim::RunReport report;          ///< logical time & traffic of the run
   std::size_t block_size = 0;     ///< ⌈M / N'⌉
   std::string trace;              ///< event dump when record_trace was set
+  /// Raw events when record_trace was set — feed to
+  /// sim::write_chrome_trace for a Perfetto-loadable timeline.
+  std::vector<sim::TraceEvent> trace_events;
 };
 
 /// Reusable sorter: the partition plan is computed once per fault

@@ -172,9 +172,13 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
     std::map<NodeId, std::pair<std::uint32_t, std::vector<Key>>> witness;
     if (role.live) {
       status = kStatusFinished;
-      std::uint64_t comps = 0;
-      sort::local_sort(cfg.local_sort, block, comps);
-      ctx.charge_compares(comps);
+      {
+        const sim::PhaseSpan span = ctx.span(sim::Phase::LocalSort);
+        std::uint64_t comps = 0;
+        sort::local_sort(cfg.local_sort, block, comps);
+        ctx.charge_compares(comps);
+      }
+      const sim::PhaseSpan span = ctx.span(sim::Phase::RecoverySort);
       for (const sort::ScheduleStep& st : node_schedule(at, me)) {
         const sim::Tag tag = at.tag_base + st.step;
         ctx.send(st.partner, tag, block);  // a copy: aborts need no rollback
@@ -199,10 +203,17 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
 
     // ---- Check-in and verdict (non-coordinator) ------------------------
     if (!coord) {
-      ctx.send(sh.coordinator, cbase + kTagCheckin, {status});
-      auto verdict = co_await ctx.recv_or_timeout(
-          sh.coordinator, cbase + kTagVerdict, rc.verdict_patience);
-      if (!verdict) sh.degrade("coordinator failed during recovery");
+      {
+        const sim::PhaseSpan span = ctx.span(sim::Phase::RecoveryCheckin);
+        ctx.send(sh.coordinator, cbase + kTagCheckin, {status});
+      }
+      std::optional<sim::Message> verdict;
+      {
+        const sim::PhaseSpan span = ctx.span(sim::Phase::RecoveryVerdict);
+        verdict = co_await ctx.recv_or_timeout(
+            sh.coordinator, cbase + kTagVerdict, rc.verdict_patience);
+        if (!verdict) sh.degrade("coordinator failed during recovery");
+      }
       FTSORT_REQUIRE(!verdict->payload.empty());
       const Key word = verdict->payload[0];
       if (word == kVerdictCommit) co_return;
@@ -212,26 +223,30 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
       // RESTART: payload[1..] is the casualty list. Send my (rolled-back)
       // block and my witnesses for the dead, then wait for the new block.
       FTSORT_REQUIRE(word == kVerdictRestart);
-      std::vector<Key> wire;
-      wire.push_back(static_cast<Key>(block.size()));
-      wire.insert(wire.end(), block.begin(), block.end());
-      Key nwit = 0;
-      std::vector<Key> wits;
-      for (std::size_t k = 1; k < verdict->payload.size(); ++k) {
-        const NodeId d = static_cast<NodeId>(verdict->payload[k]);
-        auto it = witness.find(d);
-        if (it == witness.end()) continue;
-        ++nwit;
-        wits.push_back(static_cast<Key>(d));
-        wits.push_back(static_cast<Key>(it->second.first));
-        wits.push_back(static_cast<Key>(it->second.second.size()));
-        wits.insert(wits.end(), it->second.second.begin(),
-                    it->second.second.end());
+      {
+        const sim::PhaseSpan span = ctx.span(sim::Phase::RecoverySalvage);
+        std::vector<Key> wire;
+        wire.push_back(static_cast<Key>(block.size()));
+        wire.insert(wire.end(), block.begin(), block.end());
+        Key nwit = 0;
+        std::vector<Key> wits;
+        for (std::size_t k = 1; k < verdict->payload.size(); ++k) {
+          const NodeId d = static_cast<NodeId>(verdict->payload[k]);
+          auto it = witness.find(d);
+          if (it == witness.end()) continue;
+          ++nwit;
+          wits.push_back(static_cast<Key>(d));
+          wits.push_back(static_cast<Key>(it->second.first));
+          wits.push_back(static_cast<Key>(it->second.second.size()));
+          wits.insert(wits.end(), it->second.second.begin(),
+                      it->second.second.end());
+        }
+        wire.push_back(nwit);
+        wire.insert(wire.end(), wits.begin(), wits.end());
+        ctx.send(sh.coordinator, cbase + kTagWitness, std::move(wire));
       }
-      wire.push_back(nwit);
-      wire.insert(wire.end(), wits.begin(), wits.end());
-      ctx.send(sh.coordinator, cbase + kTagWitness, std::move(wire));
 
+      const sim::PhaseSpan span = ctx.span(sim::Phase::RecoveryRescatter);
       auto rs = co_await ctx.recv_or_timeout(
           sh.coordinator, cbase + kTagRescatter, rc.verdict_patience);
       if (!rs) sh.degrade("coordinator failed during recovery");
@@ -249,17 +264,21 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
 
     std::vector<NodeId> dead;
     bool any_abort = status == kStatusAborted;
-    for (NodeId u : peers) {
-      auto r = co_await ctx.recv_or_timeout(u, cbase + kTagCheckin,
-                                            rc.collect_patience);
-      if (!r)
-        dead.push_back(u);  // missed roll call: the ground truth of death
-      else if (!r->payload.empty() && r->payload[0] == kStatusAborted)
-        any_abort = true;
+    {
+      const sim::PhaseSpan span = ctx.span(sim::Phase::RecoveryCheckin);
+      for (NodeId u : peers) {
+        auto r = co_await ctx.recv_or_timeout(u, cbase + kTagCheckin,
+                                              rc.collect_patience);
+        if (!r)
+          dead.push_back(u);  // missed roll call: the ground truth of death
+        else if (!r->payload.empty() && r->payload[0] == kStatusAborted)
+          any_abort = true;
+      }
     }
 
     if (dead.empty() && !any_abort) {
       sh.final_attempt = e;
+      const sim::PhaseSpan span = ctx.span(sim::Phase::RecoveryVerdict);
       for (NodeId u : peers)
         ctx.send(u, cbase + kTagVerdict, {kVerdictCommit});
       co_return;
@@ -272,6 +291,7 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
     // Degrade before the verdict: survivors still wait on kTagVerdict.
     auto fail_verdict = [&](const std::string& why) {
       sh.record(why);
+      const sim::PhaseSpan span = ctx.span(sim::Phase::RecoveryVerdict);
       for (NodeId u : survivors)
         ctx.send(u, cbase + kTagVerdict, {kVerdictDegrade});
       throw DegradationError("graceful degradation: " + why);
@@ -279,6 +299,7 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
     // Degrade after RESTART went out: survivors wait on kTagRescatter.
     auto fail_salvage = [&](const std::string& why) {
       sh.record(why);
+      const sim::PhaseSpan span = ctx.span(sim::Phase::RecoveryRescatter);
       for (NodeId u : survivors)
         ctx.send(u, cbase + kTagRescatter, {kRescatterDegrade});
       throw DegradationError("graceful degradation: " + why);
@@ -306,76 +327,85 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
 
     std::vector<Key> restart{kVerdictRestart};
     for (NodeId d : dead) restart.push_back(static_cast<Key>(d));
-    for (NodeId u : survivors)
-      ctx.send(u, cbase + kTagVerdict, restart);
+    {
+      const sim::PhaseSpan span = ctx.span(sim::Phase::RecoveryVerdict);
+      for (NodeId u : survivors)
+        ctx.send(u, cbase + kTagVerdict, restart);
+    }
 
     // ---- Salvage -------------------------------------------------------
     const std::uint32_t nn = cube::num_nodes(at.plan.n());
-    std::vector<std::vector<Key>> contributed(nn);
-    // Per dead node: freshest (step, block); the scatter record is the
-    // step -1 fallback for nodes that never completed an exchange.
-    std::map<NodeId, std::pair<long, std::vector<Key>>> best;
-    auto offer = [&](NodeId d, long step, std::vector<Key> w) {
-      auto it = best.find(d);
-      if (it == best.end() || step > it->second.first)
-        best[d] = {step, std::move(w)};
-    };
-    contributed[me] = block;
-    for (const auto& [d, w] : witness)
-      if (std::binary_search(dead.begin(), dead.end(), d))
-        offer(d, static_cast<long>(w.first), w.second);
-    for (NodeId u : survivors) {
-      auto r = co_await ctx.recv_or_timeout(u, cbase + kTagWitness,
-                                            rc.collect_patience);
-      if (!r)
-        fail_salvage("processor " + std::to_string(u) +
-                     " failed during recovery negotiation");
-      const std::vector<Key>& p = r->payload.vec();
-      std::size_t k = 0;
-      const auto need = [&](std::size_t c) {
-        FTSORT_REQUIRE(k + c <= p.size());
+    std::vector<Key> pool;  // every salvaged key, exactly once
+    {
+      const sim::PhaseSpan span = ctx.span(sim::Phase::RecoverySalvage);
+      std::vector<std::vector<Key>> contributed(nn);
+      // Per dead node: freshest (step, block); the scatter record is the
+      // step -1 fallback for nodes that never completed an exchange.
+      std::map<NodeId, std::pair<long, std::vector<Key>>> best;
+      auto offer = [&](NodeId d, long step, std::vector<Key> w) {
+        auto it = best.find(d);
+        if (it == best.end() || step > it->second.first)
+          best[d] = {step, std::move(w)};
       };
-      need(1);
-      const auto nb = static_cast<std::size_t>(p[k++]);
-      need(nb);
-      contributed[u].assign(p.begin() + static_cast<std::ptrdiff_t>(k),
-                            p.begin() + static_cast<std::ptrdiff_t>(k + nb));
-      k += nb;
-      need(1);
-      const auto nw = static_cast<std::size_t>(p[k++]);
-      for (std::size_t t = 0; t < nw; ++t) {
-        need(3);
-        const NodeId d = static_cast<NodeId>(p[k++]);
-        const long stp = static_cast<long>(p[k++]);
-        const auto len = static_cast<std::size_t>(p[k++]);
-        need(len);
-        offer(d, stp,
-              std::vector<Key>(p.begin() + static_cast<std::ptrdiff_t>(k),
-                               p.begin() +
-                                   static_cast<std::ptrdiff_t>(k + len)));
-        k += len;
+      contributed[me] = block;
+      for (const auto& [d, w] : witness)
+        if (std::binary_search(dead.begin(), dead.end(), d))
+          offer(d, static_cast<long>(w.first), w.second);
+      for (NodeId u : survivors) {
+        auto r = co_await ctx.recv_or_timeout(u, cbase + kTagWitness,
+                                              rc.collect_patience);
+        if (!r)
+          fail_salvage("processor " + std::to_string(u) +
+                       " failed during recovery negotiation");
+        const std::vector<Key>& p = r->payload.vec();
+        std::size_t k = 0;
+        const auto need = [&](std::size_t c) {
+          FTSORT_REQUIRE(k + c <= p.size());
+        };
+        need(1);
+        const auto nb = static_cast<std::size_t>(p[k++]);
+        need(nb);
+        contributed[u].assign(p.begin() + static_cast<std::ptrdiff_t>(k),
+                              p.begin() + static_cast<std::ptrdiff_t>(k + nb));
+        k += nb;
+        need(1);
+        const auto nw = static_cast<std::size_t>(p[k++]);
+        for (std::size_t t = 0; t < nw; ++t) {
+          need(3);
+          const NodeId d = static_cast<NodeId>(p[k++]);
+          const long stp = static_cast<long>(p[k++]);
+          const auto len = static_cast<std::size_t>(p[k++]);
+          need(len);
+          offer(d, stp,
+                std::vector<Key>(p.begin() + static_cast<std::ptrdiff_t>(k),
+                                 p.begin() +
+                                     static_cast<std::ptrdiff_t>(k + len)));
+          k += len;
+        }
       }
-    }
-    for (NodeId d : dead)
-      if (!best.count(d) && d < sh.scatter_record.size())
-        offer(d, -1, sh.scatter_record[d]);
+      for (NodeId d : dead)
+        if (!best.count(d) && d < sh.scatter_record.size())
+          offer(d, -1, sh.scatter_record[d]);
 
-    // Pool every key exactly once, in deterministic order, and verify
-    // nothing was lost: concurrent deaths can leave witnesses stale (two
-    // casualties that exchanged with each other before dying), which this
-    // count + checksum test catches.
-    std::vector<Key> pool;
-    for (NodeId u = 0; u < nn; ++u)
-      for (Key key : contributed[u])
-        if (key != sim::kDummyKey) pool.push_back(key);
-    for (const auto& [d, w] : best)
-      for (Key key : w.second)
-        if (key != sim::kDummyKey) pool.push_back(key);
-    if (pool.size() != sh.expect_count ||
-        checksum(pool) != sh.expect_sum)
-      fail_salvage("key salvage failed — concurrent deaths destroyed data");
+      // Pool every key exactly once, in deterministic order, and verify
+      // nothing was lost: concurrent deaths can leave witnesses stale (two
+      // casualties that exchanged with each other before dying), which this
+      // count + checksum test catches.
+      for (NodeId u = 0; u < nn; ++u)
+        for (Key key : contributed[u])
+          if (key != sim::kDummyKey) pool.push_back(key);
+      for (const auto& [d, w] : best)
+        for (Key key : w.second)
+          if (key != sim::kDummyKey) pool.push_back(key);
+      if (pool.size() != sh.expect_count ||
+          checksum(pool) != sh.expect_sum)
+        fail_salvage("key salvage failed — concurrent deaths destroyed data");
+    }
+
 
     // ---- Re-plan and re-scatter ---------------------------------------
+    const sim::PhaseSpan rescatter_span =
+        ctx.span(sim::Phase::RecoveryRescatter);
     sh.attempts.push_back(
         make_attempt(std::move(*next), cbase + kControlTags));
     const AttemptState& na = sh.attempts.back();
@@ -443,6 +473,7 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
   sim::Machine machine(n, plan0.faults(), config.model, config.cost, {});
   machine.set_injector(config.injector);
   machine.trace().enable(config.record_trace);
+  if (config.record_metrics) machine.metrics().enable(machine.size());
   const auto program = [&sh, &config](sim::NodeCtx& ctx) {
     return node_program(ctx, sh, config);
   };
@@ -460,7 +491,10 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
   }
   // Recovery traces are long (two sorts plus the negotiation); raise the
   // dump cap so the death and the restart are actually visible.
-  if (config.record_trace) out.trace = machine.trace().to_string(50'000);
+  if (config.record_trace) {
+    out.trace = machine.trace().to_string(50'000);
+    out.trace_events = machine.trace().snapshot();
+  }
   if (sh.degraded.load())
     throw DegradationError("graceful degradation: " + sh.first_reason());
   if (sh.final_attempt < 0)

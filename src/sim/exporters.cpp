@@ -1,0 +1,182 @@
+#include "sim/exporters.hpp"
+
+#include <cstdio>
+#include <deque>
+#include <ostream>
+#include <unordered_map>
+
+namespace ftsort::sim {
+
+namespace {
+
+/// Shortest round-trip decimal form, locale-independent.
+void put_double(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void put_counters(std::ostream& os, const PhaseCounters& pc) {
+  os << "\"messages\": " << pc.messages
+     << ", \"keys_sent\": " << pc.keys_sent
+     << ", \"key_hops\": " << pc.key_hops
+     << ", \"comparisons\": " << pc.comparisons
+     << ", \"recvs\": " << pc.recvs
+     << ", \"keys_received\": " << pc.keys_received
+     << ", \"messages_dropped\": " << pc.messages_dropped
+     << ", \"timeouts\": " << pc.timeouts
+     << ", \"pool_checkouts\": " << pc.pool_checkouts
+     << ", \"send_busy\": ";
+  put_double(os, pc.send_busy);
+  os << ", \"compute_time\": ";
+  put_double(os, pc.compute_time);
+  os << ", \"recv_wait\": ";
+  put_double(os, pc.recv_wait);
+  os << ", \"msg_size_hist\": [";
+  for (std::size_t b = 0; b < kMsgSizeBuckets; ++b)
+    os << (b != 0 ? ", " : "") << pc.msg_size_hist[b];
+  os << "]";
+}
+
+/// (src, dst, tag) key for pairing sends with their receives (per-channel
+/// delivery is FIFO, so a queue of pending flow ids per channel suffices).
+std::uint64_t flow_channel(cube::NodeId src, cube::NodeId dst, Tag tag) {
+  return (static_cast<std::uint64_t>(src) << 48) |
+         (static_cast<std::uint64_t>(dst) << 32) |
+         static_cast<std::uint64_t>(tag);
+}
+
+void put_event_common(std::ostream& os, const char* name, const char* cat,
+                      const char* ph, SimTime ts, cube::NodeId tid) {
+  os << "{\"name\": \"" << name << "\", \"cat\": \"" << cat
+     << "\", \"ph\": \"" << ph << "\", \"ts\": ";
+  put_double(os, ts);
+  os << ", \"pid\": 0, \"tid\": " << tid;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        std::uint32_t num_nodes) {
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (std::uint32_t u = 0; u < num_nodes; ++u) {
+    sep();
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+          "\"tid\": "
+       << u << ", \"args\": {\"name\": \"node " << u << "\"}}";
+  }
+  sep();
+  os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+        "\"args\": {\"name\": \"hypercube\"}}";
+
+  // Flow ids: sends enqueue, receives dequeue (per-channel FIFO matches the
+  // simulator's delivery order). Dropped messages never produce a Recv, so
+  // their pending ids are simply never bound — Perfetto ignores an
+  // unterminated flow.
+  std::unordered_map<std::uint64_t, std::deque<std::uint64_t>> pending;
+  std::uint64_t next_flow = 1;
+  for (const TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case EventKind::SpanBegin:
+        sep();
+        put_event_common(os, phase_name(ev.phase), "phase", "B", ev.time,
+                         ev.node);
+        os << "}";
+        break;
+      case EventKind::SpanEnd:
+        sep();
+        put_event_common(os, phase_name(ev.phase), "phase", "E", ev.time,
+                         ev.node);
+        os << "}";
+        break;
+      case EventKind::Send: {
+        const std::uint64_t id = next_flow++;
+        pending[flow_channel(ev.node, ev.peer, ev.tag)].push_back(id);
+        sep();
+        put_event_common(os, "msg", "msg", "s", ev.time, ev.node);
+        os << ", \"id\": " << id << ", \"args\": {\"tag\": " << ev.tag
+           << ", \"keys\": " << ev.keys << ", \"hops\": " << ev.hops
+           << ", \"dst\": " << ev.peer << "}}";
+        break;
+      }
+      case EventKind::Recv: {
+        auto it = pending.find(flow_channel(ev.peer, ev.node, ev.tag));
+        if (it != pending.end() && !it->second.empty()) {
+          const std::uint64_t id = it->second.front();
+          it->second.pop_front();
+          sep();
+          put_event_common(os, "msg", "msg", "f", ev.time, ev.node);
+          os << ", \"id\": " << id << ", \"bp\": \"e\", \"args\": "
+                "{\"tag\": "
+             << ev.tag << ", \"keys\": " << ev.keys
+             << ", \"src\": " << ev.peer << "}}";
+        }
+        break;
+      }
+      case EventKind::Drop:
+        sep();
+        put_event_common(os, "drop", "fault", "i", ev.time, ev.node);
+        os << ", \"s\": \"t\", \"args\": {\"src\": " << ev.peer
+           << ", \"tag\": " << ev.tag << ", \"keys\": " << ev.keys << "}}";
+        break;
+      case EventKind::Timeout:
+        sep();
+        put_event_common(os, "timeout", "fault", "i", ev.time, ev.node);
+        os << ", \"s\": \"t\", \"args\": {\"src\": " << ev.peer
+           << ", \"tag\": " << ev.tag << "}}";
+        break;
+      case EventKind::Kill:
+        sep();
+        put_event_common(os, "kill", "fault", "i", ev.time, ev.node);
+        os << ", \"s\": \"t\"}";
+        break;
+      case EventKind::Compute:
+        // Folded into the enclosing phase slice; a per-comparison-batch
+        // event would dwarf the interesting structure.
+        break;
+    }
+  }
+  os << "\n]}\n";
+}
+
+void write_metrics_json(std::ostream& os, const RunReport& report) {
+  os << "{\n  \"schema_version\": 1,\n  \"makespan\": ";
+  put_double(os, report.makespan);
+  os << ",\n  \"totals\": {\"messages\": " << report.messages
+     << ", \"keys_sent\": " << report.keys_sent
+     << ", \"key_hops\": " << report.key_hops
+     << ", \"comparisons\": " << report.comparisons
+     << ", \"messages_dropped\": " << report.messages_dropped
+     << ", \"timeouts\": " << report.timeouts << "},\n";
+  os << "  \"pool_delta\": {\"checkouts\": " << report.pool_delta.checkouts
+     << ", \"heap_allocations\": " << report.pool_delta.heap_allocations()
+     << ", \"returns\": " << report.pool_delta.returns << "},\n";
+  os << "  \"critical_path\": {\"available\": "
+     << (report.phases.has_critical_path ? "true" : "false")
+     << ", \"total\": ";
+  put_double(os, report.phases.critical_total);
+  os << "},\n  \"phases\": [";
+  bool first = true;
+  for (const PhaseBreakdown::Slice& s : report.phases.slices) {
+    os << (first ? "\n" : ",\n") << "    {\"phase\": \""
+       << phase_name(s.phase) << "\", ";
+    first = false;
+    put_counters(os, s.counters);
+    os << ", \"critical_time\": ";
+    put_double(os, s.critical_time);
+    os << ", \"critical_comm\": ";
+    put_double(os, s.critical_comm);
+    os << ", \"critical_compute\": ";
+    put_double(os, s.critical_compute);
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace ftsort::sim

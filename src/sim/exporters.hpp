@@ -1,0 +1,36 @@
+// Trace and metrics exporters.
+//
+// `write_chrome_trace` renders a run's TraceEvent stream in the Chrome
+// trace_events JSON format (the "JSON Array Format" with a traceEvents
+// wrapper), loadable in Perfetto (ui.perfetto.dev) or chrome://tracing:
+// one named track per node, phase spans as nested B/E slices, message
+// deliveries as flow arrows from the send to the matching receive, and
+// kills/timeouts/drops as instant markers. SimTime is already µs, which is
+// exactly the unit trace_events expect in `ts`.
+//
+// `write_metrics_json` renders a RunReport (with metrics enabled) as a flat
+// JSON document: run totals plus one object per phase with that phase's
+// counters and its critical-path share of the makespan. The shape is stable
+// — every phase appears, in enum order, even when all-zero — and is
+// validated in CI against bench/metrics_schema.json.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+
+namespace ftsort::sim {
+
+/// Write the Chrome/Perfetto trace_events JSON for `events` (one run's
+/// stream, e.g. Trace::snapshot()). `num_nodes` sizes the track metadata.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        std::uint32_t num_nodes);
+
+/// Write the flat metrics JSON for `report`. The per-phase array is filled
+/// from `report.phases`; when metrics were disabled it is empty.
+void write_metrics_json(std::ostream& os, const RunReport& report);
+
+}  // namespace ftsort::sim

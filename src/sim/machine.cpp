@@ -17,23 +17,56 @@ bool NodeCtx::is_faulty(cube::NodeId u) const {
 
 void NodeCtx::charge_compares(std::uint64_t k) {
   if (k == 0) return;
-  clock_ += machine_->cost().compare_time(k);
+  const SimTime dt = machine_->cost().compare_time(k);
+  clock_ += dt;
   machine_->comparisons_.fetch_add(k, std::memory_order_relaxed);
+  if (machine_->metrics_.enabled()) {
+    PhaseCounters& pc = machine_->metrics_.at(id_, phase_);
+    pc.comparisons += k;
+    pc.compute_time += dt;
+  }
   machine_->trace_.record(
-      {clock_, id_, EventKind::Compute, 0, 0, k, 0});
+      {clock_, id_, EventKind::Compute, 0, 0, k, 0, phase_});
   machine_->check_alive(id_);
 }
 
 void NodeCtx::charge_time(SimTime t) {
   FTSORT_REQUIRE(t >= 0.0);
   clock_ += t;
+  if (machine_->metrics_.enabled())
+    machine_->metrics_.at(id_, phase_).compute_time += t;
   machine_->check_alive(id_);
+}
+
+PhaseSpan NodeCtx::span(Phase p) { return PhaseSpan(*this, p, true); }
+
+PhaseSpan NodeCtx::span_if_unattributed(Phase p) {
+  return PhaseSpan(*this, p, phase_ == Phase::Unattributed);
+}
+
+PhaseSpan::PhaseSpan(NodeCtx& ctx, Phase p, bool engage)
+    : ctx_(ctx), prev_(ctx.phase_), engaged_(engage) {
+  if (!engaged_) return;
+  // Recorded before the phase switches so the walk's gap attribution stays
+  // with the enclosing phase; the event itself carries the new phase.
+  ctx_.machine_->trace().record(
+      {ctx_.clock_, ctx_.id_, EventKind::SpanBegin, 0, 0, 0, 0, p});
+  ctx_.phase_ = p;
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (!engaged_) return;
+  ctx_.machine_->trace().record({ctx_.clock_, ctx_.id_, EventKind::SpanEnd,
+                                0, 0, 0, 0, ctx_.phase_});
+  ctx_.phase_ = prev_;
 }
 
 void NodeCtx::send(cube::NodeId dst, Tag tag, std::span<const Key> payload) {
   BufferPool& pool = machine_->pools_[id_];
   std::vector<Key> storage = pool.checkout(payload.size());
   storage.assign(payload.begin(), payload.end());
+  if (machine_->metrics_.enabled())
+    ++machine_->metrics_.at(id_, phase_).pool_checkouts;
   send(dst, tag, PooledBuffer(&pool, std::move(storage)));
 }
 
@@ -59,10 +92,22 @@ void NodeCtx::send(cube::NodeId dst, Tag tag, PooledBuffer&& payload) {
   msg.arrival =
       clock_ + machine_->cost().transfer_time(payload.size(), hops);
   msg.payload = std::move(payload);
+  msg.phase = phase_;
 
-  clock_ += machine_->cost().injection_time(msg.payload.size());
+  const SimTime injection =
+      machine_->cost().injection_time(msg.payload.size());
+  clock_ += injection;
+  if (machine_->metrics_.enabled()) {
+    PhaseCounters& pc = machine_->metrics_.at(id_, phase_);
+    ++pc.messages;
+    pc.keys_sent += msg.payload.size();
+    pc.key_hops +=
+        msg.payload.size() * static_cast<std::uint64_t>(msg.hops);
+    pc.send_busy += injection;
+    ++pc.msg_size_hist[PhaseCounters::size_bucket(msg.payload.size())];
+  }
   machine_->trace_.record({msg.sent_at, id_, EventKind::Send, dst, tag,
-                           msg.payload.size(), hops});
+                           msg.payload.size(), hops, phase_});
   machine_->post(std::move(msg));
 }
 
@@ -116,6 +161,18 @@ PoolStats Machine::pool_stats() const {
   return total;
 }
 
+PoolStats Machine::pool_stats_delta() const {
+  const PoolStats now = pool_stats();
+  FTSORT_INVARIANT(now.checkouts >= pool_mark_.checkouts);
+  FTSORT_INVARIANT(now.returns >= pool_mark_.returns);
+  PoolStats delta;
+  delta.checkouts = now.checkouts - pool_mark_.checkouts;
+  delta.fresh = now.fresh - pool_mark_.fresh;
+  delta.grows = now.grows - pool_mark_.grows;
+  delta.returns = now.returns - pool_mark_.returns;
+  return delta;
+}
+
 Machine::NodeState& Machine::state_of(cube::NodeId id) {
   FTSORT_REQUIRE(cube::valid_node(id, n_));
   FTSORT_INVARIANT(nodes_[id] != nullptr);
@@ -139,7 +196,8 @@ void Machine::check_alive(cube::NodeId id) {
   } else {
     st.killed = true;
   }
-  trace_.record({st.ctx.clock_, id, EventKind::Kill, 0, 0, 0, 0});
+  trace_.record(
+      {st.ctx.clock_, id, EventKind::Kill, 0, 0, 0, 0, st.ctx.phase_});
   throw KilledSignal{};
 }
 
@@ -160,8 +218,13 @@ void Machine::post(Message msg) {
       msg.sent_at >= injector_.link_cut_time(msg.src, msg.dst);
   if (dead_on_arrival || link_cut) {
     messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Charged to the *sender's* row (post runs on the sender's thread, so
+    // this stays within the per-node write sharding) under the sender's
+    // phase at the send, carried on the message.
+    if (metrics_.enabled())
+      ++metrics_.at(msg.src, msg.phase).messages_dropped;
     trace_.record({msg.arrival, msg.dst, EventKind::Drop, msg.src, msg.tag,
-                   msg.payload.size(), msg.hops});
+                   msg.payload.size(), msg.hops, msg.phase});
     return;
   }
 
@@ -246,9 +309,16 @@ Message Machine::pop_message(cube::NodeId node, cube::NodeId src, Tag tag) {
     msg = std::move(st.inbox[k]);
     st.inbox.erase(st.inbox.begin() + static_cast<std::ptrdiff_t>(k));
   }
+  const SimTime before = st.ctx.clock_;
   st.ctx.clock_ = std::max(st.ctx.clock_, msg.arrival);
+  if (metrics_.enabled()) {
+    PhaseCounters& pc = metrics_.at(node, st.ctx.phase_);
+    ++pc.recvs;
+    pc.keys_received += msg.payload.size();
+    pc.recv_wait += st.ctx.clock_ - before;
+  }
   trace_.record({st.ctx.clock_, node, EventKind::Recv, src, tag,
-                 msg.payload.size(), msg.hops});
+                 msg.payload.size(), msg.hops, st.ctx.phase_});
   check_alive(node);
   return msg;
 }
@@ -260,9 +330,16 @@ std::optional<Message> Machine::finish_recv_or_timeout(cube::NodeId node,
   if (st.timed_out) {
     st.timed_out = false;
     st.has_deadline = false;
+    const SimTime before = st.ctx.clock_;
     st.ctx.clock_ = std::max(st.ctx.clock_, st.deadline);
     timeouts_.fetch_add(1, std::memory_order_relaxed);
-    trace_.record({st.ctx.clock_, node, EventKind::Timeout, src, tag, 0, 0});
+    if (metrics_.enabled()) {
+      PhaseCounters& pc = metrics_.at(node, st.ctx.phase_);
+      ++pc.timeouts;
+      pc.recv_wait += st.ctx.clock_ - before;
+    }
+    trace_.record({st.ctx.clock_, node, EventKind::Timeout, src, tag, 0, 0,
+                   st.ctx.phase_});
     check_alive(node);
     return std::nullopt;
   }
@@ -341,7 +418,8 @@ bool Machine::fire_quiescence_event() {
   // A blocked node dies: its coroutine is abandoned, never resumed.
   st.killed = true;
   st.waiter = nullptr;
-  trace_.record({st.ctx.clock_, best_node, EventKind::Kill, 0, 0, 0, 0});
+  trace_.record({st.ctx.clock_, best_node, EventKind::Kill, 0, 0, 0, 0,
+                 st.ctx.phase_});
   if (threaded_) {
     progress_.fetch_sub(1, std::memory_order_acq_rel);
     st.cv.notify_one();  // its thread exits via the killed flag
@@ -383,6 +461,9 @@ void Machine::begin_shutdown() {
 void Machine::instantiate_programs(const Program& program) {
   messages_ = keys_sent_ = key_hops_ = comparisons_ = 0;
   messages_dropped_ = timeouts_ = deliveries_ = 0;
+  if (metrics_.enabled()) metrics_.reset();
+  pool_mark_ = pool_stats();
+  trace_run_start_ = trace_.size();
   ready_.clear();
   total_programs_ = 0;
   progress_.store(0, std::memory_order_relaxed);
@@ -438,6 +519,22 @@ RunReport Machine::collect_report() {
   report.messages_dropped = messages_dropped_.load();
   report.timeouts = timeouts_.load();
   report.pool = pool_stats();
+  report.pool_delta = pool_stats_delta();
+  if (metrics_.enabled()) {
+    report.metrics = metrics_.snapshot();
+    // Critical-path attribution needs the trace; restrict it to this run's
+    // events (the trace may hold earlier runs' history).
+    std::vector<TraceEvent> events;
+    if (trace_.enabled()) {
+      events = trace_.snapshot();
+      events.erase(events.begin(),
+                   events.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                        trace_run_start_, events.size())));
+    }
+    report.phases = build_phase_breakdown(report.metrics, events,
+                                          report.makespan,
+                                          report.node_clocks);
+  }
 
   // Check no messages were left undelivered (protocol completeness). With
   // dynamic faults, stray deliveries to dead or timed-out programs are

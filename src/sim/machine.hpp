@@ -55,12 +55,14 @@
 #include "sim/cost_model.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/message.hpp"
+#include "sim/metrics.hpp"
 #include "sim/task.hpp"
 #include "sim/trace.hpp"
 
 namespace ftsort::sim {
 
 class Machine;
+class PhaseSpan;
 
 /// Thrown when every live program is blocked in recv and no message can
 /// ever arrive. The message lists each blocked node and what it waits for.
@@ -130,13 +132,45 @@ class NodeCtx {
     return RecvTimeoutAwaiter{*this, src, tag, patience};
   }
 
+  /// The node's ambient phase: every cost charged and message sent while a
+  /// PhaseSpan is open is attributed to its phase (sim/metrics.hpp).
+  Phase phase() const { return phase_; }
+  /// Open a phase span: sets the ambient phase for the span's lifetime and
+  /// records SpanBegin/SpanEnd trace events. Spans nest; the destructor
+  /// restores the enclosing phase. Charges no time.
+  PhaseSpan span(Phase p);
+  /// Like span(), but a no-op when an enclosing span already set a phase —
+  /// used by library kernels (sort/, collectives) so that a caller's
+  /// step-level tag wins over the kernel's generic one.
+  PhaseSpan span_if_unattributed(Phase p);
+
  private:
   friend class Machine;
+  friend class PhaseSpan;
   NodeCtx(Machine& machine, cube::NodeId id) : machine_(&machine), id_(id) {}
 
   Machine* machine_;
   cube::NodeId id_;
   SimTime clock_ = 0.0;
+  Phase phase_ = Phase::Unattributed;
+};
+
+/// RAII scope for a node's ambient phase (see NodeCtx::span). Must be kept
+/// on the coroutine frame of the owning node program; non-copyable and
+/// non-movable so a span can never outlive its scope unnoticed.
+class PhaseSpan {
+ public:
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+  ~PhaseSpan();
+
+ private:
+  friend class NodeCtx;
+  PhaseSpan(NodeCtx& ctx, Phase p, bool engage);
+
+  NodeCtx& ctx_;
+  Phase prev_ = Phase::Unattributed;
+  bool engaged_ = false;
 };
 
 /// Aggregate results of one simulation run.
@@ -150,10 +184,21 @@ struct RunReport {
   std::uint64_t timeouts = 0;          ///< recv_or_timeout expirations
   std::vector<SimTime> node_clocks;  ///< final clock per node (0 if idle)
   std::vector<cube::NodeId> killed_nodes;  ///< injector victims, ascending
-  /// Payload buffer-pool ledger at collection time. Cumulative over the
-  /// machine's lifetime (pools stay warm between runs), so repeated runs on
-  /// one machine should show `heap_allocations()` approaching a plateau.
+  /// Payload buffer-pool ledger at collection time. NOTE: cumulative over
+  /// the machine's *lifetime* (pools stay warm between runs), so repeated
+  /// runs on one machine show `heap_allocations()` approaching a plateau —
+  /// comparing `pool` across two reports of the same machine double-counts.
+  /// Use `pool_delta` for this run's traffic.
   PoolStats pool;
+  /// Pool ledger of this run only (collection-time stats minus the mark
+  /// taken when the run started).
+  PoolStats pool_delta;
+  /// Per-node, per-phase counters. Empty unless `Machine::metrics()` was
+  /// enabled for the run.
+  MetricsSnapshot metrics;
+  /// Where the makespan went, per phase. Empty unless metrics were enabled;
+  /// the critical-path fields additionally need the trace enabled.
+  PhaseBreakdown phases;
 };
 
 class Machine {
@@ -173,11 +218,18 @@ class Machine {
   const CostModel& cost() const { return cost_; }
   const cube::Router& router() const { return router_; }
   Trace& trace() { return trace_; }
+  /// Per-node, per-phase metrics registry. `metrics().enable(size())`
+  /// before a run to populate `RunReport::metrics` / `RunReport::phases`.
+  Metrics& metrics() { return metrics_; }
 
   /// Aggregate payload-allocation ledger over all node pools. Cumulative
   /// across runs on this machine (pools stay warm); callers interested in a
   /// single run take a delta.
   PoolStats pool_stats() const;
+
+  /// Pool ledger accumulated since the current (or most recent) run
+  /// started — the per-run view of `pool_stats()`.
+  PoolStats pool_stats_delta() const;
 
   /// Install a mid-run fault schedule; applies to every subsequent run on
   /// either executor. Pass a default-constructed injector to clear.
@@ -275,7 +327,10 @@ class Machine {
   CostModel cost_;
   cube::Router router_;
   Trace trace_;
+  Metrics metrics_;
   FaultInjector injector_;
+  PoolStats pool_mark_;            ///< pool_stats() at run start
+  std::size_t trace_run_start_ = 0;  ///< trace_.size() at run start
 
   // Declared before nodes_ so in-flight payload handles (inside inboxes)
   // are destroyed before the pools they return to.

@@ -7,6 +7,7 @@
 #include "hypercube/address.hpp"
 #include "sim/buffer_pool.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/phase.hpp"
 
 namespace ftsort::sim {
 
@@ -32,6 +33,8 @@ struct Message {
   SimTime sent_at = 0.0;   ///< sender clock when the send was issued
   SimTime arrival = 0.0;   ///< store-and-forward arrival time at dst
   int hops = 0;            ///< link traversals the router charged
+  /// Sender's ambient phase at the send — attribution target for drops.
+  Phase phase = Phase::Unattributed;
 };
 
 }  // namespace ftsort::sim

@@ -14,17 +14,20 @@ const char* kind_name(EventKind k) {
     case EventKind::Drop: return "drop";
     case EventKind::Timeout: return "timeout";
     case EventKind::Kill: return "kill";
+    case EventKind::SpanBegin: return "begin";
+    case EventKind::SpanEnd: return "end";
   }
   return "?";
 }
 }  // namespace
 
 std::string Trace::to_string(std::size_t max_lines) const {
+  const std::vector<TraceEvent> events = snapshot();
   std::ostringstream os;
   std::size_t shown = 0;
-  for (const auto& ev : events_) {
+  for (const auto& ev : events) {
     if (shown++ >= max_lines) {
-      os << "... (" << events_.size() - max_lines << " more events)\n";
+      os << "... (" << events.size() - max_lines << " more events)\n";
       break;
     }
     os << std::fixed << std::setprecision(1) << std::setw(12) << ev.time
@@ -34,6 +37,9 @@ std::string Trace::to_string(std::size_t max_lines) const {
       os << " comparisons=" << ev.keys;
     else if (ev.kind == EventKind::Kill)
       os << " (processor dies)";
+    else if (ev.kind == EventKind::SpanBegin ||
+             ev.kind == EventKind::SpanEnd)
+      os << " phase=" << phase_name(ev.phase);
     else
       os << (ev.kind == EventKind::Send ? " -> " : " <- ") << ev.peer
          << " tag=" << ev.tag << " keys=" << ev.keys

@@ -1,5 +1,12 @@
-// Optional event trace of a simulation run, for debugging and the demo
-// examples. Disabled by default; recording is O(1) per event when enabled.
+// Optional event trace of a simulation run, for debugging, the demo
+// examples, and the observability exporters (sim/exporters.hpp). Disabled
+// by default; recording is O(1) per event when enabled.
+//
+// Besides the raw message/compute events, the trace records *span* events
+// (SpanBegin/SpanEnd) emitted by PhaseSpan (sim/machine.hpp): every event
+// carries the node's ambient Phase at the time it happened, which is what
+// the Perfetto exporter turns into one labelled track per node and the
+// PhaseBreakdown critical-path walk uses for attribution.
 #pragma once
 
 #include <cstdint>
@@ -10,10 +17,20 @@
 #include "hypercube/address.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/message.hpp"
+#include "sim/phase.hpp"
 
 namespace ftsort::sim {
 
-enum class EventKind { Send, Recv, Compute, Drop, Timeout, Kill };
+enum class EventKind {
+  Send,
+  Recv,
+  Compute,
+  Drop,
+  Timeout,
+  Kill,
+  SpanBegin,  ///< a PhaseSpan opened; `phase` is the span's phase
+  SpanEnd,    ///< the matching close
+};
 
 struct TraceEvent {
   SimTime time = 0.0;
@@ -23,6 +40,7 @@ struct TraceEvent {
   Tag tag = 0;
   std::uint64_t keys = 0;  ///< payload size or comparison count
   int hops = 0;
+  Phase phase = Phase::Unattributed;  ///< node's ambient phase
 };
 
 class Trace {
@@ -36,8 +54,24 @@ class Trace {
     const std::lock_guard<std::mutex> guard(mutex_);
     events_.push_back(ev);
   }
-  void clear() { events_.clear(); }
+  void clear() {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    events_.clear();
+  }
 
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    return events_.size();
+  }
+
+  /// Consistent copy of the events, safe against concurrent record().
+  std::vector<TraceEvent> snapshot() const {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    return events_;
+  }
+
+  /// Zero-copy view of the events. Only valid while no run is in progress
+  /// (no concurrent record()); use snapshot() otherwise.
   const std::vector<TraceEvent>& events() const { return events_; }
 
   /// Human-readable dump (one line per event), truncated to `max_lines`.
@@ -45,7 +79,7 @@ class Trace {
 
  private:
   bool enabled_ = false;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
 };
 

@@ -30,6 +30,8 @@ sim::Task<std::vector<Key>> broadcast(sim::NodeCtx& ctx,
                                       cube::NodeId me, cube::NodeId root,
                                       std::vector<Key> data, sim::Tag tag) {
   check_args(lc, me, root);
+  const sim::PhaseSpan span =
+      ctx.span_if_unattributed(sim::Phase::Collective);
   const cube::NodeId r = me ^ root;
   // Round k: ranks below 2^k forward to their k-th-dimension partner.
   for (cube::Dim k = 0; k < lc.s; ++k, ++tag) {
@@ -51,6 +53,8 @@ sim::Task<std::vector<Key>> scatter(sim::NodeCtx& ctx,
                                     std::vector<std::vector<Key>> blocks,
                                     sim::Tag tag) {
   check_args(lc, me, root);
+  const sim::PhaseSpan span =
+      ctx.span_if_unattributed(sim::Phase::Collective);
   const cube::NodeId r = me ^ root;
   // Buffer holds the blocks destined for relative ranks
   // [r, r + buffer.size()); at the root that is everything.
@@ -97,6 +101,8 @@ sim::Task<std::vector<Key>> gather(sim::NodeCtx& ctx, const LogicalCube& lc,
                                    cube::NodeId me, cube::NodeId root,
                                    std::vector<Key> mine, sim::Tag tag) {
   check_args(lc, me, root);
+  const sim::PhaseSpan span =
+      ctx.span_if_unattributed(sim::Phase::Collective);
   const cube::NodeId r = me ^ root;
   const std::size_t block_len = mine.size();
   // Bottom-up: after round k, ranks with low k+1 bits zero hold the
@@ -137,6 +143,8 @@ sim::Task<std::vector<Key>> all_gather(sim::NodeCtx& ctx,
                                        std::vector<Key> mine,
                                        sim::Tag tag) {
   check_args(lc, me, 0);
+  const sim::PhaseSpan span =
+      ctx.span_if_unattributed(sim::Phase::Collective);
   const std::size_t block_len = mine.size();
   // Recursive doubling: after round k I hold the blocks of the 2^(k+1)
   // ranks sharing my high bits, in rank order within that group.
@@ -164,6 +172,8 @@ sim::Task<std::vector<Key>> reduce(sim::NodeCtx& ctx, const LogicalCube& lc,
                                    std::vector<Key> mine, ReduceOp op,
                                    sim::Tag tag) {
   check_args(lc, me, root);
+  const sim::PhaseSpan span =
+      ctx.span_if_unattributed(sim::Phase::Collective);
   const cube::NodeId r = me ^ root;
   const auto combine = [op](Key a, Key b) {
     switch (op) {

@@ -39,9 +39,12 @@ SingleFaultSortResult single_fault_bitonic_sort(
     const cube::NodeId logical = ctx.id() ^ reindex_mask;
     if (lc.is_dead(logical)) co_return;  // a dangling-style no-op (unused)
     std::vector<Key>& block = block_of[ctx.id()];
-    std::uint64_t comparisons = 0;
-    heapsort(block, comparisons);
-    ctx.charge_compares(comparisons);
+    {
+      const sim::PhaseSpan span = ctx.span(sim::Phase::LocalSort);
+      std::uint64_t comparisons = 0;
+      heapsort(block, comparisons);
+      ctx.charge_compares(comparisons);
+    }
     co_await block_bitonic_sort(ctx, lc, logical, block, /*ascending=*/true,
                                 protocol, /*tag_base=*/0);
   };

@@ -99,6 +99,10 @@ sim::Task<void> exchange_merge_split_into(
     sim::NodeCtx& ctx, cube::NodeId partner, sim::Tag tag,
     std::vector<Key>& block, ExchangeScratch& scratch, SplitHalf keep,
     ExchangeProtocol protocol) {
+  // Generic tag; a caller's step-level span (e.g. ft_sorter's
+  // MergeExchange/Resort) takes precedence.
+  const sim::PhaseSpan span =
+      ctx.span_if_unattributed(sim::Phase::MergeExchange);
   if (protocol == ExchangeProtocol::HalfExchange) {
     co_await half_exchange(ctx, partner, tag, block, scratch, keep);
     co_return;
@@ -165,6 +169,7 @@ sim::Task<void> block_bitonic_merge(sim::NodeCtx& ctx,
   FTSORT_REQUIRE(lc.phys[me_logical] == ctx.id());
   FTSORT_REQUIRE(is_ascending(block));
 
+  const sim::PhaseSpan span = ctx.span_if_unattributed(sim::Phase::Resort);
   ExchangeScratch local;
   ExchangeScratch& sc = scratch != nullptr ? *scratch : local;
 
@@ -205,6 +210,8 @@ sim::Task<void> block_bitonic_sort(sim::NodeCtx& ctx, const LogicalCube& lc,
   FTSORT_REQUIRE(lc.phys[me_logical] == ctx.id());
   FTSORT_REQUIRE(is_ascending(block));
 
+  const sim::PhaseSpan span =
+      ctx.span_if_unattributed(sim::Phase::SubcubeSort);
   ExchangeScratch local;
   ExchangeScratch& sc = scratch != nullptr ? *scratch : local;
 

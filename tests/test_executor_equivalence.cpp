@@ -44,6 +44,10 @@ Result run_once(const Shape& shape, const std::vector<sort::Key>& keys,
   cfg.online_recovery = true;
   cfg.executor = exec;
   cfg.injector = injector;
+  // Per-node, per-phase counters are charged from message causality only,
+  // so the whole snapshot must match across executors too (compared in
+  // expect_identical).
+  cfg.record_metrics = true;
   core::FaultTolerantSorter sorter(
       shape.n, fault::FaultSet(shape.n, shape.static_faults), cfg);
   Result r;
@@ -75,6 +79,8 @@ void expect_identical(const Result& a, const Result& b,
   EXPECT_EQ(a.report.timeouts, b.report.timeouts) << label;
   EXPECT_EQ(a.report.node_clocks, b.report.node_clocks) << label;
   EXPECT_EQ(a.report.killed_nodes, b.report.killed_nodes) << label;
+  EXPECT_TRUE(a.report.metrics == b.report.metrics) << label;
+  EXPECT_TRUE(a.report.phases == b.report.phases) << label;
 }
 
 class ExecutorEquivalence : public ::testing::TestWithParam<std::size_t> {};

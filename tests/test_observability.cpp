@@ -1,0 +1,293 @@
+// Observability suite: per-node per-phase metrics, phase spans, the
+// critical-path breakdown, per-run pool deltas, and the JSON exporters.
+//
+// The metrics registry and span taxonomy are logical (charged from message
+// causality, never host scheduling), so everything asserted here must hold
+// byte-identically on both executors; the concurrency tests run under TSan
+// via the tsan preset's test filter.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sim/exporters.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Trace thread-safety: record() runs on every node thread of the MIMD
+// executor while a monitoring thread may size/snapshot/clear. TSan is the
+// real assertion here; the test only has to provoke the interleavings.
+
+TEST(ObservabilityTrace, ConcurrentRecordSnapshotClearIsRaceFree) {
+  sim::Trace trace;
+  trace.enable();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&trace, t] {
+      for (int i = 0; i < 5'000; ++i)
+        trace.record({static_cast<double>(i),
+                      static_cast<cube::NodeId>(t),
+                      sim::EventKind::Compute, 0, 0, 1, 0});
+    });
+  std::thread reader([&trace] {
+    for (int i = 0; i < 400; ++i) {
+      (void)trace.size();
+      const auto copy = trace.snapshot();
+      if (copy.size() > 10'000) trace.clear();
+    }
+  });
+  for (std::thread& th : writers) th.join();
+  reader.join();
+  EXPECT_LE(trace.snapshot().size(), 20'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Span mechanics: spans switch the ambient phase, nest, restore on exit,
+// charge no simulated time, and span_if_unattributed defers to an already
+// engaged step-level span.
+
+TEST(ObservabilityTrace, SpansNestAndRestoreAmbientPhase) {
+  sim::Machine machine(1, fault::FaultSet(1));  // Q_1: two nodes
+  machine.trace().enable();
+  machine.metrics().enable(machine.size());
+  const auto program = [](sim::NodeCtx& ctx) -> sim::Task<void> {
+    EXPECT_EQ(ctx.phase(), sim::Phase::Unattributed);
+    {
+      const sim::PhaseSpan outer = ctx.span(sim::Phase::LocalSort);
+      EXPECT_EQ(ctx.phase(), sim::Phase::LocalSort);
+      ctx.charge_compares(10);
+      {
+        const sim::PhaseSpan inner = ctx.span(sim::Phase::MergeExchange);
+        EXPECT_EQ(ctx.phase(), sim::Phase::MergeExchange);
+        ctx.charge_compares(5);
+      }
+      EXPECT_EQ(ctx.phase(), sim::Phase::LocalSort);
+      // The ambient phase is already set, so this span must not engage.
+      const sim::PhaseSpan kept =
+          ctx.span_if_unattributed(sim::Phase::Collective);
+      ctx.charge_compares(1);
+    }
+    EXPECT_EQ(ctx.phase(), sim::Phase::Unattributed);
+    ctx.charge_compares(2);
+    co_return;
+  };
+  const sim::RunReport report = machine.run(program);
+
+  const sim::MetricsSnapshot& m = report.metrics;
+  ASSERT_FALSE(m.empty());
+  EXPECT_EQ(m.total(sim::Phase::LocalSort).comparisons, 22u);
+  EXPECT_EQ(m.total(sim::Phase::MergeExchange).comparisons, 10u);
+  EXPECT_EQ(m.total(sim::Phase::Collective).comparisons, 0u);
+  EXPECT_EQ(m.total(sim::Phase::Unattributed).comparisons, 4u);
+  EXPECT_EQ(m.grand_total().comparisons, report.comparisons);
+
+  // Two nested spans per node appear as balanced begin/end events, and a
+  // span costs nothing: the report must match an uninstrumented run.
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (const sim::TraceEvent& ev : machine.trace().snapshot()) {
+    begins += ev.kind == sim::EventKind::SpanBegin;
+    ends += ev.kind == sim::EventKind::SpanEnd;
+  }
+  EXPECT_EQ(begins, 4u);
+  EXPECT_EQ(ends, 4u);
+
+  sim::Machine plain(1, fault::FaultSet(1));
+  const auto bare = [](sim::NodeCtx& ctx) -> sim::Task<void> {
+    ctx.charge_compares(18);
+    co_return;
+  };
+  const sim::RunReport plain_report = plain.run(bare);
+  EXPECT_DOUBLE_EQ(report.makespan, plain_report.makespan);
+}
+
+// ---------------------------------------------------------------------------
+// The pinned fig7 scenario (bench_harness's flagship): per-phase totals must
+// sum exactly to the RunReport aggregates on both executors, and the two
+// executors must produce byte-identical snapshots and breakdowns.
+
+core::SortOutcome run_pinned_fig7(core::Executor exec) {
+  util::Rng rng(1706);
+  const fault::FaultSet faults = fault::random_faults(6, 2, rng);
+  const auto keys = sort::gen_uniform(3'200, rng);
+  core::SortConfig cfg;
+  cfg.protocol = sort::ExchangeProtocol::FullExchange;
+  cfg.executor = exec;
+  cfg.record_metrics = true;
+  cfg.record_trace = true;
+  const core::FaultTolerantSorter sorter(6, faults, cfg);
+  return sorter.sort(keys);
+}
+
+TEST(ObservabilityMetrics, PhaseTotalsSumToReportAggregates) {
+  for (const core::Executor exec :
+       {core::Executor::Sequential, core::Executor::Threaded}) {
+    const core::SortOutcome out = run_pinned_fig7(exec);
+    const sim::PhaseCounters grand = out.report.metrics.grand_total();
+    EXPECT_EQ(grand.comparisons, out.report.comparisons);
+    EXPECT_EQ(grand.keys_sent, out.report.keys_sent);
+    EXPECT_EQ(grand.key_hops, out.report.key_hops);
+    EXPECT_EQ(grand.messages, out.report.messages);
+    EXPECT_EQ(grand.messages_dropped, out.report.messages_dropped);
+    EXPECT_EQ(grand.timeouts, out.report.timeouts);
+
+    // The breakdown's slices are the same totals, phase by phase.
+    sim::PhaseCounters from_slices;
+    for (const sim::PhaseBreakdown::Slice& s : out.report.phases.slices)
+      from_slices += s.counters;
+    EXPECT_TRUE(from_slices == grand);
+  }
+}
+
+TEST(ObservabilityMetrics, ExecutorsProduceIdenticalSnapshots) {
+  const core::SortOutcome seq = run_pinned_fig7(core::Executor::Sequential);
+  const core::SortOutcome thr = run_pinned_fig7(core::Executor::Threaded);
+  EXPECT_TRUE(seq.report.metrics == thr.report.metrics);
+  EXPECT_TRUE(seq.report.phases == thr.report.phases);
+  EXPECT_DOUBLE_EQ(seq.report.makespan, thr.report.makespan);
+}
+
+// Golden breakdown for the pinned scenario. These values are behavior: a
+// diff means either the algorithm's work moved between phases or the
+// attribution rules changed — both belong in a review, not in noise.
+TEST(ObservabilityMetrics, GoldenPhaseBreakdownFig7) {
+  const core::SortOutcome out = run_pinned_fig7(core::Executor::Sequential);
+  const sim::PhaseBreakdown& bd = out.report.phases;
+  ASSERT_FALSE(bd.empty());
+  ASSERT_TRUE(bd.has_critical_path);
+
+  const auto& local = bd.of(sim::Phase::LocalSort);
+  EXPECT_EQ(local.counters.comparisons, 27'075u);
+  EXPECT_EQ(local.counters.messages, 0u);
+  EXPECT_DOUBLE_EQ(local.critical_time, 860.0);
+
+  const auto& subcube = bd.of(sim::Phase::SubcubeSort);
+  EXPECT_EQ(subcube.counters.comparisons, 46'800u);
+  EXPECT_EQ(subcube.counters.keys_sent, 46'800u);
+  EXPECT_EQ(subcube.counters.messages, 900u);
+  EXPECT_DOUBLE_EQ(subcube.critical_time, 7'838.0);
+
+  const auto& merge = bd.of(sim::Phase::MergeExchange);
+  EXPECT_EQ(merge.counters.comparisons, 3'224u);
+  EXPECT_EQ(merge.counters.keys_sent, 3'224u);
+  EXPECT_EQ(merge.counters.messages, 62u);
+  EXPECT_DOUBLE_EQ(merge.critical_time, 1'768.0);
+
+  const auto& resort = bd.of(sim::Phase::Resort);
+  EXPECT_EQ(resort.counters.comparisons, 15'600u);
+  EXPECT_EQ(resort.counters.keys_sent, 17'160u);
+  EXPECT_EQ(resort.counters.messages, 330u);
+  EXPECT_DOUBLE_EQ(resort.critical_time, 4'264.0);
+
+  // Nothing leaks into the catch-all bucket, and the walk telescopes to the
+  // makespan exactly.
+  EXPECT_TRUE(bd.of(sim::Phase::Unattributed).counters ==
+              sim::PhaseCounters{});
+  EXPECT_DOUBLE_EQ(bd.of(sim::Phase::Unattributed).critical_time, 0.0);
+  EXPECT_DOUBLE_EQ(bd.critical_total, out.report.makespan);
+  EXPECT_DOUBLE_EQ(out.report.makespan, 14'730.0);
+}
+
+TEST(ObservabilityMetrics, OffByDefaultLeavesReportEmpty) {
+  util::Rng rng(1706);
+  const fault::FaultSet faults = fault::random_faults(6, 2, rng);
+  const auto keys = sort::gen_uniform(400, rng);
+  const core::FaultTolerantSorter sorter(6, faults, core::SortConfig{});
+  const core::SortOutcome out = sorter.sort(keys);
+  EXPECT_TRUE(out.report.metrics.empty());
+  EXPECT_TRUE(out.report.phases.empty());
+  EXPECT_TRUE(out.trace_events.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pool accounting: RunReport::pool is cumulative over the Machine's
+// lifetime (the documented footgun); pool_delta is this run's slice.
+
+TEST(ObservabilityPool, PoolDeltaIsPerRunWhilePoolIsCumulative) {
+  sim::Machine machine(2, fault::FaultSet(2));
+  const auto program = [](sim::NodeCtx& ctx) -> sim::Task<void> {
+    if (ctx.id() == 0) {
+      // The span overload copies through the sender's buffer pool (the
+      // vector&& overload adopts storage and would bypass it).
+      const std::vector<sim::Key> payload{1, 2, 3};
+      ctx.send(1, 1, std::span<const sim::Key>(payload));
+    } else if (ctx.id() == 1) {
+      const sim::Message m = co_await ctx.recv(0, 1);
+      (void)m;
+    }
+    co_return;
+  };
+  const sim::RunReport r1 = machine.run(program);
+  const sim::RunReport r2 = machine.run(program);
+  ASSERT_GT(r1.pool.checkouts, 0u);
+  // Identical runs, identical per-run deltas...
+  EXPECT_EQ(r1.pool_delta.checkouts, r2.pool_delta.checkouts);
+  EXPECT_EQ(r1.pool_delta.returns, r2.pool_delta.returns);
+  // ...while the raw PoolStats keep growing across runs.
+  EXPECT_EQ(r2.pool.checkouts,
+            r1.pool.checkouts + r2.pool_delta.checkouts);
+  EXPECT_GT(r2.pool.checkouts, r1.pool.checkouts);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters: structurally valid JSON with the shapes CI's schema gate and
+// Perfetto both rely on.
+
+bool braces_balance(const std::string& text) {
+  long depth = 0;
+  for (char c : text) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+TEST(ObservabilityExport, ChromeTraceIsWellFormed) {
+  const core::SortOutcome out = run_pinned_fig7(core::Executor::Sequential);
+  ASSERT_FALSE(out.trace_events.empty());
+  std::ostringstream os;
+  sim::write_chrome_trace(os, out.trace_events, 64);
+  const std::string json = os.str();
+  EXPECT_TRUE(braces_balance(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);  // span begin
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);  // span end
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);  // flow start
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);  // flow finish
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+}
+
+TEST(ObservabilityExport, MetricsJsonContainsEveryPhaseAndKey) {
+  const core::SortOutcome out = run_pinned_fig7(core::Executor::Sequential);
+  std::ostringstream os;
+  sim::write_metrics_json(os, out.report);
+  const std::string json = os.str();
+  EXPECT_TRUE(braces_balance(json));
+  // Stable shape: every phase appears even when all-zero (this is what
+  // bench/metrics_schema.json pins for external consumers).
+  for (std::size_t p = 0; p < sim::kPhaseCount; ++p)
+    EXPECT_NE(json.find(std::string("\"phase\": \"") +
+                        sim::phase_name(static_cast<sim::Phase>(p)) + "\""),
+              std::string::npos)
+        << sim::phase_name(static_cast<sim::Phase>(p));
+  for (const char* key :
+       {"schema_version", "makespan", "totals", "pool_delta",
+        "critical_path", "phases", "msg_size_hist", "critical_time",
+        "critical_comm", "critical_compute", "recv_wait", "send_busy"})
+    EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
+        << key;
+}
+
+}  // namespace
+}  // namespace ftsort

@@ -73,6 +73,12 @@ struct Metrics {
   std::string name;
   std::uint64_t wall_ns = 0;      ///< best-of-reps wall time, informational
   double makespan = 0.0;          ///< simulated time (0 for kernel micros)
+  /// Detection/recovery split of the makespan: `makespan_detect` is the
+  /// last recv_or_timeout expiry (fault detection, timeout-constant
+  /// dominated), the rest is real post-recovery sort work. Both zero for
+  /// fault-free scenarios and kernel micros.
+  double makespan_detect = 0.0;
+  double makespan_post_recovery = 0.0;
   std::uint64_t comparisons = 0;
   std::uint64_t keys_routed = 0;  ///< RunReport::keys_sent
   std::uint64_t messages = 0;
@@ -146,10 +152,18 @@ Metrics run_end_to_end(const std::string& name, cube::Dim n,
   core::SortConfig obs_cfg = cfg;
   obs_cfg.record_metrics = true;
   obs_cfg.record_trace = true;
+  // Host-side scheduler counters only mean something on the threaded
+  // executor, and only perturb wall time there — charge them to the
+  // instrumented run, never the timed reps.
+  obs_cfg.profile_host = cfg.executor == core::Executor::Threaded;
   const core::FaultTolerantSorter obs_sorter(n, faults, obs_cfg);
   core::SortOutcome obs_outcome = obs_sorter.sort(keys);
   m.obs = std::move(obs_outcome.report);
   m.trace_events = std::move(obs_outcome.trace_events);
+  for (const sim::Diagnosis::Wait& w : m.obs.diagnosis.waits)
+    if (w.expired && w.time > m.makespan_detect) m.makespan_detect = w.time;
+  m.makespan_detect = std::min(m.makespan_detect, m.makespan);
+  m.makespan_post_recovery = m.makespan - m.makespan_detect;
   return m;
 }
 
@@ -204,7 +218,9 @@ void write_json(const std::string& path, const std::vector<Metrics>& all,
   std::ofstream out(path);
   out << "{\n"
       << "  \"bench\": \"sort\",\n"
-      << "  \"schema_version\": 1,\n"
+      // v1 = PR 2 (flat counters + phases); v2 adds the
+      // makespan_detect/makespan_post_recovery split.
+      << "  \"schema_version\": 2,\n"
       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
 #ifdef NDEBUG
       << "  \"build\": \"release\",\n"
@@ -215,11 +231,17 @@ void write_json(const std::string& path, const std::vector<Metrics>& all,
   for (std::size_t i = 0; i < all.size(); ++i) {
     const Metrics& m = all[i];
     char makespan[64];
+    char detect[64];
+    char post[64];
     std::snprintf(makespan, sizeof makespan, "%.17g", m.makespan);
+    std::snprintf(detect, sizeof detect, "%.17g", m.makespan_detect);
+    std::snprintf(post, sizeof post, "%.17g", m.makespan_post_recovery);
     out << "    {\n"
         << "      \"name\": \"" << m.name << "\",\n"
         << "      \"wall_ns\": " << m.wall_ns << ",\n"
         << "      \"makespan\": " << makespan << ",\n"
+        << "      \"makespan_detect\": " << detect << ",\n"
+        << "      \"makespan_post_recovery\": " << post << ",\n"
         << "      \"comparisons\": " << m.comparisons << ",\n"
         << "      \"keys_routed\": " << m.keys_routed << ",\n"
         << "      \"messages\": " << m.messages << ",\n"
@@ -260,6 +282,8 @@ void write_json(const std::string& path, const std::vector<Metrics>& all,
 struct ParsedScenario {
   std::string name;
   double makespan = 0.0;
+  double makespan_detect = 0.0;
+  double makespan_post_recovery = 0.0;
   std::uint64_t wall_ns = 0;
   std::uint64_t comparisons = 0;
   std::uint64_t keys_routed = 0;
@@ -314,6 +338,9 @@ bool parse_json(const std::string& path, std::string& mode,
     if (!field("wall_ns", v)) return false;
     s.wall_ns = static_cast<std::uint64_t>(v);
     if (!field("makespan", s.makespan)) return false;
+    if (!field("makespan_detect", s.makespan_detect)) return false;
+    if (!field("makespan_post_recovery", s.makespan_post_recovery))
+      return false;
     if (!field("comparisons", v)) return false;
     s.comparisons = static_cast<std::uint64_t>(v);
     if (!field("keys_routed", v)) return false;
@@ -433,6 +460,11 @@ bool check_regressions(const std::vector<ParsedScenario>& current,
       continue;
     }
     gate(base.name, "makespan", now->makespan, base.makespan);
+    // The recovery split: detection time is pinned by the timeout constant,
+    // so a post-recovery blow-up is a genuine algorithmic regression even
+    // when the total makespan hides it behind a large detect share.
+    gate(base.name, "makespan_post_recovery", now->makespan_post_recovery,
+         base.makespan_post_recovery);
     gate(base.name, "comparisons", static_cast<double>(now->comparisons),
          static_cast<double>(base.comparisons));
     gate(base.name, "keys_routed", static_cast<double>(now->keys_routed),
@@ -535,19 +567,77 @@ int harness_main(int argc, char** argv) {
                 s.makespan, s.comparisons, s.keys_routed, s.messages,
                 s.allocations, s.pool_heap_allocations);
 
+  // Host-side scheduler profile of the threaded instrumented run. Printed,
+  // never written into the scenario rows: the counters are wall-clock
+  // artifacts of this machine, not properties of the algorithm.
+  for (const Metrics& m : all)
+    if (m.obs.host.enabled) {
+      const sim::SchedShardProfile t = m.obs.host.total();
+      std::printf("host-profile %-18s mutex_waits=%" PRIu64
+                  " mutex_wait_ms=%.3f cv_wakeups=%" PRIu64
+                  " spurious=%" PRIu64 " resumed=%" PRIu64
+                  " quiescence=%" PRIu64 "/%" PRIu64
+                  " pool_contended=%" PRIu64 "\n",
+                  m.name.c_str(), t.mutex_waits,
+                  static_cast<double>(t.mutex_wait_ns) / 1e6, t.cv_wakeups,
+                  t.spurious_wakeups, t.tasks_resumed,
+                  m.obs.host.quiescence_events, m.obs.host.quiescence_checks,
+                  m.obs.host.pool_contended);
+    }
+
+  // Append a one-line summary to BENCH_history.jsonl next to --out, so
+  // successive local runs accumulate a perf trajectory that survives
+  // BENCH_sort.json being overwritten.
+  {
+    const std::size_t slash = out_path.find_last_of('/');
+    const std::string history_path =
+        (slash == std::string::npos ? std::string()
+                                    : out_path.substr(0, slash + 1)) +
+        "BENCH_history.jsonl";
+    std::ofstream hist(history_path, std::ios::app);
+    hist << "{\"bench\": \"sort\", \"mode\": \""
+         << (smoke ? "smoke" : "full") << "\", \"build\": \""
+#ifdef NDEBUG
+         << "release"
+#else
+         << "debug"
+#endif
+         << "\", \"scenarios\": [";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const Metrics& m = all[i];
+      char makespan[64];
+      std::snprintf(makespan, sizeof makespan, "%.17g", m.makespan);
+      hist << (i != 0 ? ", " : "") << "{\"name\": \"" << m.name
+           << "\", \"wall_ns\": " << m.wall_ns
+           << ", \"makespan\": " << makespan
+           << ", \"comparisons\": " << m.comparisons << "}";
+    }
+    hist << "]}\n";
+    if (hist) std::printf("history: %s\n", history_path.c_str());
+  }
+
   // Observability exports: the flagship fig7_q6_r2 scenario's instrumented
   // run backs both the Perfetto trace and the metrics JSON.
   const Metrics& flagship = all.front();
   if (!trace_path.empty()) {
-    std::ofstream tout(trace_path);
+    std::ostringstream tjson;
     sim::write_chrome_trace(
-        tout, flagship.trace_events,
+        tjson, flagship.trace_events,
         static_cast<std::uint32_t>(flagship.obs.metrics.nodes.size()));
+    // Shape-check before writing: a malformed export fails the smoke test
+    // here, not when someone loads the file in Perfetto weeks later.
+    std::string why;
+    if (!sim::validate_chrome_trace(tjson.str(), &why)) {
+      std::fprintf(stderr, "FAIL: trace export invalid: %s\n", why.c_str());
+      return 1;
+    }
+    std::ofstream tout(trace_path);
+    tout << tjson.str();
     if (!tout) {
       std::fprintf(stderr, "FAIL: cannot write %s\n", trace_path.c_str());
       return 1;
     }
-    std::printf("trace: %s (%zu events)\n", trace_path.c_str(),
+    std::printf("trace: %s (%zu events, validated)\n", trace_path.c_str(),
                 flagship.trace_events.size());
   }
   if (!metrics_path.empty() || !schema_path.empty()) {

@@ -121,6 +121,9 @@ int main(int argc, char** argv) {
             << (out.report.makespan - t0) / 1000.0 << " ms ("
             << 100.0 * (out.report.makespan - t0) / t0
             << "% over the fault-free run)\n";
+  if (out.report.diagnosis.triggered())
+    std::cout << "\nwhat the flight recorder saw:\n  "
+              << out.report.diagnosis.to_string() << '\n';
   std::cout << "\nevent trace around the death (timeout = a survivor "
                "detecting the loss):\n";
   // Show only the interesting kinds; the full trace is huge.

@@ -215,6 +215,8 @@ SortOutcome FaultTolerantSorter::sort(
                        dead_links_);
   machine.set_injector(config_.injector);
   machine.trace().enable(config_.record_trace);
+  machine.trace().set_capacity(config_.trace_capacity);
+  machine.profile_host(config_.profile_host);
   if (config_.record_metrics) machine.metrics().enable(machine.size());
 
   SortOutcome outcome;

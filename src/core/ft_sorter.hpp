@@ -61,6 +61,17 @@ struct SortConfig {
   /// shows how far host I/O dominates once the cube itself is fast.
   bool charge_host_io = false;
   bool record_trace = false;
+  /// Flight-recorder bound: per-node trace ring capacity in events
+  /// (0 = unbounded). Lets record_trace stay always-on in long recovery
+  /// runs; evictions are counted in RunReport::trace_dropped. A truncated
+  /// trace degrades only attribution (critical path, diagnosis depth) —
+  /// logical results and golden report fields are unaffected.
+  std::size_t trace_capacity = 0;
+  /// Host-side (wall-clock) scheduler and buffer-pool profiling: populates
+  /// RunReport::host with per-shard mutex waits, cv wakeups, resume and
+  /// quiescence counters. Charged outside simulated time, so enabling it
+  /// never changes logical results. Mainly useful with Executor::Threaded.
+  bool profile_host = false;
   /// Populate RunReport::metrics / RunReport::phases with per-node,
   /// per-phase counters (sim/metrics.hpp). The critical-path makespan
   /// attribution additionally needs record_trace. Deterministic across

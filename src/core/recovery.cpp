@@ -473,9 +473,24 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
   sim::Machine machine(n, plan0.faults(), config.model, config.cost, {});
   machine.set_injector(config.injector);
   machine.trace().enable(config.record_trace);
+  machine.trace().set_capacity(config.trace_capacity);
+  machine.profile_host(config.profile_host);
   if (config.record_metrics) machine.metrics().enable(machine.size());
   const auto program = [&sh, &config](sim::NodeCtx& ctx) {
     return node_program(ctx, sh, config);
+  };
+
+  // When the run degrades, annotate the error with the failure explainer:
+  // the flight recorder outlives collect_report's node teardown, so the
+  // root fault and the stalled set are still reconstructable here.
+  const auto degradation_error = [&machine, &config](std::string why) {
+    std::string msg = "graceful degradation: " + std::move(why);
+    if (config.record_trace) {
+      const sim::Diagnosis diag =
+          machine.diagnose(sim::Diagnosis::Kind::Degradation);
+      if (diag.triggered()) msg += "\n" + diag.to_string();
+    }
+    return DegradationError(msg);
   };
 
   SortOutcome out;
@@ -485,8 +500,7 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
                      ? machine.run_threaded(program)
                      : machine.run(program);
   } catch (const std::runtime_error&) {
-    if (sh.degraded.load())
-      throw DegradationError("graceful degradation: " + sh.first_reason());
+    if (sh.degraded.load()) throw degradation_error(sh.first_reason());
     throw;
   }
   // Recovery traces are long (two sorts plus the negotiation); raise the
@@ -495,8 +509,7 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
     out.trace = machine.trace().to_string(50'000);
     out.trace_events = machine.trace().snapshot();
   }
-  if (sh.degraded.load())
-    throw DegradationError("graceful degradation: " + sh.first_reason());
+  if (sh.degraded.load()) throw degradation_error(sh.first_reason());
   if (sh.final_attempt < 0)
     throw DegradationError(
         "graceful degradation: the recovery coordinator died before any "

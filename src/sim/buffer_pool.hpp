@@ -23,6 +23,8 @@
 // benchmark harness an exact allocation ledger.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -65,7 +67,7 @@ class BufferPool {
   std::vector<Key> checkout(std::size_t size_hint) {
     std::vector<Key> storage;
     {
-      const std::lock_guard<std::mutex> guard(mutex_);
+      const std::unique_lock<std::mutex> guard = lock();
       ++stats_.checkouts;
       if (free_.empty()) {
         ++stats_.fresh;
@@ -83,25 +85,62 @@ class BufferPool {
   /// capacity is kept for the next checkout.
   void give_back(std::vector<Key>&& storage) {
     storage.clear();
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const std::unique_lock<std::mutex> guard = lock();
     ++stats_.returns;
     free_.push_back(std::move(storage));
   }
 
   PoolStats stats() const {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const std::unique_lock<std::mutex> guard = lock();
     return stats_;
   }
 
   std::size_t free_count() const {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const std::unique_lock<std::mutex> guard = lock();
     return free_.size();
   }
 
+  // Host-side contention ledger (Machine::profile_host). Wall-clock data,
+  // deliberately kept out of PoolStats: PoolStats feeds deterministic
+  // golden-report and executor-equivalence comparisons.
+  void set_profiling(bool on) {
+    profiling_.store(on, std::memory_order_relaxed);
+  }
+  void reset_contention() {
+    contended_.store(0, std::memory_order_relaxed);
+    contended_wait_ns_.store(0, std::memory_order_relaxed);
+  }
+  std::uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t contended_wait_ns() const {
+    return contended_wait_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
+  std::unique_lock<std::mutex> lock() const {
+    if (!profiling_.load(std::memory_order_relaxed))
+      return std::unique_lock<std::mutex>(mutex_);
+    std::unique_lock<std::mutex> lk(mutex_, std::try_to_lock);
+    if (lk.owns_lock()) return lk;
+    const auto t0 = std::chrono::steady_clock::now();
+    lk.lock();
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    contended_wait_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                .count()),
+        std::memory_order_relaxed);
+    return lk;
+  }
+
   mutable std::mutex mutex_;
   std::vector<std::vector<Key>> free_;
   PoolStats stats_;
+  std::atomic<bool> profiling_{false};
+  mutable std::atomic<std::uint64_t> contended_{0};
+  mutable std::atomic<std::uint64_t> contended_wait_ns_{0};
 };
 
 /// Move-only owning handle to pooled storage. Destruction (or `reset`)

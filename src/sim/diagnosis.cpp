@@ -1,0 +1,185 @@
+#include "sim/diagnosis.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace ftsort::sim {
+
+const char* diagnosis_kind_name(Diagnosis::Kind k) {
+  switch (k) {
+    case Diagnosis::Kind::None: return "none";
+    case Diagnosis::Kind::Deadlock: return "deadlock";
+    case Diagnosis::Kind::TimeoutBurst: return "timeout_burst";
+    case Diagnosis::Kind::NodeLoss: return "node_loss";
+    case Diagnosis::Kind::Degradation: return "degradation";
+  }
+  return "?";
+}
+
+const char* diagnosis_root_kind_name(Diagnosis::RootKind k) {
+  switch (k) {
+    case Diagnosis::RootKind::None: return "none";
+    case Diagnosis::RootKind::NodeKill: return "node_kill";
+    case Diagnosis::RootKind::LinkCut: return "link_cut";
+    case Diagnosis::RootKind::MissingPartner: return "missing_partner";
+  }
+  return "?";
+}
+
+std::string Diagnosis::to_string() const {
+  if (!triggered()) return "diagnosis: none";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << "diagnosis[" << diagnosis_kind_name(kind) << "]: root cause: ";
+  switch (root_kind) {
+    case RootKind::NodeKill:
+      os << "injected kill of node " << root_node << " at t=" << root_time
+         << "us during phase " << phase_name(root_phase);
+      break;
+    case RootKind::LinkCut:
+      os << "injected cut of link " << root_node << "<->" << root_peer
+         << " at t=" << root_time << "us during phase "
+         << phase_name(root_phase);
+      break;
+    case RootKind::MissingPartner:
+      // Deliberately "peer", not "node": deadlock-message tests assert that
+      // finished nodes are never rendered as "node N".
+      os << "peer " << root_node
+         << " never sent (finished or idle); first unanswered wait at t="
+         << root_time << "us during phase " << phase_name(root_phase);
+      break;
+    case RootKind::None:
+      os << "unknown";
+      break;
+  }
+  os << "; stalled (transitively): [";
+  for (std::size_t i = 0; i < stalled.size(); ++i)
+    os << (i ? ", " : "") << stalled[i];
+  os << "]";
+  if (!waits.empty()) {
+    os << "; wait-for:";
+    constexpr std::size_t kMaxWaits = 16;
+    const std::size_t shown = std::min(waits.size(), kMaxWaits);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const Wait& w = waits[i];
+      os << (i ? " |" : "") << " node " << w.node << ' '
+         << (w.expired ? "timed out waiting for" : "waits for")
+         << " src=" << w.src << " tag=" << w.tag << " at t=" << w.time
+         << "us [" << phase_name(w.phase) << "]";
+    }
+    if (waits.size() > kMaxWaits)
+      os << " | ... (+" << waits.size() - kMaxWaits << " more)";
+  }
+  return os.str();
+}
+
+Diagnosis diagnose(DiagnosisInput in, Diagnosis::Kind kind) {
+  Diagnosis d;
+  if (in.waits.empty() && in.kills.empty() && in.cuts.empty()) return d;
+  d.kind = kind;
+
+  std::sort(in.waits.begin(), in.waits.end(),
+            [](const Diagnosis::Wait& a, const Diagnosis::Wait& b) {
+              return std::tie(a.time, a.node, a.src, a.tag, a.expired) <
+                     std::tie(b.time, b.node, b.src, b.tag, b.expired);
+            });
+  in.waits.erase(std::unique(in.waits.begin(), in.waits.end()),
+                 in.waits.end());
+  d.waits = std::move(in.waits);
+
+  // Earliest observation per killed node (a victim can appear both in live
+  // node state and in the trace). On a time tie, an observation that knows
+  // the phase beats one that does not: the victim's PhaseSpan unwinds before
+  // post-mortem node state is read, so live state reports Unattributed while
+  // the trace event captured the phase at kill time.
+  std::sort(in.kills.begin(), in.kills.end(),
+            [](const DiagnosisInput::Kill& a, const DiagnosisInput::Kill& b) {
+              const bool a_unattr = a.phase == Phase::Unattributed;
+              const bool b_unattr = b.phase == Phase::Unattributed;
+              return std::tie(a.time, a.node, a_unattr, a.phase) <
+                     std::tie(b.time, b.node, b_unattr, b.phase);
+            });
+  std::vector<DiagnosisInput::Kill> kills;
+  {
+    std::set<cube::NodeId> seen;
+    for (const auto& k : in.kills)
+      if (seen.insert(k.node).second) kills.push_back(k);
+  }
+  std::sort(in.cuts.begin(), in.cuts.end(),
+            [](const DiagnosisInput::Cut& a, const DiagnosisInput::Cut& b) {
+              return std::tie(a.time, a.a, a.b) < std::tie(b.time, b.a, b.b);
+            });
+
+  // Root selection: the earliest injected event; kills beat cuts on ties;
+  // with no injected event, the silent peer the earliest unanswered wait
+  // points at.
+  const DiagnosisInput::Kill* kill = kills.empty() ? nullptr : &kills.front();
+  const DiagnosisInput::Cut* cut = in.cuts.empty() ? nullptr : &in.cuts.front();
+  if (kill != nullptr && (cut == nullptr || kill->time <= cut->time)) {
+    d.root_kind = Diagnosis::RootKind::NodeKill;
+    d.root_node = kill->node;
+    d.root_time = kill->time;
+    d.root_phase = kill->phase;
+  } else if (cut != nullptr) {
+    d.root_kind = Diagnosis::RootKind::LinkCut;
+    d.root_node = cut->a;
+    d.root_peer = cut->b;
+    d.root_time = cut->time;
+    for (const auto& w : d.waits)
+      if (w.src == cut->a || w.src == cut->b) {
+        d.root_phase = w.phase;
+        break;
+      }
+  } else {
+    std::set<cube::NodeId> waiting;
+    for (const auto& w : d.waits) waiting.insert(w.node);
+    const Diagnosis::Wait* pick = nullptr;
+    for (const auto& w : d.waits)
+      if (waiting.count(w.src) == 0) {
+        pick = &w;
+        break;
+      }
+    if (pick == nullptr) pick = &d.waits.front();  // pure wait cycle
+    d.root_kind = Diagnosis::RootKind::MissingPartner;
+    d.root_node = pick->src;
+    d.root_time = pick->time;
+    d.root_phase = pick->phase;
+  }
+
+  // Transitive closure of the wait-for graph over the root. The stalled
+  // set keeps only actual waiters, so the dead/finished root itself (and a
+  // cut endpoint that kept running) is never listed as stalled.
+  std::set<cube::NodeId> closure{d.root_node};
+  if (d.root_kind == Diagnosis::RootKind::LinkCut) closure.insert(d.root_peer);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& w : d.waits)
+      if (closure.count(w.src) != 0 && closure.insert(w.node).second)
+        changed = true;
+  }
+  std::set<cube::NodeId> waiters;
+  for (const auto& w : d.waits) waiters.insert(w.node);
+  for (const cube::NodeId u : closure)
+    if (waiters.count(u) != 0) d.stalled.push_back(u);
+  return d;
+}
+
+DiagnosisInput diagnosis_input_from_events(
+    const std::vector<TraceEvent>& events) {
+  DiagnosisInput in;
+  for (const auto& ev : events) {
+    if (ev.kind == EventKind::Timeout) {
+      in.waits.push_back({ev.node, ev.peer, ev.tag, ev.time, ev.phase,
+                          /*expired=*/true});
+    } else if (ev.kind == EventKind::Kill) {
+      in.kills.push_back({ev.node, ev.time, ev.phase});
+    }
+  }
+  return in;
+}
+
+}  // namespace ftsort::sim

@@ -1,0 +1,108 @@
+// Failure explainers: turn the low-level evidence a failed or degraded run
+// leaves behind (blocked waits, expired recv_or_timeout deadlines, observed
+// node deaths, configured link cuts) into a structured `Diagnosis` — the
+// root event, the paper phase it interrupted, the wait-for edges, and the
+// set of nodes transitively stalled by the root.
+//
+// The same builder serves three producers so their answers agree:
+//   - Machine::diagnose() feeds it live node state plus the current run's
+//     flight-recorder slice (deadlock messages, RunReport::diagnosis),
+//   - core::recovery_sort() calls it when annotating a DegradationError,
+//   - the `ftdiag explain` CLI reconstructs a DiagnosisInput from an
+//     exported Chrome-trace JSON and gets the identical analysis offline.
+//
+// Everything here is derived from logical (simulated-time) evidence only,
+// so a diagnosis is deterministic and identical across executors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypercube/address.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/message.hpp"
+#include "sim/phase.hpp"
+#include "sim/trace.hpp"
+
+namespace ftsort::sim {
+
+struct Diagnosis {
+  enum class Kind : std::uint8_t {
+    None,          ///< nothing to explain
+    Deadlock,      ///< every live node blocked with no event pending
+    TimeoutBurst,  ///< run completed but recv_or_timeout deadlines expired
+    NodeLoss,      ///< nodes died but no timeout fired (offline-style kill)
+    Degradation,   ///< recovery gave up (DegradationError path)
+  };
+  enum class RootKind : std::uint8_t {
+    None,
+    NodeKill,        ///< an injected processor death
+    LinkCut,         ///< an injected link cut
+    MissingPartner,  ///< the awaited peer finished (or never sends)
+  };
+
+  /// One wait-for edge: `node` waits (or waited, if the deadline expired)
+  /// for a message from `src` on `tag`.
+  struct Wait {
+    cube::NodeId node = 0;
+    cube::NodeId src = 0;
+    Tag tag = 0;
+    SimTime time = 0.0;  ///< block time, or deadline expiry for `expired`
+    Phase phase = Phase::Unattributed;  ///< waiter's ambient phase
+    bool expired = false;  ///< true when this was a recv_or_timeout expiry
+    bool operator==(const Wait&) const = default;
+  };
+
+  Kind kind = Kind::None;
+  RootKind root_kind = RootKind::None;
+  cube::NodeId root_node = 0;  ///< killed node / cut endpoint / silent peer
+  cube::NodeId root_peer = 0;  ///< other cut endpoint (LinkCut only)
+  SimTime root_time = 0.0;
+  Phase root_phase = Phase::Unattributed;  ///< phase the root interrupted
+  std::vector<Wait> waits;  ///< all wait-for edges, sorted (time, node, src)
+  std::vector<cube::NodeId> stalled;  ///< transitive closure, ascending
+
+  bool triggered() const { return kind != Kind::None; }
+
+  /// Deterministic human-readable rendering (single line groups separated
+  /// by "; "), used by Machine::deadlock_message(), DegradationError
+  /// annotations, and `ftdiag explain`.
+  std::string to_string() const;
+
+  bool operator==(const Diagnosis&) const = default;
+};
+
+const char* diagnosis_kind_name(Diagnosis::Kind k);
+const char* diagnosis_root_kind_name(Diagnosis::RootKind k);
+
+/// Raw evidence for diagnose(). Producers fill what they can see; the
+/// builder sorts and deduplicates.
+struct DiagnosisInput {
+  struct Kill {
+    cube::NodeId node = 0;
+    SimTime time = 0.0;
+    Phase phase = Phase::Unattributed;  ///< victim's phase at death
+  };
+  struct Cut {
+    cube::NodeId a = 0;
+    cube::NodeId b = 0;
+    SimTime time = 0.0;
+  };
+  std::vector<Diagnosis::Wait> waits;
+  std::vector<Kill> kills;
+  std::vector<Cut> cuts;
+};
+
+/// Build a Diagnosis: pick the root event (earliest kill, else earliest
+/// cut, else the silent peer the earliest unanswered wait points at), then
+/// close the wait-for graph over it to find the transitively stalled set.
+Diagnosis diagnose(DiagnosisInput in, Diagnosis::Kind kind);
+
+/// Extract the evidence a recorded event stream holds: Timeout events
+/// become expired waits, Kill events become kills. Blocked-but-undelivered
+/// waits and link cuts are invisible to the trace; callers with machine
+/// access merge those in themselves.
+DiagnosisInput diagnosis_input_from_events(const std::vector<TraceEvent>& events);
+
+}  // namespace ftsort::sim

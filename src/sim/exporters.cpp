@@ -1,8 +1,11 @@
 #include "sim/exporters.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <deque>
 #include <ostream>
+#include <string>
 #include <unordered_map>
 
 namespace ftsort::sim {
@@ -126,15 +129,19 @@ void write_chrome_trace(std::ostream& os,
            << ", \"tag\": " << ev.tag << ", \"keys\": " << ev.keys << "}}";
         break;
       case EventKind::Timeout:
+        // The phase rides along so offline consumers (ftdiag explain) can
+        // reconstruct which paper step the expiry interrupted.
         sep();
         put_event_common(os, "timeout", "fault", "i", ev.time, ev.node);
         os << ", \"s\": \"t\", \"args\": {\"src\": " << ev.peer
-           << ", \"tag\": " << ev.tag << "}}";
+           << ", \"tag\": " << ev.tag << ", \"phase\": \""
+           << phase_name(ev.phase) << "\"}}";
         break;
       case EventKind::Kill:
         sep();
         put_event_common(os, "kill", "fault", "i", ev.time, ev.node);
-        os << ", \"s\": \"t\"}";
+        os << ", \"s\": \"t\", \"args\": {\"phase\": \""
+           << phase_name(ev.phase) << "\"}}";
         break;
       case EventKind::Compute:
         // Folded into the enclosing phase slice; a per-comparison-batch
@@ -145,9 +152,173 @@ void write_chrome_trace(std::ostream& os,
   os << "\n]}\n";
 }
 
+namespace {
+
+/// Index one past the matching '}' for the '{' at `start`; npos on
+/// imbalance. String-aware (quotes may in principle contain braces).
+std::size_t match_brace(const std::string& text, std::size_t start) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Value of a `"key": "string"` field inside one event object, or empty.
+std::string object_string_field(const std::string& obj, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": \"";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = obj.find('"', begin);
+  if (end == std::string::npos) return {};
+  return obj.substr(begin, end - begin);
+}
+
+/// Numeric field as text (enough for id/tid comparisons), or empty.
+std::string object_num_field(const std::string& obj, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return {};
+  std::size_t begin = at + needle.size();
+  std::size_t end = begin;
+  while (end < obj.size() &&
+         (std::isdigit(static_cast<unsigned char>(obj[end])) != 0 ||
+          obj[end] == '-' || obj[end] == '+' || obj[end] == '.' ||
+          obj[end] == 'e' || obj[end] == 'E'))
+    ++end;
+  return obj.substr(begin, end - begin);
+}
+
+}  // namespace
+
+bool validate_chrome_trace(const std::string& json, std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (json.find("\"displayTimeUnit\"") == std::string::npos)
+    return fail("missing displayTimeUnit");
+  const std::size_t events_key = json.find("\"traceEvents\"");
+  if (events_key == std::string::npos) return fail("missing traceEvents");
+
+  // Global nesting balance, string-aware.
+  {
+    int braces = 0;
+    int brackets = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+      const char c = json[i];
+      if (in_string) {
+        if (c == '\\')
+          ++i;
+        else if (c == '"')
+          in_string = false;
+        continue;
+      }
+      switch (c) {
+        case '"': in_string = true; break;
+        case '{': ++braces; break;
+        case '}': --braces; break;
+        case '[': ++brackets; break;
+        case ']': --brackets; break;
+        default: break;
+      }
+      if (braces < 0 || brackets < 0) return fail("unbalanced nesting");
+    }
+    if (braces != 0 || brackets != 0 || in_string)
+      return fail("unbalanced nesting");
+  }
+
+  const std::size_t array_start = json.find('[', events_key);
+  if (array_start == std::string::npos)
+    return fail("traceEvents is not an array");
+
+  std::unordered_map<std::string, long> span_balance;  // tid -> open B spans
+  std::unordered_map<std::string, bool> open_flows;    // id -> started
+  std::size_t cursor = array_start + 1;
+  std::size_t count = 0;
+  while (true) {
+    const std::size_t obj_start = json.find('{', cursor);
+    if (obj_start == std::string::npos) break;
+    const std::size_t obj_end = match_brace(json, obj_start);
+    if (obj_end == std::string::npos)
+      return fail("unterminated event object");
+    const std::string obj = json.substr(obj_start, obj_end - obj_start);
+    cursor = obj_end;
+    ++count;
+
+    const std::string name = object_string_field(obj, "name");
+    const std::string ph = object_string_field(obj, "ph");
+    if (name.empty()) return fail("event without name: " + obj);
+    if (ph != "M" && ph != "B" && ph != "E" && ph != "s" && ph != "f" &&
+        ph != "i")
+      return fail("unknown ph in event: " + obj);
+    if (obj.find("\"pid\"") == std::string::npos)
+      return fail("event without pid: " + obj);
+    if (ph == "M") continue;  // metadata carries no timestamp
+    const std::string tid = object_num_field(obj, "tid");
+    if (tid.empty()) return fail("event without tid: " + obj);
+    if (object_num_field(obj, "ts").empty())
+      return fail("event without ts: " + obj);
+    if (ph == "B") {
+      ++span_balance[tid];
+    } else if (ph == "E") {
+      if (--span_balance[tid] < 0)
+        return fail("span end without begin on tid " + tid);
+    } else if (ph == "s") {
+      const std::string id = object_num_field(obj, "id");
+      if (id.empty()) return fail("flow start without id: " + obj);
+      open_flows[id] = true;
+    } else if (ph == "f") {
+      const std::string id = object_num_field(obj, "id");
+      if (id.empty() || !open_flows[id])
+        return fail("flow end without matching start: " + obj);
+    } else if (ph == "i") {
+      if ((name == "timeout" || name == "kill") &&
+          obj.find("\"phase\"") == std::string::npos)
+        return fail("fault instant without phase: " + obj);
+    }
+  }
+  if (count == 0) return fail("no events");
+  for (const auto& [tid, balance] : span_balance)
+    if (balance != 0)
+      return fail("unclosed span on tid " + tid);
+  return true;
+}
+
 void write_metrics_json(std::ostream& os, const RunReport& report) {
-  os << "{\n  \"schema_version\": 1,\n  \"makespan\": ";
+  // Schema history: v1 = PR 3 (totals/pool_delta/critical_path/phases);
+  // v2 adds the detect/post-recovery makespan split, the flight-recorder
+  // eviction count, the failure diagnosis, and the host profile.
+  os << "{\n  \"schema_version\": 2,\n  \"makespan\": ";
   put_double(os, report.makespan);
+  // Detection watermark: the last recv_or_timeout expiry. Everything before
+  // it is fault detection (timeout-constant dominated); everything after is
+  // real post-recovery sort work.
+  SimTime detect = 0.0;
+  for (const Diagnosis::Wait& w : report.diagnosis.waits)
+    if (w.expired && w.time > detect) detect = w.time;
+  detect = std::min(detect, report.makespan);
+  os << ",\n  \"makespan_detect\": ";
+  put_double(os, detect);
+  os << ",\n  \"makespan_post_recovery\": ";
+  put_double(os, report.makespan - detect);
   os << ",\n  \"totals\": {\"messages\": " << report.messages
      << ", \"keys_sent\": " << report.keys_sent
      << ", \"key_hops\": " << report.key_hops
@@ -157,6 +328,34 @@ void write_metrics_json(std::ostream& os, const RunReport& report) {
   os << "  \"pool_delta\": {\"checkouts\": " << report.pool_delta.checkouts
      << ", \"heap_allocations\": " << report.pool_delta.heap_allocations()
      << ", \"returns\": " << report.pool_delta.returns << "},\n";
+  os << "  \"trace_dropped\": " << report.trace_dropped << ",\n";
+  const Diagnosis& diag = report.diagnosis;
+  os << "  \"diagnosis\": {\"triggered\": "
+     << (diag.triggered() ? "true" : "false") << ", \"kind\": \""
+     << diagnosis_kind_name(diag.kind) << "\", \"root_kind\": \""
+     << diagnosis_root_kind_name(diag.root_kind)
+     << "\", \"root_node\": " << diag.root_node
+     << ", \"root_peer\": " << diag.root_peer << ", \"root_time\": ";
+  put_double(os, diag.root_time);
+  os << ", \"root_phase\": \"" << phase_name(diag.root_phase)
+     << "\", \"waits\": " << diag.waits.size() << ", \"stalled\": [";
+  for (std::size_t i = 0; i < diag.stalled.size(); ++i)
+    os << (i != 0 ? ", " : "") << diag.stalled[i];
+  os << "]},\n";
+  const SchedShardProfile sched = report.host.total();
+  os << "  \"host_profile\": {\"enabled\": "
+     << (report.host.enabled ? "true" : "false")
+     << ", \"mutex_waits\": " << sched.mutex_waits
+     << ", \"mutex_wait_ns\": " << sched.mutex_wait_ns
+     << ", \"cv_waits\": " << sched.cv_waits
+     << ", \"cv_wakeups\": " << sched.cv_wakeups
+     << ", \"spurious_wakeups\": " << sched.spurious_wakeups
+     << ", \"tasks_resumed\": " << sched.tasks_resumed
+     << ", \"quiescence_checks\": " << report.host.quiescence_checks
+     << ", \"quiescence_events\": " << report.host.quiescence_events
+     << ", \"pool_contended\": " << report.host.pool_contended
+     << ", \"pool_contended_wait_ns\": "
+     << report.host.pool_contended_wait_ns << "},\n";
   os << "  \"critical_path\": {\"available\": "
      << (report.phases.has_critical_path ? "true" : "false")
      << ", \"total\": ";

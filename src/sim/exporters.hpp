@@ -16,6 +16,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "sim/machine.hpp"
@@ -28,6 +29,17 @@ namespace ftsort::sim {
 void write_chrome_trace(std::ostream& os,
                         const std::vector<TraceEvent>& events,
                         std::uint32_t num_nodes);
+
+/// Structural validation of a trace_events JSON document as produced by
+/// write_chrome_trace: well-formed nesting, the traceEvents wrapper, the
+/// required keys per event (`name`/`ph`, plus `ts`/`pid`/`tid` outside
+/// metadata), known `ph` codes, per-track span balance, flow ends bound to
+/// an earlier flow start, and fault instants carrying their phase. Returns
+/// false and fills `error` (when non-null) with the first problem found.
+/// Intended for complete exports: a ring-truncated trace can legitimately
+/// fail the span-balance and flow checks.
+bool validate_chrome_trace(const std::string& json,
+                           std::string* error = nullptr);
 
 /// Write the flat metrics JSON for `report`. The per-phase array is filled
 /// from `report.phases`; when metrics were disabled it is empty.

@@ -153,6 +153,67 @@ Machine::Machine(cube::Dim n, fault::FaultSet faults,
   FTSORT_REQUIRE(faults_.dim() == n_);
   pools_ = std::vector<BufferPool>(size());
   nodes_.resize(size());
+  trace_.reshard(size());
+}
+
+void Machine::profile_host(bool on) {
+  profile_host_ = on;
+  if (on && prof_shards_.size() != size()) {
+    prof_shards_.clear();
+    for (std::uint32_t u = 0; u < size(); ++u)
+      prof_shards_.push_back(std::make_unique<ShardProfile>());
+  }
+  for (BufferPool& pool : pools_) pool.set_profiling(on);
+}
+
+std::unique_lock<std::mutex> Machine::lock_shard(NodeState& st,
+                                                 cube::NodeId id) {
+  if (!profile_host_) return std::unique_lock<std::mutex>(st.mutex);
+  std::unique_lock<std::mutex> lk(st.mutex, std::try_to_lock);
+  if (lk.owns_lock()) return lk;
+  const auto t0 = std::chrono::steady_clock::now();
+  lk.lock();
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  ShardProfile& prof = *prof_shards_[id];
+  prof.mutex_waits.fetch_add(1, std::memory_order_relaxed);
+  prof.mutex_wait_ns.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+              .count()),
+      std::memory_order_relaxed);
+  return lk;
+}
+
+Diagnosis Machine::diagnose(Diagnosis::Kind kind) const {
+  DiagnosisInput in;
+  for (cube::NodeId u = 0; u < size(); ++u) {
+    const NodeState* st = nodes_[u].get();
+    if (st == nullptr) continue;
+    if (st->killed) {
+      in.kills.push_back({u, st->ctx.clock_, st->ctx.phase_});
+    } else if (!st->task.done() && st->waiting) {
+      in.waits.push_back({u, static_cast<cube::NodeId>(st->want_channel >> 32),
+                          static_cast<Tag>(st->want_channel & 0xffffffffu),
+                          st->ctx.clock_, st->ctx.phase_,
+                          /*expired=*/false});
+    }
+  }
+  for (const auto& cut : injector_.cuts())
+    if (cut.when < kNever) in.cuts.push_back({cut.a, cut.b, cut.when});
+  if (trace_.enabled()) {
+    // Expired recv_or_timeout waits (and deaths of nodes already reset)
+    // survive only in the flight recorder; merge this run's slice in.
+    std::vector<TraceEvent> events = trace_.snapshot();
+    std::erase_if(events, [this](const TraceEvent& ev) {
+      return ev.seq < trace_run_start_;
+    });
+    DiagnosisInput recorded = diagnosis_input_from_events(events);
+    in.waits.insert(in.waits.end(), recorded.waits.begin(),
+                    recorded.waits.end());
+    in.kills.insert(in.kills.end(), recorded.kills.begin(),
+                    recorded.kills.end());
+  }
+  return sim::diagnose(std::move(in), kind);
 }
 
 PoolStats Machine::pool_stats() const {
@@ -191,7 +252,7 @@ void Machine::check_alive(cube::NodeId id) {
   NodeState& st = state_of(id);
   if (st.ctx.clock_ < st.kill_time) return;
   if (threaded_) {
-    const std::lock_guard<std::mutex> guard(st.mutex);
+    const std::unique_lock<std::mutex> guard = lock_shard(st, id);
     st.killed = true;
   } else {
     st.killed = true;
@@ -232,7 +293,7 @@ void Machine::post(Message msg) {
   if (threaded_) {
     // Sharded hot path: only the destination's own lock. The sender is by
     // definition runnable, so quiescence cannot be pending concurrently.
-    const std::lock_guard<std::mutex> guard(dst.mutex);
+    const std::unique_lock<std::mutex> guard = lock_shard(dst, msg.dst);
     dst.inbox.push_back(std::move(msg));
     deliveries_.fetch_add(1, std::memory_order_release);
     if (dst.waiting && dst.want_channel == channel) {
@@ -268,7 +329,7 @@ bool Machine::register_waiter(cube::NodeId node, cube::NodeId src, Tag tag,
   const std::uint64_t channel = channel_key(src, tag);
   if (threaded_) {
     {
-      const std::lock_guard<std::mutex> guard(st.mutex);
+      const std::unique_lock<std::mutex> guard = lock_shard(st, node);
       if (inbox_find(st, channel) != kNotFound)
         return false;  // raced with a sender: resume immediately
       FTSORT_INVARIANT(!st.waiting);
@@ -298,7 +359,7 @@ Message Machine::pop_message(cube::NodeId node, cube::NodeId src, Tag tag) {
   const std::uint64_t channel = channel_key(src, tag);
   Message msg;
   if (threaded_) {
-    const std::lock_guard<std::mutex> guard(st.mutex);
+    const std::unique_lock<std::mutex> guard = lock_shard(st, node);
     const std::size_t k = inbox_find(st, channel);
     FTSORT_INVARIANT(k != kNotFound);
     msg = std::move(st.inbox[k]);
@@ -355,11 +416,16 @@ std::string Machine::deadlock_message() const {
     os << " node " << node->ctx.id();
     if (node->waiting) {
       os << " waits for src=" << (node->want_channel >> 32)
-         << " tag=" << (node->want_channel & 0xffffffffu) << ";";
+         << " tag=" << (node->want_channel & 0xffffffffu) << " ["
+         << phase_name(node->ctx.phase_) << "];";
     } else {
       os << " is not runnable;";
     }
   }
+  // Both executors call this at quiescence with stable node states, so the
+  // diagnosis (derived from logical evidence only) matches byte-for-byte.
+  const Diagnosis diag = diagnose(Diagnosis::Kind::Deadlock);
+  if (diag.triggered()) os << ' ' << diag.to_string();
   return os.str();
 }
 
@@ -435,11 +501,17 @@ void Machine::maybe_resolve_quiescence() {
   };
   if (!quiescent(progress_.load(std::memory_order_acquire))) return;
   const std::lock_guard<std::mutex> guard(sched_mutex_);
+  if (profile_host_)
+    prof_quiescence_checks_.fetch_add(1, std::memory_order_relaxed);
   if (shutdown_.load(std::memory_order_relaxed)) return;
   // Re-verify under the lock: a concurrent resolver may have fired an
   // event (making some node runnable) between our read and the acquire.
   if (!quiescent(progress_.load(std::memory_order_acquire))) return;
-  if (fire_quiescence_event()) return;
+  if (fire_quiescence_event()) {
+    if (profile_host_)
+      prof_quiescence_events_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   // Genuine deadlock: report the same blocked set the sequential executor
   // would, then shut the thread pool down.
   deadlocked_ = true;
@@ -463,7 +535,21 @@ void Machine::instantiate_programs(const Program& program) {
   messages_dropped_ = timeouts_ = deliveries_ = 0;
   if (metrics_.enabled()) metrics_.reset();
   pool_mark_ = pool_stats();
-  trace_run_start_ = trace_.size();
+  trace_run_start_ = trace_.next_seq();
+  trace_dropped_mark_ = trace_.dropped();
+  if (profile_host_) {
+    for (auto& shard : prof_shards_) {
+      shard->mutex_waits.store(0, std::memory_order_relaxed);
+      shard->mutex_wait_ns.store(0, std::memory_order_relaxed);
+      shard->cv_waits.store(0, std::memory_order_relaxed);
+      shard->cv_wakeups.store(0, std::memory_order_relaxed);
+      shard->spurious_wakeups.store(0, std::memory_order_relaxed);
+      shard->tasks_resumed.store(0, std::memory_order_relaxed);
+    }
+    prof_quiescence_checks_.store(0, std::memory_order_relaxed);
+    prof_quiescence_events_.store(0, std::memory_order_relaxed);
+    for (BufferPool& pool : pools_) pool.reset_contention();
+  }
   ready_.clear();
   total_programs_ = 0;
   progress_.store(0, std::memory_order_relaxed);
@@ -523,17 +609,50 @@ RunReport Machine::collect_report() {
   if (metrics_.enabled()) {
     report.metrics = metrics_.snapshot();
     // Critical-path attribution needs the trace; restrict it to this run's
-    // events (the trace may hold earlier runs' history).
+    // events (the trace may hold earlier runs' history — the run-start
+    // sequence watermark slices it, ring evictions notwithstanding).
     std::vector<TraceEvent> events;
     if (trace_.enabled()) {
       events = trace_.snapshot();
-      events.erase(events.begin(),
-                   events.begin() + static_cast<std::ptrdiff_t>(std::min(
-                                        trace_run_start_, events.size())));
+      std::erase_if(events, [this](const TraceEvent& ev) {
+        return ev.seq < trace_run_start_;
+      });
     }
     report.phases = build_phase_breakdown(report.metrics, events,
                                           report.makespan,
                                           report.node_clocks);
+  }
+  const std::uint64_t dropped_now = trace_.dropped();
+  report.trace_dropped =
+      dropped_now >= trace_dropped_mark_ ? dropped_now - trace_dropped_mark_
+                                         : dropped_now;
+  if (report.timeouts > 0 || !report.killed_nodes.empty()) {
+    report.diagnosis = diagnose(report.timeouts > 0
+                                    ? Diagnosis::Kind::TimeoutBurst
+                                    : Diagnosis::Kind::NodeLoss);
+  }
+  if (profile_host_) {
+    report.host.enabled = true;
+    report.host.shards.resize(size());
+    for (std::size_t u = 0; u < prof_shards_.size(); ++u) {
+      const ShardProfile& p = *prof_shards_[u];
+      SchedShardProfile& out = report.host.shards[u];
+      out.mutex_waits = p.mutex_waits.load(std::memory_order_relaxed);
+      out.mutex_wait_ns = p.mutex_wait_ns.load(std::memory_order_relaxed);
+      out.cv_waits = p.cv_waits.load(std::memory_order_relaxed);
+      out.cv_wakeups = p.cv_wakeups.load(std::memory_order_relaxed);
+      out.spurious_wakeups =
+          p.spurious_wakeups.load(std::memory_order_relaxed);
+      out.tasks_resumed = p.tasks_resumed.load(std::memory_order_relaxed);
+    }
+    report.host.quiescence_checks =
+        prof_quiescence_checks_.load(std::memory_order_relaxed);
+    report.host.quiescence_events =
+        prof_quiescence_events_.load(std::memory_order_relaxed);
+    for (const BufferPool& pool : pools_) {
+      report.host.pool_contended += pool.contended();
+      report.host.pool_contended_wait_ns += pool.contended_wait_ns();
+    }
   }
 
   // Check no messages were left undelivered (protocol completeness). With
@@ -602,7 +721,9 @@ RunReport Machine::run_threaded(const Program& program,
   for (cube::NodeId u = 0; u < size(); ++u) {
     if (!nodes_[u]) continue;
     NodeState& st = *nodes_[u];
-    threads.emplace_back([&st, &stalled, timeout, this] {
+    threads.emplace_back([&st, &stalled, timeout, this, u] {
+      ShardProfile* prof =
+          profile_host_ ? prof_shards_[u].get() : nullptr;
       st.task.start();
       auto last_epoch = deliveries_.load(std::memory_order_acquire);
       auto last_change = std::chrono::steady_clock::now();
@@ -610,17 +731,26 @@ RunReport Machine::run_threaded(const Program& program,
         std::coroutine_handle<> to_resume = nullptr;
         bool trigger_shutdown = false;
         {
-          std::unique_lock<std::mutex> lk(st.mutex);
+          std::unique_lock<std::mutex> lk = lock_shard(st, u);
           if (st.killed || shutdown_.load(std::memory_order_relaxed))
             break;
           if (st.ready != nullptr) {
             to_resume = st.ready;
             st.ready = nullptr;
           } else {
+            if (prof != nullptr)
+              prof->cv_waits.fetch_add(1, std::memory_order_relaxed);
             st.cv.wait_for(lk, std::chrono::milliseconds(50), [&] {
               return st.ready != nullptr || st.killed ||
                      shutdown_.load(std::memory_order_relaxed);
             });
+            if (prof != nullptr) {
+              if (st.ready != nullptr)
+                prof->cv_wakeups.fetch_add(1, std::memory_order_relaxed);
+              else
+                prof->spurious_wakeups.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            }
             if (st.ready == nullptr && !st.killed &&
                 !shutdown_.load(std::memory_order_relaxed)) {
               // Wall-clock backstop against non-blocking livelock; real
@@ -639,7 +769,11 @@ RunReport Machine::run_threaded(const Program& program,
           }
         }
         if (trigger_shutdown) begin_shutdown();
-        if (to_resume != nullptr) to_resume.resume();
+        if (to_resume != nullptr) {
+          if (prof != nullptr)
+            prof->tasks_resumed.fetch_add(1, std::memory_order_relaxed);
+          to_resume.resume();
+        }
       }
       bool newly_terminal = false;
       {

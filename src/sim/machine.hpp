@@ -53,6 +53,7 @@
 #include "hypercube/routing.hpp"
 #include "sim/buffer_pool.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/diagnosis.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
@@ -173,6 +174,47 @@ class PhaseSpan {
   bool engaged_ = false;
 };
 
+/// Wall-clock scheduler counters for one shard (= one node thread) of the
+/// threaded executor. Everything here is host time, never simulated time:
+/// enabling the profile cannot change logical results, and none of these
+/// fields participate in golden-report or executor-equivalence comparisons.
+struct SchedShardProfile {
+  std::uint64_t mutex_waits = 0;     ///< contended shard-mutex acquisitions
+  std::uint64_t mutex_wait_ns = 0;   ///< wall ns blocked on the shard mutex
+  std::uint64_t cv_waits = 0;        ///< scheduler cv sleeps entered
+  std::uint64_t cv_wakeups = 0;      ///< sleeps that woke to runnable work
+  std::uint64_t spurious_wakeups = 0;  ///< sleeps that woke to nothing
+  std::uint64_t tasks_resumed = 0;   ///< coroutine resumes on this shard
+
+  SchedShardProfile& operator+=(const SchedShardProfile& o) {
+    mutex_waits += o.mutex_waits;
+    mutex_wait_ns += o.mutex_wait_ns;
+    cv_waits += o.cv_waits;
+    cv_wakeups += o.cv_wakeups;
+    spurious_wakeups += o.spurious_wakeups;
+    tasks_resumed += o.tasks_resumed;
+    return *this;
+  }
+};
+
+/// Host-side execution profile of a run (see Machine::profile_host). The
+/// data that explains wall-clock behaviour the logical metrics cannot see —
+/// e.g. why the threaded executor is ≤1× sequential on a single-core box.
+struct HostProfile {
+  bool enabled = false;  ///< false ⇒ all counters are zero
+  std::vector<SchedShardProfile> shards;  ///< index = node id
+  std::uint64_t quiescence_checks = 0;  ///< sched_mutex_ barrier crossings
+  std::uint64_t quiescence_events = 0;  ///< timeouts/kills fired at barriers
+  std::uint64_t pool_contended = 0;     ///< contended BufferPool acquisitions
+  std::uint64_t pool_contended_wait_ns = 0;  ///< wall ns blocked on pools
+
+  SchedShardProfile total() const {
+    SchedShardProfile sum;
+    for (const auto& s : shards) sum += s;
+    return sum;
+  }
+};
+
 /// Aggregate results of one simulation run.
 struct RunReport {
   SimTime makespan = 0.0;            ///< max final clock over surviving nodes
@@ -199,6 +241,17 @@ struct RunReport {
   /// Where the makespan went, per phase. Empty unless metrics were enabled;
   /// the critical-path fields additionally need the trace enabled.
   PhaseBreakdown phases;
+  /// Flight-recorder evictions during this run (0 when the trace is
+  /// unbounded or disabled). Nonzero means snapshot()/phases saw a
+  /// truncated event stream.
+  std::uint64_t trace_dropped = 0;
+  /// Failure explainer: populated when the run saw timeouts or node
+  /// deaths (kind None otherwise). Derived from logical evidence only, so
+  /// identical across executors.
+  Diagnosis diagnosis;
+  /// Host-side scheduler/pool profile; enabled==false (all zeros) unless
+  /// Machine::profile_host(true) was set before the run.
+  HostProfile host;
 };
 
 class Machine {
@@ -237,6 +290,19 @@ class Machine {
     injector_ = std::move(injector);
   }
   const FaultInjector& injector() const { return injector_; }
+
+  /// Toggle host-side (wall-clock) scheduler and buffer-pool profiling for
+  /// subsequent runs; populates RunReport::host. Charged entirely outside
+  /// simulated time — cannot change logical results.
+  void profile_host(bool on);
+  bool profiling_host() const { return profile_host_; }
+
+  /// Build a failure explanation from the current run's evidence: blocked
+  /// node states, observed deaths, configured link cuts, and (when the
+  /// trace is enabled) the run's recorded timeout expiries. Deterministic
+  /// and identical across executors. Feeds deadlock messages,
+  /// RunReport::diagnosis, and recovery's DegradationError annotation.
+  Diagnosis diagnose(Diagnosis::Kind kind) const;
 
   /// Instantiate `program` on every healthy node and run the whole system
   /// to completion. Throws DeadlockError on global blocking, and rethrows
@@ -330,7 +396,8 @@ class Machine {
   Metrics metrics_;
   FaultInjector injector_;
   PoolStats pool_mark_;            ///< pool_stats() at run start
-  std::size_t trace_run_start_ = 0;  ///< trace_.size() at run start
+  std::uint64_t trace_run_start_ = 0;   ///< trace_.next_seq() at run start
+  std::uint64_t trace_dropped_mark_ = 0;  ///< trace_.dropped() at run start
 
   // Declared before nodes_ so in-flight payload handles (inside inboxes)
   // are destroyed before the pools they return to.
@@ -360,6 +427,25 @@ class Machine {
   std::size_t total_programs_ = 0;
   bool deadlocked_ = false;     // guarded by sched_mutex_
   std::string deadlock_msg_;    // guarded by sched_mutex_
+
+  // Host profiling (see profile_host). Per-shard counters are atomics so
+  // any thread can charge contention to the shard it blocked on; they are
+  // copied into the plain SchedShardProfile in collect_report.
+  struct ShardProfile {
+    std::atomic<std::uint64_t> mutex_waits{0};
+    std::atomic<std::uint64_t> mutex_wait_ns{0};
+    std::atomic<std::uint64_t> cv_waits{0};
+    std::atomic<std::uint64_t> cv_wakeups{0};
+    std::atomic<std::uint64_t> spurious_wakeups{0};
+    std::atomic<std::uint64_t> tasks_resumed{0};
+  };
+  /// Lock a node's shard mutex, charging contended acquisitions to the
+  /// shard's profile when profiling is on (try-lock first, timed fallback).
+  std::unique_lock<std::mutex> lock_shard(NodeState& st, cube::NodeId id);
+  bool profile_host_ = false;
+  std::vector<std::unique_ptr<ShardProfile>> prof_shards_;  // index = node
+  std::atomic<std::uint64_t> prof_quiescence_checks_{0};
+  std::atomic<std::uint64_t> prof_quiescence_events_{0};
 };
 
 }  // namespace ftsort::sim

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace ftsort::sim {
 
@@ -48,6 +49,16 @@ constexpr const char* phase_name(Phase p) {
     case Phase::RecoveryRescatter: return "recovery_rescatter";
   }
   return "?";
+}
+
+/// Inverse of phase_name(), for parsers (ftdiag, trace re-import).
+/// Unknown names map to Phase::Unattributed.
+constexpr Phase phase_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    if (name == phase_name(p)) return p;
+  }
+  return Phase::Unattributed;
 }
 
 }  // namespace ftsort::sim

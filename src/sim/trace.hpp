@@ -1,15 +1,37 @@
-// Optional event trace of a simulation run, for debugging, the demo
-// examples, and the observability exporters (sim/exporters.hpp). Disabled
-// by default; recording is O(1) per event when enabled.
+// Flight recorder for a simulation run: a per-node-sharded, optionally
+// bounded ring of trace events, used by debugging dumps, the demo examples,
+// the observability exporters (sim/exporters.hpp), and the failure
+// explainers (sim/diagnosis.hpp). Disabled by default; recording is O(1)
+// per event when enabled.
 //
 // Besides the raw message/compute events, the trace records *span* events
 // (SpanBegin/SpanEnd) emitted by PhaseSpan (sim/machine.hpp): every event
 // carries the node's ambient Phase at the time it happened, which is what
 // the Perfetto exporter turns into one labelled track per node and the
 // PhaseBreakdown critical-path walk uses for attribution.
+//
+// Sharding: events land in the shard of the node they describe, under that
+// shard's own mutex — Drop events are recorded by the *sender's* thread
+// onto the destination node's stream, so shards cannot rely on thread
+// ownership the way sim::Metrics does. A global atomic sequence number is
+// stamped on every event inside record(); snapshot() merges the shards
+// back into one stream ordered by that sequence. On the sequential
+// executor the sequence order is exactly the historical append order; on
+// the threaded executor each node's own events keep program order, and a
+// Send is always sequenced before the matching Recv (the send is recorded
+// before the message is posted, and the receive after), which is what the
+// exporter's flow pairing and the PhaseBreakdown walk rely on.
+//
+// Bounding: set_capacity(N) caps each node's ring at N events; once full,
+// the oldest retained event is overwritten and counted in dropped(). The
+// default capacity 0 means unbounded, which preserves the exact historical
+// behaviour. Eviction never costs simulated time, so golden reports are
+// byte-identical with the recorder enabled, disabled, or bounded.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -41,46 +63,67 @@ struct TraceEvent {
   std::uint64_t keys = 0;  ///< payload size or comparison count
   int hops = 0;
   Phase phase = Phase::Unattributed;  ///< node's ambient phase
+  std::uint64_t seq = 0;  ///< global record order, stamped by record()
 };
 
 class Trace {
  public:
+  Trace() { reshard(1); }
+
   void enable(bool on = true) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
-  void record(TraceEvent ev) {
-    if (!enabled_) return;
-    // Serialised so the threaded executor can trace too.
-    const std::lock_guard<std::mutex> guard(mutex_);
-    events_.push_back(ev);
-  }
-  void clear() {
-    const std::lock_guard<std::mutex> guard(mutex_);
-    events_.clear();
-  }
+  /// Size the shard array, one shard per node. Events for out-of-range
+  /// node ids fall back to shard 0. Drops all retained events and resets
+  /// the dropped counter; not safe against a concurrent record().
+  void reshard(std::uint32_t num_shards);
 
-  std::size_t size() const {
-    const std::lock_guard<std::mutex> guard(mutex_);
-    return events_.size();
-  }
+  /// Bound each node's ring to `per_node_events` retained events
+  /// (0 = unbounded). Applies lazily from the next record(); shrinking
+  /// below a shard's current size evicts its oldest events on the next
+  /// record() into that shard. Not safe against a concurrent record().
+  void set_capacity(std::size_t per_node_events) { capacity_ = per_node_events; }
+  std::size_t capacity() const { return capacity_; }
 
-  /// Consistent copy of the events, safe against concurrent record().
-  std::vector<TraceEvent> snapshot() const {
-    const std::lock_guard<std::mutex> guard(mutex_);
-    return events_;
-  }
+  void record(TraceEvent ev);
 
-  /// Zero-copy view of the events. Only valid while no run is in progress
-  /// (no concurrent record()); use snapshot() otherwise.
-  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Drop all retained events and zero the dropped counter. The global
+  /// sequence keeps counting (run-start watermarks stay monotonic).
+  void clear();
+
+  /// Retained events across all shards.
+  std::size_t size() const;
+
+  /// Total events evicted by ring overflow since the last clear().
+  std::uint64_t dropped() const;
+
+  /// Sequence number the next record() will stamp; also the count of
+  /// events ever recorded. Use as a run-start watermark to slice
+  /// snapshot() by `ev.seq >= mark`.
+  std::uint64_t next_seq() const { return next_seq_.load(std::memory_order_relaxed); }
+
+  /// Consistent copy of the retained events merged across shards in
+  /// global record order (ascending seq), safe against concurrent
+  /// record().
+  std::vector<TraceEvent> snapshot() const;
 
   /// Human-readable dump (one line per event), truncated to `max_lines`.
   std::string to_string(std::size_t max_lines = 200) const;
 
  private:
+  // One ring per node. `ring` grows up to the capacity; once full `head`
+  // is the index of the oldest retained event and new events overwrite it.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> ring;
+    std::size_t head = 0;
+    std::uint64_t dropped = 0;
+  };
+
   bool enabled_ = false;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace ftsort::sim

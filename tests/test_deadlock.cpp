@@ -121,5 +121,58 @@ TEST(Deadlock, InjectedDeathWithoutRecoveryDeadlocksDeterministically) {
   EXPECT_NE(seq_what.find("waits for src="), std::string::npos);
 }
 
+// Pinned failure-explainer scenario: node 0 is inside the paper's Step 5
+// merge-exchange when its partner is killed by the injector, so the
+// deadlock message must carry (a) the blocked set with its wait-for
+// channel, (b) the ambient-phase tag of each blocked node, and (c) the
+// diagnosis naming the injected kill as root cause with the transitively
+// stalled set — byte-identical on both executors.
+TEST(Deadlock, PhaseTagAndRootCauseAreIdenticalAcrossExecutors) {
+  const auto program = [](sim::NodeCtx& ctx) -> sim::Task<void> {
+    if (ctx.id() == 0) {
+      const sim::PhaseSpan span = ctx.span(sim::Phase::MergeExchange);
+      co_await ctx.recv(1, 7);
+    } else if (ctx.id() == 1) {
+      // Blocks on a channel nobody serves; the injector reaps it at t=1.
+      co_await ctx.recv(0, 99);
+    }
+    co_return;
+  };
+  const auto run = [&](bool threaded) -> std::string {
+    sim::Machine machine(2, fault::FaultSet(2));
+    sim::FaultInjector injector;
+    injector.kill_node_at(1, 1.0);
+    machine.set_injector(std::move(injector));
+    machine.trace().enable();
+    try {
+      if (threaded)
+        machine.run_threaded(program);
+      else
+        machine.run(program);
+    } catch (const sim::DeadlockError& e) {
+      return e.what();
+    }
+    return {};
+  };
+
+  const std::string seq_what = run(false);
+  const std::string thr_what = run(true);
+  ASSERT_FALSE(seq_what.empty()) << "expected DeadlockError";
+  // Blocked set + channel + phase tag.
+  EXPECT_NE(seq_what.find("node 0 waits for src=1 tag=7 "
+                          "[step5_merge_exchange]"),
+            std::string::npos)
+      << seq_what;
+  // Root cause and blast radius from the attached diagnosis.
+  EXPECT_NE(seq_what.find("injected kill of node 1"), std::string::npos)
+      << seq_what;
+  EXPECT_NE(seq_what.find("stalled (transitively): [0]"), std::string::npos)
+      << seq_what;
+  // The victim is dead, not blocked: it must not be blamed as a waiter.
+  EXPECT_EQ(seq_what.find("node 1 waits for"), std::string::npos)
+      << seq_what;
+  EXPECT_EQ(seq_what, thr_what);
+}
+
 }  // namespace
 }  // namespace ftsort

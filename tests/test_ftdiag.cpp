@@ -1,0 +1,228 @@
+// ftdiag: offline failure explanation and differential diagnosis, driven
+// in-process through tools/ftdiag.hpp. The acceptance scenario is the
+// pinned recovery_q3_kill6 shape from bench_harness: `ftdiag explain` on
+// its exported trace must name the injected kill of node 6, the paper
+// step it interrupted, and the transitively stalled set — identically
+// from either executor's trace.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sim/exporters.hpp"
+#include "sort/distribution.hpp"
+#include "tools/ftdiag.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort {
+namespace {
+
+core::SortOutcome run_pinned_recovery(core::Executor exec) {
+  util::Rng rng(1703);
+  const fault::FaultSet faults = fault::random_faults(3, 1, rng);
+  const auto keys = sort::gen_uniform(200, rng);
+  core::SortConfig cfg;
+  cfg.executor = exec;
+  cfg.online_recovery = true;
+  cfg.injector.kill_node_at(6, 2000.0);
+  cfg.record_metrics = true;
+  cfg.record_trace = true;
+  const core::FaultTolerantSorter sorter(3, faults, cfg);
+  return sorter.sort(keys);
+}
+
+std::string chrome_trace_of(const core::SortOutcome& out) {
+  std::ostringstream os;
+  sim::write_chrome_trace(os, out.trace_events, 8);
+  return os.str();
+}
+
+/// Write `text` to a temp file in the test's working directory and return
+/// the path (tests run single-process; fixed names do not collide).
+std::string write_temp(const char* name, const std::string& text) {
+  const std::string path = std::string("ftdiag_test_") + name + ".json";
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// explain
+
+TEST(FtdiagExplain, NamesInjectedKillPhaseAndStalledSet) {
+  const core::SortOutcome out =
+      run_pinned_recovery(core::Executor::Sequential);
+  const tools::ExplainResult res =
+      tools::explain_trace_json(chrome_trace_of(out));
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_GT(res.timeout_events, 0u);
+  EXPECT_GE(res.kill_events, 1u);
+  ASSERT_TRUE(res.diagnosis.triggered());
+  EXPECT_EQ(res.diagnosis.kind, sim::Diagnosis::Kind::TimeoutBurst);
+  EXPECT_EQ(res.diagnosis.root_kind, sim::Diagnosis::RootKind::NodeKill);
+  EXPECT_EQ(res.diagnosis.root_node, 6u);
+  EXPECT_FALSE(res.diagnosis.stalled.empty());
+  // The rendered report names the root cause, the interrupted paper
+  // step, and the blast radius.
+  EXPECT_NE(res.text.find("injected kill of node 6"), std::string::npos)
+      << res.text;
+  EXPECT_NE(res.text.find("during phase"), std::string::npos) << res.text;
+  EXPECT_NE(res.text.find("stalled (transitively):"), std::string::npos)
+      << res.text;
+}
+
+TEST(FtdiagExplain, IdenticalFromEitherExecutorsTrace) {
+  const tools::ExplainResult seq = tools::explain_trace_json(
+      chrome_trace_of(run_pinned_recovery(core::Executor::Sequential)));
+  const tools::ExplainResult thr = tools::explain_trace_json(
+      chrome_trace_of(run_pinned_recovery(core::Executor::Threaded)));
+  ASSERT_TRUE(seq.ok) << seq.error;
+  ASSERT_TRUE(thr.ok) << thr.error;
+  EXPECT_TRUE(seq.diagnosis == thr.diagnosis);
+  EXPECT_EQ(seq.text, thr.text);
+}
+
+TEST(FtdiagExplain, AgreesWithInProcessDiagnosisRoot) {
+  const core::SortOutcome out =
+      run_pinned_recovery(core::Executor::Sequential);
+  const tools::ExplainResult res =
+      tools::explain_trace_json(chrome_trace_of(out));
+  ASSERT_TRUE(res.ok) << res.error;
+  // Offline reconstruction and the in-process RunReport diagnosis feed
+  // the same builder; they must agree on what broke.
+  EXPECT_EQ(res.diagnosis.kind, out.report.diagnosis.kind);
+  EXPECT_EQ(res.diagnosis.root_kind, out.report.diagnosis.root_kind);
+  EXPECT_EQ(res.diagnosis.root_node, out.report.diagnosis.root_node);
+  EXPECT_EQ(res.diagnosis.root_phase, out.report.diagnosis.root_phase);
+  EXPECT_EQ(res.diagnosis.stalled, out.report.diagnosis.stalled);
+}
+
+TEST(FtdiagExplain, RejectsNonTraceInput) {
+  EXPECT_FALSE(tools::explain_trace_json("{}").ok);
+  EXPECT_FALSE(tools::explain_trace_json("not json at all").ok);
+}
+
+// ---------------------------------------------------------------------------
+// diff
+
+TEST(FtdiagDiff, FlagsSyntheticPhaseRegressionInMetricsFormat) {
+  const core::SortOutcome out =
+      run_pinned_recovery(core::Executor::Sequential);
+  std::ostringstream a_os;
+  sim::write_metrics_json(a_os, out.report);
+
+  // Synthetic regression: one phase's critical path grows 50%, charged to
+  // compute.
+  sim::RunReport slowed = out.report;
+  bool scaled = false;
+  for (sim::PhaseBreakdown::Slice& s : slowed.phases.slices)
+    if (s.phase == sim::Phase::RecoverySort && s.critical_time > 0.0) {
+      s.critical_compute += 0.5 * s.critical_time;
+      s.critical_time *= 1.5;
+      scaled = true;
+    }
+  ASSERT_TRUE(scaled) << "pinned scenario lost its recovery_sort phase";
+  std::ostringstream b_os;
+  sim::write_metrics_json(b_os, slowed);
+
+  const tools::DiffResult res =
+      tools::diff_json(a_os.str(), b_os.str(), 20.0);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.regressions, 1u);
+  const tools::PhaseDelta* hit = nullptr;
+  for (const tools::PhaseDelta& d : res.deltas)
+    if (d.regression) hit = &d;
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->phase, "recovery_sort");
+  EXPECT_NEAR(hit->delta_pct, 50.0, 0.1);
+  EXPECT_EQ(hit->attribution, "compute");
+  EXPECT_NE(res.text.find("recovery_sort"), std::string::npos) << res.text;
+  EXPECT_NE(res.text.find("REGRESSION"), std::string::npos) << res.text;
+
+  // The CLI exit code carries the verdict: 1 for a regression, 0 clean.
+  const std::string pa = write_temp("metrics_a", a_os.str());
+  const std::string pb = write_temp("metrics_b", b_os.str());
+  const char* diff_args[] = {"ftdiag", "diff", pa.c_str(), pb.c_str(),
+                             "--threshold", "20"};
+  std::ostringstream cli_out;
+  std::ostringstream cli_err;
+  EXPECT_EQ(tools::run_cli(6, diff_args, cli_out, cli_err), 1);
+  EXPECT_NE(cli_out.str().find("recovery_sort"), std::string::npos);
+  const char* same_args[] = {"ftdiag", "diff", pa.c_str(), pa.c_str()};
+  EXPECT_EQ(tools::run_cli(4, same_args, cli_out, cli_err), 0);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(FtdiagDiff, AttributesBenchFormatRegressionToScenarioAndPhase) {
+  const char* base = R"({
+  "bench": "sort", "schema_version": 2, "mode": "smoke",
+  "scenarios": [
+    {
+      "name": "fig7_q6_r2",
+      "makespan": 1000,
+      "phases": {
+        "step3_local_sort": {"comparisons": 10, "critical_time": 400},
+        "step5_merge_exchange": {"comparisons": 5, "critical_time": 600}
+      }
+    },
+    {
+      "name": "recovery_q3_kill6",
+      "makespan": 500,
+      "phases": {
+        "recovery_sort": {"comparisons": 7, "critical_time": 500}
+      }
+    }
+  ]
+})";
+  std::string slowed = base;
+  const std::size_t at = slowed.find("\"critical_time\": 600");
+  ASSERT_NE(at, std::string::npos);
+  slowed.replace(at, 20, "\"critical_time\": 900");
+
+  const tools::DiffResult res = tools::diff_json(base, slowed, 20.0);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.regressions, 1u);
+  const tools::PhaseDelta* hit = nullptr;
+  for (const tools::PhaseDelta& d : res.deltas)
+    if (d.regression) hit = &d;
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->scenario, "fig7_q6_r2");
+  EXPECT_EQ(hit->phase, "step5_merge_exchange");
+  EXPECT_NEAR(hit->delta_pct, 50.0, 0.1);
+}
+
+TEST(FtdiagDiff, GateIsSymmetric) {
+  // An unexplained 2x speedup in a deterministic simulator is as
+  // suspicious as a slowdown: both sides of the threshold flag.
+  const char* base = R"({"bench": "sort", "scenarios": [
+    {"name": "s", "makespan": 100,
+     "phases": {"gather": {"critical_time": 100}}}]})";
+  const char* fast = R"({"bench": "sort", "scenarios": [
+    {"name": "s", "makespan": 50,
+     "phases": {"gather": {"critical_time": 50}}}]})";
+  const tools::DiffResult res = tools::diff_json(base, fast, 20.0);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.regressions, 1u);
+}
+
+TEST(FtdiagDiff, RejectsMalformedAndMismatchedInput) {
+  EXPECT_FALSE(tools::diff_json("{}", "{}", 20.0).ok);
+  const char* bench = R"({"scenarios": [{"name": "s", "makespan": 1}]})";
+  const char* metrics = R"({"makespan": 1, "phases": []})";
+  EXPECT_FALSE(tools::diff_json(bench, metrics, 20.0).ok);
+
+  std::ostringstream cli_out;
+  std::ostringstream cli_err;
+  const char* no_args[] = {"ftdiag"};
+  EXPECT_EQ(tools::run_cli(1, no_args, cli_out, cli_err), 2);
+  const char* missing[] = {"ftdiag", "explain", "/nonexistent/trace.json"};
+  EXPECT_EQ(tools::run_cli(3, missing, cli_out, cli_err), 2);
+}
+
+}  // namespace
+}  // namespace ftsort

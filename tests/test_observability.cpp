@@ -282,11 +282,211 @@ TEST(ObservabilityExport, MetricsJsonContainsEveryPhaseAndKey) {
               std::string::npos)
         << sim::phase_name(static_cast<sim::Phase>(p));
   for (const char* key :
-       {"schema_version", "makespan", "totals", "pool_delta",
-        "critical_path", "phases", "msg_size_hist", "critical_time",
-        "critical_comm", "critical_compute", "recv_wait", "send_busy"})
+       {"schema_version", "makespan", "makespan_detect",
+        "makespan_post_recovery", "totals", "pool_delta", "trace_dropped",
+        "diagnosis", "host_profile", "critical_path", "phases",
+        "msg_size_hist", "critical_time", "critical_comm",
+        "critical_compute", "recv_wait", "send_busy"})
     EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
         << key;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: the trace is a bounded ring (capacity 0 = unbounded)
+// sharded per node; evictions keep the newest events, are counted, and
+// never perturb logical results.
+
+TEST(FlightRecorder, BoundedRingKeepsNewestAndCountsDrops) {
+  sim::Trace trace;
+  trace.enable();
+  trace.set_capacity(8);
+  for (int i = 0; i < 20; ++i)
+    trace.record({static_cast<double>(i), 0, sim::EventKind::Compute, 0, 0,
+                  1, 0});
+  EXPECT_EQ(trace.size(), 8u);
+  EXPECT_EQ(trace.dropped(), 12u);
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  // Overwrite-oldest: the survivors are the last 8 records.
+  EXPECT_DOUBLE_EQ(events.front().time, 12.0);
+  EXPECT_DOUBLE_EQ(events.back().time, 19.0);
+}
+
+TEST(FlightRecorder, ShardedSnapshotMergesInRecordOrder) {
+  sim::Trace trace;
+  trace.enable();
+  trace.reshard(4);
+  for (int i = 0; i < 12; ++i)
+    trace.record({static_cast<double>(i), static_cast<cube::NodeId>(i % 4),
+                  sim::EventKind::Compute, 0, 0, 1, 0});
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 12u);
+  // The global sequence stamp restores record order across shards.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_DOUBLE_EQ(events[i].time, static_cast<double>(i));
+}
+
+TEST(FlightRecorder, TruncatedRecorderLeavesGoldenReportIntact) {
+  const core::SortOutcome full = run_pinned_fig7(core::Executor::Sequential);
+  ASSERT_EQ(full.report.trace_dropped, 0u);
+
+  util::Rng rng(1706);
+  const fault::FaultSet faults = fault::random_faults(6, 2, rng);
+  const auto keys = sort::gen_uniform(3'200, rng);
+  core::SortConfig cfg;
+  cfg.protocol = sort::ExchangeProtocol::FullExchange;
+  cfg.record_metrics = true;
+  cfg.record_trace = true;
+  cfg.trace_capacity = 16;  // tiny ring: most events evicted
+  const core::FaultTolerantSorter sorter(6, faults, cfg);
+  const core::SortOutcome cut = sorter.sort(keys);
+
+  EXPECT_GT(cut.report.trace_dropped, 0u);
+  EXPECT_LT(cut.trace_events.size(), full.trace_events.size());
+  // Eviction degrades only attribution; every logical result and metric
+  // charged outside the trace is untouched.
+  EXPECT_DOUBLE_EQ(cut.report.makespan, full.report.makespan);
+  EXPECT_EQ(cut.report.comparisons, full.report.comparisons);
+  EXPECT_EQ(cut.report.messages, full.report.messages);
+  EXPECT_EQ(cut.report.keys_sent, full.report.keys_sent);
+  EXPECT_TRUE(cut.report.metrics == full.report.metrics);
+}
+
+TEST(FlightRecorder, RecorderOnOffLeavesReportIdentical) {
+  util::Rng rng(1706);
+  const fault::FaultSet faults = fault::random_faults(6, 2, rng);
+  const auto keys = sort::gen_uniform(800, rng);
+  core::SortConfig off;
+  core::SortConfig on;
+  on.record_trace = true;
+  on.trace_capacity = 32;
+  const core::SortOutcome a =
+      core::FaultTolerantSorter(6, faults, off).sort(keys);
+  const core::SortOutcome b =
+      core::FaultTolerantSorter(6, faults, on).sort(keys);
+  EXPECT_DOUBLE_EQ(a.report.makespan, b.report.makespan);
+  EXPECT_EQ(a.report.comparisons, b.report.comparisons);
+  EXPECT_EQ(a.report.messages, b.report.messages);
+  EXPECT_EQ(a.report.keys_sent, b.report.keys_sent);
+  EXPECT_EQ(a.sorted, b.sorted);
+}
+
+// ---------------------------------------------------------------------------
+// Host profiling: wall-clock scheduler counters populate on the threaded
+// executor, and — being charged outside simulated time — never move a
+// single logical result.
+
+TEST(ObservabilityHost, ProfilingPopulatesCountersWithoutChangingResults) {
+  const core::SortOutcome plain = run_pinned_fig7(core::Executor::Threaded);
+  EXPECT_FALSE(plain.report.host.enabled);
+
+  util::Rng rng(1706);
+  const fault::FaultSet faults = fault::random_faults(6, 2, rng);
+  const auto keys = sort::gen_uniform(3'200, rng);
+  core::SortConfig cfg;
+  cfg.protocol = sort::ExchangeProtocol::FullExchange;
+  cfg.executor = core::Executor::Threaded;
+  cfg.record_metrics = true;
+  cfg.record_trace = true;
+  cfg.profile_host = true;
+  const core::FaultTolerantSorter sorter(6, faults, cfg);
+  const core::SortOutcome profiled = sorter.sort(keys);
+
+  ASSERT_TRUE(profiled.report.host.enabled);
+  const sim::SchedShardProfile total = profiled.report.host.total();
+  EXPECT_GT(total.tasks_resumed, 0u);
+  EXPECT_GT(total.cv_wakeups + total.spurious_wakeups, 0u);
+  EXPECT_EQ(profiled.report.host.shards.size(), 64u);
+
+  // Wall-clock observation, logical silence: every simulated-time and
+  // traffic field matches the unprofiled run exactly.
+  EXPECT_DOUBLE_EQ(profiled.report.makespan, plain.report.makespan);
+  EXPECT_EQ(profiled.report.comparisons, plain.report.comparisons);
+  EXPECT_EQ(profiled.report.messages, plain.report.messages);
+  EXPECT_EQ(profiled.report.keys_sent, plain.report.keys_sent);
+  EXPECT_TRUE(profiled.report.metrics == plain.report.metrics);
+  EXPECT_EQ(profiled.sorted, plain.sorted);
+}
+
+// ---------------------------------------------------------------------------
+// Trace schema: the Perfetto export passes the structural validator, and
+// the validator actually rejects broken documents.
+
+core::SortOutcome run_pinned_recovery(core::Executor exec) {
+  util::Rng rng(1703);
+  const fault::FaultSet faults = fault::random_faults(3, 1, rng);
+  const auto keys = sort::gen_uniform(200, rng);
+  core::SortConfig cfg;
+  cfg.executor = exec;
+  cfg.online_recovery = true;
+  cfg.injector.kill_node_at(6, 2000.0);
+  cfg.record_metrics = true;
+  cfg.record_trace = true;
+  const core::FaultTolerantSorter sorter(3, faults, cfg);
+  return sorter.sort(keys);
+}
+
+TEST(TraceSchema, ChromeTraceExportValidates) {
+  const core::SortOutcome out =
+      run_pinned_recovery(core::Executor::Sequential);
+  ASSERT_FALSE(out.trace_events.empty());
+  std::ostringstream os;
+  sim::write_chrome_trace(os, out.trace_events, 8);
+  const std::string json = os.str();
+  std::string error;
+  EXPECT_TRUE(sim::validate_chrome_trace(json, &error)) << error;
+  // Fault instants carry their phase so ftdiag explain can reconstruct
+  // the causal chain offline.
+  EXPECT_NE(json.find("\"kill\""), std::string::npos);
+  EXPECT_NE(json.find("\"timeout\""), std::string::npos);
+}
+
+TEST(TraceSchema, ValidatorRejectsBrokenDocuments) {
+  const core::SortOutcome out =
+      run_pinned_recovery(core::Executor::Sequential);
+  std::ostringstream os;
+  sim::write_chrome_trace(os, out.trace_events, 8);
+  const std::string json = os.str();
+
+  EXPECT_FALSE(sim::validate_chrome_trace("{}"));
+  EXPECT_FALSE(sim::validate_chrome_trace(json.substr(0, json.size() / 2)));
+  // Flip one span end into a begin: per-track balance must catch it.
+  std::string unbalanced = json;
+  const std::size_t at = unbalanced.find("\"ph\": \"E\"");
+  ASSERT_NE(at, std::string::npos);
+  unbalanced[at + 8] = 'B';
+  std::string why;
+  EXPECT_FALSE(sim::validate_chrome_trace(unbalanced, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Diagnosis: a recovered run still explains the fault it survived, the
+// same way on both executors.
+
+TEST(Diagnosis, RecoveryRunNamesInjectedKillAcrossExecutors) {
+  const core::SortOutcome seq =
+      run_pinned_recovery(core::Executor::Sequential);
+  const core::SortOutcome thr = run_pinned_recovery(core::Executor::Threaded);
+  ASSERT_FALSE(seq.sorted.empty());
+  const sim::Diagnosis& diag = seq.report.diagnosis;
+  ASSERT_TRUE(diag.triggered());
+  EXPECT_EQ(diag.kind, sim::Diagnosis::Kind::TimeoutBurst);
+  EXPECT_EQ(diag.root_kind, sim::Diagnosis::RootKind::NodeKill);
+  EXPECT_EQ(diag.root_node, 6u);
+  // The victim's own logical clock at death (it lags the global schedule
+  // time of the kill), deterministic across executors.
+  EXPECT_GT(diag.root_time, 0.0);
+  EXPECT_FALSE(diag.waits.empty());
+  EXPECT_FALSE(diag.stalled.empty());
+  EXPECT_NE(diag.to_string().find("injected kill of node 6"),
+            std::string::npos)
+      << diag.to_string();
+  // Same logical evidence, same explanation, either executor.
+  EXPECT_TRUE(diag == thr.report.diagnosis);
+  EXPECT_EQ(diag.to_string(), thr.report.diagnosis.to_string());
 }
 
 }  // namespace

@@ -312,7 +312,7 @@ TEST(Machine, TraceRecordsSendRecvCompute) {
     co_return;
   };
   machine.run(program);
-  const auto& events = machine.trace().events();
+  const auto events = machine.trace().snapshot();
   ASSERT_EQ(events.size(), 3u);
   EXPECT_EQ(events[0].kind, EventKind::Compute);
   EXPECT_EQ(events[1].kind, EventKind::Send);

@@ -18,7 +18,7 @@ using sort::Key;
 TEST(Trace, DisabledByDefaultRecordsNothing) {
   sim::Trace trace;
   trace.record({1.0, 0, sim::EventKind::Send, 1, 0, 5, 1});
-  EXPECT_TRUE(trace.events().empty());
+  EXPECT_TRUE(trace.snapshot().empty());
 }
 
 TEST(Trace, ToStringTruncates) {
@@ -36,7 +36,7 @@ TEST(Trace, ClearDropsEvents) {
   trace.enable();
   trace.record({0.0, 0, sim::EventKind::Compute, 0, 0, 1, 0});
   trace.clear();
-  EXPECT_TRUE(trace.events().empty());
+  EXPECT_TRUE(trace.snapshot().empty());
 }
 
 TEST(MachineEdge, RecvFromFaultySourceIsRejected) {
@@ -60,7 +60,7 @@ TEST(MachineEdge, ZeroComparisonsChargeIsFree) {
   const auto report = machine.run(program);
   EXPECT_EQ(report.comparisons, 0u);
   EXPECT_DOUBLE_EQ(report.makespan, 0.0);
-  EXPECT_TRUE(machine.trace().events().empty());
+  EXPECT_TRUE(machine.trace().snapshot().empty());
 }
 
 TEST(MachineEdge, FaultyNodesReportZeroClock) {

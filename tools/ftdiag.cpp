@@ -1,0 +1,488 @@
+#include "tools/ftdiag.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "sim/phase.hpp"
+
+namespace ftsort::tools {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON scanning, in lockstep with the repo's hand-rolled writers
+// (sim::write_chrome_trace, sim::write_metrics_json, bench_harness
+// write_json). Not a general parser: it only needs the exact shapes those
+// emit, plus whitespace tolerance.
+
+/// Index one past the matching close for the `open` at `start`; npos on
+/// imbalance. String-aware (quoted text may contain braces).
+std::size_t match_delim(const std::string& text, std::size_t start,
+                        char open, char close) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == open) {
+      ++depth;
+    } else if (c == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Value of a `"key": "string"` field inside `obj`, or empty.
+std::string string_field(const std::string& obj, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": \"";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = obj.find('"', begin);
+  if (end == std::string::npos) return {};
+  return obj.substr(begin, end - begin);
+}
+
+/// Numeric `"key": value` field inside `obj`; false when absent.
+bool num_field(const std::string& obj, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return false;
+  const char* begin = obj.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return false;
+  *out = v;
+  return true;
+}
+
+double num_or(const std::string& obj, const char* key, double fallback) {
+  double v = fallback;
+  num_field(obj, key, &v);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// diff: parsed per-run phase samples.
+
+struct PhaseSample {
+  double critical_time = 0.0;
+  double critical_comm = 0.0;
+  double critical_compute = 0.0;
+  bool has_split = false;  ///< comm/compute columns present (metrics format)
+};
+
+struct RunSample {
+  std::string scenario;  ///< empty for the single-run metrics format
+  double makespan = 0.0;
+  // Ordered map: deterministic iteration -> deterministic report text.
+  std::map<std::string, PhaseSample> phases;
+};
+
+struct ParsedDoc {
+  bool ok = false;
+  std::string error;
+  bool bench_format = false;  ///< true = bench scenarios, false = metrics
+  std::vector<RunSample> runs;
+};
+
+/// Parse one `{"phase"|name: {...}}`-style slice object into `out`.
+void read_phase_counters(const std::string& obj, PhaseSample* out) {
+  out->critical_time = num_or(obj, "critical_time", 0.0);
+  double comm = 0.0;
+  double compute = 0.0;
+  const bool has_comm = num_field(obj, "critical_comm", &comm);
+  const bool has_compute = num_field(obj, "critical_compute", &compute);
+  out->critical_comm = comm;
+  out->critical_compute = compute;
+  out->has_split = has_comm && has_compute;
+}
+
+/// Metrics format: top-level `"phases": [ {"phase": "name", ...}, ... ]`.
+bool parse_metrics_doc(const std::string& text, ParsedDoc* doc,
+                       std::string* err) {
+  RunSample run;
+  run.makespan = num_or(text, "makespan", 0.0);
+  const std::size_t at = text.find("\"phases\": [");
+  if (at == std::string::npos) {
+    *err = "metrics JSON without a \"phases\" array";
+    return false;
+  }
+  std::size_t pos = text.find('[', at);
+  const std::size_t stop = match_delim(text, pos, '[', ']');
+  if (stop == std::string::npos) {
+    *err = "unterminated \"phases\" array";
+    return false;
+  }
+  while (true) {
+    pos = text.find('{', pos);
+    if (pos == std::string::npos || pos >= stop) break;
+    const std::size_t end = match_delim(text, pos, '{', '}');
+    if (end == std::string::npos) {
+      *err = "unterminated phase object";
+      return false;
+    }
+    const std::string obj = text.substr(pos, end - pos);
+    const std::string name = string_field(obj, "phase");
+    if (name.empty()) {
+      *err = "phase object without a \"phase\" name: " + obj;
+      return false;
+    }
+    read_phase_counters(obj, &run.phases[name]);
+    pos = end;
+  }
+  doc->bench_format = false;
+  doc->runs.push_back(std::move(run));
+  return true;
+}
+
+/// Bench format: `"scenarios": [ {"name": ..., "phases": { ... }}, ... ]`.
+bool parse_bench_doc(const std::string& text, ParsedDoc* doc,
+                     std::string* err) {
+  std::size_t pos = text.find('[', text.find("\"scenarios\""));
+  if (pos == std::string::npos) {
+    *err = "bench JSON without a \"scenarios\" array";
+    return false;
+  }
+  const std::size_t stop = match_delim(text, pos, '[', ']');
+  if (stop == std::string::npos) {
+    *err = "unterminated \"scenarios\" array";
+    return false;
+  }
+  while (true) {
+    pos = text.find('{', pos);
+    if (pos == std::string::npos || pos >= stop) break;
+    const std::size_t end = match_delim(text, pos, '{', '}');
+    if (end == std::string::npos) {
+      *err = "unterminated scenario object";
+      return false;
+    }
+    const std::string obj = text.substr(pos, end - pos);
+    RunSample run;
+    run.scenario = string_field(obj, "name");
+    if (run.scenario.empty()) {
+      *err = "scenario without a \"name\"";
+      return false;
+    }
+    run.makespan = num_or(obj, "makespan", 0.0);
+    const std::size_t ph = obj.find("\"phases\": {");
+    if (ph != std::string::npos) {
+      std::size_t p = obj.find('{', ph);
+      const std::size_t pstop = match_delim(obj, p, '{', '}');
+      if (pstop == std::string::npos) {
+        *err = "unterminated \"phases\" object in scenario " + run.scenario;
+        return false;
+      }
+      ++p;  // step inside the phases object
+      while (true) {
+        // Each entry is `"phase_name": { ... }`.
+        const std::size_t q = obj.find('"', p);
+        if (q == std::string::npos || q >= pstop - 1) break;
+        const std::size_t qe = obj.find('"', q + 1);
+        if (qe == std::string::npos || qe >= pstop) break;
+        const std::string name = obj.substr(q + 1, qe - q - 1);
+        const std::size_t body = obj.find('{', qe);
+        if (body == std::string::npos || body >= pstop) break;
+        const std::size_t bend = match_delim(obj, body, '{', '}');
+        if (bend == std::string::npos) {
+          *err = "unterminated phase entry \"" + name + "\"";
+          return false;
+        }
+        read_phase_counters(obj.substr(body, bend - body),
+                            &run.phases[name]);
+        p = bend;
+      }
+    }
+    doc->runs.push_back(std::move(run));
+    pos = end;
+  }
+  doc->bench_format = true;
+  return true;
+}
+
+ParsedDoc parse_doc(const std::string& text) {
+  ParsedDoc doc;
+  std::string err;
+  const bool ok = text.find("\"scenarios\"") != std::string::npos
+                      ? parse_bench_doc(text, &doc, &err)
+                      : parse_metrics_doc(text, &doc, &err);
+  doc.ok = ok;
+  doc.error = err;
+  return doc;
+}
+
+void put_pct(std::ostream& os, double pct) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", pct);
+  os << buf;
+}
+
+void put_us(std::ostream& os, double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", us);
+  os << buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// explain
+
+ExplainResult explain_trace_json(const std::string& json) {
+  ExplainResult res;
+  const std::size_t wrapper = json.find("\"traceEvents\"");
+  if (wrapper == std::string::npos) {
+    res.error = "not a Chrome trace: missing \"traceEvents\"";
+    return res;
+  }
+  std::size_t pos = json.find('[', wrapper);
+  if (pos == std::string::npos) {
+    res.error = "missing traceEvents array";
+    return res;
+  }
+  const std::size_t stop = match_delim(json, pos, '[', ']');
+  if (stop == std::string::npos) {
+    res.error = "unterminated traceEvents array";
+    return res;
+  }
+
+  sim::DiagnosisInput input;
+  while (true) {
+    pos = json.find('{', pos);
+    if (pos == std::string::npos || pos >= stop) break;
+    const std::size_t end = match_delim(json, pos, '{', '}');
+    if (end == std::string::npos) {
+      res.error = "unterminated event object";
+      return res;
+    }
+    const std::string obj = json.substr(pos, end - pos);
+    pos = end;
+    const std::string name = string_field(obj, "name");
+    if (name != "timeout" && name != "kill") continue;
+    double ts = 0.0;
+    double tid = 0.0;
+    if (!num_field(obj, "ts", &ts) || !num_field(obj, "tid", &tid)) {
+      res.error = "fault instant without ts/tid: " + obj;
+      return res;
+    }
+    const sim::Phase phase =
+        sim::phase_from_name(string_field(obj, "phase"));
+    const auto node = static_cast<cube::NodeId>(tid);
+    if (name == "timeout") {
+      ++res.timeout_events;
+      input.waits.push_back(
+          {node, static_cast<cube::NodeId>(num_or(obj, "src", 0.0)),
+           static_cast<sim::Tag>(num_or(obj, "tag", 0.0)), ts, phase,
+           /*expired=*/true});
+    } else {
+      ++res.kill_events;
+      input.kills.push_back({node, ts, phase});
+    }
+  }
+
+  const sim::Diagnosis::Kind kind =
+      res.timeout_events > 0  ? sim::Diagnosis::Kind::TimeoutBurst
+      : res.kill_events > 0   ? sim::Diagnosis::Kind::NodeLoss
+                              : sim::Diagnosis::Kind::None;
+  res.diagnosis = sim::diagnose(std::move(input), kind);
+  res.ok = true;
+
+  std::ostringstream out;
+  out << "ftdiag explain: " << res.timeout_events << " timeout(s), "
+      << res.kill_events << " kill(s) in trace\n";
+  if (res.diagnosis.triggered())
+    out << res.diagnosis.to_string() << "\n";
+  else
+    out << "no failure evidence recorded; nothing to explain\n";
+  res.text = out.str();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// diff
+
+DiffResult diff_json(const std::string& a, const std::string& b,
+                     double threshold_pct) {
+  DiffResult res;
+  res.threshold_pct = threshold_pct;
+  const ParsedDoc da = parse_doc(a);
+  if (!da.ok) {
+    res.error = "first file: " + da.error;
+    return res;
+  }
+  const ParsedDoc db = parse_doc(b);
+  if (!db.ok) {
+    res.error = "second file: " + db.error;
+    return res;
+  }
+  if (da.bench_format != db.bench_format) {
+    res.error = "format mismatch: one file is a bench export, the other a "
+                "metrics export";
+    return res;
+  }
+
+  std::ostringstream out;
+  out << "ftdiag diff (threshold \xC2\xB1";
+  put_us(out, threshold_pct);
+  out << "% on per-phase critical_time)\n";
+
+  std::size_t compared = 0;
+  for (const RunSample& ra : da.runs) {
+    const RunSample* rb = nullptr;
+    for (const RunSample& cand : db.runs)
+      if (cand.scenario == ra.scenario) {
+        rb = &cand;
+        break;
+      }
+    if (rb == nullptr) continue;  // scenario dropped between runs
+    const std::string where =
+        ra.scenario.empty() ? std::string() : ra.scenario + " ";
+    if (ra.makespan > 0.0 && rb->makespan > 0.0 &&
+        ra.makespan != rb->makespan) {
+      out << "  " << where << "makespan ";
+      put_us(out, ra.makespan);
+      out << " -> ";
+      put_us(out, rb->makespan);
+      out << " (";
+      put_pct(out, 100.0 * (rb->makespan - ra.makespan) / ra.makespan);
+      out << ")\n";
+    }
+    for (const auto& [phase, pa] : ra.phases) {
+      const auto it = rb->phases.find(phase);
+      if (it == rb->phases.end()) continue;
+      const PhaseSample& pb = it->second;
+      if (pa.critical_time == 0.0 && pb.critical_time == 0.0) continue;
+      ++compared;
+      PhaseDelta d;
+      d.scenario = ra.scenario;
+      d.phase = phase;
+      d.before = pa.critical_time;
+      d.after = pb.critical_time;
+      d.delta_pct = pa.critical_time > 0.0
+                        ? 100.0 * (pb.critical_time - pa.critical_time) /
+                              pa.critical_time
+                        : 100.0;
+      d.regression = std::fabs(d.delta_pct) > threshold_pct;
+      if (pa.has_split && pb.has_split) {
+        const double dcomm = pb.critical_comm - pa.critical_comm;
+        const double dcompute = pb.critical_compute - pa.critical_compute;
+        d.attribution =
+            std::fabs(dcomm) >= std::fabs(dcompute) ? "comm" : "compute";
+      }
+      if (d.regression || d.delta_pct != 0.0) {
+        out << "  " << where << phase << ": critical_time ";
+        put_us(out, d.before);
+        out << " -> ";
+        put_us(out, d.after);
+        out << " (";
+        put_pct(out, d.delta_pct);
+        out << ")";
+        if (!d.attribution.empty()) out << " [" << d.attribution << "]";
+        if (d.regression) out << " REGRESSION";
+        out << "\n";
+      }
+      if (d.regression) ++res.regressions;
+      res.deltas.push_back(std::move(d));
+    }
+  }
+  out << "summary: " << res.regressions << " regression(s) beyond \xC2\xB1";
+  put_us(out, threshold_pct);
+  out << "% across " << compared << " compared phase(s)\n";
+  res.ok = true;
+  res.text = out.str();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+
+namespace {
+
+bool slurp(const std::string& path, std::string* out, std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *err = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int usage(std::ostream& err) {
+  err << "usage: ftdiag diff <a.json> <b.json> [--threshold PCT]\n"
+         "       ftdiag explain <trace.json>\n"
+         "exit codes: 0 clean, 1 regression beyond threshold, "
+         "2 usage/parse error\n";
+  return 2;
+}
+
+}  // namespace
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  if (argc < 2) return usage(err);
+  const std::string cmd = argv[1];
+
+  if (cmd == "explain") {
+    if (argc != 3) return usage(err);
+    std::string text;
+    std::string why;
+    if (!slurp(argv[2], &text, &why)) {
+      err << "ftdiag explain: " << why << "\n";
+      return 2;
+    }
+    const ExplainResult res = explain_trace_json(text);
+    if (!res.ok) {
+      err << "ftdiag explain: " << res.error << "\n";
+      return 2;
+    }
+    out << res.text;
+    return 0;
+  }
+
+  if (cmd == "diff") {
+    if (argc != 4 && argc != 6) return usage(err);
+    double threshold = 20.0;
+    if (argc == 6) {
+      if (std::string(argv[4]) != "--threshold") return usage(err);
+      char* end = nullptr;
+      threshold = std::strtod(argv[5], &end);
+      if (end == argv[5] || threshold < 0.0) return usage(err);
+    }
+    std::string ta;
+    std::string tb;
+    std::string why;
+    if (!slurp(argv[2], &ta, &why) || !slurp(argv[3], &tb, &why)) {
+      err << "ftdiag diff: " << why << "\n";
+      return 2;
+    }
+    const DiffResult res = diff_json(ta, tb, threshold);
+    if (!res.ok) {
+      err << "ftdiag diff: " << res.error << "\n";
+      return 2;
+    }
+    out << res.text;
+    return res.regressions > 0 ? 1 : 0;
+  }
+
+  return usage(err);
+}
+
+}  // namespace ftsort::tools

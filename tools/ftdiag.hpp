@@ -1,0 +1,76 @@
+// Differential diagnosis CLI (ftdiag): library half, linked by the
+// `ftdiag` executable and by tests/test_ftdiag.cpp.
+//
+// `explain_trace_json` replays the failure evidence an exported Chrome
+// trace holds (timeout/kill instant markers, each carrying its paper
+// phase) through sim::diagnose, producing the same Diagnosis the
+// simulator attaches to RunReport — but offline, from a file. Because
+// both paths feed the one builder, `ftdiag explain trace.json` and the
+// in-process report can never disagree about the root cause.
+//
+// `diff_json` compares two metrics/bench JSON exports phase by phase and
+// attributes the critical-path delta (comm vs compute where the export
+// carries the split), so a perf regression names the paper step that
+// paid for it instead of a bare makespan number. It understands both
+// shapes the repo emits: sim::write_metrics_json (single run, `"phases"`
+// array) and bench_harness (`"scenarios"` array with nested `"phases"`
+// objects).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/diagnosis.hpp"
+
+namespace ftsort::tools {
+
+/// Result of reconstructing a Diagnosis from a Chrome-trace JSON export.
+struct ExplainResult {
+  bool ok = false;     ///< parse succeeded (diagnosis may still be empty)
+  std::string error;   ///< first parse problem when !ok
+  std::uint64_t timeout_events = 0;  ///< timeout instants found
+  std::uint64_t kill_events = 0;     ///< kill instants found
+  sim::Diagnosis diagnosis;
+  std::string text;  ///< deterministic human-readable report
+};
+
+ExplainResult explain_trace_json(const std::string& json);
+
+/// One compared (scenario, phase) pair. `scenario` is empty for the
+/// single-run metrics format.
+struct PhaseDelta {
+  std::string scenario;
+  std::string phase;
+  double before = 0.0;  ///< critical_time in the first file (µs)
+  double after = 0.0;   ///< critical_time in the second file (µs)
+  double delta_pct = 0.0;
+  bool regression = false;  ///< |delta_pct| beyond the threshold
+  std::string attribution;  ///< "comm" / "compute" when the split exists
+};
+
+struct DiffResult {
+  bool ok = false;
+  std::string error;
+  double threshold_pct = 0.0;
+  std::vector<PhaseDelta> deltas;  ///< every compared phase, in file order
+  std::size_t regressions = 0;
+  std::string text;  ///< rendered report, one line per delta + summary
+};
+
+/// Compare per-phase critical path between two JSON exports. The gate is
+/// symmetric: a phase that got ±`threshold_pct` percent slower OR faster
+/// is flagged, because an unexplained speedup in a deterministic
+/// simulator is as suspicious as a slowdown.
+DiffResult diff_json(const std::string& a, const std::string& b,
+                     double threshold_pct);
+
+/// Full CLI: `ftdiag diff A B [--threshold PCT]` or
+/// `ftdiag explain TRACE.json`. Returns the process exit code:
+/// 0 = clean, 1 = diff found a regression beyond the threshold,
+/// 2 = usage or parse error.
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace ftsort::tools

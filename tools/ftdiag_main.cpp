@@ -1,0 +1,9 @@
+// `ftdiag`: differential diagnosis for simulator runs. See tools/ftdiag.hpp
+// for the commands and exit codes.
+#include <iostream>
+
+#include "tools/ftdiag.hpp"
+
+int main(int argc, char** argv) {
+  return ftsort::tools::run_cli(argc, argv, std::cout, std::cerr);
+}

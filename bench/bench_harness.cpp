@@ -42,6 +42,7 @@
 #include "core/ft_sorter.hpp"
 #include "fault/scenario.hpp"
 #include "sim/exporters.hpp"
+#include "sim/link_stats.hpp"
 #include "sort/distribution.hpp"
 #include "sort/merge_split.hpp"
 #include "util/rng.hpp"
@@ -152,6 +153,7 @@ Metrics run_end_to_end(const std::string& name, cube::Dim n,
   core::SortConfig obs_cfg = cfg;
   obs_cfg.record_metrics = true;
   obs_cfg.record_trace = true;
+  obs_cfg.record_link_stats = true;
   // Host-side scheduler counters only mean something on the threaded
   // executor, and only perturb wall time there — charge them to the
   // instrumented run, never the timed reps.
@@ -248,11 +250,35 @@ void write_json(const std::string& path, const std::vector<Metrics>& all,
         << "      \"allocations\": " << m.allocations << ",\n"
         << "      \"pool_heap_allocations\": " << m.pool_heap_allocations
         << ",\n"
-        << "      \"pool_checkouts\": " << m.pool_checkouts;
-    // Per-phase columns from the instrumented run. Placed AFTER every flat
-    // field: parse_json bounds a scenario's fields by the first '}' after
-    // its "name", which with this layout is the first nested phase object's
-    // close — still past all the gated counters. Empty phases are skipped.
+        << "      \"pool_checkouts\": " << m.pool_checkouts << ",\n"
+        << "      \"link_key_hops\": "
+        << m.obs.links.grand_total().key_hops;
+    // Nested blocks below are placed AFTER every flat field: parse_json
+    // bounds a scenario's fields by the first '}' after its "name", which
+    // with this layout is the first nested object's close — still past all
+    // the gated counters.
+    // Per-dimension link rollup from the instrumented run: which cube
+    // dimension carried the traffic, and how hot its wires ran.
+    if (!m.obs.links.empty()) {
+      const std::vector<double> util = sim::dimension_utilization(
+          m.obs.links, m.obs.cost, m.obs.makespan);
+      out << ",\n      \"link_dimensions\": {";
+      for (cube::Dim d = 0; d < m.obs.links.dim; ++d) {
+        const sim::LinkCell cell = m.obs.links.dim_total(d);
+        char busy[64];
+        char u[64];
+        std::snprintf(busy, sizeof busy, "%.17g",
+                      sim::link_busy_time(cell, m.obs.cost));
+        std::snprintf(u, sizeof u, "%.17g",
+                      util[static_cast<std::size_t>(d)]);
+        out << (d != 0 ? ",\n" : "\n") << "        \""
+            << static_cast<int>(d) << "\": {\"traversals\": "
+            << cell.traversals << ", \"key_hops\": " << cell.key_hops
+            << ", \"busy\": " << busy << ", \"utilization\": " << u << "}";
+      }
+      out << "\n      }";
+    }
+    // Per-phase columns from the instrumented run. Empty phases are skipped.
     if (!m.obs.metrics.empty()) {
       out << ",\n      \"phases\": {";
       bool first_phase = true;
@@ -291,6 +317,7 @@ struct ParsedScenario {
   std::uint64_t allocations = 0;
   std::uint64_t pool_heap_allocations = 0;
   std::uint64_t pool_checkouts = 0;
+  std::uint64_t link_key_hops = 0;
 };
 
 bool parse_json(const std::string& path, std::string& mode,
@@ -353,6 +380,8 @@ bool parse_json(const std::string& path, std::string& mode,
     s.pool_heap_allocations = static_cast<std::uint64_t>(v);
     if (!field("pool_checkouts", v)) return false;
     s.pool_checkouts = static_cast<std::uint64_t>(v);
+    if (!field("link_key_hops", v)) return false;
+    s.link_key_hops = static_cast<std::uint64_t>(v);
     out.push_back(std::move(s));
     pos = object_end;
   }
@@ -476,6 +505,10 @@ bool check_regressions(const std::vector<ParsedScenario>& current,
     gate(base.name, "pool_heap_allocations",
          static_cast<double>(now->pool_heap_allocations),
          static_cast<double>(base.pool_heap_allocations));
+    // Routing regressions that keys_routed hides (the same keys pushed
+    // over longer detours) show up here: this counter is hop-weighted.
+    gate(base.name, "link_key_hops", static_cast<double>(now->link_key_hops),
+         static_cast<double>(base.link_key_hops));
   }
   return ok;
 }
@@ -587,14 +620,24 @@ int harness_main(int argc, char** argv) {
 
   // Append a one-line summary to BENCH_history.jsonl next to --out, so
   // successive local runs accumulate a perf trajectory that survives
-  // BENCH_sort.json being overwritten.
+  // BENCH_sort.json being overwritten. The file is capped at the most
+  // recent kHistoryCap entries: a long-lived checkout otherwise grows it
+  // without bound, and only the recent trajectory is ever read.
   {
+    constexpr std::size_t kHistoryCap = 500;
     const std::size_t slash = out_path.find_last_of('/');
     const std::string history_path =
         (slash == std::string::npos ? std::string()
                                     : out_path.substr(0, slash + 1)) +
         "BENCH_history.jsonl";
-    std::ofstream hist(history_path, std::ios::app);
+    std::vector<std::string> lines;
+    {
+      std::ifstream in(history_path);
+      std::string line;
+      while (std::getline(in, line))
+        if (!line.empty()) lines.push_back(line);
+    }
+    std::ostringstream hist;
     hist << "{\"bench\": \"sort\", \"mode\": \""
          << (smoke ? "smoke" : "full") << "\", \"build\": \""
 #ifdef NDEBUG
@@ -612,8 +655,16 @@ int harness_main(int argc, char** argv) {
            << ", \"makespan\": " << makespan
            << ", \"comparisons\": " << m.comparisons << "}";
     }
-    hist << "]}\n";
-    if (hist) std::printf("history: %s\n", history_path.c_str());
+    hist << "]}";
+    lines.push_back(hist.str());
+    const std::size_t keep_from =
+        lines.size() > kHistoryCap ? lines.size() - kHistoryCap : 0;
+    std::ofstream out(history_path, std::ios::trunc);
+    for (std::size_t i = keep_from; i < lines.size(); ++i)
+      out << lines[i] << "\n";
+    if (out)
+      std::printf("history: %s (%zu entries)\n", history_path.c_str(),
+                  lines.size() - keep_from);
   }
 
   // Observability exports: the flagship fig7_q6_r2 scenario's instrumented
@@ -621,9 +672,15 @@ int harness_main(int argc, char** argv) {
   const Metrics& flagship = all.front();
   if (!trace_path.empty()) {
     std::ostringstream tjson;
+    // Counter tracks (per-dimension keys-in-flight / busy time) ride on the
+    // instrumented run's cost model; the eviction count annotates whether
+    // the export is ring-truncated.
+    sim::ChromeTraceOptions topts;
+    topts.cost = &flagship.obs.cost;
+    topts.trace_dropped = flagship.obs.trace_dropped;
     sim::write_chrome_trace(
         tjson, flagship.trace_events,
-        static_cast<std::uint32_t>(flagship.obs.metrics.nodes.size()));
+        static_cast<std::uint32_t>(flagship.obs.metrics.nodes.size()), topts);
     // Shape-check before writing: a malformed export fails the smoke test
     // here, not when someone loads the file in Perfetto weeks later.
     std::string why;

@@ -12,6 +12,7 @@
 
 #include "core/ft_sorter.hpp"
 #include "sim/exporters.hpp"
+#include "sim/link_stats.hpp"
 #include "sort/distribution.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -34,6 +35,9 @@ int main(int argc, char** argv) {
   cfg.record_trace = !cli.str("trace").empty();
   cfg.record_metrics =
       cfg.record_trace || !cli.str("metrics").empty();
+  // Per-link traffic matrix: feeds the console summary below, the
+  // metrics-JSON "links" block, and the Perfetto counter tracks.
+  cfg.record_link_stats = cfg.record_metrics;
   core::FaultTolerantSorter sorter(n, faults, cfg);
   std::cout << "plan: " << sorter.plan().to_string() << "\n";
 
@@ -54,9 +58,30 @@ int main(int argc, char** argv) {
             << ", keys on wire: " << outcome.report.keys_sent
             << ", comparisons: " << outcome.report.comparisons << "\n";
 
+  if (cfg.record_link_stats) {
+    // Which cube dimension carried the most traffic?
+    cube::Dim hot = 0;
+    for (cube::Dim d = 1; d < outcome.report.links.dim; ++d)
+      if (sim::link_busy_time(outcome.report.links.dim_total(d),
+                              outcome.report.cost) >
+          sim::link_busy_time(outcome.report.links.dim_total(hot),
+                              outcome.report.cost))
+        hot = d;
+    std::cout << "link traffic: " << outcome.report.links.grand_total().key_hops
+              << " key-hops, hottest dimension " << hot << " ("
+              << outcome.report.links.dim_total(hot).key_hops
+              << " key-hops)\n";
+  }
+
   if (!cli.str("trace").empty()) {
     std::ofstream tf(cli.str("trace"));
-    sim::write_chrome_trace(tf, outcome.trace_events, cube::num_nodes(n));
+    // Passing the cost model adds per-dimension counter tracks
+    // (keys_in_flight, link_busy_us) next to the span rows in Perfetto.
+    const sim::ChromeTraceOptions topts{
+        .cost = &outcome.report.cost,
+        .trace_dropped = outcome.report.trace_dropped};
+    sim::write_chrome_trace(tf, outcome.trace_events, cube::num_nodes(n),
+                            topts);
     std::cout << "wrote trace: " << cli.str("trace")
               << " (open at ui.perfetto.dev)\n";
   }

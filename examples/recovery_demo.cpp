@@ -102,7 +102,8 @@ int main(int argc, char** argv) {
   // Once more with the trace on, to watch the machinery work.
   core::SortConfig traced = base;
   traced.record_trace = true;
-  traced.record_metrics = true;  // per-phase counters for --metrics
+  traced.record_metrics = true;   // per-phase counters for --metrics
+  traced.record_link_stats = true;  // traffic matrix + counter tracks
   traced.injector.kill_node_at(victim, when);
   core::FaultTolerantSorter sorter(n, fault::FaultSet(n), traced);
   core::SortOutcome out;
@@ -140,7 +141,12 @@ int main(int argc, char** argv) {
 
   if (!cli.str("trace").empty()) {
     std::ofstream tf(cli.str("trace"));
-    sim::write_chrome_trace(tf, out.trace_events, cube::num_nodes(n));
+    // With the cost model attached the export adds per-dimension counter
+    // tracks: watch keys_in_flight spike on the dimensions the recovery
+    // re-scatter crosses.
+    const sim::ChromeTraceOptions topts{
+        .cost = &out.report.cost, .trace_dropped = out.report.trace_dropped};
+    sim::write_chrome_trace(tf, out.trace_events, cube::num_nodes(n), topts);
     std::cout << "\nwrote trace: " << cli.str("trace")
               << " (open at ui.perfetto.dev)\n";
   }

@@ -8,6 +8,37 @@
 
 namespace ftsort::core {
 
+namespace {
+
+/// §3 heuristic audit: pair every Ψ candidate's predicted overhead profile
+/// (retained by partition::select_sequence) with the run's measured
+/// re-index extra hops (sim/link_stats.hpp audit table).
+sim::ReindexAudit build_reindex_audit(const partition::Plan& plan,
+                                      const sim::LinkStatsSnapshot& links) {
+  sim::ReindexAudit audit;
+  audit.enabled = true;
+  const partition::Selection& sel = plan.selection();
+  const auto& psi = plan.search().cutting_set;
+  FTSORT_INVARIANT(psi.size() == sel.candidates.size());
+  for (std::size_t idx = 0; idx < psi.size(); ++idx) {
+    sim::ReindexAudit::Candidate c;
+    c.cuts = psi[idx];
+    c.predicted_h = sel.candidates[idx].h;
+    c.predicted_total = sel.candidates[idx].total;
+    c.chosen = idx == sel.beta;
+    audit.candidates.push_back(std::move(c));
+  }
+  audit.measured_h =
+      sim::measured_reindex_by_dim(links.reindex_fault_extra, plan.m());
+  for (const int h : audit.measured_h) audit.measured_total += h;
+  audit.measured_all_h =
+      sim::measured_reindex_by_dim(links.reindex_extra, plan.m());
+  for (const int h : audit.measured_all_h) audit.measured_all_total += h;
+  return audit;
+}
+
+}  // namespace
+
 FaultTolerantSorter::FaultTolerantSorter(cube::Dim n,
                                          fault::FaultSet faults,
                                          SortConfig config)
@@ -161,6 +192,17 @@ SortOutcome FaultTolerantSorter::sort(
         // neighbouring subcube along dimension j.
         const cube::NodeId v2 = cube::neighbor(v, j);
         const cube::NodeId partner = plan.physical(v2, lw);
+        // §3 audit: corresponding processors of neighbouring subcubes are
+        // one hop apart before re-indexing; whatever the router charges
+        // beyond that is the measured re-index penalty along dimension j.
+        // Exchanges between two fault-carrying subcubes are the formula's
+        // own scope; the rest (dangling pairs) it does not model.
+        if (ctx.link_stats_enabled()) {
+          const bool fault_pair = plan.has_dead() &&
+                                  plan.dead_is_fault(v) &&
+                                  plan.dead_is_fault(v2);
+          ctx.note_reindex_hops(j, ctx.hops_to(partner) - 1, fault_pair);
+        }
         const sort::SplitHalf keep = (cube::bit(v, j) == mask)
                                          ? sort::SplitHalf::Lower
                                          : sort::SplitHalf::Upper;
@@ -218,6 +260,8 @@ SortOutcome FaultTolerantSorter::sort(
   machine.trace().set_capacity(config_.trace_capacity);
   machine.profile_host(config_.profile_host);
   if (config_.record_metrics) machine.metrics().enable(machine.size());
+  if (config_.record_link_stats)
+    machine.link_stats().enable(machine.size(), machine.dim());
 
   SortOutcome outcome;
   outcome.report = config_.executor == Executor::Threaded
@@ -228,6 +272,9 @@ SortOutcome FaultTolerantSorter::sort(
     outcome.trace = machine.trace().to_string();
     outcome.trace_events = machine.trace().snapshot();
   }
+  if (config_.record_link_stats)
+    outcome.report.reindex_audit = build_reindex_audit(plan,
+                                                       outcome.report.links);
 
   // Gather in subcube-address order (the algorithm's output placement).
   std::vector<std::vector<sort::Key>> in_order;

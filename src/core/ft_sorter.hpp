@@ -77,6 +77,12 @@ struct SortConfig {
   /// attribution additionally needs record_trace. Deterministic across
   /// executors; off by default (one branch per charge site when off).
   bool record_metrics = false;
+  /// Populate RunReport::links with the per-link traffic matrix and — for
+  /// the plain (non-recovery) sort — RunReport::reindex_audit with the §3
+  /// heuristic audit (sim/link_stats.hpp): predicted Σ max(h_i) of every
+  /// Ψ candidate next to the measured re-index extra hops per dimension.
+  /// Deterministic across executors; off by default.
+  bool record_link_stats = false;
   /// Mid-run fault schedule (sim/fault_injector.hpp), applied to every run.
   /// Without online_recovery an injected death typically leaves the
   /// victim's partners blocked forever and the run ends in DeadlockError —

@@ -476,6 +476,8 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
   machine.trace().set_capacity(config.trace_capacity);
   machine.profile_host(config.profile_host);
   if (config.record_metrics) machine.metrics().enable(machine.size());
+  if (config.record_link_stats)
+    machine.link_stats().enable(machine.size(), machine.dim());
   const auto program = [&sh, &config](sim::NodeCtx& ctx) {
     return node_program(ctx, sh, config);
   };

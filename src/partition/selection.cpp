@@ -57,15 +57,17 @@ Selection select_sequence(
   FTSORT_REQUIRE(!cutting_set.empty());
   Selection best;
   bool have_best = false;
+  best.candidates.reserve(cutting_set.size());
   for (std::size_t idx = 0; idx < cutting_set.size(); ++idx) {
     const cube::CutSplit split(faults.dim(), cutting_set[idx]);
     OverheadProfile profile = extra_overhead(faults, split);
     if (!have_best || profile.total < best.overhead.total) {
       best.cuts = cutting_set[idx];
-      best.overhead = std::move(profile);
+      best.overhead = profile;
       best.beta = idx;
       have_best = true;
     }
+    best.candidates.push_back(std::move(profile));
   }
   return best;
 }

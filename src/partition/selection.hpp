@@ -40,6 +40,10 @@ struct Selection {
   std::vector<cube::Dim> cuts;  ///< the chosen D_β
   OverheadProfile overhead;
   std::size_t beta = 0;         ///< index of D_β within Ψ
+  /// Formula-(1) profile of *every* sequence in Ψ, in Ψ order
+  /// (`candidates[beta] == overhead`). Retained so the link-telemetry
+  /// audit can compare the pick against every rejected candidate.
+  std::vector<OverheadProfile> candidates;
 };
 
 /// Evaluate formula (1) on every sequence in Ψ and return the argmin.

@@ -25,6 +25,7 @@ const char* diagnosis_root_kind_name(Diagnosis::RootKind k) {
     case Diagnosis::RootKind::NodeKill: return "node_kill";
     case Diagnosis::RootKind::LinkCut: return "link_cut";
     case Diagnosis::RootKind::MissingPartner: return "missing_partner";
+    case Diagnosis::RootKind::Evicted: return "evicted";
   }
   return "?";
 }
@@ -50,6 +51,15 @@ std::string Diagnosis::to_string() const {
       os << "peer " << root_node
          << " never sent (finished or idle); first unanswered wait at t="
          << root_time << "us during phase " << phase_name(root_phase);
+      break;
+    case RootKind::Evicted:
+      // Honest degradation: the ring overwrote the evidence that would
+      // name the real root, so do not blame the surviving silent peer.
+      os << "root evicted (trace_dropped=" << trace_dropped
+         << "); first surviving unanswered wait points at peer " << root_node
+         << " at t=" << root_time << "us during phase "
+         << phase_name(root_phase)
+         << " -- raise trace_capacity to recover the true root";
       break;
     case RootKind::None:
       os << "unknown";
@@ -143,11 +153,16 @@ Diagnosis diagnose(DiagnosisInput in, Diagnosis::Kind kind) {
         break;
       }
     if (pick == nullptr) pick = &d.waits.front();  // pure wait cycle
-    d.root_kind = Diagnosis::RootKind::MissingPartner;
+    // A silent-peer verdict is only trustworthy when the flight recorder
+    // kept the whole run: an evicted Kill/Timeout event would have named a
+    // different root. Degrade to an explicit "evidence lost" diagnosis.
+    d.root_kind = in.trace_dropped > 0 ? Diagnosis::RootKind::Evicted
+                                       : Diagnosis::RootKind::MissingPartner;
     d.root_node = pick->src;
     d.root_time = pick->time;
     d.root_phase = pick->phase;
   }
+  d.trace_dropped = in.trace_dropped;
 
   // Transitive closure of the wait-for graph over the root. The stalled
   // set keeps only actual waiters, so the dead/finished root itself (and a

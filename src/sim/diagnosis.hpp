@@ -40,6 +40,7 @@ struct Diagnosis {
     NodeKill,        ///< an injected processor death
     LinkCut,         ///< an injected link cut
     MissingPartner,  ///< the awaited peer finished (or never sends)
+    Evicted,         ///< bounded flight recorder dropped the root evidence
   };
 
   /// One wait-for edge: `node` waits (or waited, if the deadline expired)
@@ -62,6 +63,10 @@ struct Diagnosis {
   Phase root_phase = Phase::Unattributed;  ///< phase the root interrupted
   std::vector<Wait> waits;  ///< all wait-for edges, sorted (time, node, src)
   std::vector<cube::NodeId> stalled;  ///< transitive closure, ascending
+  /// Events this run's bounded flight recorder evicted before diagnosis.
+  /// Nonzero + no surviving kill/cut evidence degrades the root to
+  /// `Evicted` instead of confidently blaming a silent peer.
+  std::uint64_t trace_dropped = 0;
 
   bool triggered() const { return kind != Kind::None; }
 
@@ -92,6 +97,8 @@ struct DiagnosisInput {
   std::vector<Diagnosis::Wait> waits;
   std::vector<Kill> kills;
   std::vector<Cut> cuts;
+  /// Flight-recorder evictions during the diagnosed run (ring overflow).
+  std::uint64_t trace_dropped = 0;
 };
 
 /// Build a Diagnosis: pick the root event (earliest kill, else earliest

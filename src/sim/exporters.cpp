@@ -1,12 +1,15 @@
 #include "sim/exporters.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
 #include <cstdio>
 #include <deque>
 #include <ostream>
 #include <string>
 #include <unordered_map>
+
+#include "sim/link_stats.hpp"
 
 namespace ftsort::sim {
 
@@ -62,6 +65,13 @@ void put_event_common(std::ostream& os, const char* name, const char* cat,
 void write_chrome_trace(std::ostream& os,
                         const std::vector<TraceEvent>& events,
                         std::uint32_t num_nodes) {
+  write_chrome_trace(os, events, num_nodes, ChromeTraceOptions{});
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        std::uint32_t num_nodes,
+                        const ChromeTraceOptions& opts) {
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   bool first = true;
   const auto sep = [&] {
@@ -77,6 +87,58 @@ void write_chrome_trace(std::ostream& os,
   sep();
   os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
         "\"args\": {\"name\": \"hypercube\"}}";
+  sep();
+  os << "{\"name\": \"trace_dropped\", \"ph\": \"M\", \"pid\": 0, "
+        "\"args\": {\"count\": "
+     << opts.trace_dropped << "}}";
+
+  // Counter ("C") tracks, one series per cube dimension: keys still in
+  // flight (Send increments, the matching Recv or Drop decrements) and
+  // cumulative wire busy time. A message's dimensions come from src^dst —
+  // the minimal route — which matches the charged path except on adaptive
+  // detours, where the track is an under-approximation.
+  const cube::Dim track_dims =
+      opts.cost != nullptr && num_nodes > 1
+          ? static_cast<cube::Dim>(std::bit_width(num_nodes - 1))
+          : 0;
+  std::vector<std::uint64_t> in_flight(static_cast<std::size_t>(track_dims),
+                                       0);
+  std::vector<double> busy(static_cast<std::size_t>(track_dims), 0.0);
+  const auto put_counter = [&](const char* name, SimTime ts, bool time_track) {
+    sep();
+    put_event_common(os, name, "link", "C", ts, 0);
+    os << ", \"args\": {";
+    for (cube::Dim d = 0; d < track_dims; ++d) {
+      os << (d != 0 ? ", " : "") << "\"dim" << static_cast<int>(d) << "\": ";
+      if (time_track)
+        put_double(os, busy[static_cast<std::size_t>(d)]);
+      else
+        os << in_flight[static_cast<std::size_t>(d)];
+    }
+    os << "}}";
+  };
+  // Apply one message event to the counters; true when anything changed.
+  const auto account = [&](const TraceEvent& ev, bool starting) {
+    std::uint32_t diff = (ev.node ^ ev.peer) & (num_nodes - 1);
+    bool busy_changed = false;
+    bool flight_changed = false;
+    while (diff != 0) {
+      const auto d = static_cast<std::size_t>(std::countr_zero(diff));
+      diff &= diff - 1;
+      if (d >= static_cast<std::size_t>(track_dims)) continue;
+      if (starting) {
+        in_flight[d] += ev.keys;
+        busy[d] += opts.cost->t_startup +
+                   opts.cost->t_transfer * static_cast<double>(ev.keys);
+        busy_changed = true;
+      } else {
+        in_flight[d] -= std::min<std::uint64_t>(in_flight[d], ev.keys);
+      }
+      flight_changed = true;
+    }
+    if (flight_changed) put_counter("keys_in_flight", ev.time, false);
+    if (busy_changed) put_counter("link_busy_us", ev.time, true);
+  };
 
   // Flow ids: sends enqueue, receives dequeue (per-channel FIFO matches the
   // simulator's delivery order). Dropped messages never produce a Recv, so
@@ -106,6 +168,7 @@ void write_chrome_trace(std::ostream& os,
         os << ", \"id\": " << id << ", \"args\": {\"tag\": " << ev.tag
            << ", \"keys\": " << ev.keys << ", \"hops\": " << ev.hops
            << ", \"dst\": " << ev.peer << "}}";
+        if (track_dims != 0) account(ev, true);
         break;
       }
       case EventKind::Recv: {
@@ -120,6 +183,7 @@ void write_chrome_trace(std::ostream& os,
              << ev.tag << ", \"keys\": " << ev.keys
              << ", \"src\": " << ev.peer << "}}";
         }
+        if (track_dims != 0) account(ev, false);
         break;
       }
       case EventKind::Drop:
@@ -127,6 +191,8 @@ void write_chrome_trace(std::ostream& os,
         put_event_common(os, "drop", "fault", "i", ev.time, ev.node);
         os << ", \"s\": \"t\", \"args\": {\"src\": " << ev.peer
            << ", \"tag\": " << ev.tag << ", \"keys\": " << ev.keys << "}}";
+        // The dropped payload leaves the wire at its would-be arrival.
+        if (track_dims != 0) account(ev, false);
         break;
       case EventKind::Timeout:
         // The phase rides along so offline consumers (ftdiag explain) can
@@ -267,11 +333,20 @@ bool validate_chrome_trace(const std::string& json, std::string* error) {
     const std::string ph = object_string_field(obj, "ph");
     if (name.empty()) return fail("event without name: " + obj);
     if (ph != "M" && ph != "B" && ph != "E" && ph != "s" && ph != "f" &&
-        ph != "i")
+        ph != "i" && ph != "C")
       return fail("unknown ph in event: " + obj);
     if (obj.find("\"pid\"") == std::string::npos)
       return fail("event without pid: " + obj);
     if (ph == "M") continue;  // metadata carries no timestamp
+    if (ph == "C") {
+      // Counter samples are process-scoped: ts plus an args payload, no
+      // thread binding required.
+      if (object_num_field(obj, "ts").empty())
+        return fail("counter without ts: " + obj);
+      if (obj.find("\"args\"") == std::string::npos)
+        return fail("counter without args: " + obj);
+      continue;
+    }
     const std::string tid = object_num_field(obj, "tid");
     if (tid.empty()) return fail("event without tid: " + obj);
     if (object_num_field(obj, "ts").empty())
@@ -305,8 +380,9 @@ bool validate_chrome_trace(const std::string& json, std::string* error) {
 void write_metrics_json(std::ostream& os, const RunReport& report) {
   // Schema history: v1 = PR 3 (totals/pool_delta/critical_path/phases);
   // v2 adds the detect/post-recovery makespan split, the flight-recorder
-  // eviction count, the failure diagnosis, and the host profile.
-  os << "{\n  \"schema_version\": 2,\n  \"makespan\": ";
+  // eviction count, the failure diagnosis, and the host profile; v3 adds
+  // the per-dimension link-traffic rollup and the §3 re-index audit.
+  os << "{\n  \"schema_version\": 3,\n  \"makespan\": ";
   put_double(os, report.makespan);
   // Detection watermark: the last recv_or_timeout expiry. Everything before
   // it is fault detection (timeout-constant dominated); everything after is
@@ -329,6 +405,60 @@ void write_metrics_json(std::ostream& os, const RunReport& report) {
      << ", \"heap_allocations\": " << report.pool_delta.heap_allocations()
      << ", \"returns\": " << report.pool_delta.returns << "},\n";
   os << "  \"trace_dropped\": " << report.trace_dropped << ",\n";
+  const LinkStatsSnapshot& links = report.links;
+  if (links.empty()) {
+    os << "  \"links\": {\"enabled\": false},\n";
+  } else {
+    const LinkCell total = links.grand_total();
+    os << "  \"links\": {\"enabled\": true, \"dim\": "
+       << static_cast<int>(links.dim) << ", \"num_nodes\": " << links.num_nodes
+       << ", \"total\": {\"traversals\": " << total.traversals
+       << ", \"key_hops\": " << total.key_hops << ", \"busy\": ";
+    put_double(os, link_busy_time(total, report.cost));
+    os << "},\n    \"per_dimension\": [";
+    const std::vector<double> util =
+        dimension_utilization(links, report.cost, report.makespan);
+    for (cube::Dim d = 0; d < links.dim; ++d) {
+      const LinkCell cell = links.dim_total(d);
+      os << (d != 0 ? ",\n" : "\n") << "      {\"dim\": "
+         << static_cast<int>(d) << ", \"traversals\": " << cell.traversals
+         << ", \"key_hops\": " << cell.key_hops << ", \"busy\": ";
+      put_double(os, link_busy_time(cell, report.cost));
+      os << ", \"utilization\": ";
+      put_double(os, util[static_cast<std::size_t>(d)]);
+      os << "}";
+    }
+    os << "\n    ]},\n";
+  }
+  const ReindexAudit& audit = report.reindex_audit;
+  if (!audit.enabled) {
+    os << "  \"reindex_audit\": {\"enabled\": false},\n";
+  } else {
+    const auto put_int_array = [&](const std::vector<int>& v) {
+      os << "[";
+      for (std::size_t i = 0; i < v.size(); ++i)
+        os << (i != 0 ? ", " : "") << v[i];
+      os << "]";
+    };
+    os << "  \"reindex_audit\": {\"enabled\": true, \"measured_h\": ";
+    put_int_array(audit.measured_h);
+    os << ", \"measured_total\": " << audit.measured_total
+       << ", \"measured_all_h\": ";
+    put_int_array(audit.measured_all_h);
+    os << ", \"measured_all_total\": " << audit.measured_all_total
+       << ",\n    \"candidates\": [";
+    for (std::size_t i = 0; i < audit.candidates.size(); ++i) {
+      const ReindexAudit::Candidate& c = audit.candidates[i];
+      os << (i != 0 ? ",\n" : "\n") << "      {\"cuts\": [";
+      for (std::size_t j = 0; j < c.cuts.size(); ++j)
+        os << (j != 0 ? ", " : "") << static_cast<int>(c.cuts[j]);
+      os << "], \"predicted_h\": ";
+      put_int_array(c.predicted_h);
+      os << ", \"predicted_total\": " << c.predicted_total << ", \"chosen\": "
+         << (c.chosen ? "true" : "false") << "}";
+    }
+    os << "\n    ]},\n";
+  }
   const Diagnosis& diag = report.diagnosis;
   os << "  \"diagnosis\": {\"triggered\": "
      << (diag.triggered() ? "true" : "false") << ", \"kind\": \""

@@ -24,11 +24,33 @@
 
 namespace ftsort::sim {
 
+/// Optional extras for write_chrome_trace.
+struct ChromeTraceOptions {
+  /// When non-null, emit per-cube-dimension counter ("C") tracks derived
+  /// from the message events: `keys_in_flight` (sent but not yet received
+  /// or dropped, decomposed over the dimensions of src^dst) and
+  /// `link_busy_us` (cumulative wire time charged per dimension under this
+  /// cost model). The decomposition assumes minimal routing — exact for
+  /// e-cube paths, an approximation for adaptive detours.
+  const CostModel* cost = nullptr;
+  /// Flight-recorder evictions for the exported run; recorded as a
+  /// `trace_dropped` metadata event so offline consumers (ftdiag explain)
+  /// can tell a complete export from a ring-truncated one.
+  std::uint64_t trace_dropped = 0;
+};
+
 /// Write the Chrome/Perfetto trace_events JSON for `events` (one run's
 /// stream, e.g. Trace::snapshot()). `num_nodes` sizes the track metadata.
 void write_chrome_trace(std::ostream& os,
                         const std::vector<TraceEvent>& events,
                         std::uint32_t num_nodes);
+/// As above, with counter tracks and eviction metadata (see
+/// ChromeTraceOptions). The plain overload is equivalent to passing a
+/// default-constructed options object.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        std::uint32_t num_nodes,
+                        const ChromeTraceOptions& opts);
 
 /// Structural validation of a trace_events JSON document as produced by
 /// write_chrome_trace: well-formed nesting, the traceEvents wrapper, the
@@ -42,7 +64,11 @@ bool validate_chrome_trace(const std::string& json,
                            std::string* error = nullptr);
 
 /// Write the flat metrics JSON for `report`. The per-phase array is filled
-/// from `report.phases`; when metrics were disabled it is empty.
+/// from `report.phases`; when metrics were disabled it is empty. The
+/// `links` block carries the per-dimension traffic rollup (with busy time
+/// and utilisation derived from `report.cost`) and `reindex_audit` the §3
+/// predicted-vs-measured re-index overhead; both collapse to
+/// `"enabled": false` stubs when link stats were not recorded.
 void write_metrics_json(std::ostream& os, const RunReport& report);
 
 }  // namespace ftsort::sim

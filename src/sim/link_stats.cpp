@@ -1,0 +1,145 @@
+#include "sim/link_stats.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::sim {
+
+LinkCell& LinkCell::operator+=(const LinkCell& o) {
+  traversals += o.traversals;
+  key_hops += o.key_hops;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    phase_traversals[p] += o.phase_traversals[p];
+    phase_key_hops[p] += o.phase_key_hops[p];
+  }
+  return *this;
+}
+
+SimTime link_busy_time(const LinkCell& cell, const CostModel& cost) {
+  return static_cast<double>(cell.traversals) * cost.t_startup +
+         static_cast<double>(cell.key_hops) * cost.t_transfer;
+}
+
+LinkCell LinkStatsSnapshot::dim_total(cube::Dim d) const {
+  LinkCell total;
+  for (cube::NodeId u = 0; u < num_nodes; ++u) total += at(u, d);
+  return total;
+}
+
+LinkCell LinkStatsSnapshot::grand_total() const {
+  LinkCell total;
+  for (const LinkCell& cell : cells) total += cell;
+  return total;
+}
+
+std::vector<double> dimension_utilization(const LinkStatsSnapshot& snap,
+                                          const CostModel& cost,
+                                          SimTime makespan) {
+  std::vector<double> util(static_cast<std::size_t>(snap.dim), 0.0);
+  if (makespan <= 0.0 || snap.num_nodes == 0) return util;
+  for (cube::Dim d = 0; d < snap.dim; ++d)
+    util[static_cast<std::size_t>(d)] =
+        link_busy_time(snap.dim_total(d), cost) /
+        (static_cast<double>(snap.num_nodes) * makespan);
+  return util;
+}
+
+std::vector<int> measured_reindex_by_dim(
+    const std::vector<std::vector<int>>& table, cube::Dim m) {
+  std::vector<int> by_dim(static_cast<std::size_t>(m), 0);
+  for (const std::vector<int>& row : table)
+    for (cube::Dim j = 0; j < m && j < static_cast<cube::Dim>(row.size());
+         ++j)
+      by_dim[static_cast<std::size_t>(j)] =
+          std::max(by_dim[static_cast<std::size_t>(j)],
+                   row[static_cast<std::size_t>(j)]);
+  return by_dim;
+}
+
+void LinkStats::enable(std::uint32_t num_nodes, cube::Dim n) {
+  n_ = n;
+  num_nodes_ = num_nodes;
+  cells_.assign(static_cast<std::size_t>(num_nodes) *
+                    static_cast<std::size_t>(n),
+                LinkCell{});
+  reindex_extra_.assign(num_nodes,
+                        std::vector<int>(static_cast<std::size_t>(n), 0));
+  reindex_fault_extra_.assign(
+      num_nodes, std::vector<int>(static_cast<std::size_t>(n), 0));
+  if (shard_mutex_.size() != num_nodes) {
+    shard_mutex_.clear();
+    shard_mutex_.reserve(num_nodes);
+    for (std::uint32_t u = 0; u < num_nodes; ++u)
+      shard_mutex_.push_back(std::make_unique<std::mutex>());
+  }
+  enabled_ = true;
+}
+
+void LinkStats::disable() {
+  enabled_ = false;
+  cells_.clear();
+  reindex_extra_.clear();
+  reindex_fault_extra_.clear();
+}
+
+void LinkStats::reset() {
+  std::fill(cells_.begin(), cells_.end(), LinkCell{});
+  for (std::vector<int>& row : reindex_extra_)
+    std::fill(row.begin(), row.end(), 0);
+  for (std::vector<int>& row : reindex_fault_extra_)
+    std::fill(row.begin(), row.end(), 0);
+}
+
+void LinkStats::charge_path(std::span<const cube::NodeId> path,
+                            std::uint64_t keys, Phase p) {
+  const auto phase = static_cast<std::size_t>(p);
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    const cube::NodeId from = path[k];
+    const std::uint32_t diff = path[k] ^ path[k + 1];
+    FTSORT_INVARIANT(std::popcount(diff) == 1);
+    const auto d = static_cast<std::size_t>(std::countr_zero(diff));
+    LinkCell& cell =
+        cells_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+               d];
+    const std::lock_guard<std::mutex> guard(*shard_mutex_[from]);
+    ++cell.traversals;
+    cell.key_hops += keys;
+    ++cell.phase_traversals[phase];
+    cell.phase_key_hops[phase] += keys;
+  }
+}
+
+void LinkStats::note_reindex(cube::NodeId u, cube::Dim logical_dim,
+                             int extra_hops, bool fault_pair) {
+  FTSORT_REQUIRE(extra_hops >= 0);
+  const auto j = static_cast<std::size_t>(logical_dim);
+  int& slot = reindex_extra_[u][j];
+  slot = std::max(slot, extra_hops);
+  if (fault_pair) {
+    int& fslot = reindex_fault_extra_[u][j];
+    fslot = std::max(fslot, extra_hops);
+  }
+}
+
+LinkStatsSnapshot LinkStats::snapshot() const {
+  LinkStatsSnapshot snap;
+  snap.dim = n_;
+  snap.num_nodes = num_nodes_;
+  snap.cells.resize(cells_.size());
+  for (std::uint32_t u = 0; u < num_nodes_; ++u) {
+    const std::lock_guard<std::mutex> guard(*shard_mutex_[u]);
+    for (cube::Dim d = 0; d < n_; ++d) {
+      const std::size_t idx =
+          static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+          static_cast<std::size_t>(d);
+      snap.cells[idx] = cells_[idx];
+    }
+  }
+  snap.reindex_extra = reindex_extra_;
+  snap.reindex_fault_extra = reindex_fault_extra_;
+  return snap;
+}
+
+}  // namespace ftsort::sim

@@ -1,0 +1,180 @@
+// Per-link traffic registry of a simulation run: the topology-aware
+// counterpart of sim::Metrics. Where Metrics answers "what did each node
+// spend per phase", LinkStats answers "what crossed each wire": every
+// directed link (u, d) — node u's outgoing edge across cube dimension d —
+// counts the messages that traversed it, the payload keys they carried,
+// and a per-phase split of both, charged at the same site where the
+// Machine charges CostModel time (NodeCtx::send walks the router's path).
+//
+// Conservation invariant: a message of k keys over a path of h links
+// charges k to the key_hops counter of each of the h links it crosses, so
+//     Σ over all links of key_hops  ==  Σ over all messages of k × h,
+// which is exactly the Machine's aggregate `key_hops` scalar (dropped
+// messages included — both sides charge at post/send time, before the
+// drop check). Tests enforce this equality exactly, on both executors.
+//
+// Sharding: cells are guarded by one mutex per *source node* (the Trace
+// discipline, not the Metrics one) because a multi-hop message charges
+// intermediate nodes' outgoing links from the sender's thread — thread
+// ownership of rows does not hold here. Determinism survives because every
+// counter is an integer (sums are order-independent); derived times (link
+// busy, utilisation) are computed from the integer counters and the
+// CostModel at read time, never accumulated as floating point, so threaded
+// runs stay byte-identical to sequential ones.
+//
+// The registry also hosts the §3 heuristic audit's measured side: a
+// per-node, per-logical-dimension maximum of the extra hops Step-7
+// exchanges actually paid over the one-hop healthy-neighbour baseline
+// (NodeCtx::note_reindex_hops). `max` is order-independent, so this table
+// is deterministic too; each node writes only its own row from its own
+// execution context. The predicted side (per-candidate Σ max(h_i)) is
+// filled by the algorithm layer into ReindexAudit.
+//
+// Off by default, like Metrics and Trace: a disabled registry costs one
+// branch per send.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "hypercube/address.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/phase.hpp"
+
+namespace ftsort::sim {
+
+/// Counters of one directed link (source node, dimension), or an aggregate
+/// over links. Integers only — see the file header for why.
+struct LinkCell {
+  std::uint64_t traversals = 0;  ///< messages that crossed this link
+  std::uint64_t key_hops = 0;    ///< Σ payload keys that crossed it
+  std::array<std::uint64_t, kPhaseCount> phase_traversals{};
+  std::array<std::uint64_t, kPhaseCount> phase_key_hops{};
+
+  LinkCell& operator+=(const LinkCell& o);
+  bool operator==(const LinkCell&) const = default;
+};
+
+/// Derived busy time of a link under the cost model: the wire time its
+/// traffic occupies (traversals × t_startup + keys × t_transfer). With
+/// store-and-forward charging, overlapping transfers are not serialised,
+/// so a hot link's busy time can exceed the makespan — that excess is
+/// precisely the contention the §3 model ignores.
+SimTime link_busy_time(const LinkCell& cell, const CostModel& cost);
+
+/// Copyable point-in-time copy of the registry, carried in RunReport.
+struct LinkStatsSnapshot {
+  cube::Dim dim = 0;            ///< cube dimension n
+  std::uint32_t num_nodes = 0;  ///< 2^n
+  /// Row-major traffic matrix: cells[u * dim + d] is link (u, d).
+  std::vector<LinkCell> cells;
+  /// Measured §3 audit table: reindex_extra[u][j] is the maximum extra
+  /// hops node u paid on a Step-7 exchange along logical dimension j
+  /// (0 when u never noted one). Rows sized `dim`, j < m in practice.
+  std::vector<std::vector<int>> reindex_extra;
+  /// Same maximum restricted to exchanges between two *fault-carrying*
+  /// subcubes — the exact scope of the §3 formula, which ignores the
+  /// penalty dangling processors introduce. reindex_fault_extra ≤
+  /// reindex_extra cell-wise; the gap is the formula's blind spot.
+  std::vector<std::vector<int>> reindex_fault_extra;
+
+  bool empty() const { return cells.empty(); }
+  const LinkCell& at(cube::NodeId u, cube::Dim d) const {
+    return cells[static_cast<std::size_t>(u) * static_cast<std::size_t>(dim) +
+                 static_cast<std::size_t>(d)];
+  }
+  /// Aggregate of one dimension over all source nodes.
+  LinkCell dim_total(cube::Dim d) const;
+  /// Aggregate of every link. Its key_hops equals the Machine's scalar.
+  LinkCell grand_total() const;
+
+  bool operator==(const LinkStatsSnapshot&) const = default;
+};
+
+/// Per-dimension mean link utilisation: Σ_u busy(u, d) / (num_nodes ×
+/// makespan). Averaged over every directed link of the dimension (faulty
+/// nodes' links included — they carry no traffic and dilute the mean like
+/// any other idle wire). Can exceed 1.0; see link_busy_time.
+std::vector<double> dimension_utilization(const LinkStatsSnapshot& snap,
+                                          const CostModel& cost,
+                                          SimTime makespan);
+
+/// Column maxima of a measured audit table (either of the snapshot's two):
+/// entry j is the largest extra-hop count any node recorded along logical
+/// dimension j, restricted to the first `m` dimensions. Applied to
+/// reindex_fault_extra the result is directly comparable to the §3
+/// prediction h_j of the chosen cutting sequence.
+std::vector<int> measured_reindex_by_dim(
+    const std::vector<std::vector<int>>& table, cube::Dim m);
+
+/// §3 heuristic audit: the predicted extra-routing profile of every
+/// candidate cutting sequence in Ψ next to what the run actually measured.
+/// Plain data, filled by the algorithm layer (core/ft_sorter) after the
+/// run; `enabled` stays false unless link stats were recorded and the plan
+/// had a non-trivial fault pattern.
+struct ReindexAudit {
+  struct Candidate {
+    std::vector<cube::Dim> cuts;   ///< the candidate cutting sequence
+    std::vector<int> predicted_h;  ///< §3 max(h_i) per logical dimension
+    int predicted_total = 0;       ///< Σ predicted_h — the §3 objective
+    bool chosen = false;           ///< the heuristic's pick (exactly one)
+    bool operator==(const Candidate&) const = default;
+  };
+  bool enabled = false;
+  std::vector<Candidate> candidates;  ///< Ψ in search (DFS) order
+  /// Measured maxima over fault-carrying pairs only — the formula's own
+  /// scope, so measured_h should equal the chosen candidate's predicted_h.
+  std::vector<int> measured_h;
+  int measured_total = 0;  ///< Σ measured_h
+  /// Measured maxima over *every* Step-7 exchange, dangling subcubes
+  /// included — the run's true worst-case re-index cost per dimension.
+  /// measured_all_total − measured_total is overhead §3 does not model.
+  std::vector<int> measured_all_h;
+  int measured_all_total = 0;  ///< Σ measured_all_h
+
+  bool operator==(const ReindexAudit&) const = default;
+};
+
+class LinkStats {
+ public:
+  /// Size the matrix for a 2^n-node cube and start recording. Zeroes any
+  /// previous contents.
+  void enable(std::uint32_t num_nodes, cube::Dim n);
+  void disable();
+  bool enabled() const { return enabled_; }
+
+  /// Zero every counter, keeping the allocation (run-to-run reuse).
+  void reset();
+
+  /// Charge a message of `keys` payload keys along `path` (router node
+  /// sequence, endpoints included): each consecutive pair (a, b) bumps
+  /// directed link (a, dim of a^b). Callers may run on any thread; each
+  /// touched source-node shard is locked for its hop.
+  void charge_path(std::span<const cube::NodeId> path, std::uint64_t keys,
+                   Phase p);
+
+  /// Audit hook: record that node `u` paid `extra_hops` beyond one hop on
+  /// a Step-7 exchange along logical dimension `logical_dim`. Keeps the
+  /// per-(node, dimension) maximum; `fault_pair` additionally feeds the
+  /// formula-scope table. Must be called from the node's own execution
+  /// context (Metrics' ownership discipline — no lock needed).
+  void note_reindex(cube::NodeId u, cube::Dim logical_dim, int extra_hops,
+                    bool fault_pair);
+
+  LinkStatsSnapshot snapshot() const;
+
+ private:
+  bool enabled_ = false;
+  cube::Dim n_ = 0;
+  std::uint32_t num_nodes_ = 0;
+  std::vector<LinkCell> cells_;  ///< row-major [node][dim]
+  std::vector<std::unique_ptr<std::mutex>> shard_mutex_;  ///< per source node
+  std::vector<std::vector<int>> reindex_extra_;        ///< [node][dim] max
+  std::vector<std::vector<int>> reindex_fault_extra_;  ///< fault pairs only
+};
+
+}  // namespace ftsort::sim

@@ -38,6 +38,21 @@ void NodeCtx::charge_time(SimTime t) {
   machine_->check_alive(id_);
 }
 
+int NodeCtx::hops_to(cube::NodeId dst) const {
+  return machine_->router().hops(id_, dst);
+}
+
+bool NodeCtx::link_stats_enabled() const {
+  return machine_->link_stats_.enabled();
+}
+
+void NodeCtx::note_reindex_hops(cube::Dim logical_dim, int extra_hops,
+                                bool fault_pair) {
+  if (!machine_->link_stats_.enabled()) return;
+  machine_->link_stats_.note_reindex(id_, logical_dim, extra_hops,
+                                     fault_pair);
+}
+
 PhaseSpan NodeCtx::span(Phase p) { return PhaseSpan(*this, p, true); }
 
 PhaseSpan NodeCtx::span_if_unattributed(Phase p) {
@@ -82,7 +97,20 @@ void NodeCtx::send(cube::NodeId dst, Tag tag, PooledBuffer&& payload) {
   FTSORT_REQUIRE(!machine_->faults().is_faulty(dst));
   machine_->check_alive(id_);
 
-  const int hops = machine_->router().hops(id_, dst);
+  int hops;
+  if (machine_->link_stats_.enabled()) {
+    // Charge every link the message will traverse before the payload is
+    // moved out. Same walk the router's hop count summarises, so the two
+    // stay consistent by construction; dropped messages are charged here
+    // and in post()'s aggregates alike, preserving the conservation
+    // invariant (see sim/link_stats.hpp).
+    const std::vector<cube::NodeId> path =
+        machine_->router().path(id_, dst);
+    hops = static_cast<int>(path.size()) - 1;
+    machine_->link_stats_.charge_path(path, payload.size(), phase_);
+  } else {
+    hops = machine_->router().hops(id_, dst);
+  }
   Message msg;
   msg.src = id_;
   msg.dst = dst;
@@ -212,6 +240,12 @@ Diagnosis Machine::diagnose(Diagnosis::Kind kind) const {
                     recorded.waits.end());
     in.kills.insert(in.kills.end(), recorded.kills.begin(),
                     recorded.kills.end());
+    // This run's eviction count: a nonzero value tells diagnose() the
+    // recorded slice above may be missing the true root event.
+    const std::uint64_t dropped_now = trace_.dropped();
+    in.trace_dropped = dropped_now >= trace_dropped_mark_
+                           ? dropped_now - trace_dropped_mark_
+                           : dropped_now;
   }
   return sim::diagnose(std::move(in), kind);
 }
@@ -534,6 +568,7 @@ void Machine::instantiate_programs(const Program& program) {
   messages_ = keys_sent_ = key_hops_ = comparisons_ = 0;
   messages_dropped_ = timeouts_ = deliveries_ = 0;
   if (metrics_.enabled()) metrics_.reset();
+  if (link_stats_.enabled()) link_stats_.reset();
   pool_mark_ = pool_stats();
   trace_run_start_ = trace_.next_seq();
   trace_dropped_mark_ = trace_.dropped();
@@ -578,6 +613,7 @@ void Machine::drain_ready() {
 
 RunReport Machine::collect_report() {
   RunReport report;
+  report.cost = cost_;
   report.node_clocks.assign(size(), 0.0);
   for (cube::NodeId u = 0; u < size(); ++u) {
     if (!nodes_[u]) continue;
@@ -622,6 +658,7 @@ RunReport Machine::collect_report() {
                                           report.makespan,
                                           report.node_clocks);
   }
+  if (link_stats_.enabled()) report.links = link_stats_.snapshot();
   const std::uint64_t dropped_now = trace_.dropped();
   report.trace_dropped =
       dropped_now >= trace_dropped_mark_ ? dropped_now - trace_dropped_mark_

@@ -55,6 +55,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/diagnosis.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/link_stats.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/task.hpp"
@@ -132,6 +133,21 @@ class NodeCtx {
                                      SimTime patience) {
     return RecvTimeoutAwaiter{*this, src, tag, patience};
   }
+
+  /// Number of link traversals a message from this node to `dst` costs
+  /// under the machine's routing policy.
+  int hops_to(cube::NodeId dst) const;
+
+  /// True when the machine's per-link traffic registry is recording; use
+  /// to gate calls to note_reindex_hops (and the hops_to it needs).
+  bool link_stats_enabled() const;
+  /// Heuristic-audit hook (sim/link_stats.hpp): record that this node's
+  /// Step-7 exchange along logical dimension `logical_dim` crossed
+  /// `extra_hops` links beyond the healthy-neighbour single hop;
+  /// `fault_pair` marks exchanges between two fault-carrying subcubes (the
+  /// §3 formula's scope). No-op when link stats are disabled.
+  void note_reindex_hops(cube::Dim logical_dim, int extra_hops,
+                         bool fault_pair);
 
   /// The node's ambient phase: every cost charged and message sent while a
   /// PhaseSpan is open is attributed to its phase (sim/metrics.hpp).
@@ -217,6 +233,10 @@ struct HostProfile {
 
 /// Aggregate results of one simulation run.
 struct RunReport {
+  /// The machine's cost model, copied at collection time so downstream
+  /// readers (exporters, ftdiag) can derive wire times from the integer
+  /// link counters without a handle on the Machine.
+  CostModel cost;
   SimTime makespan = 0.0;            ///< max final clock over surviving nodes
   std::uint64_t messages = 0;        ///< messages posted
   std::uint64_t keys_sent = 0;       ///< Σ payload sizes
@@ -238,6 +258,14 @@ struct RunReport {
   /// Per-node, per-phase counters. Empty unless `Machine::metrics()` was
   /// enabled for the run.
   MetricsSnapshot metrics;
+  /// Per-link traffic matrix (sim/link_stats.hpp). Empty unless
+  /// `Machine::link_stats()` was enabled for the run. Conservation: the
+  /// snapshot's grand_total().key_hops equals `key_hops` exactly.
+  LinkStatsSnapshot links;
+  /// §3 heuristic audit — predicted vs measured re-index routing overhead.
+  /// Filled by the algorithm layer (core/ft_sorter) when link stats were
+  /// recorded; enabled == false otherwise.
+  ReindexAudit reindex_audit;
   /// Where the makespan went, per phase. Empty unless metrics were enabled;
   /// the critical-path fields additionally need the trace enabled.
   PhaseBreakdown phases;
@@ -274,6 +302,9 @@ class Machine {
   /// Per-node, per-phase metrics registry. `metrics().enable(size())`
   /// before a run to populate `RunReport::metrics` / `RunReport::phases`.
   Metrics& metrics() { return metrics_; }
+  /// Per-link traffic registry. `link_stats().enable(size(), dim())`
+  /// before a run to populate `RunReport::links`.
+  LinkStats& link_stats() { return link_stats_; }
 
   /// Aggregate payload-allocation ledger over all node pools. Cumulative
   /// across runs on this machine (pools stay warm); callers interested in a
@@ -394,6 +425,7 @@ class Machine {
   cube::Router router_;
   Trace trace_;
   Metrics metrics_;
+  LinkStats link_stats_;
   FaultInjector injector_;
   PoolStats pool_mark_;            ///< pool_stats() at run start
   std::uint64_t trace_run_start_ = 0;   ///< trace_.next_seq() at run start

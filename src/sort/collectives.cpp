@@ -1,6 +1,8 @@
 #include "sort/collectives.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <span>
 
 namespace ftsort::sort {
 
@@ -68,15 +70,20 @@ sim::Task<std::vector<Key>> scatter(sim::NodeCtx& ctx,
   }
   // Top-down: at round k the holders (relative ranks that are multiples of
   // 2^(k+1)) split off the upper 2^k blocks of their range to r + 2^k.
+  // `wire` is ExchangeScratch-style staging reused across rounds: the
+  // span-send checks the on-wire buffer out of the pool, so the largest
+  // (first) round's staging capacity serves every smaller later round.
+  std::vector<Key> wire;
   for (cube::Dim k = lc.s - 1; k >= 0; --k, ++tag) {
     const cube::NodeId bit_k = cube::NodeId{1} << k;
     const bool holder = (r & ((bit_k << 1) - 1)) == 0 && !buffer.empty();
     if (holder) {
       // Send blocks [bit_k, 2*bit_k) of my range to partner r | bit_k.
-      std::vector<Key> wire;
+      wire.clear();
       for (cube::NodeId idx = bit_k; idx < (bit_k << 1); ++idx)
         wire.insert(wire.end(), buffer[idx].begin(), buffer[idx].end());
-      ctx.send(physical_of(lc, r | bit_k, root), tag, std::move(wire));
+      ctx.send(physical_of(lc, r | bit_k, root), tag,
+               std::span<const Key>(wire));
       buffer.resize(bit_k);
     } else if ((r & bit_k) != 0 && (r & (bit_k - 1)) == 0) {
       // I am the receiver of this round: r in [bit_k, 2*bit_k).
@@ -86,11 +93,18 @@ sim::Task<std::vector<Key>> scatter(sim::NodeCtx& ctx,
       FTSORT_REQUIRE(msg.payload.size() % count == 0);
       const std::size_t block_len = msg.payload.size() / count;
       buffer.resize(count);
-      for (std::size_t i = 0; i < count; ++i)
-        buffer[i].assign(
-            msg.payload.begin() + static_cast<std::ptrdiff_t>(i * block_len),
-            msg.payload.begin() +
-                static_cast<std::ptrdiff_t>((i + 1) * block_len));
+      if (count == 1) {
+        // Leaf of the split tree (half the cube lands here): the payload
+        // IS my block — steal it and recycle my old storage via the pool.
+        msg.payload.release_into(buffer[0]);
+      } else {
+        for (std::size_t i = 0; i < count; ++i)
+          buffer[i].assign(
+              msg.payload.begin() +
+                  static_cast<std::ptrdiff_t>(i * block_len),
+              msg.payload.begin() +
+                  static_cast<std::ptrdiff_t>((i + 1) * block_len));
+      }
     }
   }
   FTSORT_ENSURE(buffer.size() == 1);
@@ -108,6 +122,12 @@ sim::Task<std::vector<Key>> gather(sim::NodeCtx& ctx, const LogicalCube& lc,
   // Bottom-up: after round k, ranks with low k+1 bits zero hold the
   // concatenation of relative ranks [r, r + 2^(k+1)).
   std::vector<Key> buffer = std::move(mine);
+  // I accumulate for countr_zero(r) rounds before handing off (the root
+  // for all s); reserving the final size keeps the inserts below from
+  // reallocating the growing concatenation every round.
+  const int rounds = r == 0 ? static_cast<int>(lc.s)
+                            : std::countr_zero(static_cast<unsigned>(r));
+  buffer.reserve(block_len << rounds);
   for (cube::Dim k = 0; k < lc.s; ++k, ++tag) {
     const cube::NodeId bit_k = cube::NodeId{1} << k;
     if ((r & (bit_k - 1)) != 0) break;  // already handed off

@@ -115,6 +115,51 @@ TEST(GatherScatter, RoundTrip) {
   EXPECT_EQ(gathered, expect);
 }
 
+TEST(GatherScatter, SteadyStateReusesPooledWireBuffers) {
+  // Scatter stages its per-round wire through a reused scratch vector and
+  // a pooled span-send, and leaf receivers steal the payload outright.
+  // Iterating the round trip must therefore settle into recycled buffers:
+  // almost all checkouts after the warm-up iteration come from the free
+  // list, not the heap.
+  const cube::Dim s = 4;
+  const LogicalCube lc = LogicalCube::identity(s);
+  sim::Machine machine(s, fault::FaultSet(s));
+  Blocks input(lc.size());
+  for (cube::NodeId u = 0; u < lc.size(); ++u)
+    input[u] = {static_cast<Key>(u * 3), static_cast<Key>(u * 3 + 1),
+                static_cast<Key>(u * 3 + 2)};
+  constexpr int kIters = 4;
+  std::vector<Key> gathered;
+  const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
+    for (int iter = 0; iter < kIters; ++iter) {
+      const sim::Tag base = static_cast<sim::Tag>(iter * 100);
+      Blocks mine = ctx.id() == 0 ? input : Blocks{};
+      auto block =
+          co_await scatter(ctx, lc, ctx.id(), 0, std::move(mine), base);
+      auto out = co_await gather(ctx, lc, ctx.id(), 0, std::move(block),
+                                 base + 50);
+      if (ctx.id() == 0) gathered = std::move(out);
+    }
+  };
+  machine.run(program);
+  std::vector<Key> expect;
+  for (const auto& block : input)
+    expect.insert(expect.end(), block.begin(), block.end());
+  EXPECT_EQ(gathered, expect);
+
+  const sim::PoolStats pool = machine.pool_stats();
+  ASSERT_GT(pool.checkouts, 0u);
+  // New heap vectors appear in the warm-up iteration only: every later
+  // checkout is served from the free list (some recycled buffers still
+  // regrow, because the LIFO free list does not match by size).
+  EXPECT_LE(pool.fresh, pool.checkouts / static_cast<std::uint64_t>(kIters))
+      << "checkouts=" << pool.checkouts << " fresh=" << pool.fresh
+      << " grows=" << pool.grows;
+  EXPECT_LT(pool.heap_allocations(), pool.checkouts / 2)
+      << "checkouts=" << pool.checkouts << " fresh=" << pool.fresh
+      << " grows=" << pool.grows;
+}
+
 TEST(AllGather, EveryRankHoldsEverything) {
   for (cube::Dim s = 0; s <= 4; ++s) {
     const LogicalCube lc = LogicalCube::identity(s);

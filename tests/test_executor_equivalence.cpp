@@ -48,6 +48,9 @@ Result run_once(const Shape& shape, const std::vector<sort::Key>& keys,
   // so the whole snapshot must match across executors too (compared in
   // expect_identical).
   cfg.record_metrics = true;
+  // Same discipline for the per-link traffic matrix: integer counters
+  // summed commutatively, so the snapshot is byte-identical too.
+  cfg.record_link_stats = true;
   core::FaultTolerantSorter sorter(
       shape.n, fault::FaultSet(shape.n, shape.static_faults), cfg);
   Result r;
@@ -81,6 +84,13 @@ void expect_identical(const Result& a, const Result& b,
   EXPECT_EQ(a.report.killed_nodes, b.report.killed_nodes) << label;
   EXPECT_TRUE(a.report.metrics == b.report.metrics) << label;
   EXPECT_TRUE(a.report.phases == b.report.phases) << label;
+  EXPECT_TRUE(a.report.links == b.report.links) << label;
+  EXPECT_TRUE(a.report.reindex_audit == b.report.reindex_audit) << label;
+  // Conservation must hold on every swept run: the traffic matrix's total
+  // key-hops is exactly the aggregate scalar (drops included on both
+  // sides).
+  EXPECT_EQ(a.report.links.grand_total().key_hops, a.report.key_hops)
+      << label;
 }
 
 class ExecutorEquivalence : public ::testing::TestWithParam<std::size_t> {};

@@ -14,6 +14,7 @@
 #include "core/ft_sorter.hpp"
 #include "fault/scenario.hpp"
 #include "sim/exporters.hpp"
+#include "sim/link_stats.hpp"
 #include "sort/distribution.hpp"
 #include "tools/ftdiag.hpp"
 #include "util/rng.hpp"
@@ -31,6 +32,7 @@ core::SortOutcome run_pinned_recovery(core::Executor exec) {
   cfg.injector.kill_node_at(6, 2000.0);
   cfg.record_metrics = true;
   cfg.record_trace = true;
+  cfg.record_link_stats = true;
   const core::FaultTolerantSorter sorter(3, faults, cfg);
   return sorter.sort(keys);
 }
@@ -104,6 +106,39 @@ TEST(FtdiagExplain, AgreesWithInProcessDiagnosisRoot) {
 TEST(FtdiagExplain, RejectsNonTraceInput) {
   EXPECT_FALSE(tools::explain_trace_json("{}").ok);
   EXPECT_FALSE(tools::explain_trace_json("not json at all").ok);
+}
+
+TEST(FtdiagExplain, EvictedTraceDegradesToExplicitEvidenceLoss) {
+  // A ring-truncated trace: the kill that actually broke the run was
+  // evicted; only one expired wait and the eviction-count metadata event
+  // survive. The explainer must refuse the silent-peer verdict.
+  const char* head = R"({"traceEvents": [
+    {"name": "timeout", "ph": "i", "pid": 0, "tid": 2, "ts": 3100.0,
+     "args": {"phase": "step5_merge_exchange", "src": 6, "tag": 9}},)";
+  const char* evicted = R"(
+    {"name": "trace_dropped", "ph": "M", "pid": 0, "args": {"count": 57}}
+  ]})";
+  const char* complete = R"(
+    {"name": "trace_dropped", "ph": "M", "pid": 0, "args": {"count": 0}}
+  ]})";
+
+  const tools::ExplainResult lossy =
+      tools::explain_trace_json(std::string(head) + evicted);
+  ASSERT_TRUE(lossy.ok) << lossy.error;
+  ASSERT_TRUE(lossy.diagnosis.triggered());
+  EXPECT_EQ(lossy.diagnosis.root_kind, sim::Diagnosis::RootKind::Evicted);
+  EXPECT_EQ(lossy.diagnosis.trace_dropped, 57u);
+  EXPECT_NE(lossy.text.find("root evicted (trace_dropped=57)"),
+            std::string::npos)
+      << lossy.text;
+
+  // The same evidence from a complete trace is a confident verdict.
+  const tools::ExplainResult full =
+      tools::explain_trace_json(std::string(head) + complete);
+  ASSERT_TRUE(full.ok) << full.error;
+  EXPECT_EQ(full.diagnosis.root_kind,
+            sim::Diagnosis::RootKind::MissingPartner);
+  EXPECT_EQ(full.diagnosis.root_node, 6u);
 }
 
 // ---------------------------------------------------------------------------
@@ -208,6 +243,108 @@ TEST(FtdiagDiff, GateIsSymmetric) {
   const tools::DiffResult res = tools::diff_json(base, fast, 20.0);
   ASSERT_TRUE(res.ok) << res.error;
   EXPECT_EQ(res.regressions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// hotspots
+
+TEST(FtdiagHotspots, RanksDimensionsAndAttributesCommFromMetricsFormat) {
+  const core::SortOutcome out =
+      run_pinned_recovery(core::Executor::Sequential);
+  std::ostringstream os;
+  sim::write_metrics_json(os, out.report);
+  const tools::HotspotsResult res = tools::hotspots_report(os.str(), 2);
+  ASSERT_TRUE(res.ok) << res.error;
+  // The report leads with the hottest dimension by busy time; under
+  // ncube7 (t_startup = 0) that is also the max-key_hops dimension.
+  std::uint64_t max_hops = 0;
+  int max_dim = 0;
+  for (cube::Dim d = 0; d < out.report.links.dim; ++d) {
+    const std::uint64_t h = out.report.links.dim_total(d).key_hops;
+    if (h > max_hops) {
+      max_hops = h;
+      max_dim = static_cast<int>(d);
+    }
+  }
+  const std::string lead = "dim " + std::to_string(max_dim) + ":";
+  const std::size_t lead_at = res.text.find(lead);
+  ASSERT_NE(lead_at, std::string::npos) << res.text;
+  for (cube::Dim d = 0; d < out.report.links.dim; ++d) {
+    const std::string other = "dim " + std::to_string(d) + ":";
+    const std::size_t at = res.text.find(other);
+    if (at != std::string::npos) {
+      EXPECT_GE(at, lead_at) << res.text;
+    }
+  }
+  EXPECT_NE(res.text.find("comm by phase:"), std::string::npos) << res.text;
+  // --top 2 keeps the ranking to two rows.
+  std::size_t rows = 0;
+  for (std::size_t at = res.text.find("    dim "); at != std::string::npos;
+       at = res.text.find("    dim ", at + 1))
+    ++rows;
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(FtdiagHotspots, DiffGateIsSymmetricOnPerDimensionTraffic) {
+  const char* base = R"({"bench": "sort", "scenarios": [
+    {"name": "s", "makespan": 100, "link_key_hops": 1000,
+     "link_dimensions": {
+       "0": {"traversals": 10, "key_hops": 600, "busy": 4800, "utilization": 0.5},
+       "1": {"traversals": 8, "key_hops": 400, "busy": 3200, "utilization": 0.3}
+     }}]})";
+  // Traffic migrates from dim 1 onto dim 0; the total is unchanged, so
+  // only the per-dimension gate can see it — in both directions.
+  const char* skewed = R"({"bench": "sort", "scenarios": [
+    {"name": "s", "makespan": 100, "link_key_hops": 1000,
+     "link_dimensions": {
+       "0": {"traversals": 10, "key_hops": 900, "busy": 7200, "utilization": 0.7},
+       "1": {"traversals": 8, "key_hops": 100, "busy": 800, "utilization": 0.1}
+     }}]})";
+  const tools::HotspotsResult res = tools::hotspots_diff(base, skewed, 20.0);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.regressions, 2u);  // +50% on dim 0 AND -75% on dim 1
+  bool saw_up = false;
+  bool saw_down = false;
+  for (const tools::DimDelta& d : res.deltas) {
+    if (d.regression && d.delta_pct > 0.0) saw_up = true;
+    if (d.regression && d.delta_pct < 0.0) saw_down = true;
+  }
+  EXPECT_TRUE(saw_up);
+  EXPECT_TRUE(saw_down);
+  // Identical files compare clean.
+  EXPECT_EQ(tools::hotspots_diff(base, base, 20.0).regressions, 0u);
+
+  // CLI wiring: exit 1 on the skewed pair, 0 on the identical pair.
+  const std::string pa = write_temp("hotspots_a", base);
+  const std::string pb = write_temp("hotspots_b", skewed);
+  std::ostringstream cli_out;
+  std::ostringstream cli_err;
+  const char* diff_args[] = {"ftdiag", "hotspots", pa.c_str(), pb.c_str(),
+                             "--threshold", "20"};
+  EXPECT_EQ(tools::run_cli(6, diff_args, cli_out, cli_err), 1);
+  EXPECT_NE(cli_out.str().find("REGRESSION"), std::string::npos);
+  const char* same_args[] = {"ftdiag", "hotspots", pa.c_str(), pa.c_str()};
+  EXPECT_EQ(tools::run_cli(4, same_args, cli_out, cli_err), 0);
+  const char* report_args[] = {"ftdiag", "hotspots", pa.c_str()};
+  EXPECT_EQ(tools::run_cli(3, report_args, cli_out, cli_err), 0);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(FtdiagHotspots, RejectsExportsWithoutLinkTelemetry) {
+  // v3 metrics export with telemetry off: explicit stub, explicit error.
+  EXPECT_FALSE(
+      tools::hotspots_report(R"({"makespan": 1, "links": {"enabled": false},
+                                 "phases": []})",
+                             0)
+          .ok);
+  // Pre-v3 export and bench files without link columns are errors too.
+  EXPECT_FALSE(tools::hotspots_report(R"({"makespan": 1, "phases": []})", 0)
+                   .ok);
+  EXPECT_FALSE(
+      tools::hotspots_report(
+          R"({"scenarios": [{"name": "s", "makespan": 1}]})", 0)
+          .ok);
 }
 
 TEST(FtdiagDiff, RejectsMalformedAndMismatchedInput) {

@@ -124,6 +124,7 @@ core::SortOutcome run_pinned_fig7(core::Executor exec) {
   cfg.executor = exec;
   cfg.record_metrics = true;
   cfg.record_trace = true;
+  cfg.record_link_stats = true;
   const core::FaultTolerantSorter sorter(6, faults, cfg);
   return sorter.sort(keys);
 }
@@ -268,6 +269,49 @@ TEST(ObservabilityExport, ChromeTraceIsWellFormed) {
   EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
 }
 
+TEST(ObservabilityExport, CounterTracksDecomposeTrafficPerDimension) {
+  const core::SortOutcome out = run_pinned_fig7(core::Executor::Sequential);
+  ASSERT_FALSE(out.trace_events.empty());
+  sim::ChromeTraceOptions opts;
+  opts.cost = &out.report.cost;
+  opts.trace_dropped = out.report.trace_dropped;
+  std::ostringstream os;
+  sim::write_chrome_trace(os, out.trace_events, 64, opts);
+  const std::string json = os.str();
+  EXPECT_TRUE(braces_balance(json));
+  // Both counter tracks present, sampled with "C" events, one series per
+  // cube dimension.
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"keys_in_flight\""), std::string::npos);
+  EXPECT_NE(json.find("\"link_busy_us\""), std::string::npos);
+  for (int d = 0; d < 6; ++d)
+    EXPECT_NE(json.find("\"dim" + std::to_string(d) + "\""),
+              std::string::npos)
+        << d;
+  // Eviction annotation rides as metadata (count 0: complete export).
+  EXPECT_NE(json.find("\"trace_dropped\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos);
+  // The plain overload emits no counters.
+  std::ostringstream plain;
+  sim::write_chrome_trace(plain, out.trace_events, 64);
+  EXPECT_EQ(plain.str().find("\"ph\": \"C\""), std::string::npos);
+}
+
+TEST(ObservabilityExport, ValidatorAcceptsCounterTracks) {
+  const core::SortOutcome out = run_pinned_fig7(core::Executor::Sequential);
+  sim::ChromeTraceOptions opts;
+  opts.cost = &out.report.cost;
+  std::ostringstream os;
+  sim::write_chrome_trace(os, out.trace_events, 64, opts);
+  std::string error;
+  EXPECT_TRUE(sim::validate_chrome_trace(os.str(), &error)) << error;
+  // A counter needs its timestamp: stripping "ts" must fail validation.
+  EXPECT_FALSE(sim::validate_chrome_trace(
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["
+      "{\"name\": \"keys_in_flight\", \"ph\": \"C\", \"pid\": 0, "
+      "\"args\": {\"dim0\": 1}}]}"));
+}
+
 TEST(ObservabilityExport, MetricsJsonContainsEveryPhaseAndKey) {
   const core::SortOutcome out = run_pinned_fig7(core::Executor::Sequential);
   std::ostringstream os;
@@ -286,9 +330,35 @@ TEST(ObservabilityExport, MetricsJsonContainsEveryPhaseAndKey) {
         "makespan_post_recovery", "totals", "pool_delta", "trace_dropped",
         "diagnosis", "host_profile", "critical_path", "phases",
         "msg_size_hist", "critical_time", "critical_comm",
-        "critical_compute", "recv_wait", "send_busy"})
+        "critical_compute", "recv_wait", "send_busy",
+        // v3: per-dimension link rollup and the §3 re-index audit.
+        "links", "per_dimension", "traversals", "key_hops", "busy",
+        "utilization", "reindex_audit", "measured_h", "measured_total",
+        "measured_all_h", "measured_all_total", "candidates", "predicted_h",
+        "predicted_total", "chosen"})
     EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
         << key;
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"links\": {\"enabled\": true"), std::string::npos);
+}
+
+TEST(ObservabilityExport, MetricsJsonStubsLinkBlocksWhenDisabled) {
+  // Without record_link_stats the v3 blocks collapse to enabled:false
+  // stubs, keeping the document shape parseable for every consumer.
+  util::Rng rng(1706);
+  const fault::FaultSet faults = fault::random_faults(6, 2, rng);
+  const auto keys = sort::gen_uniform(400, rng);
+  core::SortConfig cfg;
+  cfg.record_metrics = true;
+  const core::FaultTolerantSorter sorter(6, faults, cfg);
+  const core::SortOutcome out = sorter.sort(keys);
+  std::ostringstream os;
+  sim::write_metrics_json(os, out.report);
+  const std::string json = os.str();
+  EXPECT_TRUE(braces_balance(json));
+  EXPECT_NE(json.find("\"links\": {\"enabled\": false}"), std::string::npos);
+  EXPECT_NE(json.find("\"reindex_audit\": {\"enabled\": false}"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -487,6 +557,60 @@ TEST(Diagnosis, RecoveryRunNamesInjectedKillAcrossExecutors) {
   // Same logical evidence, same explanation, either executor.
   EXPECT_TRUE(diag == thr.report.diagnosis);
   EXPECT_EQ(diag.to_string(), thr.report.diagnosis.to_string());
+}
+
+TEST(Diagnosis, EvictionDegradesSilentPeerVerdict) {
+  // Only wait edges survived the ring; the event that would name the real
+  // root may be among the evicted ones.
+  sim::DiagnosisInput in;
+  in.waits.push_back({/*node=*/2, /*src=*/5, /*tag=*/7, /*time=*/100.0,
+                      sim::Phase::MergeExchange, /*expired=*/true});
+  in.waits.push_back({/*node=*/3, /*src=*/2, /*tag=*/7, /*time=*/120.0,
+                      sim::Phase::MergeExchange, /*expired=*/false});
+
+  sim::DiagnosisInput complete = in;
+  const sim::Diagnosis trusted =
+      sim::diagnose(std::move(complete), sim::Diagnosis::Kind::TimeoutBurst);
+  EXPECT_EQ(trusted.root_kind, sim::Diagnosis::RootKind::MissingPartner);
+  EXPECT_EQ(trusted.trace_dropped, 0u);
+
+  in.trace_dropped = 41;
+  const sim::Diagnosis degraded =
+      sim::diagnose(std::move(in), sim::Diagnosis::Kind::TimeoutBurst);
+  EXPECT_EQ(degraded.root_kind, sim::Diagnosis::RootKind::Evicted);
+  EXPECT_EQ(degraded.trace_dropped, 41u);
+  // Same wait-for closure either way: eviction changes the confidence of
+  // the verdict, not the stalled set.
+  EXPECT_EQ(degraded.stalled, trusted.stalled);
+  EXPECT_NE(degraded.to_string().find("root evicted (trace_dropped=41)"),
+            std::string::npos)
+      << degraded.to_string();
+  EXPECT_EQ(std::string("evicted"),
+            sim::diagnosis_root_kind_name(sim::Diagnosis::RootKind::Evicted));
+}
+
+TEST(Diagnosis, SurvivingKillEvidenceIsNotDegradedByEviction) {
+  // A tiny flight recorder drops most of the run, but the victim's death
+  // is still visible in live node state: the diagnosis must keep naming
+  // the kill while reporting how much of the ring was lost.
+  util::Rng rng(1703);
+  const fault::FaultSet faults = fault::random_faults(3, 1, rng);
+  const auto keys = sort::gen_uniform(200, rng);
+  core::SortConfig cfg;
+  cfg.online_recovery = true;
+  cfg.injector.kill_node_at(6, 2000.0);
+  cfg.record_metrics = true;
+  cfg.record_trace = true;
+  cfg.trace_capacity = 16;
+  const core::FaultTolerantSorter sorter(3, faults, cfg);
+  const core::SortOutcome out = sorter.sort(keys);
+  ASSERT_FALSE(out.sorted.empty());
+  EXPECT_GT(out.report.trace_dropped, 0u);
+  const sim::Diagnosis& diag = out.report.diagnosis;
+  ASSERT_TRUE(diag.triggered());
+  EXPECT_EQ(diag.root_kind, sim::Diagnosis::RootKind::NodeKill);
+  EXPECT_EQ(diag.root_node, 6u);
+  EXPECT_EQ(diag.trace_dropped, out.report.trace_dropped);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "tools/ftdiag.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -273,6 +274,15 @@ ExplainResult explain_trace_json(const std::string& json) {
     const std::string obj = json.substr(pos, end - pos);
     pos = end;
     const std::string name = string_field(obj, "name");
+    if (name == "trace_dropped") {
+      // Ring-eviction metadata (always exported, count 0 = complete
+      // trace). A nonzero count makes diagnose() degrade a silent-peer
+      // verdict to RootKind::Evicted instead of guessing from a partial
+      // event stream.
+      input.trace_dropped =
+          static_cast<std::uint64_t>(num_or(obj, "count", 0.0));
+      continue;
+    }
     if (name != "timeout" && name != "kill") continue;
     double ts = 0.0;
     double tid = 0.0;
@@ -409,6 +419,318 @@ DiffResult diff_json(const std::string& a, const std::string& b,
 }
 
 // ---------------------------------------------------------------------------
+// hotspots
+
+namespace {
+
+/// One cube dimension's parsed traffic rollup.
+struct DimTraffic {
+  double traversals = 0.0;
+  double key_hops = 0.0;
+  double busy = 0.0;
+  double utilization = 0.0;
+};
+
+/// Link telemetry of one run (metrics export) or scenario (bench export).
+struct LinkRun {
+  std::string scenario;  ///< empty for the single-run metrics format
+  double total_key_hops = 0.0;
+  std::map<int, DimTraffic> dims;
+  // Communication volume per phase: key_hops for the metrics format,
+  // keys_sent for the bench format (which carries no per-phase hops).
+  std::map<std::string, double> phase_comm;
+};
+
+void read_dim_entry(const std::string& obj, DimTraffic* out) {
+  out->traversals = num_or(obj, "traversals", 0.0);
+  out->key_hops = num_or(obj, "key_hops", 0.0);
+  out->busy = num_or(obj, "busy", 0.0);
+  out->utilization = num_or(obj, "utilization", 0.0);
+}
+
+/// Metrics format: the `"links"` block plus per-phase `key_hops`.
+bool parse_links_metrics(const std::string& text, std::vector<LinkRun>* runs,
+                         std::string* err) {
+  const std::size_t at = text.find("\"links\": {");
+  if (at == std::string::npos) {
+    *err = "metrics JSON without a \"links\" block (schema v3 required)";
+    return false;
+  }
+  const std::size_t block_start = text.find('{', at);
+  const std::size_t block_end = match_delim(text, block_start, '{', '}');
+  if (block_end == std::string::npos) {
+    *err = "unterminated \"links\" block";
+    return false;
+  }
+  const std::string block = text.substr(block_start, block_end - block_start);
+  if (block.find("\"enabled\": true") == std::string::npos) {
+    *err = "run recorded no link telemetry (record_link_stats off)";
+    return false;
+  }
+  LinkRun run;
+  const std::size_t tot = block.find("\"total\": {");
+  if (tot != std::string::npos)
+    run.total_key_hops =
+        num_or(block.substr(tot, block.find('}', tot) - tot), "key_hops", 0.0);
+  std::size_t pos = block.find("\"per_dimension\"");
+  while (pos != std::string::npos) {
+    pos = block.find('{', pos);
+    if (pos == std::string::npos) break;
+    const std::size_t end = match_delim(block, pos, '{', '}');
+    if (end == std::string::npos) break;
+    const std::string obj = block.substr(pos, end - pos);
+    double d = -1.0;
+    if (num_field(obj, "dim", &d) && d >= 0.0)
+      read_dim_entry(obj, &run.dims[static_cast<int>(d)]);
+    pos = end;
+  }
+  // Per-phase comm volume from the phases array.
+  const std::size_t ph = text.find("\"phases\": [");
+  if (ph != std::string::npos) {
+    std::size_t p = text.find('[', ph);
+    const std::size_t pstop = match_delim(text, p, '[', ']');
+    while (pstop != std::string::npos) {
+      p = text.find('{', p);
+      if (p == std::string::npos || p >= pstop) break;
+      const std::size_t end = match_delim(text, p, '{', '}');
+      if (end == std::string::npos) break;
+      const std::string obj = text.substr(p, end - p);
+      const std::string name = string_field(obj, "phase");
+      const double hops = num_or(obj, "key_hops", 0.0);
+      if (!name.empty() && hops > 0.0) run.phase_comm[name] = hops;
+      p = end;
+    }
+  }
+  runs->push_back(std::move(run));
+  return true;
+}
+
+/// Bench format: per-scenario `link_key_hops` / `"link_dimensions"`.
+bool parse_links_bench(const std::string& text, std::vector<LinkRun>* runs,
+                       std::string* err) {
+  std::size_t pos = text.find('[', text.find("\"scenarios\""));
+  if (pos == std::string::npos) {
+    *err = "bench JSON without a \"scenarios\" array";
+    return false;
+  }
+  const std::size_t stop = match_delim(text, pos, '[', ']');
+  if (stop == std::string::npos) {
+    *err = "unterminated \"scenarios\" array";
+    return false;
+  }
+  while (true) {
+    pos = text.find('{', pos);
+    if (pos == std::string::npos || pos >= stop) break;
+    const std::size_t end = match_delim(text, pos, '{', '}');
+    if (end == std::string::npos) {
+      *err = "unterminated scenario object";
+      return false;
+    }
+    const std::string obj = text.substr(pos, end - pos);
+    pos = end;
+    const std::size_t ld = obj.find("\"link_dimensions\": {");
+    if (ld == std::string::npos) continue;  // kernel micro: no link data
+    LinkRun run;
+    run.scenario = string_field(obj, "name");
+    run.total_key_hops = num_or(obj, "link_key_hops", 0.0);
+    std::size_t p = obj.find('{', ld);
+    const std::size_t pstop = match_delim(obj, p, '{', '}');
+    if (pstop == std::string::npos) {
+      *err = "unterminated \"link_dimensions\" in scenario " + run.scenario;
+      return false;
+    }
+    ++p;
+    while (true) {
+      // Each entry is `"<dim>": { ... }`.
+      const std::size_t q = obj.find('"', p);
+      if (q == std::string::npos || q >= pstop - 1) break;
+      const std::size_t qe = obj.find('"', q + 1);
+      if (qe == std::string::npos || qe >= pstop) break;
+      const int d = std::atoi(obj.substr(q + 1, qe - q - 1).c_str());
+      const std::size_t body = obj.find('{', qe);
+      if (body == std::string::npos || body >= pstop) break;
+      const std::size_t bend = match_delim(obj, body, '{', '}');
+      if (bend == std::string::npos) break;
+      read_dim_entry(obj.substr(body, bend - body), &run.dims[d]);
+      p = bend;
+    }
+    // Comm volume per phase: the bench rows carry keys_sent.
+    const std::size_t ph = obj.find("\"phases\": {");
+    if (ph != std::string::npos) {
+      std::size_t pp = obj.find('{', ph);
+      const std::size_t ppstop = match_delim(obj, pp, '{', '}');
+      ++pp;
+      while (ppstop != std::string::npos) {
+        const std::size_t q = obj.find('"', pp);
+        if (q == std::string::npos || q >= ppstop - 1) break;
+        const std::size_t qe = obj.find('"', q + 1);
+        if (qe == std::string::npos || qe >= ppstop) break;
+        const std::string name = obj.substr(q + 1, qe - q - 1);
+        const std::size_t body = obj.find('{', qe);
+        if (body == std::string::npos || body >= ppstop) break;
+        const std::size_t bend = match_delim(obj, body, '{', '}');
+        if (bend == std::string::npos) break;
+        const double keys =
+            num_or(obj.substr(body, bend - body), "keys_sent", 0.0);
+        if (keys > 0.0) run.phase_comm[name] = keys;
+        pp = bend;
+      }
+    }
+    runs->push_back(std::move(run));
+  }
+  if (runs->empty()) {
+    *err = "no scenario carries link telemetry (link_dimensions)";
+    return false;
+  }
+  return true;
+}
+
+bool parse_links_doc(const std::string& text, std::vector<LinkRun>* runs,
+                     std::string* err) {
+  return text.find("\"scenarios\"") != std::string::npos
+             ? parse_links_bench(text, runs, err)
+             : parse_links_metrics(text, runs, err);
+}
+
+}  // namespace
+
+HotspotsResult hotspots_report(const std::string& json, std::size_t top_k) {
+  HotspotsResult res;
+  std::vector<LinkRun> runs;
+  if (!parse_links_doc(json, &runs, &res.error)) return res;
+
+  std::ostringstream out;
+  out << "ftdiag hotspots (dimensions ranked by wire busy time)\n";
+  for (const LinkRun& run : runs) {
+    const std::string where =
+        run.scenario.empty() ? std::string() : run.scenario + " ";
+    out << "  " << where << "total key_hops ";
+    put_us(out, run.total_key_hops);
+    out << " across " << run.dims.size() << " dimension(s)\n";
+
+    // Rank dimensions by busy time; ties broken by index for determinism.
+    std::vector<std::pair<int, DimTraffic>> ranked(run.dims.begin(),
+                                                   run.dims.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second.busy != b.second.busy) return a.second.busy > b.second.busy;
+      return a.first < b.first;
+    });
+    const std::size_t shown =
+        top_k == 0 ? ranked.size() : std::min(top_k, ranked.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      const auto& [d, t] = ranked[i];
+      out << "    dim " << d << ": busy ";
+      put_us(out, t.busy);
+      out << " us, key_hops ";
+      put_us(out, t.key_hops);
+      out << ", traversals ";
+      put_us(out, t.traversals);
+      out << ", utilization ";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3f", t.utilization);
+      out << buf << "\n";
+    }
+
+    // Comm attribution: which paper phases pushed the traffic.
+    double comm_total = 0.0;
+    for (const auto& [name, v] : run.phase_comm) comm_total += v;
+    if (comm_total > 0.0) {
+      std::vector<std::pair<std::string, double>> phases(
+          run.phase_comm.begin(), run.phase_comm.end());
+      std::sort(phases.begin(), phases.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      out << "    comm by phase:";
+      for (const auto& [name, v] : phases) {
+        char pct[32];
+        std::snprintf(pct, sizeof pct, "%.1f%%", 100.0 * v / comm_total);
+        out << " " << name << " " << pct;
+      }
+      out << "\n";
+    }
+  }
+  res.ok = true;
+  res.text = out.str();
+  return res;
+}
+
+HotspotsResult hotspots_diff(const std::string& a, const std::string& b,
+                             double threshold_pct) {
+  HotspotsResult res;
+  res.threshold_pct = threshold_pct;
+  std::vector<LinkRun> ra;
+  std::vector<LinkRun> rb;
+  std::string err;
+  if (!parse_links_doc(a, &ra, &err)) {
+    res.error = "first file: " + err;
+    return res;
+  }
+  if (!parse_links_doc(b, &rb, &err)) {
+    res.error = "second file: " + err;
+    return res;
+  }
+
+  std::ostringstream out;
+  out << "ftdiag hotspots diff (threshold \xC2\xB1";
+  put_us(out, threshold_pct);
+  out << "% on per-dimension key_hops)\n";
+  std::size_t compared = 0;
+  for (const LinkRun& run_a : ra) {
+    const LinkRun* run_b = nullptr;
+    for (const LinkRun& cand : rb)
+      if (cand.scenario == run_a.scenario) {
+        run_b = &cand;
+        break;
+      }
+    if (run_b == nullptr) continue;  // scenario dropped between runs
+    const std::string where =
+        run_a.scenario.empty() ? std::string() : run_a.scenario + " ";
+    // Union of dimensions: traffic appearing on a new dimension (or
+    // vanishing from an old one) is exactly what this gate must catch.
+    std::map<int, std::pair<double, double>> merged;
+    for (const auto& [d, t] : run_a.dims) merged[d].first = t.key_hops;
+    for (const auto& [d, t] : run_b->dims) merged[d].second = t.key_hops;
+    merged[-1] = {run_a.total_key_hops, run_b->total_key_hops};  // the total
+    for (const auto& [d, kv] : merged) {
+      const auto [before, after] = kv;
+      if (before == 0.0 && after == 0.0) continue;
+      ++compared;
+      DimDelta delta;
+      delta.scenario = run_a.scenario;
+      delta.dim = d;
+      delta.before = before;
+      delta.after = after;
+      delta.delta_pct =
+          before > 0.0 ? 100.0 * (after - before) / before : 100.0;
+      delta.regression = std::fabs(delta.delta_pct) > threshold_pct;
+      if (delta.regression || delta.delta_pct != 0.0) {
+        out << "  " << where
+            << (d < 0 ? std::string("total") : "dim " + std::to_string(d))
+            << ": key_hops ";
+        put_us(out, before);
+        out << " -> ";
+        put_us(out, after);
+        out << " (";
+        put_pct(out, delta.delta_pct);
+        out << ")";
+        if (delta.regression) out << " REGRESSION";
+        out << "\n";
+      }
+      if (delta.regression) ++res.regressions;
+      res.deltas.push_back(std::move(delta));
+    }
+  }
+  out << "summary: " << res.regressions << " regression(s) beyond \xC2\xB1";
+  put_us(out, threshold_pct);
+  out << "% across " << compared << " compared counter(s)\n";
+  res.ok = true;
+  res.text = out.str();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
 // CLI
 
 namespace {
@@ -428,6 +750,8 @@ bool slurp(const std::string& path, std::string* out, std::string* err) {
 int usage(std::ostream& err) {
   err << "usage: ftdiag diff <a.json> <b.json> [--threshold PCT]\n"
          "       ftdiag explain <trace.json>\n"
+         "       ftdiag hotspots <file.json> [--top K]\n"
+         "       ftdiag hotspots <a.json> <b.json> [--threshold PCT]\n"
          "exit codes: 0 clean, 1 regression beyond threshold, "
          "2 usage/parse error\n";
   return 2;
@@ -480,6 +804,55 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     }
     out << res.text;
     return res.regressions > 0 ? 1 : 0;
+  }
+
+  if (cmd == "hotspots") {
+    // One file = report mode (optionally --top K); two files = diff mode
+    // (optionally --threshold PCT).
+    std::string why;
+    if (argc == 3 || (argc == 5 && std::string(argv[3]) == "--top")) {
+      std::size_t top_k = 0;
+      if (argc == 5) {
+        char* end = nullptr;
+        const long k = std::strtol(argv[4], &end, 10);
+        if (end == argv[4] || k <= 0) return usage(err);
+        top_k = static_cast<std::size_t>(k);
+      }
+      std::string text;
+      if (!slurp(argv[2], &text, &why)) {
+        err << "ftdiag hotspots: " << why << "\n";
+        return 2;
+      }
+      const HotspotsResult res = hotspots_report(text, top_k);
+      if (!res.ok) {
+        err << "ftdiag hotspots: " << res.error << "\n";
+        return 2;
+      }
+      out << res.text;
+      return 0;
+    }
+    if (argc == 4 || (argc == 6 && std::string(argv[4]) == "--threshold")) {
+      double threshold = 20.0;
+      if (argc == 6) {
+        char* end = nullptr;
+        threshold = std::strtod(argv[5], &end);
+        if (end == argv[5] || threshold < 0.0) return usage(err);
+      }
+      std::string ta;
+      std::string tb;
+      if (!slurp(argv[2], &ta, &why) || !slurp(argv[3], &tb, &why)) {
+        err << "ftdiag hotspots: " << why << "\n";
+        return 2;
+      }
+      const HotspotsResult res = hotspots_diff(ta, tb, threshold);
+      if (!res.ok) {
+        err << "ftdiag hotspots: " << res.error << "\n";
+        return 2;
+      }
+      out << res.text;
+      return res.regressions > 0 ? 1 : 0;
+    }
+    return usage(err);
   }
 
   return usage(err);

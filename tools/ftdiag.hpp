@@ -66,9 +66,45 @@ struct DiffResult {
 DiffResult diff_json(const std::string& a, const std::string& b,
                      double threshold_pct);
 
-/// Full CLI: `ftdiag diff A B [--threshold PCT]` or
-/// `ftdiag explain TRACE.json`. Returns the process exit code:
-/// 0 = clean, 1 = diff found a regression beyond the threshold,
+/// One per-cube-dimension traffic delta from `hotspots_diff`.
+struct DimDelta {
+  std::string scenario;  ///< empty for the single-run metrics format
+  int dim = 0;
+  double before = 0.0;  ///< key_hops in the first file
+  double after = 0.0;   ///< key_hops in the second file
+  double delta_pct = 0.0;
+  bool regression = false;  ///< |delta_pct| beyond the threshold
+};
+
+struct HotspotsResult {
+  bool ok = false;
+  std::string error;
+  double threshold_pct = 0.0;   ///< diff mode only
+  std::size_t regressions = 0;  ///< diff mode only
+  std::vector<DimDelta> deltas;
+  std::string text;  ///< deterministic rendered report
+};
+
+/// Single-file report: rank cube dimensions by wire busy time (top
+/// `top_k`, all when 0) and attribute communication volume per paper
+/// phase. Understands both link-telemetry shapes the repo emits:
+/// sim::write_metrics_json (`"links"` block) and bench_harness
+/// (`"link_dimensions"` per scenario). Scenarios without link telemetry
+/// (kernel micros) are skipped; a document with none at all is an error.
+HotspotsResult hotspots_report(const std::string& json, std::size_t top_k);
+
+/// Two-file diff over per-dimension key_hops (plus the per-run total).
+/// The gate is symmetric, like diff_json: traffic that moved by more than
+/// ±`threshold_pct` percent in either direction on any dimension is a
+/// regression — the counters are deterministic, so any unexplained shift
+/// means the routing or the algorithm changed.
+HotspotsResult hotspots_diff(const std::string& a, const std::string& b,
+                             double threshold_pct);
+
+/// Full CLI: `ftdiag diff A B [--threshold PCT]`,
+/// `ftdiag explain TRACE.json`, `ftdiag hotspots FILE [--top K]`, or
+/// `ftdiag hotspots A B [--threshold PCT]`. Returns the process exit
+/// code: 0 = clean, 1 = diff found a regression beyond the threshold,
 /// 2 = usage or parse error.
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err);

@@ -1,0 +1,271 @@
+// Monte Carlo campaign bench: drives campaign::run_campaign over the
+// worker pool, reports trials/sec, and exports the schema-v4 campaign
+// JSON (campaign/report.hpp).
+//
+// Usage:
+//   bench_campaign [--smoke] [--out PATH] [--baseline PATH]
+//                  [--schema PATH] [--workers N]
+//
+// `--smoke` shrinks the universe for a seconds-scale CI run; `--baseline`
+// compares the per-bucket outcome counts against the checked-in
+// bench/BENCH_campaign_baseline.json *exactly* — the campaign is
+// deterministic in its seed, so the gate has no tolerance band: any
+// outcome drift means the sampler, the recovery engine, or the simulator
+// changed, and the baseline must be regenerated deliberately. `--schema`
+// validates the export against the bench/campaign_schema.json
+// required-keys list, same discipline as the metrics schema gate.
+//
+// Wall-clock trials/sec is meaningful in the `release` preset only; the
+// smoke gate reads deterministic counters, so it is safe in any build.
+//
+// Exit codes: 0 clean, 1 gate failure, 2 usage error.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+
+namespace {
+
+using namespace ftsort;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::vector<std::string> string_array(const std::string& text,
+                                      const char* key) {
+  std::vector<std::string> items;
+  const std::size_t pos = text.find(std::string("\"") + key + "\"");
+  if (pos == std::string::npos) return items;
+  const std::size_t open = text.find('[', pos);
+  if (open == std::string::npos) return items;
+  const std::size_t close = text.find(']', open);
+  if (close == std::string::npos) return items;
+  std::size_t q = open;
+  while ((q = text.find('"', q + 1)) != std::string::npos && q < close) {
+    const std::size_t q2 = text.find('"', q + 1);
+    if (q2 == std::string::npos || q2 > close) break;
+    items.push_back(text.substr(q + 1, q2 - q - 1));
+    q = q2;
+  }
+  return items;
+}
+
+bool validate_schema(const std::string& json, const std::string& schema_path) {
+  std::string schema;
+  if (!read_file(schema_path, schema)) {
+    std::fprintf(stderr, "FAIL: cannot read schema %s\n", schema_path.c_str());
+    return false;
+  }
+  bool ok = true;
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) break;
+  }
+  if (depth != 0) {
+    std::fprintf(stderr, "SCHEMA: campaign JSON braces do not balance\n");
+    ok = false;
+  }
+  const std::vector<std::string> keys = string_array(schema, "required_keys");
+  const std::vector<std::string> outcomes =
+      string_array(schema, "required_outcomes");
+  if (keys.empty() || outcomes.empty()) {
+    std::fprintf(stderr, "FAIL: schema %s lists no required keys\n",
+                 schema_path.c_str());
+    return false;
+  }
+  for (const std::string& k : keys)
+    if (json.find("\"" + k + "\"") == std::string::npos) {
+      std::fprintf(stderr, "SCHEMA: missing required key \"%s\"\n", k.c_str());
+      ok = false;
+    }
+  for (const std::string& o : outcomes)
+    if (json.find("\"" + o + "\"") == std::string::npos) {
+      std::fprintf(stderr, "SCHEMA: missing outcome class \"%s\"\n",
+                   o.c_str());
+      ok = false;
+    }
+  return ok;
+}
+
+/// The six per-bucket outcome counts, extracted in bucket order. The
+/// exact-equality gate compares these and nothing else: makespans shift
+/// whenever the cost model is retuned, but an outcome flip means the
+/// *behaviour* of recovery under this fault universe changed.
+struct BucketCounts {
+  long r = -1;
+  long counts[6] = {0, 0, 0, 0, 0, 0};
+  bool operator==(const BucketCounts&) const = default;
+};
+
+long int_field(const std::string& obj, const char* key, long fallback) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return fallback;
+  return std::strtol(obj.c_str() + at + needle.size(), nullptr, 10);
+}
+
+std::vector<BucketCounts> parse_bucket_counts(const std::string& json) {
+  static constexpr const char* kFields[6] = {"completed",  "recovered",
+                                             "degraded",   "deadlocked",
+                                             "corrupt",    "failed"};
+  std::vector<BucketCounts> rows;
+  std::size_t pos = json.find("\"buckets\": [");
+  if (pos == std::string::npos) return rows;
+  const std::size_t stop = json.find("\n  ]", pos);
+  while (true) {
+    pos = json.find("{\"r\": ", pos);
+    if (pos == std::string::npos || (stop != std::string::npos && pos >= stop))
+      break;
+    const std::size_t end = json.find("}}", pos);
+    if (end == std::string::npos) break;
+    const std::string obj = json.substr(pos, end - pos);
+    BucketCounts row;
+    row.r = int_field(obj, "r", -1);
+    for (int i = 0; i < 6; ++i)
+      row.counts[i] = int_field(obj, kFields[i], -1);
+    rows.push_back(row);
+    pos = end + 2;
+  }
+  return rows;
+}
+
+bool check_baseline(const std::string& current_json,
+                    const std::string& baseline_path) {
+  std::string baseline;
+  if (!read_file(baseline_path, baseline)) {
+    std::fprintf(stderr, "FAIL: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return false;
+  }
+  const std::vector<BucketCounts> cur = parse_bucket_counts(current_json);
+  const std::vector<BucketCounts> base = parse_bucket_counts(baseline);
+  if (cur.empty() || base.empty()) {
+    std::fprintf(stderr, "FAIL: could not parse bucket counts (%zu vs %zu)\n",
+                 cur.size(), base.size());
+    return false;
+  }
+  if (cur == base) return true;
+  std::fprintf(stderr,
+               "FAIL: per-bucket outcome counts diverged from %s "
+               "(deterministic campaign — regenerate the baseline only for "
+               "an intended behaviour change)\n",
+               baseline_path.c_str());
+  for (std::size_t i = 0; i < cur.size() || i < base.size(); ++i) {
+    const BucketCounts c = i < cur.size() ? cur[i] : BucketCounts{};
+    const BucketCounts b = i < base.size() ? base[i] : BucketCounts{};
+    if (c == b) continue;
+    std::fprintf(stderr,
+                 "  r=%ld: completed %ld/%ld recovered %ld/%ld degraded "
+                 "%ld/%ld deadlocked %ld/%ld corrupt %ld/%ld failed %ld/%ld "
+                 "(current/baseline)\n",
+                 c.r, c.counts[0], b.counts[0], c.counts[1], b.counts[1],
+                 c.counts[2], b.counts[2], c.counts[3], b.counts[3],
+                 c.counts[4], b.counts[4], c.counts[5], b.counts[5]);
+  }
+  return false;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_campaign [--smoke] [--out PATH] "
+               "[--baseline PATH] [--schema PATH] [--workers N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  std::string baseline_path;
+  std::string schema_path;
+  unsigned workers = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--schema" && i + 1 < argc) {
+      schema_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      const long w = std::strtol(argv[++i], nullptr, 10);
+      if (w < 1) return usage();
+      workers = static_cast<unsigned>(w);
+    } else {
+      return usage();
+    }
+  }
+
+  campaign::CampaignConfig cfg;
+  cfg.seed = 20260807;
+  cfg.workers = workers;
+  if (smoke) {
+    // Seconds-scale universe: Q_5, 10 scenarios x r in 0..2 = 30 trials.
+    cfg.universe.n = 5;
+    cfg.universe.r_max = 2;
+    cfg.universe.scenarios = 10;
+    cfg.universe.num_keys = 128;
+  } else {
+    // The acceptance campaign: Q_7, 125 scenarios x r in 0..3 = 500 trials.
+    cfg.universe.n = 7;
+    cfg.universe.r_max = 3;
+    cfg.universe.scenarios = 125;
+    cfg.universe.num_keys = 256;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const campaign::CampaignReport report = campaign::run_campaign(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+
+  std::fputs(campaign::campaign_summary(report).c_str(), stdout);
+  std::printf("trials/sec: %.2f (%zu trials, %.2fs wall, %u worker(s))\n",
+              secs > 0.0 ? static_cast<double>(report.trials.size()) / secs
+                         : 0.0,
+              report.trials.size(), secs, workers);
+  if (!report.conserves_trials()) {
+    std::fprintf(stderr, "FAIL: trial-count conservation violated\n");
+    return 1;
+  }
+  if (!report.completion_monotone()) {
+    std::fprintf(stderr,
+                 "FAIL: completion probability not monotone in r\n");
+    return 1;
+  }
+
+  std::ostringstream json;
+  campaign::write_campaign_json(json, report);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << json.str();
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (!schema_path.empty() && !validate_schema(json.str(), schema_path))
+    return 1;
+  if (!baseline_path.empty() && !check_baseline(json.str(), baseline_path))
+    return 1;
+  return 0;
+}

@@ -33,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <new>
 #include <sstream>
@@ -630,9 +631,24 @@ int harness_main(int argc, char** argv) {
         (slash == std::string::npos ? std::string()
                                     : out_path.substr(0, slash + 1)) +
         "BENCH_history.jsonl";
+    // Seeding guard: a fresh clone has no history file — that is the
+    // normal first run, not an error, and must start a new trajectory.
+    // But a file that *exists* and cannot be read (permissions, I/O
+    // error) must not be clobbered by the truncating rewrite below, so
+    // the rotation is skipped entirely in that case.
     std::vector<std::string> lines;
+    bool rotation_ok = true;
     {
+      std::error_code ec;
+      const bool had_file = std::filesystem::exists(history_path, ec);
       std::ifstream in(history_path);
+      if (had_file && !in) {
+        std::fprintf(stderr,
+                     "warning: %s exists but is unreadable; "
+                     "skipping history rotation\n",
+                     history_path.c_str());
+        rotation_ok = false;
+      }
       std::string line;
       while (std::getline(in, line))
         if (!line.empty()) lines.push_back(line);
@@ -656,15 +672,22 @@ int harness_main(int argc, char** argv) {
            << ", \"comparisons\": " << m.comparisons << "}";
     }
     hist << "]}";
-    lines.push_back(hist.str());
-    const std::size_t keep_from =
-        lines.size() > kHistoryCap ? lines.size() - kHistoryCap : 0;
-    std::ofstream out(history_path, std::ios::trunc);
-    for (std::size_t i = keep_from; i < lines.size(); ++i)
-      out << lines[i] << "\n";
-    if (out)
-      std::printf("history: %s (%zu entries)\n", history_path.c_str(),
-                  lines.size() - keep_from);
+    if (rotation_ok) {
+      lines.push_back(hist.str());
+      const std::size_t keep_from =
+          lines.size() > kHistoryCap ? lines.size() - kHistoryCap : 0;
+      std::ofstream out(history_path, std::ios::trunc);
+      for (std::size_t i = keep_from; i < lines.size(); ++i)
+        out << lines[i] << "\n";
+      if (out)
+        std::printf("history: %s (%zu entries)\n", history_path.c_str(),
+                    lines.size() - keep_from);
+      else
+        // An unwritable history path degrades the trajectory, never the
+        // bench: the gate's exit code must reflect the counters alone.
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     history_path.c_str());
+    }
   }
 
   // Observability exports: the flagship fig7_q6_r2 scenario's instrumented

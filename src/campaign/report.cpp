@@ -1,0 +1,206 @@
+#include "campaign/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::campaign {
+
+namespace {
+
+/// %.17g — round-trip exact for doubles, matching the bench/metrics
+/// exporters so every emitted number re-parses to the same bits.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Nearest-rank quantile of an ascending-sorted vector (no
+/// interpolation: deterministic and insensitive to fp rounding).
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+const char* root_name(std::size_t i) {
+  return sim::diagnosis_root_kind_name(
+      static_cast<sim::Diagnosis::RootKind>(i));
+}
+
+}  // namespace
+
+bool CampaignReport::conserves_trials() const {
+  std::uint64_t total = 0;
+  for (const BucketStats& b : buckets) {
+    if (static_cast<std::uint64_t>(b.completed) + b.recovered + b.degraded +
+            b.deadlocked + b.corrupt + b.failed !=
+        b.trials)
+      return false;
+    total += b.trials;
+  }
+  return total == trials.size();
+}
+
+bool CampaignReport::completion_monotone() const {
+  for (std::size_t i = 1; i < buckets.size(); ++i)
+    if (buckets[i].completion_probability >
+        buckets[i - 1].completion_probability)
+      return false;
+  return true;
+}
+
+CampaignReport aggregate_campaign(CampaignMeta meta,
+                                  std::vector<TrialResult> trials) {
+  CampaignReport rep;
+  rep.meta = std::move(meta);
+  rep.buckets.resize(rep.meta.r_max + 1);
+  for (std::size_t r = 0; r <= rep.meta.r_max; ++r)
+    rep.buckets[r].r = static_cast<std::uint32_t>(r);
+
+  // One pass in index order: counts and ordered sums.
+  std::vector<std::vector<double>> hotspots(rep.buckets.size());
+  for (const TrialResult& t : trials) {
+    FTSORT_REQUIRE(t.r < rep.buckets.size());
+    BucketStats& b = rep.buckets[t.r];
+    ++b.trials;
+    ++rep.outcomes[static_cast<std::size_t>(t.outcome)];
+    switch (t.outcome) {
+      case core::RunOutcome::CompletedClean: ++b.completed; break;
+      case core::RunOutcome::CompletedRecovered: ++b.recovered; break;
+      case core::RunOutcome::Degraded: ++b.degraded; break;
+      case core::RunOutcome::Deadlocked: ++b.deadlocked; break;
+      case core::RunOutcome::Corrupt: ++b.corrupt; break;
+      case core::RunOutcome::Failed: ++b.failed; break;
+    }
+    if (t.outcome != core::RunOutcome::CompletedClean)
+      ++b.roots[static_cast<std::size_t>(t.diagnosis.root_kind)];
+    if (core::outcome_completed(t.outcome)) {
+      const std::uint32_t done = b.completed + b.recovered;
+      b.mean_makespan += t.makespan;  // divided after the pass
+      b.mean_detect += t.detect;
+      b.min_makespan =
+          done == 1 ? t.makespan : std::min(b.min_makespan, t.makespan);
+      b.max_makespan = std::max(b.max_makespan, t.makespan);
+      hotspots[t.r].push_back(t.hotspot_share);
+    }
+  }
+
+  for (std::size_t r = 0; r < rep.buckets.size(); ++r) {
+    BucketStats& b = rep.buckets[r];
+    const std::uint32_t done = b.completed + b.recovered;
+    if (b.trials > 0)
+      b.completion_probability =
+          static_cast<double>(done) / static_cast<double>(b.trials);
+    if (done > 0) {
+      b.mean_makespan /= static_cast<double>(done);
+      b.mean_detect /= static_cast<double>(done);
+    }
+    std::sort(hotspots[r].begin(), hotspots[r].end());
+    b.hotspot_p50 = quantile(hotspots[r], 0.5);
+    b.hotspot_p90 = quantile(hotspots[r], 0.9);
+    b.hotspot_max = hotspots[r].empty() ? 0.0 : hotspots[r].back();
+  }
+  const double base = rep.buckets[0].mean_makespan;
+  for (BucketStats& b : rep.buckets)
+    b.mean_slowdown = (base > 0.0 && b.completed + b.recovered > 0)
+                          ? b.mean_makespan / base
+                          : 0.0;
+
+  rep.trials = std::move(trials);
+  return rep;
+}
+
+void write_campaign_json(std::ostream& os, const CampaignReport& rep) {
+  os << "{\n"
+     << "  \"campaign\": \"fault_mc\",\n"
+     << "  \"schema_version\": 4,\n"
+     << "  \"n\": " << rep.meta.n << ",\n"
+     << "  \"r_max\": " << rep.meta.r_max << ",\n"
+     << "  \"scenarios\": " << rep.meta.scenarios << ",\n"
+     << "  \"trials\": " << rep.trials.size() << ",\n"
+     << "  \"seed\": " << rep.meta.seed << ",\n"
+     << "  \"num_keys\": " << rep.meta.num_keys << ",\n"
+     << "  \"executor\": \"" << rep.meta.executor << "\",\n"
+     << "  \"link_cut_probability\": " << num(rep.meta.link_cut_probability)
+     << ",\n"
+     << "  \"envelope\": " << num(rep.meta.envelope) << ",\n"
+     << "  \"outcomes\": {";
+  for (std::size_t i = 0; i < core::kRunOutcomeCount; ++i)
+    os << (i ? ", " : "") << "\""
+       << core::run_outcome_name(static_cast<core::RunOutcome>(i))
+       << "\": " << rep.outcomes[i];
+  os << "},\n  \"buckets\": [\n";
+  for (std::size_t i = 0; i < rep.buckets.size(); ++i) {
+    const BucketStats& b = rep.buckets[i];
+    os << "    {\"r\": " << b.r << ", \"trials\": " << b.trials
+       << ", \"completed\": " << b.completed
+       << ", \"recovered\": " << b.recovered
+       << ", \"degraded\": " << b.degraded
+       << ", \"deadlocked\": " << b.deadlocked
+       << ", \"corrupt\": " << b.corrupt << ", \"failed\": " << b.failed
+       << ",\n     \"completion_probability\": "
+       << num(b.completion_probability)
+       << ", \"mean_makespan\": " << num(b.mean_makespan)
+       << ", \"min_makespan\": " << num(b.min_makespan)
+       << ", \"max_makespan\": " << num(b.max_makespan)
+       << ",\n     \"mean_detect\": " << num(b.mean_detect)
+       << ", \"mean_slowdown\": " << num(b.mean_slowdown)
+       << ",\n     \"hotspot_p50\": " << num(b.hotspot_p50)
+       << ", \"hotspot_p90\": " << num(b.hotspot_p90)
+       << ", \"hotspot_max\": " << num(b.hotspot_max)
+       << ",\n     \"roots\": {";
+    for (std::size_t k = 0; k < kRootKindCount; ++k)
+      os << (k ? ", " : "") << "\"" << root_name(k) << "\": " << b.roots[k];
+    os << "}}" << (i + 1 < rep.buckets.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"trials_detail\": [\n";
+  for (std::size_t i = 0; i < rep.trials.size(); ++i) {
+    const TrialResult& t = rep.trials[i];
+    os << "    {\"index\": " << t.index << ", \"scenario\": " << t.scenario
+       << ", \"r\": " << t.r << ", \"outcome\": \""
+       << core::run_outcome_name(t.outcome) << "\", \"root\": \""
+       << sim::diagnosis_root_kind_name(t.diagnosis.root_kind)
+       << "\", \"makespan\": " << num(t.makespan)
+       << ", \"detect\": " << num(t.detect) << ", \"deaths\": " << t.deaths
+       << ", \"timeouts\": " << t.timeouts
+       << ", \"comparisons\": " << t.comparisons
+       << ", \"messages\": " << t.messages
+       << ", \"key_hops\": " << t.key_hops
+       << ", \"hotspot_share\": " << num(t.hotspot_share) << "}"
+       << (i + 1 < rep.trials.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+std::string campaign_summary(const CampaignReport& rep) {
+  std::ostringstream os;
+  os << "campaign fault_mc: Q_" << rep.meta.n << ", r <= " << rep.meta.r_max
+     << ", " << rep.trials.size() << " trials (" << rep.meta.scenarios
+     << " scenarios x " << rep.meta.r_max + 1 << " buckets), seed "
+     << rep.meta.seed << ", " << rep.meta.executor << " executor\n";
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "%-4s %7s %10s %10s %9s %11s %12s %10s %12s\n", "r",
+                "trials", "completed", "recovered", "degraded",
+                "P(complete)", "mean_slowdown", "det_share", "hotspot_p90");
+  os << line;
+  for (const BucketStats& b : rep.buckets) {
+    const double det_share =
+        b.mean_makespan > 0.0 ? b.mean_detect / b.mean_makespan : 0.0;
+    std::snprintf(line, sizeof line,
+                  "%-4u %7u %10u %10u %9u %11.3f %12.3f %10.3f %12.3f\n",
+                  b.r, b.trials, b.completed, b.recovered, b.degraded,
+                  b.completion_probability, b.mean_slowdown, det_share,
+                  b.hotspot_p90);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace ftsort::campaign

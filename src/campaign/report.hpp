@@ -1,0 +1,125 @@
+// Campaign aggregation: per-trial rows -> per-r reliability buckets ->
+// one serializable CampaignReport.
+//
+// Everything in a report is derived from deterministic logical counters
+// (or fixed-order reductions of them), so the same campaign spec always
+// serializes to the same bytes — the property the worker-count
+// determinism tests compare with string equality. Floating-point
+// reductions honour that by accumulating in trial-index order; quantiles
+// use the nearest-rank rule on a sorted copy (no interpolation).
+//
+// The JSON layout is schema version 4 (the repo's lineage: bench v2,
+// metrics v3): a flat header, an "outcomes" rollup, one "buckets" row
+// per r with the reliability/slowdown curves and the Diagnosis
+// root-cause histogram, and a "trials_detail" array with one row per
+// trial for replay cross-checks. bench/campaign_schema.json lists the
+// required keys; `ftdiag campaign` is the reference reader.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/outcome.hpp"
+#include "sim/diagnosis.hpp"
+
+namespace ftsort::campaign {
+
+inline constexpr std::size_t kRootKindCount = 5;  ///< Diagnosis::RootKind
+
+/// Outcome and logical counters of one trial. Fully deterministic in
+/// (campaign seed, trial index, executor-independent); `diagnosis` is
+/// kept whole so replay tests can compare it structurally.
+struct TrialResult {
+  std::uint32_t index = 0;
+  std::uint32_t scenario = 0;
+  std::uint32_t r = 0;
+  core::RunOutcome outcome = core::RunOutcome::Failed;
+  sim::Diagnosis diagnosis;
+  sim::SimTime makespan = 0.0;  ///< 0 when the run threw (degraded/deadlock)
+  sim::SimTime detect = 0.0;    ///< fault-detection share of the makespan
+  std::uint64_t comparisons = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t key_hops = 0;
+  std::uint64_t timeouts = 0;
+  std::uint32_t deaths = 0;        ///< injector victims observed by the run
+  double hotspot_share = 0.0;      ///< sim::hottest_dimension_share
+  bool operator==(const TrialResult&) const = default;
+};
+
+/// Reliability statistics of one r bucket.
+struct BucketStats {
+  std::uint32_t r = 0;
+  std::uint32_t trials = 0;
+  std::uint32_t completed = 0;   ///< CompletedClean
+  std::uint32_t recovered = 0;   ///< CompletedRecovered
+  std::uint32_t degraded = 0;
+  std::uint32_t deadlocked = 0;
+  std::uint32_t corrupt = 0;
+  std::uint32_t failed = 0;
+  /// (completed + recovered) / trials — P(sort completes | r faults).
+  double completion_probability = 0.0;
+  /// Over trials that produced a result (completed + recovered):
+  sim::SimTime mean_makespan = 0.0;
+  sim::SimTime min_makespan = 0.0;
+  sim::SimTime max_makespan = 0.0;
+  sim::SimTime mean_detect = 0.0;
+  /// mean_makespan / bucket-0 mean_makespan: the expected-slowdown curve
+  /// (1.0 for r = 0; 0.0 when either bucket has no completions).
+  double mean_slowdown = 0.0;
+  /// Nearest-rank quantiles of hotspot_share over completing trials.
+  double hotspot_p50 = 0.0;
+  double hotspot_p90 = 0.0;
+  double hotspot_max = 0.0;
+  /// Diagnosis root causes over the bucket's non-clean trials, indexed by
+  /// sim::Diagnosis::RootKind (None counts runs that lacked evidence).
+  std::array<std::uint32_t, kRootKindCount> roots{};
+  bool operator==(const BucketStats&) const = default;
+};
+
+/// Campaign identity echoed into the report header — everything needed
+/// to re-run it, minus the worker count (a non-semantic knob that must
+/// not influence the serialized bytes).
+struct CampaignMeta {
+  cube::Dim n = 0;
+  std::size_t r_max = 0;
+  std::uint32_t scenarios = 0;
+  std::uint64_t seed = 0;
+  std::size_t num_keys = 0;
+  double link_cut_probability = 0.0;
+  std::string executor;  ///< "sequential" | "threaded"
+  sim::SimTime envelope = 0.0;
+  bool operator==(const CampaignMeta&) const = default;
+};
+
+struct CampaignReport {
+  CampaignMeta meta;
+  std::vector<TrialResult> trials;   ///< index order
+  std::vector<BucketStats> buckets;  ///< r = 0 .. r_max
+  /// Campaign-wide outcome rollup, indexed by core::RunOutcome.
+  std::array<std::uint32_t, core::kRunOutcomeCount> outcomes{};
+
+  /// Exact conservation: every bucket's class counts sum to its trial
+  /// count and the bucket trial counts sum to trials.size().
+  bool conserves_trials() const;
+  /// The reliability curve is monotone non-increasing in r.
+  bool completion_monotone() const;
+
+  bool operator==(const CampaignReport&) const = default;
+};
+
+/// Reduce per-trial rows (in index order) to the full report.
+CampaignReport aggregate_campaign(CampaignMeta meta,
+                                  std::vector<TrialResult> trials);
+
+/// Serialize as the schema-v4 campaign JSON block. Byte-stable: fixed
+/// key order, %.17g doubles, no locale dependence.
+void write_campaign_json(std::ostream& os, const CampaignReport& report);
+
+/// Human-readable per-r summary table (the `ftdiag campaign` rendering
+/// builds on the same layout).
+std::string campaign_summary(const CampaignReport& report);
+
+}  // namespace ftsort::campaign

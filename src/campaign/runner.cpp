@@ -1,0 +1,171 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/link_stats.hpp"
+#include "sort/distribution.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::campaign {
+
+namespace {
+
+std::vector<sort::Key> trial_keys(std::uint64_t keys_seed,
+                                  std::size_t count) {
+  util::Rng rng(keys_seed);
+  return sort::gen_uniform(count, rng);
+}
+
+core::SortConfig trial_config(const CampaignConfig& cfg,
+                              core::Executor executor,
+                              const core::RecoveryConfig& recovery) {
+  core::SortConfig sc;
+  sc.online_recovery = true;
+  sc.executor = executor;
+  sc.recovery = recovery;
+  // Degraded-trial diagnoses are reconstructed from flight-recorder
+  // evidence after the nodes are torn down, so the trace must be on;
+  // the bounded ring keeps campaign memory flat.
+  sc.record_trace = true;
+  sc.trace_capacity = cfg.trace_capacity;
+  sc.record_link_stats = cfg.record_link_stats;
+  return sc;
+}
+
+std::uint32_t scheduled_kills(const TrialSpec& spec) {
+  return static_cast<std::uint32_t>(
+      std::count_if(spec.events.begin(), spec.events.end(),
+                    [](const FaultEvent& ev) {
+                      return ev.kind == FaultEvent::Kind::NodeKill;
+                    }));
+}
+
+}  // namespace
+
+core::RecoveryConfig calibrated_recovery(const CampaignConfig& cfg,
+                                         sim::SimTime envelope) {
+  const core::RecoveryConfig defaults;
+  const bool customized =
+      cfg.recovery.detect_patience != defaults.detect_patience ||
+      cfg.recovery.collect_patience != defaults.collect_patience ||
+      cfg.recovery.verdict_patience != defaults.verdict_patience ||
+      cfg.recovery.max_attempts != defaults.max_attempts;
+  if (customized) return cfg.recovery;
+  core::RecoveryConfig tuned;
+  // Soundness separations (recovery.hpp): collect dominates
+  // makespan + detect (envelope >= makespan, so 8x clears it), verdict
+  // dominates max_deaths x collect (max_deaths <= r_max here).
+  tuned.detect_patience = envelope;
+  tuned.collect_patience = 8.0 * envelope;
+  tuned.verdict_patience =
+      64.0 * static_cast<double>(cfg.universe.r_max + 1) * envelope;
+  return tuned;
+}
+
+sim::SimTime calibrate_envelope(const CampaignConfig& cfg) {
+  // Always sequential and fault-free: one calibration per campaign,
+  // deterministic in the campaign seed alone. Patience tiers are
+  // irrelevant here (no faults), so the library defaults are fine.
+  const auto keys =
+      trial_keys(scenario_seed(cfg.seed, 0, 0) ^ 0xca11b8a7ed000000ull,
+                 cfg.universe.num_keys);
+  core::FaultTolerantSorter sorter(
+      cfg.universe.n, fault::FaultSet(cfg.universe.n),
+      trial_config(cfg, core::Executor::Sequential, cfg.recovery));
+  const sim::SimTime makespan = sorter.sort(keys).report.makespan;
+  FTSORT_ENSURE(makespan > 0.0);
+  return makespan * cfg.universe.envelope_scale;
+}
+
+TrialResult run_trial(const CampaignConfig& cfg, sim::SimTime envelope,
+                      std::uint32_t index, core::Executor executor) {
+  const TrialSpec spec = sample_trial(cfg.universe, cfg.seed, index, envelope);
+  TrialResult res;
+  res.index = spec.index;
+  res.scenario = spec.scenario;
+  res.r = spec.r;
+
+  const auto keys = trial_keys(spec.keys_seed, cfg.universe.num_keys);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  core::SortConfig sc =
+      trial_config(cfg, executor, calibrated_recovery(cfg, envelope));
+  sc.injector = spec.injector();
+
+  try {
+    const core::FaultTolerantSorter sorter(
+        cfg.universe.n, fault::FaultSet(cfg.universe.n), sc);
+    const core::SortOutcome out = sorter.sort(keys);
+    const sim::RunReport& rep = out.report;
+    res.outcome = core::classify_completed(rep, out.sorted == expected);
+    res.diagnosis = rep.diagnosis;
+    res.makespan = rep.makespan;
+    res.detect = core::detect_time(rep);
+    res.comparisons = rep.comparisons;
+    res.messages = rep.messages;
+    res.key_hops = rep.key_hops;
+    res.timeouts = rep.timeouts;
+    res.deaths = static_cast<std::uint32_t>(rep.killed_nodes.size());
+    if (cfg.record_link_stats)
+      res.hotspot_share = sim::hottest_dimension_share(rep.links);
+  } catch (const core::DegradationError& e) {
+    res.outcome = core::RunOutcome::Degraded;
+    res.diagnosis = e.diagnosis();
+    res.deaths = scheduled_kills(spec);
+  } catch (const sim::DeadlockError&) {
+    res.outcome = core::RunOutcome::Deadlocked;
+    res.deaths = scheduled_kills(spec);
+  } catch (const std::exception&) {
+    res.outcome = core::RunOutcome::Failed;
+    res.deaths = scheduled_kills(spec);
+  }
+  return res;
+}
+
+CampaignReport run_campaign(const CampaignConfig& cfg) {
+  FTSORT_REQUIRE(cfg.workers >= 1);
+  const sim::SimTime envelope = calibrate_envelope(cfg);
+  const std::uint32_t trials = cfg.universe.trials();
+
+  // Pre-sized slot array + shared index counter: workers race only for
+  // *which* trial to run next, never over where a result lands, so any
+  // worker count produces the identical vector to reduce in index order.
+  std::vector<TrialResult> results(trials);
+  std::atomic<std::uint32_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::uint32_t idx = next.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= trials) return;
+      results[idx] = run_trial(cfg, envelope, idx, cfg.executor);
+    }
+  };
+  if (cfg.workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(cfg.workers);
+    for (unsigned w = 0; w < cfg.workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  CampaignMeta meta;
+  meta.n = cfg.universe.n;
+  meta.r_max = cfg.universe.r_max;
+  meta.scenarios = cfg.universe.scenarios;
+  meta.seed = cfg.seed;
+  meta.num_keys = cfg.universe.num_keys;
+  meta.link_cut_probability = cfg.universe.link_cut_probability;
+  meta.executor =
+      cfg.executor == core::Executor::Sequential ? "sequential" : "threaded";
+  meta.envelope = envelope;
+  return aggregate_campaign(std::move(meta), std::move(results));
+}
+
+}  // namespace ftsort::campaign

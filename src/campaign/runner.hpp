@@ -1,0 +1,85 @@
+// Campaign driver: run every trial of a fault universe on its own
+// `Machine` across a worker pool, producing one `TrialResult` per trial.
+//
+// Determinism contract (the campaign's headline test target):
+//   * Every trial is replayable from (campaign seed, trial index) alone —
+//     `run_trial` is a pure function of the config plus those two values,
+//     and reproduces the trial's outcome, counters, and full structured
+//     Diagnosis on either executor.
+//   * The worker count is a throughput knob, never a semantics knob:
+//     workers pull trial indices from a shared counter and write results
+//     into a pre-sized slot array, and aggregation reads that array in
+//     index order after the pool joins. The resulting CampaignReport —
+//     and its serialized JSON — is byte-identical for 1 worker and N.
+//
+// Trial isolation: each trial builds a fresh FaultTolerantSorter (its own
+// Machine, pools, trace ring, metrics and link registries), so trials
+// share no mutable state and the pool needs no locks beyond the index
+// counter. A trial never throws out of the pool: every protocol-level
+// failure is classified (core/outcome.hpp) and unexpected exceptions
+// land in RunOutcome::Failed rather than tearing the campaign down.
+#pragma once
+
+#include <cstdint>
+
+#include "campaign/report.hpp"
+#include "campaign/universe.hpp"
+#include "core/ft_sorter.hpp"
+#include "core/outcome.hpp"
+
+namespace ftsort::campaign {
+
+/// Everything a campaign needs beyond the universe shape.
+struct CampaignConfig {
+  UniverseConfig universe;
+  std::uint64_t seed = 1;  ///< campaign seed; trials derive from (seed, index)
+  /// Executor every trial runs under. The logical results are
+  /// executor-independent (the equivalence suite pins this), so this is
+  /// a wall-clock/coverage knob, not a semantics one.
+  core::Executor executor = core::Executor::Sequential;
+  /// Worker pool width; results are byte-identical for any value >= 1.
+  unsigned workers = 1;
+  /// Patience tiers handed to every trial's recovery engine. When left at
+  /// the RecoveryConfig defaults, the campaign rescales them from the
+  /// calibration envelope (calibrated_recovery below): the library
+  /// defaults leave orders of magnitude between tiers for soundness, but
+  /// a recovered trial would then spend ~1e6 logical units detecting a
+  /// fault inside a ~1e3-unit sort and the slowdown curve would measure
+  /// nothing except patience. Explicitly-set tiers pass through untouched.
+  core::RecoveryConfig recovery;
+  /// Per-node flight-recorder ring of each trial (events). Bounded so a
+  /// thousand-trial campaign's memory stays flat; big enough that the
+  /// diagnosis of a single-fault trial never sees an eviction.
+  std::size_t trace_capacity = 4096;
+  /// Record each trial's per-link traffic matrix and reduce it to the
+  /// hotspot-share scalar (sim/link_stats.hpp) before discarding it.
+  bool record_link_stats = true;
+};
+
+/// The patience tiers a trial actually runs with: cfg.recovery when any
+/// field differs from the RecoveryConfig defaults, else tiers derived
+/// from the envelope (detect = envelope, collect = 8×, verdict = 64 ×
+/// (r_max + 1) ×) that keep the soundness separations recovery.hpp
+/// documents while staying on the sort's own time scale. Deterministic
+/// in (cfg, envelope), so replay sees identical tiers.
+core::RecoveryConfig calibrated_recovery(const CampaignConfig& cfg,
+                                         sim::SimTime envelope);
+
+/// Fault-free calibration makespan × envelope headroom: the injection
+/// window every trial of this campaign samples its fault times from.
+/// One sequential fault-free run of the recovery engine on the
+/// campaign's key count; deterministic in the campaign seed.
+sim::SimTime calibrate_envelope(const CampaignConfig& cfg);
+
+/// Run one trial, replayable in isolation. `executor` overrides the
+/// config's executor (the replay tests drive both from one campaign).
+TrialResult run_trial(const CampaignConfig& cfg, sim::SimTime envelope,
+                      std::uint32_t index, core::Executor executor);
+
+/// The full campaign: calibrate, sweep every trial over the worker pool,
+/// aggregate. The returned report (and its JSON) depends only on
+/// (cfg.universe, cfg.seed, cfg.executor, cfg.recovery, trial knobs) —
+/// never on cfg.workers.
+CampaignReport run_campaign(const CampaignConfig& cfg);
+
+}  // namespace ftsort::campaign

@@ -1,0 +1,136 @@
+#include "campaign/universe.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace ftsort::campaign {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  util::SplitMix64 sm(x);
+  return sm.next();
+}
+
+}  // namespace
+
+sim::FaultInjector TrialSpec::injector() const {
+  sim::FaultInjector inj;
+  for (const FaultEvent& ev : events) {
+    if (ev.kind == FaultEvent::Kind::NodeKill)
+      inj.kill_node_at(ev.a, ev.when);
+    else
+      inj.cut_link_at(ev.a, ev.b, ev.when);
+  }
+  return inj;
+}
+
+std::uint64_t scenario_seed(std::uint64_t campaign_seed,
+                            std::uint32_t scenario, std::uint32_t nonce) {
+  // Two SplitMix64 hops keep the per-scenario streams pairwise
+  // independent of each other and of the campaign seed's raw bits; the
+  // nonce shifts the whole stream when the witness guard rejects a draw.
+  return mix64(mix64(campaign_seed + 0x5ca1ab1e00000000ull +
+                     (static_cast<std::uint64_t>(scenario) << 20)) +
+               nonce);
+}
+
+bool root_witness_survives(cube::Dim n,
+                           const std::vector<FaultEvent>& events) {
+  // A witness (neighbour 1 << d of node 0) is lost when it is killed or
+  // its direct link to the root is cut; a kill only silences the
+  // computation (partial fault), but a silent witness can no longer
+  // check in, witness an exchange, or salvage keys for the coordinator.
+  std::uint32_t lost = 0;
+  for (cube::Dim d = 0; d < n; ++d) {
+    const cube::NodeId w = cube::NodeId{1} << d;
+    for (const FaultEvent& ev : events) {
+      const bool kills_witness =
+          ev.kind == FaultEvent::Kind::NodeKill && ev.a == w;
+      const bool cuts_root_link = ev.kind == FaultEvent::Kind::LinkCut &&
+                                  ((ev.a == 0 && ev.b == w) ||
+                                   (ev.a == w && ev.b == 0));
+      if (kills_witness || cuts_root_link) {
+        ++lost;
+        break;
+      }
+    }
+  }
+  return lost < static_cast<std::uint32_t>(n);
+}
+
+std::vector<FaultEvent> sample_scenario(const UniverseConfig& cfg,
+                                        std::uint64_t campaign_seed,
+                                        std::uint32_t scenario,
+                                        sim::SimTime envelope) {
+  FTSORT_REQUIRE(cfg.n >= 1 && envelope > 0.0);
+  const std::uint32_t num_nodes = cube::num_nodes(cfg.n);
+  std::vector<FaultEvent> events;
+  for (std::uint32_t nonce = 0;; ++nonce) {
+    util::Rng rng(scenario_seed(campaign_seed, scenario, nonce));
+    events.clear();
+    events.reserve(cfg.r_max);
+    while (events.size() < cfg.r_max) {
+      FaultEvent ev;
+      ev.when = rng.uniform01() * envelope;
+      if (rng.chance(cfg.link_cut_probability)) {
+        ev.kind = FaultEvent::Kind::LinkCut;
+        // Distinct unordered pairs; endpoints stored low address first.
+        for (;;) {
+          const auto u = static_cast<cube::NodeId>(rng.below(num_nodes));
+          const auto d = static_cast<cube::Dim>(
+              rng.below(static_cast<std::uint64_t>(cfg.n)));
+          ev.a = std::min<cube::NodeId>(u, u ^ (cube::NodeId{1} << d));
+          ev.b = std::max<cube::NodeId>(u, u ^ (cube::NodeId{1} << d));
+          const bool dup = std::any_of(
+              events.begin(), events.end(), [&](const FaultEvent& e) {
+                return e.kind == FaultEvent::Kind::LinkCut && e.a == ev.a &&
+                       e.b == ev.b;
+              });
+          if (!dup) break;
+        }
+      } else {
+        ev.kind = FaultEvent::Kind::NodeKill;
+        // Distinct victims (an injector keeps the earliest of duplicate
+        // kills anyway; distinctness keeps r an honest fault count).
+        for (;;) {
+          ev.a = static_cast<cube::NodeId>(rng.below(num_nodes));
+          ev.b = ev.a;
+          const bool dup = std::any_of(
+              events.begin(), events.end(), [&](const FaultEvent& e) {
+                return e.kind == FaultEvent::Kind::NodeKill && e.a == ev.a;
+              });
+          if (!dup) break;
+        }
+      }
+      events.push_back(ev);
+    }
+    if (root_witness_survives(cfg.n, events)) return events;
+    // Structurally unreachable for r_max < n (fewer faults than
+    // witnesses); keeps r_max >= n universes non-degenerate.
+  }
+}
+
+TrialSpec sample_trial(const UniverseConfig& cfg, std::uint64_t campaign_seed,
+                       std::uint32_t index, sim::SimTime envelope) {
+  FTSORT_REQUIRE(index < cfg.trials());
+  TrialSpec spec;
+  spec.index = index;
+  spec.scenario = index / cfg.buckets();
+  spec.r = index % cfg.buckets();
+  spec.envelope = envelope;
+  // Keys are shared by every bucket of a scenario (common random
+  // numbers): bucket r and bucket r+1 sort the same input, so their
+  // outcomes differ only by the extra fault.
+  spec.keys_seed = mix64(scenario_seed(campaign_seed, spec.scenario, 0) +
+                         0x4b455953ull /* "KEYS" */);
+  std::vector<FaultEvent> full =
+      sample_scenario(cfg, campaign_seed, spec.scenario, envelope);
+  full.resize(spec.r);
+  spec.events = std::move(full);
+  return spec;
+}
+
+}  // namespace ftsort::campaign

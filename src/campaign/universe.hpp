@@ -1,0 +1,128 @@
+// The Monte Carlo fault universe: a deterministic, seeded enumeration of
+// the fault configurations a reliability campaign sweeps.
+//
+// The paper validates recovery against single hand-picked scenarios
+// (Example 2, Fig. 7); a campaign instead samples thousands of random
+// fault sets × injection times and reports coverage over that universe —
+// P(sort completes | r faults) and expected slowdown curves. The sampling
+// discipline here is what makes the curves trustworthy:
+//
+//   * Determinism / replay. Every trial is a pure function of
+//     (campaign seed, trial index): `sample_trial` derives the trial's
+//     fault events, injection times, and key-generation seed from the
+//     seed pair alone, with no shared RNG stream between trials. Any
+//     trial of any finished campaign can therefore be replayed in
+//     isolation — same spec, same Machine, same Diagnosis — which is the
+//     contract the campaign determinism tests pin.
+//
+//   * Nested fault prefixes (common random numbers). Trials are grouped
+//     into *scenarios* of r_max fault events each; the trial for bucket r
+//     of scenario s injects exactly the first r events of s's sequence.
+//     Comparing buckets therefore compares the same random draws with
+//     more or fewer faults applied — the classic coupling that makes the
+//     empirical completion-probability curve monotone non-increasing in r
+//     in practice, instead of jittering on independent-sample noise.
+//
+//   * Coordinator-witness guard. The online-recovery coordinator is the
+//     lowest statically-healthy address (node 0 here — campaign trials
+//     start fault-free). Its *witness set* is its n cube neighbours: the
+//     nodes whose links carry every roll-call, verdict, and salvage
+//     message in and out of the root. A scenario whose full fault
+//     sequence kills every witness or cuts every root link would wall
+//     the coordinator off and make every bucket of the scenario
+//     degenerate, so the sampler rejects and redraws it. For r_max < n
+//     the guard is vacuous (r_max faults cannot cover n witnesses) —
+//     the property tests assert exactly that — but it keeps r_max >= n
+//     configurations meaningful.
+//
+//   * Injection-time envelope. Fault times are drawn uniformly from
+//     [0, envelope], where the envelope is the campaign's fault-free
+//     calibration makespan times a headroom factor (runner.hpp) — i.e.
+//     inside the run's phase envelope, so every paper phase is exposed
+//     to faults, including "the fault lands after the sort finished"
+//     near the upper edge (which must classify as a clean completion).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypercube/address.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace ftsort::campaign {
+
+/// Shape of the fault universe. `trials()` = scenarios × (r_max + 1):
+/// bucket r of scenario s is trial index s × (r_max + 1) + r.
+struct UniverseConfig {
+  cube::Dim n = 6;               ///< cube dimension of every trial
+  std::size_t r_max = 2;         ///< faults in a scenario's full sequence
+  std::uint32_t scenarios = 25;  ///< independent fault sequences
+  std::size_t num_keys = 256;    ///< keys sorted per trial
+  /// Each fault event is a link cut with this probability, else a node
+  /// kill. 0 gives the paper's pure fail-stop processor universe.
+  double link_cut_probability = 0.25;
+  /// Injection window headroom over the calibration makespan; > 1 so the
+  /// tail of the window lands after a fault-free run would have finished.
+  double envelope_scale = 1.25;
+
+  std::uint32_t buckets() const {
+    return static_cast<std::uint32_t>(r_max) + 1u;
+  }
+  std::uint32_t trials() const { return scenarios * buckets(); }
+};
+
+/// One scheduled fault: a processor death or a direct-link cut at a
+/// logical injection time.
+struct FaultEvent {
+  enum class Kind : std::uint8_t { NodeKill, LinkCut };
+  Kind kind = Kind::NodeKill;
+  cube::NodeId a = 0;  ///< victim (kill) or lower endpoint (cut)
+  cube::NodeId b = 0;  ///< other endpoint (cut); == a for kills
+  sim::SimTime when = 0.0;
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Fully-resolved spec of one trial, replayable in isolation.
+struct TrialSpec {
+  std::uint32_t index = 0;     ///< campaign-wide trial index
+  std::uint32_t scenario = 0;  ///< index / (r_max + 1)
+  std::uint32_t r = 0;         ///< index % (r_max + 1) — faults injected
+  std::uint64_t keys_seed = 0;  ///< per-scenario input-key stream
+  sim::SimTime envelope = 0.0;  ///< injection window this spec was drawn in
+  /// The first `r` events of the scenario's sequence, in draw order.
+  std::vector<FaultEvent> events;
+
+  /// The machine-ready injector for this trial's events.
+  sim::FaultInjector injector() const;
+
+  bool operator==(const TrialSpec&) const = default;
+};
+
+/// Deterministic per-scenario seed stream (SplitMix64-based); exposed so
+/// tests can pin its stability — changing it silently would invalidate
+/// every recorded campaign's replay contract.
+std::uint64_t scenario_seed(std::uint64_t campaign_seed,
+                            std::uint32_t scenario, std::uint32_t nonce);
+
+/// Draw scenario `s`'s full fault sequence (r_max events): distinct kill
+/// victims, distinct cut pairs, times uniform in [0, envelope], redrawn
+/// (nonce bump) until the coordinator-witness guard passes.
+std::vector<FaultEvent> sample_scenario(const UniverseConfig& cfg,
+                                        std::uint64_t campaign_seed,
+                                        std::uint32_t scenario,
+                                        sim::SimTime envelope);
+
+/// Resolve trial `index` of the campaign: scenario prefix + key seed.
+/// Pure in (cfg, campaign_seed, index, envelope).
+TrialSpec sample_trial(const UniverseConfig& cfg, std::uint64_t campaign_seed,
+                       std::uint32_t index, sim::SimTime envelope);
+
+/// The guard predicate, exposed for the property tests: true when the
+/// event sequence leaves the coordinator (node 0) at least one live
+/// witness — a neighbour that is not killed and whose link to the root
+/// is not cut.
+bool root_witness_survives(cube::Dim n,
+                           const std::vector<FaultEvent>& events);
+
+}  // namespace ftsort::campaign

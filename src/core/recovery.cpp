@@ -487,12 +487,10 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
   // root fault and the stalled set are still reconstructable here.
   const auto degradation_error = [&machine, &config](std::string why) {
     std::string msg = "graceful degradation: " + std::move(why);
-    if (config.record_trace) {
-      const sim::Diagnosis diag =
-          machine.diagnose(sim::Diagnosis::Kind::Degradation);
-      if (diag.triggered()) msg += "\n" + diag.to_string();
-    }
-    return DegradationError(msg);
+    const sim::Diagnosis diag =
+        machine.diagnose(sim::Diagnosis::Kind::Degradation);
+    if (config.record_trace && diag.triggered()) msg += "\n" + diag.to_string();
+    return DegradationError(msg, diag);
   };
 
   SortOutcome out;
@@ -513,9 +511,8 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
   }
   if (sh.degraded.load()) throw degradation_error(sh.first_reason());
   if (sh.final_attempt < 0)
-    throw DegradationError(
-        "graceful degradation: the recovery coordinator died before any "
-        "attempt committed");
+    throw degradation_error(
+        "the recovery coordinator died before any attempt committed");
 
   // Gather under the plan that committed.
   const AttemptState& fin =

@@ -36,9 +36,11 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "partition/plan.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/diagnosis.hpp"
 #include "sort/merge_split.hpp"
 
 namespace ftsort::core {
@@ -65,10 +67,23 @@ struct RecoveryConfig {
 /// set admits no single-fault partition, keys were irrecoverably lost to
 /// concurrent deaths, the coordinator itself died, or the restart budget
 /// ran out. The message always begins with "graceful degradation:".
+///
+/// When the engine still holds the machine at throw time it attaches the
+/// structured failure explainer, so consumers that aggregate failures (the
+/// campaign engine's root-cause histogram) get the same `Diagnosis` the
+/// message renders — without parsing strings. `diagnosis().triggered()` is
+/// false for degradations raised before any run evidence existed.
 class DegradationError : public std::runtime_error {
  public:
   explicit DegradationError(const std::string& what)
       : std::runtime_error(what) {}
+  DegradationError(const std::string& what, sim::Diagnosis diagnosis)
+      : std::runtime_error(what), diagnosis_(std::move(diagnosis)) {}
+
+  const sim::Diagnosis& diagnosis() const { return diagnosis_; }
+
+ private:
+  sim::Diagnosis diagnosis_;
 };
 
 /// The recovery-mode sort. `plan` is the diagnosis-time plan (attempt 0);

@@ -34,6 +34,16 @@ LinkCell LinkStatsSnapshot::grand_total() const {
   return total;
 }
 
+double hottest_dimension_share(const LinkStatsSnapshot& snap) {
+  if (snap.empty()) return 0.0;
+  const std::uint64_t total = snap.grand_total().key_hops;
+  if (total == 0) return 0.0;
+  std::uint64_t hottest = 0;
+  for (cube::Dim d = 0; d < snap.dim; ++d)
+    hottest = std::max(hottest, snap.dim_total(d).key_hops);
+  return static_cast<double>(hottest) / static_cast<double>(total);
+}
+
 std::vector<double> dimension_utilization(const LinkStatsSnapshot& snap,
                                           const CostModel& cost,
                                           SimTime makespan) {

@@ -95,6 +95,14 @@ struct LinkStatsSnapshot {
   bool operator==(const LinkStatsSnapshot&) const = default;
 };
 
+/// Share of a run's total key_hops carried by its hottest cube dimension:
+/// max_d dim_total(d).key_hops / grand_total().key_hops, in [1/n, 1] for a
+/// run with any traffic and 0.0 for an empty or disabled snapshot. A pure
+/// ratio of integer counters, so it is deterministic across executors —
+/// the per-trial "link hotspot" scalar the campaign engine aggregates
+/// into quantiles without holding 2^n × n cells per trial.
+double hottest_dimension_share(const LinkStatsSnapshot& snap);
+
 /// Per-dimension mean link utilisation: Σ_u busy(u, d) / (num_nodes ×
 /// makespan). Averaged over every directed link of the dimension (faulty
 /// nodes' links included — they carry no traffic and dilute the mean like

@@ -1,0 +1,283 @@
+// Campaign engine (src/campaign): determinism is the headline contract.
+// Same seed -> byte-identical CampaignReport JSON regardless of worker
+// count; any trial replays in isolation from (seed, index) and reproduces
+// its outcome and structured Diagnosis on both executors; and the
+// statistical invariants (trial-count conservation, monotone
+// non-increasing completion probability in r) hold as hard asserts, not
+// anecdotes. The `ftdiag campaign` reader's 0/1/2 exit-code contract is
+// pinned here too, against JSON this very engine emitted.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "tools/ftdiag.hpp"
+
+namespace ftsort {
+namespace {
+
+/// Small pinned universe: Q_4, 8 scenarios x r in 0..2 = 24 trials.
+/// Seed chosen so the empirical completion curve is strictly informative
+/// (every bucket populated, some degradations) — asserted below.
+campaign::CampaignConfig small_config() {
+  campaign::CampaignConfig cfg;
+  cfg.universe.n = 4;
+  cfg.universe.r_max = 2;
+  cfg.universe.scenarios = 8;
+  cfg.universe.num_keys = 96;
+  cfg.seed = 20260807;
+  return cfg;
+}
+
+std::string to_json(const campaign::CampaignReport& report) {
+  std::ostringstream os;
+  campaign::write_campaign_json(os, report);
+  return os.str();
+}
+
+std::string write_temp(const char* name, const std::string& text) {
+  const std::string path = std::string("campaign_test_") + name + ".json";
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(Campaign, WorkerCountNeverChangesTheReportBytes) {
+  campaign::CampaignConfig cfg = small_config();
+  cfg.workers = 1;
+  const campaign::CampaignReport one = campaign::run_campaign(cfg);
+  cfg.workers = 3;
+  const campaign::CampaignReport three = campaign::run_campaign(cfg);
+  cfg.workers = 8;
+  const campaign::CampaignReport eight = campaign::run_campaign(cfg);
+
+  EXPECT_EQ(one, three);
+  EXPECT_EQ(one, eight);
+  const std::string json = to_json(one);
+  EXPECT_EQ(json, to_json(three));
+  EXPECT_EQ(json, to_json(eight));
+
+  // The report is informative, not degenerate: every bucket ran its
+  // trials, something recovered, something degraded.
+  ASSERT_EQ(one.buckets.size(), 3u);
+  EXPECT_TRUE(one.conserves_trials());
+  EXPECT_TRUE(one.completion_monotone());
+  EXPECT_EQ(one.buckets[0].completed, 8u);
+  std::uint32_t recovered = 0;
+  std::uint32_t degraded = 0;
+  for (const campaign::BucketStats& b : one.buckets) {
+    recovered += b.recovered;
+    degraded += b.degraded;
+  }
+  EXPECT_GT(recovered, 0u);
+  EXPECT_GT(degraded, 0u);
+}
+
+TEST(Campaign, SameSeedSameReportAcrossRuns) {
+  const campaign::CampaignConfig cfg = small_config();
+  EXPECT_EQ(to_json(campaign::run_campaign(cfg)),
+            to_json(campaign::run_campaign(cfg)));
+}
+
+TEST(Campaign, DifferentSeedsDifferentUniverses) {
+  campaign::CampaignConfig cfg = small_config();
+  const campaign::CampaignReport a = campaign::run_campaign(cfg);
+  cfg.seed += 1;
+  const campaign::CampaignReport b = campaign::run_campaign(cfg);
+  EXPECT_NE(to_json(a), to_json(b));
+}
+
+// Every trial replays from (seed, index) alone: re-running it in
+// isolation reproduces the campaign row bit for bit — outcome, counters,
+// and the full structured Diagnosis — on the sequential executor the
+// campaign used AND on the threaded one (logical results are
+// executor-independent).
+TEST(Campaign, TrialReplayReproducesDiagnosisOnBothExecutors) {
+  const campaign::CampaignConfig cfg = small_config();
+  const campaign::CampaignReport report = campaign::run_campaign(cfg);
+  const sim::SimTime envelope = report.meta.envelope;
+
+  // Replay every faulty trial of the first three scenarios plus every
+  // degraded trial in the campaign (those carry the richest Diagnosis).
+  std::vector<std::uint32_t> indices;
+  for (const campaign::TrialResult& t : report.trials)
+    if ((t.scenario < 3 && t.r > 0) ||
+        t.outcome == core::RunOutcome::Degraded)
+      indices.push_back(t.index);
+  ASSERT_FALSE(indices.empty());
+
+  for (const std::uint32_t idx : indices) {
+    const campaign::TrialResult& row = report.trials[idx];
+    const campaign::TrialResult seq = campaign::run_trial(
+        cfg, envelope, idx, core::Executor::Sequential);
+    EXPECT_EQ(seq, row) << "sequential replay diverged at trial " << idx;
+    const campaign::TrialResult thr =
+        campaign::run_trial(cfg, envelope, idx, core::Executor::Threaded);
+    EXPECT_EQ(thr.outcome, row.outcome) << "trial " << idx;
+    EXPECT_EQ(thr.diagnosis, row.diagnosis) << "trial " << idx;
+    EXPECT_EQ(thr, row) << "threaded replay diverged at trial " << idx;
+  }
+}
+
+TEST(Campaign, ExecutorChoiceChangesMetaOnly) {
+  campaign::CampaignConfig cfg = small_config();
+  // Trim to the first scenarios to keep the threaded sweep cheap.
+  cfg.universe.scenarios = 2;
+  const campaign::CampaignReport seq = campaign::run_campaign(cfg);
+  cfg.executor = core::Executor::Threaded;
+  const campaign::CampaignReport thr = campaign::run_campaign(cfg);
+  EXPECT_EQ(seq.meta.executor, "sequential");
+  EXPECT_EQ(thr.meta.executor, "threaded");
+  EXPECT_EQ(seq.trials, thr.trials);
+  EXPECT_EQ(seq.buckets, thr.buckets);
+}
+
+// ---------------------------------------------------------------------------
+// ftdiag campaign: reader + exit-code contract (0 clean, 1 regression,
+// 2 usage/parse error), against JSON the engine itself emitted.
+
+TEST(CampaignFtdiag, ReportModeReadsBackTheEngineExport) {
+  const campaign::CampaignReport report =
+      campaign::run_campaign(small_config());
+  const tools::CampaignCliResult res = tools::campaign_report(to_json(report));
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.monotone);
+  EXPECT_NE(res.text.find("Q_4"), std::string::npos) << res.text;
+  EXPECT_NE(res.text.find("monotone non-increasing"), std::string::npos)
+      << res.text;
+}
+
+TEST(CampaignFtdiag, DiffFlagsReliabilityDriftAndExitCodesMatchContract) {
+  const campaign::CampaignReport report =
+      campaign::run_campaign(small_config());
+  const std::string json = to_json(report);
+
+  // Synthetic drift: bucket r=1 loses two completions to degradation.
+  campaign::CampaignReport drifted = report;
+  ASSERT_GE(drifted.buckets[1].completed, 2u);
+  drifted.buckets[1].completed -= 2;
+  drifted.buckets[1].degraded += 2;
+  drifted.buckets[1].completion_probability =
+      static_cast<double>(drifted.buckets[1].completed +
+                          drifted.buckets[1].recovered) /
+      static_cast<double>(drifted.buckets[1].trials);
+  const std::string drifted_json = to_json(drifted);
+
+  const tools::CampaignCliResult same = tools::campaign_diff(json, json, 0.0);
+  ASSERT_TRUE(same.ok) << same.error;
+  EXPECT_EQ(same.regressions, 0u);
+
+  const tools::CampaignCliResult diff =
+      tools::campaign_diff(json, drifted_json, 0.0);
+  ASSERT_TRUE(diff.ok) << diff.error;
+  EXPECT_EQ(diff.regressions, 1u);
+  ASSERT_EQ(diff.deltas.size(), report.buckets.size());
+  EXPECT_TRUE(diff.deltas[1].regression);
+  EXPECT_LT(diff.deltas[1].prob_delta_pts, 0.0);
+  EXPECT_NE(diff.text.find("REGRESSION"), std::string::npos) << diff.text;
+
+  // A wide-enough threshold absorbs the drift.
+  const tools::CampaignCliResult lax =
+      tools::campaign_diff(json, drifted_json, 90.0);
+  ASSERT_TRUE(lax.ok);
+  EXPECT_EQ(lax.regressions, 0u);
+
+  // Exit codes through the real CLI: 0 clean, 1 regression, 2 parse/usage.
+  const std::string pa = write_temp("base", json);
+  const std::string pb = write_temp("drift", drifted_json);
+  const std::string pg = write_temp("garbage", "not json at all");
+  std::ostringstream out;
+  std::ostringstream err;
+  const char* report_args[] = {"ftdiag", "campaign", pa.c_str()};
+  EXPECT_EQ(tools::run_cli(3, report_args, out, err), 0);
+  const char* same_args[] = {"ftdiag", "campaign", pa.c_str(), pa.c_str()};
+  EXPECT_EQ(tools::run_cli(4, same_args, out, err), 0);
+  const char* drift_args[] = {"ftdiag", "campaign", pa.c_str(), pb.c_str()};
+  EXPECT_EQ(tools::run_cli(4, drift_args, out, err), 1);
+  const char* lax_args[] = {"ftdiag",      "campaign", pa.c_str(),
+                            pb.c_str(),    "--threshold", "90"};
+  EXPECT_EQ(tools::run_cli(6, lax_args, out, err), 0);
+  const char* garbage_args[] = {"ftdiag", "campaign", pg.c_str()};
+  EXPECT_EQ(tools::run_cli(3, garbage_args, out, err), 2);
+  const char* missing_args[] = {"ftdiag", "campaign", "no_such_file.json"};
+  EXPECT_EQ(tools::run_cli(3, missing_args, out, err), 2);
+  const char* bare_args[] = {"ftdiag", "campaign"};
+  EXPECT_EQ(tools::run_cli(2, bare_args, out, err), 2);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+  std::remove(pg.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance campaign: 500 trials on Q_7, r in 0..3, threaded worker
+// pool vs single worker -> byte-identical schema-v4 JSON with a monotone
+// completion curve. (Suite named MonteCarlo, not Campaign: the tsan
+// preset includes Campaign.* by name, and this sweep is too large to run
+// under instrumentation — the small Campaign.* tests above give tsan the
+// same worker-pool coverage.)
+
+const char* const kSchemaV4RequiredKeys[] = {
+    "campaign",      "schema_version",       "n",
+    "r_max",         "scenarios",            "trials",
+    "seed",          "num_keys",             "executor",
+    "link_cut_probability",                  "envelope",
+    "outcomes",      "buckets",              "completion_probability",
+    "mean_makespan", "min_makespan",         "max_makespan",
+    "mean_detect",   "mean_slowdown",        "hotspot_p50",
+    "hotspot_p90",   "hotspot_max",          "roots",
+    "trials_detail", "index",                "scenario",
+    "outcome",       "root",                 "makespan",
+    "detect",        "deaths",               "timeouts",
+    "comparisons",   "messages",             "key_hops",
+    "hotspot_share"};
+
+TEST(MonteCarlo, AcceptanceFiveHundredTrialCampaignQ7) {
+  campaign::CampaignConfig cfg;
+  cfg.universe.n = 7;
+  cfg.universe.r_max = 3;
+  cfg.universe.scenarios = 125;  // x 4 buckets = 500 trials
+  cfg.universe.num_keys = 256;
+  cfg.seed = 20260807;
+
+  cfg.workers = 1;
+  const campaign::CampaignReport single = campaign::run_campaign(cfg);
+  cfg.workers = 8;
+  const campaign::CampaignReport pooled = campaign::run_campaign(cfg);
+
+  ASSERT_EQ(single.trials.size(), 500u);
+  EXPECT_EQ(single, pooled);
+  const std::string json = to_json(single);
+  EXPECT_EQ(json, to_json(pooled));
+
+  EXPECT_TRUE(single.conserves_trials());
+  EXPECT_TRUE(single.completion_monotone());
+  EXPECT_DOUBLE_EQ(single.buckets[0].completion_probability, 1.0);
+  // The campaign is informative at every r: faults actually bite.
+  for (std::size_t r = 1; r < single.buckets.size(); ++r)
+    EXPECT_GT(single.buckets[r].recovered + single.buckets[r].degraded, 0u)
+        << "r=" << r;
+
+  // Schema v4: every required key present, braces balanced.
+  for (const char* key : kSchemaV4RequiredKeys)
+    EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
+        << "missing schema key " << key;
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0l);
+  }
+  EXPECT_EQ(depth, 0l);
+
+  // And the ftdiag reader agrees with the engine's own invariants.
+  const tools::CampaignCliResult res = tools::campaign_report(json);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.monotone);
+}
+
+}  // namespace
+}  // namespace ftsort

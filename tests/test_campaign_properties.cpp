@@ -1,0 +1,211 @@
+// Universe sampling properties (campaign/universe.hpp): the statistical
+// engine is only as trustworthy as its sampler, so the sampling
+// discipline is pinned as properties over many seeds — r bounds, event
+// distinctness, the nested-prefix coupling, the coordinator-witness
+// guard, the injection-time envelope — plus a golden pin on the seed
+// derivation itself (changing it silently would invalidate the replay
+// contract of every recorded campaign).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "campaign/universe.hpp"
+#include "hypercube/address.hpp"
+
+namespace ftsort {
+namespace {
+
+using campaign::FaultEvent;
+
+campaign::UniverseConfig universe(cube::Dim n, std::size_t r_max,
+                                  std::uint32_t scenarios) {
+  campaign::UniverseConfig cfg;
+  cfg.n = n;
+  cfg.r_max = r_max;
+  cfg.scenarios = scenarios;
+  return cfg;
+}
+
+constexpr sim::SimTime kEnvelope = 1000.0;
+
+TEST(CampaignProperties, TrialsRespectRBoundsAndIndexArithmetic) {
+  const campaign::UniverseConfig cfg = universe(4, 3, 6);
+  ASSERT_EQ(cfg.buckets(), 4u);
+  ASSERT_EQ(cfg.trials(), 24u);
+  for (std::uint64_t seed : {1ull, 42ull, 20260807ull}) {
+    for (std::uint32_t idx = 0; idx < cfg.trials(); ++idx) {
+      const campaign::TrialSpec spec =
+          campaign::sample_trial(cfg, seed, idx, kEnvelope);
+      EXPECT_EQ(spec.index, idx);
+      EXPECT_EQ(spec.scenario, idx / cfg.buckets());
+      EXPECT_EQ(spec.r, idx % cfg.buckets());
+      EXPECT_LE(spec.r, cfg.r_max);
+      EXPECT_EQ(spec.events.size(), spec.r);
+    }
+  }
+}
+
+TEST(CampaignProperties, EventsAreDistinctAndWellFormed) {
+  const campaign::UniverseConfig cfg = universe(5, 4, 40);
+  const auto num_nodes = cube::num_nodes(cfg.n);
+  for (std::uint32_t s = 0; s < cfg.scenarios; ++s) {
+    const std::vector<FaultEvent> events =
+        campaign::sample_scenario(cfg, 97, s, kEnvelope);
+    ASSERT_EQ(events.size(), cfg.r_max);
+    std::set<cube::NodeId> victims;
+    std::set<std::pair<cube::NodeId, cube::NodeId>> cuts;
+    for (const FaultEvent& ev : events) {
+      EXPECT_LT(ev.a, num_nodes);
+      EXPECT_LT(ev.b, num_nodes);
+      if (ev.kind == FaultEvent::Kind::NodeKill) {
+        EXPECT_EQ(ev.a, ev.b);
+        EXPECT_TRUE(victims.insert(ev.a).second)
+            << "duplicate kill victim " << ev.a;
+      } else {
+        // A real cube edge, endpoints stored low address first.
+        EXPECT_LT(ev.a, ev.b);
+        const cube::NodeId diff = ev.a ^ ev.b;
+        EXPECT_EQ(diff & (diff - 1), 0u) << "not a hypercube edge";
+        EXPECT_TRUE(cuts.insert({ev.a, ev.b}).second)
+            << "duplicate cut " << ev.a << "-" << ev.b;
+      }
+    }
+  }
+}
+
+TEST(CampaignProperties, InjectionTimesFallInsideTheEnvelope) {
+  const campaign::UniverseConfig cfg = universe(4, 3, 30);
+  for (const sim::SimTime envelope : {250.0, 1000.0, 31337.5}) {
+    for (std::uint32_t idx = 0; idx < cfg.trials(); ++idx) {
+      const campaign::TrialSpec spec =
+          campaign::sample_trial(cfg, 7, idx, envelope);
+      EXPECT_EQ(spec.envelope, envelope);
+      for (const FaultEvent& ev : spec.events) {
+        EXPECT_GE(ev.when, 0.0);
+        EXPECT_LT(ev.when, envelope);
+      }
+    }
+  }
+}
+
+// The common-random-numbers coupling: bucket r of a scenario injects
+// exactly the first r events of the scenario's full sequence, and every
+// bucket sorts the same keys.
+TEST(CampaignProperties, BucketsAreNestedPrefixesSharingKeys) {
+  const campaign::UniverseConfig cfg = universe(5, 3, 12);
+  for (std::uint32_t s = 0; s < cfg.scenarios; ++s) {
+    const std::vector<FaultEvent> full =
+        campaign::sample_scenario(cfg, 11, s, kEnvelope);
+    std::uint64_t keys_seed = 0;
+    for (std::uint32_t r = 0; r <= cfg.r_max; ++r) {
+      const std::uint32_t idx = s * cfg.buckets() + r;
+      const campaign::TrialSpec spec =
+          campaign::sample_trial(cfg, 11, idx, kEnvelope);
+      ASSERT_EQ(spec.events.size(), r);
+      for (std::uint32_t i = 0; i < r; ++i)
+        EXPECT_EQ(spec.events[i], full[i])
+            << "scenario " << s << " bucket " << r << " event " << i;
+      if (r == 0)
+        keys_seed = spec.keys_seed;
+      else
+        EXPECT_EQ(spec.keys_seed, keys_seed)
+            << "buckets of scenario " << s << " sort different keys";
+    }
+  }
+}
+
+// The coordinator-witness guard predicate itself.
+TEST(CampaignProperties, WitnessGuardDetectsAWalledOffRoot) {
+  const cube::Dim n = 3;
+  // Kill all three neighbours of node 0 -> no witness survives.
+  std::vector<FaultEvent> all_killed;
+  for (cube::Dim d = 0; d < n; ++d)
+    all_killed.push_back({FaultEvent::Kind::NodeKill,
+                          cube::NodeId{1} << d, cube::NodeId{1} << d, 1.0});
+  EXPECT_FALSE(campaign::root_witness_survives(n, all_killed));
+
+  // Mixed kills and root-link cuts covering every witness -> walled off.
+  const std::vector<FaultEvent> mixed = {
+      {FaultEvent::Kind::NodeKill, 1, 1, 1.0},
+      {FaultEvent::Kind::LinkCut, 0, 2, 2.0},
+      {FaultEvent::Kind::LinkCut, 0, 4, 3.0},
+  };
+  EXPECT_FALSE(campaign::root_witness_survives(n, mixed));
+
+  // One surviving witness is enough.
+  std::vector<FaultEvent> two_killed(all_killed.begin(),
+                                     all_killed.end() - 1);
+  EXPECT_TRUE(campaign::root_witness_survives(n, two_killed));
+
+  // Cuts elsewhere in the cube do not touch the witness set.
+  const std::vector<FaultEvent> far_cuts = {
+      {FaultEvent::Kind::LinkCut, 3, 7, 1.0},
+      {FaultEvent::Kind::LinkCut, 5, 7, 2.0},
+      {FaultEvent::Kind::LinkCut, 6, 7, 3.0},
+  };
+  EXPECT_TRUE(campaign::root_witness_survives(n, far_cuts));
+
+  // Killing node 0 itself does not count against its witnesses.
+  const std::vector<FaultEvent> root_killed = {
+      {FaultEvent::Kind::NodeKill, 0, 0, 1.0},
+  };
+  EXPECT_TRUE(campaign::root_witness_survives(n, root_killed));
+}
+
+// For r_max < n the guard is structurally vacuous (fewer faults than
+// witnesses): every sampled full sequence must already pass it, i.e. the
+// sampler never rejects and the root keeps a live witness in every
+// scenario of every seed swept here.
+TEST(CampaignProperties, RootWitnessesSurviveWheneverRBelowN) {
+  for (const cube::Dim n : {3, 4, 5}) {
+    const campaign::UniverseConfig cfg =
+        universe(n, static_cast<std::size_t>(n) - 1, 25);
+    for (std::uint64_t seed = 1; seed <= 12; ++seed)
+      for (std::uint32_t s = 0; s < cfg.scenarios; ++s) {
+        const std::vector<FaultEvent> events =
+            campaign::sample_scenario(cfg, seed, s, kEnvelope);
+        EXPECT_TRUE(campaign::root_witness_survives(cfg.n, events))
+            << "n=" << n << " seed=" << seed << " scenario=" << s;
+      }
+  }
+}
+
+// r_max >= n universes stay non-degenerate: the guard actually rejects
+// and redraws, so sampled sequences still leave a witness.
+TEST(CampaignProperties, GuardKeepsDenseUniversesMeaningful) {
+  campaign::UniverseConfig cfg = universe(3, 6, 50);
+  cfg.link_cut_probability = 0.5;  // more root-link cuts in the mix
+  for (std::uint64_t seed = 1; seed <= 8; ++seed)
+    for (std::uint32_t s = 0; s < cfg.scenarios; ++s) {
+      const std::vector<FaultEvent> events =
+          campaign::sample_scenario(cfg, seed, s, kEnvelope);
+      ASSERT_EQ(events.size(), cfg.r_max);
+      EXPECT_TRUE(campaign::root_witness_survives(cfg.n, events));
+    }
+}
+
+// Sampling is a pure function of (cfg, seed, index, envelope).
+TEST(CampaignProperties, SamplingIsDeterministic) {
+  const campaign::UniverseConfig cfg = universe(5, 3, 10);
+  for (std::uint32_t idx = 0; idx < cfg.trials(); ++idx)
+    EXPECT_EQ(campaign::sample_trial(cfg, 123, idx, kEnvelope),
+              campaign::sample_trial(cfg, 123, idx, kEnvelope));
+}
+
+// Golden pin on the seed stream. These exact values back the replay
+// contract of every recorded campaign: if this test breaks, schema v4
+// reports written before the change can no longer be replayed, so the
+// change must bump the schema version, not just update the pins.
+TEST(CampaignProperties, ScenarioSeedStreamIsPinned) {
+  EXPECT_EQ(campaign::scenario_seed(0, 0, 0), 0xf6bbb7726f63c218ull);
+  EXPECT_EQ(campaign::scenario_seed(1, 0, 0), 0x3c3d7dbcd3fc5a8eull);
+  EXPECT_EQ(campaign::scenario_seed(1, 1, 0), 0x6f797d2dd3b15031ull);
+  EXPECT_EQ(campaign::scenario_seed(1, 0, 1), 0xa66dd4e6428337feull);
+  EXPECT_EQ(campaign::scenario_seed(20260807, 41, 0),
+            0xe7980fc73fa84a4full);
+}
+
+}  // namespace
+}  // namespace ftsort

@@ -731,6 +731,222 @@ HotspotsResult hotspots_diff(const std::string& a, const std::string& b,
 }
 
 // ---------------------------------------------------------------------------
+// campaign
+
+namespace {
+
+/// One parsed per-r bucket row of a campaign JSON block.
+struct CampaignBucket {
+  int r = 0;
+  double trials = 0.0;
+  double completed = 0.0;
+  double recovered = 0.0;
+  double degraded = 0.0;
+  double deadlocked = 0.0;
+  double corrupt = 0.0;
+  double failed = 0.0;
+  double completion_probability = 0.0;
+  double mean_slowdown = 0.0;
+  double mean_detect = 0.0;
+  double mean_makespan = 0.0;
+  double hotspot_p90 = 0.0;
+};
+
+/// Parsed header + buckets of a schema-v4 campaign document.
+struct CampaignDoc {
+  double n = 0.0;
+  double r_max = 0.0;
+  double scenarios = 0.0;
+  double trials = 0.0;
+  double seed = 0.0;
+  std::string executor;
+  std::string outcomes;  ///< the raw rollup object, echoed verbatim
+  std::vector<CampaignBucket> buckets;
+};
+
+bool parse_campaign_doc(const std::string& text, CampaignDoc* doc,
+                        std::string* err) {
+  if (string_field(text, "campaign") != "fault_mc") {
+    *err = "not a campaign export: missing \"campaign\": \"fault_mc\"";
+    return false;
+  }
+  if (num_or(text, "schema_version", 0.0) != 4.0) {
+    *err = "unsupported campaign schema_version (expected 4)";
+    return false;
+  }
+  doc->n = num_or(text, "n", 0.0);
+  doc->r_max = num_or(text, "r_max", 0.0);
+  doc->scenarios = num_or(text, "scenarios", 0.0);
+  doc->trials = num_or(text, "trials", 0.0);
+  doc->seed = num_or(text, "seed", 0.0);
+  doc->executor = string_field(text, "executor");
+  const std::size_t oc = text.find("\"outcomes\": {");
+  if (oc != std::string::npos) {
+    const std::size_t start = text.find('{', oc);
+    const std::size_t end = match_delim(text, start, '{', '}');
+    if (end != std::string::npos)
+      doc->outcomes = text.substr(start + 1, end - start - 2);
+  }
+  std::size_t pos = text.find("\"buckets\": [");
+  if (pos == std::string::npos) {
+    *err = "campaign JSON without a \"buckets\" array";
+    return false;
+  }
+  pos = text.find('[', pos);
+  const std::size_t stop = match_delim(text, pos, '[', ']');
+  if (stop == std::string::npos) {
+    *err = "unterminated \"buckets\" array";
+    return false;
+  }
+  while (true) {
+    pos = text.find('{', pos);
+    if (pos == std::string::npos || pos >= stop) break;
+    const std::size_t end = match_delim(text, pos, '{', '}');
+    if (end == std::string::npos) {
+      *err = "unterminated bucket object";
+      return false;
+    }
+    const std::string obj = text.substr(pos, end - pos);
+    pos = end;
+    CampaignBucket b;
+    double r = -1.0;
+    if (!num_field(obj, "r", &r) || r < 0.0) {
+      *err = "bucket object without an \"r\" field";
+      return false;
+    }
+    b.r = static_cast<int>(r);
+    b.trials = num_or(obj, "trials", 0.0);
+    b.completed = num_or(obj, "completed", 0.0);
+    b.recovered = num_or(obj, "recovered", 0.0);
+    b.degraded = num_or(obj, "degraded", 0.0);
+    b.deadlocked = num_or(obj, "deadlocked", 0.0);
+    b.corrupt = num_or(obj, "corrupt", 0.0);
+    b.failed = num_or(obj, "failed", 0.0);
+    b.completion_probability = num_or(obj, "completion_probability", 0.0);
+    b.mean_slowdown = num_or(obj, "mean_slowdown", 0.0);
+    b.mean_detect = num_or(obj, "mean_detect", 0.0);
+    b.mean_makespan = num_or(obj, "mean_makespan", 0.0);
+    b.hotspot_p90 = num_or(obj, "hotspot_p90", 0.0);
+    doc->buckets.push_back(b);
+  }
+  if (doc->buckets.empty()) {
+    *err = "campaign JSON with an empty \"buckets\" array";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CampaignCliResult campaign_report(const std::string& json) {
+  CampaignCliResult res;
+  CampaignDoc doc;
+  if (!parse_campaign_doc(json, &doc, &res.error)) return res;
+
+  std::ostringstream out;
+  out << "ftdiag campaign: Q_" << static_cast<int>(doc.n) << ", r <= "
+      << static_cast<int>(doc.r_max) << ", "
+      << static_cast<long>(doc.trials) << " trial(s) over "
+      << static_cast<long>(doc.scenarios) << " scenario(s), seed "
+      << static_cast<unsigned long long>(doc.seed) << ", " << doc.executor
+      << " executor\n";
+  if (!doc.outcomes.empty()) out << "  outcomes: " << doc.outcomes << "\n";
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-3s %7s %10s %10s %9s %12s %14s %12s\n",
+                "r", "trials", "completed", "recovered", "degraded",
+                "P(complete)", "mean_slowdown", "hotspot_p90");
+  out << line;
+  for (const CampaignBucket& b : doc.buckets) {
+    std::snprintf(line, sizeof line,
+                  "  %-3d %7ld %10ld %10ld %9ld %12.3f %14.3f %12.3f\n", b.r,
+                  static_cast<long>(b.trials), static_cast<long>(b.completed),
+                  static_cast<long>(b.recovered),
+                  static_cast<long>(b.degraded), b.completion_probability,
+                  b.mean_slowdown, b.hotspot_p90);
+    out << line;
+  }
+  for (std::size_t i = 1; i < doc.buckets.size(); ++i)
+    if (doc.buckets[i].completion_probability >
+        doc.buckets[i - 1].completion_probability)
+      res.monotone = false;
+  out << "  completion curve: "
+      << (res.monotone ? "monotone non-increasing in r"
+                       : "NOT monotone (coupling violated?)")
+      << "\n";
+  res.ok = true;
+  res.text = out.str();
+  return res;
+}
+
+CampaignCliResult campaign_diff(const std::string& a, const std::string& b,
+                                double threshold_pct) {
+  CampaignCliResult res;
+  res.threshold_pct = threshold_pct;
+  CampaignDoc da;
+  CampaignDoc db;
+  std::string err;
+  if (!parse_campaign_doc(a, &da, &err)) {
+    res.error = "first file: " + err;
+    return res;
+  }
+  if (!parse_campaign_doc(b, &db, &err)) {
+    res.error = "second file: " + err;
+    return res;
+  }
+
+  std::ostringstream out;
+  out << "ftdiag campaign diff (threshold \xC2\xB1";
+  put_us(out, threshold_pct);
+  out << "% on P(complete) points and mean_slowdown)\n";
+  std::size_t compared = 0;
+  for (const CampaignBucket& ba : da.buckets) {
+    const CampaignBucket* bb = nullptr;
+    for (const CampaignBucket& cand : db.buckets)
+      if (cand.r == ba.r) {
+        bb = &cand;
+        break;
+      }
+    if (bb == nullptr) continue;  // bucket dropped between campaigns
+    ++compared;
+    BucketDelta d;
+    d.r = ba.r;
+    d.prob_before = ba.completion_probability;
+    d.prob_after = bb->completion_probability;
+    d.prob_delta_pts =
+        100.0 * (bb->completion_probability - ba.completion_probability);
+    d.slowdown_before = ba.mean_slowdown;
+    d.slowdown_after = bb->mean_slowdown;
+    d.slowdown_delta_pct =
+        ba.mean_slowdown > 0.0
+            ? 100.0 * (bb->mean_slowdown - ba.mean_slowdown) /
+                  ba.mean_slowdown
+            : (bb->mean_slowdown != 0.0 ? 100.0 : 0.0);
+    d.regression = std::fabs(d.prob_delta_pts) > threshold_pct ||
+                   std::fabs(d.slowdown_delta_pct) > threshold_pct;
+    if (d.regression || d.prob_delta_pts != 0.0 ||
+        d.slowdown_delta_pct != 0.0) {
+      char line[200];
+      std::snprintf(line, sizeof line,
+                    "  r=%d: P(complete) %.3f -> %.3f (%+.1f pts), "
+                    "mean_slowdown %.3f -> %.3f (%+.1f%%)%s\n",
+                    d.r, d.prob_before, d.prob_after, d.prob_delta_pts,
+                    d.slowdown_before, d.slowdown_after,
+                    d.slowdown_delta_pct,
+                    d.regression ? " REGRESSION" : "");
+      out << line;
+    }
+    if (d.regression) ++res.regressions;
+    res.deltas.push_back(d);
+  }
+  out << "summary: " << res.regressions << " regression(s) beyond \xC2\xB1";
+  put_us(out, threshold_pct);
+  out << "% across " << compared << " compared bucket(s)\n";
+  res.ok = true;
+  res.text = out.str();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
 // CLI
 
 namespace {
@@ -752,6 +968,8 @@ int usage(std::ostream& err) {
          "       ftdiag explain <trace.json>\n"
          "       ftdiag hotspots <file.json> [--top K]\n"
          "       ftdiag hotspots <a.json> <b.json> [--threshold PCT]\n"
+         "       ftdiag campaign <report.json>\n"
+         "       ftdiag campaign <a.json> <b.json> [--threshold PCT]\n"
          "exit codes: 0 clean, 1 regression beyond threshold, "
          "2 usage/parse error\n";
   return 2;
@@ -847,6 +1065,49 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
       const HotspotsResult res = hotspots_diff(ta, tb, threshold);
       if (!res.ok) {
         err << "ftdiag hotspots: " << res.error << "\n";
+        return 2;
+      }
+      out << res.text;
+      return res.regressions > 0 ? 1 : 0;
+    }
+    return usage(err);
+  }
+
+  if (cmd == "campaign") {
+    // One file = summary report; two files = reliability-curve diff
+    // (optionally --threshold PCT; default 0 — campaigns are
+    // deterministic, so same-spec reports must match exactly).
+    std::string why;
+    if (argc == 3) {
+      std::string text;
+      if (!slurp(argv[2], &text, &why)) {
+        err << "ftdiag campaign: " << why << "\n";
+        return 2;
+      }
+      const CampaignCliResult res = campaign_report(text);
+      if (!res.ok) {
+        err << "ftdiag campaign: " << res.error << "\n";
+        return 2;
+      }
+      out << res.text;
+      return 0;
+    }
+    if (argc == 4 || (argc == 6 && std::string(argv[4]) == "--threshold")) {
+      double threshold = 0.0;
+      if (argc == 6) {
+        char* end = nullptr;
+        threshold = std::strtod(argv[5], &end);
+        if (end == argv[5] || threshold < 0.0) return usage(err);
+      }
+      std::string ta;
+      std::string tb;
+      if (!slurp(argv[2], &ta, &why) || !slurp(argv[3], &tb, &why)) {
+        err << "ftdiag campaign: " << why << "\n";
+        return 2;
+      }
+      const CampaignCliResult res = campaign_diff(ta, tb, threshold);
+      if (!res.ok) {
+        err << "ftdiag campaign: " << res.error << "\n";
         return 2;
       }
       out << res.text;

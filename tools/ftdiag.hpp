@@ -101,11 +101,52 @@ HotspotsResult hotspots_report(const std::string& json, std::size_t top_k);
 HotspotsResult hotspots_diff(const std::string& a, const std::string& b,
                              double threshold_pct);
 
+/// One per-r-bucket delta from `campaign_diff`.
+struct BucketDelta {
+  int r = 0;
+  /// P(complete | r) in the two files and its delta in percentage points.
+  double prob_before = 0.0;
+  double prob_after = 0.0;
+  double prob_delta_pts = 0.0;
+  /// mean_slowdown in the two files and its relative delta in percent.
+  double slowdown_before = 0.0;
+  double slowdown_after = 0.0;
+  double slowdown_delta_pct = 0.0;
+  bool regression = false;  ///< either delta beyond the threshold
+};
+
+struct CampaignCliResult {
+  bool ok = false;
+  std::string error;
+  double threshold_pct = 0.0;   ///< diff mode only
+  std::size_t regressions = 0;  ///< diff mode only
+  bool monotone = true;  ///< report mode: completion curve non-increasing
+  std::vector<BucketDelta> deltas;  ///< diff mode only
+  std::string text;  ///< deterministic rendered report
+};
+
+/// Single-file summary of a schema-v4 campaign JSON block
+/// (campaign::write_campaign_json): header, outcome rollup, the per-r
+/// reliability/slowdown table, and a monotonicity verdict on the
+/// completion curve.
+CampaignCliResult campaign_report(const std::string& json);
+
+/// Two-file diff over the per-r reliability curves. The gate is
+/// symmetric, like diff_json: a bucket whose completion probability
+/// moved by more than ±`threshold_pct` percentage points, or whose mean
+/// slowdown moved by more than ±`threshold_pct` percent, in either
+/// direction, is a regression — campaigns are deterministic in their
+/// seed, so same-spec reports must match exactly (threshold 0 is the
+/// default and a meaningful gate).
+CampaignCliResult campaign_diff(const std::string& a, const std::string& b,
+                                double threshold_pct);
+
 /// Full CLI: `ftdiag diff A B [--threshold PCT]`,
-/// `ftdiag explain TRACE.json`, `ftdiag hotspots FILE [--top K]`, or
-/// `ftdiag hotspots A B [--threshold PCT]`. Returns the process exit
-/// code: 0 = clean, 1 = diff found a regression beyond the threshold,
-/// 2 = usage or parse error.
+/// `ftdiag explain TRACE.json`, `ftdiag hotspots FILE [--top K]`,
+/// `ftdiag hotspots A B [--threshold PCT]`,
+/// `ftdiag campaign FILE`, or `ftdiag campaign A B [--threshold PCT]`.
+/// Returns the process exit code: 0 = clean, 1 = diff found a
+/// regression beyond the threshold, 2 = usage or parse error.
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err);
 

@@ -33,7 +33,7 @@ int main() {
                      util::Align::Right, util::Align::Right});
 
   for (const double ratio : {0.5, 1.0, 4.0, 16.0}) {
-    const sim::CostModel cost{2.0, 2.0 * ratio, 0.0};
+    const sim::CostModel cost = sim::CostModel::ncube7_ratio(ratio);
     const double q5 =
         baseline::mfs_bitonic_sort(5, fault::FaultSet(5), keys,
                                    fault::FaultModel::Partial, cost)

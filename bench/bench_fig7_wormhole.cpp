@@ -1,0 +1,133 @@
+// Figure 7 re-run under both routing models: store-and-forward (the
+// paper's NCUBE/7) versus calibrated cut-through (wormhole), with the
+// shift attributed phase by phase.
+//
+// The pair that isolates routing is ncube7_with_startup vs wormhole —
+// identical constants (t_c=2, t_t=8, t_s=350), only the per-hop term
+// changes from h*(t_s + k*t_t) to h*t_s + k*t_t. Plain ncube7 (t_s=0)
+// is printed as the paper-default anchor; at t_s=0 the two modes only
+// differ by the pipelining of the body, so the wormhole columns show
+// how much of the multi-hop tax is start-up replication vs body
+// store-and-forwarding. The coalesced column adds the half->full
+// exchange rewrite (CoalescePolicy::Auto under cut-through): same keys
+// per direction, half the messages and rounds.
+//
+// Output feeds the "Fig. 7 under cut-through" table in EXPERIMENTS.md.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/ft_sorter.hpp"
+#include "fault/scenario.hpp"
+#include "sim/phase.hpp"
+#include "sort/distribution.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftsort;
+
+constexpr cube::Dim kN = 6;          // Q_6, as in Figure 7
+constexpr std::size_t kFaults = 2;   // r = 2
+constexpr std::uint64_t kSeed = 1706;  // matches bench_harness fig7_q6_r2*
+
+core::SortOutcome run_once(const fault::FaultSet& faults,
+                           const std::vector<sim::Key>& keys,
+                           const sim::CostModel& cost,
+                           sort::CoalescePolicy coalesce, bool instrument) {
+  core::SortConfig cfg;
+  cfg.cost = cost;
+  cfg.protocol = sort::ExchangeProtocol::HalfExchange;
+  cfg.coalesce = coalesce;
+  cfg.record_metrics = instrument;
+  cfg.record_trace = instrument;
+  const core::FaultTolerantSorter sorter(kN, faults, cfg);
+  return sorter.sort(keys);
+}
+
+std::string ms(double sim_time) { return util::Table::fixed(sim_time, 0); }
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 7 under cut-through: Q_6, r=2, seed " << kSeed
+            << " ===\n"
+            << "half-exchange configured throughout; 'wormhole+coalesce' is "
+               "CoalescePolicy::Auto\n(engages under cut-through, rewriting "
+               "each split exchange to one full-exchange\nmessage per "
+               "direction).\n\n";
+
+  util::Rng rng(kSeed);
+  const fault::FaultSet faults = fault::random_faults(kN, kFaults, rng);
+
+  const sim::CostModel saf0 = sim::CostModel::ncube7();
+  const sim::CostModel saf = sim::CostModel::ncube7_with_startup();
+  const sim::CostModel ct = sim::CostModel::wormhole();
+
+  util::Table sweep({"keys", "ncube7 (t_s=0)", "saf (t_s=350)", "wormhole",
+                     "wormhole+coalesce", "ct/saf"},
+                    {util::Align::Right, util::Align::Right, util::Align::Right,
+                     util::Align::Right, util::Align::Right,
+                     util::Align::Right});
+  for (const std::size_t m : {32'000u, 100'000u, 320'000u}) {
+    util::Rng krng(kSeed + m);
+    const auto keys = sort::gen_uniform(m, krng);
+    const double t0 =
+        run_once(faults, keys, saf0, sort::CoalescePolicy::Off, false)
+            .report.makespan;
+    const double t_saf =
+        run_once(faults, keys, saf, sort::CoalescePolicy::Off, false)
+            .report.makespan;
+    const double t_ct =
+        run_once(faults, keys, ct, sort::CoalescePolicy::Off, false)
+            .report.makespan;
+    const double t_ctc =
+        run_once(faults, keys, ct, sort::CoalescePolicy::Auto, false)
+            .report.makespan;
+    sweep.add_row({std::to_string(m), ms(t0), ms(t_saf), ms(t_ct), ms(t_ctc),
+                   util::Table::fixed(t_ctc / t_saf, 3)});
+  }
+  std::cout << sweep.to_string() << '\n';
+
+  // Phase-by-phase attribution of the shift at the Figure 7 maximum
+  // (320,000 keys): where on the critical path the cut-through +
+  // coalescing win lands, split into communication and computation.
+  util::Rng krng(kSeed + 320'000u);
+  const auto keys = sort::gen_uniform(320'000, krng);
+  const auto obs_saf =
+      run_once(faults, keys, saf, sort::CoalescePolicy::Off, true);
+  const auto obs_ctc =
+      run_once(faults, keys, ct, sort::CoalescePolicy::Auto, true);
+
+  util::Table phases({"phase", "saf crit", "saf comm", "saf compute",
+                      "ct+co crit", "ct+co comm", "ct+co compute", "delta"},
+                     {util::Align::Left, util::Align::Right, util::Align::Right,
+                      util::Align::Right, util::Align::Right,
+                      util::Align::Right, util::Align::Right,
+                      util::Align::Right});
+  const auto& a = obs_saf.report.phases.slices;
+  const auto& b = obs_ctc.report.phases.slices;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i].critical_time == 0.0 && b[i].critical_time == 0.0) continue;
+    phases.add_row({sim::phase_name(a[i].phase), ms(a[i].critical_time),
+                    ms(a[i].critical_comm), ms(a[i].critical_compute),
+                    ms(b[i].critical_time), ms(b[i].critical_comm),
+                    ms(b[i].critical_compute),
+                    ms(b[i].critical_time - a[i].critical_time)});
+  }
+  phases.add_row({"makespan", ms(obs_saf.report.makespan), "", "",
+                  ms(obs_ctc.report.makespan), "", "",
+                  ms(obs_ctc.report.makespan - obs_saf.report.makespan)});
+  std::cout << phases.to_string();
+  std::cout << "\nreading: most of the shift is communication — multi-hop "
+               "routes stop paying h\ncopies of the 350-cycle start-up under "
+               "cut-through, and coalescing halves the\nmessage count in the "
+               "exchange phases outright. The exchange-phase compute\ncolumns "
+               "shrink too: a full exchange merges to the keep-side only "
+               "(<= b\ncomparisons) where the split exchange's two "
+               "half-merges cost ~2b, and the\ncritical-path walk reroutes "
+               "through the now-cheaper nodes.\n";
+  return 0;
+}

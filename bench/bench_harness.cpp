@@ -10,9 +10,11 @@
 // re-parses the emitted JSON (catching malformed output) and compares the
 // deterministic counters — comparisons, keys routed, messages, simulated
 // makespan, heap allocations — against a committed baseline, exiting
-// non-zero on a >20% regression. Wall time is recorded for the trajectory
-// but never gated: it is machine- and load-dependent, while the counters
-// only move when the code's actual work changes.
+// non-zero on a >20% regression. Wall time of end-to-end scenarios is
+// recorded for the trajectory but never gated (machine- and load-
+// dependent); the kernel micros' wall time IS gated (+20%, one-sided,
+// release builds on matching kernel backends only) because their inner
+// loop is exactly the kernel being scored.
 //
 // Observability: each end-to-end scenario also performs one *separate*
 // instrumented run with sim::Metrics enabled — the timed reps (and their
@@ -92,6 +94,14 @@ struct Metrics {
   sim::RunReport obs;
   /// Trace of the instrumented run; captured only when --trace-out needs it.
   std::vector<sim::TraceEvent> trace_events;
+  /// Cost model the scenario's simulated time was charged under
+  /// (end-to-end scenarios only — kernel micros have no simulated time).
+  bool has_cost = false;
+  sim::CostModel cost;
+  /// Kernel backend a micro actually ran on ("scalar"/"simd", after any
+  /// degrade); empty for end-to-end scenarios. Wall-time baselines are only
+  /// comparable between runs on the same backend.
+  std::string kernel_backend;
 };
 
 class Timer {
@@ -138,6 +148,8 @@ Metrics run_end_to_end(const std::string& name, cube::Dim n,
 
   Metrics m;
   m.name = name;
+  m.has_cost = true;
+  m.cost = cfg.cost;
   core::SortOutcome outcome;
   measure(m, reps, [&] { outcome = sorter.sort(keys); });
   m.makespan = outcome.report.makespan;
@@ -170,7 +182,26 @@ Metrics run_end_to_end(const std::string& name, cube::Dim n,
   return m;
 }
 
-Metrics run_micro_merge_split(std::size_t block, int iters, int reps) {
+/// Pin the process-global kernel backend for one micro's timed reps and
+/// restore the scalar default afterwards. Records the backend actually in
+/// effect (a Simd request degrades to Scalar off-AVX2) so the wall-time
+/// gate can refuse to compare across backends.
+class BackendScope {
+ public:
+  explicit BackendScope(sort::KernelBackend requested)
+      : effective_(sort::set_kernel_backend(requested)) {}
+  ~BackendScope() { sort::set_kernel_backend(sort::KernelBackend::Scalar); }
+  const char* name() const {
+    return effective_ == sort::KernelBackend::Simd ? "simd" : "scalar";
+  }
+
+ private:
+  sort::KernelBackend effective_;
+};
+
+Metrics run_micro_merge_split(const std::string& name,
+                              sort::KernelBackend backend, std::size_t block,
+                              int iters, int reps) {
   util::Rng rng(99);
   auto a = sort::gen_uniform(block, rng);
   auto b = sort::gen_uniform(block, rng);
@@ -178,7 +209,9 @@ Metrics run_micro_merge_split(std::size_t block, int iters, int reps) {
   std::sort(b.begin(), b.end());
 
   Metrics m;
-  m.name = "micro_merge_split_into";
+  m.name = name;
+  const BackendScope scope(backend);
+  m.kernel_backend = scope.name();
   std::vector<sort::Key> out;
   std::uint64_t comparisons = 0;
   measure(m, reps, [&] {
@@ -192,13 +225,17 @@ Metrics run_micro_merge_split(std::size_t block, int iters, int reps) {
   return m;
 }
 
-Metrics run_micro_pairwise(std::size_t block, int iters, int reps) {
+Metrics run_micro_pairwise(const std::string& name,
+                           sort::KernelBackend backend, std::size_t block,
+                           int iters, int reps) {
   util::Rng rng(98);
   const auto a = sort::gen_uniform(block, rng);
   const auto b = sort::gen_uniform(block, rng);
 
   Metrics m;
-  m.name = "micro_pairwise_rev_into";
+  m.name = name;
+  const BackendScope scope(backend);
+  m.kernel_backend = scope.name();
   std::vector<sort::Key> kept;
   std::vector<sort::Key> returned;
   std::uint64_t comparisons = 0;
@@ -222,8 +259,9 @@ void write_json(const std::string& path, const std::vector<Metrics>& all,
   out << "{\n"
       << "  \"bench\": \"sort\",\n"
       // v1 = PR 2 (flat counters + phases); v2 adds the
-      // makespan_detect/makespan_post_recovery split.
-      << "  \"schema_version\": 2,\n"
+      // makespan_detect/makespan_post_recovery split; v3 adds the
+      // per-scenario cost_model block and the micros' kernel_backend tag.
+      << "  \"schema_version\": 3,\n"
       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
 #ifdef NDEBUG
       << "  \"build\": \"release\",\n"
@@ -240,8 +278,10 @@ void write_json(const std::string& path, const std::vector<Metrics>& all,
     std::snprintf(detect, sizeof detect, "%.17g", m.makespan_detect);
     std::snprintf(post, sizeof post, "%.17g", m.makespan_post_recovery);
     out << "    {\n"
-        << "      \"name\": \"" << m.name << "\",\n"
-        << "      \"wall_ns\": " << m.wall_ns << ",\n"
+        << "      \"name\": \"" << m.name << "\",\n";
+    if (!m.kernel_backend.empty())
+      out << "      \"kernel_backend\": \"" << m.kernel_backend << "\",\n";
+    out << "      \"wall_ns\": " << m.wall_ns << ",\n"
         << "      \"makespan\": " << makespan << ",\n"
         << "      \"makespan_detect\": " << detect << ",\n"
         << "      \"makespan_post_recovery\": " << post << ",\n"
@@ -258,6 +298,20 @@ void write_json(const std::string& path, const std::vector<Metrics>& all,
     // bounds a scenario's fields by the first '}' after its "name", which
     // with this layout is the first nested object's close — still past all
     // the gated counters.
+    // Cost model the simulated times were charged under — ftdiag refuses
+    // to diff scenarios whose models differ.
+    if (m.has_cost) {
+      char tc[64];
+      char tt[64];
+      char tsu[64];
+      std::snprintf(tc, sizeof tc, "%.17g", m.cost.t_compare);
+      std::snprintf(tt, sizeof tt, "%.17g", m.cost.t_transfer);
+      std::snprintf(tsu, sizeof tsu, "%.17g", m.cost.t_startup);
+      out << ",\n      \"cost_model\": {\"name\": \"" << m.cost.name()
+          << "\", \"routing\": \"" << m.cost.mode_name()
+          << "\", \"t_compare\": " << tc << ", \"t_transfer\": " << tt
+          << ", \"t_startup\": " << tsu << "}";
+    }
     // Per-dimension link rollup from the instrumented run: which cube
     // dimension carried the traffic, and how hot its wires ran.
     if (!m.obs.links.empty()) {
@@ -308,6 +362,7 @@ void write_json(const std::string& path, const std::vector<Metrics>& all,
 // "malformed JSON" failure the smoke test gates on.
 struct ParsedScenario {
   std::string name;
+  std::string kernel_backend;  ///< micros only; empty otherwise
   double makespan = 0.0;
   double makespan_detect = 0.0;
   double makespan_post_recovery = 0.0;
@@ -322,7 +377,7 @@ struct ParsedScenario {
 };
 
 bool parse_json(const std::string& path, std::string& mode,
-                std::vector<ParsedScenario>& out) {
+                std::string& build, std::vector<ParsedScenario>& out) {
   std::ifstream in(path);
   if (!in) return false;
   std::stringstream ss;
@@ -339,12 +394,22 @@ bool parse_json(const std::string& path, std::string& mode,
   if (depth != 0 || text.find("\"scenarios\"") == std::string::npos)
     return false;
 
-  const std::size_t mode_key = text.find("\"mode\"");
-  if (mode_key == std::string::npos) return false;
-  const std::size_t mq1 = text.find('"', text.find(':', mode_key));
-  const std::size_t mq2 = text.find('"', mq1 + 1);
-  if (mq1 == std::string::npos || mq2 == std::string::npos) return false;
-  mode = text.substr(mq1 + 1, mq2 - mq1 - 1);
+  const auto string_value = [&](const char* key, std::size_t from,
+                                std::size_t bound, std::string& value) {
+    const std::size_t k = text.find(std::string("\"") + key + "\"", from);
+    if (k == std::string::npos || k >= bound) return false;
+    const std::size_t q1 = text.find('"', text.find(':', k));
+    const std::size_t q2 =
+        q1 == std::string::npos ? std::string::npos : text.find('"', q1 + 1);
+    if (q1 == std::string::npos || q2 == std::string::npos) return false;
+    value = text.substr(q1 + 1, q2 - q1 - 1);
+    return true;
+  };
+  if (!string_value("mode", 0, text.size(), mode)) return false;
+  // `build` is older-schema-optional: absent reads as empty (never
+  // comparable for wall time, which is the safe direction).
+  build.clear();
+  string_value("build", 0, text.size(), build);
 
   std::size_t pos = text.find("\"scenarios\"");
   while ((pos = text.find("\"name\"", pos)) != std::string::npos) {
@@ -355,6 +420,7 @@ bool parse_json(const std::string& path, std::string& mode,
     s.name = text.substr(q1 + 1, q2 - q1 - 1);
     const std::size_t object_end = text.find('}', pos);
     if (object_end == std::string::npos) return false;
+    string_value("kernel_backend", pos, object_end, s.kernel_backend);
 
     const auto field = [&](const char* key, double& value) {
       const std::size_t k = text.find(std::string("\"") + key + "\"", pos);
@@ -465,10 +531,19 @@ bool validate_metrics_schema(const std::string& metrics_json,
   return ok;
 }
 
-/// >20% above baseline on any deterministic counter fails the gate.
+/// >20% above baseline on any deterministic counter fails the gate. Kernel
+/// micros additionally gate their wall time (+20%, one-sided): a micro's
+/// inner loop is exactly the kernel, so its wall time IS the deliverable —
+/// but only when both runs came from a "release" build on the same kernel
+/// backend; anything else (debug/sanitizer builds, Simd degraded to Scalar
+/// on a non-AVX2 host) is skipped with a note instead of a bogus failure.
 bool check_regressions(const std::vector<ParsedScenario>& current,
-                       const std::vector<ParsedScenario>& baseline) {
+                       const std::vector<ParsedScenario>& baseline,
+                       const std::string& current_build,
+                       const std::string& baseline_build) {
   bool ok = true;
+  const bool wall_builds_match =
+      current_build == "release" && baseline_build == "release";
   const auto gate = [&](const std::string& scenario, const char* metric,
                         double now, double base) {
     if (base > 0 && now > base * 1.2) {
@@ -510,6 +585,18 @@ bool check_regressions(const std::vector<ParsedScenario>& current,
     // over longer detours) show up here: this counter is hop-weighted.
     gate(base.name, "link_key_hops", static_cast<double>(now->link_key_hops),
          static_cast<double>(base.link_key_hops));
+    if (base.name.rfind("micro_", 0) == 0) {
+      if (wall_builds_match && now->kernel_backend == base.kernel_backend) {
+        gate(base.name, "wall_ns", static_cast<double>(now->wall_ns),
+             static_cast<double>(base.wall_ns));
+      } else {
+        std::printf("note: %s wall gate skipped (build \"%s\" vs \"%s\", "
+                    "backend \"%s\" vs \"%s\")\n",
+                    base.name.c_str(), current_build.c_str(),
+                    baseline_build.c_str(), now->kernel_backend.c_str(),
+                    base.kernel_backend.c_str());
+      }
+    }
   }
   return ok;
 }
@@ -579,8 +666,39 @@ int harness_main(int argc, char** argv) {
     all.push_back(run_end_to_end("recovery_q3_kill6", 3, 1, m_recovery, cfg,
                                  1703, reps));
   }
-  all.push_back(run_micro_merge_split(micro_block, micro_iters, reps));
-  all.push_back(run_micro_pairwise(micro_block, micro_iters, reps));
+  {  // Fig. 7 shape under the cut-through model, paper protocol verbatim:
+     // the 350 µs start-up term now dominates the half exchange's
+     // 4-message/2-round shape.
+    core::SortConfig cfg;
+    cfg.cost = sim::CostModel::wormhole();
+    cfg.protocol = sort::ExchangeProtocol::HalfExchange;
+    cfg.coalesce = sort::CoalescePolicy::Off;
+    all.push_back(run_end_to_end("fig7_q6_r2_wormhole", 6, 2, m_fig7, cfg,
+                                 1706, reps));
+  }
+  {  // Same machine with coalescing engaged (Auto → full exchange under
+     // cut-through): same keys per direction, half the messages and rounds.
+     // The makespan delta against fig7_q6_r2_wormhole is the measured
+     // end-to-end win of the coalescing rewrite.
+    core::SortConfig cfg;
+    cfg.cost = sim::CostModel::wormhole();
+    cfg.protocol = sort::ExchangeProtocol::HalfExchange;
+    cfg.coalesce = sort::CoalescePolicy::Auto;
+    all.push_back(run_end_to_end("fig7_q6_r2_wormhole_coalesced", 6, 2,
+                                 m_fig7, cfg, 1706, reps));
+  }
+  all.push_back(run_micro_merge_split("micro_merge_split_into",
+                                      sort::KernelBackend::Scalar,
+                                      micro_block, micro_iters, reps));
+  all.push_back(run_micro_merge_split("micro_merge_split_into_simd",
+                                      sort::KernelBackend::Simd, micro_block,
+                                      micro_iters, reps));
+  all.push_back(run_micro_pairwise("micro_pairwise_rev_into",
+                                   sort::KernelBackend::Scalar, micro_block,
+                                   micro_iters, reps));
+  all.push_back(run_micro_pairwise("micro_pairwise_rev_into_simd",
+                                   sort::KernelBackend::Simd, micro_block,
+                                   micro_iters, reps));
 
   write_json(out_path, all, smoke);
 
@@ -588,7 +706,8 @@ int harness_main(int argc, char** argv) {
   // future consumer.
   std::vector<ParsedScenario> current;
   std::string current_mode;
-  if (!parse_json(out_path, current_mode, current) ||
+  std::string current_build;
+  if (!parse_json(out_path, current_mode, current_build, current) ||
       current.size() != all.size()) {
     std::fprintf(stderr, "FAIL: %s is malformed\n", out_path.c_str());
     return 1;
@@ -746,7 +865,8 @@ int harness_main(int argc, char** argv) {
   if (!baseline_path.empty()) {
     std::vector<ParsedScenario> baseline;
     std::string baseline_mode;
-    if (!parse_json(baseline_path, baseline_mode, baseline)) {
+    std::string baseline_build;
+    if (!parse_json(baseline_path, baseline_mode, baseline_build, baseline)) {
       std::fprintf(stderr, "FAIL: baseline %s is malformed\n",
                    baseline_path.c_str());
       return 1;
@@ -758,7 +878,8 @@ int harness_main(int argc, char** argv) {
                    baseline_mode.c_str(), current_mode.c_str());
       return 1;
     }
-    if (!check_regressions(current, baseline)) return 1;
+    if (!check_regressions(current, baseline, current_build, baseline_build))
+      return 1;
     std::printf("baseline check OK (%zu scenarios, +20%% tolerance)\n",
                 baseline.size());
   }

@@ -136,7 +136,8 @@ SortOutcome FaultTolerantSorter::sort(
   // Host I/O tags sit past everything the sort itself uses.
   const std::uint32_t tag_host = tag_resort(msteps) + resort_span + 1;
 
-  const auto protocol = config_.protocol;
+  const auto protocol = sort::resolve_protocol(config_.protocol,
+                                               config_.coalesce, config_.cost);
   const auto program = [&](sim::NodeCtx& ctx) -> sim::Task<void> {
     const partition::Plan::Role role = plan.role_of(ctx.id());
     if (!role.live) co_return;  // dangling processor: idles

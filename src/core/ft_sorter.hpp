@@ -50,6 +50,12 @@ struct SortConfig {
   fault::FaultModel model = fault::FaultModel::Partial;
   sim::CostModel cost = sim::CostModel::ncube7();
   sort::ExchangeProtocol protocol = sort::ExchangeProtocol::HalfExchange;
+  /// Exchange coalescing. Auto rewrites the two-round half exchange into
+  /// the one-round full exchange exactly when `cost` routes cut-through
+  /// (same keys per direction, half the messages — the start-up term is
+  /// what dominates there). Under the default store-and-forward model Auto
+  /// changes nothing, so default reports stay byte-identical.
+  sort::CoalescePolicy coalesce = sort::CoalescePolicy::Auto;
   Step8Mode step8 = Step8Mode::BitonicMerge;
   Executor executor = Executor::Sequential;
   /// Step 3's local sort; the paper prescribes heapsort.

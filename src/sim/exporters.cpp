@@ -381,8 +381,18 @@ void write_metrics_json(std::ostream& os, const RunReport& report) {
   // Schema history: v1 = PR 3 (totals/pool_delta/critical_path/phases);
   // v2 adds the detect/post-recovery makespan split, the flight-recorder
   // eviction count, the failure diagnosis, and the host profile; v3 adds
-  // the per-dimension link-traffic rollup and the §3 re-index audit.
-  os << "{\n  \"schema_version\": 3,\n  \"makespan\": ";
+  // the per-dimension link-traffic rollup and the §3 re-index audit; v4
+  // adds the cost-model block (name, routing mode, constants) so diffs can
+  // refuse to compare runs charged under different models.
+  os << "{\n  \"schema_version\": 4,\n  \"cost_model\": {\"name\": \""
+     << report.cost.name() << "\", \"routing\": \"" << report.cost.mode_name()
+     << "\", \"t_compare\": ";
+  put_double(os, report.cost.t_compare);
+  os << ", \"t_transfer\": ";
+  put_double(os, report.cost.t_transfer);
+  os << ", \"t_startup\": ";
+  put_double(os, report.cost.t_startup);
+  os << "},\n  \"makespan\": ";
   put_double(os, report.makespan);
   // Detection watermark: the last recv_or_timeout expiry. Everything before
   // it is fault detection (timeout-constant dominated); everything after is

@@ -18,8 +18,7 @@ LinkCell& LinkCell::operator+=(const LinkCell& o) {
 }
 
 SimTime link_busy_time(const LinkCell& cell, const CostModel& cost) {
-  return static_cast<double>(cell.traversals) * cost.t_startup +
-         static_cast<double>(cell.key_hops) * cost.t_transfer;
+  return cost.link_busy(cell.traversals, cell.key_hops);
 }
 
 LinkCell LinkStatsSnapshot::dim_total(cube::Dim d) const {

@@ -60,10 +60,11 @@ struct LinkCell {
 };
 
 /// Derived busy time of a link under the cost model: the wire time its
-/// traffic occupies (traversals × t_startup + keys × t_transfer). With
-/// store-and-forward charging, overlapping transfers are not serialised,
-/// so a hot link's busy time can exceed the makespan — that excess is
-/// precisely the contention the §3 model ignores.
+/// traffic occupies (CostModel::link_busy — traversals × t_startup + keys ×
+/// t_transfer, in either routing mode). With the simulator's charging,
+/// overlapping transfers are not serialised, so a hot link's busy time can
+/// exceed the makespan — that excess is precisely the contention the §3
+/// model ignores.
 SimTime link_busy_time(const LinkCell& cell, const CostModel& cost);
 
 /// Copyable point-in-time copy of the registry, carried in RunReport.

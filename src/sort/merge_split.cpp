@@ -1,14 +1,85 @@
 #include "sort/merge_split.hpp"
 
 #include <algorithm>
+#include <atomic>
 
+#include "sort/merge_split_kernels.hpp"
 #include "util/contracts.hpp"
 
 namespace ftsort::sort {
 
-void merge_split_into(std::span<const Key> mine, std::span<const Key> theirs,
-                      SplitHalf keep, std::vector<Key>& out,
-                      std::uint64_t& comparisons) {
+bool simd_kernels_available() {
+#if FTSORT_SIMD_KERNELS && defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+// -1 = "not chosen yet": the first query resolves the compile-time default
+// (FTSORT_SIMD_KERNELS_DEFAULT builds start on Simd when the CPU allows)
+// without touching __builtin_cpu_supports during static initialisation.
+constexpr int kBackendUnset = -1;
+std::atomic<int> g_backend{kBackendUnset};
+
+KernelBackend default_backend() {
+#if FTSORT_SIMD_KERNELS_DEFAULT
+  return simd_kernels_available() ? KernelBackend::Simd
+                                  : KernelBackend::Scalar;
+#else
+  return KernelBackend::Scalar;
+#endif
+}
+
+bool use_simd() {
+  const int b = g_backend.load(std::memory_order_relaxed);
+  if (b == kBackendUnset) return default_backend() == KernelBackend::Simd;
+  return static_cast<KernelBackend>(b) == KernelBackend::Simd;
+}
+
+}  // namespace
+
+KernelBackend set_kernel_backend(KernelBackend requested) {
+  const KernelBackend effective =
+      (requested == KernelBackend::Simd && simd_kernels_available())
+          ? KernelBackend::Simd
+          : KernelBackend::Scalar;
+  g_backend.store(static_cast<int>(effective), std::memory_order_relaxed);
+  return effective;
+}
+
+KernelBackend active_kernel_backend() {
+  const int b = g_backend.load(std::memory_order_relaxed);
+  if (b == kBackendUnset) return default_backend();
+  return static_cast<KernelBackend>(b);
+}
+
+ExchangeProtocol resolve_protocol(ExchangeProtocol configured,
+                                  CoalescePolicy policy,
+                                  const sim::CostModel& cost) {
+  if (configured == ExchangeProtocol::FullExchange) return configured;
+  switch (policy) {
+    case CoalescePolicy::Off:
+      return configured;
+    case CoalescePolicy::On:
+      return ExchangeProtocol::FullExchange;
+    case CoalescePolicy::Auto:
+      return cost.routing == sim::RoutingMode::CutThrough
+                 ? ExchangeProtocol::FullExchange
+                 : configured;
+  }
+  FTSORT_INVARIANT(false);
+  return configured;
+}
+
+namespace detail {
+
+void merge_split_into_scalar(std::span<const Key> mine,
+                             std::span<const Key> theirs, SplitHalf keep,
+                             std::vector<Key>& out,
+                             std::uint64_t& comparisons) {
   const std::size_t want = mine.size();
   out.resize(want);
   if (want == 0) return;
@@ -48,19 +119,11 @@ void merge_split_into(std::span<const Key> mine, std::span<const Key> theirs,
   }
 }
 
-std::vector<Key> merge_split_full(std::span<const Key> mine,
-                                  std::span<const Key> theirs,
-                                  SplitHalf keep,
-                                  std::uint64_t& comparisons) {
-  std::vector<Key> out;
-  merge_split_into(mine, theirs, keep, out, comparisons);
-  return out;
-}
-
-void pairwise_select_into(std::span<const Key> a, std::span<const Key> b,
-                          SplitHalf keep, std::vector<Key>& kept,
-                          std::vector<Key>& returned,
-                          std::uint64_t& comparisons) {
+void pairwise_select_into_scalar(std::span<const Key> a,
+                                 std::span<const Key> b, SplitHalf keep,
+                                 std::vector<Key>& kept,
+                                 std::vector<Key>& returned,
+                                 std::uint64_t& comparisons) {
   FTSORT_REQUIRE(a.size() == b.size());
   const std::size_t n = a.size();
   kept.resize(n);
@@ -79,10 +142,11 @@ void pairwise_select_into(std::span<const Key> a, std::span<const Key> b,
   }
 }
 
-void pairwise_select_rev_into(std::span<const Key> a, std::span<const Key> b,
-                              SplitHalf keep, std::vector<Key>& kept,
-                              std::vector<Key>& returned,
-                              std::uint64_t& comparisons) {
+void pairwise_select_rev_into_scalar(std::span<const Key> a,
+                                     std::span<const Key> b, SplitHalf keep,
+                                     std::vector<Key>& kept,
+                                     std::vector<Key>& returned,
+                                     std::uint64_t& comparisons) {
   FTSORT_REQUIRE(a.size() == b.size());
   const std::size_t n = a.size();
   kept.resize(n);
@@ -100,6 +164,57 @@ void pairwise_select_rev_into(std::span<const Key> a, std::span<const Key> b,
       returned[t] = lo;
     }
   }
+}
+
+}  // namespace detail
+
+void merge_split_into(std::span<const Key> mine, std::span<const Key> theirs,
+                      SplitHalf keep, std::vector<Key>& out,
+                      std::uint64_t& comparisons) {
+#if FTSORT_SIMD_KERNELS
+  if (use_simd()) {
+    detail::merge_split_into_simd(mine, theirs, keep, out, comparisons);
+    return;
+  }
+#endif
+  detail::merge_split_into_scalar(mine, theirs, keep, out, comparisons);
+}
+
+std::vector<Key> merge_split_full(std::span<const Key> mine,
+                                  std::span<const Key> theirs,
+                                  SplitHalf keep,
+                                  std::uint64_t& comparisons) {
+  std::vector<Key> out;
+  merge_split_into(mine, theirs, keep, out, comparisons);
+  return out;
+}
+
+void pairwise_select_into(std::span<const Key> a, std::span<const Key> b,
+                          SplitHalf keep, std::vector<Key>& kept,
+                          std::vector<Key>& returned,
+                          std::uint64_t& comparisons) {
+#if FTSORT_SIMD_KERNELS
+  if (use_simd()) {
+    detail::pairwise_select_into_simd(a, b, keep, kept, returned, comparisons);
+    return;
+  }
+#endif
+  detail::pairwise_select_into_scalar(a, b, keep, kept, returned, comparisons);
+}
+
+void pairwise_select_rev_into(std::span<const Key> a, std::span<const Key> b,
+                              SplitHalf keep, std::vector<Key>& kept,
+                              std::vector<Key>& returned,
+                              std::uint64_t& comparisons) {
+#if FTSORT_SIMD_KERNELS
+  if (use_simd()) {
+    detail::pairwise_select_rev_into_simd(a, b, keep, kept, returned,
+                                          comparisons);
+    return;
+  }
+#endif
+  detail::pairwise_select_rev_into_scalar(a, b, keep, kept, returned,
+                                          comparisons);
 }
 
 PairwiseSplit pairwise_select(std::span<const Key> a, std::span<const Key> b,

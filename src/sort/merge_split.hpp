@@ -8,7 +8,7 @@
 //
 // Two wire protocols compute the same split:
 //  * Full exchange — both partners swap whole blocks and each computes its
-//    half locally. Simple; 2x the traffic.
+//    half locally. One round, one message each way, b keys per direction.
 //  * Half exchange (the paper's §2.1/§3 Step 7 protocol) — each partner
 //    sends half its block, the pairwise winners are computed at both ends,
 //    and exactly the losers travel back; per-step traffic matches the
@@ -16,6 +16,17 @@
 //    identity that for ascending equal-length blocks A and B, the b smallest
 //    keys of A ∪ B are { min(A[k], B[b-1-k]) } and the b largest are
 //    { max(A[k], B[b-1-k]) }.
+//
+// Contrary to the obvious intuition (which an earlier revision of this
+// header repeated), the two protocols move the SAME number of payload keys
+// per direction — half + returned-losers = b either way. What half exchange
+// actually buys under the paper's zero-start-up model is nothing at all in
+// traffic; it costs an extra round trip and extra local work (pairwise
+// select + two unimodal sorts + a merge, ≈2b comparisons vs the full
+// exchange's ≤b). Under a cost model where the per-message start-up term
+// dominates (cut-through), the 4-message/2-round shape is strictly worse —
+// which is why CoalescePolicy::Auto rewrites it to the single-round full
+// exchange there. See resolve_protocol.
 //
 // The messaging halves of these protocols live in spmd_bitonic.*; this
 // header holds the pure computational kernels plus a reference
@@ -26,6 +37,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/cost_model.hpp"
 #include "sort/sequential.hpp"
 
 namespace ftsort::sort {
@@ -37,6 +49,42 @@ enum class ExchangeProtocol {
   FullExchange,  ///< swap whole blocks, compute locally
   HalfExchange,  ///< the paper's send-half / compare / return protocol
 };
+
+/// Exchange coalescing: whether the sorter may rewrite the paper's
+/// two-round half exchange into the one-round full exchange (same keys per
+/// direction, half the messages and rounds — see the file header).
+enum class CoalescePolicy {
+  Off,   ///< run the configured protocol verbatim
+  Auto,  ///< coalesce exactly when the cost model routes cut-through
+  On,    ///< always coalesce
+};
+
+/// The protocol a sort actually runs: `configured` filtered through the
+/// coalescing policy under the active cost model. FullExchange is already
+/// maximally coalesced and passes through untouched; under the default
+/// (store-and-forward, Auto) configuration the result is always
+/// `configured`, which is what keeps default reports byte-identical.
+ExchangeProtocol resolve_protocol(ExchangeProtocol configured,
+                                  CoalescePolicy policy,
+                                  const sim::CostModel& cost);
+
+/// Which compiled implementation the split/select kernels below dispatch
+/// to. Scalar is the reference (the oracle tests compare against); Simd is
+/// the vectorized hot path, byte-identical in output AND comparison count.
+enum class KernelBackend {
+  Scalar,
+  Simd,
+};
+
+/// True when the vectorized kernels are compiled in (FTSORT_SIMD_KERNELS)
+/// and this CPU supports them (AVX2).
+bool simd_kernels_available();
+
+/// Select the process-global kernel backend. Requests for Simd degrade to
+/// Scalar when unavailable; returns the backend actually in effect.
+KernelBackend set_kernel_backend(KernelBackend requested);
+
+KernelBackend active_kernel_backend();
 
 /// Reference kernel: given own ascending block `mine` and the partner's
 /// ascending block `theirs`, return the `mine.size()` smallest (Lower) or

@@ -245,6 +245,48 @@ TEST(FtdiagDiff, GateIsSymmetric) {
   EXPECT_EQ(res.regressions, 1u);
 }
 
+TEST(FtdiagDiff, RefusesToCompareRunsUnderDifferentCostModels) {
+  // critical_time is measured in cost-model units; a diff across models
+  // would report the model change as a phase regression. The gate refuses
+  // outright (CLI exit 2) instead of producing a misleading verdict.
+  const char* saf = R"({"bench": "sort", "scenarios": [
+    {"name": "s", "makespan": 100,
+     "cost_model": {"name": "ncube7", "routing": "store_and_forward",
+       "t_compare": 2, "t_transfer": 8, "t_startup": 0},
+     "phases": {"gather": {"critical_time": 100}}}]})";
+  const char* ct = R"({"bench": "sort", "scenarios": [
+    {"name": "s", "makespan": 80,
+     "cost_model": {"name": "wormhole", "routing": "cut_through",
+       "t_compare": 2, "t_transfer": 8, "t_startup": 350},
+     "phases": {"gather": {"critical_time": 80}}}]})";
+  const tools::DiffResult res = tools::diff_json(saf, ct, 20.0);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("cost model mismatch"), std::string::npos);
+  EXPECT_NE(res.error.find("wormhole"), std::string::npos);
+  // Same model on both sides compares normally...
+  EXPECT_TRUE(tools::diff_json(saf, saf, 20.0).ok);
+  // ...and files predating the cost_model block (no signature) still
+  // compare, for backward compatibility with archived exports.
+  const char* legacy = R"({"bench": "sort", "scenarios": [
+    {"name": "s", "makespan": 100,
+     "phases": {"gather": {"critical_time": 100}}}]})";
+  EXPECT_TRUE(tools::diff_json(legacy, ct, 20.0).ok);
+
+  // Metrics-format exports carry the signature at the top level and are
+  // gated the same way.
+  const core::SortOutcome out =
+      run_pinned_recovery(core::Executor::Sequential);
+  std::ostringstream a_os;
+  sim::write_metrics_json(a_os, out.report);
+  std::string other = a_os.str();
+  const std::size_t at = other.find("\"ncube7\"");
+  ASSERT_NE(at, std::string::npos);
+  other.replace(at, 8, "\"custom\"");
+  const tools::DiffResult mres = tools::diff_json(a_os.str(), other, 20.0);
+  EXPECT_FALSE(mres.ok);
+  EXPECT_NE(mres.error.find("cost model mismatch"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // hotspots
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "sim/cost_model.hpp"
 #include "sort/distribution.hpp"
 #include "sort/merge_split.hpp"
 #include "util/rng.hpp"
@@ -236,6 +237,168 @@ TEST(PairwiseSelectRevInto, EquivalentToReversedCopy) {
       ASSERT_EQ(c_into, c_ref);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Exchange coalescing: the protocol rewrite is a pure function of the
+// configured protocol, the policy, and the cost model's routing mode.
+
+TEST(ResolveProtocol, AutoEngagesOnlyUnderCutThrough) {
+  const sim::CostModel saf = sim::CostModel::ncube7();
+  const sim::CostModel ct = sim::CostModel::wormhole();
+  using EP = ExchangeProtocol;
+  using CP = CoalescePolicy;
+  // Full exchange is already the coalesced form — nothing to rewrite.
+  EXPECT_EQ(resolve_protocol(EP::FullExchange, CP::Off, saf),
+            EP::FullExchange);
+  EXPECT_EQ(resolve_protocol(EP::FullExchange, CP::Auto, ct),
+            EP::FullExchange);
+  // Off never rewrites, On always does, Auto keys off the routing mode.
+  EXPECT_EQ(resolve_protocol(EP::HalfExchange, CP::Off, ct),
+            EP::HalfExchange);
+  EXPECT_EQ(resolve_protocol(EP::HalfExchange, CP::On, saf),
+            EP::FullExchange);
+  EXPECT_EQ(resolve_protocol(EP::HalfExchange, CP::Auto, saf),
+            EP::HalfExchange);
+  EXPECT_EQ(resolve_protocol(EP::HalfExchange, CP::Auto, ct),
+            EP::FullExchange);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-vs-SIMD kernel equivalence. The vectorized kernels must be
+// indistinguishable from the scalar oracle: byte-identical output AND an
+// identical comparison count, over random, duplicate-heavy, presorted,
+// disjoint-range, and odd-sized inputs. On hosts without AVX2 the Simd
+// request degrades to Scalar and these sweeps compare scalar to itself —
+// still a valid (if vacuous) run, so no skip.
+
+/// Restores the process-global kernel backend on scope exit so a failing
+/// ASSERT cannot leak a Simd default into unrelated tests.
+class KernelBackendGuard {
+ public:
+  KernelBackendGuard() : prev_(active_kernel_backend()) {}
+  ~KernelBackendGuard() { set_kernel_backend(prev_); }
+
+ private:
+  KernelBackend prev_;
+};
+
+/// One ascending input drawn from an adversarial family.
+std::vector<Key> sorted_family(int family, std::size_t n, util::Rng& rng) {
+  std::vector<Key> v;
+  switch (family) {
+    case 0:  // uniform random
+      v = gen_uniform(n, rng);
+      break;
+    case 1:  // duplicate-heavy: long tie runs stress tie-insensitivity
+      v = gen_few_distinct(n, 3, rng);
+      break;
+    case 2:  // all equal
+      v.assign(n, 42);
+      break;
+    case 3:  // presorted dense ramp
+      for (std::size_t i = 0; i < n; ++i)
+        v.push_back(static_cast<Key>(i + rng.below(2)));
+      break;
+    case 4:  // disjoint low range: exhausts the other input immediately
+      for (std::size_t i = 0; i < n; ++i)
+        v.push_back(static_cast<Key>(rng.below(1000)));
+      break;
+    case 5:  // disjoint high range
+      for (std::size_t i = 0; i < n; ++i)
+        v.push_back(static_cast<Key>(1'000'000'000 + rng.below(1000)));
+      break;
+    default:  // dummy-key tail, as left behind by padded exchanges
+      v = gen_uniform(n, rng);
+      std::sort(v.begin(), v.end());
+      for (std::size_t i = n - std::min(n, n / 3); i < n; ++i)
+        v[i] = sim::kDummyKey;
+      break;
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(KernelBackends, MergeSplitScalarAndSimdMatchBitForBit) {
+  KernelBackendGuard guard;
+  util::Rng rng(77);
+  std::vector<Key> ref;
+  std::vector<Key> out;
+  const std::size_t sizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9,
+                               12, 15, 16, 17, 31, 33, 100};
+  for (const std::size_t na : sizes) {
+    for (const std::size_t nb : sizes) {
+      for (int fa = 0; fa < 7; ++fa) {
+        for (int fb = 0; fb < 7; ++fb) {
+          const auto a = sorted_family(fa, na, rng);
+          const auto b = sorted_family(fb, nb, rng);
+          for (const SplitHalf keep : {SplitHalf::Lower, SplitHalf::Upper}) {
+            std::uint64_t c_ref = 0;
+            std::uint64_t c_out = 0;
+            set_kernel_backend(KernelBackend::Scalar);
+            merge_split_into(a, b, keep, ref, c_ref);
+            set_kernel_backend(KernelBackend::Simd);
+            merge_split_into(a, b, keep, out, c_out);
+            ASSERT_EQ(out, ref) << "na=" << na << " nb=" << nb
+                                << " fa=" << fa << " fb=" << fb;
+            ASSERT_EQ(c_out, c_ref) << "na=" << na << " nb=" << nb
+                                    << " fa=" << fa << " fb=" << fb;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelBackends, PairwiseScalarAndSimdMatchBitForBit) {
+  KernelBackendGuard guard;
+  util::Rng rng(78);
+  std::vector<Key> kept_ref;
+  std::vector<Key> ret_ref;
+  std::vector<Key> kept;
+  std::vector<Key> ret;
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 8u, 13u, 16u, 31u, 64u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      auto a = gen_uniform(n, rng);
+      auto b = gen_uniform(n, rng);
+      // Sprinkle dummy keys — they must lose every comparison in both
+      // backends (they are plain max-valued keys, nothing special-cased).
+      for (auto& k : a)
+        if (rng.below(5) == 0) k = sim::kDummyKey;
+      for (auto& k : b)
+        if (rng.below(5) == 0) k = sim::kDummyKey;
+      for (const SplitHalf keep : {SplitHalf::Lower, SplitHalf::Upper}) {
+        std::uint64_t c_ref = 0;
+        std::uint64_t c_out = 0;
+        set_kernel_backend(KernelBackend::Scalar);
+        pairwise_select_into(a, b, keep, kept_ref, ret_ref, c_ref);
+        set_kernel_backend(KernelBackend::Simd);
+        pairwise_select_into(a, b, keep, kept, ret, c_out);
+        ASSERT_EQ(kept, kept_ref) << "n=" << n;
+        ASSERT_EQ(ret, ret_ref) << "n=" << n;
+        ASSERT_EQ(c_out, c_ref) << "n=" << n;
+        c_ref = c_out = 0;
+        set_kernel_backend(KernelBackend::Scalar);
+        pairwise_select_rev_into(a, b, keep, kept_ref, ret_ref, c_ref);
+        set_kernel_backend(KernelBackend::Simd);
+        pairwise_select_rev_into(a, b, keep, kept, ret, c_out);
+        ASSERT_EQ(kept, kept_ref) << "rev n=" << n;
+        ASSERT_EQ(ret, ret_ref) << "rev n=" << n;
+        ASSERT_EQ(c_out, c_ref) << "rev n=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelBackends, SimdRequestDegradesCleanlyWhenUnavailable) {
+  KernelBackendGuard guard;
+  const KernelBackend effective = set_kernel_backend(KernelBackend::Simd);
+  EXPECT_EQ(effective, simd_kernels_available() ? KernelBackend::Simd
+                                                : KernelBackend::Scalar);
+  EXPECT_EQ(active_kernel_backend(), effective);
+  EXPECT_EQ(set_kernel_backend(KernelBackend::Scalar),
+            KernelBackend::Scalar);
+  EXPECT_EQ(active_kernel_backend(), KernelBackend::Scalar);
 }
 
 }  // namespace

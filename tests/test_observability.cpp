@@ -335,10 +335,15 @@ TEST(ObservabilityExport, MetricsJsonContainsEveryPhaseAndKey) {
         "links", "per_dimension", "traversals", "key_hops", "busy",
         "utilization", "reindex_audit", "measured_h", "measured_total",
         "measured_all_h", "measured_all_total", "candidates", "predicted_h",
-        "predicted_total", "chosen"})
+        "predicted_total", "chosen",
+        // v4: the active cost model, so ftdiag can refuse cross-model diffs.
+        "cost_model", "routing", "t_compare", "t_transfer", "t_startup"})
     EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
         << key;
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"cost_model\": {\"name\": \"ncube7\", \"routing\": "
+                      "\"store_and_forward\""),
+            std::string::npos);
   EXPECT_NE(json.find("\"links\": {\"enabled\": true"), std::string::npos);
 }
 

@@ -332,5 +332,56 @@ TEST(CostModelValues, PaperAlgebra) {
   EXPECT_DOUBLE_EQ(with_startup.transfer_time(0, 2), 700.0);
 }
 
+// Pins the start-up semantics the header documents: t_startup is charged
+// once per message at injection, and then once per hop under
+// store-and-forward (each intermediate stores and re-injects the whole
+// message) — never per hop at injection. A single-hop send therefore
+// costs 2*t_s + 2*k*t_t end to end under SAF.
+TEST(CostModelValues, StartupChargedOncePerMessageAtInjection) {
+  const CostModel cm = CostModel::ncube7_with_startup();
+  EXPECT_DOUBLE_EQ(cm.injection_time(4), 350.0 + 32.0);
+  // injection does not scale with hops — that is transfer_time's job
+  EXPECT_DOUBLE_EQ(cm.transfer_time(4, 1), 350.0 + 32.0);
+  EXPECT_DOUBLE_EQ(cm.transfer_time(4, 3), 3 * (350.0 + 32.0));
+}
+
+// Cut-through pays the start-up per hop for the header only; the body
+// pipelines behind it: h*t_s + k*t_t instead of h*(t_s + k*t_t).
+TEST(CostModelValues, CutThroughPipelinesTheBody) {
+  const CostModel ct = CostModel::wormhole();
+  EXPECT_EQ(ct.routing, RoutingMode::CutThrough);
+  EXPECT_DOUBLE_EQ(ct.transfer_time(4, 3), 3 * 350.0 + 32.0);
+  // Validation property: the two modes agree on single-hop transfers.
+  const CostModel saf = CostModel::ncube7_with_startup();
+  for (const std::size_t k : {0u, 1u, 4u, 1000u})
+    EXPECT_DOUBLE_EQ(ct.transfer_time(k, 1), saf.transfer_time(k, 1));
+  // ...and wormhole differs from SAF only by the routing mode.
+  EXPECT_DOUBLE_EQ(ct.t_compare, saf.t_compare);
+  EXPECT_DOUBLE_EQ(ct.t_transfer, saf.t_transfer);
+  EXPECT_DOUBLE_EQ(ct.t_startup, saf.t_startup);
+}
+
+// link_busy is wire occupancy and deliberately mode-independent: every
+// traversal drives one start-up onto the wire and every key-hop one
+// transfer, whether or not downstream hops overlap with it.
+TEST(CostModelValues, LinkBusyIsModeIndependent) {
+  const CostModel saf = CostModel::ncube7_with_startup();
+  CostModel ct = saf;
+  ct.routing = RoutingMode::CutThrough;
+  EXPECT_DOUBLE_EQ(saf.link_busy(3, 12), 3 * 350.0 + 12 * 8.0);
+  EXPECT_DOUBLE_EQ(ct.link_busy(3, 12), saf.link_busy(3, 12));
+}
+
+TEST(CostModelValues, NamesIdentifyTheConstructors) {
+  EXPECT_EQ(CostModel::ncube7().name(), "ncube7");
+  EXPECT_EQ(CostModel::ncube7_with_startup().name(), "ncube7_startup");
+  EXPECT_EQ(CostModel::wormhole().name(), "wormhole");
+  CostModel tweaked = CostModel::ncube7();
+  tweaked.t_transfer = 9.0;
+  EXPECT_EQ(tweaked.name(), "custom");
+  EXPECT_EQ(CostModel::ncube7().mode_name(), "store_and_forward");
+  EXPECT_EQ(CostModel::wormhole().mode_name(), "cut_through");
+}
+
 }  // namespace
 }  // namespace ftsort::sim

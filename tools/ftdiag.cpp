@@ -91,6 +91,12 @@ struct PhaseSample {
 struct RunSample {
   std::string scenario;  ///< empty for the single-run metrics format
   double makespan = 0.0;
+  /// Cost-model signature ("name/routing t_c=.. t_t=.. t_s=..") parsed
+  /// from the export's cost_model block; empty for pre-v4 metrics /
+  /// pre-v3 bench files that did not record one. Two runs only compare
+  /// when their signatures are absent or equal — critical_time is in
+  /// cost-model units, so cross-model deltas are meaningless.
+  std::string cost_sig;
   // Ordered map: deterministic iteration -> deterministic report text.
   std::map<std::string, PhaseSample> phases;
 };
@@ -101,6 +107,27 @@ struct ParsedDoc {
   bool bench_format = false;  ///< true = bench scenarios, false = metrics
   std::vector<RunSample> runs;
 };
+
+/// Signature of the `"cost_model": { ... }` block inside `obj` (a whole
+/// metrics export or one bench scenario object), or empty when the block
+/// is absent. Formats the constants with %g so the signature is stable
+/// across the %.17g writers in both exporters.
+std::string cost_signature(const std::string& obj) {
+  const std::size_t at = obj.find("\"cost_model\": {");
+  if (at == std::string::npos) return {};
+  const std::size_t open = obj.find('{', at);
+  const std::size_t end = match_delim(obj, open, '{', '}');
+  if (end == std::string::npos) return {};
+  const std::string block = obj.substr(open, end - open);
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s/%s t_c=%g t_t=%g t_s=%g",
+                string_field(block, "name").c_str(),
+                string_field(block, "routing").c_str(),
+                num_or(block, "t_compare", 0.0),
+                num_or(block, "t_transfer", 0.0),
+                num_or(block, "t_startup", 0.0));
+  return buf;
+}
 
 /// Parse one `{"phase"|name: {...}}`-style slice object into `out`.
 void read_phase_counters(const std::string& obj, PhaseSample* out) {
@@ -119,6 +146,7 @@ bool parse_metrics_doc(const std::string& text, ParsedDoc* doc,
                        std::string* err) {
   RunSample run;
   run.makespan = num_or(text, "makespan", 0.0);
+  run.cost_sig = cost_signature(text);
   const std::size_t at = text.find("\"phases\": [");
   if (at == std::string::npos) {
     *err = "metrics JSON without a \"phases\" array";
@@ -181,6 +209,7 @@ bool parse_bench_doc(const std::string& text, ParsedDoc* doc,
       return false;
     }
     run.makespan = num_or(obj, "makespan", 0.0);
+    run.cost_sig = cost_signature(obj);
     const std::size_t ph = obj.find("\"phases\": {");
     if (ph != std::string::npos) {
       std::size_t p = obj.find('{', ph);
@@ -360,6 +389,20 @@ DiffResult diff_json(const std::string& a, const std::string& b,
         break;
       }
     if (rb == nullptr) continue;  // scenario dropped between runs
+    // Refuse cross-model comparisons outright: critical_time is measured
+    // in cost-model units, so a delta against a different model (or
+    // routing mode) is noise dressed as a regression. Files predating the
+    // cost_model block (empty signature) still compare for compatibility.
+    if (!ra.cost_sig.empty() && !rb->cost_sig.empty() &&
+        ra.cost_sig != rb->cost_sig) {
+      res.error = "cost model mismatch" +
+                  (ra.scenario.empty() ? std::string()
+                                       : " in scenario " + ra.scenario) +
+                  ": \"" + ra.cost_sig + "\" vs \"" + rb->cost_sig +
+                  "\" — refusing to compare runs under different cost models";
+      res.ok = false;
+      return res;
+    }
     const std::string where =
         ra.scenario.empty() ? std::string() : ra.scenario + " ";
     if (ra.makespan > 0.0 && rb->makespan > 0.0 &&

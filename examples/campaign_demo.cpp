@@ -5,7 +5,7 @@
 //
 //   $ ./campaign_demo [--n 6] [--r-max 2] [--scenarios 25] [--keys 256]
 //
-// Pass `--out report.json` to save the schema-v4 CampaignReport; inspect
+// Pass `--out report.json` to save the schema-v5 CampaignReport; inspect
 // it later with `ftdiag campaign report.json`, or diff two campaigns with
 // `ftdiag campaign old.json new.json`. Any printed trial can be replayed
 // in isolation from (seed, trial index) alone — that pair plus the
@@ -30,7 +30,10 @@ int main(int argc, char** argv) {
   cli.add_int("seed", 20260807, "campaign seed");
   cli.add_int("workers", 4, "worker threads (never changes the report)");
   cli.add_flag("threaded", "run every trial on the threaded executor");
-  cli.add_string("out", "", "write the schema-v4 campaign JSON here");
+  cli.add_flag("timeline",
+               "print the per-bucket recovery-latency decomposition "
+               "(detect/roll-call/salvage/restart percentiles)");
+  cli.add_string("out", "", "write the schema-v5 campaign JSON here");
   if (!cli.parse(argc, argv)) return 1;
 
   campaign::CampaignConfig cfg;
@@ -50,6 +53,22 @@ int main(int argc, char** argv) {
 
   const campaign::CampaignReport report = campaign::run_campaign(cfg);
   std::cout << campaign::campaign_summary(report) << "\n";
+
+  if (cli.flag("timeline")) {
+    std::cout << "recovery-latency decomposition over recovered trials "
+                 "(p50/p90, us):\n";
+    for (const campaign::BucketStats& b : report.buckets) {
+      if (b.recovered == 0) continue;
+      std::cout << "  r=" << b.r << ": detect " << b.detect_latency_p50 << "/"
+                << b.detect_latency_p90 << ", roll-call "
+                << b.rollcall_latency_p50 << "/" << b.rollcall_latency_p90
+                << ", salvage " << b.salvage_latency_p50 << "/"
+                << b.salvage_latency_p90 << ", restart "
+                << b.restart_latency_p50 << "/" << b.restart_latency_p90
+                << "\n";
+    }
+    std::cout << "\n";
+  }
 
   if (!report.completion_monotone())
     std::cout << "note: completion probability is not monotone in r for "

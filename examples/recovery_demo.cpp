@@ -37,6 +37,10 @@ int main(int argc, char** argv) {
                  "write the traced run as Chrome/Perfetto trace JSON");
   cli.add_string("metrics", "",
                  "write the traced run's phase metrics as JSON");
+  cli.add_flag("timeline",
+               "sample queue/pool/in-flight series over sim time (adds "
+               "timeline counter tracks to --trace and a timeline block "
+               "to --metrics)");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto n = static_cast<cube::Dim>(cli.integer("n"));
@@ -104,6 +108,13 @@ int main(int argc, char** argv) {
   traced.record_trace = true;
   traced.record_metrics = true;   // per-phase counters for --metrics
   traced.record_link_stats = true;  // traffic matrix + counter tracks
+  if (cli.flag("timeline")) {
+    traced.record_timeline = true;
+    // ~1000 samples across the run: the fault-free makespan is the best
+    // available scale estimate (recovery stretches it, which just means
+    // a few more ticks).
+    traced.timeline_tick = std::max(1.0, t0 / 1000.0);
+  }
   traced.injector.kill_node_at(victim, when);
   core::FaultTolerantSorter sorter(n, fault::FaultSet(n), traced);
   core::SortOutcome out;
@@ -125,6 +136,18 @@ int main(int argc, char** argv) {
   if (out.report.diagnosis.triggered())
     std::cout << "\nwhat the flight recorder saw:\n  "
               << out.report.diagnosis.to_string() << '\n';
+  if (out.report.recovery_latency.enabled) {
+    std::cout << "\nwhere the recovery time went (per episode, ms):\n";
+    for (const sim::RecoveryEpisode& ep :
+         out.report.recovery_latency.episodes) {
+      std::cout << "  attempt " << ep.attempt << " (dead:";
+      for (auto u : ep.dead) std::cout << ' ' << u;
+      std::cout << "): detect " << ep.detection() / 1000.0 << ", roll-call "
+                << ep.roll_call() / 1000.0 << ", salvage "
+                << ep.salvage() / 1000.0 << ", restart "
+                << ep.restart() / 1000.0 << '\n';
+    }
+  }
   std::cout << "\nevent trace around the death (timeout = a survivor "
                "detecting the loss):\n";
   // Show only the interesting kinds; the full trace is huge.
@@ -145,7 +168,9 @@ int main(int argc, char** argv) {
     // tracks: watch keys_in_flight spike on the dimensions the recovery
     // re-scatter crosses.
     const sim::ChromeTraceOptions topts{
-        .cost = &out.report.cost, .trace_dropped = out.report.trace_dropped};
+        .cost = &out.report.cost,
+        .trace_dropped = out.report.trace_dropped,
+        .timeline = &out.report.timeline};
     sim::write_chrome_trace(tf, out.trace_events, cube::num_nodes(n), topts);
     std::cout << "\nwrote trace: " << cli.str("trace")
               << " (open at ui.perfetto.dev)\n";

@@ -65,6 +65,12 @@ CampaignReport aggregate_campaign(CampaignMeta meta,
 
   // One pass in index order: counts and ordered sums.
   std::vector<std::vector<double>> hotspots(rep.buckets.size());
+  // Recovery-latency stage samples, recovered trials only (clean runs
+  // have no episodes and would drag the percentiles to zero).
+  struct StageSamples {
+    std::vector<double> detect, rollcall, salvage, restart;
+  };
+  std::vector<StageSamples> stages(rep.buckets.size());
   for (const TrialResult& t : trials) {
     FTSORT_REQUIRE(t.r < rep.buckets.size());
     BucketStats& b = rep.buckets[t.r];
@@ -89,6 +95,13 @@ CampaignReport aggregate_campaign(CampaignMeta meta,
       b.max_makespan = std::max(b.max_makespan, t.makespan);
       hotspots[t.r].push_back(t.hotspot_share);
     }
+    if (t.outcome == core::RunOutcome::CompletedRecovered) {
+      StageSamples& s = stages[t.r];
+      s.detect.push_back(t.detect_latency);
+      s.rollcall.push_back(t.rollcall_latency);
+      s.salvage.push_back(t.salvage_latency);
+      s.restart.push_back(t.restart_latency);
+    }
   }
 
   for (std::size_t r = 0; r < rep.buckets.size(); ++r) {
@@ -105,6 +118,16 @@ CampaignReport aggregate_campaign(CampaignMeta meta,
     b.hotspot_p50 = quantile(hotspots[r], 0.5);
     b.hotspot_p90 = quantile(hotspots[r], 0.9);
     b.hotspot_max = hotspots[r].empty() ? 0.0 : hotspots[r].back();
+    StageSamples& s = stages[r];
+    const auto pcts = [](std::vector<double>& v, double& p50, double& p90) {
+      std::sort(v.begin(), v.end());
+      p50 = quantile(v, 0.5);
+      p90 = quantile(v, 0.9);
+    };
+    pcts(s.detect, b.detect_latency_p50, b.detect_latency_p90);
+    pcts(s.rollcall, b.rollcall_latency_p50, b.rollcall_latency_p90);
+    pcts(s.salvage, b.salvage_latency_p50, b.salvage_latency_p90);
+    pcts(s.restart, b.restart_latency_p50, b.restart_latency_p90);
   }
   const double base = rep.buckets[0].mean_makespan;
   for (BucketStats& b : rep.buckets)
@@ -119,7 +142,7 @@ CampaignReport aggregate_campaign(CampaignMeta meta,
 void write_campaign_json(std::ostream& os, const CampaignReport& rep) {
   os << "{\n"
      << "  \"campaign\": \"fault_mc\",\n"
-     << "  \"schema_version\": 4,\n"
+     << "  \"schema_version\": 5,\n"
      << "  \"n\": " << rep.meta.n << ",\n"
      << "  \"r_max\": " << rep.meta.r_max << ",\n"
      << "  \"scenarios\": " << rep.meta.scenarios << ",\n"
@@ -154,6 +177,14 @@ void write_campaign_json(std::ostream& os, const CampaignReport& rep) {
        << ",\n     \"hotspot_p50\": " << num(b.hotspot_p50)
        << ", \"hotspot_p90\": " << num(b.hotspot_p90)
        << ", \"hotspot_max\": " << num(b.hotspot_max)
+       << ",\n     \"detect_latency_p50\": " << num(b.detect_latency_p50)
+       << ", \"detect_latency_p90\": " << num(b.detect_latency_p90)
+       << ",\n     \"rollcall_latency_p50\": " << num(b.rollcall_latency_p50)
+       << ", \"rollcall_latency_p90\": " << num(b.rollcall_latency_p90)
+       << ",\n     \"salvage_latency_p50\": " << num(b.salvage_latency_p50)
+       << ", \"salvage_latency_p90\": " << num(b.salvage_latency_p90)
+       << ",\n     \"restart_latency_p50\": " << num(b.restart_latency_p50)
+       << ", \"restart_latency_p90\": " << num(b.restart_latency_p90)
        << ",\n     \"roots\": {";
     for (std::size_t k = 0; k < kRootKindCount; ++k)
       os << (k ? ", " : "") << "\"" << root_name(k) << "\": " << b.roots[k];
@@ -172,7 +203,11 @@ void write_campaign_json(std::ostream& os, const CampaignReport& rep) {
        << ", \"comparisons\": " << t.comparisons
        << ", \"messages\": " << t.messages
        << ", \"key_hops\": " << t.key_hops
-       << ", \"hotspot_share\": " << num(t.hotspot_share) << "}"
+       << ", \"hotspot_share\": " << num(t.hotspot_share)
+       << ", \"detect_latency\": " << num(t.detect_latency)
+       << ", \"rollcall_latency\": " << num(t.rollcall_latency)
+       << ", \"salvage_latency\": " << num(t.salvage_latency)
+       << ", \"restart_latency\": " << num(t.restart_latency) << "}"
        << (i + 1 < rep.trials.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -184,20 +219,23 @@ std::string campaign_summary(const CampaignReport& rep) {
      << ", " << rep.trials.size() << " trials (" << rep.meta.scenarios
      << " scenarios x " << rep.meta.r_max + 1 << " buckets), seed "
      << rep.meta.seed << ", " << rep.meta.executor << " executor\n";
-  char line[160];
+  char line[224];
   std::snprintf(line, sizeof line,
-                "%-4s %7s %10s %10s %9s %11s %12s %10s %12s\n", "r",
-                "trials", "completed", "recovered", "degraded",
-                "P(complete)", "mean_slowdown", "det_share", "hotspot_p90");
+                "%-4s %7s %10s %10s %9s %11s %12s %10s %12s %11s %12s %12s\n",
+                "r", "trials", "completed", "recovered", "degraded",
+                "P(complete)", "mean_slowdown", "det_share", "hotspot_p90",
+                "detect_p50", "salvage_p50", "restart_p50");
   os << line;
   for (const BucketStats& b : rep.buckets) {
     const double det_share =
         b.mean_makespan > 0.0 ? b.mean_detect / b.mean_makespan : 0.0;
     std::snprintf(line, sizeof line,
-                  "%-4u %7u %10u %10u %9u %11.3f %12.3f %10.3f %12.3f\n",
+                  "%-4u %7u %10u %10u %9u %11.3f %12.3f %10.3f %12.3f "
+                  "%11.0f %12.0f %12.0f\n",
                   b.r, b.trials, b.completed, b.recovered, b.degraded,
                   b.completion_probability, b.mean_slowdown, det_share,
-                  b.hotspot_p90);
+                  b.hotspot_p90, b.detect_latency_p50, b.salvage_latency_p50,
+                  b.restart_latency_p50);
     os << line;
   }
   return os.str();

@@ -8,12 +8,13 @@
 // reductions honour that by accumulating in trial-index order; quantiles
 // use the nearest-rank rule on a sorted copy (no interpolation).
 //
-// The JSON layout is schema version 4 (the repo's lineage: bench v2,
+// The JSON layout is schema version 5 (the repo's lineage: bench v2,
 // metrics v3): a flat header, an "outcomes" rollup, one "buckets" row
-// per r with the reliability/slowdown curves and the Diagnosis
-// root-cause histogram, and a "trials_detail" array with one row per
-// trial for replay cross-checks. bench/campaign_schema.json lists the
-// required keys; `ftdiag campaign` is the reference reader.
+// per r with the reliability/slowdown curves, the recovery-latency
+// stage percentiles, and the Diagnosis root-cause histogram, and a
+// "trials_detail" array with one row per trial for replay
+// cross-checks. bench/campaign_schema.json lists the required keys;
+// `ftdiag campaign` is the reference reader.
 #pragma once
 
 #include <array>
@@ -46,6 +47,13 @@ struct TrialResult {
   std::uint64_t timeouts = 0;
   std::uint32_t deaths = 0;        ///< injector victims observed by the run
   double hotspot_share = 0.0;      ///< sim::hottest_dimension_share
+  /// Recovery-latency decomposition summed over the run's episodes
+  /// (RunReport::recovery_latency); all zero for trials that never
+  /// entered recovery or did not commit.
+  sim::SimTime detect_latency = 0.0;    ///< injection -> first detection
+  sim::SimTime rollcall_latency = 0.0;  ///< detection -> roll-call done
+  sim::SimTime salvage_latency = 0.0;   ///< roll-call -> salvage done
+  sim::SimTime restart_latency = 0.0;   ///< salvage -> re-sort finished
   bool operator==(const TrialResult&) const = default;
 };
 
@@ -73,6 +81,17 @@ struct BucketStats {
   double hotspot_p50 = 0.0;
   double hotspot_p90 = 0.0;
   double hotspot_max = 0.0;
+  /// Nearest-rank quantiles of the recovery-latency stages over the
+  /// bucket's *recovered* trials (CompletedRecovered only — clean runs
+  /// have no episodes and would drag every percentile to zero).
+  sim::SimTime detect_latency_p50 = 0.0;
+  sim::SimTime detect_latency_p90 = 0.0;
+  sim::SimTime rollcall_latency_p50 = 0.0;
+  sim::SimTime rollcall_latency_p90 = 0.0;
+  sim::SimTime salvage_latency_p50 = 0.0;
+  sim::SimTime salvage_latency_p90 = 0.0;
+  sim::SimTime restart_latency_p50 = 0.0;
+  sim::SimTime restart_latency_p90 = 0.0;
   /// Diagnosis root causes over the bucket's non-clean trials, indexed by
   /// sim::Diagnosis::RootKind (None counts runs that lacked evidence).
   std::array<std::uint32_t, kRootKindCount> roots{};
@@ -114,7 +133,7 @@ struct CampaignReport {
 CampaignReport aggregate_campaign(CampaignMeta meta,
                                   std::vector<TrialResult> trials);
 
-/// Serialize as the schema-v4 campaign JSON block. Byte-stable: fixed
+/// Serialize as the schema-v5 campaign JSON block. Byte-stable: fixed
 /// key order, %.17g doubles, no locale dependence.
 void write_campaign_json(std::ostream& os, const CampaignReport& report);
 

@@ -115,6 +115,12 @@ TrialResult run_trial(const CampaignConfig& cfg, sim::SimTime envelope,
     res.deaths = static_cast<std::uint32_t>(rep.killed_nodes.size());
     if (cfg.record_link_stats)
       res.hotspot_share = sim::hottest_dimension_share(rep.links);
+    for (const sim::RecoveryEpisode& ep : rep.recovery_latency.episodes) {
+      res.detect_latency += ep.detection();
+      res.rollcall_latency += ep.roll_call();
+      res.salvage_latency += ep.salvage();
+      res.restart_latency += ep.restart();
+    }
   } catch (const core::DegradationError& e) {
     res.outcome = core::RunOutcome::Degraded;
     res.diagnosis = e.diagnosis();

@@ -263,6 +263,9 @@ SortOutcome FaultTolerantSorter::sort(
   if (config_.record_metrics) machine.metrics().enable(machine.size());
   if (config_.record_link_stats)
     machine.link_stats().enable(machine.size(), machine.dim());
+  if (config_.record_timeline)
+    machine.timeline().enable(machine.size(), machine.dim(),
+                              config_.timeline_tick);
 
   SortOutcome outcome;
   outcome.report = config_.executor == Executor::Threaded

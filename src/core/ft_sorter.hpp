@@ -89,6 +89,16 @@ struct SortConfig {
   /// Ψ candidate next to the measured re-index extra hops per dimension.
   /// Deterministic across executors; off by default.
   bool record_link_stats = false;
+  /// Populate RunReport::timeline with the sim-time sampler series
+  /// (sim/timeline.hpp): per-node queue depth, in-flight keys per
+  /// dimension, pool occupancy, and active phase, bucketed by
+  /// `timeline_tick`. Zero simulated-time cost, deterministic across
+  /// executors; off by default (one branch per charge site when off).
+  bool record_timeline = false;
+  /// Sampler tick width in simulated µs (> 0). The series is capped at
+  /// sim::kTimelineMaxTicks buckets; pick a tick near
+  /// expected_makespan / 1000 for long runs.
+  sim::SimTime timeline_tick = 1000.0;
   /// Mid-run fault schedule (sim/fault_injector.hpp), applied to every run.
   /// Without online_recovery an injected death typically leaves the
   /// victim's partners blocked forever and the run ends in DeadlockError —

@@ -119,7 +119,23 @@ std::vector<sort::ScheduleStep> node_schedule(const AttemptState& a,
 }
 
 struct Shared {
+  /// Stage boundaries of one RESTART round, written by the coordinator
+  /// coroutine as the protocol passes them (single writer; the host reads
+  /// only after the run's threads joined). Clocks are the coordinator's
+  /// logical times, so the derived RecoveryLatency is byte-identical
+  /// across executors.
+  struct EpisodeMark {
+    std::uint32_t attempt = 0;
+    std::vector<NodeId> dead;          ///< this roll call's casualties
+    sim::SimTime own_abort = -1.0;     ///< coordinator's own sort timeout
+    sim::SimTime first_timeout = -1.0; ///< first roll-call timeout clock
+    sim::SimTime last_timeout = -1.0;  ///< last roll-call timeout clock
+    sim::SimTime rollcall_end = 0.0;   ///< clock after the roll-call loop
+    sim::SimTime salvage_end = 0.0;    ///< clock after the salvage check
+  };
+
   std::vector<AttemptState> attempts;  ///< capacity reserved: never moves
+  std::vector<EpisodeMark> episode_marks;  ///< one per RESTART round
   std::vector<std::vector<Key>>* block_of = nullptr;
   /// Coordinator's copy of the current attempt's scatter — the step -1
   /// witness for a node that dies before completing any exchange.
@@ -167,6 +183,7 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
 
     // ---- Sort phase ----------------------------------------------------
     Key status = kStatusIdle;
+    sim::SimTime own_abort = -1.0;  // coordinator's own timeout evidence
     // Freshest witness per partner: (step, the partner's post-step block,
     // recomputed locally from the swapped data).
     std::map<NodeId, std::pair<std::uint32_t, std::vector<Key>>> witness;
@@ -186,6 +203,7 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
             co_await ctx.recv_or_timeout(st.partner, tag, rc.detect_patience);
         if (!reply) {
           status = kStatusAborted;  // keep the pre-step block
+          if (coord) own_abort = ctx.now();
           break;
         }
         std::uint64_t c1 = 0, c2 = 0;
@@ -264,17 +282,25 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
 
     std::vector<NodeId> dead;
     bool any_abort = status == kStatusAborted;
+    sim::SimTime first_timeout = -1.0;
+    sim::SimTime last_timeout = -1.0;
     {
       const sim::PhaseSpan span = ctx.span(sim::Phase::RecoveryCheckin);
       for (NodeId u : peers) {
         auto r = co_await ctx.recv_or_timeout(u, cbase + kTagCheckin,
                                               rc.collect_patience);
-        if (!r)
+        if (!r) {
           dead.push_back(u);  // missed roll call: the ground truth of death
-        else if (!r->payload.empty() && r->payload[0] == kStatusAborted)
+          // The timeout left the clock exactly at its deadline; the last
+          // one is the run's detect watermark (see sim/timeline.hpp).
+          if (first_timeout < 0.0) first_timeout = ctx.now();
+          last_timeout = ctx.now();
+        } else if (!r->payload.empty() && r->payload[0] == kStatusAborted) {
           any_abort = true;
+        }
       }
     }
+    const sim::SimTime rollcall_end = ctx.now();
 
     if (dead.empty() && !any_abort) {
       sh.final_attempt = e;
@@ -402,6 +428,9 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
         fail_salvage("key salvage failed — concurrent deaths destroyed data");
     }
 
+    sh.episode_marks.push_back({static_cast<std::uint32_t>(e), dead,
+                                own_abort, first_timeout, last_timeout,
+                                rollcall_end, ctx.now()});
 
     // ---- Re-plan and re-scatter ---------------------------------------
     const sim::PhaseSpan rescatter_span =
@@ -478,6 +507,9 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
   if (config.record_metrics) machine.metrics().enable(machine.size());
   if (config.record_link_stats)
     machine.link_stats().enable(machine.size(), machine.dim());
+  if (config.record_timeline)
+    machine.timeline().enable(machine.size(), machine.dim(),
+                              config.timeline_tick);
   const auto program = [&sh, &config](sim::NodeCtx& ctx) {
     return node_program(ctx, sh, config);
   };
@@ -513,6 +545,37 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
   if (sh.final_attempt < 0)
     throw degradation_error(
         "the recovery coordinator died before any attempt committed");
+
+  // Recovery-latency decomposition (sim/timeline.hpp): turn the
+  // coordinator's stage marks into per-episode boundaries. An episode's
+  // restart stage runs until the next episode's fault injection, or to the
+  // makespan for the last one — so the stages telescope exactly to
+  // `makespan - episodes.front().inject`.
+  if (!sh.episode_marks.empty()) {
+    sim::RecoveryLatency& rl = out.report.recovery_latency;
+    rl.enabled = true;
+    for (const Shared::EpisodeMark& mk : sh.episode_marks) {
+      sim::RecoveryEpisode ep;
+      ep.attempt = mk.attempt;
+      ep.dead = mk.dead;
+      ep.detect_first =
+          mk.own_abort >= 0.0 ? mk.own_abort : mk.first_timeout;
+      ep.detect_confirm = mk.last_timeout;
+      ep.rollcall_end = mk.rollcall_end;
+      ep.salvage_end = mk.salvage_end;
+      // Earliest injector kill among this round's casualties. A roll call
+      // can (in principle) declare a node dead without an injector entry —
+      // fall back to the detection clock, making that stage zero-width.
+      sim::SimTime inject = sim::kNever;
+      for (NodeId d : mk.dead)
+        inject = std::min(inject, config.injector.node_kill_time(d));
+      ep.inject = inject < sim::kNever ? inject : ep.detect_first;
+      rl.episodes.push_back(std::move(ep));
+    }
+    for (std::size_t k = 0; k + 1 < rl.episodes.size(); ++k)
+      rl.episodes[k].restart_end = rl.episodes[k + 1].inject;
+    rl.episodes.back().restart_end = out.report.makespan;
+  }
 
   // Gather under the plan that committed.
   const AttemptState& fin =

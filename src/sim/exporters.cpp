@@ -1,6 +1,7 @@
 #include "sim/exporters.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cctype>
 #include <cstdio>
@@ -91,6 +92,31 @@ void write_chrome_trace(std::ostream& os,
   os << "{\"name\": \"trace_dropped\", \"ph\": \"M\", \"pid\": 0, "
         "\"args\": {\"count\": "
      << opts.trace_dropped << "}}";
+
+  // Sim-time sampler tracks (sim/timeline.hpp): one counter sample per
+  // tick boundary. Emitted up front — Perfetto orders by ts, and the
+  // sampler's series are complete even when the event stream below was
+  // ring-truncated.
+  if (opts.timeline != nullptr && opts.timeline->enabled) {
+    const TimelineSnapshot& tl = *opts.timeline;
+    for (std::size_t t = 0; t < tl.ticks; ++t) {
+      const SimTime ts = static_cast<double>(t) * tl.tick;
+      sep();
+      put_event_common(os, "timeline_queue_depth", "timeline", "C", ts, 0);
+      os << ", \"args\": {\"messages\": " << tl.total_queue_depth(t) << "}}";
+      sep();
+      put_event_common(os, "timeline_pool_in_use", "timeline", "C", ts, 0);
+      os << ", \"args\": {\"buffers\": " << tl.total_pool_in_use(t) << "}}";
+      sep();
+      put_event_common(os, "timeline_keys_in_flight", "timeline", "C", ts,
+                       0);
+      os << ", \"args\": {";
+      for (cube::Dim d = 0; d < tl.dim; ++d)
+        os << (d != 0 ? ", " : "") << "\"dim" << static_cast<int>(d)
+           << "\": " << tl.keys_in_flight[static_cast<std::size_t>(d)][t];
+      os << "}}";
+    }
+  }
 
   // Counter ("C") tracks, one series per cube dimension: keys still in
   // flight (Send increments, the matching Recv or Drop decrements) and
@@ -383,8 +409,10 @@ void write_metrics_json(std::ostream& os, const RunReport& report) {
   // eviction count, the failure diagnosis, and the host profile; v3 adds
   // the per-dimension link-traffic rollup and the §3 re-index audit; v4
   // adds the cost-model block (name, routing mode, constants) so diffs can
-  // refuse to compare runs charged under different models.
-  os << "{\n  \"schema_version\": 4,\n  \"cost_model\": {\"name\": \""
+  // refuse to compare runs charged under different models; v5 adds the
+  // recovery-latency decomposition and the sim-time sampler timeline
+  // (both `"enabled": false` stubs when not recorded).
+  os << "{\n  \"schema_version\": 5,\n  \"cost_model\": {\"name\": \""
      << report.cost.name() << "\", \"routing\": \"" << report.cost.mode_name()
      << "\", \"t_compare\": ";
   put_double(os, report.cost.t_compare);
@@ -415,6 +443,83 @@ void write_metrics_json(std::ostream& os, const RunReport& report) {
      << ", \"heap_allocations\": " << report.pool_delta.heap_allocations()
      << ", \"returns\": " << report.pool_delta.returns << "},\n";
   os << "  \"trace_dropped\": " << report.trace_dropped << ",\n";
+  const RecoveryLatency& rl = report.recovery_latency;
+  if (!rl.enabled) {
+    os << "  \"recovery_latency\": {\"enabled\": false},\n";
+  } else {
+    os << "  \"recovery_latency\": {\"enabled\": true, \"detection_total\": ";
+    put_double(os, rl.detection_total());
+    os << ", \"roll_call_total\": ";
+    put_double(os, rl.roll_call_total());
+    os << ", \"salvage_total\": ";
+    put_double(os, rl.salvage_total());
+    os << ", \"restart_total\": ";
+    put_double(os, rl.restart_total());
+    os << ",\n    \"episodes\": [";
+    for (std::size_t i = 0; i < rl.episodes.size(); ++i) {
+      const RecoveryEpisode& ep = rl.episodes[i];
+      os << (i != 0 ? ",\n" : "\n") << "      {\"attempt\": " << ep.attempt
+         << ", \"dead\": [";
+      for (std::size_t j = 0; j < ep.dead.size(); ++j)
+        os << (j != 0 ? ", " : "") << ep.dead[j];
+      os << "], \"inject\": ";
+      put_double(os, ep.inject);
+      os << ", \"detect_first\": ";
+      put_double(os, ep.detect_first);
+      os << ", \"detect_confirm\": ";
+      put_double(os, ep.detect_confirm);
+      os << ", \"rollcall_end\": ";
+      put_double(os, ep.rollcall_end);
+      os << ", \"salvage_end\": ";
+      put_double(os, ep.salvage_end);
+      os << ", \"restart_end\": ";
+      put_double(os, ep.restart_end);
+      os << "}";
+    }
+    os << "\n    ]},\n";
+  }
+  const TimelineSnapshot& tl = report.timeline;
+  if (!tl.enabled) {
+    os << "  \"timeline\": {\"enabled\": false},\n";
+  } else {
+    os << "  \"timeline\": {\"enabled\": true, \"tick\": ";
+    put_double(os, tl.tick);
+    os << ", \"ticks\": " << tl.ticks << ", \"dropped\": " << tl.dropped
+       << ",\n    \"samples\": [";
+    for (std::size_t t = 0; t < tl.ticks; ++t) {
+      os << (t != 0 ? ",\n" : "\n") << "      {\"t\": ";
+      put_double(os, static_cast<double>(t) * tl.tick);
+      os << ", \"queue_depth\": " << tl.total_queue_depth(t)
+         << ", \"pool_in_use\": " << tl.total_pool_in_use(t)
+         << ", \"keys_in_flight\": [";
+      for (cube::Dim d = 0; d < tl.dim; ++d)
+        os << (d != 0 ? ", " : "")
+           << tl.keys_in_flight[static_cast<std::size_t>(d)][t];
+      os << "], \"phase_mix\": {";
+      // Nodes per phase at this tick, enum order, zero counts elided;
+      // nodes outside their active interval count as "idle".
+      std::size_t idle = 0;
+      std::array<std::size_t, kPhaseCount> mix{};
+      for (std::uint32_t u = 0; u < tl.num_nodes; ++u) {
+        const std::uint8_t p = tl.phase[u][t];
+        if (p == TimelineSnapshot::kIdle)
+          ++idle;
+        else
+          ++mix[p];
+      }
+      bool first_phase = true;
+      for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        if (mix[p] == 0) continue;
+        os << (first_phase ? "" : ", ") << "\""
+           << phase_name(static_cast<Phase>(p)) << "\": " << mix[p];
+        first_phase = false;
+      }
+      if (idle != 0)
+        os << (first_phase ? "" : ", ") << "\"idle\": " << idle;
+      os << "}}";
+    }
+    os << "\n    ]},\n";
+  }
   const LinkStatsSnapshot& links = report.links;
   if (links.empty()) {
     os << "  \"links\": {\"enabled\": false},\n";

@@ -37,6 +37,14 @@ struct ChromeTraceOptions {
   /// `trace_dropped` metadata event so offline consumers (ftdiag explain)
   /// can tell a complete export from a ring-truncated one.
   std::uint64_t trace_dropped = 0;
+  /// When non-null and enabled, emit the sim-time sampler's series
+  /// (RunReport::timeline) as counter ("C") tracks sampled at each tick
+  /// boundary: `timeline_queue_depth` (messages arrived, not yet
+  /// received), `timeline_pool_in_use` (payload buffers in flight), and
+  /// `timeline_keys_in_flight` per cube dimension. Independent of the
+  /// event-derived `keys_in_flight` track above: the sampler survives
+  /// flight-recorder eviction, the event track does not.
+  const TimelineSnapshot* timeline = nullptr;
 };
 
 /// Write the Chrome/Perfetto trace_events JSON for `events` (one run's

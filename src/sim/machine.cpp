@@ -27,6 +27,8 @@ void NodeCtx::charge_compares(std::uint64_t k) {
   }
   machine_->trace_.record(
       {clock_, id_, EventKind::Compute, 0, 0, k, 0, phase_});
+  if (machine_->timeline_.enabled())
+    machine_->timeline_.note_phase(id_, clock_, phase_);
   machine_->check_alive(id_);
 }
 
@@ -35,6 +37,8 @@ void NodeCtx::charge_time(SimTime t) {
   clock_ += t;
   if (machine_->metrics_.enabled())
     machine_->metrics_.at(id_, phase_).compute_time += t;
+  if (machine_->timeline_.enabled())
+    machine_->timeline_.note_phase(id_, clock_, phase_);
   machine_->check_alive(id_);
 }
 
@@ -136,6 +140,11 @@ void NodeCtx::send(cube::NodeId dst, Tag tag, PooledBuffer&& payload) {
   }
   machine_->trace_.record({msg.sent_at, id_, EventKind::Send, dst, tag,
                            msg.payload.size(), hops, phase_});
+  if (machine_->timeline_.enabled()) {
+    machine_->timeline_.note_send(id_, dst, msg.payload.size(),
+                                  msg.sent_at);
+    machine_->timeline_.note_phase(id_, clock_, phase_);
+  }
   machine_->post(std::move(msg));
 }
 
@@ -320,8 +329,12 @@ void Machine::post(Message msg) {
       ++metrics_.at(msg.src, msg.phase).messages_dropped;
     trace_.record({msg.arrival, msg.dst, EventKind::Drop, msg.src, msg.tag,
                    msg.payload.size(), msg.hops, msg.phase});
+    if (timeline_.enabled())
+      timeline_.note_dropped(msg.src, msg.dst, msg.payload.size(),
+                             msg.arrival);
     return;
   }
+  if (timeline_.enabled()) timeline_.note_enqueue(msg.dst, msg.arrival);
 
   const std::uint64_t channel = channel_key(msg.src, msg.tag);
   if (threaded_) {
@@ -414,6 +427,11 @@ Message Machine::pop_message(cube::NodeId node, cube::NodeId src, Tag tag) {
   }
   trace_.record({st.ctx.clock_, node, EventKind::Recv, src, tag,
                  msg.payload.size(), msg.hops, st.ctx.phase_});
+  if (timeline_.enabled()) {
+    timeline_.note_dequeue(node, st.ctx.clock_);
+    timeline_.note_delivered(src, node, msg.payload.size(), st.ctx.clock_);
+    timeline_.note_phase(node, st.ctx.clock_, st.ctx.phase_);
+  }
   check_alive(node);
   return msg;
 }
@@ -435,6 +453,8 @@ std::optional<Message> Machine::finish_recv_or_timeout(cube::NodeId node,
     }
     trace_.record({st.ctx.clock_, node, EventKind::Timeout, src, tag, 0, 0,
                    st.ctx.phase_});
+    if (timeline_.enabled())
+      timeline_.note_phase(node, st.ctx.clock_, st.ctx.phase_);
     check_alive(node);
     return std::nullopt;
   }
@@ -569,6 +589,7 @@ void Machine::instantiate_programs(const Program& program) {
   messages_dropped_ = timeouts_ = deliveries_ = 0;
   if (metrics_.enabled()) metrics_.reset();
   if (link_stats_.enabled()) link_stats_.reset();
+  if (timeline_.enabled()) timeline_.reset();
   pool_mark_ = pool_stats();
   trace_run_start_ = trace_.next_seq();
   trace_dropped_mark_ = trace_.dropped();
@@ -659,6 +680,7 @@ RunReport Machine::collect_report() {
                                           report.node_clocks);
   }
   if (link_stats_.enabled()) report.links = link_stats_.snapshot();
+  if (timeline_.enabled()) report.timeline = timeline_.snapshot();
   const std::uint64_t dropped_now = trace_.dropped();
   report.trace_dropped =
       dropped_now >= trace_dropped_mark_ ? dropped_now - trace_dropped_mark_

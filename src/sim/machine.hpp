@@ -59,6 +59,7 @@
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/task.hpp"
+#include "sim/timeline.hpp"
 #include "sim/trace.hpp"
 
 namespace ftsort::sim {
@@ -277,6 +278,14 @@ struct RunReport {
   /// deaths (kind None otherwise). Derived from logical evidence only, so
   /// identical across executors.
   Diagnosis diagnosis;
+  /// Recovery-latency decomposition (sim/timeline.hpp): where the time
+  /// between fault injection and restart went, per recovery episode.
+  /// Filled by core::recovery_sort on committed runs; enabled == false
+  /// otherwise.
+  RecoveryLatency recovery_latency;
+  /// Sim-time sampler series (sim/timeline.hpp). Empty unless
+  /// `Machine::timeline()` was enabled for the run.
+  TimelineSnapshot timeline;
   /// Host-side scheduler/pool profile; enabled==false (all zeros) unless
   /// Machine::profile_host(true) was set before the run.
   HostProfile host;
@@ -305,6 +314,9 @@ class Machine {
   /// Per-link traffic registry. `link_stats().enable(size(), dim())`
   /// before a run to populate `RunReport::links`.
   LinkStats& link_stats() { return link_stats_; }
+  /// Sim-time sampler. `timeline().enable(size(), dim(), tick)` before a
+  /// run to populate `RunReport::timeline`.
+  Timeline& timeline() { return timeline_; }
 
   /// Aggregate payload-allocation ledger over all node pools. Cumulative
   /// across runs on this machine (pools stay warm); callers interested in a
@@ -426,6 +438,7 @@ class Machine {
   Trace trace_;
   Metrics metrics_;
   LinkStats link_stats_;
+  Timeline timeline_;
   FaultInjector injector_;
   PoolStats pool_mark_;            ///< pool_stats() at run start
   std::uint64_t trace_run_start_ = 0;   ///< trace_.next_seq() at run start

@@ -1,0 +1,187 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/contracts.hpp"
+
+namespace ftsort::sim {
+
+void Timeline::enable(std::uint32_t num_nodes, cube::Dim dim, SimTime tick) {
+  FTSORT_REQUIRE(num_nodes > 0);
+  FTSORT_REQUIRE(tick > 0.0);
+  enabled_ = true;
+  tick_ = tick;
+  dim_ = dim;
+  if (nodes_.size() != num_nodes) {
+    nodes_.clear();
+    for (std::uint32_t u = 0; u < num_nodes; ++u)
+      nodes_.push_back(std::make_unique<NodeShard>());
+  }
+  if (dims_.size() != static_cast<std::size_t>(dim)) {
+    dims_.clear();
+    for (cube::Dim d = 0; d < dim; ++d)
+      dims_.push_back(std::make_unique<DimShard>());
+  }
+  reset();
+}
+
+void Timeline::disable() { enabled_ = false; }
+
+void Timeline::reset() {
+  for (auto& node : nodes_) {
+    node->queue = Series{};
+    node->pool = Series{};
+    node->phase.clear();
+    node->cursor = 0;
+  }
+  for (auto& d : dims_) d->keys = Series{};
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Timeline::bucket(SimTime t) const {
+  if (t < 0.0) return 0;
+  const double idx = t / tick_;
+  if (idx >= static_cast<double>(kTimelineMaxTicks)) return kTimelineMaxTicks;
+  return static_cast<std::size_t>(idx);
+}
+
+void Timeline::add(Series& s, std::size_t idx, std::int64_t delta) {
+  if (idx >= s.deltas.size())
+    s.deltas.resize(std::max(idx + 1, s.deltas.size() * 2), 0);
+  s.deltas[idx] += delta;
+  s.max_tick = s.touched ? std::max(s.max_tick, idx) : idx;
+  s.touched = true;
+}
+
+void Timeline::note_enqueue(cube::NodeId dst, SimTime arrival) {
+  const std::size_t idx = bucket(arrival);
+  if (idx == kTimelineMaxTicks) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  NodeShard& shard = *nodes_[dst];
+  const std::lock_guard<std::mutex> guard(shard.mutex);
+  add(shard.queue, idx, +1);
+}
+
+void Timeline::note_dequeue(cube::NodeId dst, SimTime when) {
+  const std::size_t idx = bucket(when);
+  if (idx == kTimelineMaxTicks) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  NodeShard& shard = *nodes_[dst];
+  const std::lock_guard<std::mutex> guard(shard.mutex);
+  add(shard.queue, idx, -1);
+}
+
+void Timeline::note_send(cube::NodeId src, cube::NodeId dst,
+                         std::uint64_t keys, SimTime sent_at) {
+  const std::size_t idx = bucket(sent_at);
+  if (idx == kTimelineMaxTicks) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    NodeShard& shard = *nodes_[src];
+    const std::lock_guard<std::mutex> guard(shard.mutex);
+    add(shard.pool, idx, +1);
+  }
+  const std::int64_t k = static_cast<std::int64_t>(keys);
+  for (std::uint32_t diff = src ^ dst; diff != 0; diff &= diff - 1) {
+    DimShard& shard = *dims_[static_cast<std::size_t>(std::countr_zero(diff))];
+    const std::lock_guard<std::mutex> guard(shard.mutex);
+    add(shard.keys, idx, +k);
+  }
+}
+
+void Timeline::note_delivered(cube::NodeId src, cube::NodeId dst,
+                              std::uint64_t keys, SimTime when) {
+  const std::size_t idx = bucket(when);
+  if (idx == kTimelineMaxTicks) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    NodeShard& shard = *nodes_[src];
+    const std::lock_guard<std::mutex> guard(shard.mutex);
+    add(shard.pool, idx, -1);
+  }
+  const std::int64_t k = static_cast<std::int64_t>(keys);
+  for (std::uint32_t diff = src ^ dst; diff != 0; diff &= diff - 1) {
+    DimShard& shard = *dims_[static_cast<std::size_t>(std::countr_zero(diff))];
+    const std::lock_guard<std::mutex> guard(shard.mutex);
+    add(shard.keys, idx, -k);
+  }
+}
+
+void Timeline::note_dropped(cube::NodeId src, cube::NodeId dst,
+                            std::uint64_t keys, SimTime arrival) {
+  // A dropped message leaves the wire (and frees its buffer) at its
+  // would-be arrival; same deltas as a delivery.
+  note_delivered(src, dst, keys, arrival);
+}
+
+void Timeline::note_phase(cube::NodeId u, SimTime now, Phase p) {
+  NodeShard& shard = *nodes_[u];
+  std::size_t upto = bucket(now);
+  if (upto == kTimelineMaxTicks) upto = kTimelineMaxTicks - 1;
+  if (shard.cursor > upto) return;
+  if (upto >= shard.phase.size())
+    shard.phase.resize(std::max(upto + 1, shard.phase.size() * 2),
+                       TimelineSnapshot::kIdle);
+  for (std::size_t t = shard.cursor; t <= upto; ++t)
+    shard.phase[t] = static_cast<std::uint8_t>(p);
+  shard.cursor = upto + 1;
+}
+
+TimelineSnapshot Timeline::snapshot() const {
+  TimelineSnapshot out;
+  out.enabled = enabled_;
+  if (!enabled_) return out;
+  out.tick = tick_;
+  out.num_nodes = static_cast<std::uint32_t>(nodes_.size());
+  out.dim = dim_;
+  out.dropped = dropped_.load(std::memory_order_relaxed);
+
+  // Common padded length: the latest tick any series or phase row touched.
+  // Deterministic — high-water marks depend only on the (identical) event
+  // set, never on vector growth order.
+  std::size_t ticks = 0;
+  const auto cover = [&ticks](const Series& s) {
+    if (s.touched) ticks = std::max(ticks, s.max_tick + 1);
+  };
+  for (const auto& node : nodes_) {
+    cover(node->queue);
+    cover(node->pool);
+    ticks = std::max(ticks, node->cursor);
+  }
+  for (const auto& d : dims_) cover(d->keys);
+  out.ticks = ticks;
+
+  const auto cumulate = [ticks](const Series& s) {
+    std::vector<std::int64_t> row(ticks, 0);
+    std::int64_t running = 0;
+    for (std::size_t t = 0; t < ticks; ++t) {
+      if (t < s.deltas.size()) running += s.deltas[t];
+      row[t] = running;
+    }
+    return row;
+  };
+  for (const auto& node : nodes_) {
+    out.queue_depth.push_back(cumulate(node->queue));
+    out.pool_in_use.push_back(cumulate(node->pool));
+    std::vector<std::uint8_t> row(ticks, TimelineSnapshot::kIdle);
+    std::copy(node->phase.begin(),
+              node->phase.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      std::min(node->cursor, ticks)),
+              row.begin());
+    out.phase.push_back(std::move(row));
+  }
+  for (const auto& d : dims_) out.keys_in_flight.push_back(cumulate(d->keys));
+  return out;
+}
+
+}  // namespace ftsort::sim

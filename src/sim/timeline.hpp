@@ -1,0 +1,222 @@
+// Time-resolved telemetry: the sim-time sampler and the recovery-latency
+// decomposition.
+//
+// `Timeline` is an opt-in registry (sibling of Metrics/LinkStats/Trace)
+// that buckets instrumentation deltas by *logical* tick, so a finished run
+// can be replayed as a time series: per-node pending-queue depth, in-flight
+// keys per cube dimension, payload buffers in flight per node, and each
+// node's active phase. Charging a delta never touches a node clock, so
+// sampling has zero simulated-time cost and cannot change results.
+//
+// Determinism: sampling "current global state at tick boundaries" would be
+// racy on the threaded executor (no global instant exists between
+// quiescence points). Instead each hook adds an integer delta to the bucket
+// of the *logical* time it describes (a message's arrival, a receive's
+// post-wait clock). Bucketed integer sums are order-independent, so the
+// snapshot is byte-identical across the sequential and threaded executors,
+// like every other RunReport field.
+//
+// Write sharding follows the registry conventions (DESIGN.md §7):
+//   * queue-depth rows are guarded by the destination node's shard mutex
+//     (post() runs on the sender's thread);
+//   * pool/in-flight rows are guarded by the *source* node's shard mutex
+//     (delivery runs on the receiver's thread);
+//   * per-dimension key counters get their own mutexes (both endpoints
+//     charge them);
+//   * phase rows are written only from the owning node's thread and need
+//     no lock (the Metrics discipline).
+//
+// The series length is bounded by `kTimelineMaxTicks`; deltas addressed
+// past the cap are counted in `dropped` instead of growing without bound
+// (a recovery run's logical makespan can be ~1e9 µs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hypercube/address.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/phase.hpp"
+
+namespace ftsort::sim {
+
+/// Hard cap on the number of ticks a Timeline will materialise. Chosen so
+/// a fully populated Q_10 snapshot stays in the tens of megabytes; pick a
+/// coarser tick rather than raising it.
+inline constexpr std::size_t kTimelineMaxTicks = 4096;
+
+/// Immutable result of one sampled run, carried in RunReport::timeline.
+/// All series are cumulative (prefix-summed) per tick and padded to a
+/// common `ticks` length. With `dropped == 0`, the queue/pool/in-flight
+/// series each return to zero in the final tick of a completed run: every
+/// enqueue was matched by a dequeue or drop.
+struct TimelineSnapshot {
+  /// Phase ordinal used for ticks before a node's first charge and after
+  /// its last: the node was idle (or dead), not in any phase.
+  static constexpr std::uint8_t kIdle = 0xff;
+
+  bool enabled = false;
+  SimTime tick = 0.0;          ///< tick width in simulated µs
+  std::uint32_t num_nodes = 0;
+  cube::Dim dim = 0;
+  std::size_t ticks = 0;       ///< common length of every series
+  std::uint64_t dropped = 0;   ///< deltas past kTimelineMaxTicks, not recorded
+  /// [node][tick]: messages arrived but not yet received at tick end.
+  std::vector<std::vector<std::int64_t>> queue_depth;
+  /// [node][tick]: payload buffers checked out of this node's pool and
+  /// still travelling (sent, not yet delivered or dropped) at tick end.
+  std::vector<std::vector<std::int64_t>> pool_in_use;
+  /// [dim][tick]: keys on the wire crossing this cube dimension at tick
+  /// end (multi-hop messages count on every dimension they traverse).
+  std::vector<std::vector<std::int64_t>> keys_in_flight;
+  /// [node][tick]: Phase ordinal the node was in when simulated time
+  /// crossed the tick boundary; kIdle outside the node's active interval.
+  std::vector<std::vector<std::uint8_t>> phase;
+
+  bool empty() const { return !enabled; }
+  std::int64_t total_queue_depth(std::size_t t) const {
+    std::int64_t sum = 0;
+    for (const auto& row : queue_depth) sum += row[t];
+    return sum;
+  }
+  std::int64_t total_pool_in_use(std::size_t t) const {
+    std::int64_t sum = 0;
+    for (const auto& row : pool_in_use) sum += row[t];
+    return sum;
+  }
+  bool operator==(const TimelineSnapshot&) const = default;
+};
+
+/// One recovery round that ended in a RESTART verdict: who was found dead
+/// and where the simulated time between the fault and the next attempt
+/// went. All boundaries are logical clocks read off the coordinator's
+/// protocol path (core/recovery.cpp), so they are byte-identical across
+/// executors. Stage accessors telescope: detection() + roll_call() +
+/// salvage() + restart() == restart_end - inject for every episode.
+struct RecoveryEpisode {
+  std::uint32_t attempt = 0;            ///< attempt index that aborted
+  std::vector<cube::NodeId> dead;       ///< nodes this roll call found dead
+  SimTime inject = 0.0;         ///< earliest injector kill among `dead`
+  SimTime detect_first = 0.0;   ///< coordinator's first timeout evidence
+  SimTime detect_confirm = 0.0; ///< last roll-call timeout (the watermark)
+  SimTime rollcall_end = 0.0;   ///< coordinator clock after the roll call
+  SimTime salvage_end = 0.0;    ///< after witness salvage + verdict fan-out
+  SimTime restart_end = 0.0;    ///< next episode's inject, or the makespan
+
+  SimTime detection() const { return detect_first - inject; }
+  SimTime roll_call() const { return rollcall_end - detect_first; }
+  SimTime salvage() const { return salvage_end - rollcall_end; }
+  SimTime restart() const { return restart_end - salvage_end; }
+  SimTime total() const { return restart_end - inject; }
+  bool operator==(const RecoveryEpisode&) const = default;
+};
+
+/// Per-run recovery-latency decomposition, carried in
+/// RunReport::recovery_latency. `enabled` is true iff the run committed
+/// through core::recovery_sort after at least one RESTART round. Summing
+/// every stage over every episode telescopes exactly to
+/// `makespan - episodes.front().inject` — and the final episode's
+/// detect_confirm equals core::detect_time(report), so the salvage- and
+/// restart-side stages partition `makespan_post_recovery` (see the pinned
+/// RecoveryLatency tests). Stage values are raw clock differences; under
+/// adversarial overlapping injections the restart stage of a non-final
+/// episode can be negative (the next fault landed before salvage ended).
+struct RecoveryLatency {
+  bool enabled = false;
+  std::vector<RecoveryEpisode> episodes;
+
+  SimTime detection_total() const {
+    SimTime s = 0.0;
+    for (const auto& e : episodes) s += e.detection();
+    return s;
+  }
+  SimTime roll_call_total() const {
+    SimTime s = 0.0;
+    for (const auto& e : episodes) s += e.roll_call();
+    return s;
+  }
+  SimTime salvage_total() const {
+    SimTime s = 0.0;
+    for (const auto& e : episodes) s += e.salvage();
+    return s;
+  }
+  SimTime restart_total() const {
+    SimTime s = 0.0;
+    for (const auto& e : episodes) s += e.restart();
+    return s;
+  }
+  bool operator==(const RecoveryLatency&) const = default;
+};
+
+/// The sampler registry. Enable before a run (Machine::timeline());
+/// Machine resets it per run and snapshots it into RunReport::timeline.
+class Timeline {
+ public:
+  /// Arm the sampler for `num_nodes` nodes of a `dim`-cube with the given
+  /// tick width (simulated µs, > 0). Idempotent per shape.
+  void enable(std::uint32_t num_nodes, cube::Dim dim, SimTime tick);
+  void disable();
+  bool enabled() const { return enabled_; }
+  SimTime tick() const { return tick_; }
+
+  /// Clear all series for a new run. Not thread-safe; called between runs.
+  void reset();
+
+  // Delta hooks, called by Machine at charge sites. All take the logical
+  // time of the event they describe and never advance any clock.
+  void note_enqueue(cube::NodeId dst, SimTime arrival);
+  void note_dequeue(cube::NodeId dst, SimTime when);
+  void note_send(cube::NodeId src, cube::NodeId dst, std::uint64_t keys,
+                 SimTime sent_at);
+  void note_delivered(cube::NodeId src, cube::NodeId dst,
+                      std::uint64_t keys, SimTime when);
+  void note_dropped(cube::NodeId src, cube::NodeId dst, std::uint64_t keys,
+                    SimTime arrival);
+  /// Record that node `u` was in `p` when its clock reached `now`; fills
+  /// every tick boundary crossed since the node's previous sample. Called
+  /// only from the owning node's thread.
+  void note_phase(cube::NodeId u, SimTime now, Phase p);
+
+  /// Materialise the run's series (prefix sums, common padding). Call
+  /// after the run completes (both executors have joined/drained).
+  TimelineSnapshot snapshot() const;
+
+ private:
+  // One delta series: sparse per-tick sums plus its own high-water mark
+  // (vector capacity growth is insertion-order dependent and must not
+  // leak into the snapshot).
+  struct Series {
+    std::vector<std::int64_t> deltas;
+    std::size_t max_tick = 0;
+    bool touched = false;
+  };
+  struct NodeShard {
+    std::mutex mutex;           // guards queue + pool
+    Series queue;
+    Series pool;
+    // Own-thread only: no lock.
+    std::vector<std::uint8_t> phase;
+    std::size_t cursor = 0;
+  };
+  struct DimShard {
+    std::mutex mutex;
+    Series keys;
+  };
+
+  /// Bucket index for a logical time, or kTimelineMaxTicks when past the
+  /// cap (caller counts it as dropped).
+  std::size_t bucket(SimTime t) const;
+  static void add(Series& s, std::size_t idx, std::int64_t delta);
+
+  bool enabled_ = false;
+  SimTime tick_ = 0.0;
+  cube::Dim dim_ = 0;
+  std::vector<std::unique_ptr<NodeShard>> nodes_;
+  std::vector<std::unique_ptr<DimShard>> dims_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace ftsort::sim

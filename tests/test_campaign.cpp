@@ -214,13 +214,13 @@ TEST(CampaignFtdiag, DiffFlagsReliabilityDriftAndExitCodesMatchContract) {
 
 // ---------------------------------------------------------------------------
 // The acceptance campaign: 500 trials on Q_7, r in 0..3, threaded worker
-// pool vs single worker -> byte-identical schema-v4 JSON with a monotone
+// pool vs single worker -> byte-identical schema-v5 JSON with a monotone
 // completion curve. (Suite named MonteCarlo, not Campaign: the tsan
 // preset includes Campaign.* by name, and this sweep is too large to run
 // under instrumentation — the small Campaign.* tests above give tsan the
 // same worker-pool coverage.)
 
-const char* const kSchemaV4RequiredKeys[] = {
+const char* const kSchemaV5RequiredKeys[] = {
     "campaign",      "schema_version",       "n",
     "r_max",         "scenarios",            "trials",
     "seed",          "num_keys",             "executor",
@@ -229,11 +229,16 @@ const char* const kSchemaV4RequiredKeys[] = {
     "mean_makespan", "min_makespan",         "max_makespan",
     "mean_detect",   "mean_slowdown",        "hotspot_p50",
     "hotspot_p90",   "hotspot_max",          "roots",
+    "detect_latency_p50",                    "detect_latency_p90",
+    "rollcall_latency_p50",                  "rollcall_latency_p90",
+    "salvage_latency_p50",                   "salvage_latency_p90",
+    "restart_latency_p50",                   "restart_latency_p90",
     "trials_detail", "index",                "scenario",
     "outcome",       "root",                 "makespan",
     "detect",        "deaths",               "timeouts",
     "comparisons",   "messages",             "key_hops",
-    "hotspot_share"};
+    "hotspot_share", "detect_latency",       "rollcall_latency",
+    "salvage_latency",                       "restart_latency"};
 
 TEST(MonteCarlo, AcceptanceFiveHundredTrialCampaignQ7) {
   campaign::CampaignConfig cfg;
@@ -260,9 +265,19 @@ TEST(MonteCarlo, AcceptanceFiveHundredTrialCampaignQ7) {
   for (std::size_t r = 1; r < single.buckets.size(); ++r)
     EXPECT_GT(single.buckets[r].recovered + single.buckets[r].degraded, 0u)
         << "r=" << r;
+  // Buckets with recovered trials carry a non-trivial recovery-latency
+  // decomposition (v5); bucket 0 never recovers, so its percentiles are
+  // identically zero.
+  EXPECT_EQ(single.buckets[0].detect_latency_p50, 0.0);
+  EXPECT_EQ(single.buckets[0].restart_latency_p90, 0.0);
+  for (const campaign::BucketStats& b : single.buckets) {
+    if (b.recovered == 0) continue;
+    EXPECT_GT(b.detect_latency_p90, 0.0) << "r=" << b.r;
+    EXPECT_GT(b.restart_latency_p90, 0.0) << "r=" << b.r;
+  }
 
-  // Schema v4: every required key present, braces balanced.
-  for (const char* key : kSchemaV4RequiredKeys)
+  // Schema v5: every required key present, braces balanced.
+  for (const char* key : kSchemaV5RequiredKeys)
     EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
         << "missing schema key " << key;
   long depth = 0;

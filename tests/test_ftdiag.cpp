@@ -401,6 +401,167 @@ TEST(FtdiagDiff, RejectsMalformedAndMismatchedInput) {
   EXPECT_EQ(tools::run_cli(1, no_args, cli_out, cli_err), 2);
   const char* missing[] = {"ftdiag", "explain", "/nonexistent/trace.json"};
   EXPECT_EQ(tools::run_cli(3, missing, cli_out, cli_err), 2);
+  // The usage text advertises every subcommand and the schema ceilings.
+  EXPECT_NE(cli_err.str().find("history"), std::string::npos);
+  EXPECT_NE(cli_err.str().find("supported schemas"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// schema compatibility: files newer than the build (or, for the
+// exact-version campaign reader, older) are refused with a versioned
+// message, never misparsed into zero-filled tables.
+
+TEST(FtdiagSchema, RefusesFilesNewerThanTheBuildWithVersionedMessage) {
+  const tools::DiffResult metrics = tools::diff_json(
+      R"({"schema_version": 99, "makespan": 1, "phases": []})",
+      R"({"schema_version": 99, "makespan": 1, "phases": []})", 20.0);
+  EXPECT_FALSE(metrics.ok);
+  EXPECT_NE(metrics.error.find("schema v99"), std::string::npos)
+      << metrics.error;
+  EXPECT_NE(metrics.error.find("reads up to v5"), std::string::npos)
+      << metrics.error;
+
+  const tools::HotspotsResult bench = tools::hotspots_report(
+      R"({"schema_version": 7, "scenarios": [{"name": "s",
+          "link_dimensions": {"0": {"key_hops": 1}}}]})",
+      0);
+  EXPECT_FALSE(bench.ok);
+  EXPECT_NE(bench.error.find("reads up to v3"), std::string::npos)
+      << bench.error;
+
+  // Campaign bucket keys changed meaning across versions: a v4 file gets
+  // the versioned refusal instead of zeroed latency columns.
+  const tools::CampaignCliResult old = tools::campaign_report(
+      R"({"campaign": "fault_mc", "schema_version": 4,
+          "buckets": [{"r": 0, "trials": 1}]})");
+  EXPECT_FALSE(old.ok);
+  EXPECT_NE(old.error.find("schema v4"), std::string::npos) << old.error;
+  EXPECT_NE(old.error.find("reads v5"), std::string::npos) << old.error;
+}
+
+// ---------------------------------------------------------------------------
+// history: trend gate over the append-only BENCH_history.jsonl.
+
+namespace {
+
+/// One synthetic history line in the bench_harness shape.
+std::string history_line(const char* mode, const char* build,
+                         double makespan, double wall_ns) {
+  std::ostringstream os;
+  os << R"({"bench": "sort", "schema_version": 3, "mode": ")" << mode
+     << R"(", "build": ")" << build
+     << R"(", "scenarios": [{"name": "fig7", "wall_ns": )" << wall_ns
+     << R"(, "makespan": )" << makespan << R"(, "comparisons": 7}]})"
+     << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+TEST(FtdiagHistory, StableSeriesPassesAndRegressionTrips) {
+  std::string stable;
+  for (int i = 0; i < 5; ++i)
+    stable += history_line("smoke", "release", 100.0, 5e6);
+  const tools::HistoryResult ok =
+      tools::history_trends(stable, "makespan", 3, 20.0);
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.regressions, 0u);
+  ASSERT_EQ(ok.trends.size(), 1u);
+  EXPECT_EQ(ok.trends[0].scenario, "fig7");
+  EXPECT_EQ(ok.trends[0].entries, 5u);
+  EXPECT_DOUBLE_EQ(ok.trends[0].drift_pct, 0.0);
+
+  // Last-3 window settles 30% above the baseline median: beyond ±20%.
+  std::string drifted;
+  for (int i = 0; i < 2; ++i)
+    drifted += history_line("smoke", "release", 100.0, 5e6);
+  for (int i = 0; i < 3; ++i)
+    drifted += history_line("smoke", "release", 130.0, 5e6);
+  const tools::HistoryResult bad =
+      tools::history_trends(drifted, "makespan", 3, 20.0);
+  ASSERT_TRUE(bad.ok) << bad.error;
+  EXPECT_EQ(bad.regressions, 1u);
+  ASSERT_EQ(bad.trends.size(), 1u);
+  EXPECT_TRUE(bad.trends[0].regression);
+  EXPECT_DOUBLE_EQ(bad.trends[0].baseline, 100.0);
+  EXPECT_DOUBLE_EQ(bad.trends[0].recent, 130.0);
+  EXPECT_NE(bad.text.find("REGRESSION"), std::string::npos) << bad.text;
+
+  // The gate is symmetric: an unexplained speedup is just as suspect.
+  std::string faster;
+  for (int i = 0; i < 2; ++i)
+    faster += history_line("smoke", "release", 100.0, 5e6);
+  for (int i = 0; i < 3; ++i)
+    faster += history_line("smoke", "release", 70.0, 5e6);
+  EXPECT_EQ(tools::history_trends(faster, "makespan", 3, 20.0).regressions,
+            1u);
+}
+
+TEST(FtdiagHistory, GroupsByModeAndBuildAndSkipsShortGroups) {
+  // Same scenario name in smoke/full and release/debug: four distinct
+  // groups; the full and debug singletons are too short to trend.
+  std::string mixed;
+  mixed += history_line("smoke", "release", 100.0, 5e6);
+  mixed += history_line("smoke", "release", 500.0, 5e6);  // +400% drift
+  mixed += history_line("full", "release", 9999.0, 9e9);
+  mixed += history_line("smoke", "debug", 100.0, 8e7);
+  const tools::HistoryResult res =
+      tools::history_trends(mixed, "makespan", 3, 20.0);
+  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_EQ(res.trends.size(), 1u);
+  EXPECT_EQ(res.trends[0].mode, "smoke");
+  EXPECT_EQ(res.trends[0].build, "release");
+  EXPECT_EQ(res.short_groups, 2u);
+  EXPECT_EQ(res.regressions, 1u);  // the smoke/release jump, nothing else
+}
+
+TEST(FtdiagHistory, SkipsCorruptLinesWithACountAndNeverFails) {
+  std::string text;
+  text += history_line("smoke", "release", 100.0, 5e6);
+  text += "not json at all\n";
+  // A truncated append (crashed writer): braces never close.
+  text += R"({"bench": "sort", "mode": "smoke", "scenarios": [{"name")";
+  text += "\n";
+  text += history_line("smoke", "release", 100.0, 5e6);
+  const tools::HistoryResult res =
+      tools::history_trends(text, "makespan", 3, 20.0);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.lines, 2u);
+  EXPECT_EQ(res.skipped_lines, 2u);
+  ASSERT_EQ(res.trends.size(), 1u);
+  EXPECT_EQ(res.trends[0].entries, 2u);
+  EXPECT_NE(res.text.find("skipped 2 corrupt"), std::string::npos)
+      << res.text;
+}
+
+TEST(FtdiagHistory, ExitCodesMatchTheCliContract) {
+  std::string stable;
+  std::string drifted;
+  for (int i = 0; i < 4; ++i) {
+    stable += history_line("smoke", "release", 100.0, 5e6);
+    drifted += history_line("smoke", "release", i < 2 ? 100.0 : 200.0, 5e6);
+  }
+  const std::string ps = write_temp("hist_stable", stable);
+  const std::string pd = write_temp("hist_drift", drifted);
+  std::ostringstream out;
+  std::ostringstream err;
+  const char* clean[] = {"ftdiag", "history", ps.c_str()};
+  EXPECT_EQ(tools::run_cli(3, clean, out, err), 0);
+  const char* trip[] = {"ftdiag", "history", pd.c_str(), "--last", "2"};
+  EXPECT_EQ(tools::run_cli(5, trip, out, err), 1);
+  // wall_ns is flat in both fixtures: metric selection flips the verdict.
+  const char* wall[] = {"ftdiag",  "history", pd.c_str(),
+                        "--metric", "wall_ns"};
+  EXPECT_EQ(tools::run_cli(5, wall, out, err), 0);
+  const char* bad_metric[] = {"ftdiag",  "history", ps.c_str(),
+                              "--metric", "bogus"};
+  EXPECT_EQ(tools::run_cli(5, bad_metric, out, err), 2);
+  const char* bad_flag[] = {"ftdiag", "history", ps.c_str(), "--nope", "1"};
+  EXPECT_EQ(tools::run_cli(5, bad_flag, out, err), 2);
+  const char* missing[] = {"ftdiag", "history", "/nonexistent/hist.jsonl"};
+  EXPECT_EQ(tools::run_cli(3, missing, out, err), 2);
+  std::remove(ps.c_str());
+  std::remove(pd.c_str());
 }
 
 }  // namespace

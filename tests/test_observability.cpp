@@ -337,10 +337,13 @@ TEST(ObservabilityExport, MetricsJsonContainsEveryPhaseAndKey) {
         "measured_all_h", "measured_all_total", "candidates", "predicted_h",
         "predicted_total", "chosen",
         // v4: the active cost model, so ftdiag can refuse cross-model diffs.
-        "cost_model", "routing", "t_compare", "t_transfer", "t_startup"})
+        "cost_model", "routing", "t_compare", "t_transfer", "t_startup",
+        // v5: recovery-latency decomposition and the sim-time sampler
+        // (enabled:false stubs here — this run recorded neither).
+        "recovery_latency", "timeline"})
     EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
         << key;
-  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"cost_model\": {\"name\": \"ncube7\", \"routing\": "
                       "\"store_and_forward\""),
             std::string::npos);
@@ -363,6 +366,11 @@ TEST(ObservabilityExport, MetricsJsonStubsLinkBlocksWhenDisabled) {
   EXPECT_TRUE(braces_balance(json));
   EXPECT_NE(json.find("\"links\": {\"enabled\": false}"), std::string::npos);
   EXPECT_NE(json.find("\"reindex_audit\": {\"enabled\": false}"),
+            std::string::npos);
+  // v5 blocks stub out the same way when nothing was recorded.
+  EXPECT_NE(json.find("\"recovery_latency\": {\"enabled\": false}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"timeline\": {\"enabled\": false}"),
             std::string::npos);
 }
 

@@ -78,6 +78,28 @@ double num_or(const std::string& obj, const char* key, double fallback) {
   return v;
 }
 
+// Newest schema version each reader understands. Files *older* than the
+// ceiling still parse (new keys are additive and simply absent); files
+// *newer* than the ceiling are refused with a versioned message instead
+// of a silent misparse.
+constexpr double kMetricsSchemaMax = 5.0;   ///< sim::write_metrics_json
+constexpr double kBenchSchemaMax = 3.0;     ///< bench_harness write_json
+constexpr double kCampaignSchemaMax = 5.0;  ///< campaign::write_campaign_json
+
+/// Refuses documents newer than `ceiling`. `what` names the format in
+/// the error ("metrics JSON", ...). A missing schema_version (hand-made
+/// fixtures, pre-versioning files) passes: absent means v0.
+bool check_schema_ceiling(const std::string& text, const char* what,
+                          double ceiling, std::string* err) {
+  const double sv = num_or(text, "schema_version", 0.0);
+  if (sv <= ceiling) return true;
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s is schema v%g, this build reads up to v%g",
+                what, sv, ceiling);
+  *err = buf;
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // diff: parsed per-run phase samples.
 
@@ -144,6 +166,8 @@ void read_phase_counters(const std::string& obj, PhaseSample* out) {
 /// Metrics format: top-level `"phases": [ {"phase": "name", ...}, ... ]`.
 bool parse_metrics_doc(const std::string& text, ParsedDoc* doc,
                        std::string* err) {
+  if (!check_schema_ceiling(text, "metrics JSON", kMetricsSchemaMax, err))
+    return false;
   RunSample run;
   run.makespan = num_or(text, "makespan", 0.0);
   run.cost_sig = cost_signature(text);
@@ -183,6 +207,8 @@ bool parse_metrics_doc(const std::string& text, ParsedDoc* doc,
 /// Bench format: `"scenarios": [ {"name": ..., "phases": { ... }}, ... ]`.
 bool parse_bench_doc(const std::string& text, ParsedDoc* doc,
                      std::string* err) {
+  if (!check_schema_ceiling(text, "bench JSON", kBenchSchemaMax, err))
+    return false;
   std::size_t pos = text.find('[', text.find("\"scenarios\""));
   if (pos == std::string::npos) {
     *err = "bench JSON without a \"scenarios\" array";
@@ -494,6 +520,8 @@ void read_dim_entry(const std::string& obj, DimTraffic* out) {
 /// Metrics format: the `"links"` block plus per-phase `key_hops`.
 bool parse_links_metrics(const std::string& text, std::vector<LinkRun>* runs,
                          std::string* err) {
+  if (!check_schema_ceiling(text, "metrics JSON", kMetricsSchemaMax, err))
+    return false;
   const std::size_t at = text.find("\"links\": {");
   if (at == std::string::npos) {
     *err = "metrics JSON without a \"links\" block (schema v3 required)";
@@ -551,6 +579,8 @@ bool parse_links_metrics(const std::string& text, std::vector<LinkRun>* runs,
 /// Bench format: per-scenario `link_key_hops` / `"link_dimensions"`.
 bool parse_links_bench(const std::string& text, std::vector<LinkRun>* runs,
                        std::string* err) {
+  if (!check_schema_ceiling(text, "bench JSON", kBenchSchemaMax, err))
+    return false;
   std::size_t pos = text.find('[', text.find("\"scenarios\""));
   if (pos == std::string::npos) {
     *err = "bench JSON without a \"scenarios\" array";
@@ -793,6 +823,9 @@ struct CampaignBucket {
   double mean_detect = 0.0;
   double mean_makespan = 0.0;
   double hotspot_p90 = 0.0;
+  double detect_latency_p50 = 0.0;
+  double salvage_latency_p50 = 0.0;
+  double restart_latency_p50 = 0.0;
 };
 
 /// Parsed header + buckets of a schema-v4 campaign document.
@@ -813,8 +846,16 @@ bool parse_campaign_doc(const std::string& text, CampaignDoc* doc,
     *err = "not a campaign export: missing \"campaign\": \"fault_mc\"";
     return false;
   }
-  if (num_or(text, "schema_version", 0.0) != 4.0) {
-    *err = "unsupported campaign schema_version (expected 4)";
+  // The campaign reader is exact-version: the bucket keys it relies on
+  // changed meaning across versions, so both older and newer files get
+  // the versioned refusal rather than zero-filled columns.
+  const double sv = num_or(text, "schema_version", 0.0);
+  if (sv != kCampaignSchemaMax) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "campaign JSON is schema v%g, this build reads v%g", sv,
+                  kCampaignSchemaMax);
+    *err = buf;
     return false;
   }
   doc->n = num_or(text, "n", 0.0);
@@ -870,6 +911,9 @@ bool parse_campaign_doc(const std::string& text, CampaignDoc* doc,
     b.mean_detect = num_or(obj, "mean_detect", 0.0);
     b.mean_makespan = num_or(obj, "mean_makespan", 0.0);
     b.hotspot_p90 = num_or(obj, "hotspot_p90", 0.0);
+    b.detect_latency_p50 = num_or(obj, "detect_latency_p50", 0.0);
+    b.salvage_latency_p50 = num_or(obj, "salvage_latency_p50", 0.0);
+    b.restart_latency_p50 = num_or(obj, "restart_latency_p50", 0.0);
     doc->buckets.push_back(b);
   }
   if (doc->buckets.empty()) {
@@ -894,18 +938,23 @@ CampaignCliResult campaign_report(const std::string& json) {
       << static_cast<unsigned long long>(doc.seed) << ", " << doc.executor
       << " executor\n";
   if (!doc.outcomes.empty()) out << "  outcomes: " << doc.outcomes << "\n";
-  char line[160];
-  std::snprintf(line, sizeof line, "  %-3s %7s %10s %10s %9s %12s %14s %12s\n",
+  char line[224];
+  std::snprintf(line, sizeof line,
+                "  %-3s %7s %10s %10s %9s %12s %14s %12s %11s %12s %12s\n",
                 "r", "trials", "completed", "recovered", "degraded",
-                "P(complete)", "mean_slowdown", "hotspot_p90");
+                "P(complete)", "mean_slowdown", "hotspot_p90", "detect_p50",
+                "salvage_p50", "restart_p50");
   out << line;
   for (const CampaignBucket& b : doc.buckets) {
     std::snprintf(line, sizeof line,
-                  "  %-3d %7ld %10ld %10ld %9ld %12.3f %14.3f %12.3f\n", b.r,
-                  static_cast<long>(b.trials), static_cast<long>(b.completed),
+                  "  %-3d %7ld %10ld %10ld %9ld %12.3f %14.3f %12.3f "
+                  "%11.0f %12.0f %12.0f\n",
+                  b.r, static_cast<long>(b.trials),
+                  static_cast<long>(b.completed),
                   static_cast<long>(b.recovered),
                   static_cast<long>(b.degraded), b.completion_probability,
-                  b.mean_slowdown, b.hotspot_p90);
+                  b.mean_slowdown, b.hotspot_p90, b.detect_latency_p50,
+                  b.salvage_latency_p50, b.restart_latency_p50);
     out << line;
   }
   for (std::size_t i = 1; i < doc.buckets.size(); ++i)
@@ -990,6 +1039,194 @@ CampaignCliResult campaign_diff(const std::string& a, const std::string& b,
 }
 
 // ---------------------------------------------------------------------------
+// history
+
+namespace {
+
+/// Median of an unsorted sample set: sorted copy, average of the two
+/// middles when even. Deterministic (no interpolation beyond the
+/// midpoint average) and robust to a single outlier run.
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  if (v.size() % 2 == 1) return v[mid];
+  return 0.5 * (v[mid - 1] + v[mid]);
+}
+
+/// Eight-step block sparkline (U+2581..U+2588) of `v` scaled min..max;
+/// a flat series renders as the middle block.
+std::string sparkline(const std::vector<double>& v) {
+  double lo = v.empty() ? 0.0 : v[0];
+  double hi = lo;
+  for (const double x : v) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  std::string out;
+  for (const double x : v) {
+    int level = 3;  // flat series: middle block
+    if (hi > lo) {
+      level = static_cast<int>(8.0 * (x - lo) / (hi - lo));
+      level = std::min(level, 7);
+    }
+    out += "\xE2\x96";
+    out += static_cast<char>(0x81 + level);
+  }
+  return out;
+}
+
+}  // namespace
+
+HistoryResult history_trends(const std::string& jsonl,
+                             const std::string& metric, std::size_t last_k,
+                             double threshold_pct) {
+  HistoryResult res;
+  res.metric = metric;
+  res.last_k = last_k;
+  res.threshold_pct = threshold_pct;
+  if (metric != "makespan" && metric != "wall_ns" && metric != "comparisons") {
+    res.error = "unknown history metric \"" + metric +
+                "\" (makespan, wall_ns, comparisons)";
+    return res;
+  }
+  if (last_k == 0) {
+    res.error = "--last must be at least 1";
+    return res;
+  }
+
+  // One sample group per (scenario, mode, build), in first-appearance
+  // order: smoke vs full runs (different problem sizes) and release vs
+  // debug builds (different wall clocks) must never share a trend line.
+  struct Group {
+    std::string scenario, mode, build;
+    std::vector<double> samples;  ///< file order == time order
+  };
+  std::vector<Group> groups;
+  std::map<std::string, std::size_t> index;
+
+  std::size_t begin = 0;
+  while (begin < jsonl.size()) {
+    std::size_t nl = jsonl.find('\n', begin);
+    if (nl == std::string::npos) nl = jsonl.size();
+    const std::string line = jsonl.substr(begin, nl - begin);
+    begin = nl + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    // A well-formed history line is one balanced object holding a
+    // balanced scenarios array; anything else (a crashed bench run, a
+    // partial append, editor damage) is skipped and counted, never
+    // fatal — history files are append-only and must survive one bad
+    // writer.
+    const std::size_t open = line.find('{');
+    const std::size_t close =
+        open == std::string::npos ? std::string::npos
+                                  : match_delim(line, open, '{', '}');
+    const std::size_t arr_at = line.find("\"scenarios\": [");
+    const std::size_t arr = arr_at == std::string::npos
+                                ? std::string::npos
+                                : line.find('[', arr_at);
+    const std::size_t arr_end =
+        arr == std::string::npos ? std::string::npos
+                                 : match_delim(line, arr, '[', ']');
+    if (close == std::string::npos || arr_end == std::string::npos) {
+      ++res.skipped_lines;
+      continue;
+    }
+    const std::string mode = string_field(line, "mode");
+    const std::string build = string_field(line, "build");
+    bool any = false;
+    std::size_t pos = arr;
+    while (true) {
+      pos = line.find('{', pos);
+      if (pos == std::string::npos || pos >= arr_end) break;
+      const std::size_t end = match_delim(line, pos, '{', '}');
+      if (end == std::string::npos || end > arr_end) break;
+      const std::string obj = line.substr(pos, end - pos);
+      pos = end;
+      const std::string name = string_field(obj, "name");
+      double value = 0.0;
+      if (name.empty() || !num_field(obj, metric.c_str(), &value)) continue;
+      const std::string key = name + "\x1f" + mode + "\x1f" + build;
+      const auto it = index.find(key);
+      std::size_t gi;
+      if (it == index.end()) {
+        gi = groups.size();
+        index.emplace(key, gi);
+        groups.push_back({name, mode, build, {}});
+      } else {
+        gi = it->second;
+      }
+      groups[gi].samples.push_back(value);
+      any = true;
+    }
+    if (any)
+      ++res.lines;
+    else
+      ++res.skipped_lines;  // balanced JSON but no usable sample
+  }
+  if (res.lines == 0) {
+    res.error = "no well-formed history lines in file";
+    return res;
+  }
+
+  std::ostringstream out;
+  out << "ftdiag history (" << metric << ", last-" << last_k
+      << " median vs baseline median, threshold \xC2\xB1";
+  put_us(out, threshold_pct);
+  out << "%)\n";
+  if (res.skipped_lines > 0)
+    out << "  warning: skipped " << res.skipped_lines
+        << " corrupt history line(s)\n";
+
+  for (const Group& g : groups) {
+    const std::size_t n = g.samples.size();
+    if (n < 2) {
+      ++res.short_groups;  // one sample: nothing to trend against
+      continue;
+    }
+    // Clamp the window so at least one sample remains as baseline.
+    const std::size_t k = std::min(last_k, n - 1);
+    HistoryTrend t;
+    t.scenario = g.scenario;
+    t.mode = g.mode;
+    t.build = g.build;
+    t.entries = n;
+    t.baseline = median({g.samples.begin(),
+                         g.samples.begin() + static_cast<std::ptrdiff_t>(
+                                                 n - k)});
+    t.recent = median({g.samples.end() - static_cast<std::ptrdiff_t>(k),
+                       g.samples.end()});
+    t.drift_pct = t.baseline != 0.0
+                      ? 100.0 * (t.recent - t.baseline) / t.baseline
+                      : (t.recent != 0.0 ? 100.0 : 0.0);
+    t.regression = std::fabs(t.drift_pct) > threshold_pct;
+    t.sparkline = sparkline(g.samples);
+    out << "  " << t.scenario << " [" << t.mode << "/" << t.build
+        << "] n=" << n << " baseline ";
+    put_us(out, t.baseline);
+    out << " recent ";
+    put_us(out, t.recent);
+    out << " (";
+    put_pct(out, t.drift_pct);
+    out << ") " << t.sparkline;
+    if (t.regression) out << " REGRESSION";
+    out << "\n";
+    if (t.regression) ++res.regressions;
+    res.trends.push_back(std::move(t));
+  }
+  out << "summary: " << res.regressions << " regression(s) beyond \xC2\xB1";
+  put_us(out, threshold_pct);
+  out << "% across " << res.trends.size() << " trend(s)";
+  if (res.short_groups > 0)
+    out << "; " << res.short_groups << " group(s) too short to trend";
+  out << "\n";
+  res.ok = true;
+  res.text = out.str();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
 // CLI
 
 namespace {
@@ -1013,6 +1250,12 @@ int usage(std::ostream& err) {
          "       ftdiag hotspots <a.json> <b.json> [--threshold PCT]\n"
          "       ftdiag campaign <report.json>\n"
          "       ftdiag campaign <a.json> <b.json> [--threshold PCT]\n"
+         "       ftdiag history <history.jsonl> "
+         "[--metric makespan|wall_ns|comparisons]\n"
+         "                      [--last K] [--threshold PCT]\n"
+         "supported schemas: metrics JSON up to v5, bench JSON up to v3, "
+         "campaign JSON v5,\n"
+         "                   bench history JSONL\n"
          "exit codes: 0 clean, 1 regression beyond threshold, "
          "2 usage/parse error\n";
   return 2;
@@ -1157,6 +1400,45 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
       return res.regressions > 0 ? 1 : 0;
     }
     return usage(err);
+  }
+
+  if (cmd == "history") {
+    if (argc < 3) return usage(err);
+    std::string metric = "makespan";
+    std::size_t last_k = 3;
+    double threshold = 20.0;
+    for (int i = 3; i < argc; i += 2) {
+      if (i + 1 >= argc) return usage(err);
+      const std::string flag = argv[i];
+      const char* val = argv[i + 1];
+      if (flag == "--metric") {
+        metric = val;
+      } else if (flag == "--last") {
+        char* end = nullptr;
+        const long k = std::strtol(val, &end, 10);
+        if (end == val || k <= 0) return usage(err);
+        last_k = static_cast<std::size_t>(k);
+      } else if (flag == "--threshold") {
+        char* end = nullptr;
+        threshold = std::strtod(val, &end);
+        if (end == val || threshold < 0.0) return usage(err);
+      } else {
+        return usage(err);
+      }
+    }
+    std::string text;
+    std::string why;
+    if (!slurp(argv[2], &text, &why)) {
+      err << "ftdiag history: " << why << "\n";
+      return 2;
+    }
+    const HistoryResult res = history_trends(text, metric, last_k, threshold);
+    if (!res.ok) {
+      err << "ftdiag history: " << res.error << "\n";
+      return 2;
+    }
+    out << res.text;
+    return res.regressions > 0 ? 1 : 0;
   }
 
   return usage(err);

@@ -125,7 +125,7 @@ struct CampaignCliResult {
   std::string text;  ///< deterministic rendered report
 };
 
-/// Single-file summary of a schema-v4 campaign JSON block
+/// Single-file summary of a schema-v5 campaign JSON block
 /// (campaign::write_campaign_json): header, outcome rollup, the per-r
 /// reliability/slowdown table, and a monotonicity verdict on the
 /// completion curve.
@@ -141,10 +141,52 @@ CampaignCliResult campaign_report(const std::string& json);
 CampaignCliResult campaign_diff(const std::string& a, const std::string& b,
                                 double threshold_pct);
 
+/// One (scenario, mode, build) trend line from `history_trends`.
+struct HistoryTrend {
+  std::string scenario;
+  std::string mode;   ///< "smoke" | "full"
+  std::string build;  ///< "release" | "debug"
+  std::size_t entries = 0;  ///< history lines contributing a sample
+  double baseline = 0.0;    ///< median of the pre-window samples
+  double recent = 0.0;      ///< median of the last-k window
+  double drift_pct = 0.0;   ///< (recent - baseline) / baseline, percent
+  bool regression = false;  ///< |drift_pct| beyond the threshold
+  std::string sparkline;    ///< one block glyph per sample, min..max scaled
+};
+
+struct HistoryResult {
+  bool ok = false;
+  std::string error;
+  std::string metric;          ///< "makespan" | "wall_ns" | "comparisons"
+  std::size_t last_k = 0;
+  double threshold_pct = 0.0;
+  std::size_t lines = 0;          ///< well-formed history lines parsed
+  std::size_t skipped_lines = 0;  ///< corrupt/truncated lines skipped
+  std::size_t short_groups = 0;   ///< groups with < 2 samples (no trend)
+  std::vector<HistoryTrend> trends;  ///< first-appearance order
+  std::size_t regressions = 0;
+  std::string text;  ///< deterministic rendered report
+};
+
+/// Trend gate over a bench_harness BENCH_history.jsonl: one appended
+/// line per bench run, each carrying per-scenario wall_ns / makespan /
+/// comparisons. Samples group by (scenario, mode, build) — smoke and
+/// full runs, release and debug builds, must never be compared against
+/// each other. Per group the last `last_k` samples (clamped so at least
+/// one older sample remains) are summarized by their median and held
+/// against the median of everything before the window; the gate is
+/// symmetric, like diff_json, because the simulator metrics are
+/// deterministic. Corrupt or truncated lines (a crashed bench run, a
+/// partial append) are skipped and counted, never fatal.
+HistoryResult history_trends(const std::string& jsonl,
+                             const std::string& metric, std::size_t last_k,
+                             double threshold_pct);
+
 /// Full CLI: `ftdiag diff A B [--threshold PCT]`,
 /// `ftdiag explain TRACE.json`, `ftdiag hotspots FILE [--top K]`,
 /// `ftdiag hotspots A B [--threshold PCT]`,
-/// `ftdiag campaign FILE`, or `ftdiag campaign A B [--threshold PCT]`.
+/// `ftdiag campaign FILE`, `ftdiag campaign A B [--threshold PCT]`, or
+/// `ftdiag history FILE.jsonl [--metric M] [--last K] [--threshold PCT]`.
 /// Returns the process exit code: 0 = clean, 1 = diff found a
 /// regression beyond the threshold, 2 = usage or parse error.
 int run_cli(int argc, const char* const* argv, std::ostream& out,

@@ -48,7 +48,9 @@
 #include "sim/link_stats.hpp"
 #include "sort/distribution.hpp"
 #include "sort/merge_split.hpp"
+#include "util/history.hpp"
 #include "util/rng.hpp"
+#include "util/schema.hpp"
 
 // ---------------------------------------------------------------------------
 // Counting allocation hook: every operator new in the process bumps one
@@ -171,6 +173,10 @@ Metrics run_end_to_end(const std::string& name, cube::Dim n,
   // cost), so the metrics export and `--trace-out` carry a real timeline
   // block rather than the disabled stub.
   obs_cfg.record_timeline = true;
+  // Key-lineage custody tracking also rides the instrumented run: the
+  // metrics export carries the schema-v6 lineage block (with its exact
+  // no-loss/no-dup audit) and the timed reps stay untouched.
+  obs_cfg.record_lineage = true;
   // Host-side scheduler counters only mean something on the threaded
   // executor, and only perturb wall time there — charge them to the
   // instrumented run, never the timed reps.
@@ -265,7 +271,7 @@ void write_json(const std::string& path, const std::vector<Metrics>& all,
       // v1 = PR 2 (flat counters + phases); v2 adds the
       // makespan_detect/makespan_post_recovery split; v3 adds the
       // per-scenario cost_model block and the micros' kernel_backend tag.
-      << "  \"schema_version\": 3,\n"
+      << "  \"schema_version\": " << util::kBenchSchemaVersion << ",\n"
       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
       // The real CMake config when the build system provides it: the old
       // NDEBUG heuristic tagged RelWithDebInfo (-O2) as "release", so the
@@ -750,38 +756,15 @@ int harness_main(int argc, char** argv) {
 
   // Append a one-line summary to BENCH_history.jsonl next to --out, so
   // successive local runs accumulate a perf trajectory that survives
-  // BENCH_sort.json being overwritten. The file is capped at the most
-  // recent kHistoryCap entries: a long-lived checkout otherwise grows it
-  // without bound, and only the recent trajectory is ever read.
+  // BENCH_sort.json being overwritten. Rotation (last-500 trim, the
+  // unreadable-file guard) lives in util::append_history_line so tests
+  // exercise the exact code the harness runs.
   {
-    constexpr std::size_t kHistoryCap = 500;
     const std::size_t slash = out_path.find_last_of('/');
     const std::string history_path =
         (slash == std::string::npos ? std::string()
                                     : out_path.substr(0, slash + 1)) +
         "BENCH_history.jsonl";
-    // Seeding guard: a fresh clone has no history file — that is the
-    // normal first run, not an error, and must start a new trajectory.
-    // But a file that *exists* and cannot be read (permissions, I/O
-    // error) must not be clobbered by the truncating rewrite below, so
-    // the rotation is skipped entirely in that case.
-    std::vector<std::string> lines;
-    bool rotation_ok = true;
-    {
-      std::error_code ec;
-      const bool had_file = std::filesystem::exists(history_path, ec);
-      std::ifstream in(history_path);
-      if (had_file && !in) {
-        std::fprintf(stderr,
-                     "warning: %s exists but is unreadable; "
-                     "skipping history rotation\n",
-                     history_path.c_str());
-        rotation_ok = false;
-      }
-      std::string line;
-      while (std::getline(in, line))
-        if (!line.empty()) lines.push_back(line);
-    }
     std::ostringstream hist;
     hist << "{\"bench\": \"sort\", \"mode\": \""
          << (smoke ? "smoke" : "full") << "\", \"build\": \""
@@ -803,22 +786,21 @@ int harness_main(int argc, char** argv) {
            << ", \"comparisons\": " << m.comparisons << "}";
     }
     hist << "]}";
-    if (rotation_ok) {
-      lines.push_back(hist.str());
-      const std::size_t keep_from =
-          lines.size() > kHistoryCap ? lines.size() - kHistoryCap : 0;
-      std::ofstream out(history_path, std::ios::trunc);
-      for (std::size_t i = keep_from; i < lines.size(); ++i)
-        out << lines[i] << "\n";
-      if (out)
-        std::printf("history: %s (%zu entries)\n", history_path.c_str(),
-                    lines.size() - keep_from);
-      else
-        // An unwritable history path degrades the trajectory, never the
-        // bench: the gate's exit code must reflect the counters alone.
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     history_path.c_str());
-    }
+    const util::HistoryAppendResult hres =
+        util::append_history_line(history_path, hist.str());
+    if (hres.rotated)
+      std::printf("history: %s (%zu entries)\n", history_path.c_str(),
+                  hres.entries);
+    else if (hres.unreadable)
+      std::fprintf(stderr,
+                   "warning: %s exists but is unreadable; "
+                   "skipping history rotation\n",
+                   history_path.c_str());
+    else
+      // An unwritable history path degrades the trajectory, never the
+      // bench: the gate's exit code must reflect the counters alone.
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   history_path.c_str());
   }
 
   // Observability exports: the flagship fig7_q6_r2 scenario's instrumented
@@ -833,6 +815,7 @@ int harness_main(int argc, char** argv) {
     topts.cost = &flagship.obs.cost;
     topts.trace_dropped = flagship.obs.trace_dropped;
     topts.timeline = &flagship.obs.timeline;
+    topts.lineage = &flagship.obs.lineage;
     sim::write_chrome_trace(
         tjson, flagship.trace_events,
         static_cast<std::uint32_t>(flagship.obs.metrics.nodes.size()), topts);

@@ -5,11 +5,14 @@
 //
 //   $ ./campaign_demo [--n 6] [--r-max 2] [--scenarios 25] [--keys 256]
 //
-// Pass `--out report.json` to save the schema-v5 CampaignReport; inspect
+// Pass `--out report.json` to save the schema-v6 CampaignReport; inspect
 // it later with `ftdiag campaign report.json`, or diff two campaigns with
 // `ftdiag campaign old.json new.json`. Any printed trial can be replayed
 // in isolation from (seed, trial index) alone — that pair plus the
-// universe shape is the whole provenance of a data point.
+// universe shape is the whole provenance of a data point:
+// `campaign_demo --seed S --replay I` re-runs trial I of seed S's universe
+// and prints its outcome, recovery-latency stage split, and lineage audit
+// verdict, so a corrupt trial is diagnosable from the CLI in one command.
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -33,7 +36,13 @@ int main(int argc, char** argv) {
   cli.add_flag("timeline",
                "print the per-bucket recovery-latency decomposition "
                "(detect/roll-call/salvage/restart percentiles)");
-  cli.add_string("out", "", "write the schema-v5 campaign JSON here");
+  cli.add_flag("lineage",
+               "print the campaign-wide key-lineage audit rollup and any "
+               "trial whose custody audit failed");
+  cli.add_int("replay", -1,
+              "replay this trial index of the --seed universe alone and "
+              "print its stage split + lineage audit verdict");
+  cli.add_string("out", "", "write the schema-v6 campaign JSON here");
   if (!cli.parse(argc, argv)) return 1;
 
   campaign::CampaignConfig cfg;
@@ -51,6 +60,42 @@ int main(int argc, char** argv) {
             << cfg.universe.r_max << ", " << cfg.universe.scenarios
             << " scenarios -> " << cfg.universe.trials() << " trials\n\n";
 
+  // Replay mode: one trial, fully determined by (seed, index, executor).
+  // Same envelope calibration as the campaign, so the trial is bit-for-bit
+  // the one the full run would have produced at that index.
+  if (cli.integer("replay") >= 0) {
+    const auto index = static_cast<std::uint32_t>(cli.integer("replay"));
+    if (index >= cfg.universe.trials()) {
+      std::cerr << "error: --replay " << index << " out of range (universe "
+                << "has " << cfg.universe.trials() << " trials)\n";
+      return 1;
+    }
+    const sim::SimTime envelope = campaign::calibrate_envelope(cfg);
+    const campaign::TrialResult t =
+        campaign::run_trial(cfg, envelope, index, cfg.executor);
+    std::cout << "replay: seed " << cfg.seed << ", trial " << t.index
+              << " (scenario " << t.scenario << ", r=" << t.r << ")\n"
+              << "  outcome:  " << core::run_outcome_name(t.outcome) << "\n"
+              << "  makespan: " << t.makespan << " us, " << t.deaths
+              << " death(s), " << t.timeouts << " timeout(s)\n"
+              << "  stage split (us): detect " << t.detect_latency
+              << ", roll-call " << t.rollcall_latency << ", salvage "
+              << t.salvage_latency << ", restart " << t.restart_latency
+              << "\n";
+    if (t.lineage_checked)
+      std::cout << "  lineage audit: "
+                << (t.lineage_ok ? "OK — no loss, no duplication"
+                                 : "VIOLATED")
+                << " (" << t.lineage_lost << " lost, "
+                << t.lineage_duplicated << " duplicated)\n";
+    else
+      std::cout << "  lineage audit: not run (trial did not complete a "
+                   "gather)\n";
+    if (t.diagnosis.triggered())
+      std::cout << "  diagnosis: " << t.diagnosis.to_string() << "\n";
+    return t.lineage_checked && !t.lineage_ok ? 1 : 0;
+  }
+
   const campaign::CampaignReport report = campaign::run_campaign(cfg);
   std::cout << campaign::campaign_summary(report) << "\n";
 
@@ -67,6 +112,18 @@ int main(int argc, char** argv) {
                 << b.restart_latency_p50 << "/" << b.restart_latency_p90
                 << "\n";
     }
+    std::cout << "\n";
+  }
+
+  if (cli.flag("lineage")) {
+    std::cout << "key-lineage custody audit: " << report.lineage_audited
+              << " trial(s) audited, " << report.lineage_ok << " passed\n";
+    for (const campaign::TrialResult& t : report.trials)
+      if (t.lineage_checked && !t.lineage_ok)
+        std::cout << "  trial " << t.index << " (scenario " << t.scenario
+                  << ", r=" << t.r << "): " << t.lineage_lost << " lost, "
+                  << t.lineage_duplicated << " duplicated — replay with "
+                  << "--replay " << t.index << "\n";
     std::cout << "\n";
   }
 

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "core/ft_sorter.hpp"
 #include "sim/exporters.hpp"
@@ -41,6 +42,9 @@ int main(int argc, char** argv) {
                "sample queue/pool/in-flight series over sim time (adds "
                "timeline counter tracks to --trace and a timeline block "
                "to --metrics)");
+  cli.add_flag("lineage",
+               "track per-key custody through the kill and salvage (adds "
+               "the audit verdict below and a lineage block to --metrics)");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto n = static_cast<cube::Dim>(cli.integer("n"));
@@ -115,6 +119,7 @@ int main(int argc, char** argv) {
     // a few more ticks).
     traced.timeline_tick = std::max(1.0, t0 / 1000.0);
   }
+  if (cli.flag("lineage")) traced.record_lineage = true;
   traced.injector.kill_node_at(victim, when);
   core::FaultTolerantSorter sorter(n, fault::FaultSet(n), traced);
   core::SortOutcome out;
@@ -148,6 +153,37 @@ int main(int argc, char** argv) {
                 << ep.restart() / 1000.0 << '\n';
     }
   }
+  if (out.report.lineage.enabled) {
+    const sim::LineageSnapshot& lin = out.report.lineage;
+    std::cout << "\nkey custody (lineage): " << lin.assigned
+              << " ids tracked, " << lin.audit.salvaged
+              << " salvaged off the dead node ("
+              << lin.audit.witnessed_salvaged
+              << " through a recorded witness)\n"
+              << "  audit: "
+              << (lin.audit.ok ? "OK — every key in the output exactly once"
+                               : "VIOLATED")
+              << " (" << lin.audit.lost.size() << " lost, "
+              << lin.audit.duplicated.size() << " duplicated)\n";
+    // The farthest-travelled keys: custody moves are where the recovery
+    // re-scatter shows up per key.
+    std::vector<std::size_t> order(lin.keys.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return lin.keys[a].hops_total() >
+                              lin.keys[b].hops_total();
+                     });
+    std::cout << "  top travelers:";
+    for (std::size_t i = 0; i < order.size() && i < 3; ++i) {
+      const sim::LineageKeyRecord& k = lin.keys[order[i]];
+      std::cout << (i != 0 ? "," : "") << " id " << order[i] << " ("
+                << k.hops_total() << " hops, " << k.moves << " moves"
+                << (k.salvaged ? ", salvaged" : "") << ")";
+    }
+    std::cout << '\n';
+  }
+
   std::cout << "\nevent trace around the death (timeout = a survivor "
                "detecting the loss):\n";
   // Show only the interesting kinds; the full trace is huge.
@@ -170,7 +206,8 @@ int main(int argc, char** argv) {
     const sim::ChromeTraceOptions topts{
         .cost = &out.report.cost,
         .trace_dropped = out.report.trace_dropped,
-        .timeline = &out.report.timeline};
+        .timeline = &out.report.timeline,
+        .lineage = &out.report.lineage};
     sim::write_chrome_trace(tf, out.trace_events, cube::num_nodes(n), topts);
     std::cout << "\nwrote trace: " << cli.str("trace")
               << " (open at ui.perfetto.dev)\n";

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/contracts.hpp"
+#include "util/schema.hpp"
 
 namespace ftsort::campaign {
 
@@ -95,6 +96,10 @@ CampaignReport aggregate_campaign(CampaignMeta meta,
       b.max_makespan = std::max(b.max_makespan, t.makespan);
       hotspots[t.r].push_back(t.hotspot_share);
     }
+    if (t.lineage_checked) {
+      ++rep.lineage_audited;
+      if (t.lineage_ok) ++rep.lineage_ok;
+    }
     if (t.outcome == core::RunOutcome::CompletedRecovered) {
       StageSamples& s = stages[t.r];
       s.detect.push_back(t.detect_latency);
@@ -142,7 +147,7 @@ CampaignReport aggregate_campaign(CampaignMeta meta,
 void write_campaign_json(std::ostream& os, const CampaignReport& rep) {
   os << "{\n"
      << "  \"campaign\": \"fault_mc\",\n"
-     << "  \"schema_version\": 5,\n"
+     << "  \"schema_version\": " << util::kCampaignSchemaVersion << ",\n"
      << "  \"n\": " << rep.meta.n << ",\n"
      << "  \"r_max\": " << rep.meta.r_max << ",\n"
      << "  \"scenarios\": " << rep.meta.scenarios << ",\n"
@@ -158,7 +163,8 @@ void write_campaign_json(std::ostream& os, const CampaignReport& rep) {
     os << (i ? ", " : "") << "\""
        << core::run_outcome_name(static_cast<core::RunOutcome>(i))
        << "\": " << rep.outcomes[i];
-  os << "},\n  \"buckets\": [\n";
+  os << "},\n  \"lineage\": {\"audited\": " << rep.lineage_audited
+     << ", \"ok\": " << rep.lineage_ok << "},\n  \"buckets\": [\n";
   for (std::size_t i = 0; i < rep.buckets.size(); ++i) {
     const BucketStats& b = rep.buckets[i];
     os << "    {\"r\": " << b.r << ", \"trials\": " << b.trials
@@ -207,7 +213,11 @@ void write_campaign_json(std::ostream& os, const CampaignReport& rep) {
        << ", \"detect_latency\": " << num(t.detect_latency)
        << ", \"rollcall_latency\": " << num(t.rollcall_latency)
        << ", \"salvage_latency\": " << num(t.salvage_latency)
-       << ", \"restart_latency\": " << num(t.restart_latency) << "}"
+       << ", \"restart_latency\": " << num(t.restart_latency)
+       << ", \"lineage_checked\": " << (t.lineage_checked ? "true" : "false")
+       << ", \"lineage_ok\": " << (t.lineage_ok ? "true" : "false")
+       << ", \"lineage_lost\": " << t.lineage_lost
+       << ", \"lineage_duplicated\": " << t.lineage_duplicated << "}"
        << (i + 1 < rep.trials.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

@@ -8,13 +8,13 @@
 // reductions honour that by accumulating in trial-index order; quantiles
 // use the nearest-rank rule on a sorted copy (no interpolation).
 //
-// The JSON layout is schema version 5 (the repo's lineage: bench v2,
-// metrics v3): a flat header, an "outcomes" rollup, one "buckets" row
-// per r with the reliability/slowdown curves, the recovery-latency
+// The JSON layout is schema version util::kCampaignSchemaVersion: a flat
+// header, an "outcomes" rollup, a "lineage" audit rollup, one "buckets"
+// row per r with the reliability/slowdown curves, the recovery-latency
 // stage percentiles, and the Diagnosis root-cause histogram, and a
-// "trials_detail" array with one row per trial for replay
-// cross-checks. bench/campaign_schema.json lists the required keys;
-// `ftdiag campaign` is the reference reader.
+// "trials_detail" array with one row per trial (including its lineage
+// audit verdict) for replay cross-checks. bench/campaign_schema.json
+// lists the required keys; `ftdiag campaign` is the reference reader.
 #pragma once
 
 #include <array>
@@ -54,6 +54,13 @@ struct TrialResult {
   sim::SimTime rollcall_latency = 0.0;  ///< detection -> roll-call done
   sim::SimTime salvage_latency = 0.0;   ///< roll-call -> salvage done
   sim::SimTime restart_latency = 0.0;   ///< salvage -> re-sort finished
+  /// Key-lineage audit verdict (CampaignConfig::record_lineage): checked
+  /// is true for trials whose gather completed with lineage on; ok, and
+  /// the lost/duplicated counts, come from the exact custody audit.
+  bool lineage_checked = false;
+  bool lineage_ok = false;
+  std::uint64_t lineage_lost = 0;
+  std::uint64_t lineage_duplicated = 0;
   bool operator==(const TrialResult&) const = default;
 };
 
@@ -119,6 +126,9 @@ struct CampaignReport {
   std::vector<BucketStats> buckets;  ///< r = 0 .. r_max
   /// Campaign-wide outcome rollup, indexed by core::RunOutcome.
   std::array<std::uint32_t, core::kRunOutcomeCount> outcomes{};
+  /// Key-lineage audit rollup: trials whose custody audit ran / passed.
+  std::uint64_t lineage_audited = 0;
+  std::uint64_t lineage_ok = 0;
 
   /// Exact conservation: every bucket's class counts sum to its trial
   /// count and the bucket trial counts sum to trials.size().

@@ -35,6 +35,7 @@ core::SortConfig trial_config(const CampaignConfig& cfg,
   sc.record_trace = true;
   sc.trace_capacity = cfg.trace_capacity;
   sc.record_link_stats = cfg.record_link_stats;
+  sc.record_lineage = cfg.record_lineage;
   return sc;
 }
 
@@ -104,7 +105,18 @@ TrialResult run_trial(const CampaignConfig& cfg, sim::SimTime envelope,
         cfg.universe.n, fault::FaultSet(cfg.universe.n), sc);
     const core::SortOutcome out = sorter.sort(keys);
     const sim::RunReport& rep = out.report;
-    res.outcome = core::classify_completed(rep, out.sorted == expected);
+    // A trial only counts as completing when the value-level comparison
+    // AND the custody audit agree — lineage can flag a loss+duplication
+    // pair that happens to re-sort to the expected multiset of values
+    // but shuffled provenance (it cannot here, values are compared too;
+    // the audit is the independent witness that names the ids).
+    res.lineage_checked = rep.lineage.enabled && rep.lineage.audit.checked;
+    res.lineage_ok = rep.lineage.audit.ok;
+    res.lineage_lost = rep.lineage.audit.lost.size();
+    res.lineage_duplicated = rep.lineage.audit.duplicated.size();
+    const bool sorted_ok = out.sorted == expected &&
+                           (!res.lineage_checked || res.lineage_ok);
+    res.outcome = core::classify_completed(rep, sorted_ok);
     res.diagnosis = rep.diagnosis;
     res.makespan = rep.makespan;
     res.detect = core::detect_time(rep);

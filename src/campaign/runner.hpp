@@ -54,6 +54,11 @@ struct CampaignConfig {
   /// Record each trial's per-link traffic matrix and reduce it to the
   /// hotspot-share scalar (sim/link_stats.hpp) before discarding it.
   bool record_link_stats = true;
+  /// Run every trial with key-lineage provenance (sim/lineage.hpp) and
+  /// keep the audit verdict: a completing trial is only classified clean
+  /// when the exact no-loss/no-dup audit passes too, and a Corrupt trial
+  /// carries the lost/duplicated counts instead of a bare value mismatch.
+  bool record_lineage = true;
 };
 
 /// The patience tiers a trial actually runs with: cfg.recovery when any

@@ -266,6 +266,17 @@ SortOutcome FaultTolerantSorter::sort(
   if (config_.record_timeline)
     machine.timeline().enable(machine.size(), machine.dim(),
                               config_.timeline_tick);
+  if (config_.record_lineage) {
+    // Assign ids in the scatter's own (subcube, logical) slot order so the
+    // id universe is identical across executors and sorter paths.
+    machine.lineage().enable(machine.size(), machine.dim());
+    for (cube::NodeId v = 0; v < plan.num_subcubes(); ++v)
+      for (cube::NodeId lw = 0; lw < cube::num_nodes(s); ++lw) {
+        if (subcube_lc[v].is_dead(lw)) continue;
+        const cube::NodeId u = plan.physical(v, lw);
+        machine.lineage().assign_block(u, block_of[u]);
+      }
+  }
 
   SortOutcome outcome;
   outcome.report = config_.executor == Executor::Threaded
@@ -289,6 +300,8 @@ SortOutcome FaultTolerantSorter::sort(
       in_order.push_back(std::move(block_of[plan.physical(v, lw)]));
     }
   outcome.sorted = sort::gather_and_strip(in_order);
+  if (config_.record_lineage)
+    sim::audit_lineage(outcome.report.lineage, outcome.sorted);
   return outcome;
 }
 

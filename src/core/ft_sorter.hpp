@@ -99,6 +99,13 @@ struct SortConfig {
   /// sim::kTimelineMaxTicks buckets; pick a tick near
   /// expected_makespan / 1000 for long runs.
   sim::SimTime timeline_tick = 1000.0;
+  /// Populate RunReport::lineage with per-key provenance (sim/lineage.hpp):
+  /// a stable id per input key, custody chains committed at every merge
+  /// point, per-dimension hop counts that conserve against LinkStats, and
+  /// the exact no-loss/no-dup audit run against the gathered output. Zero
+  /// simulated-time cost, deterministic across executors; off by default
+  /// (one branch per send and merge site when off).
+  bool record_lineage = false;
   /// Mid-run fault schedule (sim/fault_injector.hpp), applied to every run.
   /// Without online_recovery an injected death typically leaves the
   /// victim's partners blocked forever and the run ends in DeadlockError —

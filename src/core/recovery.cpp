@@ -216,6 +216,13 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
         w.first = st.step;
         std::swap(w.second, theirs_scratch);  // recycle the old witness
         std::swap(block, mine_scratch);
+        if (ctx.lineage_enabled()) {
+          // Commit custody at the merge; the witness_step marks this as a
+          // witness-capture step, so both sides of the pair get stamped
+          // with their partner as freshest witness at resolution time.
+          ctx.note_lineage_retain(st.partner, tag, block,
+                                  static_cast<std::int32_t>(st.step));
+        }
       }
     }
 
@@ -362,21 +369,32 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
     // ---- Salvage -------------------------------------------------------
     const std::uint32_t nn = cube::num_nodes(at.plan.n());
     std::vector<Key> pool;  // every salvaged key, exactly once
+    // Per dead node, the witness whose block won the salvage — the lineage
+    // layer stamps it into the salvaged keys' custody chains.
+    std::vector<sim::Lineage::SalvageInfo> salvage_info;
     {
       const sim::PhaseSpan span = ctx.span(sim::Phase::RecoverySalvage);
       std::vector<std::vector<Key>> contributed(nn);
-      // Per dead node: freshest (step, block); the scatter record is the
-      // step -1 fallback for nodes that never completed an exchange.
-      std::map<NodeId, std::pair<long, std::vector<Key>>> best;
-      auto offer = [&](NodeId d, long step, std::vector<Key> w) {
+      // Per dead node: freshest (step, block) plus the node that offered
+      // it — the lineage layer names that witness in the salvaged keys'
+      // custody chains. The scatter record is the step -1 fallback for
+      // nodes that never completed an exchange.
+      struct BestWitness {
+        long step = -1;
+        std::vector<Key> blk;
+        NodeId from = 0;
+      };
+      std::map<NodeId, BestWitness> best;
+      auto offer = [&](NodeId d, long step, std::vector<Key> w,
+                       NodeId from) {
         auto it = best.find(d);
-        if (it == best.end() || step > it->second.first)
-          best[d] = {step, std::move(w)};
+        if (it == best.end() || step > it->second.step)
+          best[d] = {step, std::move(w), from};
       };
       contributed[me] = block;
       for (const auto& [d, w] : witness)
         if (std::binary_search(dead.begin(), dead.end(), d))
-          offer(d, static_cast<long>(w.first), w.second);
+          offer(d, static_cast<long>(w.first), w.second, me);
       for (NodeId u : survivors) {
         auto r = co_await ctx.recv_or_timeout(u, cbase + kTagWitness,
                                               rc.collect_patience);
@@ -405,13 +423,14 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
           offer(d, stp,
                 std::vector<Key>(p.begin() + static_cast<std::ptrdiff_t>(k),
                                  p.begin() +
-                                     static_cast<std::ptrdiff_t>(k + len)));
+                                     static_cast<std::ptrdiff_t>(k + len)),
+                u);
           k += len;
         }
       }
       for (NodeId d : dead)
         if (!best.count(d) && d < sh.scatter_record.size())
-          offer(d, -1, sh.scatter_record[d]);
+          offer(d, -1, sh.scatter_record[d], me);
 
       // Pool every key exactly once, in deterministic order, and verify
       // nothing was lost: concurrent deaths can leave witnesses stale (two
@@ -421,11 +440,13 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
         for (Key key : contributed[u])
           if (key != sim::kDummyKey) pool.push_back(key);
       for (const auto& [d, w] : best)
-        for (Key key : w.second)
+        for (Key key : w.blk)
           if (key != sim::kDummyKey) pool.push_back(key);
       if (pool.size() != sh.expect_count ||
           checksum(pool) != sh.expect_sum)
         fail_salvage("key salvage failed — concurrent deaths destroyed data");
+      for (const auto& [d, w] : best)
+        salvage_info.push_back({d, w.from, static_cast<std::int32_t>(w.step)});
     }
 
     sh.episode_marks.push_back({static_cast<std::uint32_t>(e), dead,
@@ -450,6 +471,10 @@ sim::Task<void> node_program(sim::NodeCtx& ctx, Shared& sh,
         }
     }
     sh.scatter_record = nb;
+    // Re-key the lineage holdings against the new scatter. Ordered after
+    // every witness receive and before any re-scatter send, so survivors
+    // observe post-rescatter custody only once their new block arrives.
+    if (ctx.lineage_enabled()) ctx.note_lineage_rescatter(nb, salvage_info);
     for (NodeId u : survivors) {
       std::vector<Key> msg;
       msg.push_back(na.plan.role_of(u).live ? kRescatterLive
@@ -510,6 +535,16 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
   if (config.record_timeline)
     machine.timeline().enable(machine.size(), machine.dim(),
                               config.timeline_tick);
+  if (config.record_lineage) {
+    machine.lineage().enable(machine.size(), machine.dim());
+    const AttemptState& a0 = sh.attempts[0];
+    for (NodeId v = 0; v < a0.plan.num_subcubes(); ++v)
+      for (NodeId lw = 0; lw < cube::num_nodes(a0.plan.s()); ++lw) {
+        if (a0.lc[v].is_dead(lw)) continue;
+        const NodeId u = a0.plan.physical(v, lw);
+        machine.lineage().assign_block(u, block_of[u]);
+      }
+  }
   const auto program = [&sh, &config](sim::NodeCtx& ctx) {
     return node_program(ctx, sh, config);
   };
@@ -588,6 +623,8 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
       in_order.push_back(std::move(block_of[fin.plan.physical(v, lw)]));
     }
   out.sorted = sort::gather_and_strip(in_order);
+  if (config.record_lineage)
+    sim::audit_lineage(out.report.lineage, out.sorted);
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "sim/link_stats.hpp"
+#include "util/schema.hpp"
 
 namespace ftsort::sim {
 
@@ -92,6 +93,20 @@ void write_chrome_trace(std::ostream& os,
   os << "{\"name\": \"trace_dropped\", \"ph\": \"M\", \"pid\": 0, "
         "\"args\": {\"count\": "
      << opts.trace_dropped << "}}";
+  if (opts.lineage != nullptr && opts.lineage->enabled) {
+    const LineageSnapshot& lin = *opts.lineage;
+    sep();
+    os << "{\"name\": \"lineage_summary\", \"ph\": \"M\", \"pid\": 0, "
+          "\"args\": {\"assigned\": "
+       << lin.assigned << ", \"dummies\": " << lin.dummies
+       << ", \"audit_checked\": " << (lin.audit.checked ? "true" : "false")
+       << ", \"audit_ok\": " << (lin.audit.ok ? "true" : "false")
+       << ", \"lost\": " << lin.audit.lost.size()
+       << ", \"duplicated\": " << lin.audit.duplicated.size()
+       << ", \"salvaged\": " << lin.audit.salvaged
+       << ", \"witnessed_salvaged\": " << lin.audit.witnessed_salvaged
+       << ", \"untracked_hops\": " << lin.untracked_total() << "}}";
+  }
 
   // Sim-time sampler tracks (sim/timeline.hpp): one counter sample per
   // tick boundary. Emitted up front — Perfetto orders by ts, and the
@@ -411,8 +426,12 @@ void write_metrics_json(std::ostream& os, const RunReport& report) {
   // adds the cost-model block (name, routing mode, constants) so diffs can
   // refuse to compare runs charged under different models; v5 adds the
   // recovery-latency decomposition and the sim-time sampler timeline
-  // (both `"enabled": false` stubs when not recorded).
-  os << "{\n  \"schema_version\": 5,\n  \"cost_model\": {\"name\": \""
+  // (both `"enabled": false` stubs when not recorded); v6 adds the
+  // key-lineage provenance block (custody audit, per-dimension hop
+  // conservation, top travelers, capped per-key custody trails — an
+  // `"enabled": false` stub when not recorded).
+  os << "{\n  \"schema_version\": " << util::kMetricsSchemaVersion
+     << ",\n  \"cost_model\": {\"name\": \""
      << report.cost.name() << "\", \"routing\": \"" << report.cost.mode_name()
      << "\", \"t_compare\": ";
   put_double(os, report.cost.t_compare);
@@ -571,6 +590,92 @@ void write_metrics_json(std::ostream& os, const RunReport& report) {
       put_int_array(c.predicted_h);
       os << ", \"predicted_total\": " << c.predicted_total << ", \"chosen\": "
          << (c.chosen ? "true" : "false") << "}";
+    }
+    os << "\n    ]},\n";
+  }
+  const LineageSnapshot& lin = report.lineage;
+  if (!lin.enabled) {
+    os << "  \"lineage\": {\"enabled\": false},\n";
+  } else {
+    os << "  \"lineage\": {\"enabled\": true, \"dim\": "
+       << static_cast<int>(lin.dim) << ", \"assigned\": " << lin.assigned
+       << ", \"dummies\": " << lin.dummies
+       << ", \"dropped_events\": " << lin.dropped_events
+       << ", \"resolve_mismatches\": " << lin.resolve_mismatches
+       << ",\n    \"hops_by_dim\": [";
+    for (cube::Dim d = 0; d < lin.dim; ++d)
+      os << (d != 0 ? ", " : "") << lin.hops_by_dim(d);
+    os << "], \"untracked\": [";
+    for (cube::Dim d = 0; d < lin.dim; ++d)
+      os << (d != 0 ? ", " : "")
+         << lin.untracked[static_cast<std::size_t>(d)];
+    os << "], \"untracked_total\": " << lin.untracked_total();
+    const LineageAudit& la = lin.audit;
+    os << ",\n    \"audit\": {\"checked\": " << (la.checked ? "true" : "false")
+       << ", \"ok\": " << (la.ok ? "true" : "false")
+       << ", \"salvaged\": " << la.salvaged
+       << ", \"witnessed_salvaged\": " << la.witnessed_salvaged
+       << ", \"lost\": [";
+    for (std::size_t i = 0; i < la.lost.size(); ++i) {
+      const LineageAudit::LostKey& lk = la.lost[i];
+      os << (i != 0 ? ", " : "") << "{\"id\": " << lk.id << ", \"value\": "
+         << lk.value << ", \"last_holder\": " << lk.last_holder
+         << ", \"phase\": \"" << phase_name(lk.phase) << "\"}";
+    }
+    os << "], \"duplicated\": [";
+    for (std::size_t i = 0; i < la.duplicated.size(); ++i)
+      os << (i != 0 ? ", " : "") << "{\"value\": " << la.duplicated[i].value
+         << ", \"extra\": " << la.duplicated[i].extra << "}";
+    os << "]},\n    \"top_travelers\": [";
+    // The kLineageTopTravelers ids with the most link crossings — the quick
+    // skew read without parsing the full per-key detail. Ties break by id.
+    std::vector<std::size_t> order(lin.keys.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return lin.keys[a].hops_total() >
+                              lin.keys[b].hops_total();
+                     });
+    const std::size_t top =
+        std::min<std::size_t>(kLineageTopTravelers, order.size());
+    for (std::size_t i = 0; i < top; ++i) {
+      const LineageKeyRecord& k = lin.keys[order[i]];
+      os << (i != 0 ? ", " : "") << "{\"id\": " << order[i] << ", \"value\": "
+         << k.value << ", \"hops\": " << k.hops_total()
+         << ", \"moves\": " << k.moves << ", \"holder\": " << k.holder << "}";
+    }
+    os << "],\n    \"keys_total\": " << lin.keys.size()
+       << ", \"keys_emitted\": "
+       << std::min<std::size_t>(lin.keys.size(), kLineageDetailCap)
+       << ",\n    \"keys\": [";
+    // Per-key detail, capped: custody chains as compact trail strings
+    // ("<code>,node,peer,step,phase;…" — see lineage_event_code), which keeps
+    // the document line-parsable without a JSON tree.
+    const std::size_t emit =
+        std::min<std::size_t>(lin.keys.size(), kLineageDetailCap);
+    for (std::size_t id = 0; id < emit; ++id) {
+      const LineageKeyRecord& k = lin.keys[id];
+      os << (id != 0 ? ",\n" : "\n") << "      {\"id\": " << id
+         << ", \"value\": " << k.value << ", \"origin\": " << k.origin
+         << ", \"holder\": " << k.holder << ", \"dummy\": "
+         << (k.dummy ? "true" : "false") << ", \"retired\": "
+         << (k.retired ? "true" : "false") << ", \"lost\": "
+         << (k.lost ? "true" : "false") << ", \"salvaged\": "
+         << (k.salvaged ? "true" : "false") << ", \"witness\": ";
+      if (k.witness == kLineageNoWitness)
+        os << -1;
+      else
+        os << k.witness;
+      os << ", \"witness_step\": " << k.witness_step
+         << ", \"moves\": " << k.moves << ", \"hops\": " << k.hops_total()
+         << ", \"trail\": \"";
+      for (std::size_t e = 0; e < k.chain.size(); ++e) {
+        const LineageEvent& ev = k.chain[e];
+        os << (e != 0 ? ";" : "") << lineage_event_code(ev.kind) << ","
+           << ev.node << "," << ev.peer << "," << ev.step << ","
+           << phase_name(ev.phase);
+      }
+      os << "\"}";
     }
     os << "\n    ]},\n";
   }

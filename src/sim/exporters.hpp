@@ -24,6 +24,13 @@
 
 namespace ftsort::sim {
 
+/// Per-key detail cap of the metrics-JSON `lineage.keys` array: documents
+/// past it keep the rollups and the audit but truncate the per-key trails
+/// (`keys_emitted` < `keys_total` marks the cut — never silent).
+inline constexpr std::size_t kLineageDetailCap = 4096;
+/// Entries in the `lineage.top_travelers` rollup.
+inline constexpr std::size_t kLineageTopTravelers = 8;
+
 /// Optional extras for write_chrome_trace.
 struct ChromeTraceOptions {
   /// When non-null, emit per-cube-dimension counter ("C") tracks derived
@@ -45,6 +52,13 @@ struct ChromeTraceOptions {
   /// event-derived `keys_in_flight` track above: the sampler survives
   /// flight-recorder eviction, the event track does not.
   const TimelineSnapshot* timeline = nullptr;
+  /// When non-null and enabled, emit a `lineage_summary` metadata ("M")
+  /// event carrying the custody rollup (assigned ids, audit verdict,
+  /// salvage counts, untracked hops). Deliberately *not* per-key flow
+  /// arrows: custody commits have no deterministic timestamp — pair-step
+  /// resolution order differs across executors — so a summary is the only
+  /// annotation that keeps exports byte-comparable (DESIGN.md §7).
+  const LineageSnapshot* lineage = nullptr;
 };
 
 /// Write the Chrome/Perfetto trace_events JSON for `events` (one run's

@@ -57,6 +57,23 @@ void NodeCtx::note_reindex_hops(cube::Dim logical_dim, int extra_hops,
                                      fault_pair);
 }
 
+bool NodeCtx::lineage_enabled() const {
+  return machine_->lineage_.enabled();
+}
+
+void NodeCtx::note_lineage_retain(cube::NodeId partner, Tag tag,
+                                  std::span<const Key> kept,
+                                  std::int32_t witness_step) {
+  machine_->lineage_.note_retain(id_, partner, tag, kept, phase_,
+                                 witness_step);
+}
+
+void NodeCtx::note_lineage_rescatter(
+    const std::vector<std::vector<Key>>& blocks,
+    std::span<const Lineage::SalvageInfo> salvage) {
+  machine_->lineage_.note_rescatter(blocks, salvage, phase_);
+}
+
 PhaseSpan NodeCtx::span(Phase p) { return PhaseSpan(*this, p, true); }
 
 PhaseSpan NodeCtx::span_if_unattributed(Phase p) {
@@ -102,16 +119,21 @@ void NodeCtx::send(cube::NodeId dst, Tag tag, PooledBuffer&& payload) {
   machine_->check_alive(id_);
 
   int hops;
-  if (machine_->link_stats_.enabled()) {
+  if (machine_->link_stats_.enabled() || machine_->lineage_.enabled()) {
     // Charge every link the message will traverse before the payload is
     // moved out. Same walk the router's hop count summarises, so the two
     // stay consistent by construction; dropped messages are charged here
     // and in post()'s aggregates alike, preserving the conservation
-    // invariant (see sim/link_stats.hpp).
+    // invariant (see sim/link_stats.hpp). Lineage charges the identical
+    // walk per payload word, which is what makes its per-id + untracked
+    // sums match the LinkStats key_hops exactly (sim/lineage.hpp).
     const std::vector<cube::NodeId> path =
         machine_->router().path(id_, dst);
     hops = static_cast<int>(path.size()) - 1;
-    machine_->link_stats_.charge_path(path, payload.size(), phase_);
+    if (machine_->link_stats_.enabled())
+      machine_->link_stats_.charge_path(path, payload.size(), phase_);
+    if (machine_->lineage_.enabled())
+      machine_->lineage_.charge_send(id_, path, payload.span());
   } else {
     hops = machine_->router().hops(id_, dst);
   }
@@ -590,6 +612,8 @@ void Machine::instantiate_programs(const Program& program) {
   if (metrics_.enabled()) metrics_.reset();
   if (link_stats_.enabled()) link_stats_.reset();
   if (timeline_.enabled()) timeline_.reset();
+  // lineage_ is deliberately NOT reset here: its scatter assignment is
+  // host-side, pre-run state (see Machine::lineage()).
   pool_mark_ = pool_stats();
   trace_run_start_ = trace_.next_seq();
   trace_dropped_mark_ = trace_.dropped();
@@ -681,6 +705,7 @@ RunReport Machine::collect_report() {
   }
   if (link_stats_.enabled()) report.links = link_stats_.snapshot();
   if (timeline_.enabled()) report.timeline = timeline_.snapshot();
+  if (lineage_.enabled()) report.lineage = lineage_.snapshot();
   const std::uint64_t dropped_now = trace_.dropped();
   report.trace_dropped =
       dropped_now >= trace_dropped_mark_ ? dropped_now - trace_dropped_mark_

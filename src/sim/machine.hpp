@@ -55,6 +55,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/diagnosis.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/lineage.hpp"
 #include "sim/link_stats.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
@@ -149,6 +150,25 @@ class NodeCtx {
   /// §3 formula's scope). No-op when link stats are disabled.
   void note_reindex_hops(cube::Dim logical_dim, int extra_hops,
                          bool fault_pair);
+
+  /// True when the machine's key-lineage registry is recording; use to
+  /// gate the custody hooks below (they are no-ops when disabled, but the
+  /// caller usually wants to skip building their arguments too).
+  bool lineage_enabled() const;
+  /// Custody commit for the exchange pair-step (this node, partner, tag):
+  /// `kept` is this node's post-merge block. Call exactly once per side,
+  /// at the point the new block content is committed (sim/lineage.hpp).
+  /// `witness_step >= 0` marks a recovery witness-capture step: both sides
+  /// of the pair get stamped with their partner as freshest witness.
+  void note_lineage_retain(cube::NodeId partner, Tag tag,
+                           std::span<const Key> kept,
+                           std::int32_t witness_step = -1);
+  /// Recovery re-scatter (coordinator only): reassign every id to the new
+  /// blocks; ids parked on a dead node get a Salvage event naming its
+  /// winning witness.
+  void note_lineage_rescatter(
+      const std::vector<std::vector<Key>>& blocks,
+      std::span<const Lineage::SalvageInfo> salvage);
 
   /// The node's ambient phase: every cost charged and message sent while a
   /// PhaseSpan is open is attributed to its phase (sim/metrics.hpp).
@@ -286,6 +306,11 @@ struct RunReport {
   /// Sim-time sampler series (sim/timeline.hpp). Empty unless
   /// `Machine::timeline()` was enabled for the run.
   TimelineSnapshot timeline;
+  /// Key-lineage provenance (sim/lineage.hpp): per-key custody chains, hop
+  /// counts, and — once the algorithm layer ran audit_lineage against the
+  /// gathered output — the exact no-loss/no-dup audit. Empty unless
+  /// `Machine::lineage()` was enabled and assigned before the run.
+  LineageSnapshot lineage;
   /// Host-side scheduler/pool profile; enabled==false (all zeros) unless
   /// Machine::profile_host(true) was set before the run.
   HostProfile host;
@@ -317,6 +342,11 @@ class Machine {
   /// Sim-time sampler. `timeline().enable(size(), dim(), tick)` before a
   /// run to populate `RunReport::timeline`.
   Timeline& timeline() { return timeline_; }
+  /// Key-lineage registry. `lineage().enable(size(), dim())` then
+  /// `assign_block` per node *before* a run to populate
+  /// `RunReport::lineage`. Unlike the other registries it is not reset by
+  /// the run itself: scatter assignment is host-side, pre-run state.
+  Lineage& lineage() { return lineage_; }
 
   /// Aggregate payload-allocation ledger over all node pools. Cumulative
   /// across runs on this machine (pools stay warm); callers interested in a
@@ -439,6 +469,7 @@ class Machine {
   Metrics metrics_;
   LinkStats link_stats_;
   Timeline timeline_;
+  Lineage lineage_;
   FaultInjector injector_;
   PoolStats pool_mark_;            ///< pool_stats() at run start
   std::uint64_t trace_run_start_ = 0;   ///< trace_.next_seq() at run start

@@ -63,6 +63,7 @@ sim::Task<void> half_exchange(sim::NodeCtx& ctx, cube::NodeId partner,
     ctx.charge_compares(comparisons);
     FTSORT_ENSURE(scratch.merged.size() == b);
     std::swap(block, scratch.merged);
+    if (ctx.lineage_enabled()) ctx.note_lineage_retain(partner, tag, block);
     co_return;
   }
 
@@ -90,6 +91,7 @@ sim::Task<void> half_exchange(sim::NodeCtx& ctx, cube::NodeId partner,
   ctx.charge_compares(comparisons);
   FTSORT_ENSURE(scratch.merged.size() == b);
   std::swap(block, scratch.merged);
+  if (ctx.lineage_enabled()) ctx.note_lineage_retain(partner, tag, block);
   co_return;
 }
 
@@ -116,6 +118,9 @@ sim::Task<void> exchange_merge_split_into(
                    comparisons);
   ctx.charge_compares(comparisons);
   std::swap(block, scratch.merged);
+  // Custody commits here, at the merge — never at send/recv: the wire
+  // carried a copy (sim/lineage.hpp).
+  if (ctx.lineage_enabled()) ctx.note_lineage_retain(partner, tag, block);
   co_return;
 }
 
@@ -195,6 +200,8 @@ sim::Task<void> block_bitonic_merge(sim::NodeCtx& ctx,
     ctx.send(lc.phys[mirror], swap_tag, std::move(block));
     sim::Message msg = co_await ctx.recv(lc.phys[mirror], swap_tag);
     msg.payload.release_into(block);
+    if (ctx.lineage_enabled())
+      ctx.note_lineage_retain(lc.phys[mirror], swap_tag, block);
   }
   co_return;
 }

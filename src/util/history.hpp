@@ -1,0 +1,73 @@
+// Rotating JSONL history append, shared by bench_harness (the writer of
+// BENCH_history.jsonl) and its tests.
+//
+// The contract the bench gate relies on:
+//  - A missing file is the normal first run: it seeds a new trajectory.
+//  - A file that *exists* but cannot be read (permissions, I/O error)
+//    must never be clobbered by the truncating rewrite — the rotation is
+//    skipped and reported instead.
+//  - After a successful append the file holds at most `cap` non-empty
+//    lines: the newest `cap` of (existing lines + the new one), oldest
+//    trimmed first.
+//  - A failed write degrades the trajectory, never the caller: the
+//    result reports it and the caller decides whether that is fatal.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+namespace ftsort::util {
+
+/// Default retention of append_history_line: a long-lived checkout
+/// otherwise grows the file without bound, and only the recent
+/// trajectory is ever read by the trend gate.
+inline constexpr std::size_t kHistoryCap = 500;
+
+struct HistoryAppendResult {
+  bool rotated = false;      ///< the file was rewritten with the new line
+  bool unreadable = false;   ///< existing file could not be read; skipped
+  bool write_failed = false;  ///< rewrite attempted but the stream failed
+  std::size_t entries = 0;   ///< non-empty lines in the file after trim
+};
+
+/// Append `line` to the JSONL file at `path`, keeping only the newest
+/// `cap` lines. Empty lines in the existing file (partial appends from a
+/// crashed run) are dropped during rotation.
+inline HistoryAppendResult append_history_line(const std::string& path,
+                                               const std::string& line,
+                                               std::size_t cap = kHistoryCap) {
+  HistoryAppendResult res;
+  std::vector<std::string> lines;
+  {
+    std::error_code ec;
+    const bool had_file = std::filesystem::exists(path, ec);
+    // A directory at the path opens "successfully" as an ifstream on
+    // Linux (O_RDONLY on directories succeeds); treat it as unreadable
+    // rather than letting the truncating rewrite below run against it.
+    std::ifstream in(path);
+    if (had_file && (!in || std::filesystem::is_directory(path, ec))) {
+      res.unreadable = true;
+      return res;
+    }
+    std::string existing;
+    while (std::getline(in, existing))
+      if (!existing.empty()) lines.push_back(existing);
+  }
+  lines.push_back(line);
+  const std::size_t keep_from = lines.size() > cap ? lines.size() - cap : 0;
+  std::ofstream out(path, std::ios::trunc);
+  for (std::size_t i = keep_from; i < lines.size(); ++i)
+    out << lines[i] << "\n";
+  res.entries = lines.size() - keep_from;
+  if (!out) {
+    res.write_failed = true;
+    return res;
+  }
+  res.rotated = true;
+  return res;
+}
+
+}  // namespace ftsort::util

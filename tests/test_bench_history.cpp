@@ -1,0 +1,118 @@
+// util::append_history_line — the BENCH_history.jsonl rotation shared by
+// bench_harness and the ftdiag history trend gate.
+//
+// The rotation runs inside the bench binary where a mistake silently
+// eats the perf trajectory, so its contract is pinned here: seed-on-
+// missing, last-N trim in append order, never clobber an unreadable
+// file, and report (not throw) on an unwritable path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/history.hpp"
+
+namespace ftsort {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(BenchHistoryRotation, MissingFileSeedsANewTrajectory) {
+  const std::string path = "history_test_seed.jsonl";
+  std::filesystem::remove(path);
+  const util::HistoryAppendResult res =
+      util::append_history_line(path, "{\"run\": 1}");
+  EXPECT_TRUE(res.rotated);
+  EXPECT_FALSE(res.unreadable);
+  EXPECT_EQ(res.entries, 1u);
+  EXPECT_EQ(read_lines(path), std::vector<std::string>{"{\"run\": 1}"});
+  std::filesystem::remove(path);
+}
+
+TEST(BenchHistoryRotation, KeepsTheNewestCapLinesInAppendOrder) {
+  const std::string path = "history_test_cap.jsonl";
+  std::filesystem::remove(path);
+  for (int i = 0; i < 7; ++i) {
+    const util::HistoryAppendResult res = util::append_history_line(
+        path, "{\"run\": " + std::to_string(i) + "}", /*cap=*/5);
+    ASSERT_TRUE(res.rotated);
+    EXPECT_EQ(res.entries, static_cast<std::size_t>(std::min(i + 1, 5)));
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines.front(), "{\"run\": 2}");  // 0 and 1 trimmed, oldest first
+  EXPECT_EQ(lines.back(), "{\"run\": 6}");
+  std::filesystem::remove(path);
+}
+
+TEST(BenchHistoryRotation, DefaultCapMatchesTheHarness) {
+  // bench_harness relies on the default; the trend gate reads ~the last
+  // handful, so 500 is comfortably "the recent trajectory".
+  EXPECT_EQ(util::kHistoryCap, 500u);
+
+  const std::string path = "history_test_defaultcap.jsonl";
+  std::filesystem::remove(path);
+  {
+    std::ofstream out(path);
+    for (std::size_t i = 0; i < util::kHistoryCap + 10; ++i)
+      out << "{\"run\": " << i << "}\n";
+  }
+  const util::HistoryAppendResult res =
+      util::append_history_line(path, "{\"run\": \"new\"}");
+  ASSERT_TRUE(res.rotated);
+  EXPECT_EQ(res.entries, util::kHistoryCap);
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), util::kHistoryCap);
+  EXPECT_EQ(lines.back(), "{\"run\": \"new\"}");
+  // The oldest 11 (510 existing + 1 new - 500 kept) are gone.
+  EXPECT_EQ(lines.front(), "{\"run\": 11}");
+  std::filesystem::remove(path);
+}
+
+TEST(BenchHistoryRotation, DropsEmptyLinesFromCrashedAppends) {
+  const std::string path = "history_test_empty.jsonl";
+  std::filesystem::remove(path);
+  {
+    std::ofstream out(path);
+    out << "{\"run\": 0}\n\n\n{\"run\": 1}\n";
+  }
+  const util::HistoryAppendResult res =
+      util::append_history_line(path, "{\"run\": 2}");
+  ASSERT_TRUE(res.rotated);
+  EXPECT_EQ(res.entries, 3u);
+  EXPECT_EQ(read_lines(path).size(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(BenchHistoryRotation, NeverClobbersAnUnreadableExistingFile) {
+  // A directory at the path: exists() is true, ifstream cannot open it —
+  // the unreadable-file shape without permission games (which a root test
+  // runner would bypass anyway).
+  const std::string path = "history_test_unreadable.jsonl";
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directory(path);
+  const util::HistoryAppendResult res =
+      util::append_history_line(path, "{\"run\": 0}");
+  EXPECT_FALSE(res.rotated);
+  EXPECT_TRUE(res.unreadable);
+  EXPECT_TRUE(std::filesystem::is_directory(path));
+  std::filesystem::remove_all(path);
+}
+
+TEST(BenchHistoryRotation, ReportsAnUnwritablePathInsteadOfThrowing) {
+  const util::HistoryAppendResult res = util::append_history_line(
+      "history_no_such_dir/history.jsonl", "{\"run\": 0}");
+  EXPECT_FALSE(res.rotated);
+  EXPECT_FALSE(res.unreadable);
+  EXPECT_TRUE(res.write_failed);
+}
+
+}  // namespace
+}  // namespace ftsort

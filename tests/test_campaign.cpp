@@ -214,13 +214,16 @@ TEST(CampaignFtdiag, DiffFlagsReliabilityDriftAndExitCodesMatchContract) {
 
 // ---------------------------------------------------------------------------
 // The acceptance campaign: 500 trials on Q_7, r in 0..3, threaded worker
-// pool vs single worker -> byte-identical schema-v5 JSON with a monotone
+// pool vs single worker -> byte-identical schema-v6 JSON with a monotone
 // completion curve. (Suite named MonteCarlo, not Campaign: the tsan
 // preset includes Campaign.* by name, and this sweep is too large to run
 // under instrumentation — the small Campaign.* tests above give tsan the
 // same worker-pool coverage.)
 
-const char* const kSchemaV5RequiredKeys[] = {
+const char* const kSchemaV6RequiredKeys[] = {
+    // v6: the campaign-wide and per-trial key-lineage audit verdicts.
+    "lineage",       "audited",              "lineage_checked",
+    "lineage_ok",    "lineage_lost",         "lineage_duplicated",
     "campaign",      "schema_version",       "n",
     "r_max",         "scenarios",            "trials",
     "seed",          "num_keys",             "executor",
@@ -260,6 +263,10 @@ TEST(MonteCarlo, AcceptanceFiveHundredTrialCampaignQ7) {
 
   EXPECT_TRUE(single.conserves_trials());
   EXPECT_TRUE(single.completion_monotone());
+  // v6: every completing trial ran the custody audit and passed — a
+  // nonzero gap here is a data-loss bug the value comparison missed.
+  EXPECT_GT(single.lineage_audited, 0u);
+  EXPECT_EQ(single.lineage_ok, single.lineage_audited);
   EXPECT_DOUBLE_EQ(single.buckets[0].completion_probability, 1.0);
   // The campaign is informative at every r: faults actually bite.
   for (std::size_t r = 1; r < single.buckets.size(); ++r)
@@ -276,8 +283,8 @@ TEST(MonteCarlo, AcceptanceFiveHundredTrialCampaignQ7) {
     EXPECT_GT(b.restart_latency_p90, 0.0) << "r=" << b.r;
   }
 
-  // Schema v5: every required key present, braces balanced.
-  for (const char* key : kSchemaV5RequiredKeys)
+  // Schema v6: every required key present, braces balanced.
+  for (const char* key : kSchemaV6RequiredKeys)
     EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
         << "missing schema key " << key;
   long depth = 0;

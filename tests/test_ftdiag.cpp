@@ -418,7 +418,7 @@ TEST(FtdiagSchema, RefusesFilesNewerThanTheBuildWithVersionedMessage) {
   EXPECT_FALSE(metrics.ok);
   EXPECT_NE(metrics.error.find("schema v99"), std::string::npos)
       << metrics.error;
-  EXPECT_NE(metrics.error.find("reads up to v5"), std::string::npos)
+  EXPECT_NE(metrics.error.find("reads up to v6"), std::string::npos)
       << metrics.error;
 
   const tools::HotspotsResult bench = tools::hotspots_report(
@@ -436,7 +436,7 @@ TEST(FtdiagSchema, RefusesFilesNewerThanTheBuildWithVersionedMessage) {
           "buckets": [{"r": 0, "trials": 1}]})");
   EXPECT_FALSE(old.ok);
   EXPECT_NE(old.error.find("schema v4"), std::string::npos) << old.error;
-  EXPECT_NE(old.error.find("reads v5"), std::string::npos) << old.error;
+  EXPECT_NE(old.error.find("reads v6"), std::string::npos) << old.error;
 }
 
 // ---------------------------------------------------------------------------

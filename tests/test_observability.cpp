@@ -340,10 +340,12 @@ TEST(ObservabilityExport, MetricsJsonContainsEveryPhaseAndKey) {
         "cost_model", "routing", "t_compare", "t_transfer", "t_startup",
         // v5: recovery-latency decomposition and the sim-time sampler
         // (enabled:false stubs here — this run recorded neither).
-        "recovery_latency", "timeline"})
+        "recovery_latency", "timeline",
+        // v6: key-lineage custody audit (enabled:false stub here).
+        "lineage"})
     EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
         << key;
-  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
   EXPECT_NE(json.find("\"cost_model\": {\"name\": \"ncube7\", \"routing\": "
                       "\"store_and_forward\""),
             std::string::npos);

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "sim/phase.hpp"
+#include "util/schema.hpp"
 
 namespace ftsort::tools {
 
@@ -78,13 +79,14 @@ double num_or(const std::string& obj, const char* key, double fallback) {
   return v;
 }
 
-// Newest schema version each reader understands. Files *older* than the
-// ceiling still parse (new keys are additive and simply absent); files
-// *newer* than the ceiling are refused with a versioned message instead
-// of a silent misparse.
-constexpr double kMetricsSchemaMax = 5.0;   ///< sim::write_metrics_json
-constexpr double kBenchSchemaMax = 3.0;     ///< bench_harness write_json
-constexpr double kCampaignSchemaMax = 5.0;  ///< campaign::write_campaign_json
+// Newest schema version each reader understands — derived from the one
+// shared writer/reader table (util/schema.hpp), so the readers can never
+// lag the writers. Files *older* than the ceiling still parse (new keys
+// are additive and simply absent); files *newer* than the ceiling are
+// refused with a versioned message instead of a silent misparse.
+constexpr double kMetricsSchemaMax = util::kMetricsSchemaVersion;
+constexpr double kBenchSchemaMax = util::kBenchSchemaVersion;
+constexpr double kCampaignSchemaMax = util::kCampaignSchemaVersion;
 
 /// Refuses documents newer than `ceiling`. `what` names the format in
 /// the error ("metrics JSON", ...). A missing schema_version (hand-made
@@ -1227,6 +1229,334 @@ HistoryResult history_trends(const std::string& jsonl,
 }
 
 // ---------------------------------------------------------------------------
+// lineage
+
+namespace {
+
+/// `"key": true|false` field inside `obj`; `fallback` when absent.
+bool bool_or(const std::string& obj, const char* key, bool fallback) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return fallback;
+  return obj.compare(at + needle.size(), 4, "true") == 0;
+}
+
+/// One row of the metrics export's per-key lineage detail.
+struct LineageKeyRow {
+  long id = -1;
+  double value = 0.0;
+  long origin = 0;
+  long holder = 0;
+  bool dummy = false;
+  bool retired = false;
+  bool lost = false;
+  bool salvaged = false;
+  long witness = -1;
+  long witness_step = -1;
+  double moves = 0.0;
+  double hops = 0.0;
+  std::string trail;
+};
+
+void read_key_row(const std::string& obj, LineageKeyRow* row) {
+  row->id = static_cast<long>(num_or(obj, "id", -1.0));
+  row->value = num_or(obj, "value", 0.0);
+  row->origin = static_cast<long>(num_or(obj, "origin", 0.0));
+  row->holder = static_cast<long>(num_or(obj, "holder", 0.0));
+  row->dummy = bool_or(obj, "dummy", false);
+  row->retired = bool_or(obj, "retired", false);
+  row->lost = bool_or(obj, "lost", false);
+  row->salvaged = bool_or(obj, "salvaged", false);
+  row->witness = static_cast<long>(num_or(obj, "witness", -1.0));
+  row->witness_step = static_cast<long>(num_or(obj, "witness_step", -1.0));
+  row->moves = num_or(obj, "moves", 0.0);
+  row->hops = num_or(obj, "hops", 0.0);
+  row->trail = string_field(obj, "trail");
+}
+
+/// Decode one `<code>,node,peer,step,phase` trail event (the codec of
+/// sim::lineage_event_code + sim::write_metrics_json) into a prose line.
+std::string decode_trail_event(const std::string& ev) {
+  std::vector<std::string> f;
+  std::size_t begin = 0;
+  while (f.size() < 5) {
+    const std::size_t comma = ev.find(',', begin);
+    if (comma == std::string::npos) {
+      f.push_back(ev.substr(begin));
+      break;
+    }
+    f.push_back(ev.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  if (f.size() < 5 || f[0].size() != 1) return "malformed event \"" + ev + "\"";
+  const std::string& node = f[1];
+  const std::string& peer = f[2];
+  const std::string& step = f[3];
+  const std::string& phase = f[4];
+  switch (f[0][0]) {
+    case 'A': return "assigned to node " + node + " [" + phase + "]";
+    case 'M':
+      return "moved to node " + node + " from node " + peer + " at tag " +
+             step + " [" + phase + "]";
+    case 'S':
+      return "salvaged to node " + node + " (witness node " + peer +
+             ", step " + step + ") [" + phase + "]";
+    case 'R':
+      return "re-scattered to node " + node + " from node " + peer + " [" +
+             phase + "]";
+    case 'T': return "retired at node " + node + " [" + phase + "]";
+    case 'L': return "LOST at node " + node + " [" + phase + "]";
+    default: return "unknown event \"" + ev + "\"";
+  }
+}
+
+}  // namespace
+
+LineageCliResult lineage_report(const std::string& json, long key,
+                                std::size_t top_n, bool audit_only) {
+  LineageCliResult res;
+  if (!check_schema_ceiling(json, "metrics JSON", kMetricsSchemaMax,
+                            &res.error))
+    return res;
+  const std::size_t at = json.find("\"lineage\": {");
+  if (at == std::string::npos) {
+    res.error =
+        "metrics JSON without a \"lineage\" block (schema v6 required)";
+    return res;
+  }
+  const std::size_t block_start = json.find('{', at);
+  const std::size_t block_end = match_delim(json, block_start, '{', '}');
+  if (block_end == std::string::npos) {
+    res.error = "unterminated \"lineage\" block";
+    return res;
+  }
+  const std::string block =
+      json.substr(block_start, block_end - block_start);
+  if (!bool_or(block, "enabled", false)) {
+    res.error = "run recorded no lineage (record_lineage off)";
+    return res;
+  }
+
+  // Rollups. These keys all precede the audit/keys sub-objects in the
+  // writer's fixed order, so first-occurrence scanning is unambiguous.
+  const auto assigned = static_cast<long>(num_or(block, "assigned", 0.0));
+  const auto dummies = static_cast<long>(num_or(block, "dummies", 0.0));
+  const auto dropped =
+      static_cast<long>(num_or(block, "dropped_events", 0.0));
+  const auto mismatches =
+      static_cast<long>(num_or(block, "resolve_mismatches", 0.0));
+  const auto untracked =
+      static_cast<long>(num_or(block, "untracked_total", 0.0));
+
+  // Audit block with the named violations.
+  struct LostRow {
+    long id = 0;
+    double value = 0.0;
+    long last_holder = 0;
+    std::string phase;
+  };
+  struct DupRow {
+    double value = 0.0;
+    long extra = 0;
+  };
+  std::vector<LostRow> lost_rows;
+  std::vector<DupRow> dup_rows;
+  long salvaged = 0;
+  long witnessed = 0;
+  {
+    const std::size_t aud = block.find("\"audit\": {");
+    if (aud == std::string::npos) {
+      res.error = "lineage block without an \"audit\" object";
+      return res;
+    }
+    const std::size_t astart = block.find('{', aud);
+    const std::size_t aend = match_delim(block, astart, '{', '}');
+    if (aend == std::string::npos) {
+      res.error = "unterminated \"audit\" object";
+      return res;
+    }
+    const std::string audit = block.substr(astart, aend - astart);
+    res.audit_checked = bool_or(audit, "checked", false);
+    res.audit_ok = bool_or(audit, "ok", false);
+    salvaged = static_cast<long>(num_or(audit, "salvaged", 0.0));
+    witnessed = static_cast<long>(num_or(audit, "witnessed_salvaged", 0.0));
+    const auto read_array = [&](const char* name, auto fn) {
+      const std::size_t arr_at = audit.find(std::string("\"") + name +
+                                            "\": [");
+      if (arr_at == std::string::npos) return;
+      std::size_t p = audit.find('[', arr_at);
+      const std::size_t pstop = match_delim(audit, p, '[', ']');
+      while (pstop != std::string::npos) {
+        p = audit.find('{', p);
+        if (p == std::string::npos || p >= pstop) break;
+        const std::size_t end = match_delim(audit, p, '{', '}');
+        if (end == std::string::npos) break;
+        fn(audit.substr(p, end - p));
+        p = end;
+      }
+    };
+    read_array("lost", [&](const std::string& obj) {
+      lost_rows.push_back({static_cast<long>(num_or(obj, "id", 0.0)),
+                           num_or(obj, "value", 0.0),
+                           static_cast<long>(num_or(obj, "last_holder", 0.0)),
+                           string_field(obj, "phase")});
+    });
+    read_array("duplicated", [&](const std::string& obj) {
+      dup_rows.push_back({num_or(obj, "value", 0.0),
+                          static_cast<long>(num_or(obj, "extra", 0.0))});
+    });
+  }
+  res.lost = lost_rows.size();
+  res.duplicated = dup_rows.size();
+
+  // Per-key detail (needed for --key and --top). `"keys": [` is distinct
+  // from the `keys_total`/`keys_emitted` scalars before it.
+  std::vector<LineageKeyRow> rows;
+  {
+    const std::size_t karr = block.find("\"keys\": [");
+    if (karr != std::string::npos) {
+      std::size_t p = block.find('[', karr);
+      const std::size_t pstop = match_delim(block, p, '[', ']');
+      while (pstop != std::string::npos) {
+        p = block.find('{', p);
+        if (p == std::string::npos || p >= pstop) break;
+        const std::size_t end = match_delim(block, p, '{', '}');
+        if (end == std::string::npos) break;
+        LineageKeyRow row;
+        read_key_row(block.substr(p, end - p), &row);
+        if (row.id >= 0) rows.push_back(std::move(row));
+        p = end;
+      }
+    }
+  }
+
+  std::ostringstream out;
+  const auto put_verdict = [&] {
+    if (!res.audit_checked)
+      out << "  audit: NOT RUN (gather did not complete)\n";
+    else if (res.audit_ok)
+      out << "  audit: OK — every input key in the output exactly once\n";
+    else
+      out << "  audit: VIOLATED — " << res.lost << " lost, "
+          << res.duplicated << " duplicated\n";
+    for (const LostRow& r : lost_rows) {
+      out << "    LOST id " << r.id << " value ";
+      put_us(out, r.value);
+      out << " last holder node " << r.last_holder << " [" << r.phase
+          << "]\n";
+    }
+    for (const DupRow& r : dup_rows) {
+      out << "    DUPLICATED value ";
+      put_us(out, r.value);
+      out << " x" << (r.extra + 1) << " (" << r.extra << " extra)\n";
+    }
+  };
+
+  if (key >= 0) {
+    const LineageKeyRow* row = nullptr;
+    for (const LineageKeyRow& r : rows)
+      if (r.id == key) {
+        row = &r;
+        break;
+      }
+    if (row == nullptr) {
+      res.error = "no key with id " + std::to_string(key) +
+                  " in the per-key detail (" + std::to_string(rows.size()) +
+                  " emitted; the export caps detail at " +
+                  std::to_string(static_cast<long>(
+                      num_or(block, "keys_emitted", 0.0))) +
+                  " keys)";
+      return res;
+    }
+    out << "ftdiag lineage: key id " << row->id << " value ";
+    put_us(out, row->value);
+    out << "\n  origin node " << row->origin << " -> final holder node "
+        << row->holder << "; " << static_cast<long>(row->moves)
+        << " custody move(s), " << static_cast<long>(row->hops)
+        << " link hop(s)\n";
+    if (row->dummy)
+      out << "  dummy padding key" << (row->retired ? " (retired)" : "")
+          << "\n";
+    if (row->lost) out << "  LOST in custody\n";
+    if (row->salvaged) out << "  salvaged off a dead node\n";
+    if (row->witness >= 0)
+      out << "  freshest witness: node " << row->witness << " at step "
+          << row->witness_step << "\n";
+    out << "  custody trail:\n";
+    std::size_t begin = 0;
+    const std::string& trail = row->trail;
+    while (begin < trail.size()) {
+      std::size_t semi = trail.find(';', begin);
+      if (semi == std::string::npos) semi = trail.size();
+      out << "    " << decode_trail_event(trail.substr(begin, semi - begin))
+          << "\n";
+      begin = semi + 1;
+    }
+    res.ok = true;
+    res.text = out.str();
+    return res;
+  }
+
+  if (top_n > 0) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const LineageKeyRow& a, const LineageKeyRow& b) {
+                       return a.hops > b.hops;
+                     });
+    out << "ftdiag lineage: top " << std::min(top_n, rows.size())
+        << " traveler(s) of " << rows.size() << " emitted key(s)\n";
+    for (std::size_t i = 0; i < rows.size() && i < top_n; ++i) {
+      const LineageKeyRow& r = rows[i];
+      out << "  id " << r.id << " value ";
+      put_us(out, r.value);
+      out << ": " << static_cast<long>(r.hops) << " hop(s), "
+          << static_cast<long>(r.moves) << " move(s), node " << r.origin
+          << " -> node " << r.holder << (r.salvaged ? " [salvaged]" : "")
+          << "\n";
+    }
+    res.ok = true;
+    res.text = out.str();
+    return res;
+  }
+
+  if (audit_only) {
+    out << "ftdiag lineage audit\n";
+    put_verdict();
+    res.ok = true;
+    res.text = out.str();
+    return res;
+  }
+
+  out << "ftdiag lineage: " << assigned << " id(s) assigned (" << dummies
+      << " dummy), " << rows.size() << " in per-key detail\n";
+  put_verdict();
+  out << "  salvage: " << salvaged << " key(s) salvaged, " << witnessed
+      << " through a recorded witness\n";
+  out << "  hops without a custodian id (control/witness/fan-out words): "
+      << untracked << "\n";
+  if (mismatches != 0)
+    out << "  warning: " << mismatches << " resolve mismatch(es)\n";
+  if (dropped != 0)
+    out << "  warning: " << dropped
+        << " chain event(s) dropped past the per-key cap\n";
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const LineageKeyRow& a, const LineageKeyRow& b) {
+                     return a.hops > b.hops;
+                   });
+  const std::size_t shown = std::min<std::size_t>(5, rows.size());
+  if (shown > 0) out << "  top travelers:\n";
+  for (std::size_t i = 0; i < shown; ++i) {
+    const LineageKeyRow& r = rows[i];
+    out << "    id " << r.id << " value ";
+    put_us(out, r.value);
+    out << ": " << static_cast<long>(r.hops) << " hop(s), "
+        << static_cast<long>(r.moves) << " move(s)\n";
+  }
+  res.ok = true;
+  res.text = out.str();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
 // CLI
 
 namespace {
@@ -1253,11 +1583,17 @@ int usage(std::ostream& err) {
          "       ftdiag history <history.jsonl> "
          "[--metric makespan|wall_ns|comparisons]\n"
          "                      [--last K] [--threshold PCT]\n"
-         "supported schemas: metrics JSON up to v5, bench JSON up to v3, "
-         "campaign JSON v5,\n"
-         "                   bench history JSONL\n"
-         "exit codes: 0 clean, 1 regression beyond threshold, "
-         "2 usage/parse error\n";
+         "       ftdiag lineage <metrics.json> [--key ID | --top N | "
+         "--audit]\n"
+         "       ftdiag --version\n"
+         "supported schemas:";
+  for (const util::SchemaEntry& e : util::kSchemaTable)
+    err << " " << e.format << " JSON " << (e.exact ? "v" : "up to v")
+        << e.version << ",";
+  err << "\n                   bench history JSONL\n"
+         "exit codes: 0 clean, 1 regression beyond threshold "
+         "(lineage: audit violated),\n"
+         "            2 usage/parse error\n";
   return 2;
 }
 
@@ -1267,6 +1603,14 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err) {
   if (argc < 2) return usage(err);
   const std::string cmd = argv[1];
+
+  if (cmd == "--version" || cmd == "version") {
+    out << "ftdiag schemas:\n";
+    for (const util::SchemaEntry& e : util::kSchemaTable)
+      out << "  " << e.format << " JSON: "
+          << (e.exact ? "exactly v" : "up to v") << e.version << "\n";
+    return 0;
+  }
 
   if (cmd == "explain") {
     if (argc != 3) return usage(err);
@@ -1439,6 +1783,50 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     }
     out << res.text;
     return res.regressions > 0 ? 1 : 0;
+  }
+
+  if (cmd == "lineage") {
+    if (argc < 3) return usage(err);
+    long key = -1;
+    std::size_t top_n = 0;
+    bool audit_only = false;
+    int i = 3;
+    while (i < argc) {
+      const std::string flag = argv[i];
+      if (flag == "--audit") {
+        audit_only = true;
+        i += 1;
+      } else if (flag == "--key" && i + 1 < argc) {
+        char* end = nullptr;
+        key = std::strtol(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || key < 0) return usage(err);
+        i += 2;
+      } else if (flag == "--top" && i + 1 < argc) {
+        char* end = nullptr;
+        const long n = std::strtol(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || n <= 0) return usage(err);
+        top_n = static_cast<std::size_t>(n);
+        i += 2;
+      } else {
+        return usage(err);
+      }
+    }
+    // The three modes are exclusive: each picks its own rendering.
+    if ((key >= 0 ? 1 : 0) + (top_n > 0 ? 1 : 0) + (audit_only ? 1 : 0) > 1)
+      return usage(err);
+    std::string text;
+    std::string why;
+    if (!slurp(argv[2], &text, &why)) {
+      err << "ftdiag lineage: " << why << "\n";
+      return 2;
+    }
+    const LineageCliResult res = lineage_report(text, key, top_n, audit_only);
+    if (!res.ok) {
+      err << "ftdiag lineage: " << res.error << "\n";
+      return 2;
+    }
+    out << res.text;
+    return (res.audit_checked && !res.audit_ok) ? 1 : 0;
   }
 
   return usage(err);

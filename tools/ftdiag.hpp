@@ -168,6 +168,26 @@ struct HistoryResult {
   std::string text;  ///< deterministic rendered report
 };
 
+/// Key-lineage report over a schema-v6 metrics JSON export
+/// (sim::write_metrics_json with record_lineage on).
+struct LineageCliResult {
+  bool ok = false;
+  std::string error;
+  bool audit_checked = false;  ///< the no-loss/no-dup audit ran
+  bool audit_ok = false;       ///< ...and passed
+  std::size_t lost = 0;        ///< named lost ids
+  std::size_t duplicated = 0;  ///< named duplicated values
+  std::string text;            ///< deterministic rendered report
+};
+
+/// `key < 0, top_n == 0, !audit_only`: summary (rollup, audit verdict
+/// with every lost/duplicated id named, top travelers). `key >= 0`: that
+/// id's full record with its custody trail decoded event by event.
+/// `top_n > 0`: the top-N travelers by link crossings from the per-key
+/// detail. `audit_only`: just the verdict and the named violations.
+LineageCliResult lineage_report(const std::string& json, long key,
+                                std::size_t top_n, bool audit_only);
+
 /// Trend gate over a bench_harness BENCH_history.jsonl: one appended
 /// line per bench run, each carrying per-scenario wall_ns / makespan /
 /// comparisons. Samples group by (scenario, mode, build) — smoke and
@@ -185,10 +205,13 @@ HistoryResult history_trends(const std::string& jsonl,
 /// Full CLI: `ftdiag diff A B [--threshold PCT]`,
 /// `ftdiag explain TRACE.json`, `ftdiag hotspots FILE [--top K]`,
 /// `ftdiag hotspots A B [--threshold PCT]`,
-/// `ftdiag campaign FILE`, `ftdiag campaign A B [--threshold PCT]`, or
-/// `ftdiag history FILE.jsonl [--metric M] [--last K] [--threshold PCT]`.
+/// `ftdiag campaign FILE`, `ftdiag campaign A B [--threshold PCT]`,
+/// `ftdiag history FILE.jsonl [--metric M] [--last K] [--threshold PCT]`,
+/// `ftdiag lineage METRICS.json [--key ID | --top N | --audit]`, or
+/// `ftdiag --version` (the schema table, from util/schema.hpp).
 /// Returns the process exit code: 0 = clean, 1 = diff found a
-/// regression beyond the threshold, 2 = usage or parse error.
+/// regression beyond the threshold (for `lineage`: the custody audit is
+/// violated), 2 = usage or parse error.
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err);
 

@@ -32,11 +32,13 @@
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <new>
 #include <sstream>
 #include <string>
@@ -49,6 +51,7 @@
 #include "sort/distribution.hpp"
 #include "sort/merge_split.hpp"
 #include "util/history.hpp"
+#include "util/progress.hpp"
 #include "util/rng.hpp"
 #include "util/schema.hpp"
 
@@ -59,8 +62,20 @@
 // it never perturbs what it measures.
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
+
+// SIGINT/SIGTERM latch: the scenario loop checks it between scenarios
+// and flushes a partial BENCH_sort.json instead of dropping the run.
+std::atomic<int> g_bench_signal{0};
+void bench_on_signal(int sig) { g_bench_signal.store(sig); }
 }  // namespace
 
+// GCC models the malloc-backed replacement operator new as malloc itself
+// once it inlines these definitions (e.g. through std::function's
+// manager), then flags the paired free() in the replacement delete as a
+// mismatched-new-delete. This is exactly the sanctioned replacement
+// pattern; the diagnostic is a false positive at these definitions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t size) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size ? size : 1)) return p;
@@ -71,6 +86,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace ftsort::bench {
 namespace {
@@ -181,6 +197,13 @@ Metrics run_end_to_end(const std::string& name, cube::Dim n,
   // executor, and only perturb wall time there — charge them to the
   // instrumented run, never the timed reps.
   obs_cfg.profile_host = cfg.executor == core::Executor::Threaded;
+  // The wall-clock watchdog rides the instrumented run too (generous
+  // deadline): a wedged scenario becomes a black-box dump + abort instead
+  // of a CI timeout, and the metrics export carries the full armed
+  // watchdog block the schema scan requires. Heartbeats are wall-clock
+  // only, so not a single exported sim-time byte moves.
+  obs_cfg.watchdog.enabled = true;
+  obs_cfg.watchdog.deadline_ms = 120000;
   const core::FaultTolerantSorter obs_sorter(n, faults, obs_cfg);
   core::SortOutcome obs_outcome = obs_sorter.sort(keys);
   m.obs = std::move(obs_outcome.report);
@@ -654,33 +677,42 @@ int harness_main(int argc, char** argv) {
   const std::size_t micro_block = smoke ? 8'192 : 65'536;
   const int micro_iters = smoke ? 20 : 50;
 
-  std::vector<Metrics> all;
-
+  // Scenario list as (name, thunk) so the loop below owns liveness: the
+  // live progress line names the scenario in flight, and SIGINT/SIGTERM
+  // between scenarios flushes the completed prefix instead of losing it.
+  std::vector<std::pair<std::string, std::function<Metrics()>>> plan;
   {  // Fig. 7 shape: Q_6, r = 2 random faults, full exchange.
     core::SortConfig cfg;
     cfg.protocol = sort::ExchangeProtocol::FullExchange;
-    all.push_back(
-        run_end_to_end("fig7_q6_r2", 6, 2, m_fig7, cfg, 1706, reps));
+    plan.emplace_back("fig7_q6_r2", [=] {
+      return run_end_to_end("fig7_q6_r2", 6, 2, m_fig7, cfg, 1706, reps);
+    });
   }
   {  // Same machine on the threaded executor.
     core::SortConfig cfg;
     cfg.protocol = sort::ExchangeProtocol::FullExchange;
     cfg.executor = core::Executor::Threaded;
-    all.push_back(run_end_to_end("fig7_q6_r2_threaded", 6, 2, m_fig7, cfg,
-                                 1706, reps));
+    plan.emplace_back("fig7_q6_r2_threaded", [=] {
+      return run_end_to_end("fig7_q6_r2_threaded", 6, 2, m_fig7, cfg, 1706,
+                            reps);
+    });
   }
   {  // Table 1 shape: Q_4, 2 faults, the paper's half exchange.
     core::SortConfig cfg;
     cfg.protocol = sort::ExchangeProtocol::HalfExchange;
-    all.push_back(
-        run_end_to_end("table1_q4_half_f2", 4, 2, m_table, cfg, 1704, reps));
+    plan.emplace_back("table1_q4_half_f2", [=] {
+      return run_end_to_end("table1_q4_half_f2", 4, 2, m_table, cfg, 1704,
+                            reps);
+    });
   }
   {  // Online recovery with a mid-run death.
     core::SortConfig cfg;
     cfg.online_recovery = true;
     cfg.injector.kill_node_at(6, 2000.0);
-    all.push_back(run_end_to_end("recovery_q3_kill6", 3, 1, m_recovery, cfg,
-                                 1703, reps));
+    plan.emplace_back("recovery_q3_kill6", [=] {
+      return run_end_to_end("recovery_q3_kill6", 3, 1, m_recovery, cfg, 1703,
+                            reps);
+    });
   }
   {  // Fig. 7 shape under the cut-through model, paper protocol verbatim:
      // the 350 µs start-up term now dominates the half exchange's
@@ -689,8 +721,10 @@ int harness_main(int argc, char** argv) {
     cfg.cost = sim::CostModel::wormhole();
     cfg.protocol = sort::ExchangeProtocol::HalfExchange;
     cfg.coalesce = sort::CoalescePolicy::Off;
-    all.push_back(run_end_to_end("fig7_q6_r2_wormhole", 6, 2, m_fig7, cfg,
-                                 1706, reps));
+    plan.emplace_back("fig7_q6_r2_wormhole", [=] {
+      return run_end_to_end("fig7_q6_r2_wormhole", 6, 2, m_fig7, cfg, 1706,
+                            reps);
+    });
   }
   {  // Same machine with coalescing engaged (Auto → full exchange under
      // cut-through): same keys per direction, half the messages and rounds.
@@ -700,21 +734,73 @@ int harness_main(int argc, char** argv) {
     cfg.cost = sim::CostModel::wormhole();
     cfg.protocol = sort::ExchangeProtocol::HalfExchange;
     cfg.coalesce = sort::CoalescePolicy::Auto;
-    all.push_back(run_end_to_end("fig7_q6_r2_wormhole_coalesced", 6, 2,
-                                 m_fig7, cfg, 1706, reps));
+    plan.emplace_back("fig7_q6_r2_wormhole_coalesced", [=] {
+      return run_end_to_end("fig7_q6_r2_wormhole_coalesced", 6, 2, m_fig7,
+                            cfg, 1706, reps);
+    });
   }
-  all.push_back(run_micro_merge_split("micro_merge_split_into",
-                                      sort::KernelBackend::Scalar,
-                                      micro_block, micro_iters, reps));
-  all.push_back(run_micro_merge_split("micro_merge_split_into_simd",
-                                      sort::KernelBackend::Simd, micro_block,
-                                      micro_iters, reps));
-  all.push_back(run_micro_pairwise("micro_pairwise_rev_into",
-                                   sort::KernelBackend::Scalar, micro_block,
-                                   micro_iters, reps));
-  all.push_back(run_micro_pairwise("micro_pairwise_rev_into_simd",
-                                   sort::KernelBackend::Simd, micro_block,
-                                   micro_iters, reps));
+  plan.emplace_back("micro_merge_split_into", [=] {
+    return run_micro_merge_split("micro_merge_split_into",
+                                 sort::KernelBackend::Scalar, micro_block,
+                                 micro_iters, reps);
+  });
+  plan.emplace_back("micro_merge_split_into_simd", [=] {
+    return run_micro_merge_split("micro_merge_split_into_simd",
+                                 sort::KernelBackend::Simd, micro_block,
+                                 micro_iters, reps);
+  });
+  plan.emplace_back("micro_pairwise_rev_into", [=] {
+    return run_micro_pairwise("micro_pairwise_rev_into",
+                              sort::KernelBackend::Scalar, micro_block,
+                              micro_iters, reps);
+  });
+  plan.emplace_back("micro_pairwise_rev_into_simd", [=] {
+    return run_micro_pairwise("micro_pairwise_rev_into_simd",
+                              sort::KernelBackend::Simd, micro_block,
+                              micro_iters, reps);
+  });
+
+  std::signal(SIGINT, bench_on_signal);
+  std::signal(SIGTERM, bench_on_signal);
+
+  std::vector<Metrics> all;
+  bool interrupted = false;
+  {
+    util::ProgressLine progress;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (g_bench_signal.load() != 0) {
+        interrupted = true;
+        break;
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      std::ostringstream line;
+      line << "bench: " << i << "/" << plan.size() << " scenarios done, "
+           << "running " << plan[i].first;
+      if (i > 0)
+        line << ", eta "
+             << util::format_eta(elapsed / static_cast<double>(i) *
+                                 static_cast<double>(plan.size() - i));
+      progress.update(line.str());
+      all.push_back(plan[i].second());
+    }
+  }
+
+  if (interrupted) {
+    // Partial flush: the completed prefix is still a valid BENCH_sort.json
+    // (fewer scenarios). The history append is skipped — a truncated run
+    // would poison the per-scenario trend groups — and the baseline gate
+    // never runs. Exit 128+signal, shell convention for a signal death.
+    const int sig = g_bench_signal.load();
+    write_json(out_path, all, smoke);
+    std::fprintf(stderr,
+                 "interrupted by signal %d after %zu/%zu scenarios; wrote "
+                 "partial %s (history append skipped)\n",
+                 sig, all.size(), plan.size(), out_path.c_str());
+    return 128 + sig;
+  }
 
   write_json(out_path, all, smoke);
 

@@ -5,7 +5,7 @@
 //
 //   $ ./campaign_demo [--n 6] [--r-max 2] [--scenarios 25] [--keys 256]
 //
-// Pass `--out report.json` to save the schema-v6 CampaignReport; inspect
+// Pass `--out report.json` to save the schema-v7 CampaignReport; inspect
 // it later with `ftdiag campaign report.json`, or diff two campaigns with
 // `ftdiag campaign old.json new.json`. Any printed trial can be replayed
 // in isolation from (seed, trial index) alone — that pair plus the
@@ -13,13 +13,50 @@
 // `campaign_demo --seed S --replay I` re-runs trial I of seed S's universe
 // and prints its outcome, recovery-latency stage split, and lineage audit
 // verdict, so a corrupt trial is diagnosable from the CLI in one command.
+//
+// Liveness: `--workers 0` sizes the pool from the hardware; a TTY gets a
+// live stderr progress line (trials/sec, per-bucket completion, ETA,
+// heartbeat age); `--watchdog` arms the wall-clock stall monitor
+// (sim/watchdog.hpp) over both every trial and the pool itself, writing
+// a black-box dump (`ftdiag stuck dump.json`) on a trip. Ctrl-C flushes
+// the completed prefix to --out as a partial report and exits 128+signal
+// instead of dropping the sweep on the floor. None of these knobs change
+// a single report byte — that is the watchdog's headline invariant.
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <thread>
 
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
+#include "sim/watchdog.hpp"
 #include "util/cli.hpp"
+#include "util/progress.hpp"
+
+namespace {
+
+// Signal flags: written by the handler, read by the campaign's cancel
+// hook and the epilogue. Lock-free atomics are async-signal-safe here.
+std::atomic<bool> g_cancel{false};
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) {
+  g_signal.store(sig);
+  g_cancel.store(true);
+}
+
+/// Pool width for --workers W: W itself, or the hardware concurrency
+/// (capped — a 128-way box gains nothing past the trial count) when 0.
+unsigned effective_workers(std::int64_t requested) {
+  if (requested > 0) return static_cast<unsigned>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned cap = 16;
+  return hw == 0 ? 4 : std::min(hw, cap);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ftsort;
@@ -31,7 +68,9 @@ int main(int argc, char** argv) {
   cli.add_int("scenarios", 25, "independent fault sequences");
   cli.add_int("keys", 256, "keys sorted per trial");
   cli.add_int("seed", 20260807, "campaign seed");
-  cli.add_int("workers", 4, "worker threads (never changes the report)");
+  cli.add_int("workers", 4,
+              "worker threads; 0 = hardware concurrency (never changes "
+              "the report)");
   cli.add_flag("threaded", "run every trial on the threaded executor");
   cli.add_flag("timeline",
                "print the per-bucket recovery-latency decomposition "
@@ -42,7 +81,17 @@ int main(int argc, char** argv) {
   cli.add_int("replay", -1,
               "replay this trial index of the --seed universe alone and "
               "print its stage split + lineage audit verdict");
-  cli.add_string("out", "", "write the schema-v6 campaign JSON here");
+  cli.add_flag("watchdog",
+               "arm the wall-clock stall watchdog over every trial and "
+               "the worker pool");
+  cli.add_int("watchdog-deadline-ms", 10000,
+              "watchdog no-progress deadline (wall ms)");
+  cli.add_string("watchdog-dump", "",
+                 "write the black-box stall dump here on a trip "
+                 "(decode with `ftdiag stuck`)");
+  cli.add_flag("progress",
+               "force the live stderr progress line even off-TTY");
+  cli.add_string("out", "", "write the schema-v7 campaign JSON here");
   if (!cli.parse(argc, argv)) return 1;
 
   campaign::CampaignConfig cfg;
@@ -52,13 +101,28 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(cli.integer("scenarios"));
   cfg.universe.num_keys = static_cast<std::size_t>(cli.integer("keys"));
   cfg.seed = static_cast<std::uint64_t>(cli.integer("seed"));
-  cfg.workers = static_cast<unsigned>(cli.integer("workers"));
+  cfg.workers = effective_workers(cli.integer("workers"));
   cfg.executor = cli.flag("threaded") ? core::Executor::Threaded
                                       : core::Executor::Sequential;
+  if (cli.flag("watchdog")) {
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.deadline_ms =
+        static_cast<std::uint32_t>(cli.integer("watchdog-deadline-ms"));
+    cfg.watchdog.dump_path = cli.str("watchdog-dump");
+  }
 
   std::cout << "universe: Q_" << static_cast<int>(cfg.universe.n) << ", r <= "
             << cfg.universe.r_max << ", " << cfg.universe.scenarios
-            << " scenarios -> " << cfg.universe.trials() << " trials\n\n";
+            << " scenarios -> " << cfg.universe.trials() << " trials\n"
+            << "pool: " << cfg.workers << " worker(s)"
+            << (cli.integer("workers") == 0 ? " (hardware)" : "")
+            << ", watchdog "
+            << (cfg.watchdog.enabled
+                    ? "armed (" +
+                          std::to_string(cfg.watchdog.deadline_ms) +
+                          " ms deadline)"
+                    : "off")
+            << "\n\n";
 
   // Replay mode: one trial, fully determined by (seed, index, executor).
   // Same envelope calibration as the campaign, so the trial is bit-for-bit
@@ -96,8 +160,42 @@ int main(int argc, char** argv) {
     return t.lineage_checked && !t.lineage_ok ? 1 : 0;
   }
 
-  const campaign::CampaignReport report = campaign::run_campaign(cfg);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  cfg.cancel = &g_cancel;
+
+  util::ProgressLine progress(cli.flag("progress") || util::stderr_is_tty());
+  cfg.on_progress = [&progress](const campaign::CampaignProgress& p) {
+    std::ostringstream line;
+    line << "campaign: " << p.done << "/" << p.total << " trials";
+    if (p.trials_per_sec > 0.0) {
+      char rate[32];
+      std::snprintf(rate, sizeof rate, "%.1f", p.trials_per_sec);
+      line << ", " << rate << "/s, eta " << util::format_eta(p.eta_s);
+    }
+    line << ", buckets";
+    for (std::size_t r = 0; r < p.bucket_done.size(); ++r)
+      line << (r == 0 ? " " : "/") << p.bucket_done[r];
+    line << " of " << p.bucket_total << ", beat " << p.heartbeat_age_ms
+         << "ms";
+    progress.update(line.str());
+  };
+
+  campaign::CampaignReport report;
+  try {
+    report = campaign::run_campaign(cfg);
+  } catch (const sim::WatchdogError& e) {
+    progress.finish();
+    std::cerr << "watchdog: " << e.what() << "\n";
+    return 3;
+  }
+  progress.finish();
+
   std::cout << campaign::campaign_summary(report) << "\n";
+  if (report.partial)
+    std::cout << "note: PARTIAL report — the sweep was interrupted after "
+              << report.trials.size() << " trial(s); curves cover the "
+                 "completed prefix only.\n\n";
 
   if (cli.flag("timeline")) {
     std::cout << "recovery-latency decomposition over recovered trials "
@@ -127,7 +225,7 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
-  if (!report.completion_monotone())
+  if (!report.completion_monotone() && !report.partial)
     std::cout << "note: completion probability is not monotone in r for "
                  "this universe — grow --scenarios.\n";
 
@@ -139,7 +237,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     campaign::write_campaign_json(os, report);
-    std::cout << "wrote " << out << " (ftdiag campaign " << out << ")\n";
+    std::cout << "wrote " << out << (report.partial ? " (partial)" : "")
+              << " (ftdiag campaign " << out << ")\n";
   }
-  return 0;
+  // An interrupted run exits 128+signal (130 for SIGINT, 143 for
+  // SIGTERM) after the flush above, matching shell convention.
+  const int sig = g_signal.load();
+  return sig != 0 ? 128 + sig : 0;
 }

@@ -100,6 +100,8 @@ CampaignReport aggregate_campaign(CampaignMeta meta,
       ++rep.lineage_audited;
       if (t.lineage_ok) ++rep.lineage_ok;
     }
+    rep.watchdog_trips += t.watchdog_trips;
+    rep.watchdog_near_misses += t.watchdog_near_misses;
     if (t.outcome == core::RunOutcome::CompletedRecovered) {
       StageSamples& s = stages[t.r];
       s.detect.push_back(t.detect_latency);
@@ -164,7 +166,11 @@ void write_campaign_json(std::ostream& os, const CampaignReport& rep) {
        << core::run_outcome_name(static_cast<core::RunOutcome>(i))
        << "\": " << rep.outcomes[i];
   os << "},\n  \"lineage\": {\"audited\": " << rep.lineage_audited
-     << ", \"ok\": " << rep.lineage_ok << "},\n  \"buckets\": [\n";
+     << ", \"ok\": " << rep.lineage_ok << "},\n  \"watchdog\": {\"trips\": "
+     << rep.watchdog_trips
+     << ", \"near_misses\": " << rep.watchdog_near_misses
+     << "},\n  \"partial\": " << (rep.partial ? "true" : "false")
+     << ",\n  \"buckets\": [\n";
   for (std::size_t i = 0; i < rep.buckets.size(); ++i) {
     const BucketStats& b = rep.buckets[i];
     os << "    {\"r\": " << b.r << ", \"trials\": " << b.trials
@@ -217,7 +223,9 @@ void write_campaign_json(std::ostream& os, const CampaignReport& rep) {
        << ", \"lineage_checked\": " << (t.lineage_checked ? "true" : "false")
        << ", \"lineage_ok\": " << (t.lineage_ok ? "true" : "false")
        << ", \"lineage_lost\": " << t.lineage_lost
-       << ", \"lineage_duplicated\": " << t.lineage_duplicated << "}"
+       << ", \"lineage_duplicated\": " << t.lineage_duplicated
+       << ", \"watchdog_trips\": " << t.watchdog_trips
+       << ", \"watchdog_near_misses\": " << t.watchdog_near_misses << "}"
        << (i + 1 < rep.trials.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

@@ -61,6 +61,13 @@ struct TrialResult {
   bool lineage_ok = false;
   std::uint64_t lineage_lost = 0;
   std::uint64_t lineage_duplicated = 0;
+  /// Wall-clock watchdog verdict of the trial's own run
+  /// (CampaignConfig::watchdog): trips is nonzero exactly when the trial
+  /// was aborted by its watchdog (outcome Deadlocked), near_misses counts
+  /// record-policy breaches. Both zero on every healthy trial, so the
+  /// serialized bytes stay deterministic with the watchdog armed.
+  std::uint32_t watchdog_trips = 0;
+  std::uint32_t watchdog_near_misses = 0;
   bool operator==(const TrialResult&) const = default;
 };
 
@@ -129,6 +136,13 @@ struct CampaignReport {
   /// Key-lineage audit rollup: trials whose custody audit ran / passed.
   std::uint64_t lineage_audited = 0;
   std::uint64_t lineage_ok = 0;
+  /// Watchdog rollup over all trials (zeros when no watchdog was armed).
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t watchdog_near_misses = 0;
+  /// True when the campaign was cancelled (SIGINT flush, campaign-level
+  /// watchdog trip under record policy) and only the completed trials
+  /// were aggregated: `trials` then holds fewer rows than the universe.
+  bool partial = false;
 
   /// Exact conservation: every bucket's class counts sum to its trial
   /// count and the bucket trial counts sum to trials.size().
@@ -143,8 +157,8 @@ struct CampaignReport {
 CampaignReport aggregate_campaign(CampaignMeta meta,
                                   std::vector<TrialResult> trials);
 
-/// Serialize as the schema-v5 campaign JSON block. Byte-stable: fixed
-/// key order, %.17g doubles, no locale dependence.
+/// Serialize as the util::kCampaignSchemaVersion campaign JSON block.
+/// Byte-stable: fixed key order, %.17g doubles, no locale dependence.
 void write_campaign_json(std::ostream& os, const CampaignReport& report);
 
 /// Human-readable per-r summary table (the `ftdiag campaign` rendering

@@ -20,14 +20,32 @@
 // land in RunOutcome::Failed rather than tearing the campaign down.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "campaign/report.hpp"
 #include "campaign/universe.hpp"
 #include "core/ft_sorter.hpp"
 #include "core/outcome.hpp"
+#include "sim/watchdog.hpp"
 
 namespace ftsort::campaign {
+
+/// One sample of the campaign's live progress, handed to
+/// CampaignConfig::on_progress from a monitor thread at a human cadence.
+/// Pure wall-clock telemetry: nothing here feeds the report.
+struct CampaignProgress {
+  std::uint32_t done = 0;          ///< trials completed so far
+  std::uint32_t total = 0;         ///< universe trial count
+  double elapsed_s = 0.0;          ///< wall seconds since the sweep began
+  double trials_per_sec = 0.0;     ///< done / elapsed
+  double eta_s = 0.0;              ///< remaining / rate (0 until a rate exists)
+  std::uint64_t heartbeat_age_ms = 0;  ///< wall ms since `done` last advanced
+  std::vector<std::uint32_t> bucket_done;  ///< completed trials per r
+  std::uint32_t bucket_total = 0;  ///< trials per bucket (= scenarios)
+};
 
 /// Everything a campaign needs beyond the universe shape.
 struct CampaignConfig {
@@ -59,6 +77,24 @@ struct CampaignConfig {
   /// when the exact no-loss/no-dup audit passes too, and a Corrupt trial
   /// carries the lost/duplicated counts instead of a bare value mismatch.
   bool record_lineage = true;
+  /// Wall-clock watchdog (sim/watchdog.hpp). When enabled it is armed
+  /// twice: once per trial (each trial's Machine monitors its own
+  /// executor; a tripped trial lands in RunOutcome::Deadlocked with its
+  /// trip count in TrialResult::watchdog_trips) and once over the worker
+  /// pool itself (one heartbeat slot per worker, beat per finished trial).
+  /// A pool-level abort trip stops the sweep, writes the black-box dump
+  /// to `watchdog.dump_path`, and throws WatchdogError. Heartbeats are
+  /// wall-clock-only, so the report bytes are identical with it on.
+  sim::WatchdogConfig watchdog;
+  /// Cooperative cancellation (the SIGINT/SIGTERM flush): when non-null
+  /// and set, workers stop pulling new trials; run_campaign aggregates
+  /// the completed prefix and marks the report partial.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Live progress callback, invoked from a monitor thread every
+  /// `progress_interval_ms` while the sweep runs (and once at the end).
+  /// Callers own thread safety of whatever the callback touches.
+  std::function<void(const CampaignProgress&)> on_progress;
+  std::uint32_t progress_interval_ms = 250;
 };
 
 /// The patience tiers a trial actually runs with: cfg.recovery when any
@@ -84,7 +120,10 @@ TrialResult run_trial(const CampaignConfig& cfg, sim::SimTime envelope,
 /// The full campaign: calibrate, sweep every trial over the worker pool,
 /// aggregate. The returned report (and its JSON) depends only on
 /// (cfg.universe, cfg.seed, cfg.executor, cfg.recovery, trial knobs) —
-/// never on cfg.workers.
+/// never on cfg.workers, the watchdog, cancel, or the progress callback
+/// (a cancelled sweep is the one exception: it aggregates the completed
+/// prefix and sets CampaignReport::partial). Throws sim::WatchdogError
+/// when the pool-level watchdog trips under the abort policy.
 CampaignReport run_campaign(const CampaignConfig& cfg);
 
 }  // namespace ftsort::campaign

@@ -260,6 +260,7 @@ SortOutcome FaultTolerantSorter::sort(
   machine.trace().enable(config_.record_trace);
   machine.trace().set_capacity(config_.trace_capacity);
   machine.profile_host(config_.profile_host);
+  machine.set_watchdog(config_.watchdog);
   if (config_.record_metrics) machine.metrics().enable(machine.size());
   if (config_.record_link_stats)
     machine.link_stats().enable(machine.size(), machine.dim());

@@ -119,6 +119,12 @@ struct SortConfig {
   /// full-block exchanges and the FullSort Step 8).
   bool online_recovery = false;
   RecoveryConfig recovery;
+  /// Wall-clock watchdog over the run's host execution (sim/watchdog.hpp):
+  /// heartbeat counters per executor shard, a monitor thread, and a
+  /// black-box dump + WatchdogError when host progress stops past the
+  /// deadline. Lives entirely outside simulated time — golden reports and
+  /// executor equivalence are byte-identical with it armed. Off by default.
+  sim::WatchdogConfig watchdog;
 };
 
 struct SortOutcome {

@@ -529,6 +529,7 @@ SortOutcome recovery_sort(const partition::Plan& plan0,
   machine.trace().enable(config.record_trace);
   machine.trace().set_capacity(config.trace_capacity);
   machine.profile_host(config.profile_host);
+  machine.set_watchdog(config.watchdog);
   if (config.record_metrics) machine.metrics().enable(machine.size());
   if (config.record_link_stats)
     machine.link_stats().enable(machine.size(), machine.dim());

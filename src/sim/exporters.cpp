@@ -429,7 +429,9 @@ void write_metrics_json(std::ostream& os, const RunReport& report) {
   // (both `"enabled": false` stubs when not recorded); v6 adds the
   // key-lineage provenance block (custody audit, per-dimension hop
   // conservation, top travelers, capped per-key custody trails — an
-  // `"enabled": false` stub when not recorded).
+  // `"enabled": false` stub when not recorded); v7 adds the wall-clock
+  // watchdog block (policy, deadline/interval echo, trip and near-miss
+  // counts — an `"enabled": false` stub when not armed).
   os << "{\n  \"schema_version\": " << util::kMetricsSchemaVersion
      << ",\n  \"cost_model\": {\"name\": \""
      << report.cost.name() << "\", \"routing\": \"" << report.cost.mode_name()
@@ -706,6 +708,20 @@ void write_metrics_json(std::ostream& os, const RunReport& report) {
      << ", \"pool_contended\": " << report.host.pool_contended
      << ", \"pool_contended_wait_ns\": "
      << report.host.pool_contended_wait_ns << "},\n";
+  // Only the config echo and the trip counts: both are zero on every
+  // healthy run, so the block stays byte-identical across executors and
+  // never leaks wall-clock ages into comparable exports.
+  const WatchdogReport& wd = report.watchdog;
+  if (!wd.enabled) {
+    os << "  \"watchdog\": {\"enabled\": false},\n";
+  } else {
+    os << "  \"watchdog\": {\"enabled\": true, \"policy\": \""
+       << (wd.abort_on_trip ? "abort" : "record")
+       << "\", \"deadline_ms\": " << wd.deadline_ms
+       << ", \"interval_ms\": " << wd.interval_ms
+       << ", \"trips\": " << wd.trips
+       << ", \"near_misses\": " << wd.near_misses << "},\n";
+  }
   os << "  \"critical_path\": {\"available\": "
      << (report.phases.has_critical_path ? "true" : "false")
      << ", \"total\": ";

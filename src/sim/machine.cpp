@@ -636,6 +636,7 @@ void Machine::instantiate_programs(const Program& program) {
   shutdown_.store(false, std::memory_order_relaxed);
   deadlocked_ = false;
   deadlock_msg_.clear();
+  watchdog_stats_ = WatchdogReport{};  // {"enabled": false} stub by default
   for (cube::NodeId u = 0; u < size(); ++u) {
     if (faults_.is_faulty(u)) {
       nodes_[u] = nullptr;
@@ -650,9 +651,14 @@ void Machine::instantiate_programs(const Program& program) {
 
 void Machine::drain_ready() {
   while (!ready_.empty()) {
+    // A tripped abort-policy watchdog stops the scheduler at the next
+    // resume boundary (the sequential executor cannot preempt a wedged
+    // coroutine mid-resume); run() turns the latch into the thrown error.
+    if (active_watchdog_ != nullptr && active_watchdog_->tripped()) return;
     auto h = ready_.front();
     ready_.pop_front();
     h.resume();
+    if (active_watchdog_ != nullptr) active_watchdog_->beat(0);
   }
 }
 
@@ -715,29 +721,8 @@ RunReport Machine::collect_report() {
                                     ? Diagnosis::Kind::TimeoutBurst
                                     : Diagnosis::Kind::NodeLoss);
   }
-  if (profile_host_) {
-    report.host.enabled = true;
-    report.host.shards.resize(size());
-    for (std::size_t u = 0; u < prof_shards_.size(); ++u) {
-      const ShardProfile& p = *prof_shards_[u];
-      SchedShardProfile& out = report.host.shards[u];
-      out.mutex_waits = p.mutex_waits.load(std::memory_order_relaxed);
-      out.mutex_wait_ns = p.mutex_wait_ns.load(std::memory_order_relaxed);
-      out.cv_waits = p.cv_waits.load(std::memory_order_relaxed);
-      out.cv_wakeups = p.cv_wakeups.load(std::memory_order_relaxed);
-      out.spurious_wakeups =
-          p.spurious_wakeups.load(std::memory_order_relaxed);
-      out.tasks_resumed = p.tasks_resumed.load(std::memory_order_relaxed);
-    }
-    report.host.quiescence_checks =
-        prof_quiescence_checks_.load(std::memory_order_relaxed);
-    report.host.quiescence_events =
-        prof_quiescence_events_.load(std::memory_order_relaxed);
-    for (const BufferPool& pool : pools_) {
-      report.host.pool_contended += pool.contended();
-      report.host.pool_contended_wait_ns += pool.contended_wait_ns();
-    }
-  }
+  report.host = snapshot_host_profile();
+  report.watchdog = watchdog_stats_;
 
   // Check no messages were left undelivered (protocol completeness). With
   // dynamic faults, stray deliveries to dead or timed-out programs are
@@ -753,41 +738,149 @@ RunReport Machine::collect_report() {
   return report;
 }
 
+HostProfile Machine::snapshot_host_profile() const {
+  HostProfile host;
+  if (!profile_host_) return host;
+  host.enabled = true;
+  host.shards.resize(size());
+  for (std::size_t u = 0; u < prof_shards_.size(); ++u) {
+    const ShardProfile& p = *prof_shards_[u];
+    SchedShardProfile& out = host.shards[u];
+    out.mutex_waits = p.mutex_waits.load(std::memory_order_relaxed);
+    out.mutex_wait_ns = p.mutex_wait_ns.load(std::memory_order_relaxed);
+    out.cv_waits = p.cv_waits.load(std::memory_order_relaxed);
+    out.cv_wakeups = p.cv_wakeups.load(std::memory_order_relaxed);
+    out.spurious_wakeups = p.spurious_wakeups.load(std::memory_order_relaxed);
+    out.tasks_resumed = p.tasks_resumed.load(std::memory_order_relaxed);
+  }
+  host.quiescence_checks =
+      prof_quiescence_checks_.load(std::memory_order_relaxed);
+  host.quiescence_events =
+      prof_quiescence_events_.load(std::memory_order_relaxed);
+  for (const BufferPool& pool : pools_) {
+    host.pool_contended += pool.contended();
+    host.pool_contended_wait_ns += pool.contended_wait_ns();
+  }
+  return host;
+}
+
+std::unique_ptr<Watchdog> Machine::arm_watchdog(bool threaded) {
+  if (!watchdog_cfg_.enabled) return nullptr;
+  auto wd = std::make_unique<Watchdog>(watchdog_cfg_);
+  wd->set_activity_namer([](std::uint64_t act) {
+    return std::string(phase_name(static_cast<Phase>(act)));
+  });
+  wd_slot_.assign(size(), 0);
+  if (threaded) {
+    for (cube::NodeId u = 0; u < size(); ++u)
+      if (nodes_[u]) wd_slot_[u] = wd->add_slot("node " + std::to_string(u));
+    // Unwedge the node threads so join() returns and the dump can be
+    // assembled from a quiescent machine.
+    wd->on_trip([this] { begin_shutdown(); });
+  } else {
+    wd->add_slot("scheduler");
+  }
+  wd->start();
+  return wd;
+}
+
+void Machine::throw_watchdog_trip() {
+  running_ = false;
+  const WatchdogReport rep = watchdog_stats_;
+  const Diagnosis diag = diagnose(Diagnosis::Kind::Deadlock);
+  const HostProfile host = snapshot_host_profile();
+  std::vector<TraceEvent> tail;
+  if (trace_.enabled()) {
+    tail = trace_.snapshot();
+    std::erase_if(tail, [this](const TraceEvent& ev) {
+      return ev.seq < trace_run_start_;
+    });
+    constexpr std::size_t kTailEvents = 64;
+    if (tail.size() > kTailEvents)
+      tail.erase(tail.begin(),
+                 tail.end() - static_cast<std::ptrdiff_t>(kTailEvents));
+  }
+  WatchdogDumpContext ctx;
+  ctx.origin = "machine";
+  // A host-level stall usually leaves no logical evidence (the wedge is
+  // in wall-clock, not in blocked receives); only attach the diagnosis
+  // when it actually found a root, so `ftdiag stuck` never renders a
+  // "root cause: none" line.
+  ctx.diagnosis = diag.triggered() ? &diag : nullptr;
+  ctx.host = &host;
+  ctx.trace_tail = trace_.enabled() ? &tail : nullptr;
+  if (!watchdog_cfg_.dump_path.empty())
+    write_watchdog_dump(watchdog_cfg_.dump_path, rep, ctx);
+  // Name the most-silent non-terminal slot: the wedged shard.
+  const WatchdogSlotView* worst = nullptr;
+  for (const WatchdogSlotView& s : rep.slots)
+    if (!s.terminal && (worst == nullptr || s.age_ms > worst->age_ms))
+      worst = &s;
+  const std::string who = worst != nullptr ? worst->label : std::string();
+  std::string msg = "watchdog tripped: no scheduler progress for " +
+                    std::to_string(rep.stall_ms) + " ms (deadline " +
+                    std::to_string(rep.effective_deadline_ms) + " ms)";
+  if (!who.empty()) msg += "; most silent: " + who;
+  if (!watchdog_cfg_.dump_path.empty())
+    msg += "; dump: " + watchdog_cfg_.dump_path;
+  for (auto& node : nodes_) node.reset();
+  throw WatchdogError(msg, rep);
+}
+
 RunReport Machine::run(const Program& program) {
   FTSORT_REQUIRE(!running_);
   running_ = true;
   threaded_ = false;
   instantiate_programs(program);
+  std::unique_ptr<Watchdog> wd = arm_watchdog(/*threaded=*/false);
+  active_watchdog_ = wd.get();
+  const auto finish_watchdog = [&] {
+    active_watchdog_ = nullptr;
+    if (wd == nullptr) return false;
+    wd->stop();
+    watchdog_stats_ = wd->report();
+    return wd->tripped();
+  };
 
-  // Kick each program to its first suspension point; then drain wakeups.
-  for (cube::NodeId u = 0; u < size(); ++u) {
-    if (!nodes_[u]) continue;
-    nodes_[u]->task.start();
+  try {
+    // Kick each program to its first suspension point; then drain wakeups.
+    for (cube::NodeId u = 0; u < size(); ++u) {
+      if (!nodes_[u]) continue;
+      nodes_[u]->task.start();
+      if (wd != nullptr) wd->beat(0);
+      drain_ready();
+    }
     drain_ready();
-  }
-  drain_ready();
 
-  // Quiescence loop: every remaining program is blocked in a recv. Fire
-  // pending logical events (recv timeouts, deaths of blocked nodes) in
-  // event-time order until everything is terminal, or fail with the
-  // blocked set if no event can make progress.
-  while (true) {
-    bool pending = false;
-    for (const auto& node : nodes_) {
-      if (node && !node->task.done() && !node->killed) {
-        pending = true;
-        break;
+    // Quiescence loop: every remaining program is blocked in a recv. Fire
+    // pending logical events (recv timeouts, deaths of blocked nodes) in
+    // event-time order until everything is terminal, or fail with the
+    // blocked set if no event can make progress.
+    while (true) {
+      if (wd != nullptr && wd->tripped()) break;
+      bool pending = false;
+      for (const auto& node : nodes_) {
+        if (node && !node->task.done() && !node->killed) {
+          pending = true;
+          break;
+        }
       }
+      if (!pending) break;
+      if (!fire_quiescence_event()) {
+        running_ = false;
+        finish_watchdog();
+        const std::string msg = deadlock_message();
+        for (auto& node : nodes_) node.reset();
+        throw DeadlockError(msg);
+      }
+      if (wd != nullptr) wd->beat(0);
+      drain_ready();
     }
-    if (!pending) break;
-    if (!fire_quiescence_event()) {
-      running_ = false;
-      const std::string msg = deadlock_message();
-      for (auto& node : nodes_) node.reset();
-      throw DeadlockError(msg);
-    }
-    drain_ready();
+  } catch (...) {
+    active_watchdog_ = nullptr;
+    throw;
   }
+  if (finish_watchdog()) throw_watchdog_trip();
   return collect_report();
 }
 
@@ -797,6 +890,7 @@ RunReport Machine::run_threaded(const Program& program,
   running_ = true;
   threaded_ = true;
   instantiate_programs(program);
+  std::unique_ptr<Watchdog> wd = arm_watchdog(/*threaded=*/true);
 
   std::atomic<bool> stalled{false};
 
@@ -805,10 +899,18 @@ RunReport Machine::run_threaded(const Program& program,
   for (cube::NodeId u = 0; u < size(); ++u) {
     if (!nodes_[u]) continue;
     NodeState& st = *nodes_[u];
-    threads.emplace_back([&st, &stalled, timeout, this, u] {
+    Watchdog* wdp = wd.get();
+    const std::size_t wslot = wdp != nullptr ? wd_slot_[u] : 0;
+    threads.emplace_back([&st, &stalled, timeout, this, u, wdp, wslot] {
       ShardProfile* prof =
           profile_host_ ? prof_shards_[u].get() : nullptr;
       st.task.start();
+      // Heartbeats are wall-clock-only observability: one relaxed
+      // fetch_add per resume, activity = the node's ambient phase. The
+      // phase field is only ever written by this node's own coroutine,
+      // which runs on this thread.
+      if (wdp != nullptr)
+        wdp->beat(wslot, static_cast<std::uint64_t>(st.ctx.phase_));
       auto last_epoch = deliveries_.load(std::memory_order_acquire);
       auto last_change = std::chrono::steady_clock::now();
       while (!st.task.done()) {
@@ -857,6 +959,8 @@ RunReport Machine::run_threaded(const Program& program,
           if (prof != nullptr)
             prof->tasks_resumed.fetch_add(1, std::memory_order_relaxed);
           to_resume.resume();
+          if (wdp != nullptr)
+            wdp->beat(wslot, static_cast<std::uint64_t>(st.ctx.phase_));
         }
       }
       bool newly_terminal = false;
@@ -868,6 +972,9 @@ RunReport Machine::run_threaded(const Program& program,
         }
       }
       if (newly_terminal) {
+        // An orderly thread exit (task done, killed, or shutdown) is
+        // progress too, and marks this slot so a dump never blames it.
+        if (wdp != nullptr) wdp->beat(wslot, Watchdog::kActivityTerminal);
         progress_.fetch_add(kTerminalOne, std::memory_order_acq_rel);
         maybe_resolve_quiescence();
       }
@@ -875,6 +982,12 @@ RunReport Machine::run_threaded(const Program& program,
   }
   for (auto& thread : threads) thread.join();
 
+  bool wd_tripped = false;
+  if (wd != nullptr) {
+    wd->stop();
+    watchdog_stats_ = wd->report();
+    wd_tripped = wd->tripped();
+  }
   threaded_ = false;
   const bool was_deadlocked = deadlocked_;  // threads joined: plain reads
   if (stalled.load() || was_deadlocked) {
@@ -887,6 +1000,9 @@ RunReport Machine::run_threaded(const Program& program,
     for (auto& node : nodes_) node.reset();
     throw DeadlockError(msg);
   }
+  // A watchdog trip shut the pool down without a logical deadlock record:
+  // the stall was host-level. Dump and throw from the quiescent machine.
+  if (wd_tripped) throw_watchdog_trip();
   return collect_report();
 }
 

@@ -62,6 +62,7 @@
 #include "sim/task.hpp"
 #include "sim/timeline.hpp"
 #include "sim/trace.hpp"
+#include "sim/watchdog.hpp"
 
 namespace ftsort::sim {
 
@@ -314,6 +315,11 @@ struct RunReport {
   /// Host-side scheduler/pool profile; enabled==false (all zeros) unless
   /// Machine::profile_host(true) was set before the run.
   HostProfile host;
+  /// Wall-clock watchdog stats (sim/watchdog.hpp); enabled==false unless
+  /// Machine::set_watchdog armed one for the run. Only the config echo and
+  /// the trip/near-miss counts are serialized — both zero on every healthy
+  /// run — so logical results stay byte-identical with the watchdog on.
+  WatchdogReport watchdog;
 };
 
 class Machine {
@@ -369,6 +375,16 @@ class Machine {
   /// simulated time — cannot change logical results.
   void profile_host(bool on);
   bool profiling_host() const { return profile_host_; }
+
+  /// Arm a wall-clock watchdog for subsequent runs (sim/watchdog.hpp). The
+  /// threaded executor publishes one heartbeat slot per node thread (beat
+  /// per task resume, activity = the node's ambient phase); the sequential
+  /// executor a single "scheduler" slot. On an abort-policy trip the run
+  /// is shut down, the black-box dump written to cfg.dump_path, and
+  /// WatchdogError thrown; a record-policy breach only counts a near-miss
+  /// in RunReport::watchdog. Pass a default (disabled) config to disarm.
+  void set_watchdog(WatchdogConfig cfg) { watchdog_cfg_ = std::move(cfg); }
+  const WatchdogConfig& watchdog_config() const { return watchdog_cfg_; }
 
   /// Build a failure explanation from the current run's evidence: blocked
   /// node states, observed deaths, configured link cuts, and (when the
@@ -459,6 +475,19 @@ class Machine {
   void instantiate_programs(const Program& program);
   void drain_ready();
   RunReport collect_report();
+  /// Build the armed watchdog for a run, or nullptr when disabled. The
+  /// threaded executor gets one slot per healthy node (wd_slot_[u]) and a
+  /// begin_shutdown on_trip hook; the sequential one a single slot 0.
+  std::unique_ptr<Watchdog> arm_watchdog(bool threaded);
+  /// Copy the live shard profile atomics into a plain HostProfile
+  /// (enabled==false when profiling is off). Used by collect_report and
+  /// by the watchdog dump, which fires before a report exists.
+  HostProfile snapshot_host_profile() const;
+  /// Abort path after a watchdog trip: capture the dump (diagnosis of the
+  /// stalled set, host profile, flight-recorder tail, heartbeat table),
+  /// write it to the configured path, tear the run down, and throw
+  /// WatchdogError. Requires all node threads joined / quiescent.
+  [[noreturn]] void throw_watchdog_trip();
 
   cube::Dim n_;
   fault::FaultSet faults_;
@@ -522,6 +551,14 @@ class Machine {
   std::vector<std::unique_ptr<ShardProfile>> prof_shards_;  // index = node
   std::atomic<std::uint64_t> prof_quiescence_checks_{0};
   std::atomic<std::uint64_t> prof_quiescence_events_{0};
+
+  // Wall-clock watchdog (see set_watchdog). `active_watchdog_` is only
+  // non-null while a run holds an armed watchdog; the sequential executor
+  // reads it between resumes (drain_ready), never from node programs.
+  WatchdogConfig watchdog_cfg_;
+  Watchdog* active_watchdog_ = nullptr;
+  std::vector<std::size_t> wd_slot_;  ///< node id -> heartbeat slot
+  WatchdogReport watchdog_stats_;     ///< captured at wd->stop()
 };
 
 }  // namespace ftsort::sim

@@ -1,0 +1,275 @@
+#include "sim/watchdog.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sim/machine.hpp"
+#include "sim/phase.hpp"
+#include "util/contracts.hpp"
+#include "util/schema.hpp"
+
+namespace ftsort::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ms_between(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(to - from)
+          .count());
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::Send: return "send";
+    case EventKind::Recv: return "recv";
+    case EventKind::Compute: return "compute";
+    case EventKind::Drop: return "drop";
+    case EventKind::Timeout: return "timeout";
+    case EventKind::Kill: return "kill";
+    case EventKind::SpanBegin: return "span_begin";
+    case EventKind::SpanEnd: return "span_end";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t Watchdog::add_slot(std::string label) {
+  FTSORT_REQUIRE(!started_);
+  slots_.push_back(std::make_unique<Slot>(std::move(label)));
+  return slots_.size() - 1;
+}
+
+void Watchdog::set_activity_namer(
+    std::function<std::string(std::uint64_t)> namer) {
+  FTSORT_REQUIRE(!started_);
+  namer_ = std::move(namer);
+}
+
+void Watchdog::on_trip(std::function<void()> fn) {
+  FTSORT_REQUIRE(!started_);
+  on_trip_ = std::move(fn);
+}
+
+void Watchdog::start() {
+  if (!cfg_.enabled) return;
+  const std::lock_guard<std::mutex> guard(mu_);
+  FTSORT_REQUIRE(!started_);
+  started_ = true;
+  stop_ = false;
+  monitor_ = std::thread([this] { run_monitor(); });
+}
+
+void Watchdog::stop() {
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+  const std::lock_guard<std::mutex> guard(mu_);
+  started_ = false;
+}
+
+void Watchdog::run_monitor() {
+  const auto start = Clock::now();
+  auto last_change = start;
+  std::vector<std::uint64_t> last_beats(slots_.size(), 0);
+  std::vector<Clock::time_point> slot_change(slots_.size(), start);
+  std::uint64_t last_sum = 0;
+  std::uint64_t max_gap_ms = 0;
+
+  // The freshest heartbeat table, rebuilt every poll under mu_ so report()
+  // (the progress line, the end-of-run stats) always has current ages.
+  const auto capture = [&](Clock::time_point now) {
+    capture_.clear();
+    capture_.reserve(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = *slots_[i];
+      WatchdogSlotView view;
+      view.label = s.label;
+      view.beats = s.beats.load(std::memory_order_relaxed);
+      view.age_ms = ms_between(slot_change[i], now);
+      const std::uint64_t act = s.activity.load(std::memory_order_relaxed);
+      if (act == kActivityTerminal) {
+        view.terminal = true;
+        view.activity = "terminal";
+      } else if (act == kActivityNone) {
+        view.activity = "-";
+      } else {
+        view.activity = namer_ ? namer_(act) : std::to_string(act);
+      }
+      capture_.push_back(std::move(view));
+    }
+  };
+
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(cfg_.interval_ms),
+                 [&] { return stop_; });
+    if (stop_) break;
+    ++polls_;
+    const auto now = Clock::now();
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const std::uint64_t b =
+          slots_[i]->beats.load(std::memory_order_relaxed);
+      if (b != last_beats[i]) {
+        last_beats[i] = b;
+        slot_change[i] = now;
+      }
+      sum += b;
+    }
+    capture(now);
+    if (sum != last_sum) {
+      // Healthy progress: remember the longest gap we have ever waited
+      // between observations — the measured-progress scale for the gate.
+      max_gap_ms = std::max(max_gap_ms, ms_between(last_change, now));
+      last_sum = sum;
+      last_change = now;
+      continue;
+    }
+    const std::uint64_t silent_ms = ms_between(last_change, now);
+    effective_deadline_ms_ =
+        std::max<std::uint64_t>(cfg_.deadline_ms, kGapHeadroom * max_gap_ms);
+    if (silent_ms < effective_deadline_ms_) continue;
+    // Breach: global silence past the effective deadline.
+    stall_ms_ = silent_ms;
+    if (!cfg_.abort_on_trip) {
+      ++near_misses_;
+      last_change = now;  // re-baseline; keep monitoring
+      continue;
+    }
+    ++trips_;
+    const auto fn = on_trip_;
+    lk.unlock();
+    // Latch *before* the callback: the owner's unwedged threads may check
+    // tripped() as soon as they wake.
+    tripped_.store(true, std::memory_order_release);
+    if (fn) fn();
+    return;
+  }
+  capture(Clock::now());
+}
+
+WatchdogReport Watchdog::report_locked() const {
+  WatchdogReport rep;
+  rep.enabled = cfg_.enabled;
+  rep.abort_on_trip = cfg_.abort_on_trip;
+  rep.deadline_ms = cfg_.deadline_ms;
+  rep.interval_ms = cfg_.interval_ms;
+  rep.trips = trips_;
+  rep.near_misses = near_misses_;
+  rep.polls = polls_;
+  rep.effective_deadline_ms = effective_deadline_ms_;
+  rep.stall_ms = stall_ms_;
+  rep.slots = capture_;
+  return rep;
+}
+
+WatchdogReport Watchdog::report() const {
+  const std::lock_guard<std::mutex> guard(mu_);
+  return report_locked();
+}
+
+std::string render_watchdog_dump(const WatchdogReport& rep,
+                                 const WatchdogDumpContext& ctx) {
+  std::string os;
+  os += "{\n";
+  os += "  \"watchdog_dump\": true,\n";
+  os += "  \"schema_version\": " +
+        std::to_string(util::kWatchdogDumpSchemaVersion) + ",\n";
+  os += "  \"origin\": \"" + json_escape(ctx.origin) + "\",\n";
+  os += std::string("  \"policy\": \"") +
+        (rep.abort_on_trip ? "abort" : "record") + "\",\n";
+  os += "  \"deadline_ms\": " + std::to_string(rep.deadline_ms) + ",\n";
+  os += "  \"effective_deadline_ms\": " +
+        std::to_string(rep.effective_deadline_ms) + ",\n";
+  os += "  \"interval_ms\": " + std::to_string(rep.interval_ms) + ",\n";
+  os += "  \"trips\": " + std::to_string(rep.trips) + ",\n";
+  os += "  \"near_misses\": " + std::to_string(rep.near_misses) + ",\n";
+  os += "  \"stall_ms\": " + std::to_string(rep.stall_ms) + ",\n";
+  os += "  \"heartbeats\": [\n";
+  for (std::size_t i = 0; i < rep.slots.size(); ++i) {
+    const WatchdogSlotView& s = rep.slots[i];
+    os += "    {\"slot\": \"" + json_escape(s.label) +
+          "\", \"beats\": " + std::to_string(s.beats) +
+          ", \"age_ms\": " + std::to_string(s.age_ms) + ", \"activity\": \"" +
+          json_escape(s.activity) + "\", \"terminal\": " +
+          (s.terminal ? "true" : "false") + "}";
+    os += i + 1 < rep.slots.size() ? ",\n" : "\n";
+  }
+  os += "  ]";
+  if (ctx.diagnosis != nullptr) {
+    const Diagnosis& d = *ctx.diagnosis;
+    os += ",\n  \"diagnosis\": {\"triggered\": ";
+    os += d.triggered() ? "true" : "false";
+    os += std::string(", \"kind\": \"") + diagnosis_kind_name(d.kind) +
+          "\", \"root_kind\": \"" + diagnosis_root_kind_name(d.root_kind) +
+          "\", \"root_node\": " + std::to_string(d.root_node) +
+          ", \"root_phase\": \"" + phase_name(d.root_phase) +
+          "\", \"stalled\": [";
+    for (std::size_t i = 0; i < d.stalled.size(); ++i)
+      os += (i ? ", " : "") + std::to_string(d.stalled[i]);
+    os += "], \"summary\": \"" + json_escape(d.to_string()) + "\"}";
+  }
+  if (ctx.host != nullptr && ctx.host->enabled) {
+    const SchedShardProfile total = ctx.host->total();
+    os += ",\n  \"host_profile\": {\"shards\": " +
+          std::to_string(ctx.host->shards.size()) +
+          ", \"tasks_resumed\": " + std::to_string(total.tasks_resumed) +
+          ", \"cv_waits\": " + std::to_string(total.cv_waits) +
+          ", \"mutex_waits\": " + std::to_string(total.mutex_waits) +
+          ", \"quiescence_checks\": " +
+          std::to_string(ctx.host->quiescence_checks) +
+          ", \"quiescence_events\": " +
+          std::to_string(ctx.host->quiescence_events) + "}";
+  }
+  if (ctx.trace_tail != nullptr) {
+    os += ",\n  \"trace_tail\": [\n";
+    for (std::size_t i = 0; i < ctx.trace_tail->size(); ++i) {
+      const TraceEvent& ev = (*ctx.trace_tail)[i];
+      os += "    {\"seq\": " + std::to_string(ev.seq) +
+            ", \"time\": " + num(ev.time) +
+            ", \"node\": " + std::to_string(ev.node) + ", \"kind\": \"" +
+            event_kind_name(ev.kind) + "\", \"phase\": \"" +
+            phase_name(ev.phase) + "\"}";
+      os += i + 1 < ctx.trace_tail->size() ? ",\n" : "\n";
+    }
+    os += "  ]";
+  }
+  os += "\n}\n";
+  return os;
+}
+
+bool write_watchdog_dump(const std::string& path, const WatchdogReport& rep,
+                         const WatchdogDumpContext& ctx) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << render_watchdog_dump(rep, ctx);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace ftsort::sim

@@ -4,17 +4,24 @@
 // The contract the bench gate relies on:
 //  - A missing file is the normal first run: it seeds a new trajectory.
 //  - A file that *exists* but cannot be read (permissions, I/O error)
-//    must never be clobbered by the truncating rewrite — the rotation is
-//    skipped and reported instead.
+//    must never be clobbered by the rewrite — the rotation is skipped
+//    and reported instead.
 //  - After a successful append the file holds at most `cap` non-empty
 //    lines: the newest `cap` of (existing lines + the new one), oldest
 //    trimmed first.
+//  - The rewrite is crash-safe: the new content lands in a sibling temp
+//    file first and replaces the history with one atomic rename, so a
+//    run killed mid-append (SIGKILL, power loss, the watchdog's abort)
+//    leaves either the old file or the new one — never a half-written
+//    trajectory. A torn final line from a *pre-atomic* writer (no
+//    trailing newline) is recognized on read, skipped, and counted.
 //  - A failed write degrades the trajectory, never the caller: the
 //    result reports it and the caller decides whether that is fatal.
 #pragma once
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <system_error>
 #include <vector>
@@ -29,13 +36,17 @@ inline constexpr std::size_t kHistoryCap = 500;
 struct HistoryAppendResult {
   bool rotated = false;      ///< the file was rewritten with the new line
   bool unreadable = false;   ///< existing file could not be read; skipped
-  bool write_failed = false;  ///< rewrite attempted but the stream failed
+  bool write_failed = false;  ///< rewrite attempted but it failed
+  bool torn_skipped = false;  ///< unterminated final line dropped on read
   std::size_t entries = 0;   ///< non-empty lines in the file after trim
 };
 
 /// Append `line` to the JSONL file at `path`, keeping only the newest
-/// `cap` lines. Empty lines in the existing file (partial appends from a
-/// crashed run) are dropped during rotation.
+/// `cap` lines. Empty lines in the existing file are dropped during
+/// rotation, and an unterminated final fragment (a torn append from a
+/// crashed run) is skipped rather than propagated. The rewrite goes
+/// through `path + ".tmp"` and an atomic std::filesystem::rename, so
+/// readers never observe a partially written history.
 inline HistoryAppendResult append_history_line(const std::string& path,
                                                const std::string& line,
                                                std::size_t cap = kHistoryCap) {
@@ -46,26 +57,51 @@ inline HistoryAppendResult append_history_line(const std::string& path,
     const bool had_file = std::filesystem::exists(path, ec);
     // A directory at the path opens "successfully" as an ifstream on
     // Linux (O_RDONLY on directories succeeds); treat it as unreadable
-    // rather than letting the truncating rewrite below run against it.
-    std::ifstream in(path);
+    // rather than letting the rewrite below replace it.
+    std::ifstream in(path, std::ios::binary);
     if (had_file && (!in || std::filesystem::is_directory(path, ec))) {
       res.unreadable = true;
       return res;
     }
-    std::string existing;
-    while (std::getline(in, existing))
-      if (!existing.empty()) lines.push_back(existing);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string whole = ss.str();
+    // Only newline-terminated lines are committed history; a trailing
+    // fragment means the previous writer died mid-append.
+    std::size_t begin = 0;
+    while (begin < whole.size()) {
+      const std::size_t nl = whole.find('\n', begin);
+      if (nl == std::string::npos) {
+        res.torn_skipped = true;
+        break;
+      }
+      if (nl > begin) lines.push_back(whole.substr(begin, nl - begin));
+      begin = nl + 1;
+    }
   }
   lines.push_back(line);
   const std::size_t keep_from = lines.size() > cap ? lines.size() - cap : 0;
-  std::ofstream out(path, std::ios::trunc);
-  for (std::size_t i = keep_from; i < lines.size(); ++i)
-    out << lines[i] << "\n";
-  res.entries = lines.size() - keep_from;
-  if (!out) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    for (std::size_t i = keep_from; i < lines.size(); ++i)
+      out << lines[i] << "\n";
+    out.flush();
+    if (!out) {
+      res.write_failed = true;
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return res;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
     res.write_failed = true;
+    std::filesystem::remove(tmp, ec);
     return res;
   }
+  res.entries = lines.size() - keep_from;
   res.rotated = true;
   return res;
 }

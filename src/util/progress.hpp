@@ -1,0 +1,79 @@
+// Live stderr progress line, shared by campaign_demo and bench_harness.
+//
+// Pure wall-clock telemetry for a human at a terminal: a single
+// carriage-return-overwritten line with completion, rate, ETA, and the
+// heartbeat age of the slowest-moving unit of work. Nothing here touches
+// a report, a JSON export, or sim time — redirecting stderr to a file
+// degrades to nothing (the line is TTY-gated by default), so captured
+// logs and goldens stay byte-identical.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace ftsort::util {
+
+/// True when stderr is an interactive terminal — the only place a
+/// \r-overwritten line renders as intended.
+inline bool stderr_is_tty() { return ::isatty(STDERR_FILENO) == 1; }
+
+/// "73s" / "4m07s" / "2h03m" — compact, fixed-ambiguity ETA rendering.
+inline std::string format_eta(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  const auto s = static_cast<std::uint64_t>(seconds + 0.5);
+  char buf[32];
+  if (s < 100) {
+    std::snprintf(buf, sizeof buf, "%llus", static_cast<unsigned long long>(s));
+  } else if (s < 6000) {
+    std::snprintf(buf, sizeof buf, "%llum%02llus",
+                  static_cast<unsigned long long>(s / 60),
+                  static_cast<unsigned long long>(s % 60));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluh%02llum",
+                  static_cast<unsigned long long>(s / 3600),
+                  static_cast<unsigned long long>(s % 3600 / 60));
+  }
+  return buf;
+}
+
+/// Emitter for a single overwritten stderr line. `show` is decided once
+/// at construction (TTY by default) so a redirected run never sees
+/// control characters; `finish()` ends the line so subsequent output
+/// starts clean. The line is padded to the longest line written so far,
+/// so a shrinking message never leaves stale tail characters behind.
+class ProgressLine {
+ public:
+  explicit ProgressLine(bool show = stderr_is_tty()) : show_(show) {}
+  ~ProgressLine() { finish(); }
+
+  ProgressLine(const ProgressLine&) = delete;
+  ProgressLine& operator=(const ProgressLine&) = delete;
+
+  void update(const std::string& line) {
+    if (!show_) return;
+    std::string padded = line;
+    if (padded.size() < widest_) padded.resize(widest_, ' ');
+    widest_ = padded.size();
+    std::fprintf(stderr, "\r%s", padded.c_str());
+    std::fflush(stderr);
+    active_ = true;
+  }
+
+  /// Terminate the live line (newline) if one is on screen.
+  void finish() {
+    if (!active_) return;
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+    active_ = false;
+  }
+
+ private:
+  bool show_;
+  bool active_ = false;
+  std::size_t widest_ = 0;
+};
+
+}  // namespace ftsort::util

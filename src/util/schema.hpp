@@ -8,15 +8,17 @@
 //              history in that writer's comment)
 //   bench    — bench_harness write_json (multi-scenario export)
 //   campaign — campaign::write_campaign_json (Monte Carlo fault campaign)
+//   watchdog — sim::write_watchdog_dump (black-box stall dump)
 #pragma once
 
 #include <cstddef>
 
 namespace ftsort::util {
 
-inline constexpr int kMetricsSchemaVersion = 6;
+inline constexpr int kMetricsSchemaVersion = 7;
 inline constexpr int kBenchSchemaVersion = 3;
-inline constexpr int kCampaignSchemaVersion = 6;
+inline constexpr int kCampaignSchemaVersion = 7;
+inline constexpr int kWatchdogDumpSchemaVersion = 1;
 
 struct SchemaEntry {
   const char* format;
@@ -31,6 +33,7 @@ inline constexpr SchemaEntry kSchemaTable[] = {
     {"metrics", kMetricsSchemaVersion, false},
     {"bench", kBenchSchemaVersion, false},
     {"campaign", kCampaignSchemaVersion, true},
+    {"watchdog", kWatchdogDumpSchemaVersion, false},
 };
 
 inline constexpr std::size_t kSchemaTableSize =

@@ -114,5 +114,83 @@ TEST(BenchHistoryRotation, ReportsAnUnwritablePathInsteadOfThrowing) {
   EXPECT_TRUE(res.write_failed);
 }
 
+// ---------------------------------------------------------------------------
+// crash safety: a bench killed mid-append (SIGKILL, power loss, the
+// watchdog's abort) must leave either the old file or the new one — and
+// a torn final line from a *previous* non-atomic writer is quarantined,
+// not propagated into the rotated trajectory.
+
+TEST(BenchHistoryCrashSafety, TornFinalLineIsSkippedAndFlagged) {
+  const std::string path = "history_test_torn.jsonl";
+  std::filesystem::remove(path);
+  {
+    std::ofstream out(path);
+    // No trailing newline: the classic half-written tail of a writer that
+    // died mid-fputs. Only newline-terminated lines are committed history.
+    out << "{\"run\": 0}\n{\"run\": 1}\n{\"run\": 2, \"mak";
+  }
+  const util::HistoryAppendResult res =
+      util::append_history_line(path, "{\"run\": 3}");
+  ASSERT_TRUE(res.rotated);
+  EXPECT_TRUE(res.torn_skipped);
+  EXPECT_EQ(res.entries, 3u);  // run 0, run 1, run 3 — the torn tail is gone
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "{\"run\": 1}");
+  EXPECT_EQ(lines.back(), "{\"run\": 3}");
+  std::filesystem::remove(path);
+}
+
+TEST(BenchHistoryCrashSafety, CleanAppendDoesNotSetTheTornFlag) {
+  const std::string path = "history_test_clean.jsonl";
+  std::filesystem::remove(path);
+  util::HistoryAppendResult res = util::append_history_line(path, "{}");
+  EXPECT_FALSE(res.torn_skipped);
+  res = util::append_history_line(path, "{}");
+  EXPECT_FALSE(res.torn_skipped);
+  EXPECT_EQ(res.entries, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(BenchHistoryCrashSafety, AtomicRenameLeavesNoTempFileBehind) {
+  const std::string path = "history_test_atomic.jsonl";
+  const std::string tmp = path + ".tmp";
+  std::filesystem::remove(path);
+  std::filesystem::remove(tmp);
+  for (int i = 0; i < 3; ++i) {
+    const util::HistoryAppendResult res = util::append_history_line(
+        path, "{\"run\": " + std::to_string(i) + "}");
+    ASSERT_TRUE(res.rotated);
+    // The temp staging file must not survive a successful rename — a
+    // stale .tmp would shadow the next crash diagnosis.
+    EXPECT_FALSE(std::filesystem::exists(tmp)) << "iteration " << i;
+  }
+  EXPECT_EQ(read_lines(path).size(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(BenchHistoryCrashSafety, FailedWriteLeavesTheOldFileUntouched) {
+  // Make the *rename target* unreachable mid-flight by pointing the append
+  // at a directory whose .tmp sibling cannot be created: a directory at
+  // the .tmp path forces the staging write to fail, and the original
+  // file's bytes must be exactly what they were before the attempt.
+  const std::string path = "history_test_preserve.jsonl";
+  const std::string tmp = path + ".tmp";
+  std::filesystem::remove(path);
+  std::filesystem::remove_all(tmp);
+  {
+    std::ofstream out(path);
+    out << "{\"run\": 0}\n";
+  }
+  std::filesystem::create_directory(tmp);
+  const util::HistoryAppendResult res =
+      util::append_history_line(path, "{\"run\": 1}");
+  EXPECT_FALSE(res.rotated);
+  EXPECT_TRUE(res.write_failed);
+  EXPECT_EQ(read_lines(path), std::vector<std::string>{"{\"run\": 0}"});
+  std::filesystem::remove_all(tmp);
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace ftsort

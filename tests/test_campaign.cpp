@@ -214,13 +214,18 @@ TEST(CampaignFtdiag, DiffFlagsReliabilityDriftAndExitCodesMatchContract) {
 
 // ---------------------------------------------------------------------------
 // The acceptance campaign: 500 trials on Q_7, r in 0..3, threaded worker
-// pool vs single worker -> byte-identical schema-v6 JSON with a monotone
+// pool vs single worker -> byte-identical schema-v7 JSON with a monotone
 // completion curve. (Suite named MonteCarlo, not Campaign: the tsan
 // preset includes Campaign.* by name, and this sweep is too large to run
 // under instrumentation — the small Campaign.* tests above give tsan the
 // same worker-pool coverage.)
 
-const char* const kSchemaV6RequiredKeys[] = {
+const char* const kSchemaV7RequiredKeys[] = {
+    // v7: the watchdog rollup, per-trial trip counters, and the partial
+    // (interrupted-sweep) flag.
+    "watchdog",      "trips",                "near_misses",
+    "watchdog_trips",                        "watchdog_near_misses",
+    "partial",
     // v6: the campaign-wide and per-trial key-lineage audit verdicts.
     "lineage",       "audited",              "lineage_checked",
     "lineage_ok",    "lineage_lost",         "lineage_duplicated",
@@ -283,8 +288,8 @@ TEST(MonteCarlo, AcceptanceFiveHundredTrialCampaignQ7) {
     EXPECT_GT(b.restart_latency_p90, 0.0) << "r=" << b.r;
   }
 
-  // Schema v6: every required key present, braces balanced.
-  for (const char* key : kSchemaV6RequiredKeys)
+  // Schema v7: every required key present, braces balanced.
+  for (const char* key : kSchemaV7RequiredKeys)
     EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
         << "missing schema key " << key;
   long depth = 0;

@@ -20,15 +20,28 @@
 //     test passes there, the toolchain has moved and the
 //     [[gnu::noinline]] in sim/task.hpp is a candidate for retirement
 //     (see ROADMAP "GCC coroutine bug tracking").
+//
+// The file is also the first consumer of the wall-clock watchdog
+// (sim/watchdog.hpp): the second test wedges this same driver loop on
+// purpose — a coroutine that suspends and schedules nobody, the exact
+// symptom the miscompile family produces — and pins that the watchdog
+// trips, names the silent driver slot, and that `ftdiag stuck` decodes
+// the black-box dump to the same verdict with exit code 1.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
 #include <numeric>
 #include <optional>
+#include <sstream>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include "sim/watchdog.hpp"
+#include "tools/ftdiag.hpp"
 
 namespace {
 
@@ -219,6 +232,69 @@ TEST(CoroMiscompile, ValueCoReturnSurvivesContinuationResume) {
     // ROADMAP item before touching it.
     SUCCEED();
   }
+}
+
+// A coroutine exhibiting the hang symptom: it suspends at a point that
+// registers no continuation anywhere, so the driver loop's `pending`
+// slot stays empty forever. (A destroyed-while-suspended frame is fine;
+// MiniTask's destructor cleans it up.)
+MiniTask<void> wedged() {
+  co_await YieldPoint{&pending};   // resumable once...
+  co_await std::suspend_always{};  // ...then wedged for good
+}
+
+TEST(CoroMiscompile, WatchdogCatchesTheInducedDriverHangAndNamesIt) {
+  using namespace ftsort;
+
+  sim::WatchdogConfig cfg;
+  cfg.enabled = true;
+  cfg.interval_ms = 5;
+  cfg.deadline_ms = 150;  // floor; measured-progress scaling can only raise
+  cfg.abort_on_trip = true;
+  sim::Watchdog wd(cfg);
+  const std::size_t slot = wd.add_slot("driver");
+  wd.start();
+
+  pending = nullptr;
+  MiniTask<void> task = wedged();
+  task.start();
+  wd.beat(slot);
+  // The guarded driver loop: each resume beats the heartbeat; when the
+  // wedge hits, the loop has nothing to resume and the beats stop.
+  while (!task.done() && !wd.tripped()) {
+    const std::coroutine_handle<> next =
+        std::exchange(pending, std::coroutine_handle<>{});
+    if (next) {
+      next.resume();
+      wd.beat(slot);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_FALSE(task.done()) << "the wedge must not complete";
+  EXPECT_TRUE(wd.tripped());
+  wd.stop();
+
+  const sim::WatchdogReport rep = wd.report();
+  EXPECT_EQ(rep.trips, 1u);
+  EXPECT_EQ(rep.near_misses, 0u);
+  EXPECT_GE(rep.stall_ms, static_cast<std::uint64_t>(cfg.deadline_ms));
+  ASSERT_EQ(rep.slots.size(), 1u);
+  EXPECT_EQ(rep.slots[0].label, "driver");
+  EXPECT_FALSE(rep.slots[0].terminal);
+  EXPECT_GE(rep.slots[0].beats, 2u);  // start + the one good resume
+
+  // Black-box dump -> ftdiag stuck: exit 1 (a trip is recorded) and the
+  // decoded report blames the driver slot, not some retired thread.
+  const std::string path = testing::TempDir() + "coro_wedge_dump.json";
+  ASSERT_TRUE(sim::write_watchdog_dump(path, rep, sim::WatchdogDumpContext{}));
+  const char* argv[] = {"ftdiag", "stuck", path.c_str()};
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(tools::run_cli(3, argv, out, err), 1) << err.str();
+  EXPECT_NE(out.str().find("most silent: driver"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("STUCK"), std::string::npos);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "fault/scenario.hpp"
 #include "sim/exporters.hpp"
 #include "sim/link_stats.hpp"
+#include "sim/watchdog.hpp"
 #include "sort/distribution.hpp"
 #include "tools/ftdiag.hpp"
 #include "util/rng.hpp"
@@ -418,7 +419,7 @@ TEST(FtdiagSchema, RefusesFilesNewerThanTheBuildWithVersionedMessage) {
   EXPECT_FALSE(metrics.ok);
   EXPECT_NE(metrics.error.find("schema v99"), std::string::npos)
       << metrics.error;
-  EXPECT_NE(metrics.error.find("reads up to v6"), std::string::npos)
+  EXPECT_NE(metrics.error.find("reads up to v7"), std::string::npos)
       << metrics.error;
 
   const tools::HotspotsResult bench = tools::hotspots_report(
@@ -436,7 +437,7 @@ TEST(FtdiagSchema, RefusesFilesNewerThanTheBuildWithVersionedMessage) {
           "buckets": [{"r": 0, "trials": 1}]})");
   EXPECT_FALSE(old.ok);
   EXPECT_NE(old.error.find("schema v4"), std::string::npos) << old.error;
-  EXPECT_NE(old.error.find("reads v6"), std::string::npos) << old.error;
+  EXPECT_NE(old.error.find("reads v7"), std::string::npos) << old.error;
 }
 
 // ---------------------------------------------------------------------------
@@ -562,6 +563,75 @@ TEST(FtdiagHistory, ExitCodesMatchTheCliContract) {
   EXPECT_EQ(tools::run_cli(3, missing, out, err), 2);
   std::remove(ps.c_str());
   std::remove(pd.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// degenerate inputs: every reader refuses an empty or hollow file with
+// exit 2 and a message naming what is missing — never a zero-filled
+// table (exit 0) that would read as "all clear" in CI.
+
+TEST(FtdiagDegenerate, EmptyMetricsFileExitsTwoFromEveryReader) {
+  const std::string empty = write_temp("empty", "");
+  std::ostringstream out;
+  std::ostringstream err;
+  const char* diff[] = {"ftdiag", "diff", empty.c_str(), empty.c_str()};
+  EXPECT_EQ(tools::run_cli(4, diff, out, err), 2);
+  const char* hot[] = {"ftdiag", "hotspots", empty.c_str()};
+  EXPECT_EQ(tools::run_cli(3, hot, out, err), 2);
+  const char* explain[] = {"ftdiag", "explain", empty.c_str()};
+  EXPECT_EQ(tools::run_cli(3, explain, out, err), 2);
+  const char* stuck[] = {"ftdiag", "stuck", empty.c_str()};
+  EXPECT_EQ(tools::run_cli(3, stuck, out, err), 2);
+  // Each refusal names the structure it was looking for.
+  EXPECT_NE(err.str().find("phases"), std::string::npos) << err.str();
+  EXPECT_NE(err.str().find("traceEvents"), std::string::npos) << err.str();
+  EXPECT_NE(err.str().find("watchdog_dump"), std::string::npos) << err.str();
+  std::remove(empty.c_str());
+}
+
+TEST(FtdiagDegenerate, ZeroTrialCampaignIsRefusedNotReportedClean) {
+  const std::string path = write_temp(
+      "zero_campaign",
+      R"({"campaign": "fault_mc", "schema_version": 7, "seed": 1, "n": 3,
+          "r_max": 0, "scenarios": 0, "keys": 16, "executor": "sequential",
+          "watchdog": {"trips": 0, "near_misses": 0}, "partial": false,
+          "buckets": [], "trials": []})");
+  std::ostringstream out;
+  std::ostringstream err;
+  const char* args[] = {"ftdiag", "campaign", path.c_str()};
+  EXPECT_EQ(tools::run_cli(3, args, out, err), 2);
+  EXPECT_NE(err.str().find("buckets"), std::string::npos) << err.str();
+  std::remove(path.c_str());
+}
+
+TEST(FtdiagDegenerate, NearMissOnlyDumpDecodesAndExitsZero) {
+  // A record-policy run that brushed the deadline but never aborted:
+  // `stuck` decodes it (exit 0 — no trip recorded) so operators can read
+  // near-miss dumps without tripping CI.
+  sim::WatchdogReport rep;
+  rep.enabled = true;
+  rep.abort_on_trip = false;
+  rep.deadline_ms = 50;
+  rep.interval_ms = 5;
+  rep.trips = 0;
+  rep.near_misses = 3;
+  rep.effective_deadline_ms = 50;
+  rep.stall_ms = 61;
+  rep.slots.push_back({"node 0", 12, 61, "merge_split", false});
+  rep.slots.push_back({"node 1", 40, 2, "route", false});
+  const std::string path = write_temp(
+      "near_miss_dump",
+      sim::render_watchdog_dump(rep, sim::WatchdogDumpContext{}));
+  std::ostringstream out;
+  std::ostringstream err;
+  const char* args[] = {"ftdiag", "stuck", path.c_str()};
+  EXPECT_EQ(tools::run_cli(3, args, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("near misses: 3"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("most silent: node 0"), std::string::npos)
+      << out.str();
+  EXPECT_EQ(out.str().find("STUCK"), std::string::npos) << out.str();
+  std::remove(path.c_str());
 }
 
 }  // namespace

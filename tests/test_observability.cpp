@@ -342,10 +342,14 @@ TEST(ObservabilityExport, MetricsJsonContainsEveryPhaseAndKey) {
         // (enabled:false stubs here — this run recorded neither).
         "recovery_latency", "timeline",
         // v6: key-lineage custody audit (enabled:false stub here).
-        "lineage"})
+        "lineage",
+        // v7: wall-clock watchdog verdict (enabled:false stub here).
+        "watchdog"})
     EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
         << key;
-  EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"watchdog\": {\"enabled\": false}"),
+            std::string::npos);
   EXPECT_NE(json.find("\"cost_model\": {\"name\": \"ncube7\", \"routing\": "
                       "\"store_and_forward\""),
             std::string::npos);

@@ -87,6 +87,7 @@ double num_or(const std::string& obj, const char* key, double fallback) {
 constexpr double kMetricsSchemaMax = util::kMetricsSchemaVersion;
 constexpr double kBenchSchemaMax = util::kBenchSchemaVersion;
 constexpr double kCampaignSchemaMax = util::kCampaignSchemaVersion;
+constexpr double kWatchdogSchemaMax = util::kWatchdogDumpSchemaVersion;
 
 /// Refuses documents newer than `ceiling`. `what` names the format in
 /// the error ("metrics JSON", ...). A missing schema_version (hand-made
@@ -1557,6 +1558,150 @@ LineageCliResult lineage_report(const std::string& json, long key,
 }
 
 // ---------------------------------------------------------------------------
+// stuck
+
+StuckResult stuck_report(const std::string& json) {
+  StuckResult res;
+  if (json.find("\"watchdog_dump\": true") == std::string::npos) {
+    res.error =
+        "not a watchdog dump (missing \"watchdog_dump\" marker; expected "
+        "sim::write_watchdog_dump output)";
+    return res;
+  }
+  if (!check_schema_ceiling(json, "watchdog JSON", kWatchdogSchemaMax,
+                            &res.error))
+    return res;
+  res.origin = string_field(json, "origin");
+  if (res.origin.empty()) res.origin = "machine";
+  const std::string policy = string_field(json, "policy");
+  res.trips = static_cast<std::uint64_t>(num_or(json, "trips", 0.0));
+  res.near_misses =
+      static_cast<std::uint64_t>(num_or(json, "near_misses", 0.0));
+  const std::uint64_t deadline =
+      static_cast<std::uint64_t>(num_or(json, "deadline_ms", 0.0));
+  const std::uint64_t effective =
+      static_cast<std::uint64_t>(num_or(json, "effective_deadline_ms", 0.0));
+  const std::uint64_t interval =
+      static_cast<std::uint64_t>(num_or(json, "interval_ms", 0.0));
+  const std::uint64_t stall =
+      static_cast<std::uint64_t>(num_or(json, "stall_ms", 0.0));
+
+  const std::size_t hb = json.find("\"heartbeats\": [");
+  if (hb == std::string::npos) {
+    res.error = "watchdog dump without a \"heartbeats\" array";
+    return res;
+  }
+  const std::size_t hb_open = json.find('[', hb);
+  const std::size_t hb_end = match_delim(json, hb_open, '[', ']');
+  if (hb_end == std::string::npos) {
+    res.error = "unterminated \"heartbeats\" array";
+    return res;
+  }
+  std::size_t cursor = hb_open + 1;
+  while (cursor < hb_end) {
+    const std::size_t open = json.find('{', cursor);
+    if (open == std::string::npos || open >= hb_end) break;
+    const std::size_t close = match_delim(json, open, '{', '}');
+    if (close == std::string::npos) {
+      res.error = "unterminated heartbeat row";
+      return res;
+    }
+    const std::string row = json.substr(open, close - open);
+    StuckSlot slot;
+    slot.slot = string_field(row, "slot");
+    slot.beats = static_cast<std::uint64_t>(num_or(row, "beats", 0.0));
+    slot.age_ms = static_cast<std::uint64_t>(num_or(row, "age_ms", 0.0));
+    slot.activity = string_field(row, "activity");
+    slot.terminal = row.find("\"terminal\": true") != std::string::npos;
+    res.slots.push_back(std::move(slot));
+    cursor = close;
+  }
+  // Culprit-first ordering: live slots by silence, retired slots last.
+  std::stable_sort(res.slots.begin(), res.slots.end(),
+                   [](const StuckSlot& a, const StuckSlot& b) {
+                     if (a.terminal != b.terminal) return !a.terminal;
+                     return a.age_ms > b.age_ms;
+                   });
+
+  std::ostringstream out;
+  out << "ftdiag stuck: " << res.origin << " watchdog dump ("
+      << (policy.empty() ? "?" : policy) << " policy)\n";
+  out << "  trips: " << res.trips << ", near misses: " << res.near_misses
+      << "\n";
+  out << "  silent for " << stall << " ms (deadline " << deadline
+      << " ms, effective " << effective << " ms, polled every " << interval
+      << " ms)\n";
+
+  // The replayed Diagnosis, when the dump carries one: the root cause in
+  // protocol terms, ahead of the raw heartbeat evidence.
+  const std::size_t dg = json.find("\"diagnosis\": {");
+  if (dg != std::string::npos) {
+    const std::size_t open = json.find('{', dg);
+    const std::size_t end = match_delim(json, open, '{', '}');
+    if (end != std::string::npos) {
+      const std::string block = json.substr(open, end - open);
+      const std::string summary = string_field(block, "summary");
+      if (!summary.empty()) out << "  root cause: " << summary << "\n";
+      const std::size_t st = block.find("\"stalled\": [");
+      if (st != std::string::npos) {
+        const std::size_t sopen = block.find('[', st);
+        const std::size_t send = block.find(']', sopen);
+        if (send != std::string::npos && send > sopen + 1)
+          out << "  stalled nodes: [" << block.substr(sopen + 1, send - sopen - 1)
+              << "] in phase " << string_field(block, "root_phase") << "\n";
+      }
+    }
+  }
+
+  if (res.slots.empty()) {
+    out << "  heartbeats: none recorded\n";
+  } else {
+    out << "  heartbeats (most silent first):\n";
+    const StuckSlot* culprit = nullptr;
+    for (const StuckSlot& s : res.slots) {
+      out << "    " << s.slot << ": " << s.beats << " beat(s), silent "
+          << s.age_ms << " ms, "
+          << (s.terminal ? std::string("terminal")
+                         : "activity " + s.activity)
+          << "\n";
+      if (culprit == nullptr && !s.terminal) culprit = &s;
+    }
+    if (culprit != nullptr)
+      out << "  most silent: " << culprit->slot << " (" << culprit->age_ms
+          << " ms without a heartbeat, activity " << culprit->activity
+          << ")\n";
+    else
+      out << "  most silent: none (every slot retired in order)\n";
+  }
+
+  const std::size_t hp = json.find("\"host_profile\": {");
+  if (hp != std::string::npos) {
+    const std::size_t open = json.find('{', hp);
+    const std::size_t end = match_delim(json, open, '{', '}');
+    if (end != std::string::npos) {
+      const std::string block = json.substr(open, end - open);
+      out << "  host: " << static_cast<long>(num_or(block, "shards", 0.0))
+          << " shard(s), "
+          << static_cast<long>(num_or(block, "tasks_resumed", 0.0))
+          << " task(s) resumed, "
+          << static_cast<long>(num_or(block, "quiescence_checks", 0.0))
+          << " quiescence check(s)\n";
+    }
+  }
+
+  out << "  verdict: "
+      << (res.trips > 0
+              ? "STUCK (watchdog aborted the run)"
+              : res.near_misses > 0
+                    ? "near miss only (record policy, run continued)"
+                    : "no breach recorded")
+      << "\n";
+  res.ok = true;
+  res.text = out.str();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
 // CLI
 
 namespace {
@@ -1585,6 +1730,7 @@ int usage(std::ostream& err) {
          "                      [--last K] [--threshold PCT]\n"
          "       ftdiag lineage <metrics.json> [--key ID | --top N | "
          "--audit]\n"
+         "       ftdiag stuck <dump.json>\n"
          "       ftdiag --version\n"
          "supported schemas:";
   for (const util::SchemaEntry& e : util::kSchemaTable)
@@ -1592,8 +1738,9 @@ int usage(std::ostream& err) {
         << e.version << ",";
   err << "\n                   bench history JSONL\n"
          "exit codes: 0 clean, 1 regression beyond threshold "
-         "(lineage: audit violated),\n"
-         "            2 usage/parse error\n";
+         "(lineage: audit violated,\n"
+         "            stuck: the dump records an abort trip), "
+         "2 usage/parse error\n";
   return 2;
 }
 
@@ -1820,13 +1967,31 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
       err << "ftdiag lineage: " << why << "\n";
       return 2;
     }
-    const LineageCliResult res = lineage_report(text, key, top_n, audit_only);
+    const LineageCliResult res =
+        lineage_report(text, key, top_n, audit_only);
     if (!res.ok) {
       err << "ftdiag lineage: " << res.error << "\n";
       return 2;
     }
     out << res.text;
     return (res.audit_checked && !res.audit_ok) ? 1 : 0;
+  }
+
+  if (cmd == "stuck") {
+    if (argc != 3) return usage(err);
+    std::string text;
+    std::string why;
+    if (!slurp(argv[2], &text, &why)) {
+      err << "ftdiag stuck: " << why << "\n";
+      return 2;
+    }
+    const StuckResult res = stuck_report(text);
+    if (!res.ok) {
+      err << "ftdiag stuck: " << res.error << "\n";
+      return 2;
+    }
+    out << res.text;
+    return res.trips > 0 ? 1 : 0;
   }
 
   return usage(err);

@@ -202,16 +202,46 @@ HistoryResult history_trends(const std::string& jsonl,
                              const std::string& metric, std::size_t last_k,
                              double threshold_pct);
 
+/// One heartbeat row decoded from a watchdog black-box dump.
+struct StuckSlot {
+  std::string slot;        ///< "node 3", "scheduler", "worker 0", ...
+  std::uint64_t beats = 0;
+  std::uint64_t age_ms = 0;   ///< wall ms since this slot last advanced
+  std::string activity;       ///< decoded phase / trial index / "-"
+  bool terminal = false;      ///< slot retired in order (never a suspect)
+};
+
+struct StuckResult {
+  bool ok = false;
+  std::string error;
+  std::string origin;  ///< "machine" | "campaign" (who armed the watchdog)
+  std::uint64_t trips = 0;        ///< abort-policy trips in the dump
+  std::uint64_t near_misses = 0;  ///< record-policy breaches in the dump
+  std::vector<StuckSlot> slots;   ///< live slots most-silent-first
+  std::string text;  ///< deterministic rendered report
+};
+
+/// Decode a watchdog black-box dump (sim::write_watchdog_dump) into a
+/// root-cause verdict: the trip header, the stall arithmetic (measured
+/// silence vs the configured and effective deadlines), the replayed
+/// Diagnosis when the dump carries one, and the full heartbeat table
+/// sorted most-silent-first so the culprit slot leads. Terminal slots
+/// (threads that retired in order) are listed last and never named as
+/// the most-silent suspect.
+StuckResult stuck_report(const std::string& json);
+
 /// Full CLI: `ftdiag diff A B [--threshold PCT]`,
 /// `ftdiag explain TRACE.json`, `ftdiag hotspots FILE [--top K]`,
 /// `ftdiag hotspots A B [--threshold PCT]`,
 /// `ftdiag campaign FILE`, `ftdiag campaign A B [--threshold PCT]`,
 /// `ftdiag history FILE.jsonl [--metric M] [--last K] [--threshold PCT]`,
-/// `ftdiag lineage METRICS.json [--key ID | --top N | --audit]`, or
+/// `ftdiag lineage METRICS.json [--key ID | --top N | --audit]`,
+/// `ftdiag stuck DUMP.json` (a watchdog black-box dump), or
 /// `ftdiag --version` (the schema table, from util/schema.hpp).
 /// Returns the process exit code: 0 = clean, 1 = diff found a
 /// regression beyond the threshold (for `lineage`: the custody audit is
-/// violated), 2 = usage or parse error.
+/// violated; for `stuck`: the dump records at least one abort trip),
+/// 2 = usage or parse error.
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err);
 
